@@ -1,0 +1,152 @@
+//! Section 3.2.1: in the `L·λ → 0` limit, the time to failure after
+//! architectural masking is *exactly* exponential with rate `λ·AVF`.
+//!
+//! The paper's derivation: `X = Σᵢ₌₁^K tᵢ` where the `tᵢ` are Exp(λ)
+//! inter-arrival times and `K` is geometric with success probability AVF
+//! (the first unmasked error). The sum of `k` exponentials is Erlang-k, and
+//! the geometric mixture of Erlangs collapses to `Exp(λ·AVF)`.
+
+use serr_numeric::special::SQRT_PI;
+
+/// The Erlang-`n` density `λ(λx)^{n−1} e^{−λx} / (n−1)!` — the distribution
+/// of a sum of `n` independent `Exp(λ)` variables (paper, citing Trivedi).
+///
+/// Computed in log space so large `n` does not overflow the factorial.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 1`, `lambda > 0`, and `x ≥ 0`.
+#[must_use]
+pub fn erlang_pdf(n: u32, lambda: f64, x: f64) -> f64 {
+    assert!(n >= 1, "Erlang shape must be >= 1");
+    assert!(lambda > 0.0, "rate must be positive");
+    assert!(x >= 0.0, "Erlang support is x >= 0");
+    if x == 0.0 {
+        return if n == 1 { lambda } else { 0.0 };
+    }
+    let log_pdf = lambda.ln() + f64::from(n - 1) * (lambda * x).ln() - lambda * x
+        - ln_factorial(n - 1);
+    log_pdf.exp()
+}
+
+/// The geometric-mixture density
+/// `f_X(x) = Σₖ (1−AVF)^{k−1}·AVF · Erlang_k(λ, x)`,
+/// truncated when terms fall below machine precision.
+///
+/// The paper shows this equals `λ·AVF·e^{−λ·AVF·x}` — see
+/// [`exponential_avf_pdf`] and the tests proving the collapse.
+///
+/// # Panics
+///
+/// Panics unless `avf ∈ (0, 1]`, `lambda > 0`, and `x ≥ 0`.
+#[must_use]
+pub fn geometric_erlang_mixture_pdf(avf: f64, lambda: f64, x: f64) -> f64 {
+    assert!(avf > 0.0 && avf <= 1.0, "AVF must lie in (0,1]");
+    assert!(lambda > 0.0, "rate must be positive");
+    assert!(x >= 0.0, "support is x >= 0");
+    // Σₖ (1-AVF)^{k-1} AVF λ(λx)^{k-1}e^{-λx}/(k-1)!
+    //  = AVF λ e^{-λx} Σⱼ ((1-AVF)λx)^j / j!   — sum directly.
+    let z = (1.0 - avf) * lambda * x;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for j in 1..10_000 {
+        term *= z / f64::from(j);
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    avf * lambda * (-lambda * x).exp() * sum
+}
+
+/// The closed form the mixture collapses to: `λ·AVF·e^{−λ·AVF·x}`.
+///
+/// # Panics
+///
+/// Panics unless `avf ∈ (0, 1]` and `lambda > 0`.
+#[must_use]
+pub fn exponential_avf_pdf(avf: f64, lambda: f64, x: f64) -> f64 {
+    assert!(avf > 0.0 && avf <= 1.0, "AVF must lie in (0,1]");
+    assert!(lambda > 0.0, "rate must be positive");
+    avf * lambda * (-avf * lambda * x).exp()
+}
+
+/// `ln(n!)` via Stirling's series for large `n`, exact accumulation below 32.
+fn ln_factorial(n: u32) -> f64 {
+    if n < 32 {
+        (2..=u64::from(n)).map(|k| (k as f64).ln()).sum()
+    } else {
+        let x = f64::from(n) + 1.0;
+        // Stirling: ln Γ(x) ≈ (x-1/2)ln x − x + ln(2π)/2 + 1/(12x) − 1/(360x³)
+        (x - 0.5) * x.ln() - x + 0.5 * (2.0 * SQRT_PI * SQRT_PI).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x.powi(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serr_numeric::quad::integrate_to_infinity;
+
+    #[test]
+    fn erlang_1_is_exponential() {
+        for &x in &[0.0, 0.5, 2.0] {
+            assert!((erlang_pdf(1, 1.5, x) - 1.5 * (-1.5 * x).exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_normalizes() {
+        for n in [1u32, 2, 5, 20] {
+            let total = integrate_to_infinity(|x| erlang_pdf(n, 0.8, x), 1e-12).unwrap();
+            assert!((total - 1.0).abs() < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn erlang_mean_is_n_over_lambda() {
+        for n in [1u32, 3, 10] {
+            let mean = integrate_to_infinity(|x| x * erlang_pdf(n, 2.0, x), 1e-12).unwrap();
+            assert!((mean - f64::from(n) / 2.0).abs() < 1e-7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_factorial_exact_vs_stirling_continuous() {
+        // The two branches must agree near the crossover.
+        let exact: f64 = (2..=31u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln_factorial(31) - exact).abs() < 1e-10);
+        let exact32: f64 = (2..=32u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln_factorial(32) - exact32).abs() < 1e-8);
+    }
+
+    proptest! {
+        #[test]
+        fn mixture_collapses_to_exponential(
+            avf in 0.05f64..1.0,
+            lambda in 0.1f64..5.0,
+            x in 0.0f64..20.0,
+        ) {
+            // The heart of Section 3.2.1.
+            let mixture = geometric_erlang_mixture_pdf(avf, lambda, x);
+            let closed = exponential_avf_pdf(avf, lambda, x);
+            let scale = closed.max(1e-300);
+            prop_assert!(
+                ((mixture - closed) / scale).abs() < 1e-9,
+                "avf={} λ={} x={}: {} vs {}", avf, lambda, x, mixture, closed
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_mean_is_avf_derated_mttf() {
+        let (avf, lambda) = (0.25, 0.5);
+        let mean = integrate_to_infinity(
+            |x| x * geometric_erlang_mixture_pdf(avf, lambda, x),
+            1e-12,
+        )
+        .unwrap();
+        assert!((mean - 1.0 / (avf * lambda)).abs() < 1e-6);
+    }
+}

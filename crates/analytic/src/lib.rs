@@ -1,0 +1,45 @@
+//! Closed-form and numerical analysis of the AVF and SOFR assumptions
+//! (paper Section 3 and Appendix A).
+//!
+//! Four analytic tools back the experimental results:
+//!
+//! * [`theorem1`] — the exact distribution of `T mod L` for an exponential
+//!   `T`, which becomes uniform as `L·λ → 0` (Appendix A, Theorem 1). This is
+//!   the assumption underlying the AVF step.
+//! * [`periodic`] — the closed-form MTTF of a component running the paper's
+//!   busy/idle counter-example program (Section 3.1.2, Derivation 1), both in
+//!   the paper's verbatim form and in an algebraically simplified form, plus
+//!   the AVF-step estimate and its relative error (Figure 3).
+//! * [`renewal`] — an exact first-principles MTTF for **any** periodic
+//!   vulnerability trace: the time to failure is the first event of an
+//!   inhomogeneous Poisson process with intensity `λ·v(t)`, so
+//!   `MTTF = ∫₀ᴸ e^{−λU(s)} ds / (1 − e^{−λU(L)})` with `U(s) = ∫₀ˢ v`.
+//!   Every estimator in the workspace (Monte Carlo, SoftArch, AVF+SOFR) is
+//!   validated against this.
+//! * [`min_of_n`] — Section 3.2.2's min-of-N system with the
+//!   near-exponential density `f(x) = 2/√π·e^{−x²}`: numerical system MTTF
+//!   vs. the SOFR estimate (Figure 4).
+//! * [`composition`] — Section 3.2.1's Erlang/geometric composition showing
+//!   the time to failure is exactly exponential with rate `λ·AVF` in the
+//!   `L·λ → 0` limit.
+//!
+//! # Example: the AVF step is exact in the small-`λL` limit
+//!
+//! ```
+//! use serr_analytic::periodic::{avf_step_mttf, busy_idle_mttf};
+//!
+//! let (lambda, a, l) = (1e-9, 50.0, 100.0);
+//! let truth = busy_idle_mttf(lambda, a, l);
+//! let avf = avf_step_mttf(lambda, a / l);
+//! assert!(((avf - truth) / truth).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod composition;
+pub mod fig;
+pub mod min_of_n;
+pub mod periodic;
+pub mod renewal;
+pub mod theorem1;

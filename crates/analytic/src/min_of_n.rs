@@ -1,0 +1,144 @@
+//! Section 3.2.2: the SOFR step applied to a system of N components whose
+//! time to failure follows the near-exponential density
+//! `f(x) = 2/√π · e^{−x²}`.
+//!
+//! Each component's MTTF is `E(X) = 1/√π`. The system fails at the first
+//! component failure, `Y = min(X₁, …, X_N)`, whose true MTTF must be
+//! computed numerically. SOFR instead sums reciprocal component MTTFs:
+//! `MTTF_sofr = 1/(N√π)` — the discrepancy between the two is Figure 4.
+
+use serr_numeric::quad::integrate_to_infinity;
+use serr_numeric::special::{erfc, SQRT_PI};
+use serr_types::SerrError;
+
+/// The density `f(x) = 2/√π · e^{−x²}` for `x ≥ 0` (0 elsewhere).
+#[must_use]
+pub fn density(x: f64) -> f64 {
+    if x < 0.0 {
+        0.0
+    } else {
+        2.0 / SQRT_PI * (-x * x).exp()
+    }
+}
+
+/// The CDF `F(x) = erf(x)` for `x ≥ 0`.
+#[must_use]
+pub fn cdf(x: f64) -> f64 {
+    if x < 0.0 {
+        0.0
+    } else {
+        serr_numeric::special::erf(x)
+    }
+}
+
+/// The component MTTF `E(X) = 1/√π` (paper: "it follows that the MTTF of the
+/// component is 1/√π").
+#[must_use]
+pub fn component_mttf() -> f64 {
+    1.0 / SQRT_PI
+}
+
+/// The true system MTTF `E(min(X₁,…,X_N))`, computed by numerical
+/// integration of the survival function: `E(Y) = ∫₀^∞ erfc(y)^N dy`.
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] if `n` is zero, or a quadrature
+/// convergence error.
+pub fn system_mttf(n: u32) -> Result<f64, SerrError> {
+    if n == 0 {
+        return Err(SerrError::invalid_config("system must have at least one component"));
+    }
+    integrate_to_infinity(move |y| erfc(y).powi(n as i32), 1e-13)
+}
+
+/// The SOFR estimate `1/(N√π)` (paper's `MTTF_sofr`).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn sofr_mttf(n: u32) -> f64 {
+    assert!(n > 0, "system must have at least one component");
+    1.0 / (f64::from(n) * SQRT_PI)
+}
+
+/// Relative error of SOFR against the true min-of-N MTTF — the series
+/// plotted in Figure 4.
+///
+/// # Errors
+///
+/// Propagates quadrature errors from [`system_mttf`].
+pub fn sofr_relative_error(n: u32) -> Result<f64, SerrError> {
+    let truth = system_mttf(n)?;
+    Ok((sofr_mttf(n) - truth).abs() / truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_numeric::quad::integrate_to_infinity;
+
+    #[test]
+    fn density_normalizes_and_means_match_paper() {
+        let total = integrate_to_infinity(density, 1e-13).unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+        let mean = integrate_to_infinity(|x| x * density(x), 1e-13).unwrap();
+        assert!((mean - component_mttf()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_component_has_no_sofr_error() {
+        // N = 1: min(X) = X, and SOFR degenerates to the component MTTF.
+        let truth = system_mttf(1).unwrap();
+        assert!((truth - component_mttf()).abs() < 1e-9);
+        assert!(sofr_relative_error(1).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn survival_form_matches_density_form_for_min() {
+        // E(Y) via ∫ y·f_Y(y) dy with f_Y = N(1-F)^{N-1} f, as in the paper.
+        let n = 4;
+        let by_density = integrate_to_infinity(
+            |y| y * 4.0 * erfc(y).powi(n - 1) * density(y),
+            1e-13,
+        )
+        .unwrap();
+        let by_survival = system_mttf(n as u32).unwrap();
+        assert!((by_density - by_survival).abs() < 1e-8);
+    }
+
+    #[test]
+    fn figure4_shape_two_to_thirtytwo() {
+        // Paper: "the error grows from 15% for a system with two components
+        // to about 32% for a system with 32 components."
+        let e2 = sofr_relative_error(2).unwrap();
+        let e32 = sofr_relative_error(32).unwrap();
+        assert!((0.10..=0.20).contains(&e2), "N=2 error {e2}");
+        assert!((0.27..=0.38).contains(&e32), "N=32 error {e32}");
+    }
+
+    #[test]
+    fn error_monotonically_grows_with_n() {
+        let mut prev = 0.0;
+        for n in [2u32, 4, 8, 16, 32] {
+            let e = sofr_relative_error(n).unwrap();
+            assert!(e > prev, "N={n}: {e} <= {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn sofr_underestimates_mttf_here() {
+        // For this distribution the min system lives longer than SOFR
+        // predicts (light tail near zero), so SOFR is pessimistic.
+        for n in [2u32, 8, 32] {
+            assert!(sofr_mttf(n) < system_mttf(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_components() {
+        assert!(system_mttf(0).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Section 3.1.2 / Derivation 1: the exact MTTF of the busy/idle
+//! counter-example program, and the AVF step's error on it.
+//!
+//! The program loops forever with iteration length `L`; the component is
+//! active (every raw error fails) for the first `A` cycles and idle (every
+//! raw error masked) for the rest. All quantities here are unit-agnostic:
+//! use consistent units for `lambda` (events per unit time) and `a`, `l`
+//! (unit time).
+
+use serr_numeric::special::one_minus_exp_neg;
+
+/// The exact first-principles MTTF `E(X)` of the busy/idle program, in the
+/// algebraically simplified form
+/// `E(X) = 1/λ + (L − A)·e^{−λA} / (1 − e^{−λA})`.
+///
+/// This is equal to the paper's Derivation 1 expression (see
+/// [`busy_idle_mttf_paper_form`] and the property test demonstrating
+/// equality) but is numerically stable for extreme `λA`.
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0` and `0 < a ≤ l`.
+///
+/// ```
+/// use serr_analytic::periodic::busy_idle_mttf;
+/// // Always busy: plain exponential MTTF.
+/// assert!((busy_idle_mttf(2.0, 5.0, 5.0) - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn busy_idle_mttf(lambda: f64, a: f64, l: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(a > 0.0 && a <= l, "need 0 < A <= L, got A={a}, L={l}");
+    1.0 / lambda + (l - a) * (-lambda * a).exp() / one_minus_exp_neg(lambda * a)
+}
+
+/// The paper's Derivation 1 closed form, transcribed verbatim:
+///
+/// `E(X) = (1−e^{−λL})/(1−e^{−λA}) · ( L·e^{−λL}/(1−e^{−λL})²
+///         − L·e^{−λA}e^{−λL}/(1−e^{−λL})² − A·e^{−λA}/(1−e^{−λL})
+///         + (1/λ)(1−e^{−λA})/(1−e^{−λL}) + L(e^{−λA}−e^{−λL})/(1−e^{−λL})² )`
+///
+/// Kept in this exact shape so the reproduction can check the paper's
+/// algebra; prefer [`busy_idle_mttf`] in production code.
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0` and `0 < a ≤ l`.
+#[must_use]
+pub fn busy_idle_mttf_paper_form(lambda: f64, a: f64, l: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(a > 0.0 && a <= l, "need 0 < A <= L, got A={a}, L={l}");
+    let ea = (-lambda * a).exp();
+    let el = (-lambda * l).exp();
+    let d = 1.0 - el;
+    let d2 = d * d;
+    (d / (1.0 - ea))
+        * (l * el / d2 - l * ea * el / d2 - a * ea / d
+            + (1.0 / lambda) * (1.0 - ea) / d
+            + l * (ea - el) / d2)
+}
+
+/// The AVF-step MTTF estimate `E_AVF(X) = 1/(λ·AVF)` (paper Equation 1).
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0` and `avf ∈ (0, 1]`.
+#[must_use]
+pub fn avf_step_mttf(lambda: f64, avf: f64) -> f64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(avf > 0.0 && avf <= 1.0, "AVF must lie in (0,1], got {avf}");
+    1.0 / (lambda * avf)
+}
+
+/// The relative error of the AVF step on the busy/idle program:
+/// `|E_AVF(X) − E(X)| / E(X)` — the quantity plotted in Figure 3.
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0` and `0 < a ≤ l`.
+#[must_use]
+pub fn avf_step_relative_error(lambda: f64, a: f64, l: f64) -> f64 {
+    let truth = busy_idle_mttf(lambda, a, l);
+    let estimate = avf_step_mttf(lambda, a / l);
+    (estimate - truth).abs() / truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simplified_equals_paper_form() {
+        for &(lambda, a, l) in &[
+            (0.5, 1.0, 2.0),
+            (2.0, 0.3, 1.0),
+            (0.01, 5.0, 20.0),
+            (1.0, 0.9, 1.0),
+            (3.0, 2.0, 2.0),
+        ] {
+            let simple = busy_idle_mttf(lambda, a, l);
+            let paper = busy_idle_mttf_paper_form(lambda, a, l);
+            assert!(
+                ((simple - paper) / simple).abs() < 1e-10,
+                "λ={lambda}, A={a}, L={l}: {simple} vs {paper}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn simplified_equals_paper_form_prop(
+            lambda in 1e-3f64..10.0,
+            a_frac in 0.05f64..1.0,
+            l in 0.1f64..100.0,
+        ) {
+            let a = a_frac * l;
+            let simple = busy_idle_mttf(lambda, a, l);
+            let paper = busy_idle_mttf_paper_form(lambda, a, l);
+            prop_assert!(((simple - paper) / simple).abs() < 1e-8);
+        }
+
+        #[test]
+        fn avf_step_exact_in_small_lambda_l_limit(
+            a_frac in 0.1f64..1.0,
+            l in 0.1f64..100.0,
+        ) {
+            let a = a_frac * l;
+            let lambda = 1e-9 / l; // λL = 1e-9
+            prop_assert!(avf_step_relative_error(lambda, a, l) < 1e-6);
+        }
+
+        #[test]
+        fn mttf_decreases_with_lambda(
+            a_frac in 0.1f64..1.0,
+            l in 0.1f64..10.0,
+        ) {
+            let a = a_frac * l;
+            let m1 = busy_idle_mttf(0.1, a, l);
+            let m2 = busy_idle_mttf(1.0, a, l);
+            let m3 = busy_idle_mttf(10.0, a, l);
+            prop_assert!(m1 > m2 && m2 > m3);
+        }
+    }
+
+    #[test]
+    fn always_busy_is_pure_exponential() {
+        for &lambda in &[0.1, 1.0, 7.5] {
+            assert!((busy_idle_mttf(lambda, 3.0, 3.0) - 1.0 / lambda).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn avf_overestimates_for_busy_first_program() {
+        // With the busy span first, errors early in the loop always hit the
+        // active window, so the true MTTF is *smaller* than the AVF estimate
+        // when λL is large.
+        let (lambda, a, l) = (2.0, 1.0, 2.0);
+        let truth = busy_idle_mttf(lambda, a, l);
+        let est = avf_step_mttf(lambda, a / l);
+        assert!(est > truth);
+    }
+
+    #[test]
+    fn error_grows_with_lambda_l() {
+        let (a, l) = (0.5, 1.0);
+        let e_small = avf_step_relative_error(1e-6, a, l);
+        let e_mid = avf_step_relative_error(0.1, a, l);
+        let e_large = avf_step_relative_error(2.0, a, l);
+        assert!(e_small < e_mid && e_mid < e_large);
+        assert!(e_small < 1e-6);
+        assert!(e_large > 0.1);
+    }
+
+    #[test]
+    fn extreme_lambda_a_is_stable() {
+        // λA huge: e^{-λA} underflows; MTTF -> 1/λ.
+        let m = busy_idle_mttf(10.0, 200.0, 400.0);
+        assert!((m - 0.1).abs() < 1e-12);
+        // λA tiny: MTTF -> L/(Aλ) (the AVF answer).
+        let m = busy_idle_mttf(1e-12, 1.0, 4.0);
+        assert!((m * 1e-12 - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,175 @@
+//! Appendix A, Theorem 1: the distribution of `T mod L` for exponential `T`.
+//!
+//! The AVF step implicitly assumes every cycle of the program loop is equally
+//! likely to receive the next raw error. Theorem 1 shows this holds exactly
+//! in the limit `L·λ → 0`; this module provides the *exact* distribution for
+//! any `L·λ`, so the deviation from uniformity can be quantified.
+
+use serr_numeric::special::one_minus_exp_neg;
+
+/// Exact density of `X = T mod L` where `T ~ Exp(λ)`:
+/// `f(x) = λ·e^{−λx} / (1 − e^{−λL})` for `x ∈ [0, L)`.
+///
+/// As `λL → 0` this converges to the uniform density `1/L` (Theorem 1).
+///
+/// # Panics
+///
+/// Panics if `lambda` or `l` is not positive, or `x` is outside `[0, l)`.
+///
+/// ```
+/// use serr_analytic::theorem1::phase_density;
+/// // Nearly uniform for tiny λL.
+/// let f = phase_density(1e-12, 0.0, 100.0);
+/// assert!((f - 0.01).abs() / 0.01 < 1e-9);
+/// ```
+#[must_use]
+pub fn phase_density(lambda: f64, x: f64, l: f64) -> f64 {
+    assert!(lambda > 0.0 && l > 0.0, "lambda and L must be positive");
+    assert!((0.0..l).contains(&x), "x={x} outside [0, {l})");
+    lambda * (-lambda * x).exp() / one_minus_exp_neg(lambda * l)
+}
+
+/// Exact CDF of `X = T mod L`: `F(x) = (1 − e^{−λx}) / (1 − e^{−λL})`.
+///
+/// # Panics
+///
+/// Panics if `lambda` or `l` is not positive, or `x` is outside `[0, l]`.
+#[must_use]
+pub fn phase_cdf(lambda: f64, x: f64, l: f64) -> f64 {
+    assert!(lambda > 0.0 && l > 0.0, "lambda and L must be positive");
+    assert!((0.0..=l).contains(&x), "x={x} outside [0, {l}]");
+    one_minus_exp_neg(lambda * x) / one_minus_exp_neg(lambda * l)
+}
+
+/// Samples `X = T mod L` exactly by inverse transform of [`phase_cdf`],
+/// given a uniform variate `u ∈ [0, 1)`.
+///
+/// This identity is what makes the Monte Carlo engine immune to the
+/// precision loss of reducing astronomically large arrival times modulo a
+/// period: the phase is drawn directly from its exact distribution at
+/// magnitudes `≤ L`.
+///
+/// # Panics
+///
+/// Panics if `lambda` or `l` is not positive or `u` is outside `[0, 1)`.
+#[must_use]
+pub fn sample_phase(lambda: f64, l: f64, u: f64) -> f64 {
+    assert!(lambda > 0.0 && l > 0.0, "lambda and L must be positive");
+    assert!((0.0..1.0).contains(&u), "u={u} outside [0,1)");
+    // x = -ln(1 - u(1 - e^{-λL})) / λ, computed stably.
+    let scaled = u * one_minus_exp_neg(lambda * l);
+    (-(-scaled).ln_1p() / lambda).min(l * (1.0 - f64::EPSILON))
+}
+
+/// The worst-case relative deviation of the phase density from uniform:
+/// `sup_x |f(x)·L − 1|`, attained at `x = 0`.
+///
+/// A convenient summary of "how badly the AVF uniformity assumption is
+/// violated" for a given `λL`; it is `≈ λL/2` for small `λL`.
+///
+/// # Panics
+///
+/// Panics if `lambda_l` is not positive.
+///
+/// ```
+/// use serr_analytic::theorem1::uniformity_deviation;
+/// assert!(uniformity_deviation(1e-6) < 1e-5);
+/// assert!(uniformity_deviation(2.0) > 0.5);
+/// ```
+#[must_use]
+pub fn uniformity_deviation(lambda_l: f64) -> f64 {
+    assert!(lambda_l > 0.0, "lambda*L must be positive");
+    // f(0)·L = λL / (1 - e^{-λL}) ≥ 1; deviation is that minus 1.
+    lambda_l / one_minus_exp_neg(lambda_l) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_numeric::quad::integrate;
+
+    #[test]
+    fn density_integrates_to_one() {
+        for &(lambda, l) in &[(0.5, 4.0), (2.0, 1.0), (1e-6, 1000.0)] {
+            let total =
+                integrate(|x| phase_density(lambda, x, l), 0.0, l * (1.0 - 1e-12), 1e-12)
+                    .unwrap();
+            assert!((total - 1.0).abs() < 1e-8, "λ={lambda}, L={l}: {total}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_density_integral() {
+        let (lambda, l) = (0.7, 3.0);
+        for i in 1..10 {
+            let x = l * f64::from(i) / 10.0;
+            let by_quad = integrate(|t| phase_density(lambda, t, l), 0.0, x, 1e-12).unwrap();
+            assert!((phase_cdf(lambda, x, l) - by_quad).abs() < 1e-10);
+        }
+        assert_eq!(phase_cdf(lambda, 0.0, l), 0.0);
+        assert!((phase_cdf(lambda, l, l) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn converges_to_uniform_as_lambda_l_vanishes() {
+        // Theorem 1: for L·λ → 0, f(x) → 1/L everywhere.
+        let l = 100.0;
+        for &lambda in &[1e-10, 1e-12, 1e-14] {
+            for i in 0..10 {
+                let x = l * f64::from(i) / 10.0;
+                let f = phase_density(lambda, x, l);
+                assert!((f * l - 1.0).abs() < 1e-8, "λ={lambda}, x={x}: f·L = {}", f * l);
+            }
+        }
+    }
+
+    #[test]
+    fn deviates_from_uniform_for_large_lambda_l() {
+        // The counter-regime: λL = 3 means early cycles are ~3x likelier.
+        let (lambda, l) = (3.0, 1.0);
+        let early = phase_density(lambda, 0.0, l);
+        let late = phase_density(lambda, 0.999, l);
+        assert!(early / late > 15.0);
+    }
+
+    #[test]
+    fn sample_phase_inverts_cdf() {
+        let (lambda, l) = (0.9, 5.0);
+        for &u in &[0.0, 0.1, 0.5, 0.9, 0.999] {
+            let x = sample_phase(lambda, l, u);
+            assert!((0.0..l).contains(&x));
+            assert!((phase_cdf(lambda, x, l) - u).abs() < 1e-12, "u={u}");
+        }
+    }
+
+    #[test]
+    fn sample_phase_stable_for_tiny_lambda_l() {
+        // λL = 1e-15: phases must still spread across [0, L), not collapse.
+        let (lambda, l) = (1e-18, 1e3);
+        let lo = sample_phase(lambda, l, 0.1);
+        let mid = sample_phase(lambda, l, 0.5);
+        let hi = sample_phase(lambda, l, 0.9);
+        assert!((lo / l - 0.1).abs() < 1e-6);
+        assert!((mid / l - 0.5).abs() < 1e-6);
+        assert!((hi / l - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniformity_deviation_small_lambda_l_linear() {
+        // deviation ≈ λL/2 for small λL.
+        for &ll in &[1e-3, 1e-5, 1e-7] {
+            let d = uniformity_deviation(ll);
+            assert!((d / (ll / 2.0) - 1.0).abs() < 0.01, "λL={ll}: {d}");
+        }
+    }
+
+    #[test]
+    fn uniformity_deviation_monotone() {
+        let mut prev = 0.0;
+        for i in 1..40 {
+            let d = uniformity_deviation(f64::from(i) * 0.25);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+}

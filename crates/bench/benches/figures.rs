@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the figure/table regeneration paths — one per
+//! paper artifact, at reduced parameters so the benches stay snappy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serr_analytic::fig::{fig3_series, fig4_series};
+use serr_core::experiments::{fig5, fig6b, sec5_1, sec5_4, ExperimentConfig};
+use serr_core::prelude::Workload;
+use serr_mc::MonteCarloConfig;
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        sim_instructions: 20_000,
+        seed: 42,
+        mc: MonteCarloConfig { trials: 5_000, threads: 1, ..Default::default() },
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_analytic", |b| b.iter(|| fig3_series(16)));
+    g.bench_function("fig4_numeric", |b| b.iter(|| fig4_series(32).unwrap()));
+
+    let cfg = tiny_cfg();
+    // Warm the benchmark-simulation cache so per-iteration cost reflects the
+    // estimation path the figures actually sweep.
+    sec5_1(&["gzip"], &cfg).unwrap();
+    g.bench_function("sec5_1_one_benchmark", |b| b.iter(|| sec5_1(&["gzip"], &cfg).unwrap()));
+    g.bench_function("fig5_day_three_points", |b| {
+        b.iter(|| fig5(&[Workload::Day], &[1e7, 1e9, 1e12], &cfg).unwrap())
+    });
+    g.bench_function("fig6b_day_two_points", |b| {
+        b.iter(|| fig6b(&[Workload::Day], &[2, 5_000], &[1e8], &cfg).unwrap())
+    });
+    g.bench_function("sec5_4_week_point", |b| {
+        b.iter(|| sec5_4(&[Workload::Week], &[5_000], &[1e8], &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the timing-simulator substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serr_sim::{SimConfig, Simulator};
+use serr_workload::{BenchmarkProfile, TraceGenerator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for name in ["gzip", "mcf", "swim"] {
+        let n = 50_000u64;
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("instructions", name), &name, |b, &name| {
+            let profile = BenchmarkProfile::by_name(name).unwrap();
+            let sim = Simulator::new(SimConfig::power4());
+            b.iter(|| sim.run(TraceGenerator::new(profile.clone(), 42), n).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generator");
+    let n = 100_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("gcc_100k", |b| {
+        let profile = BenchmarkProfile::by_name("gcc").unwrap();
+        b.iter(|| TraceGenerator::new(profile.clone(), 7).take(n).count());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_generator);
+criterion_main!(benches);

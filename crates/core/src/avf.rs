@@ -1,0 +1,100 @@
+//! The AVF step (paper Section 2.2, Equation 1).
+
+use serr_trace::VulnerabilityTrace;
+use serr_types::{FailureRate, Mttf, RawErrorRate, SerrError};
+
+/// The AVF step's failure-rate estimate for a component:
+/// `FailureRate_c = λ_c · AVF_c`.
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] for a zero raw rate.
+pub fn avf_step_failure_rate(
+    trace: &dyn VulnerabilityTrace,
+    rate: RawErrorRate,
+) -> Result<FailureRate, SerrError> {
+    if rate.is_zero() {
+        return Err(SerrError::invalid_config("raw error rate is zero"));
+    }
+    Ok(FailureRate::from_avf(rate, trace.avf()))
+}
+
+/// The AVF step's MTTF estimate (paper Equation 1):
+/// `MTTF_c = 1 / (λ_c · AVF_c)`.
+///
+/// This is the quantity whose validity the paper examines: it assumes every
+/// point of the program is equally likely to receive the next raw error,
+/// which Theorem 1 shows holds only as `L·λ → 0`.
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] for a zero rate and
+/// [`SerrError::InvalidTrace`] for an AVF-0 trace (infinite MTTF).
+///
+/// ```
+/// use serr_core::avf::avf_step_mttf;
+/// use serr_trace::IntervalTrace;
+/// use serr_types::RawErrorRate;
+///
+/// let trace = IntervalTrace::busy_idle(1, 3).unwrap(); // AVF 0.25
+/// let mttf = avf_step_mttf(&trace, RawErrorRate::per_year(2.0)).unwrap();
+/// assert!((mttf.as_years() - 2.0).abs() < 1e-12);
+/// ```
+pub fn avf_step_mttf(
+    trace: &dyn VulnerabilityTrace,
+    rate: RawErrorRate,
+) -> Result<Mttf, SerrError> {
+    let fr = avf_step_failure_rate(trace, rate)?;
+    if fr.is_zero() {
+        return Err(SerrError::invalid_trace("AVF is 0; the AVF-step MTTF is infinite"));
+    }
+    Ok(fr.to_mttf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_trace::IntervalTrace;
+
+    #[test]
+    fn equation_one() {
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let mttf = avf_step_mttf(&trace, rate).unwrap();
+        assert!((mttf.as_years() - 1.0 / (5.0 * 0.3)).abs() < 1e-12);
+        let fr = avf_step_failure_rate(&trace, rate).unwrap();
+        assert!((fr.events_per_year() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_vulnerability_averages() {
+        let trace = IntervalTrace::from_levels(&[1.0, 0.5, 0.0, 0.5]).unwrap();
+        let mttf = avf_step_mttf(&trace, RawErrorRate::per_year(2.0)).unwrap();
+        assert!((mttf.as_years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let dead = IntervalTrace::constant(10, 0.0).unwrap();
+        let live = IntervalTrace::constant(10, 1.0).unwrap();
+        assert!(avf_step_mttf(&dead, RawErrorRate::per_year(1.0)).is_err());
+        assert!(avf_step_mttf(&live, RawErrorRate::ZERO).is_err());
+    }
+
+    #[test]
+    fn avf_step_is_workload_order_blind() {
+        // The AVF step cannot distinguish these two programs — that
+        // blindness is exactly what the paper interrogates.
+        let busy_first = IntervalTrace::busy_idle(50, 50).unwrap();
+        let busy_last = IntervalTrace::from_segments(vec![
+            serr_trace::Segment::new(50, 0.0).unwrap(),
+            serr_trace::Segment::new(50, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let rate = RawErrorRate::per_year(3.0);
+        assert_eq!(
+            avf_step_mttf(&busy_first, rate).unwrap(),
+            avf_step_mttf(&busy_last, rate).unwrap()
+        );
+    }
+}

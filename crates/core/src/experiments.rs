@@ -1,0 +1,507 @@
+//! Generators for every experimental table and figure in the paper's
+//! evaluation (Sections 5.1–5.4). Each function returns the rows the paper
+//! plots; the `serr-bench` binaries print them.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use serr_mc::MonteCarloConfig;
+use serr_trace::{ConcatTrace, VulnerabilityTrace};
+use serr_types::{Frequency, RawErrorRate, Seconds, SerrError};
+use serr_workload::synthesized;
+
+use crate::design::Workload;
+use crate::pipeline::{processor_trace, simulate_benchmark};
+use crate::rates::UnitRates;
+use crate::validate::Validator;
+
+/// The three representative SPEC benchmarks used for Figure 6(a): one
+/// compute-bound integer, one memory-bound integer, and one floating-point
+/// program with pronounced compute/memory phases.
+pub const REPRESENTATIVE_BENCHMARKS: [&str; 3] = ["gzip", "mcf", "equake"];
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Instructions of detailed simulation per benchmark. The paper uses
+    /// 100M; masking statistics converge far earlier for the synthetic
+    /// workloads (see DESIGN.md substitution 3).
+    pub sim_instructions: u64,
+    /// Workload-generator / simulation seed.
+    pub seed: u64,
+    /// Monte Carlo configuration.
+    pub mc: MonteCarloConfig,
+    /// Machine clock.
+    pub frequency: Frequency,
+}
+
+impl ExperimentConfig {
+    /// Fast settings for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            sim_instructions: 60_000,
+            seed: 42,
+            mc: MonteCarloConfig { trials: 20_000, ..Default::default() },
+            frequency: Frequency::base(),
+        }
+    }
+
+    /// Full settings for the reproduction runs reported in EXPERIMENTS.md.
+    #[must_use]
+    pub fn full() -> Self {
+        ExperimentConfig {
+            sim_instructions: 1_000_000,
+            seed: 42,
+            mc: MonteCarloConfig { trials: 200_000, ..Default::default() },
+            frequency: Frequency::base(),
+        }
+    }
+
+    /// Paper-scale trace lengths: 8M instructions of detailed simulation
+    /// per benchmark (the paper uses 100M). At this length the SPEC
+    /// program-phase windows are long enough for the Figure 6(a) corner
+    /// discrepancies to appear; unit traces are transparently coarsened to
+    /// keep queries fast (AVF preserved exactly).
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        ExperimentConfig { sim_instructions: 8_000_000, ..Self::full() }
+    }
+
+    fn validator(&self) -> Validator {
+        Validator::new(self.frequency, self.mc)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::full()
+    }
+}
+
+/// Builds a synthesized workload's component-level masking trace.
+///
+/// For `day`/`week` these are the paper's duty-cycle loops; `combined`
+/// tiles two simulated benchmarks (gzip, swim) for 12 hours each.
+///
+/// # Errors
+///
+/// Propagates simulation/trace construction errors.
+pub fn synthesized_trace(
+    workload: Workload,
+    cfg: &ExperimentConfig,
+) -> Result<Arc<dyn VulnerabilityTrace>, SerrError> {
+    match workload {
+        Workload::Day => Ok(Arc::new(synthesized::day(cfg.frequency))),
+        Workload::Week => Ok(Arc::new(synthesized::week(cfg.frequency))),
+        Workload::Combined => Ok(Arc::new(combined_trace(cfg)?)),
+        Workload::SpecInt | Workload::SpecFp => Err(SerrError::invalid_config(
+            "SPEC workloads use per-benchmark traces; call spec_processor_trace",
+        )),
+    }
+}
+
+/// The `combined` workload: gzip then swim, 12 simulated hours each.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn combined_trace(cfg: &ExperimentConfig) -> Result<ConcatTrace, SerrError> {
+    let rates = UnitRates::paper();
+    let a = simulate_benchmark("gzip", cfg.sim_instructions, cfg.seed)?;
+    let b = simulate_benchmark("swim", cfg.sim_instructions, cfg.seed)?;
+    synthesized::combined(
+        Arc::new(processor_trace(&a, &rates)?),
+        Arc::new(processor_trace(&b, &rates)?),
+        cfg.frequency,
+    )
+}
+
+/// The processor-level masking trace of one SPEC benchmark.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn spec_processor_trace(
+    benchmark: &str,
+    cfg: &ExperimentConfig,
+) -> Result<Arc<dyn VulnerabilityTrace>, SerrError> {
+    let run = simulate_benchmark(benchmark, cfg.sim_instructions, cfg.seed)?;
+    let cycles = run.output.stats.cycles;
+    // Long simulations produce multi-million-segment unit traces; aggregate
+    // to ≤ ~2¹⁷ windows (AVF exact, cumulative drift ≤ one window — far
+    // below the cycle scales any Table 2 rate can resolve).
+    if cycles > 16_777_216 {
+        let window = cycles / 131_072;
+        let rates = UnitRates::paper();
+        let t = &run.output.traces;
+        let parts: Vec<(f64, Arc<dyn VulnerabilityTrace>)> = vec![
+            (rates.int_unit.per_second_value(), Arc::new(t.int_unit.coarsen(window)?) as _),
+            (rates.fp_unit.per_second_value(), Arc::new(t.fp_unit.coarsen(window)?) as _),
+            (rates.decode.per_second_value(), Arc::new(t.decode.coarsen(window)?) as _),
+        ];
+        return Ok(Arc::new(serr_trace::CompositeTrace::new(parts)?));
+    }
+    Ok(Arc::new(processor_trace(&run, &UnitRates::paper())?))
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.1: today's uniprocessors running SPEC.
+// ---------------------------------------------------------------------------
+
+/// One benchmark's row of the Section 5.1 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sec51Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Per-component `(name, AVF, AVF-step error vs Monte Carlo)`.
+    pub components: Vec<(String, f64, f64)>,
+    /// Worst per-component AVF-step error.
+    pub max_component_error: f64,
+    /// Worst per-component AVF-step error vs the exact renewal reference
+    /// (free of Monte-Carlo sampling noise).
+    pub max_component_error_exact: f64,
+    /// Processor-level SOFR error vs Monte Carlo.
+    pub sofr_error: f64,
+    /// Processor-level SOFR error vs the exact renewal reference.
+    pub sofr_error_exact: f64,
+    /// Simulated IPC (sanity signal for the substrate).
+    pub ipc: f64,
+}
+
+/// Reproduces Section 5.1: for each benchmark, the AVF step per component
+/// and the SOFR step across the four components of one processor, all
+/// versus Monte Carlo. The paper reports "< 0.5% discrepancy for all cases".
+///
+/// # Errors
+///
+/// Propagates pipeline and estimator errors.
+pub fn sec5_1(benchmarks: &[&str], cfg: &ExperimentConfig) -> Result<Vec<Sec51Row>, SerrError> {
+    let rates = UnitRates::paper();
+    let v = cfg.validator();
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    for &name in benchmarks {
+        let run = simulate_benchmark(name, cfg.sim_instructions, cfg.seed)?;
+        let t = &run.output.traces;
+        let units: [(&str, RawErrorRate, Arc<dyn VulnerabilityTrace>); 4] = [
+            ("int", rates.int_unit, Arc::new(t.int_unit.clone())),
+            ("fp", rates.fp_unit, Arc::new(t.fp_unit.clone())),
+            ("decode", rates.decode, Arc::new(t.decode.clone())),
+            ("regfile", rates.regfile, Arc::new(t.regfile.clone())),
+        ];
+        let mut components = Vec::new();
+        let mut max_err = 0.0f64;
+        let mut max_err_exact = 0.0f64;
+        for (unit, rate, trace) in &units {
+            if trace.is_never_vulnerable() {
+                // FP units on integer benchmarks never fail; the AVF step
+                // and the first-principles methods agree trivially.
+                components.push(((*unit).to_owned(), 0.0, 0.0));
+                continue;
+            }
+            let cv = v.component(trace, *rate)?;
+            components.push(((*unit).to_owned(), cv.avf, cv.avf_error_vs_mc));
+            max_err = max_err.max(cv.avf_error_vs_mc);
+            max_err_exact = max_err_exact.max(cv.avf_error_vs_renewal);
+        }
+        let parts: Vec<(RawErrorRate, Arc<dyn VulnerabilityTrace>)> =
+            units.iter().map(|(_, r, t)| (*r, t.clone())).collect();
+        let sv = v.system_parts(&parts)?;
+        rows.push(Sec51Row {
+            benchmark: name.to_owned(),
+            components,
+            max_component_error: max_err,
+            max_component_error_exact: max_err_exact,
+            sofr_error: sv.sofr_error_vs_mc,
+            sofr_error_exact: sv.sofr_error_vs_renewal,
+            ipc: run.output.stats.ipc(),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: the AVF step across the broad design space.
+// ---------------------------------------------------------------------------
+
+/// One point of Figure 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Workload label.
+    pub workload: String,
+    /// The `N × S` product.
+    pub n_times_s: f64,
+    /// The component's AVF.
+    pub avf: f64,
+    /// AVF-step MTTF in years.
+    pub mttf_avf_years: f64,
+    /// Monte Carlo MTTF in years.
+    pub mttf_mc_years: f64,
+    /// AVF-step error vs Monte Carlo.
+    pub error: f64,
+    /// SoftArch error vs Monte Carlo at the same point (Section 5.4 data).
+    pub softarch_error: f64,
+}
+
+/// Reproduces Figure 5: AVF-step error for the synthesized workloads at
+/// representative `N×S` values (C = 1 throughout).
+///
+/// # Errors
+///
+/// Propagates pipeline and estimator errors.
+pub fn fig5(
+    workloads: &[Workload],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Fig5Row>, SerrError> {
+    let v = cfg.validator();
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let trace = synthesized_trace(w, cfg)?;
+        for &prod in n_times_s {
+            let rate = RawErrorRate::baseline_per_bit().scale(prod);
+            let cv = v.component(&trace, rate)?;
+            rows.push(Fig5Row {
+                workload: w.label().to_owned(),
+                n_times_s: prod,
+                avf: cv.avf,
+                mttf_avf_years: cv.mttf_avf.as_years(),
+                mttf_mc_years: cv.mttf_mc.mttf.as_years(),
+                error: cv.avf_error_vs_mc,
+                softarch_error: cv.softarch_error_vs_mc,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: the SOFR step across the broad design space.
+// ---------------------------------------------------------------------------
+
+/// One point of Figure 6 (either panel).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Workload or benchmark label.
+    pub workload: String,
+    /// Number of components (processors).
+    pub c: u64,
+    /// The `N × S` product per component.
+    pub n_times_s: f64,
+    /// SOFR-step system MTTF in years.
+    pub mttf_sofr_years: f64,
+    /// Monte Carlo system MTTF in years.
+    pub mttf_mc_years: f64,
+    /// SOFR-step error vs Monte Carlo.
+    pub error: f64,
+    /// SoftArch error vs Monte Carlo at the same point.
+    pub softarch_error: f64,
+}
+
+/// Reproduces Figure 6(a): SOFR error for clusters of processors running
+/// SPEC benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline and estimator errors.
+pub fn fig6a(
+    benchmarks: &[&str],
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Fig6Row>, SerrError> {
+    let mut rows = Vec::new();
+    for &name in benchmarks {
+        let trace = spec_processor_trace(name, cfg)?;
+        rows.extend(fig6_points(name, &trace, c_values, n_times_s, cfg)?);
+    }
+    Ok(rows)
+}
+
+/// Reproduces Figure 6(b): SOFR error for clusters running the synthesized
+/// workloads.
+///
+/// # Errors
+///
+/// Propagates pipeline and estimator errors.
+pub fn fig6b(
+    workloads: &[Workload],
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Fig6Row>, SerrError> {
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let trace = synthesized_trace(w, cfg)?;
+        rows.extend(fig6_points(w.label(), &trace, c_values, n_times_s, cfg)?);
+    }
+    Ok(rows)
+}
+
+fn fig6_points(
+    label: &str,
+    trace: &Arc<dyn VulnerabilityTrace>,
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Fig6Row>, SerrError> {
+    let v = cfg.validator();
+    let mut rows = Vec::new();
+    for &c in c_values {
+        for &prod in n_times_s {
+            let rate = RawErrorRate::baseline_per_bit().scale(prod);
+            let sv = v.system_identical(trace.clone(), rate, c)?;
+            rows.push(Fig6Row {
+                workload: label.to_owned(),
+                c,
+                n_times_s: prod,
+                mttf_sofr_years: sv.mttf_sofr.as_years(),
+                mttf_mc_years: sv.mttf_mc.mttf.as_years(),
+                error: sv.sofr_error_vs_mc,
+                softarch_error: sv.softarch_error_vs_mc,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.4: SoftArch across the design space.
+// ---------------------------------------------------------------------------
+
+/// One point of the Section 5.4 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sec54Row {
+    /// Workload label.
+    pub workload: String,
+    /// Number of components.
+    pub c: u64,
+    /// The `N × S` product per component.
+    pub n_times_s: f64,
+    /// SoftArch error vs Monte Carlo.
+    pub softarch_error: f64,
+    /// SoftArch error vs the exact renewal answer (noise-free reference).
+    pub softarch_error_vs_renewal: f64,
+}
+
+/// Reproduces Section 5.4: SoftArch versus Monte Carlo over the design
+/// space. The paper reports "< 1% for a single component and less than 2%
+/// for the full system".
+///
+/// # Errors
+///
+/// Propagates pipeline and estimator errors.
+pub fn sec5_4(
+    workloads: &[Workload],
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Sec54Row>, SerrError> {
+    let v = cfg.validator();
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let trace = synthesized_trace(w, cfg)?;
+        for &c in c_values {
+            for &prod in n_times_s {
+                let rate = RawErrorRate::baseline_per_bit().scale(prod);
+                let sv = v.system_identical(trace.clone(), rate, c)?;
+                rows.push(Sec54Row {
+                    workload: w.label().to_owned(),
+                    c,
+                    n_times_s: prod,
+                    softarch_error: sv.softarch_error_vs_mc,
+                    softarch_error_vs_renewal: serr_types::relative_error(
+                        sv.mttf_softarch.as_secs(),
+                        sv.mttf_renewal.as_secs(),
+                    ),
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Helper: the length of one iteration of a workload's trace in wall-clock
+/// time, for reports.
+#[must_use]
+pub fn trace_period(trace: &dyn VulnerabilityTrace, freq: Frequency) -> Seconds {
+    Seconds::new(trace.period_cycles() as f64 / freq.hz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick();
+        c.sim_instructions = 30_000;
+        c.mc.trials = 15_000;
+        c
+    }
+
+    #[test]
+    fn sec5_1_matches_paper_for_one_benchmark() {
+        let rows = sec5_1(&["gzip"], &cfg()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        // Paper: < 0.5% everywhere. MC noise at 15k trials is ~1.6% (95%),
+        // so allow 3%; the renewal-referenced error in validate.rs tests
+        // pins the methodology itself much tighter.
+        assert!(row.max_component_error < 0.03, "{row:?}");
+        assert!(row.sofr_error < 0.03, "{row:?}");
+        assert!(row.ipc > 0.1);
+        assert_eq!(row.components.len(), 4);
+    }
+
+    #[test]
+    fn fig5_day_shows_error_growth_with_n_s() {
+        let rows =
+            fig5(&[Workload::Day], &[1e7, 1e11, 1e13], &cfg()).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Small N×S: valid regime. Large N×S: the paper's up-to-90% regime.
+        assert!(rows[0].error < 0.05, "small N×S: {}", rows[0].error);
+        assert!(rows[2].error > 0.3, "large N×S: {}", rows[2].error);
+        // SoftArch stays accurate everywhere (within MC noise).
+        for r in &rows {
+            assert!(r.softarch_error < 0.05, "{r:?}");
+        }
+        assert!((rows[0].avf - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6b_day_shows_error_growth_with_c() {
+        let rows = fig6b(&[Workload::Day], &[2, 5_000], &[1e8], &cfg()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].error < 0.05, "C=2: {}", rows[0].error);
+        // The paper reports ~11% at (N×S = 1e8, C = 5000); under this
+        // workspace's start-at-busy-phase convention the discrepancy at the
+        // same crossover point is much larger (~100%) — the crossover
+        // location matches, the steepness depends on the (unstated) trial
+        // start-phase convention. See EXPERIMENTS.md.
+        assert!(rows[1].error > 0.3, "C=5000: {}", rows[1].error);
+    }
+
+    #[test]
+    fn sec5_4_softarch_accurate_in_avf_breaking_regime() {
+        let rows = sec5_4(&[Workload::Week], &[5_000], &[1e8], &cfg()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].softarch_error_vs_renewal < 1e-5, "{:?}", rows[0]);
+        assert!(rows[0].softarch_error < 0.05, "{:?}", rows[0]);
+    }
+
+    #[test]
+    fn synthesized_traces_have_paper_periods() {
+        let c = cfg();
+        let day = synthesized_trace(Workload::Day, &c).unwrap();
+        assert_eq!(
+            trace_period(&day, c.frequency).as_hours().round() as u64,
+            24
+        );
+        let week = synthesized_trace(Workload::Week, &c).unwrap();
+        assert_eq!(trace_period(&week, c.frequency).as_days().round() as u64, 7);
+        assert!(matches!(
+            synthesized_trace(Workload::SpecInt, &c),
+            Err(SerrError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,284 @@
+//! The SPEC simulation pipeline: benchmark name → timing simulation →
+//! masking traces → processor-level composite trace.
+//!
+//! Detailed simulation is the expensive stage of the paper's methodology,
+//! so runs are memoized at two levels: per `(benchmark, instructions,
+//! seed)` within the process, and — for the masking traces, which are all
+//! downstream estimation needs — in an on-disk cache under
+//! `target/serr-trace-cache/` shared by every binary of the workspace.
+//! Set `SERR_TRACE_CACHE=off` to disable the disk layer (e.g. after
+//! changing the simulator) or point it at another directory.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serr_sim::{ProcessorMaskingTraces, SimConfig, SimOutput, SimStats, Simulator};
+use serr_trace::{decode_interval_trace, encode_interval_trace, CompositeTrace, VulnerabilityTrace};
+use serr_types::SerrError;
+use serr_workload::{BenchmarkProfile, TraceGenerator};
+
+use crate::rates::UnitRates;
+
+/// Bump when generator or trace-format changes invalidate cached traces
+/// (machine-configuration changes are covered by the config fingerprint).
+const CACHE_VERSION: u32 = 3;
+
+/// FNV-1a over the machine configuration's debug rendering: any change to
+/// the simulated machine silently invalidates old cache entries.
+fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn cache_dir() -> Option<PathBuf> {
+    match std::env::var("SERR_TRACE_CACHE") {
+        Ok(v) if v == "off" => None,
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => Some(PathBuf::from("target/serr-trace-cache")),
+    }
+}
+
+fn cache_path(name: &str, instructions: u64, seed: u64, cfg: &SimConfig) -> Option<PathBuf> {
+    let fp = config_fingerprint(cfg);
+    cache_dir()
+        .map(|d| d.join(format!("v{CACHE_VERSION}-{fp:016x}-{name}-{instructions}-{seed}.bin")))
+}
+
+/// On-disk format: a fixed-width stats header followed by the four traces
+/// in the `serr-trace` binary codec.
+fn encode_stats(s: &SimStats) -> [u8; 72] {
+    let mut out = [0u8; 72];
+    let fields = [
+        s.cycles as f64,
+        s.instructions as f64,
+        s.l1i_miss_rate,
+        s.l1d_miss_rate,
+        s.l2_miss_rate,
+        s.dtlb_miss_rate,
+        s.branch_mispredicts as f64,
+        s.dispatch_stall_cycles as f64,
+        s.l1d_writebacks as f64,
+    ];
+    for (i, f) in fields.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&f.to_le_bytes());
+    }
+    out
+}
+
+fn decode_stats(b: &[u8]) -> Option<SimStats> {
+    if b.len() != 72 {
+        return None;
+    }
+    let f = |i: usize| f64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().ok().unwrap());
+    Some(SimStats {
+        cycles: f(0) as u64,
+        instructions: f(1) as u64,
+        l1i_miss_rate: f(2),
+        l1d_miss_rate: f(3),
+        l2_miss_rate: f(4),
+        dtlb_miss_rate: f(5),
+        branch_mispredicts: f(6) as u64,
+        dispatch_stall_cycles: f(7) as u64,
+        l1d_writebacks: f(8) as u64,
+    })
+}
+
+fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut buf = Vec::new();
+    let stats = encode_stats(&out.stats);
+    buf.extend_from_slice(&(stats.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&stats);
+    for t in [
+        &out.traces.int_unit,
+        &out.traces.fp_unit,
+        &out.traces.decode,
+        &out.traces.regfile,
+    ] {
+        let enc = encode_interval_trace(t);
+        buf.extend_from_slice(&(enc.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&enc);
+    }
+    // Atomic-ish: write then rename, so a concurrent reader never sees a
+    // torn file.
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn load(path: &PathBuf) -> Option<SimOutput> {
+    let data = std::fs::read(path).ok()?;
+    let mut off = 0usize;
+    let take_len = |data: &[u8], off: &mut usize| -> Option<usize> {
+        let n = u64::from_le_bytes(data.get(*off..*off + 8)?.try_into().ok()?) as usize;
+        *off += 8;
+        Some(n)
+    };
+    let n = take_len(&data, &mut off)?;
+    let stats = decode_stats(data.get(off..off + n)?)?;
+    off += n;
+    let mut traces = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let n = take_len(&data, &mut off)?;
+        traces.push(decode_interval_trace(data.get(off..off + n)?).ok()?);
+        off += n;
+    }
+    let regfile = traces.pop()?;
+    let decode = traces.pop()?;
+    let fp_unit = traces.pop()?;
+    let int_unit = traces.pop()?;
+    Some(SimOutput {
+        stats,
+        traces: ProcessorMaskingTraces { int_unit, fp_unit, decode, regfile },
+    })
+}
+
+/// A memoized benchmark simulation.
+#[derive(Debug)]
+pub struct BenchmarkRun {
+    /// The SPEC program name.
+    pub name: String,
+    /// Simulation statistics and the four unit masking traces.
+    pub output: SimOutput,
+}
+
+type Cache = Mutex<HashMap<(String, u64, u64), Arc<BenchmarkRun>>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Simulates `instructions` instructions of the named benchmark on the
+/// paper's base machine (memoized).
+///
+/// # Errors
+///
+/// Returns [`SerrError::UnknownWorkload`] for an unknown benchmark name and
+/// propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the global cache mutex is poisoned (a prior panic in this
+/// function).
+pub fn simulate_benchmark(
+    name: &str,
+    instructions: u64,
+    seed: u64,
+) -> Result<Arc<BenchmarkRun>, SerrError> {
+    let key = (name.to_owned(), instructions, seed);
+    if let Some(hit) = cache().lock().expect("cache lock").get(&key) {
+        return Ok(hit.clone());
+    }
+    let machine = SimConfig::power4();
+    let disk = cache_path(name, instructions, seed, &machine);
+    if let Some(output) = disk.as_ref().and_then(load) {
+        let run = Arc::new(BenchmarkRun { name: name.to_owned(), output });
+        cache().lock().expect("cache lock").insert(key, run.clone());
+        return Ok(run);
+    }
+    let profile = BenchmarkProfile::by_name(name)?;
+    let sim = Simulator::new(machine);
+    let output = sim.run(TraceGenerator::new(profile, seed), instructions)?;
+    if let Some(path) = disk {
+        // Cache write failures are non-fatal (read-only checkouts, races).
+        let _ = store(&path, &output);
+    }
+    let run = Arc::new(BenchmarkRun { name: name.to_owned(), output });
+    cache().lock().expect("cache lock").insert(key, run.clone());
+    Ok(run)
+}
+
+/// Builds the processor-level masking trace for the cluster experiments:
+/// the three unit traces (integer, FP, decode) combined with weights
+/// proportional to their raw error rates, exactly as the paper applies
+/// them "to the corresponding units simultaneously to determine whether
+/// there is a processor-level failure" (Section 4.2).
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidTrace`] if the traces disagree on period
+/// (cannot happen for traces from one simulation).
+pub fn processor_trace(
+    run: &BenchmarkRun,
+    rates: &UnitRates,
+) -> Result<CompositeTrace, SerrError> {
+    let t = &run.output.traces;
+    let parts: Vec<(f64, Arc<dyn VulnerabilityTrace>)> = vec![
+        (rates.int_unit.per_second_value(), Arc::new(t.int_unit.clone()) as _),
+        (rates.fp_unit.per_second_value(), Arc::new(t.fp_unit.clone()) as _),
+        (rates.decode.per_second_value(), Arc::new(t.decode.clone()) as _),
+    ];
+    // FP-free integer benchmarks have an all-idle FP trace; the composite
+    // handles the zero-vulnerability part fine, but every weight must be
+    // positive, which the paper's rates guarantee.
+    CompositeTrace::new(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_same_run() {
+        let a = simulate_benchmark("gzip", 5_000, 7).unwrap();
+        let b = simulate_benchmark("gzip", 5_000, 7).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = simulate_benchmark("gzip", 5_000, 8).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        assert!(matches!(
+            simulate_benchmark("quake3", 1_000, 0),
+            Err(SerrError::UnknownWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn disk_cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("serr-cache-test-{}", std::process::id()));
+        let path = dir.join("probe.bin");
+        let run = simulate_benchmark("vpr", 6_000, 3).unwrap();
+        store(&path, &run.output).unwrap();
+        let loaded = load(&path).expect("cache readable");
+        assert_eq!(loaded.stats, run.output.stats);
+        assert_eq!(loaded.traces.int_unit, run.output.traces.int_unit);
+        assert_eq!(loaded.traces.regfile, run.output.traces.regfile);
+        // Corrupt file: load degrades to None, not a panic.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(load(&path).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_machine_changes() {
+        let base = SimConfig::power4();
+        let mut tweaked = SimConfig::power4();
+        tweaked.mshrs += 1;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&tweaked));
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&SimConfig::power4()));
+        let (a, b) = (
+            cache_path("gzip", 1000, 1, &base).unwrap(),
+            cache_path("gzip", 1000, 1, &tweaked).unwrap(),
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn processor_trace_spans_simulation() {
+        let run = simulate_benchmark("swim", 10_000, 1).unwrap();
+        let proc = processor_trace(&run, &UnitRates::paper()).unwrap();
+        assert_eq!(proc.period_cycles(), run.output.stats.cycles);
+        let avf = proc.avf();
+        assert!(avf > 0.0 && avf <= 1.0, "avf {avf}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The SOFR step (paper Section 2.3, Equations 2–3).
+
+use serr_types::{FailureRate, Mttf, SerrError};
+
+/// Sums component failure rates into a system failure rate (Equation 2).
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] if no components are given.
+pub fn sofr_failure_rate(
+    components: impl IntoIterator<Item = FailureRate>,
+) -> Result<FailureRate, SerrError> {
+    let mut any = false;
+    let mut total = FailureRate::ZERO;
+    for fr in components {
+        total = total + fr;
+        any = true;
+    }
+    if !any {
+        return Err(SerrError::invalid_config("SOFR requires at least one component"));
+    }
+    Ok(total)
+}
+
+/// The SOFR system MTTF (Equations 2–3):
+/// `MTTF_sys = 1 / Σᵢ (1/MTTFᵢ)`.
+///
+/// Assumes each component's time to failure is exponentially distributed
+/// with constant rate `1/MTTFᵢ` and that the first component failure fails
+/// the (series) system — the assumptions whose limits the paper maps.
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] if no components are given.
+///
+/// ```
+/// use serr_core::sofr::sofr_mttf;
+/// use serr_types::Mttf;
+///
+/// let sys = sofr_mttf([Mttf::from_years(2.0), Mttf::from_years(2.0)]).unwrap();
+/// assert!((sys.as_years() - 1.0).abs() < 1e-12);
+/// ```
+pub fn sofr_mttf(components: impl IntoIterator<Item = Mttf>) -> Result<Mttf, SerrError> {
+    let total = sofr_failure_rate(components.into_iter().map(Mttf::to_failure_rate))?;
+    Ok(total.to_mttf())
+}
+
+/// SOFR for `count` identical components: `MTTF_sys = MTTF_c / count`.
+///
+/// This is how the paper's cluster experiments apply the step (Section 5.3:
+/// "a cluster of 5,000 processors").
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] if `count` is zero.
+pub fn sofr_mttf_identical(component: Mttf, count: u64) -> Result<Mttf, SerrError> {
+    if count == 0 {
+        return Err(SerrError::invalid_config("system must have at least one component"));
+    }
+    Ok(Mttf::from_secs(component.as_secs() / count as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_sum() {
+        // 1/(1/2 + 1/3 + 1/6) = 1
+        let sys = sofr_mttf([
+            Mttf::from_years(2.0),
+            Mttf::from_years(3.0),
+            Mttf::from_years(6.0),
+        ])
+        .unwrap();
+        assert!((sys.as_years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_components_divide() {
+        let sys = sofr_mttf_identical(Mttf::from_years(5000.0), 5000).unwrap();
+        assert!((sys.as_years() - 1.0).abs() < 1e-12);
+        // Agrees with the general form.
+        let general =
+            sofr_mttf(std::iter::repeat_n(Mttf::from_years(5000.0), 5000)).unwrap();
+        assert!((general.as_years() - sys.as_years()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_component_is_identity() {
+        let m = Mttf::from_years(7.5);
+        let sys = sofr_mttf([m]).unwrap();
+        assert!((sys.as_secs() - m.as_secs()).abs() / m.as_secs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_rejected() {
+        assert!(sofr_mttf(std::iter::empty::<Mttf>()).is_err());
+        assert!(sofr_failure_rate(std::iter::empty::<FailureRate>()).is_err());
+        assert!(sofr_mttf_identical(Mttf::from_years(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn system_is_weaker_than_weakest_component() {
+        let sys = sofr_mttf([Mttf::from_years(1.0), Mttf::from_years(100.0)]).unwrap();
+        assert!(sys.as_years() < 1.0);
+        assert!(sys.as_years() > 0.9);
+    }
+}

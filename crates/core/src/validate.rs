@@ -1,0 +1,320 @@
+//! The validation harness: AVF+SOFR against the assumption-free estimators.
+//!
+//! For every configuration the harness produces four MTTFs:
+//!
+//! * **AVF(+SOFR)** — the method under examination;
+//! * **Monte Carlo** — the paper's ground truth (Section 4.3);
+//! * **renewal** — this workspace's exact closed form for the same masking
+//!   model, used to separate genuine methodology error from MC sampling
+//!   noise;
+//! * **SoftArch** — the alternative first-principles estimator of
+//!   Section 5.4.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use serr_mc::system::SystemModel;
+use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+use serr_softarch::SoftArch;
+use serr_trace::VulnerabilityTrace;
+use serr_types::{relative_error, Frequency, Mttf, RawErrorRate, SerrError};
+
+use crate::{avf, sofr};
+
+/// Validation of the AVF step on a single component (the paper's
+/// Sections 5.1–5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentValidation {
+    /// The component's AVF.
+    pub avf: f64,
+    /// MTTF by the AVF step (Equation 1).
+    pub mttf_avf: Mttf,
+    /// MTTF by Monte Carlo (ground truth).
+    pub mttf_mc: MttfEstimate,
+    /// MTTF by exact renewal analysis.
+    pub mttf_renewal: Mttf,
+    /// MTTF by SoftArch.
+    pub mttf_softarch: Mttf,
+    /// `|AVF − MC| / MC` — the quantity in Figures 3 and 5.
+    pub avf_error_vs_mc: f64,
+    /// `|AVF − renewal| / renewal` — the same signal without MC noise.
+    pub avf_error_vs_renewal: f64,
+    /// `|SoftArch − MC| / MC` — the Section 5.4 check.
+    pub softarch_error_vs_mc: f64,
+}
+
+/// Validation of the SOFR step on a system of components (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemValidation {
+    /// Number of component instances in the system.
+    pub components: u64,
+    /// System MTTF by the SOFR step (component MTTFs from the exact
+    /// renewal method, so the reported error is *only* the SOFR step's —
+    /// mirroring the paper's use of Monte-Carlo component MTTFs).
+    pub mttf_sofr: Mttf,
+    /// System MTTF by Monte Carlo (ground truth).
+    pub mttf_mc: MttfEstimate,
+    /// System MTTF by exact renewal analysis.
+    pub mttf_renewal: Mttf,
+    /// System MTTF by SoftArch.
+    pub mttf_softarch: Mttf,
+    /// `|SOFR − MC| / MC` — the quantity in Figure 6.
+    pub sofr_error_vs_mc: f64,
+    /// `|SOFR − renewal| / renewal`.
+    pub sofr_error_vs_renewal: f64,
+    /// `|SoftArch − MC| / MC`.
+    pub softarch_error_vs_mc: f64,
+}
+
+/// Runs all four estimators over components and systems.
+#[derive(Debug, Clone)]
+pub struct Validator {
+    frequency: Frequency,
+    mc: MonteCarlo,
+}
+
+impl Validator {
+    /// Creates a validator for machines clocked at `frequency`, running
+    /// Monte Carlo with `config`.
+    #[must_use]
+    pub fn new(frequency: Frequency, config: MonteCarloConfig) -> Self {
+        Validator { frequency, mc: MonteCarlo::new(config) }
+    }
+
+    /// The Monte Carlo engine used.
+    #[must_use]
+    pub fn monte_carlo(&self) -> &MonteCarlo {
+        &self.mc
+    }
+
+    /// Validates the AVF step on one component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (zero rate, AVF-0 trace, MC
+    /// non-convergence).
+    pub fn component(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+    ) -> Result<ComponentValidation, SerrError> {
+        let mttf_avf = avf::avf_step_mttf(trace, rate)?;
+        let mttf_mc = self.mc.component_mttf(trace, rate, self.frequency)?;
+        let mttf_renewal =
+            serr_analytic::renewal::renewal_mttf(trace, rate, self.frequency)?;
+        let mttf_softarch =
+            SoftArch::new(self.frequency).component_mttf(trace, rate)?;
+        Ok(ComponentValidation {
+            avf: trace.avf(),
+            mttf_avf,
+            mttf_mc,
+            mttf_renewal,
+            mttf_softarch,
+            avf_error_vs_mc: relative_error(mttf_avf.as_secs(), mttf_mc.mttf.as_secs()),
+            avf_error_vs_renewal: relative_error(
+                mttf_avf.as_secs(),
+                mttf_renewal.as_secs(),
+            ),
+            softarch_error_vs_mc: relative_error(
+                mttf_softarch.as_secs(),
+                mttf_mc.mttf.as_secs(),
+            ),
+        })
+    }
+
+    /// Validates the SOFR step on a system of `c` identical, phase-aligned
+    /// components (the paper's cluster configuration: "all processors run
+    /// the same workload").
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn system_identical(
+        &self,
+        trace: Arc<dyn VulnerabilityTrace>,
+        component_rate: RawErrorRate,
+        c: u64,
+    ) -> Result<SystemValidation, SerrError> {
+        if c == 0 {
+            return Err(SerrError::invalid_config("system must have at least one component"));
+        }
+        // SOFR: component MTTF from the exact first-principles method,
+        // divided by C (Equations 2-3 for identical components).
+        let component_mttf =
+            serr_analytic::renewal::renewal_mttf(&trace, component_rate, self.frequency)?;
+        let mttf_sofr = sofr::sofr_mttf_identical(component_mttf, c)?;
+
+        // Ground truth: identical phase-aligned components superpose into a
+        // single process with C x the rate over the same trace.
+        let system_rate = component_rate.scale(c as f64);
+        let mttf_mc = self.mc.component_mttf(&trace, system_rate, self.frequency)?;
+        let mttf_renewal =
+            serr_analytic::renewal::renewal_mttf(&trace, system_rate, self.frequency)?;
+        let mttf_softarch =
+            SoftArch::new(self.frequency).component_mttf(&trace, system_rate)?;
+
+        Ok(SystemValidation {
+            components: c,
+            mttf_sofr,
+            mttf_mc,
+            mttf_renewal,
+            mttf_softarch,
+            sofr_error_vs_mc: relative_error(mttf_sofr.as_secs(), mttf_mc.mttf.as_secs()),
+            sofr_error_vs_renewal: relative_error(
+                mttf_sofr.as_secs(),
+                mttf_renewal.as_secs(),
+            ),
+            softarch_error_vs_mc: relative_error(
+                mttf_softarch.as_secs(),
+                mttf_mc.mttf.as_secs(),
+            ),
+        })
+    }
+
+    /// Validates the SOFR step on a heterogeneous system (e.g. the four
+    /// components of one processor in Section 5.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors; parts with AVF-0 traces contribute no
+    /// failure rate to SOFR and are skipped there (they cannot fail).
+    pub fn system_parts(
+        &self,
+        parts: &[(RawErrorRate, Arc<dyn VulnerabilityTrace>)],
+    ) -> Result<SystemValidation, SerrError> {
+        if parts.is_empty() {
+            return Err(SerrError::invalid_config("system must have at least one part"));
+        }
+        // SOFR over per-component renewal MTTFs (skipping never-failing parts).
+        let mut rates = Vec::new();
+        for (rate, trace) in parts {
+            if trace.is_never_vulnerable() {
+                continue;
+            }
+            let mttf =
+                serr_analytic::renewal::renewal_mttf(trace, *rate, self.frequency)?;
+            rates.push(mttf.to_failure_rate());
+        }
+        let mttf_sofr = sofr::sofr_failure_rate(rates)?.to_mttf();
+
+        // Ground truth on the superposed system.
+        let mut builder = SystemModel::builder(self.frequency);
+        for (i, (rate, trace)) in parts.iter().enumerate() {
+            builder.add(format!("part{i}"), *rate, trace.clone())?;
+        }
+        let system = builder.build()?;
+        let mttf_mc = self.mc.system_mttf(&system)?;
+        let combined = system.combined_trace();
+        let total = system.total_rate();
+        let mttf_renewal =
+            serr_analytic::renewal::renewal_mttf(&combined, total, self.frequency)?;
+        let mttf_softarch = SoftArch::new(self.frequency).component_mttf(&combined, total)?;
+
+        Ok(SystemValidation {
+            components: parts.len() as u64,
+            mttf_sofr,
+            mttf_mc,
+            mttf_renewal,
+            mttf_softarch,
+            sofr_error_vs_mc: relative_error(mttf_sofr.as_secs(), mttf_mc.mttf.as_secs()),
+            sofr_error_vs_renewal: relative_error(
+                mttf_sofr.as_secs(),
+                mttf_renewal.as_secs(),
+            ),
+            softarch_error_vs_mc: relative_error(
+                mttf_softarch.as_secs(),
+                mttf_mc.mttf.as_secs(),
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_trace::IntervalTrace;
+
+    fn validator() -> Validator {
+        Validator::new(
+            Frequency::base(),
+            MonteCarloConfig { trials: 30_000, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn avf_valid_regime_shows_no_error() {
+        // Small λL: everything agrees (paper Section 5.1's finding).
+        let trace = IntervalTrace::busy_idle(3_000, 7_000).unwrap();
+        let v = validator().component(&trace, RawErrorRate::per_year(10.0)).unwrap();
+        assert!(v.avf_error_vs_renewal < 1e-9, "{}", v.avf_error_vs_renewal);
+        assert!(v.avf_error_vs_mc < 0.02, "{}", v.avf_error_vs_mc);
+        assert!(v.softarch_error_vs_mc < 0.02, "{}", v.softarch_error_vs_mc);
+        assert!((v.avf - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avf_invalid_regime_shows_error_but_softarch_does_not() {
+        // λL ~ 4: the Figure 3/5 discrepancy regime.
+        let freq = Frequency::base();
+        let trace = IntervalTrace::busy_idle(1_000_000, 1_000_000).unwrap();
+        let l_seconds = 2_000_000.0 / freq.hz();
+        let rate = RawErrorRate::per_second(4.0 / l_seconds);
+        let v = validator().component(&trace, rate).unwrap();
+        assert!(v.avf_error_vs_renewal > 0.2, "avf err {}", v.avf_error_vs_renewal);
+        assert!(v.avf_error_vs_mc > 0.15, "avf err vs mc {}", v.avf_error_vs_mc);
+        // SoftArch stays faithful (paper Section 5.4).
+        assert!(v.softarch_error_vs_mc < 0.02, "softarch {}", v.softarch_error_vs_mc);
+        // And the MC engine itself agrees with the exact answer.
+        let mc_vs_renewal =
+            relative_error(v.mttf_mc.mttf.as_secs(), v.mttf_renewal.as_secs());
+        assert!(mc_vs_renewal < 0.02, "mc noise {mc_vs_renewal}");
+    }
+
+    #[test]
+    fn sofr_error_grows_with_components() {
+        // Fixed component rate in the borderline regime; growing C pushes
+        // the system into the invalid regime (Figure 6's shape).
+        let freq = Frequency::base();
+        let trace: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::busy_idle(500_000, 500_000).unwrap());
+        let l_seconds = 1_000_000.0 / freq.hz();
+        let rate = RawErrorRate::per_second(0.05 / l_seconds); // λL = 0.05
+        let v = validator();
+        let small = v.system_identical(trace.clone(), rate, 2).unwrap();
+        let large = v.system_identical(trace, rate, 100).unwrap();
+        assert!(small.sofr_error_vs_renewal < 0.03, "C=2 {}", small.sofr_error_vs_renewal);
+        assert!(
+            large.sofr_error_vs_renewal > 0.3,
+            "C=100 {}",
+            large.sofr_error_vs_renewal
+        );
+        assert!(large.softarch_error_vs_mc < 0.02);
+    }
+
+    #[test]
+    fn heterogeneous_system_validation() {
+        let a: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::busy_idle(400, 600).unwrap());
+        let b: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::from_levels(&[0.5; 1000]).unwrap());
+        let v = validator()
+            .system_parts(&[
+                (RawErrorRate::per_year(3.0), a),
+                (RawErrorRate::per_year(7.0), b),
+            ])
+            .unwrap();
+        // Tiny λL: SOFR is fine here.
+        assert!(v.sofr_error_vs_renewal < 1e-6, "{}", v.sofr_error_vs_renewal);
+        assert!(v.sofr_error_vs_mc < 0.02);
+        assert_eq!(v.components, 2);
+    }
+
+    #[test]
+    fn rejects_degenerate_systems() {
+        let v = validator();
+        let t: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::busy_idle(1, 1).unwrap());
+        assert!(v.system_identical(t, RawErrorRate::per_year(1.0), 0).is_err());
+        assert!(v.system_parts(&[]).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! The parallel Monte Carlo driver.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use serr_numeric::stats::{RunningStats, Summary};
+use serr_trace::VulnerabilityTrace;
+use serr_types::{Frequency, Mttf, RawErrorRate, SerrError};
+
+use crate::config::StartPhase;
+use crate::sampler::sample_time_to_failure;
+use crate::system::SystemModel;
+use crate::MonteCarloConfig;
+
+/// A Monte Carlo MTTF estimate with sampling diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MttfEstimate {
+    /// The estimated mean time to failure.
+    pub mttf: Mttf,
+    /// Sample statistics of the time-to-failure distribution, in seconds.
+    pub ttf_seconds: Summary,
+    /// Mean raw-error events consumed per trial.
+    pub mean_events_per_trial: f64,
+}
+
+impl MttfEstimate {
+    /// Relative half-width of the 95% confidence interval on the MTTF.
+    #[must_use]
+    pub fn relative_ci95(&self) -> f64 {
+        self.ttf_seconds.ci95 / self.ttf_seconds.mean
+    }
+}
+
+/// The Monte Carlo engine: owns a configuration, runs trials in parallel,
+/// and reports MTTF estimates with confidence intervals.
+///
+/// Results are deterministic for a given `(config.seed, trials)` regardless
+/// of thread count: each trial's RNG stream is derived from the seed and the
+/// trial index.
+#[derive(Debug, Clone, Default)]
+pub struct MonteCarlo {
+    config: MonteCarloConfig,
+}
+
+impl MonteCarlo {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: MonteCarloConfig) -> Self {
+        MonteCarlo { config }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MonteCarloConfig {
+        &self.config
+    }
+
+    /// Estimates the MTTF of a single component with raw error rate `rate`
+    /// running `trace` at `freq` — the ground truth against which the AVF
+    /// step is judged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidConfig`] for a zero rate or zero trials,
+    /// [`SerrError::InvalidTrace`] for an AVF-0 trace, and propagates a
+    /// trial that exceeds the per-trial event cap.
+    pub fn component_mttf(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+        freq: Frequency,
+    ) -> Result<MttfEstimate, SerrError> {
+        self.validate(trace, rate)?;
+        let lambda_cycle = rate.per_second_value() / freq.hz();
+        self.run(trace, lambda_cycle, freq)
+    }
+
+    /// Estimates the MTTF of a whole system — the ground truth against which
+    /// the SOFR step is judged. See [`SystemModel`] for construction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MonteCarlo::component_mttf`].
+    pub fn system_mttf(&self, system: &SystemModel) -> Result<MttfEstimate, SerrError> {
+        let trace = system.combined_trace();
+        let rate = system.total_rate();
+        self.validate(&trace, rate)?;
+        let lambda_cycle = rate.per_second_value() / system.frequency().hz();
+        self.run(&trace, lambda_cycle, system.frequency())
+    }
+
+    /// Draws `n` raw time-to-failure samples (in seconds) for distribution
+    /// analysis — e.g. Kolmogorov–Smirnov tests of the SOFR exponentiality
+    /// assumption.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MonteCarlo::component_mttf`].
+    pub fn sample_ttfs(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+        freq: Frequency,
+        n: u64,
+    ) -> Result<Vec<f64>, SerrError> {
+        self.validate(trace, rate)?;
+        let lambda_cycle = rate.per_second_value() / freq.hz();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let period = trace.period_cycles() as f64;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let phase = match self.config.start_phase {
+                StartPhase::WorkloadStart => 0.0,
+                StartPhase::Stationary => rng.gen_range(0.0..period),
+            };
+            let t = sample_time_to_failure(
+                trace,
+                lambda_cycle,
+                self.config.max_events_per_trial,
+                &mut rng,
+                phase,
+            )?;
+            out.push(t.ttf_cycles / freq.hz());
+        }
+        Ok(out)
+    }
+
+    fn validate(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+    ) -> Result<(), SerrError> {
+        if self.config.trials == 0 {
+            return Err(SerrError::invalid_config("trial count must be positive"));
+        }
+        if rate.is_zero() {
+            return Err(SerrError::invalid_config("raw error rate is zero; MTTF is infinite"));
+        }
+        if trace.is_never_vulnerable() {
+            return Err(SerrError::invalid_trace(
+                "trace has AVF = 0; the component can never fail",
+            ));
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        lambda_cycle: f64,
+        freq: Frequency,
+    ) -> Result<MttfEstimate, SerrError> {
+        let threads = self.config.effective_threads().min(self.config.trials.max(1) as usize);
+        let trials = self.config.trials;
+        let per_thread = trials / threads as u64;
+        let remainder = trials % threads as u64;
+        let cap = self.config.max_events_per_trial;
+        let seed = self.config.seed;
+        let start_phase = self.config.start_phase;
+        let period = trace.period_cycles() as f64;
+
+        let results: Vec<Result<(RunningStats, u64), SerrError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|tid| {
+                        let my_trials = per_thread + u64::from((tid as u64) < remainder);
+                        // Deterministic per-thread stream: SplitMix-style
+                        // decorrelation of the base seed.
+                        let my_seed = seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1));
+                        scope.spawn(move || {
+                            let mut rng = SmallRng::seed_from_u64(my_seed);
+                            let mut stats = RunningStats::new();
+                            let mut events = 0u64;
+                            for _ in 0..my_trials {
+                                let phase = match start_phase {
+                                    StartPhase::WorkloadStart => 0.0,
+                                    StartPhase::Stationary => rng.gen_range(0.0..period),
+                                };
+                                let t = sample_time_to_failure(
+                                    trace,
+                                    lambda_cycle,
+                                    cap,
+                                    &mut rng,
+                                    phase,
+                                )?;
+                                stats.push(t.ttf_cycles);
+                                events += t.events;
+                            }
+                            Ok((stats, events))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+
+        let mut stats = RunningStats::new();
+        let mut total_events = 0u64;
+        for r in results {
+            let (s, e) = r?;
+            stats.merge(&s);
+            total_events += e;
+        }
+
+        // Convert cycle statistics to seconds.
+        let hz = freq.hz();
+        let summary = Summary {
+            count: stats.count(),
+            mean: stats.mean() / hz,
+            std_dev: stats.sample_variance().sqrt() / hz,
+            ci95: stats.ci95_half_width() / hz,
+            min: stats.min() / hz,
+            max: stats.max() / hz,
+        };
+        Ok(MttfEstimate {
+            mttf: Mttf::from_secs(summary.mean),
+            ttf_seconds: summary,
+            mean_events_per_trial: total_events as f64 / trials as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_trace::IntervalTrace;
+
+    fn fast_engine() -> MonteCarlo {
+        MonteCarlo::new(MonteCarloConfig { trials: 40_000, ..Default::default() })
+    }
+
+    #[test]
+    fn component_matches_renewal_truth() {
+        let trace = IntervalTrace::busy_idle(40, 60).unwrap();
+        let freq = Frequency::base();
+        // λL ≈ 0.5 at this rate: a regime with real AVF error.
+        let rate = RawErrorRate::per_second(0.005 * freq.hz() / 100.0);
+        let est = fast_engine().component_mttf(&trace, rate, freq).unwrap();
+        let truth =
+            serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap().as_secs();
+        let err = (est.mttf.as_secs() - truth).abs() / truth;
+        assert!(err < 0.02, "MC {} vs renewal {truth}: {err}", est.mttf.as_secs());
+        assert!(est.relative_ci95() < 0.02);
+        assert!(est.mean_events_per_trial >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts_with_one_thread() {
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let cfg = MonteCarloConfig { trials: 5_000, threads: 1, ..Default::default() };
+        let a = MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        let b = MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        assert_eq!(a.mttf.as_secs(), b.mttf.as_secs());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let dead = IntervalTrace::constant(10, 0.0).unwrap();
+        let live = IntervalTrace::constant(10, 1.0).unwrap();
+        let engine = fast_engine();
+        assert!(engine
+            .component_mttf(&dead, RawErrorRate::per_year(1.0), Frequency::base())
+            .is_err());
+        assert!(engine.component_mttf(&live, RawErrorRate::ZERO, Frequency::base()).is_err());
+        let zero_trials = MonteCarlo::new(MonteCarloConfig { trials: 0, ..Default::default() });
+        assert!(zero_trials
+            .component_mttf(&live, RawErrorRate::per_year(1.0), Frequency::base())
+            .is_err());
+    }
+
+    #[test]
+    fn sampled_ttfs_are_exponential_in_avf_regime() {
+        // SOFR's assumption holds when λL -> 0: KS test against Exp(λ·AVF).
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let freq = Frequency::base();
+        let rate = RawErrorRate::per_year(20.0); // λL astronomically small
+        let engine = fast_engine();
+        let samples = engine.sample_ttfs(&trace, rate, freq, 4_000).unwrap();
+        let ecdf = serr_numeric::ecdf::Ecdf::new(samples);
+        let eff_rate = rate.per_second_value() * 0.3;
+        let d = ecdf.ks_vs_exponential(eff_rate);
+        assert!(
+            d < serr_numeric::ecdf::ks_critical_value(4_000, 0.01),
+            "KS {d} rejects exponentiality in the valid regime"
+        );
+    }
+
+    #[test]
+    fn estimate_summary_is_consistent() {
+        let trace = IntervalTrace::constant(100, 1.0).unwrap();
+        let est = fast_engine()
+            .component_mttf(&trace, RawErrorRate::per_year(1.0), Frequency::base())
+            .unwrap();
+        assert_eq!(est.ttf_seconds.count, 40_000);
+        assert!(est.ttf_seconds.min >= 0.0);
+        assert!(est.ttf_seconds.max > est.ttf_seconds.mean);
+        assert!((est.mttf.as_secs() - est.ttf_seconds.mean).abs() < 1e-12);
+        // Fully vulnerable -> exactly one event per trial.
+        assert_eq!(est.mean_events_per_trial, 1.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! System-of-components models for SOFR validation.
+//!
+//! The paper's broad design space applies SOFR to systems of `C` components
+//! (up to 500,000 processors in a cluster), all running the same workload.
+//! Because the per-component raw-error processes are independent Poisson
+//! processes, their union is Poisson with the summed rate, and each arrival
+//! strikes component *i* with probability `rateᵢ/Σrate`; when all replicas
+//! are phase-aligned (the paper's assumption) this collapses to a single
+//! rate-weighted [`CompositeTrace`] — so system trials cost the same as
+//! component trials no matter how large `C` is.
+
+use std::sync::Arc;
+
+use serr_trace::{CompositeTrace, ShiftedTrace, VulnerabilityTrace};
+use serr_types::{Frequency, RawErrorRate, SerrError};
+
+/// One kind of component in a system, possibly replicated.
+#[derive(Clone)]
+pub struct SystemPart {
+    /// Raw error rate of a single replica.
+    pub rate: RawErrorRate,
+    /// Masking trace of a single replica.
+    pub trace: Arc<dyn VulnerabilityTrace>,
+    /// Number of identical, phase-aligned replicas (the paper's `C`).
+    pub multiplicity: u64,
+    /// Phase offset in cycles applied to every replica of this part.
+    pub phase_offset: u64,
+    /// Display name for reports.
+    pub name: String,
+}
+
+impl std::fmt::Debug for SystemPart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemPart")
+            .field("name", &self.name)
+            .field("rate", &self.rate)
+            .field("multiplicity", &self.multiplicity)
+            .field("phase_offset", &self.phase_offset)
+            .finish()
+    }
+}
+
+/// A series-failure system: the first unmasked raw error in any component
+/// fails the whole system (the paper's series assumption, Section 2.3).
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    parts: Vec<SystemPart>,
+    frequency: Frequency,
+}
+
+impl SystemModel {
+    /// Starts building a system clocked at `frequency`.
+    #[must_use]
+    pub fn builder(frequency: Frequency) -> SystemModelBuilder {
+        SystemModelBuilder { parts: Vec::new(), frequency }
+    }
+
+    /// The system's parts.
+    #[must_use]
+    pub fn parts(&self) -> &[SystemPart] {
+        &self.parts
+    }
+
+    /// The clock frequency shared by all parts.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Total raw error rate: `Σᵢ multiplicityᵢ × rateᵢ`.
+    #[must_use]
+    pub fn total_rate(&self) -> RawErrorRate {
+        self.parts
+            .iter()
+            .map(|p| p.rate.scale(p.multiplicity as f64))
+            .fold(RawErrorRate::ZERO, |a, b| a + b)
+    }
+
+    /// Total number of component instances (`Σ multiplicity`).
+    #[must_use]
+    pub fn component_count(&self) -> u64 {
+        self.parts.iter().map(|p| p.multiplicity).sum()
+    }
+
+    /// The superposed system-level vulnerability trace described in the
+    /// module docs.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a builder-validated model.
+    #[must_use]
+    pub fn combined_trace(&self) -> CompositeTrace {
+        let parts: Vec<(f64, Arc<dyn VulnerabilityTrace>)> = self
+            .parts
+            .iter()
+            .map(|p| {
+                let weight = p.rate.per_second_value() * p.multiplicity as f64;
+                let trace: Arc<dyn VulnerabilityTrace> = if p.phase_offset == 0 {
+                    p.trace.clone()
+                } else {
+                    Arc::new(ShiftedTrace::new(p.trace.clone(), p.phase_offset))
+                };
+                (weight, trace)
+            })
+            .collect();
+        CompositeTrace::new(parts).expect("validated at build time")
+    }
+}
+
+/// Builder for [`SystemModel`].
+#[derive(Debug)]
+pub struct SystemModelBuilder {
+    parts: Vec<SystemPart>,
+    frequency: Frequency,
+}
+
+impl SystemModelBuilder {
+    /// Adds `multiplicity` phase-aligned replicas of a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidConfig`] for a zero rate or multiplicity,
+    /// and [`SerrError::InvalidTrace`] if the trace's period differs from
+    /// previously added parts.
+    pub fn add_replicated(
+        &mut self,
+        name: impl Into<String>,
+        rate: RawErrorRate,
+        trace: Arc<dyn VulnerabilityTrace>,
+        multiplicity: u64,
+    ) -> Result<&mut Self, SerrError> {
+        self.add_part(name, rate, trace, multiplicity, 0)
+    }
+
+    /// Adds a single component.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SystemModelBuilder::add_replicated`].
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        rate: RawErrorRate,
+        trace: Arc<dyn VulnerabilityTrace>,
+    ) -> Result<&mut Self, SerrError> {
+        self.add_part(name, rate, trace, 1, 0)
+    }
+
+    /// Adds one replica per entry of `offsets`, each phase-shifted — the
+    /// de-synchronized-cluster ablation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SystemModelBuilder::add_replicated`].
+    pub fn add_with_offsets(
+        &mut self,
+        name: impl Into<String>,
+        rate: RawErrorRate,
+        trace: Arc<dyn VulnerabilityTrace>,
+        offsets: &[u64],
+    ) -> Result<&mut Self, SerrError> {
+        let name = name.into();
+        for (i, &off) in offsets.iter().enumerate() {
+            self.add_part(format!("{name}[{i}]"), rate, trace.clone(), 1, off)?;
+        }
+        Ok(self)
+    }
+
+    fn add_part(
+        &mut self,
+        name: impl Into<String>,
+        rate: RawErrorRate,
+        trace: Arc<dyn VulnerabilityTrace>,
+        multiplicity: u64,
+        phase_offset: u64,
+    ) -> Result<&mut Self, SerrError> {
+        if rate.is_zero() {
+            return Err(SerrError::invalid_config("part raw error rate must be positive"));
+        }
+        if multiplicity == 0 {
+            return Err(SerrError::invalid_config("part multiplicity must be positive"));
+        }
+        if let Some(first) = self.parts.first() {
+            if first.trace.period_cycles() != trace.period_cycles() {
+                return Err(SerrError::invalid_trace(format!(
+                    "all parts must share one workload period: {} vs {}",
+                    trace.period_cycles(),
+                    first.trace.period_cycles()
+                )));
+            }
+        }
+        self.parts.push(SystemPart {
+            rate,
+            trace,
+            multiplicity,
+            phase_offset,
+            name: name.into(),
+        });
+        Ok(self)
+    }
+
+    /// Finalizes the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidConfig`] if no parts were added.
+    pub fn build(&self) -> Result<SystemModel, SerrError> {
+        if self.parts.is_empty() {
+            return Err(SerrError::invalid_config("system must contain at least one part"));
+        }
+        Ok(SystemModel { parts: self.parts.clone(), frequency: self.frequency })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_trace::IntervalTrace;
+
+    fn day_like() -> Arc<dyn VulnerabilityTrace> {
+        Arc::new(IntervalTrace::busy_idle(500, 500).unwrap())
+    }
+
+    #[test]
+    fn replication_scales_rate_not_shape() {
+        let mut b = SystemModel::builder(Frequency::base());
+        b.add_replicated("cpu", RawErrorRate::per_year(2.0), day_like(), 1000).unwrap();
+        let sys = b.build().unwrap();
+        assert_eq!(sys.component_count(), 1000);
+        assert!((sys.total_rate().events_per_year() - 2000.0).abs() < 1e-9);
+        // Identical phase-aligned replicas leave the vulnerability shape
+        // untouched.
+        let combined = sys.combined_trace();
+        assert_eq!(combined.vulnerability_at(0), 1.0);
+        assert_eq!(combined.vulnerability_at(500), 0.0);
+        assert!((combined.avf() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_parts_weight_by_rate() {
+        let always = Arc::new(IntervalTrace::constant(1000, 1.0).unwrap());
+        let never_busy_half = day_like();
+        let mut b = SystemModel::builder(Frequency::base());
+        b.add("hot", RawErrorRate::per_year(3.0), always).unwrap();
+        b.add("cold", RawErrorRate::per_year(1.0), never_busy_half).unwrap();
+        let sys = b.build().unwrap();
+        let combined = sys.combined_trace();
+        // First half: both vulnerable -> 1. Second half: only "hot" (3/4).
+        assert!((combined.vulnerability_at(100) - 1.0).abs() < 1e-12);
+        assert!((combined.vulnerability_at(700) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offsets_desynchronize_idle_windows() {
+        let mut b = SystemModel::builder(Frequency::base());
+        b.add_with_offsets("cpu", RawErrorRate::per_year(1.0), day_like(), &[0, 500])
+            .unwrap();
+        let sys = b.build().unwrap();
+        let combined = sys.combined_trace();
+        // At any cycle exactly one of the two replicas is busy.
+        for c in [0u64, 250, 499, 500, 750, 999] {
+            assert!((combined.vulnerability_at(c) - 0.5).abs() < 1e-12, "cycle {c}");
+        }
+        assert_eq!(sys.parts().len(), 2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = SystemModel::builder(Frequency::base());
+        assert!(b.add("z", RawErrorRate::ZERO, day_like()).is_err());
+        assert!(b
+            .add_replicated("m", RawErrorRate::per_year(1.0), day_like(), 0)
+            .is_err());
+        assert!(b.build().is_err()); // empty
+        b.add("ok", RawErrorRate::per_year(1.0), day_like()).unwrap();
+        let other_period = Arc::new(IntervalTrace::busy_idle(3, 3).unwrap());
+        assert!(b.add("bad", RawErrorRate::per_year(1.0), other_period).is_err());
+        assert!(b.build().is_ok());
+    }
+}

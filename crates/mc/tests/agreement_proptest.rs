@@ -1,0 +1,40 @@
+//! Property test: the Monte Carlo sampler agrees with the exact renewal
+//! answer on randomly shaped traces across rate regimes.
+
+use proptest::prelude::*;
+use serr_mc::{MonteCarlo, MonteCarloConfig};
+use serr_trace::IntervalTrace;
+use serr_types::{Frequency, RawErrorRate};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #[test]
+    fn monte_carlo_matches_renewal_on_random_traces(
+        levels in proptest::collection::vec((0..=4u8).prop_map(|q| f64::from(q) / 4.0), 2..40),
+        lambda_l_exp in -3.0f64..1.5,
+    ) {
+        prop_assume!(levels.iter().any(|&v| v > 0.0));
+        let trace = IntervalTrace::from_levels(&levels).unwrap();
+        let freq = Frequency::base();
+        let period_s = levels.len() as f64 / freq.hz();
+        // λ·L spans 1e-3 .. ~30 across cases.
+        let lambda_l = 10f64.powf(lambda_l_exp);
+        let rate = RawErrorRate::per_second(lambda_l / period_s);
+
+        let mc = MonteCarlo::new(MonteCarloConfig {
+            trials: 30_000,
+            threads: 1,
+            ..Default::default()
+        });
+        let est = mc.component_mttf(&trace, rate, freq).unwrap();
+        let exact = serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap();
+        let err = (est.mttf.as_secs() - exact.as_secs()).abs() / exact.as_secs();
+        let budget = 4.0 * est.relative_ci95() + 1e-3;
+        prop_assert!(
+            err < budget,
+            "λL={lambda_l:.3}: MC {} vs exact {} (err {err}, budget {budget})",
+            est.mttf.as_secs(),
+            exact.as_secs()
+        );
+    }
+}

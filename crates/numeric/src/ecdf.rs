@@ -1,0 +1,192 @@
+//! Empirical CDFs and Kolmogorov–Smirnov distances.
+//!
+//! The SOFR step assumes each component's time to failure is exponentially
+//! distributed after architectural masking (paper Section 2.3), and Theorem 1
+//! claims `T mod L` is uniform when `L·λ → 0`. These tools quantify how far
+//! empirical failure-time samples are from those reference distributions.
+
+/// An empirical cumulative distribution function over a sorted sample.
+///
+/// ```
+/// use serr_numeric::ecdf::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.eval(2.5), 0.5);
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(9.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (sorts internally; NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    #[must_use]
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF requires a non-empty sample");
+        assert!(sample.iter().all(|x| !x.is_nan()), "ECDF sample must not contain NaN");
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Ecdf { sorted: sample }
+    }
+
+    /// The fraction of samples `≤ x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true by construction, provided for
+    /// API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying this ECDF.
+    #[must_use]
+    pub fn as_sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// One-sample Kolmogorov–Smirnov statistic against a reference CDF:
+    /// `D = supₓ |F̂(x) − F(x)|`, evaluated at the jump points.
+    pub fn ks_statistic(&self, cdf: impl Fn(f64) -> f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = cdf(x);
+            let lo = i as f64 / n;
+            let hi = (i + 1) as f64 / n;
+            d = d.max((f - lo).abs()).max((hi - f).abs());
+        }
+        d
+    }
+
+    /// KS statistic against the exponential distribution with rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive.
+    #[must_use]
+    pub fn ks_vs_exponential(&self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "rate must be positive");
+        self.ks_statistic(|x| if x <= 0.0 { 0.0 } else { -(-lambda * x).exp_m1() })
+    }
+
+    /// KS statistic against the uniform distribution on `[0, length]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive.
+    #[must_use]
+    pub fn ks_vs_uniform(&self, length: f64) -> f64 {
+        assert!(length > 0.0, "length must be positive");
+        self.ks_statistic(|x| (x / length).clamp(0.0, 1.0))
+    }
+}
+
+/// The critical KS value at significance `alpha ∈ {0.05, 0.01}` for sample
+/// size `n` (asymptotic formula `c(α)·√(1/n)`).
+///
+/// A sample "fails" the test (is distinguishable from the reference) when its
+/// KS statistic exceeds this value.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `alpha` is not one of the supported levels.
+#[must_use]
+pub fn ks_critical_value(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "sample size must be positive");
+    let c = if (alpha - 0.05).abs() < 1e-12 {
+        1.358
+    } else if (alpha - 0.01).abs() < 1e-12 {
+        1.628
+    } else {
+        panic!("unsupported significance level {alpha}; use 0.05 or 0.01")
+    };
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_uniform(n: usize) -> Vec<f64> {
+        // Deterministic pseudo-uniform sample.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((e.eval(2.9) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    fn uniform_sample_passes_uniform_ks() {
+        let e = Ecdf::new(lcg_uniform(5000));
+        let d = e.ks_vs_uniform(1.0);
+        assert!(d < ks_critical_value(5000, 0.05), "KS {d} too large for uniform sample");
+    }
+
+    #[test]
+    fn exponential_sample_passes_exponential_ks() {
+        let lambda = 2.5;
+        let sample: Vec<f64> = lcg_uniform(5000).iter().map(|u| -(1.0 - u).ln() / lambda).collect();
+        let e = Ecdf::new(sample);
+        let d = e.ks_vs_exponential(lambda);
+        assert!(d < ks_critical_value(5000, 0.05), "KS {d} too large for exponential sample");
+    }
+
+    #[test]
+    fn wrong_rate_fails_exponential_ks() {
+        let sample: Vec<f64> = lcg_uniform(5000).iter().map(|u| -(1.0 - u).ln() / 2.5).collect();
+        let e = Ecdf::new(sample);
+        // Testing against a rate 4x too small must be detected.
+        let d = e.ks_vs_exponential(0.625);
+        assert!(d > ks_critical_value(5000, 0.01), "KS {d} should reject wrong rate");
+    }
+
+    #[test]
+    fn bimodal_sample_fails_uniform_ks() {
+        // Half the mass at ~0.1, half at ~0.9: clearly not uniform.
+        let sample: Vec<f64> =
+            (0..1000).map(|i| if i % 2 == 0 { 0.1 } else { 0.9 }).collect();
+        let e = Ecdf::new(sample);
+        assert!(e.ks_vs_uniform(1.0) > ks_critical_value(1000, 0.01));
+    }
+
+    #[test]
+    fn critical_values_ordered() {
+        assert!(ks_critical_value(100, 0.01) > ks_critical_value(100, 0.05));
+        assert!(ks_critical_value(100, 0.05) > ks_critical_value(10000, 0.05));
+    }
+}

@@ -1,0 +1,95 @@
+//! Closed-form series used throughout the paper's Appendix A.
+
+/// Sum of the geometric series `Σₙ₌₀^∞ xⁿ = 1/(1−x)` for `|x| < 1`.
+///
+/// # Panics
+///
+/// Panics if `|x| ≥ 1`.
+///
+/// ```
+/// use serr_numeric::series::geometric_sum;
+/// assert_eq!(geometric_sum(0.5), 2.0);
+/// ```
+#[must_use]
+pub fn geometric_sum(x: f64) -> f64 {
+    assert!(x.abs() < 1.0, "geometric series requires |x| < 1, got {x}");
+    1.0 / (1.0 - x)
+}
+
+/// The paper's Appendix A identity `Σₙ₌₀^∞ n·xⁿ = x/(1−x)²` for `|x| < 1`.
+///
+/// # Panics
+///
+/// Panics if `|x| ≥ 1`.
+///
+/// ```
+/// use serr_numeric::series::weighted_geometric_sum;
+/// assert_eq!(weighted_geometric_sum(0.5), 2.0);
+/// ```
+#[must_use]
+pub fn weighted_geometric_sum(x: f64) -> f64 {
+    assert!(x.abs() < 1.0, "series requires |x| < 1, got {x}");
+    x / ((1.0 - x) * (1.0 - x))
+}
+
+/// `∫ₐᵇ λ e^{−λt} t dt`, the building block of the paper's Derivation 1:
+/// `(a·e^{−λa} − b·e^{−λb}) + (e^{−λa} − e^{−λb})/λ`.
+///
+/// # Panics
+///
+/// Panics if `λ ≤ 0` or `a > b` or any argument is negative.
+///
+/// ```
+/// use serr_numeric::series::exp_weighted_time_integral;
+/// // Over [0, ∞) this is the exponential mean 1/λ.
+/// let v = exp_weighted_time_integral(2.0, 0.0, 1e6);
+/// assert!((v - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn exp_weighted_time_integral(lambda: f64, a: f64, b: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    assert!(a >= 0.0 && b >= a, "need 0 <= a <= b, got [{a}, {b}]");
+    let ea = (-lambda * a).exp();
+    let eb = (-lambda * b).exp();
+    (a * ea - b * eb) + (ea - eb) / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_sums_match_truncated() {
+        for &x in &[0.1_f64, 0.5, 0.9, -0.5] {
+            let truncated: f64 = (0..2000).map(|n| x.powi(n)).sum();
+            assert!((geometric_sum(x) - truncated).abs() < 1e-9, "x={x}");
+            let truncated_weighted: f64 = (0..4000).map(|n| n as f64 * x.powi(n)).sum();
+            assert!(
+                (weighted_geometric_sum(x) - truncated_weighted).abs() < 1e-8,
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "|x| < 1")]
+    fn geometric_rejects_divergent() {
+        let _ = geometric_sum(1.0);
+    }
+
+    #[test]
+    fn exp_weighted_integral_matches_quadrature() {
+        let lambda = 0.7;
+        let (a, b) = (0.3, 2.9);
+        let quad = crate::quad::integrate(|t| lambda * (-lambda * t).exp() * t, a, b, 1e-13)
+            .unwrap();
+        assert!((exp_weighted_time_integral(lambda, a, b) - quad).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exp_weighted_integral_full_line_is_mean() {
+        let lambda = 3.0;
+        let v = exp_weighted_time_integral(lambda, 0.0, 1e4);
+        assert!((v - 1.0 / lambda).abs() < 1e-12);
+    }
+}

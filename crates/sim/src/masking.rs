@@ -1,0 +1,218 @@
+//! Masking-trace collection during simulation.
+//!
+//! The paper studies four processor components (Section 4.1):
+//!
+//! * **integer unit**, **FP unit**, **decode unit** — a raw error in a cycle
+//!   is masked iff the unit is not processing an instruction that cycle;
+//!   with multiple functional-unit instances we record the busy *fraction*
+//!   (a raw error strikes each instance with equal probability);
+//! * **register file** — errors strike the 256 entries uniformly; an entry
+//!   is vulnerable while it holds a value that will still be read.
+
+use serr_trace::IntervalTrace;
+use serr_types::SerrError;
+
+/// The per-component masking traces produced by one simulation, each with
+/// period equal to the simulated cycle count (the workload loops, paper
+/// Section 3 assumption 2).
+#[derive(Debug, Clone)]
+pub struct ProcessorMaskingTraces {
+    /// Integer-unit busy fraction per cycle.
+    pub int_unit: IntervalTrace,
+    /// FP-unit busy fraction per cycle.
+    pub fp_unit: IntervalTrace,
+    /// Decode (dispatch) slot occupancy per cycle.
+    pub decode: IntervalTrace,
+    /// Register-file live fraction per cycle (live entries / 256).
+    pub regfile: IntervalTrace,
+}
+
+/// Accumulates per-cycle unit occupancy during simulation via difference
+/// arrays, then materializes run-length traces.
+#[derive(Debug)]
+pub struct MaskingCollector {
+    /// One diff array per functional-unit instance (occupancy counts).
+    int_fu_diff: Vec<Vec<i32>>,
+    fp_fu_diff: Vec<Vec<i32>>,
+    /// Instructions dispatched per cycle.
+    decode_count: Vec<u16>,
+    /// Register liveness diff (+1 at start, −1 after end).
+    rf_diff: Vec<i32>,
+    dispatch_width: usize,
+    regfile_entries: usize,
+}
+
+impl MaskingCollector {
+    /// Creates a collector for a machine with the given unit counts.
+    #[must_use]
+    pub fn new(int_units: usize, fp_units: usize, dispatch_width: usize, regfile_entries: usize) -> Self {
+        MaskingCollector {
+            int_fu_diff: vec![Vec::new(); int_units],
+            fp_fu_diff: vec![Vec::new(); fp_units],
+            decode_count: Vec::new(),
+            rf_diff: Vec::new(),
+            dispatch_width,
+            regfile_entries,
+        }
+    }
+
+    fn bump(diff: &mut Vec<i32>, start: u64, end: u64) {
+        let end = end.max(start + 1) as usize;
+        if diff.len() < end + 1 {
+            diff.resize(end + 1, 0);
+        }
+        diff[start as usize] += 1;
+        diff[end] -= 1;
+    }
+
+    /// Marks integer FU `fu` busy over `[start, end)` cycles.
+    pub fn mark_int(&mut self, fu: usize, start: u64, end: u64) {
+        Self::bump(&mut self.int_fu_diff[fu], start, end);
+    }
+
+    /// Marks FP FU `fu` busy over `[start, end)` cycles.
+    pub fn mark_fp(&mut self, fu: usize, start: u64, end: u64) {
+        Self::bump(&mut self.fp_fu_diff[fu], start, end);
+    }
+
+    /// Records `n` instructions dispatched (decoded) in `cycle`.
+    pub fn mark_decode(&mut self, cycle: u64, n: usize) {
+        let c = cycle as usize;
+        if self.decode_count.len() <= c {
+            self.decode_count.resize(c + 1, 0);
+        }
+        self.decode_count[c] += n as u16;
+    }
+
+    /// Records a register-file entry vulnerable over `[start, end]` cycles
+    /// (inclusive, matching the liveness intervals of `RenameState`).
+    pub fn mark_regfile(&mut self, start: u64, end: u64) {
+        Self::bump(&mut self.rf_diff, start, end + 1);
+    }
+
+    /// Materializes the four traces over `total_cycles` simulated cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidTrace`] if `total_cycles` is zero.
+    pub fn finish(self, total_cycles: u64) -> Result<ProcessorMaskingTraces, SerrError> {
+        if total_cycles == 0 {
+            return Err(SerrError::invalid_trace("simulation produced no cycles"));
+        }
+        let n = total_cycles as usize;
+
+        // A unit-kind's vulnerability: fraction of its FU instances with any
+        // occupancy in the cycle.
+        let fu_fraction = |fus: &[Vec<i32>]| -> Vec<f64> {
+            let mut frac = vec![0.0f64; n];
+            for diff in fus {
+                let mut occ = 0i64;
+                for (c, slot) in frac.iter_mut().enumerate() {
+                    occ += i64::from(diff.get(c).copied().unwrap_or(0));
+                    if occ > 0 {
+                        *slot += 1.0;
+                    }
+                }
+            }
+            let k = fus.len() as f64;
+            frac.iter_mut().for_each(|v| *v /= k);
+            frac
+        };
+
+        let int_levels = fu_fraction(&self.int_fu_diff);
+        let fp_levels = fu_fraction(&self.fp_fu_diff);
+
+        let decode_levels: Vec<f64> = (0..n)
+            .map(|c| {
+                let d = self.decode_count.get(c).copied().unwrap_or(0) as f64;
+                (d / self.dispatch_width as f64).min(1.0)
+            })
+            .collect();
+
+        let mut live = 0i64;
+        let rf_levels: Vec<f64> = (0..n)
+            .map(|c| {
+                live += i64::from(self.rf_diff.get(c).copied().unwrap_or(0));
+                (live.max(0) as f64 / self.regfile_entries as f64).min(1.0)
+            })
+            .collect();
+
+        Ok(ProcessorMaskingTraces {
+            int_unit: IntervalTrace::from_levels(&int_levels)?,
+            fp_unit: IntervalTrace::from_levels(&fp_levels)?,
+            decode: IntervalTrace::from_levels(&decode_levels)?,
+            regfile: IntervalTrace::from_levels(&rf_levels)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_trace::VulnerabilityTrace;
+
+    #[test]
+    fn unit_fraction_counts_busy_instances() {
+        let mut mc = MaskingCollector::new(2, 2, 5, 256);
+        mc.mark_int(0, 0, 4); // FU0 busy cycles 0..4
+        mc.mark_int(1, 2, 3); // FU1 busy cycle 2
+        let traces = mc.finish(6).unwrap();
+        assert_eq!(traces.int_unit.vulnerability_at(0), 0.5);
+        assert_eq!(traces.int_unit.vulnerability_at(2), 1.0);
+        assert_eq!(traces.int_unit.vulnerability_at(3), 0.5);
+        assert_eq!(traces.int_unit.vulnerability_at(4), 0.0);
+        assert_eq!(traces.fp_unit.avf(), 0.0);
+    }
+
+    #[test]
+    fn overlapping_pipelined_ops_still_one_busy_unit() {
+        let mut mc = MaskingCollector::new(2, 2, 5, 256);
+        // Three overlapping multiplies in the same FU: occupancy 3, busy 1.
+        mc.mark_int(0, 0, 4);
+        mc.mark_int(0, 1, 5);
+        mc.mark_int(0, 2, 6);
+        let traces = mc.finish(8).unwrap();
+        assert_eq!(traces.int_unit.vulnerability_at(3), 0.5);
+        assert_eq!(traces.int_unit.vulnerability_at(5), 0.5);
+        assert_eq!(traces.int_unit.vulnerability_at(6), 0.0);
+    }
+
+    #[test]
+    fn decode_fraction_of_dispatch_width() {
+        let mut mc = MaskingCollector::new(2, 2, 5, 256);
+        mc.mark_decode(0, 5);
+        mc.mark_decode(1, 2);
+        let traces = mc.finish(3).unwrap();
+        assert_eq!(traces.decode.vulnerability_at(0), 1.0);
+        assert_eq!(traces.decode.vulnerability_at(1), 0.4);
+        assert_eq!(traces.decode.vulnerability_at(2), 0.0);
+    }
+
+    #[test]
+    fn regfile_liveness_accumulates() {
+        let mut mc = MaskingCollector::new(2, 2, 5, 256);
+        mc.mark_regfile(0, 3);
+        mc.mark_regfile(2, 5);
+        let traces = mc.finish(8).unwrap();
+        assert_eq!(traces.regfile.vulnerability_at(0), 1.0 / 256.0);
+        assert_eq!(traces.regfile.vulnerability_at(2), 2.0 / 256.0);
+        assert_eq!(traces.regfile.vulnerability_at(4), 1.0 / 256.0);
+        assert_eq!(traces.regfile.vulnerability_at(6), 0.0);
+    }
+
+    #[test]
+    fn zero_cycles_is_an_error() {
+        let mc = MaskingCollector::new(2, 2, 5, 256);
+        assert!(mc.finish(0).is_err());
+    }
+
+    #[test]
+    fn marks_beyond_horizon_are_clipped_to_period() {
+        let mut mc = MaskingCollector::new(1, 1, 5, 256);
+        mc.mark_int(0, 2, 10);
+        // Simulation ended at cycle 5: the trace only spans 5 cycles.
+        let traces = mc.finish(5).unwrap();
+        assert_eq!(traces.int_unit.period_cycles(), 5);
+        assert_eq!(traces.int_unit.vulnerability_at(4), 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Register renaming and physical-register liveness tracking.
+//!
+//! The register file's masking model (paper Section 4.1): raw errors strike
+//! each of the 256 entries with equal probability, and an error in an entry
+//! is masked iff the value there "will never be read in the future". A
+//! physical register is therefore *vulnerable* from the cycle its value is
+//! produced (writeback) through the cycle of its last read.
+
+use serr_workload::RegId;
+
+/// Identifies a physical register: bank-local index plus bank flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysReg {
+    /// Index within the bank.
+    pub idx: u16,
+    /// Whether this is an FP-bank register.
+    pub fp: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PhysState {
+    /// Cycle the current value was produced (writeback), if produced.
+    written: Option<u64>,
+    /// Cycle of the latest read of the current value.
+    last_read: Option<u64>,
+}
+
+/// Rename tables plus free lists for both banks, with liveness recording.
+#[derive(Debug)]
+pub struct RenameState {
+    int_map: [PhysReg; RegId::BANK_SIZE as usize],
+    fp_map: [PhysReg; RegId::BANK_SIZE as usize],
+    int_free: Vec<u16>,
+    fp_free: Vec<u16>,
+    int_state: Vec<PhysState>,
+    fp_state: Vec<PhysState>,
+    /// Completed liveness intervals `[start, end]` in cycles.
+    intervals: Vec<(u64, u64)>,
+}
+
+impl RenameState {
+    /// Creates rename state with `int_phys`/`fp_phys` physical registers per
+    /// bank. The 32 architectural registers of each bank start mapped to
+    /// physical 0..32, holding program-input values written at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bank has no headroom beyond the architectural registers
+    /// (checked by `SimConfig::validate`).
+    #[must_use]
+    pub fn new(int_phys: usize, fp_phys: usize) -> Self {
+        let arch = RegId::BANK_SIZE as usize;
+        assert!(int_phys > arch && fp_phys > arch);
+        let ident =
+            |i: usize, fp: bool| PhysReg { idx: i as u16, fp };
+        let mut int_map = [ident(0, false); RegId::BANK_SIZE as usize];
+        let mut fp_map = [ident(0, true); RegId::BANK_SIZE as usize];
+        for i in 0..arch {
+            int_map[i] = ident(i, false);
+            fp_map[i] = ident(i, true);
+        }
+        let initial = PhysState { written: Some(0), last_read: None };
+        let free_state = PhysState { written: None, last_read: None };
+        let mut int_state = vec![initial.clone(); arch];
+        int_state.extend(std::iter::repeat_n(free_state.clone(), int_phys - arch));
+        let mut fp_state = vec![initial; arch];
+        fp_state.extend(std::iter::repeat_n(free_state, fp_phys - arch));
+        RenameState {
+            int_map,
+            fp_map,
+            int_free: (arch as u16..int_phys as u16).rev().collect(),
+            fp_free: (arch as u16..fp_phys as u16).rev().collect(),
+            int_state,
+            fp_state,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Current physical mapping of an architectural register.
+    #[must_use]
+    pub fn lookup(&self, arch: RegId) -> PhysReg {
+        match arch {
+            RegId::Int(i) => self.int_map[i as usize],
+            RegId::Fp(i) => self.fp_map[i as usize],
+        }
+    }
+
+    /// Whether a free physical register exists in the bank `arch` needs.
+    #[must_use]
+    pub fn can_rename(&self, arch: RegId) -> bool {
+        match arch {
+            RegId::Int(_) => !self.int_free.is_empty(),
+            RegId::Fp(_) => !self.fp_free.is_empty(),
+        }
+    }
+
+    /// Renames `arch` to a fresh physical register, returning
+    /// `(new_phys, previous_phys)`; the previous mapping must be released
+    /// with [`RenameState::release`] when the renaming instruction retires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free register exists (guard with
+    /// [`RenameState::can_rename`]).
+    pub fn rename(&mut self, arch: RegId) -> (PhysReg, PhysReg) {
+        let (map, free, fp) = match arch {
+            RegId::Int(i) => (&mut self.int_map[i as usize], &mut self.int_free, false),
+            RegId::Fp(i) => (&mut self.fp_map[i as usize], &mut self.fp_free, true),
+        };
+        let idx = free.pop().expect("no free physical register");
+        let prev = *map;
+        let new = PhysReg { idx, fp };
+        *map = new;
+        new
+            .pipe_state(self)
+            .clone_from(&PhysState { written: None, last_read: None });
+        (new, prev)
+    }
+
+    /// Records that `phys` produced its value at `cycle` (writeback).
+    pub fn record_write(&mut self, phys: PhysReg, cycle: u64) {
+        let st = phys.pipe_state(self);
+        st.written = Some(cycle);
+        st.last_read = None;
+    }
+
+    /// Records a read of `phys` at `cycle`.
+    pub fn record_read(&mut self, phys: PhysReg, cycle: u64) {
+        let st = phys.pipe_state(self);
+        debug_assert!(st.written.is_some(), "read of unwritten physical register");
+        match &mut st.last_read {
+            Some(lr) => *lr = (*lr).max(cycle),
+            none => *none = Some(cycle),
+        }
+    }
+
+    /// Releases a previously current mapping (at retirement of the
+    /// instruction that superseded it), closing its liveness interval.
+    pub fn release(&mut self, phys: PhysReg) {
+        self.close_interval(phys);
+        match phys.fp {
+            false => self.int_free.push(phys.idx),
+            true => self.fp_free.push(phys.idx),
+        }
+    }
+
+    fn close_interval(&mut self, phys: PhysReg) {
+        let st = phys.pipe_state(self);
+        let (written, last_read) = (st.written.take(), st.last_read.take());
+        if let (Some(w), Some(r)) = (written, last_read) {
+            // Value produced and read: vulnerable over [w, r].
+            self.intervals.push((w, r.max(w)));
+        }
+        // Written but never read: dead on arrival — no vulnerable interval
+        // (this is exactly the paper's masking condition).
+    }
+
+    /// Flushes liveness for values still mapped at simulation end and
+    /// returns all `(start_cycle, end_cycle)` vulnerable intervals.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<(u64, u64)> {
+        let mapped: Vec<PhysReg> =
+            self.int_map.iter().chain(self.fp_map.iter()).copied().collect();
+        for phys in mapped {
+            self.close_interval(phys);
+        }
+        self.intervals
+    }
+
+    /// Number of completed vulnerable intervals so far.
+    #[must_use]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+impl PhysReg {
+    fn pipe_state(self, rs: &mut RenameState) -> &mut PhysState {
+        if self.fp {
+            &mut rs.fp_state[self.idx as usize]
+        } else {
+            &mut rs.int_state[self.idx as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_allocates_and_release_recycles() {
+        let mut rs = RenameState::new(34, 34);
+        let (p1, prev1) = rs.rename(RegId::Int(3));
+        assert_ne!(p1, prev1);
+        assert_eq!(rs.lookup(RegId::Int(3)), p1);
+        let (p2, _) = rs.rename(RegId::Int(4));
+        // Both spares consumed.
+        assert!(!rs.can_rename(RegId::Int(0)));
+        assert!(rs.can_rename(RegId::Fp(0)));
+        rs.release(prev1);
+        assert!(rs.can_rename(RegId::Int(0)));
+        let (p3, _) = rs.rename(RegId::Int(5));
+        assert_eq!(p3.idx, prev1.idx);
+        assert_ne!(p3, p2);
+    }
+
+    #[test]
+    fn liveness_interval_spans_write_to_last_read() {
+        let mut rs = RenameState::new(40, 40);
+        let (p, _prev) = rs.rename(RegId::Int(0));
+        rs.record_write(p, 100);
+        rs.record_read(p, 120);
+        rs.record_read(p, 110); // out-of-order reads keep the max
+        // Superseding write retires: the old value's liveness closes.
+        let (_p2, prev2) = rs.rename(RegId::Int(0));
+        assert_eq!(prev2, p);
+        rs.release(prev2);
+        assert_eq!(rs.interval_count(), 1);
+        let ivs = rs.finish();
+        assert!(ivs.contains(&(100, 120)));
+    }
+
+    #[test]
+    fn never_read_values_are_dead() {
+        let mut rs = RenameState::new(40, 40);
+        let (p, _) = rs.rename(RegId::Fp(1));
+        rs.record_write(p, 50);
+        let (_, prev) = rs.rename(RegId::Fp(1));
+        rs.release(prev);
+        // Initial arch values (written at 0, never read) are dead too.
+        let ivs = rs.finish();
+        assert!(ivs.is_empty());
+    }
+
+    #[test]
+    fn initial_architectural_values_count_when_read() {
+        let mut rs = RenameState::new(40, 40);
+        let p = rs.lookup(RegId::Int(7));
+        rs.record_read(p, 30);
+        let ivs = rs.finish();
+        assert!(ivs.contains(&(0, 30)));
+    }
+
+    #[test]
+    fn finish_closes_in_flight_values() {
+        let mut rs = RenameState::new(40, 40);
+        let (p, _) = rs.rename(RegId::Int(2));
+        rs.record_write(p, 10);
+        rs.record_read(p, 25);
+        let ivs = rs.finish();
+        assert!(ivs.contains(&(10, 25)));
+    }
+}

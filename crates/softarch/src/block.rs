@@ -1,0 +1,320 @@
+//! The composable failure-time algebra behind SoftArch's MTTF computation.
+//!
+//! SoftArch determines the expected time to *first* failure from per-cycle
+//! failure probabilities. A [`Block`] summarizes a stretch of execution by
+//! three numbers — its length, the probability of failing inside it, and
+//! the expected-failure-time mass accumulated inside it — and blocks
+//! compose:
+//!
+//! * sequential execution is [`Block::then`];
+//! * a loop body executed `k` times is [`Block::tile`] (closed form, so a
+//!   12-hour half of the `combined` workload that tiles a benchmark 40
+//!   million times costs O(1));
+//! * an infinitely repeating workload's MTTF is [`Block::mttf_cycles`].
+//!
+//! The failure probability is stored directly (not as survival) so that
+//! blocks with astronomically small per-iteration failure probabilities —
+//! exactly the `λL → 0` regime the paper studies — keep full relative
+//! precision through composition.
+
+/// Numerically stable `1 − e^{−x}`.
+fn omen(x: f64) -> f64 {
+    -(-x).exp_m1()
+}
+
+/// A summary of a stretch of execution for first-failure analysis.
+///
+/// Invariants: `fail_prob ∈ [0, 1]`, `fail_time_mass ≥ 0`, and
+/// `fail_time_mass ≤ len · fail_prob` (a failure inside the block happens
+/// before the block ends).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Block {
+    /// Length in cycles.
+    len: f64,
+    /// Probability a failure occurs in the block: `1 − ∏(1 − p_c)`.
+    fail_prob: f64,
+    /// `Σ_c (∏_{j<c}(1−p_j)) · p_c · t_c` with `t_c` from block start.
+    fail_time_mass: f64,
+}
+
+impl Block {
+    /// A block of `cycles` cycles under constant failure intensity
+    /// `rho` per cycle (per-cycle failure probability `1 − e^{−ρ}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is negative or `cycles` is zero.
+    #[must_use]
+    pub fn constant(rho: f64, cycles: u64) -> Self {
+        assert!(rho >= 0.0, "intensity must be non-negative");
+        assert!(cycles > 0, "block must span at least one cycle");
+        let d = cycles as f64;
+        if rho == 0.0 {
+            return Block { len: d, fail_prob: 0.0, fail_time_mass: 0.0 };
+        }
+        // Single cycle: fails at its start with p = 1 − e^{−ρ}.
+        // Tiling that d times gives (telescoped, stable):
+        //   mass = (g1 − 1) − (d − 1)·e^{−ρd},  g1 = (1 − e^{−ρd})/(1 − e^{−ρ}).
+        let q = omen(rho * d);
+        let g1 = q / omen(rho);
+        let s_d = (-rho * d).exp();
+        Block { len: d, fail_prob: q, fail_time_mass: ((g1 - 1.0) - (d - 1.0) * s_d).max(0.0) }
+    }
+
+    /// Length in cycles.
+    #[must_use]
+    pub fn len(&self) -> f64 {
+        self.len
+    }
+
+    /// True only for a degenerate zero-length block (not constructible via
+    /// the public API; provided for completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0.0
+    }
+
+    /// Probability a failure occurs inside the block.
+    #[must_use]
+    pub fn fail_prob(&self) -> f64 {
+        self.fail_prob
+    }
+
+    /// Probability of surviving the whole block (`1 − fail_prob`; may round
+    /// to 1.0 for tiny failure probabilities — use [`Block::fail_prob`] for
+    /// precise work).
+    #[must_use]
+    pub fn survival(&self) -> f64 {
+        1.0 - self.fail_prob
+    }
+
+    /// The expected-failure-time mass (see struct docs).
+    #[must_use]
+    pub fn fail_time_mass(&self) -> f64 {
+        self.fail_time_mass
+    }
+
+    /// Sequential composition: this block, then `next`.
+    #[must_use]
+    pub fn then(&self, next: &Block) -> Block {
+        let (q1, q2) = (self.fail_prob, next.fail_prob);
+        Block {
+            len: self.len + next.len,
+            // 1 − (1−q1)(1−q2), preserving tiny probabilities.
+            fail_prob: (q1 + q2 - q1 * q2).clamp(0.0, 1.0),
+            // Failures in `next` happen after `self.len` cycles and are
+            // conditioned on surviving `self`.
+            fail_time_mass: self.fail_time_mass
+                + (1.0 - q1) * (next.fail_time_mass + self.len * q2),
+        }
+    }
+
+    /// This block repeated `k` times, in closed form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn tile(&self, k: u64) -> Block {
+        assert!(k > 0, "tile count must be positive");
+        if k == 1 {
+            return *self;
+        }
+        let q = self.fail_prob;
+        let kf = k as f64;
+        if q == 0.0 {
+            return Block { len: self.len * kf, fail_prob: 0.0, fail_time_mass: 0.0 };
+        }
+        // q_k = 1 − (1−q)^k, computed in log space for stability.
+        let q_k = -((kf * (-q).ln_1p()).exp_m1());
+        let s_k = 1.0 - q_k;
+        // g1 = Σ_{j<k} (1−q)^j = q_k/q; (1−q)·Σ j(1−q)^j telescopes to
+        // (g1 − 1) − (k−1)(1−q)^k.
+        let g1 = q_k / q;
+        let mass = self.fail_time_mass * g1 + self.len * ((g1 - 1.0) - (kf - 1.0) * s_k);
+        Block { len: self.len * kf, fail_prob: q_k, fail_time_mass: mass.max(0.0) }
+    }
+
+    /// The MTTF, in cycles, of this block repeated forever:
+    /// `MTTF = (mass + len·(1 − q)) / q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block can never fail (`fail_prob == 0`).
+    #[must_use]
+    pub fn mttf_cycles(&self) -> f64 {
+        assert!(self.fail_prob > 0.0, "block never fails; MTTF is infinite");
+        (self.fail_time_mass + self.len * (1.0 - self.fail_prob)) / self.fail_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation: explicit per-cycle accumulation.
+    fn naive(rho: f64, cycles: u64) -> Block {
+        let p = 1.0 - (-rho).exp();
+        let mut survival = 1.0;
+        let mut mass = 0.0;
+        for c in 0..cycles {
+            mass += survival * p * c as f64;
+            survival *= 1.0 - p;
+        }
+        Block { len: cycles as f64, fail_prob: 1.0 - survival, fail_time_mass: mass }
+    }
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-300)
+    }
+
+    #[test]
+    fn constant_matches_naive_accumulation() {
+        for &(rho, d) in &[(0.1, 50u64), (0.01, 500), (1.0, 10), (1e-6, 1000)] {
+            let fast = Block::constant(rho, d);
+            let slow = naive(rho, d);
+            assert!(close(fast.fail_prob, slow.fail_prob, 1e-10), "q ρ={rho} d={d}");
+            assert!(
+                close(fast.fail_time_mass, slow.fail_time_mass, 1e-8),
+                "mass ρ={rho} d={d}: {} vs {}",
+                fast.fail_time_mass,
+                slow.fail_time_mass
+            );
+        }
+    }
+
+    #[test]
+    fn then_matches_naive_concatenation() {
+        let a = Block::constant(0.05, 30);
+        let b = Block::constant(0.002, 70);
+        let joined = a.then(&b);
+        // Reference: cycle-by-cycle with piecewise intensity.
+        let mut survival = 1.0;
+        let mut mass = 0.0;
+        for c in 0..100u64 {
+            let p = if c < 30 { 1.0 - (-0.05f64).exp() } else { 1.0 - (-0.002f64).exp() };
+            mass += survival * p * c as f64;
+            survival *= 1.0 - p;
+        }
+        assert!(close(joined.survival(), survival, 1e-12));
+        assert!(close(joined.fail_time_mass, mass, 1e-9));
+        assert_eq!(joined.len, 100.0);
+    }
+
+    #[test]
+    fn tile_equals_repeated_then() {
+        let b = Block::constant(0.01, 17);
+        let mut manual = b;
+        for _ in 1..6 {
+            manual = manual.then(&b);
+        }
+        let tiled = b.tile(6);
+        assert!(close(manual.fail_prob, tiled.fail_prob, 1e-12));
+        assert!(close(manual.fail_time_mass, tiled.fail_time_mass, 1e-10));
+        assert_eq!(manual.len, tiled.len);
+    }
+
+    #[test]
+    fn mttf_of_constant_intensity_is_geometric_mean_time() {
+        // Constant ρ per cycle, failures at cycle starts: the failure cycle
+        // index is geometric with p = 1−e^{−ρ}, so MTTF = (1−p)/p.
+        for &rho in &[0.5, 0.01, 1e-5] {
+            let b = Block::constant(rho, 1000);
+            let p = 1.0 - (-rho).exp();
+            let want = (1.0 - p) / p;
+            let got = b.mttf_cycles();
+            assert!(close(got, want, 1e-9), "ρ={rho}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn busy_idle_mttf_close_to_continuous_renewal() {
+        // Discrete SoftArch vs continuous renewal differ by O(ρ) per cycle;
+        // at ρ = 1e-4 they agree to ~4 digits.
+        let rho = 1e-4;
+        let (busy, idle) = (2_000u64, 8_000u64);
+        let block = Block::constant(rho, busy).then(&Block::constant(0.0, idle));
+        let sa = block.mttf_cycles();
+        let trace = serr_trace::IntervalTrace::busy_idle(busy, idle).unwrap();
+        let renewal = serr_analytic::renewal::renewal_mttf_cycles(&trace, rho);
+        assert!(close(sa, renewal, 1e-3), "softarch {sa} vs renewal {renewal}");
+    }
+
+    #[test]
+    fn tiny_failure_probabilities_survive_tiling() {
+        // Per-tile q ~ 1e-12; 1e6 tiles must give q_k ~ 1e-6 with full
+        // relative precision, not 1-ulp noise around survival = 1.0.
+        let b = Block::constant(1e-15, 1000); // q ≈ 1e-12
+        let big = b.tile(1_000_000);
+        assert!(close(big.fail_prob, 1e-6, 1e-3), "q_k {}", big.fail_prob);
+        let mttf = big.mttf_cycles();
+        // MTTF ≈ 1/ρ (always vulnerable at rate 1e-15/cycle).
+        assert!(close(mttf, 1e15, 1e-6), "mttf {mttf}");
+    }
+
+    #[test]
+    fn huge_tile_counts_are_exact_not_iterated() {
+        let b = Block::constant(1e-9, 1_000_000);
+        let big = b.tile(40_000_000);
+        assert!(big.fail_prob > 0.999_999);
+        assert!((big.mttf_cycles() - b.mttf_cycles()).abs() / b.mttf_cycles() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "never fails")]
+    fn mttf_of_unfailing_block_panics() {
+        let _ = Block::constant(0.0, 10).mttf_cycles();
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold(
+            rho in 1e-8f64..0.5,
+            d in 1u64..10_000,
+            k in 1u64..1000,
+        ) {
+            let b = Block::constant(rho, d).tile(k);
+            prop_assert!(b.fail_prob > 0.0 && b.fail_prob <= 1.0);
+            prop_assert!(b.fail_time_mass >= 0.0);
+            // A failure inside the block happens before it ends.
+            prop_assert!(b.fail_time_mass <= b.len * b.fail_prob * (1.0 + 1e-9));
+        }
+
+        #[test]
+        fn then_is_associative(
+            r1 in 1e-6f64..0.3, r2 in 1e-6f64..0.3, r3 in 1e-6f64..0.3,
+            d1 in 1u64..500, d2 in 1u64..500, d3 in 1u64..500,
+        ) {
+            let (a, b, c) = (
+                Block::constant(r1, d1),
+                Block::constant(r2, d2),
+                Block::constant(r3, d3),
+            );
+            let left = a.then(&b).then(&c);
+            let right = a.then(&b.then(&c));
+            prop_assert!(close(left.fail_prob, right.fail_prob, 1e-12));
+            prop_assert!(close(left.fail_time_mass, right.fail_time_mass, 1e-9));
+        }
+
+        #[test]
+        fn mttf_bounded_by_intensity_envelopes(
+            rho in 1e-6f64..0.1,
+            busy in 1u64..500,
+            idle in 0u64..500,
+        ) {
+            let block = if idle == 0 {
+                Block::constant(rho, busy)
+            } else {
+                Block::constant(rho, busy).then(&Block::constant(0.0, idle))
+            };
+            let mttf = block.mttf_cycles();
+            let p = 1.0 - (-rho).exp();
+            let always_busy = (1.0 - p) / p;
+            let avf = busy as f64 / (busy + idle) as f64;
+            prop_assert!(mttf >= always_busy * (1.0 - 1e-9));
+            // No slower than the AVF-derated bound (+1 cycle discretization).
+            prop_assert!(mttf <= always_busy / avf + (busy + idle) as f64);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Property test: SoftArch's discrete block algebra agrees with the
+//! continuous renewal closed form on randomly shaped traces whenever the
+//! per-cycle intensity is small (their difference is O(ρ) per cycle).
+
+use proptest::prelude::*;
+use serr_softarch::SoftArch;
+use serr_trace::IntervalTrace;
+use serr_types::{Frequency, RawErrorRate};
+
+proptest! {
+    #[test]
+    fn softarch_matches_renewal_on_random_traces(
+        levels in proptest::collection::vec((0..=8u8).prop_map(|q| f64::from(q) / 8.0), 2..60),
+        lambda_l_exp in -6.0f64..1.5,
+        tiles in 1u64..500,
+    ) {
+        prop_assume!(levels.iter().any(|&v| v > 0.0));
+        let trace = IntervalTrace::from_levels(&levels).unwrap();
+        let freq = Frequency::base();
+        let period_s = levels.len() as f64 / freq.hz();
+        let lambda_l = 10f64.powf(lambda_l_exp);
+        let rate = RawErrorRate::per_second(lambda_l / period_s);
+
+        let sa = SoftArch::new(freq);
+        let soft = sa.component_mttf(&trace, rate).unwrap();
+        let exact = serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap();
+        let err = (soft.as_secs() - exact.as_secs()).abs() / exact.as_secs();
+        // ρ per cycle ≤ λL/len ≤ 30/2: discretization error is O(ρ).
+        let rho = lambda_l / levels.len() as f64;
+        prop_assert!(err < rho.max(1e-9) * 2.0 + 1e-9, "err {err}, ρ {rho}");
+
+        // Tiling the same trace must not change the infinite-repetition
+        // MTTF (the workload loop is the same).
+        let tiled = sa
+            .tiled_mttf(&[(&trace, tiles)], rate)
+            .unwrap();
+        let terr = (tiled.as_secs() - soft.as_secs()).abs() / soft.as_secs();
+        prop_assert!(terr < 1e-6, "tiled {terr}");
+    }
+}

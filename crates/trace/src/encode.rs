@@ -1,0 +1,131 @@
+//! Compact binary encoding of interval traces.
+//!
+//! Simulated masking traces are expensive to produce (minutes of detailed
+//! timing simulation); this module lets benchmark harnesses cache them on
+//! disk. The format is deliberately simple: a magic/version header, a
+//! segment count, then `(u64 length, f64 vulnerability)` pairs, all
+//! little-endian.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serr_types::SerrError;
+
+use crate::{IntervalTrace, Segment};
+
+const MAGIC: &[u8; 4] = b"SERT";
+const VERSION: u8 = 1;
+
+/// Serializes an [`IntervalTrace`] to the compact binary format.
+///
+/// ```
+/// use serr_trace::{decode_interval_trace, encode_interval_trace, IntervalTrace};
+/// let t = IntervalTrace::busy_idle(10, 20).unwrap();
+/// let bytes = encode_interval_trace(&t);
+/// assert_eq!(decode_interval_trace(&bytes).unwrap(), t);
+/// ```
+#[must_use]
+pub fn encode_interval_trace(trace: &IntervalTrace) -> Bytes {
+    let segs: Vec<Segment> = trace.segments().collect();
+    let mut buf = BytesMut::with_capacity(4 + 1 + 8 + segs.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(segs.len() as u64);
+    for s in segs {
+        buf.put_u64_le(s.len);
+        buf.put_f64_le(s.vulnerability);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace produced by [`encode_interval_trace`].
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidTrace`] on a bad magic, unsupported version,
+/// truncated input, or invalid segment contents.
+pub fn decode_interval_trace(mut bytes: &[u8]) -> Result<IntervalTrace, SerrError> {
+    if bytes.len() < 13 {
+        return Err(SerrError::invalid_trace("encoded trace truncated before header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SerrError::invalid_trace("bad magic in encoded trace"));
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(SerrError::invalid_trace(format!("unsupported trace version {version}")));
+    }
+    let count = bytes.get_u64_le();
+    let need = (count as usize).checked_mul(16).ok_or_else(|| {
+        SerrError::invalid_trace("segment count overflows")
+    })?;
+    if bytes.remaining() != need {
+        return Err(SerrError::invalid_trace(format!(
+            "expected {need} bytes of segments, found {}",
+            bytes.remaining()
+        )));
+    }
+    let mut segments = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = bytes.get_u64_le();
+        let v = bytes.get_f64_le();
+        segments.push(Segment::new(len, v)?);
+    }
+    IntervalTrace::from_segments(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = IntervalTrace::busy_idle(100, 50).unwrap();
+        let enc = encode_interval_trace(&t);
+        assert_eq!(decode_interval_trace(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_fractional_levels() {
+        let levels: Vec<f64> = (0..257).map(|i| (i % 17) as f64 / 16.0).collect();
+        let t = IntervalTrace::from_levels(&levels).unwrap();
+        let enc = encode_interval_trace(&t);
+        let dec = decode_interval_trace(&enc).unwrap();
+        assert_eq!(dec, t);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let t = IntervalTrace::busy_idle(4, 4).unwrap();
+        let enc = encode_interval_trace(&t).to_vec();
+
+        // Truncated.
+        assert!(decode_interval_trace(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_interval_trace(&enc[..5]).is_err());
+        assert!(decode_interval_trace(&[]).is_err());
+
+        // Bad magic.
+        let mut bad = enc.clone();
+        bad[0] = b'X';
+        assert!(decode_interval_trace(&bad).is_err());
+
+        // Bad version.
+        let mut bad = enc.clone();
+        bad[4] = 99;
+        assert!(decode_interval_trace(&bad).is_err());
+
+        // Vulnerability out of range.
+        let mut bad = enc;
+        let vuln_offset = 4 + 1 + 8 + 8;
+        bad[vuln_offset..vuln_offset + 8].copy_from_slice(&2.0f64.to_le_bytes());
+        assert!(decode_interval_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let t = IntervalTrace::busy_idle(4, 4).unwrap();
+        let mut enc = encode_interval_trace(&t).to_vec();
+        enc.push(0);
+        assert!(decode_interval_trace(&enc).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on trace invariants.
+
+use proptest::prelude::*;
+
+use crate::{
+    decode_interval_trace, encode_interval_trace, CompositeTrace, DenseTrace, IntervalTrace,
+    Segment, VulnerabilityTrace,
+};
+use std::sync::Arc;
+
+fn arb_levels() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0..=16u8).prop_map(|q| f64::from(q) / 16.0), 1..200)
+}
+
+fn arb_segments() -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec(
+        (1..1000u64, (0..=20u8).prop_map(|q| f64::from(q) / 20.0))
+            .prop_map(|(len, v)| Segment::new(len, v).expect("valid by construction")),
+        1..30,
+    )
+}
+
+proptest! {
+    #[test]
+    fn interval_avf_in_unit_range(segs in arb_segments()) {
+        let t = IntervalTrace::from_segments(segs).unwrap();
+        let avf = t.avf();
+        prop_assert!((0.0..=1.0).contains(&avf));
+    }
+
+    #[test]
+    fn interval_matches_dense_reference(levels in arb_levels()) {
+        let dense = DenseTrace::new(levels.clone()).unwrap();
+        let interval = IntervalTrace::from_levels(&levels).unwrap();
+        prop_assert_eq!(dense.period_cycles(), interval.period_cycles());
+        for c in 0..levels.len() as u64 {
+            prop_assert!((dense.vulnerability_at(c) - interval.vulnerability_at(c)).abs() < 1e-6);
+        }
+        prop_assert!((dense.avf() - interval.avf()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_consistent(segs in arb_segments()) {
+        let t = IntervalTrace::from_segments(segs).unwrap();
+        let period = t.period_cycles();
+        let step = (period / 64).max(1);
+        let mut prev = 0.0;
+        let mut r = 0;
+        while r <= period {
+            let c = t.cumulative_within_period(r);
+            prop_assert!(c >= prev - 1e-12, "cumulative decreased at {}", r);
+            prev = c;
+            r += step;
+        }
+        // Full-period cumulative equals AVF x L.
+        let full = t.cumulative_within_period(period);
+        prop_assert!((full - t.avf() * period as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_difference_equals_pointwise_sum(levels in arb_levels()) {
+        let t = IntervalTrace::from_levels(&levels).unwrap();
+        let n = levels.len() as u64;
+        let a = n / 3;
+        let b = 2 * n / 3;
+        let diff = t.cumulative_within_period(b) - t.cumulative_within_period(a);
+        let direct: f64 = (a..b).map(|c| t.vulnerability_at(c)).sum();
+        prop_assert!((diff - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(segs in arb_segments()) {
+        let t = IntervalTrace::from_segments(segs).unwrap();
+        let enc = encode_interval_trace(&t);
+        let dec = decode_interval_trace(&enc).unwrap();
+        prop_assert_eq!(dec, t);
+    }
+
+    #[test]
+    fn composite_vulnerability_bounded(
+        a in arb_levels(),
+        w1 in 0.1f64..100.0,
+        w2 in 0.1f64..100.0,
+    ) {
+        let n = a.len();
+        let b: Vec<f64> = a.iter().map(|v| 1.0 - v).collect();
+        let ta: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::from_levels(&a).unwrap());
+        let tb: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::from_levels(&b).unwrap());
+        let c = CompositeTrace::new(vec![(w1, ta), (w2, tb)]).unwrap();
+        for cyc in 0..n as u64 {
+            let v = c.vulnerability_at(cyc);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c.avf()));
+    }
+
+    #[test]
+    fn wraparound_agrees_with_reduction(levels in arb_levels(), k in 0u64..5, off in 0u64..1000) {
+        let t = IntervalTrace::from_levels(&levels).unwrap();
+        let period = t.period_cycles();
+        let cycle = k * period + (off % period);
+        prop_assert_eq!(t.vulnerability_at(cycle), t.vulnerability_at(cycle % period));
+    }
+}
+
+proptest! {
+    #[test]
+    fn breakpoints_cover_all_value_changes(levels in arb_levels()) {
+        let t = IntervalTrace::from_levels(&levels).unwrap();
+        let bps = t.breakpoints();
+        prop_assert_eq!(*bps.last().unwrap(), t.period_cycles());
+        // Between consecutive breakpoints the vulnerability is constant.
+        let mut start = 0u64;
+        for &end in &bps {
+            let v = t.vulnerability_at(start);
+            for c in start..end {
+                prop_assert_eq!(t.vulnerability_at(c), v);
+            }
+            start = end;
+        }
+        // Dense representation agrees on breakpoints semantics.
+        let dense = DenseTrace::new(levels).unwrap();
+        let dbps = dense.breakpoints();
+        prop_assert_eq!(*dbps.last().unwrap(), dense.period_cycles());
+    }
+}

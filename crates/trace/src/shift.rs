@@ -1,0 +1,170 @@
+//! Phase-shifted view of a trace.
+
+use std::sync::Arc;
+
+use crate::VulnerabilityTrace;
+
+/// A trace viewed with a cyclic phase offset: `v'(c) = v(c + shift)`.
+///
+/// The paper's cluster experiments assume every processor runs the workload
+/// phase-aligned ("we assume all processors run the same workload"); shifting
+/// per-component phases is the natural ablation of that assumption — with
+/// random offsets, component idle windows no longer coincide and the SOFR
+/// discrepancy washes out.
+///
+/// ```
+/// use std::sync::Arc;
+/// use serr_trace::{IntervalTrace, ShiftedTrace, VulnerabilityTrace};
+///
+/// let base = Arc::new(IntervalTrace::busy_idle(2, 2).unwrap());
+/// let shifted = ShiftedTrace::new(base, 2);
+/// // The busy window moved from cycles [0,2) to [2,4).
+/// assert_eq!(shifted.vulnerability_at(0), 0.0);
+/// assert_eq!(shifted.vulnerability_at(2), 1.0);
+/// assert_eq!(shifted.avf(), 0.5);
+/// ```
+#[derive(Clone)]
+pub struct ShiftedTrace {
+    inner: Arc<dyn VulnerabilityTrace>,
+    /// Offset reduced modulo the inner period.
+    shift: u64,
+}
+
+impl ShiftedTrace {
+    /// Wraps `inner` with a cyclic offset of `shift` cycles (reduced modulo
+    /// the period).
+    #[must_use]
+    pub fn new(inner: Arc<dyn VulnerabilityTrace>, shift: u64) -> Self {
+        let shift = shift % inner.period_cycles();
+        ShiftedTrace { inner, shift }
+    }
+
+    /// The effective offset in cycles (already reduced).
+    #[must_use]
+    pub fn shift(&self) -> u64 {
+        self.shift
+    }
+}
+
+impl std::fmt::Debug for ShiftedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShiftedTrace")
+            .field("shift", &self.shift)
+            .field("period", &self.inner.period_cycles())
+            .finish()
+    }
+}
+
+impl VulnerabilityTrace for ShiftedTrace {
+    fn period_cycles(&self) -> u64 {
+        self.inner.period_cycles()
+    }
+
+    fn vulnerability_at(&self, cycle: u64) -> f64 {
+        let period = self.period_cycles();
+        self.inner.vulnerability_at((cycle % period + self.shift) % period)
+    }
+
+    fn cumulative_within_period(&self, r: u64) -> f64 {
+        // U'(r) = U(shift + r) − U(shift), with U extended periodically.
+        self.inner.cumulative_vulnerability(self.shift + r)
+            - self.inner.cumulative_vulnerability(self.shift)
+    }
+
+    fn breakpoints(&self) -> Vec<u64> {
+        let period = self.period_cycles();
+        let mut out: Vec<u64> = self
+            .inner
+            .breakpoints()
+            .into_iter()
+            .map(|b| (b + period - self.shift) % period)
+            .filter(|&b| b != 0)
+            .collect();
+        out.push(period);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntervalTrace;
+
+    fn base() -> Arc<dyn VulnerabilityTrace> {
+        Arc::new(IntervalTrace::from_levels(&[1.0, 1.0, 0.5, 0.0, 0.0, 0.25]).unwrap())
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let b = base();
+        let s = ShiftedTrace::new(b.clone(), 0);
+        for c in 0..6 {
+            assert_eq!(s.vulnerability_at(c), b.vulnerability_at(c));
+        }
+        assert_eq!(s.cumulative_within_period(6), b.cumulative_within_period(6));
+        assert_eq!(s.breakpoints().last(), Some(&6));
+    }
+
+    #[test]
+    fn shift_rotates_pointwise() {
+        let b = base();
+        for shift in 0..12u64 {
+            let s = ShiftedTrace::new(b.clone(), shift);
+            assert_eq!(s.shift(), shift % 6);
+            for c in 0..6 {
+                assert_eq!(
+                    s.vulnerability_at(c),
+                    b.vulnerability_at((c + shift) % 6),
+                    "shift={shift}, c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avf_is_shift_invariant() {
+        let b = base();
+        for shift in 0..6u64 {
+            let s = ShiftedTrace::new(b.clone(), shift);
+            assert!((s.avf() - b.avf()).abs() < 1e-12, "shift={shift}");
+        }
+    }
+
+    #[test]
+    fn cumulative_matches_pointwise_sum() {
+        let b = base();
+        for shift in 0..6u64 {
+            let s = ShiftedTrace::new(b.clone(), shift);
+            let mut acc = 0.0;
+            for r in 0..=6u64 {
+                assert!(
+                    (s.cumulative_within_period(r) - acc).abs() < 1e-12,
+                    "shift={shift}, r={r}"
+                );
+                if r < 6 {
+                    acc += s.vulnerability_at(r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breakpoints_delimit_constant_spans() {
+        let b = base();
+        for shift in 0..6u64 {
+            let s = ShiftedTrace::new(b.clone(), shift);
+            let bps = s.breakpoints();
+            assert_eq!(*bps.last().unwrap(), 6);
+            let mut start = 0u64;
+            for &end in &bps {
+                let v = s.vulnerability_at(start);
+                for c in start..end {
+                    assert_eq!(s.vulnerability_at(c), v, "shift={shift}, span [{start},{end})");
+                }
+                start = end;
+            }
+        }
+    }
+}

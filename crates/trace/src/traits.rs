@@ -1,0 +1,199 @@
+//! The [`VulnerabilityTrace`] abstraction.
+
+use std::sync::Arc;
+
+/// A periodic per-cycle vulnerability function `v(c) ∈ [0, 1]`.
+///
+/// `v(c)` is the probability that a raw error event striking the component in
+/// cycle `c` causes a program-visible failure (is *not* architecturally
+/// masked). The trace repeats with period [`period_cycles`], modeling the
+/// paper's infinitely looping workload.
+///
+/// Implementors must guarantee:
+///
+/// * `period_cycles() > 0`;
+/// * `vulnerability_at(c) ∈ [0, 1]` for all `c` (callers pass absolute cycle
+///   counts; implementations reduce modulo the period);
+/// * `cumulative_within_period(r)` equals `Σ_{c < r} v(c)` for
+///   `r ≤ period_cycles()`, and is therefore monotone with
+///   `cumulative_within_period(period_cycles()) == avf() × period`.
+///
+/// [`period_cycles`]: VulnerabilityTrace::period_cycles
+pub trait VulnerabilityTrace: Send + Sync {
+    /// The iteration length `L` in cycles.
+    fn period_cycles(&self) -> u64;
+
+    /// Vulnerability of the cycle `cycle mod period`.
+    fn vulnerability_at(&self, cycle: u64) -> f64;
+
+    /// `Σ_{c < r} v(c)` for `r` **within** one period (`0 ≤ r ≤ L`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `r > period_cycles()`.
+    fn cumulative_within_period(&self, r: u64) -> f64;
+
+    /// The architecture vulnerability factor: the average of `v` over the
+    /// period (paper Section 2.2 — "the percentage of time the component
+    /// contains ACE bits").
+    fn avf(&self) -> f64 {
+        self.cumulative_within_period(self.period_cycles()) / self.period_cycles() as f64
+    }
+
+    /// Cumulative vulnerability over an arbitrary span of `cycles` from the
+    /// start of the trace: `k·U(L) + U(r)` where `cycles = k·L + r`.
+    ///
+    /// Returned as an `f64` count of "vulnerable cycles"; exact while the
+    /// total stays below 2⁵³.
+    fn cumulative_vulnerability(&self, cycles: u64) -> f64 {
+        let period = self.period_cycles();
+        let k = cycles / period;
+        let r = cycles % period;
+        k as f64 * self.cumulative_within_period(period) + self.cumulative_within_period(r)
+    }
+
+    /// True if every cycle is fully masked (`AVF = 0`): the component can
+    /// never fail, and MTTF is undefined.
+    fn is_never_vulnerable(&self) -> bool {
+        self.avf() == 0.0
+    }
+
+    /// Sorted, strictly increasing cycle offsets at which the vulnerability
+    /// may change, ending with `period_cycles()`. Between consecutive
+    /// breakpoints the vulnerability is constant, which lets analytic
+    /// solvers integrate the survival function in closed form per span.
+    fn breakpoints(&self) -> Vec<u64>;
+
+    /// The survival-function integrals that determine the exact renewal
+    /// MTTF for a component with per-cycle raw error rate `lambda_cycle`:
+    /// returns `(∫₀ᴸ e^{−λU(s)} ds, U(L))` where `U(s)` is the cumulative
+    /// vulnerability and `L` the period (both in cycle units).
+    ///
+    /// The default implementation integrates span-by-span over
+    /// [`breakpoints`]; representations whose breakpoint list would be
+    /// astronomically long (e.g. a trace tiled millions of times, like the
+    /// paper's `combined` workload) override this with a closed form.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `lambda_cycle` is not positive.
+    ///
+    /// [`breakpoints`]: VulnerabilityTrace::breakpoints
+    fn survival_weight(&self, lambda_cycle: f64) -> (f64, f64) {
+        assert!(lambda_cycle > 0.0, "per-cycle rate must be positive");
+        // Numerically stable 1 − e^{−x}.
+        let omen = |x: f64| -(-x).exp_m1();
+        let mut integral = 0.0f64;
+        let mut start = 0u64;
+        let mut u0 = 0.0f64;
+        for end in self.breakpoints() {
+            let delta = (end - start) as f64;
+            let v = self.vulnerability_at(start);
+            let head = (-lambda_cycle * u0).exp();
+            if v > 0.0 {
+                integral += head * omen(lambda_cycle * v * delta) / (lambda_cycle * v);
+            } else {
+                integral += head * delta;
+            }
+            u0 += v * delta;
+            start = end;
+        }
+        (integral, u0)
+    }
+
+    /// Structural decomposition for representations built by tiling other
+    /// traces (e.g. [`crate::ConcatTrace`]): the ordered `(part, tiles)`
+    /// list, or `None` for flat traces. Estimators that fold per-cycle
+    /// quantities (like SoftArch's block algebra) use this to handle
+    /// day-scale tiled workloads in closed form instead of enumerating
+    /// breakpoints.
+    fn tiling(&self) -> Option<Vec<(Arc<dyn VulnerabilityTrace>, u64)>> {
+        None
+    }
+}
+
+impl<T: VulnerabilityTrace + ?Sized> VulnerabilityTrace for &T {
+    fn period_cycles(&self) -> u64 {
+        (**self).period_cycles()
+    }
+    fn vulnerability_at(&self, cycle: u64) -> f64 {
+        (**self).vulnerability_at(cycle)
+    }
+    fn cumulative_within_period(&self, r: u64) -> f64 {
+        (**self).cumulative_within_period(r)
+    }
+    fn avf(&self) -> f64 {
+        (**self).avf()
+    }
+    fn breakpoints(&self) -> Vec<u64> {
+        (**self).breakpoints()
+    }
+    fn survival_weight(&self, lambda_cycle: f64) -> (f64, f64) {
+        (**self).survival_weight(lambda_cycle)
+    }
+    fn tiling(&self) -> Option<Vec<(Arc<dyn VulnerabilityTrace>, u64)>> {
+        (**self).tiling()
+    }
+}
+
+impl<T: VulnerabilityTrace + ?Sized> VulnerabilityTrace for std::sync::Arc<T> {
+    fn period_cycles(&self) -> u64 {
+        (**self).period_cycles()
+    }
+    fn vulnerability_at(&self, cycle: u64) -> f64 {
+        (**self).vulnerability_at(cycle)
+    }
+    fn cumulative_within_period(&self, r: u64) -> f64 {
+        (**self).cumulative_within_period(r)
+    }
+    fn avf(&self) -> f64 {
+        (**self).avf()
+    }
+    fn breakpoints(&self) -> Vec<u64> {
+        (**self).breakpoints()
+    }
+    fn survival_weight(&self, lambda_cycle: f64) -> (f64, f64) {
+        (**self).survival_weight(lambda_cycle)
+    }
+    fn tiling(&self) -> Option<Vec<(Arc<dyn VulnerabilityTrace>, u64)>> {
+        (**self).tiling()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntervalTrace;
+    use std::sync::Arc;
+
+    #[test]
+    fn cumulative_over_multiple_periods() {
+        let t = IntervalTrace::busy_idle(2, 2).unwrap();
+        // Period 4, U(L) = 2.
+        assert_eq!(t.cumulative_vulnerability(0), 0.0);
+        assert_eq!(t.cumulative_vulnerability(4), 2.0);
+        assert_eq!(t.cumulative_vulnerability(9), 4.0 + 1.0);
+        assert_eq!(t.cumulative_vulnerability(11), 4.0 + 2.0);
+    }
+
+    #[test]
+    fn trait_object_and_smart_pointer_forwarding() {
+        let t = IntervalTrace::busy_idle(1, 3).unwrap();
+        let by_ref: &dyn VulnerabilityTrace = &t;
+        assert_eq!(by_ref.avf(), 0.25);
+        let arc: Arc<dyn VulnerabilityTrace> = Arc::new(t);
+        assert_eq!(arc.avf(), 0.25);
+        assert_eq!(arc.period_cycles(), 4);
+        assert_eq!(arc.vulnerability_at(4), 1.0);
+        assert_eq!(arc.cumulative_within_period(2), 1.0);
+        assert!(!arc.is_never_vulnerable());
+    }
+
+    #[test]
+    fn never_vulnerable_detection() {
+        let t = IntervalTrace::constant(10, 0.0).unwrap();
+        assert!(t.is_never_vulnerable());
+        let t = IntervalTrace::constant(10, 0.5).unwrap();
+        assert!(!t.is_never_vulnerable());
+    }
+}

@@ -1,0 +1,85 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the soft-error-analysis crates.
+///
+/// Most APIs in this workspace enforce their invariants statically or by
+/// panicking on programmer error per the validation guidelines; `SerrError`
+/// covers the genuinely runtime-fallible operations (parsing, configuration
+/// validation, non-converging numerics).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SerrError {
+    /// A configuration value was inconsistent or out of range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A trace was malformed (empty, zero period, vulnerability out of range).
+    InvalidTrace {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// The routine that failed.
+        what: String,
+        /// Iterations or subdivisions consumed before giving up.
+        after: usize,
+    },
+    /// A named workload or benchmark was not recognized.
+    UnknownWorkload {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl SerrError {
+    /// Convenience constructor for [`SerrError::InvalidConfig`].
+    #[must_use]
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        SerrError::InvalidConfig { reason: reason.into() }
+    }
+
+    /// Convenience constructor for [`SerrError::InvalidTrace`].
+    #[must_use]
+    pub fn invalid_trace(reason: impl Into<String>) -> Self {
+        SerrError::InvalidTrace { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for SerrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerrError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SerrError::InvalidTrace { reason } => write!(f, "invalid trace: {reason}"),
+            SerrError::NoConvergence { what, after } => {
+                write!(f, "{what} did not converge after {after} steps")
+            }
+            SerrError::UnknownWorkload { name } => write!(f, "unknown workload `{name}`"),
+        }
+    }
+}
+
+impl Error for SerrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let e = SerrError::invalid_config("retirement rate is zero");
+        assert_eq!(e.to_string(), "invalid configuration: retirement rate is zero");
+        let e = SerrError::NoConvergence { what: "adaptive simpson".into(), after: 40 };
+        assert_eq!(e.to_string(), "adaptive simpson did not converge after 40 steps");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SerrError>();
+    }
+}

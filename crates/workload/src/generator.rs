@@ -1,0 +1,510 @@
+//! Deterministic synthetic instruction-trace generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BenchmarkProfile, BranchInfo, Instruction, OpClass, RegId};
+
+/// Cache-line size assumed by the address generator (matches Table 1's
+/// 128-byte lines).
+const LINE: u64 = 128;
+
+/// Registers `BANK_SIZE - PINNED ..` of each bank hold long-lived values
+/// (loop-carried variables, base pointers): they are read throughout the
+/// program and rarely rewritten, giving register-file values realistic
+/// lifetimes.
+const PINNED: u8 = 4;
+/// Probability a source operand names a pinned register.
+const PINNED_READ_PROB: f64 = 0.15;
+/// Probability an ALU result refreshes a pinned register.
+const PINNED_WRITE_PROB: f64 = 0.002;
+
+/// Static branch sites per program. Real programs execute a few hundred hot
+/// branches; per-site direction bias is what lets history-based predictors
+/// work.
+const BRANCH_SITES: usize = 512;
+
+/// An infinite, deterministic stream of instructions statistically matching
+/// a [`BenchmarkProfile`].
+///
+/// Dependencies are modeled by drawing each source register from the
+/// destination written a geometrically distributed number of instructions
+/// ago; memory addresses mix sequential striding with uniform jumps inside
+/// the profile's working set; branches are marked mispredicted at the
+/// profile's rate.
+///
+/// ```
+/// use serr_workload::{BenchmarkProfile, TraceGenerator};
+/// let p = BenchmarkProfile::by_name("swim").unwrap();
+/// let a: Vec<_> = TraceGenerator::new(p.clone(), 7).take(100).collect();
+/// let b: Vec<_> = TraceGenerator::new(p, 7).take(100).collect();
+/// assert_eq!(a, b); // same seed, same trace
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    rng: SmallRng,
+    /// Cumulative mix thresholds for op-class selection.
+    cdf: [f64; 8],
+    /// Ring buffer of recent destination registers, newest last.
+    recent_dsts: Vec<RegId>,
+    /// Rolling cursor for sequential memory accesses.
+    next_addr: u64,
+    /// Round-robin destination allocation cursors.
+    next_int_dst: u8,
+    next_fp_dst: u8,
+    /// Instructions emitted so far (drives program-phase alternation).
+    emitted: u64,
+    /// Per-site taken probability; most sites are strongly biased (the
+    /// empirical bimodality of real branch behavior).
+    branch_bias: Vec<f64>,
+}
+
+impl TraceGenerator {
+    /// Maximum dependency distance tracked.
+    const WINDOW: usize = 64;
+
+    /// Creates a generator for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation; construct profiles through
+    /// [`BenchmarkProfile`] to avoid this.
+    #[must_use]
+    pub fn new(profile: BenchmarkProfile, seed: u64) -> Self {
+        profile.validate().expect("invalid benchmark profile");
+        let mix = profile.mix.as_array();
+        let mut cdf = [0.0; 8];
+        let mut acc = 0.0;
+        for (slot, frac) in cdf.iter_mut().zip(mix) {
+            acc += frac;
+            *slot = acc;
+        }
+        cdf[7] = 1.0 + 1e-12; // guard against rounding at the top
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let branch_bias = (0..BRANCH_SITES)
+            .map(|_| {
+                // ~80% of sites strongly biased (taken or not-taken loops
+                // and guards), the rest genuinely data-dependent.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                if u < 0.4 {
+                    rng.gen_range(0.90..0.995) // loop back-edges
+                } else if u < 0.8 {
+                    rng.gen_range(0.005..0.10) // rarely-taken guards
+                } else {
+                    rng.gen_range(0.25..0.75) // data-dependent
+                }
+            })
+            .collect();
+        TraceGenerator {
+            profile,
+            rng,
+            cdf,
+            recent_dsts: Vec::with_capacity(Self::WINDOW),
+            next_addr: 0,
+            next_int_dst: 0,
+            next_fp_dst: 0,
+            emitted: 0,
+            branch_bias,
+        }
+    }
+
+    /// The profile this generator imitates.
+    #[must_use]
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Whether the program is currently inside its memory-bound phase
+    /// (always false for profiles without [`crate::PhaseBehavior`]).
+    #[must_use]
+    pub fn in_memory_phase(&self) -> bool {
+        match &self.profile.phases {
+            Some(p) => {
+                let pos = self.emitted % p.period_instructions;
+                // The memory phase occupies the tail of each cycle.
+                pos >= ((1.0 - p.memory_fraction) * p.period_instructions as f64) as u64
+            }
+            None => false,
+        }
+    }
+
+    fn pick_op(&mut self) -> OpClass {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let idx = self.cdf.iter().position(|&t| u < t).unwrap_or(7);
+        let op = [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpOp,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+        ][idx];
+        // Memory phases are pointer chasing, not numerics: FP work is
+        // displaced by loads and address arithmetic, idling the FP units
+        // for the whole phase — the long-idle-window structure that makes
+        // SPEC-class traces interesting at cluster scale.
+        if op.is_fp() && self.in_memory_phase() {
+            return if self.rng.gen_range(0.0..1.0) < 0.7 {
+                OpClass::Load
+            } else {
+                OpClass::IntAlu
+            };
+        }
+        op
+    }
+
+    /// Draws a source from the dependency-distance distribution, falling
+    /// back to a random register when history is short. A small fraction of
+    /// reads name the pinned long-lived registers.
+    fn pick_src(&mut self, want_fp: bool) -> RegId {
+        if self.rng.gen_range(0.0..1.0) < PINNED_READ_PROB {
+            let r = RegId::BANK_SIZE - 1 - self.rng.gen_range(0..PINNED);
+            return if want_fp { RegId::Fp(r) } else { RegId::Int(r) };
+        }
+        // Geometric with mean `mean_dep_distance` (shortened in memory
+        // phases).
+        let p = 1.0 / self.current_dep_distance();
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let dist = (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as usize + 1;
+        if dist <= self.recent_dsts.len() {
+            let candidate = self.recent_dsts[self.recent_dsts.len() - dist];
+            // Keep bank affinity plausible: FP ops read FP registers.
+            match (want_fp, candidate) {
+                (true, RegId::Fp(_)) | (false, RegId::Int(_)) => return candidate,
+                _ => {}
+            }
+        }
+        let r = self.rng.gen_range(0..RegId::BANK_SIZE);
+        if want_fp {
+            RegId::Fp(r)
+        } else {
+            RegId::Int(r)
+        }
+    }
+
+    fn alloc_dst(&mut self, fp: bool) -> RegId {
+        // Occasionally refresh a pinned long-lived register; otherwise
+        // round-robin over the short-lived range.
+        if self.rng.gen_range(0.0..1.0) < PINNED_WRITE_PROB {
+            let r = RegId::BANK_SIZE - 1 - self.rng.gen_range(0..PINNED);
+            return if fp { RegId::Fp(r) } else { RegId::Int(r) };
+        }
+        let wrap = RegId::BANK_SIZE - PINNED;
+        if fp {
+            let r = RegId::Fp(self.next_fp_dst);
+            self.next_fp_dst = (self.next_fp_dst + 1) % wrap;
+            r
+        } else {
+            let r = RegId::Int(self.next_int_dst);
+            self.next_int_dst = (self.next_int_dst + 1) % wrap;
+            r
+        }
+    }
+
+    fn record_dst(&mut self, dst: RegId) {
+        if self.recent_dsts.len() == Self::WINDOW {
+            self.recent_dsts.remove(0);
+        }
+        self.recent_dsts.push(dst);
+    }
+
+    fn pick_addr(&mut self) -> u64 {
+        // Memory phases abandon spatial locality and roam a working set an
+        // order of magnitude beyond the caches: pointer chasing through
+        // cold data.
+        let in_mem = self.in_memory_phase();
+        let ws = if in_mem {
+            self.profile.working_set_bytes.max(4 * 1024 * 1024).saturating_mul(32)
+        } else {
+            self.profile.working_set_bytes
+        };
+        let locality = if in_mem { 0.05 } else { self.profile.spatial_locality };
+        let sequential: f64 = self.rng.gen_range(0.0..1.0);
+        if sequential < locality {
+            self.next_addr = (self.next_addr + 8) % ws;
+        } else {
+            self.next_addr = self.rng.gen_range(0..ws / 8) * 8;
+        }
+        self.next_addr
+    }
+
+    /// Dependency distance parameter for the current phase: memory phases
+    /// chain dependences tightly (address computations feeding loads).
+    fn current_dep_distance(&self) -> f64 {
+        if self.in_memory_phase() {
+            (self.profile.mean_dep_distance / 2.0).max(1.0)
+        } else {
+            self.profile.mean_dep_distance
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        self.emitted += 1;
+        let op = self.pick_op();
+        let inst = match op {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv => {
+                let s0 = self.pick_src(false);
+                let s1 = self.pick_src(false);
+                let dst = self.alloc_dst(false);
+                self.record_dst(dst);
+                Instruction::alu(op, dst, [Some(s0), Some(s1)])
+            }
+            OpClass::FpOp | OpClass::FpDiv => {
+                let s0 = self.pick_src(true);
+                let s1 = self.pick_src(true);
+                let dst = self.alloc_dst(true);
+                self.record_dst(dst);
+                Instruction::alu(op, dst, [Some(s0), Some(s1)])
+            }
+            OpClass::Load => {
+                let addr_reg = self.pick_src(false);
+                // FP suites load into FP registers roughly as often as they
+                // compute in them.
+                let fp_dest = self.profile.mix.fp_op > 0.0 && self.rng.gen_range(0.0..1.0) < 0.6;
+                let dst = self.alloc_dst(fp_dest);
+                let addr = self.pick_addr();
+                self.record_dst(dst);
+                Instruction::load(dst, Some(addr_reg), addr)
+            }
+            OpClass::Store => {
+                let fp_src = self.profile.mix.fp_op > 0.0 && self.rng.gen_range(0.0..1.0) < 0.6;
+                let src = self.pick_src(fp_src);
+                let addr_reg = self.pick_src(false);
+                let addr = self.pick_addr();
+                Instruction::store(src, Some(addr_reg), addr)
+            }
+            OpClass::Branch => {
+                let cond = self.pick_src(false);
+                // Hot sites are reused much more than cold ones (u² skews
+                // the distribution toward low indices).
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                let site = ((u * u) * BRANCH_SITES as f64) as u32;
+                let bias = self.branch_bias[site as usize % BRANCH_SITES];
+                let taken = self.rng.gen_range(0.0..1.0) < bias;
+                let hint =
+                    self.rng.gen_range(0.0..1.0) < self.profile.branch_mispredict_rate;
+                Instruction::branch(
+                    Some(cond),
+                    BranchInfo { site, taken, mispredict_hint: hint },
+                )
+            }
+        };
+        Some(inst)
+    }
+}
+
+/// Summary statistics of a generated instruction window, for validating the
+/// generator against its profile.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceStats {
+    /// Fraction of integer ops.
+    pub int_frac: f64,
+    /// Fraction of FP ops.
+    pub fp_frac: f64,
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of branches.
+    pub branch_frac: f64,
+    /// Fraction of branches that are mispredicted.
+    pub mispredict_rate: f64,
+    /// Distinct cache lines touched.
+    pub lines_touched: usize,
+}
+
+impl TraceStats {
+    /// Measures `insts`.
+    #[must_use]
+    pub fn measure(insts: &[Instruction]) -> TraceStats {
+        let n = insts.len().max(1) as f64;
+        let mut s = TraceStats::default();
+        let mut branches = 0usize;
+        let mut misses = 0usize;
+        let mut lines = std::collections::HashSet::new();
+        for i in insts {
+            if i.op.is_integer() {
+                s.int_frac += 1.0;
+            } else if i.op.is_fp() {
+                s.fp_frac += 1.0;
+            } else if i.op.is_load() {
+                s.load_frac += 1.0;
+            } else if i.op == crate::OpClass::Store {
+                s.store_frac += 1.0;
+            } else if i.op.is_branch() {
+                s.branch_frac += 1.0;
+                branches += 1;
+                misses += usize::from(i.branch.is_some_and(|b| b.mispredict_hint));
+            }
+            if let Some(a) = i.mem_addr {
+                lines.insert(a / LINE);
+            }
+        }
+        s.int_frac /= n;
+        s.fp_frac /= n;
+        s.load_frac /= n;
+        s.store_frac /= n;
+        s.branch_frac /= n;
+        s.mispredict_rate = if branches > 0 { misses as f64 / branches as f64 } else { 0.0 };
+        s.lines_touched = lines.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, n: usize) -> Vec<Instruction> {
+        TraceGenerator::new(BenchmarkProfile::by_name(name).unwrap(), 1234).take(n).collect()
+    }
+
+    #[test]
+    fn mix_converges_to_profile() {
+        for name in ["gzip", "mcf", "swim", "ammp"] {
+            let p = BenchmarkProfile::by_name(name).unwrap();
+            let stats = TraceStats::measure(&sample(name, 200_000));
+            let want_int = p.mix.int_alu + p.mix.int_mul + p.mix.int_div;
+            let want_fp = p.mix.fp_op + p.mix.fp_div;
+            assert!((stats.int_frac - want_int).abs() < 0.01, "{name} int {stats:?}");
+            assert!((stats.fp_frac - want_fp).abs() < 0.01, "{name} fp");
+            assert!((stats.load_frac - p.mix.load).abs() < 0.01, "{name} load");
+            assert!((stats.store_frac - p.mix.store).abs() < 0.01, "{name} store");
+            assert!((stats.branch_frac - p.mix.branch).abs() < 0.01, "{name} branch");
+        }
+    }
+
+    #[test]
+    fn mispredict_rate_matches_profile() {
+        let p = BenchmarkProfile::by_name("perlbmk").unwrap();
+        let stats = TraceStats::measure(&sample("perlbmk", 300_000));
+        assert!(
+            (stats.mispredict_rate - p.branch_mispredict_rate).abs() < 0.01,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn working_set_bounds_lines_touched() {
+        // gzip's 192 KiB working set = 1536 lines of 128 B.
+        let stats = TraceStats::measure(&sample("gzip", 100_000));
+        assert!(stats.lines_touched <= 1536);
+        assert!(stats.lines_touched > 100, "should explore the working set");
+        // mcf's 64 MiB working set with random chasing touches far more.
+        let mcf = TraceStats::measure(&sample("mcf", 100_000));
+        assert!(mcf.lines_touched > stats.lines_touched * 4);
+    }
+
+    #[test]
+    fn determinism_and_divergence() {
+        let a = sample("gcc", 1000);
+        let b = sample("gcc", 1000);
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(
+            BenchmarkProfile::by_name("gcc").unwrap(),
+            99,
+        )
+        .take(1000)
+        .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dependencies_reference_recent_writes() {
+        // With mean distance 3, most integer sources should name registers
+        // written within the last ~16 instructions.
+        let p = BenchmarkProfile::by_name("mcf").unwrap(); // dep distance 3.0
+        let insts: Vec<_> = TraceGenerator::new(p, 5).take(10_000).collect();
+        let mut last_writer: std::collections::HashMap<RegId, usize> =
+            std::collections::HashMap::new();
+        let mut near = 0usize;
+        let mut total = 0usize;
+        for (i, inst) in insts.iter().enumerate() {
+            for src in inst.srcs.into_iter().flatten() {
+                if let Some(&w) = last_writer.get(&src) {
+                    total += 1;
+                    if i - w <= 16 {
+                        near += 1;
+                    }
+                }
+            }
+            if let Some(d) = inst.dst {
+                last_writer.insert(d, i);
+            }
+        }
+        assert!(total > 1000);
+        assert!(near as f64 / total as f64 > 0.5, "near {near}/{total}");
+    }
+
+    /// Fraction of memory accesses that continue sequentially from the
+    /// previous one, per window of `window` instructions.
+    fn sequential_fractions(insts: &[Instruction], window: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut prev: Option<u64> = None;
+        for chunk in insts.chunks(window) {
+            let mut seq = 0usize;
+            let mut total = 0usize;
+            for i in chunk {
+                if let Some(a) = i.mem_addr {
+                    if let Some(p) = prev {
+                        total += 1;
+                        if a == p + 8 {
+                            seq += 1;
+                        }
+                    }
+                    prev = Some(a);
+                }
+            }
+            if total > 0 {
+                out.push(seq as f64 / total as f64);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn phased_benchmarks_alternate_memory_behavior() {
+        // A phased profile: compute windows access memory sequentially ~50%
+        // of the time, memory windows ~5%. (Shipping profiles carry phase
+        // periods of millions of instructions; a compressed period keeps
+        // the test fast.)
+        let mut p = BenchmarkProfile::by_name("gcc").unwrap();
+        assert!(p.phases.is_some(), "gcc ships with phases");
+        p.phases = Some(crate::PhaseBehavior {
+            period_instructions: 300_000,
+            memory_fraction: 0.35,
+        });
+        let phase = p.phases.expect("set above");
+        let insts: Vec<_> = TraceGenerator::new(p, 77).take(900_000).collect();
+        let window = (phase.period_instructions as f64 * phase.memory_fraction / 2.0) as usize;
+        let fr = sequential_fractions(&insts, window);
+        let max = fr.iter().copied().fold(0.0, f64::max);
+        let min = fr.iter().copied().fold(1.0, f64::min);
+        assert!(max > 0.4, "compute-phase windows should be sequential: {fr:?}");
+        assert!(min < 0.15, "memory-phase windows should be chasing: {fr:?}");
+
+        // Unphased gzip shows no such modulation.
+        let gz = BenchmarkProfile::by_name("gzip").unwrap();
+        assert!(gz.phases.is_none());
+        let insts: Vec<_> = TraceGenerator::new(gz, 77).take(900_000).collect();
+        let fr = sequential_fractions(&insts, window);
+        let max = fr.iter().copied().fold(0.0, f64::max);
+        let min = fr.iter().copied().fold(1.0, f64::min);
+        assert!(max - min < 0.15, "gzip should be phase-free: {fr:?}");
+    }
+
+    #[test]
+    fn fp_benchmarks_write_fp_registers() {
+        let insts = sample("swim", 10_000);
+        let fp_dsts =
+            insts.iter().filter(|i| matches!(i.dst, Some(RegId::Fp(_)))).count();
+        assert!(fp_dsts > 3000, "fp dsts {fp_dsts}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Workloads for soft-error analysis: synthetic SPEC CPU2000-like benchmark
+//! instruction streams and the paper's synthesized long-horizon workloads.
+//!
+//! The paper drives its masking-trace generation with 100M-instruction
+//! traces of 21 SPEC CPU2000 programs (9 integer + 12 floating-point) and
+//! with three synthesized workloads (`day`, `week`, `combined`) that model
+//! utilization swings over hours-to-days time scales (Section 4).
+//!
+//! SPEC binaries and the authors' traces are proprietary, so this crate
+//! substitutes **synthetic benchmark profiles**: per-program instruction
+//! mixes, dependency-distance distributions, branch-misprediction rates, and
+//! memory-locality parameters chosen to imitate the named programs'
+//! published characteristics. The downstream pipeline (timing simulation →
+//! masking trace → MTTF estimation) is identical to the paper's; only the
+//! instruction bytes differ. See DESIGN.md for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use serr_workload::{BenchmarkProfile, TraceGenerator};
+//!
+//! let profile = BenchmarkProfile::by_name("mcf").unwrap();
+//! let insts: Vec<_> = TraceGenerator::new(profile.clone(), 42).take(1000).collect();
+//! assert_eq!(insts.len(), 1000);
+//! // mcf is memory-bound: expect plenty of loads.
+//! let loads = insts.iter().filter(|i| i.op.is_load()).count();
+//! assert!(loads > 150);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod inst;
+mod profile;
+pub mod synthesized;
+
+pub use generator::{TraceGenerator, TraceStats};
+pub use inst::{BranchInfo, Instruction, OpClass, RegId};
+pub use profile::{BenchmarkProfile, InstructionMix, PhaseBehavior, Suite};

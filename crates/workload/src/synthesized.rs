@@ -1,0 +1,138 @@
+//! The paper's synthesized long-horizon workloads (Section 4.2).
+//!
+//! > "The first (called *day*) is a continuous loop where the loop iteration
+//! > size is set to 24 hours. The loop is busy during the day (half the
+//! > time) and idle at night. The second (called *week*) is a loop with
+//! > iteration size one week. It is busy during the five business days of
+//! > the week and idle for the weekend. The third (called *combined*)
+//! > concatenates two SPEC benchmarks in a loop with iteration size of 24
+//! > hours."
+
+use std::sync::Arc;
+
+use serr_trace::{ConcatTrace, IntervalTrace, VulnerabilityTrace};
+use serr_types::{Frequency, Seconds, SerrError};
+
+/// The `day` workload: a 24-hour loop, fully busy for the first 12 hours,
+/// idle for the rest.
+///
+/// # Panics
+///
+/// Never panics for a valid frequency.
+///
+/// ```
+/// use serr_trace::VulnerabilityTrace;
+/// use serr_types::Frequency;
+/// let t = serr_workload::synthesized::day(Frequency::base());
+/// assert_eq!(t.avf(), 0.5);
+/// assert_eq!(t.period_cycles(), 24 * 3600 * 2_000_000_000);
+/// ```
+#[must_use]
+pub fn day(freq: Frequency) -> IntervalTrace {
+    duty_cycle(Seconds::from_hours(24.0), 0.5, freq).expect("day workload parameters are valid")
+}
+
+/// The `week` workload: a 7-day loop, busy for the 5 business days, idle for
+/// the weekend.
+#[must_use]
+pub fn week(freq: Frequency) -> IntervalTrace {
+    duty_cycle(Seconds::from_days(7.0), 5.0 / 7.0, freq)
+        .expect("week workload parameters are valid")
+}
+
+/// A general periodic busy/idle workload: a loop of `period` with the first
+/// `busy_fraction` of it fully vulnerable.
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidConfig`] if `busy_fraction` is outside
+/// `(0, 1]` or the period is shorter than one cycle.
+pub fn duty_cycle(
+    period: Seconds,
+    busy_fraction: f64,
+    freq: Frequency,
+) -> Result<IntervalTrace, SerrError> {
+    if !(busy_fraction > 0.0 && busy_fraction <= 1.0) {
+        return Err(SerrError::invalid_config(format!(
+            "busy fraction must be in (0,1], got {busy_fraction}"
+        )));
+    }
+    let total = period.to_cycles(freq);
+    if total < 1.0 {
+        return Err(SerrError::invalid_config("period shorter than one cycle"));
+    }
+    let total = total as u64;
+    let busy = ((total as f64 * busy_fraction) as u64).max(1);
+    IntervalTrace::busy_idle(busy, total - busy)
+}
+
+/// The `combined` workload: a 24-hour loop running workload `a` for the
+/// first 12 hours and workload `b` for the second 12 (each tiled from its
+/// own iteration-level masking trace, e.g. two simulated SPEC benchmarks).
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidTrace`] if either benchmark trace is longer
+/// than 12 hours of cycles.
+pub fn combined(
+    a: Arc<dyn VulnerabilityTrace>,
+    b: Arc<dyn VulnerabilityTrace>,
+    freq: Frequency,
+) -> Result<ConcatTrace, SerrError> {
+    let half = Seconds::from_hours(12.0).to_cycles(freq) as u64;
+    ConcatTrace::two_phase(a, half, b, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_and_week_match_paper_description() {
+        let f = Frequency::base();
+        let d = day(f);
+        assert_eq!(d.period_cycles(), (86_400.0 * f.hz()) as u64);
+        assert_eq!(d.avf(), 0.5);
+        // Busy at 6am, idle at 6pm (first half busy).
+        assert_eq!(d.vulnerability_at((6.0 * 3600.0 * f.hz()) as u64), 1.0);
+        assert_eq!(d.vulnerability_at((18.0 * 3600.0 * f.hz()) as u64), 0.0);
+
+        let w = week(f);
+        assert_eq!(w.period_cycles(), (7.0 * 86_400.0 * f.hz()) as u64);
+        assert!((w.avf() - 5.0 / 7.0).abs() < 1e-9);
+        // Busy on Wednesday, idle on Sunday.
+        assert_eq!(w.vulnerability_at((2.5 * 86_400.0 * f.hz()) as u64), 1.0);
+        assert_eq!(w.vulnerability_at((6.5 * 86_400.0 * f.hz()) as u64), 0.0);
+    }
+
+    #[test]
+    fn duty_cycle_respects_fraction() {
+        let f = Frequency::ghz(1.0);
+        let t = duty_cycle(Seconds::new(100.0), 0.25, f).unwrap();
+        assert!((t.avf() - 0.25).abs() < 1e-9);
+        assert!(duty_cycle(Seconds::new(100.0), 0.0, f).is_err());
+        assert!(duty_cycle(Seconds::new(100.0), 1.5, f).is_err());
+        assert!(duty_cycle(Seconds::new(1e-10), 0.5, f).is_err());
+    }
+
+    #[test]
+    fn combined_tiles_two_benchmarks() {
+        let f = Frequency::base();
+        // Two toy "benchmark" traces with different utilization.
+        let a: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::busy_idle(800_000, 200_000).unwrap());
+        let b: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::busy_idle(100_000, 900_000).unwrap());
+        let c = combined(a, b, f).unwrap();
+        // 24h of cycles (rounded down to whole benchmark iterations).
+        let day_cycles = (86_400.0 * f.hz()) as u64;
+        assert!(c.period_cycles() <= day_cycles);
+        assert!(c.period_cycles() > day_cycles - 2_000_000);
+        // Overall AVF is the average of the halves.
+        assert!((c.avf() - 0.45).abs() < 1e-6);
+        // First half behaves like benchmark a, second like b.
+        assert_eq!(c.vulnerability_at(0), 1.0);
+        let in_b = c.period_cycles() - 1_000_000 + 500_000;
+        assert_eq!(c.vulnerability_at(in_b), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! A cluster-operator's question: "can I trust AVF+SOFR for my fleet?"
+//!
+//! Sweeps cluster size and component raw error rate for a day/night server
+//! workload and prints where the SOFR projection starts lying — the
+//! Figure 6(b) scenario as a decision table.
+//!
+//! Run with: `cargo run --release --example cluster_design_space`
+
+use std::sync::Arc;
+
+use serr_core::prelude::*;
+
+fn main() -> Result<(), SerrError> {
+    let freq = Frequency::base();
+    let day: Arc<dyn VulnerabilityTrace> = Arc::new(serr_workload::synthesized::day(freq));
+    let validator = Validator::new(
+        freq,
+        MonteCarloConfig { trials: 50_000, ..Default::default() },
+    );
+
+    println!("SOFR trustworthiness map: day/night workload, per-processor");
+    println!("storage N bits at terrestrial baseline (0.001 FIT/bit)\n");
+    println!("{:>10} {:>10} {:>14} {:>14} {:>10}", "N (bits)", "cluster C", "SOFR MTTF", "true MTTF", "error");
+
+    for &n in &[1e6, 1e8, 1e9] {
+        let rate = RawErrorRate::baseline_per_bit().scale(n);
+        for &c in &[8u64, 5_000, 50_000] {
+            let v = validator.system_identical(day.clone(), rate, c)?;
+            let flag = if v.sofr_error_vs_mc > 0.10 { "  <-- do not trust" } else { "" };
+            println!(
+                "{:>10.0e} {:>10} {:>14} {:>14} {:>9.1}%{}",
+                n,
+                c,
+                human(v.mttf_sofr.as_secs()),
+                human(v.mttf_mc.mttf.as_secs()),
+                v.sofr_error_vs_mc * 100.0,
+                flag
+            );
+        }
+    }
+
+    println!("\nrule of thumb from the paper: SOFR needs BOTH the per-component");
+    println!("rate and the component count to be small relative to the workload's");
+    println!("utilization period; large clusters with day-scale phases break it.");
+    Ok(())
+}
+
+fn human(secs: f64) -> String {
+    if secs > 365.0 * 86_400.0 {
+        format!("{:.2} yr", secs / (365.0 * 86_400.0))
+    } else if secs > 86_400.0 {
+        format!("{:.2} d", secs / 86_400.0)
+    } else if secs > 3_600.0 {
+        format!("{:.2} h", secs / 3_600.0)
+    } else {
+        format!("{secs:.1} s")
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: estimate a component's soft-error MTTF four ways and see
+//! where the textbook AVF method stands.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use serr_core::prelude::*;
+
+fn main() -> Result<(), SerrError> {
+    // A server-style workload: a 24-hour loop, busy 12 hours a day — the
+    // paper's `day` workload.
+    let freq = Frequency::base();
+    let trace = serr_workload::synthesized::day(freq);
+    println!("workload: 24h loop, busy 12h -> AVF = {}", trace.avf());
+
+    // A 12.5 MB component (1e8 bits) at the terrestrial baseline rate: the
+    // paper's Figure 6(b) checkpoint.
+    let rate = RawErrorRate::baseline_per_bit().scale(1e8);
+    println!("component raw rate: {rate}");
+
+    // 1. The AVF step (the method under examination).
+    let avf_mttf = serr_core::avf::avf_step_mttf(&trace, rate)?;
+
+    // 2. Monte Carlo from first principles (the paper's ground truth).
+    let mc = MonteCarlo::new(MonteCarloConfig { trials: 100_000, ..Default::default() });
+    let mc_est = mc.component_mttf(&trace, rate, freq)?;
+
+    // 3. Exact renewal analysis (this workspace's closed form).
+    let renewal = serr_core::prelude::analytic::renewal::renewal_mttf(&trace, rate, freq)?;
+
+    // 4. SoftArch-style discrete bookkeeping.
+    let softarch = SoftArch::new(freq).component_mttf(&trace, rate)?;
+
+    println!("\n  AVF step : {:.4} years", avf_mttf.as_years());
+    println!(
+        "  MonteCarlo: {:.4} years (95% CI ±{:.2}%)",
+        mc_est.mttf.as_years(),
+        mc_est.relative_ci95() * 100.0
+    );
+    println!("  renewal  : {:.4} years", renewal.as_years());
+    println!("  SoftArch : {:.4} years", softarch.as_years());
+
+    // At this λ·L the AVF step is fine — scale the error rate up 5000x
+    // (accelerated test / outer space) and watch it break while the
+    // first-principles methods keep agreeing.
+    let hot = rate.scale(5_000.0);
+    let avf_hot = serr_core::avf::avf_step_mttf(&trace, hot)?;
+    let mc_hot = mc.component_mttf(&trace, hot, freq)?;
+    let sa_hot = SoftArch::new(freq).component_mttf(&trace, hot)?;
+    let err_avf = (avf_hot.as_secs() - mc_hot.mttf.as_secs()).abs() / mc_hot.mttf.as_secs();
+    let err_sa = (sa_hot.as_secs() - mc_hot.mttf.as_secs()).abs() / mc_hot.mttf.as_secs();
+    println!("\nat 5000x the raw rate (accelerated test conditions):");
+    println!("  AVF step error vs Monte Carlo : {:.1}%", err_avf * 100.0);
+    println!("  SoftArch error vs Monte Carlo : {:.2}%", err_sa * 100.0);
+    Ok(())
+}

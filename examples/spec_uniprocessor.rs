@@ -1,0 +1,73 @@
+//! A uniprocessor reliability study: simulate SPEC-like benchmarks on the
+//! paper's POWER4-like core, extract masking traces, and project processor
+//! MTTF with AVF+SOFR versus first principles (the Section 5.1 scenario).
+//!
+//! Run with: `cargo run --release --example spec_uniprocessor [benchmark...]`
+
+use std::sync::Arc;
+
+use serr_core::experiments::ExperimentConfig;
+use serr_core::pipeline::simulate_benchmark;
+use serr_core::prelude::*;
+
+fn main() -> Result<(), SerrError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks: Vec<String> = if args.is_empty() {
+        vec!["gzip".into(), "mcf".into(), "swim".into()]
+    } else {
+        args
+    };
+
+    let cfg = ExperimentConfig { sim_instructions: 200_000, ..ExperimentConfig::quick() };
+    let rates = UnitRates::paper();
+    let validator = Validator::new(cfg.frequency, cfg.mc);
+
+    for name in &benchmarks {
+        let run = simulate_benchmark(name, cfg.sim_instructions, cfg.seed)?;
+        let stats = &run.output.stats;
+        println!(
+            "\n=== {name}: {} instructions, {} cycles, IPC {:.2}, L1D miss {:.1}% ===",
+            stats.instructions,
+            stats.cycles,
+            stats.ipc(),
+            stats.l1d_miss_rate * 100.0
+        );
+
+        let t = &run.output.traces;
+        let units: [(&str, RawErrorRate, Arc<dyn VulnerabilityTrace>); 4] = [
+            ("int", rates.int_unit, Arc::new(t.int_unit.clone())),
+            ("fp", rates.fp_unit, Arc::new(t.fp_unit.clone())),
+            ("decode", rates.decode, Arc::new(t.decode.clone())),
+            ("regfile", rates.regfile, Arc::new(t.regfile.clone())),
+        ];
+        for (unit, rate, trace) in &units {
+            if trace.is_never_vulnerable() {
+                println!("  {unit:>7}: idle for the whole run (AVF 0, cannot fail)");
+                continue;
+            }
+            let v = validator.component(trace, *rate)?;
+            println!(
+                "  {unit:>7}: AVF {:.3}  MTTF(AVF) {:.1} yr  MTTF(MC) {:.1} yr  err {:.2}%",
+                v.avf,
+                v.mttf_avf.as_years(),
+                v.mttf_mc.mttf.as_years(),
+                v.avf_error_vs_mc * 100.0
+            );
+        }
+
+        // Processor-level: SOFR across the four components vs ground truth.
+        let parts: Vec<(RawErrorRate, Arc<dyn VulnerabilityTrace>)> =
+            units.iter().map(|(_, r, t)| (*r, t.clone())).collect();
+        let sys = validator.system_parts(&parts)?;
+        println!(
+            "  processor: SOFR {:.1} yr vs MC {:.1} yr -> SOFR error {:.2}% (SoftArch {:.2}%)",
+            sys.mttf_sofr.as_years(),
+            sys.mttf_mc.mttf.as_years(),
+            sys.sofr_error_vs_mc * 100.0,
+            sys.softarch_error_vs_mc * 100.0
+        );
+    }
+    println!("\npaper finding (Section 5.1): for uniprocessors running SPEC,");
+    println!("every discrepancy stays below the Monte-Carlo noise floor.");
+    Ok(())
+}

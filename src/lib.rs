@@ -1,0 +1,21 @@
+//! Umbrella library for the soft-error-analysis workspace: re-exports the
+//! component crates and hosts the `serr` command-line tool's argument
+//! model.
+//!
+//! Most users want a component crate directly (start with
+//! [`serr_core::prelude`]); this crate exists so the repository root can
+//! carry runnable examples, cross-crate integration tests, and the CLI.
+
+#![warn(missing_docs)]
+
+pub use serr_analytic as analytic;
+pub use serr_core as core;
+pub use serr_mc as mc;
+pub use serr_numeric as numeric;
+pub use serr_sim as sim;
+pub use serr_softarch as softarch;
+pub use serr_trace as trace;
+pub use serr_types as types;
+pub use serr_workload as workload;
+
+pub mod cli;

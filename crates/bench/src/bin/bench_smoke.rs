@@ -1,0 +1,102 @@
+//! Fixed smoke benchmark with machine-readable output.
+//!
+//! Criterion gives statistically careful numbers but its reports are for
+//! humans; this binary runs a small, fixed subset of the `engines` bench
+//! plus one figure sweep and writes the timings as JSON to
+//! `BENCH_engines.json` at the repository root, so successive PRs leave a
+//! perf trajectory that tooling can diff.
+//!
+//! Usage: `cargo run --release -p serr-bench --bin bench_smoke [out.json]`
+
+use std::time::Instant;
+
+use serr_core::experiments::{fig5, ExperimentConfig};
+use serr_core::prelude::Workload;
+use serr_mc::{MonteCarlo, MonteCarloConfig};
+use serr_trace::IntervalTrace;
+use serr_types::{Frequency, RawErrorRate};
+
+struct Timing {
+    name: &'static str,
+    iterations: u32,
+    mean_ms: f64,
+    min_ms: f64,
+}
+
+/// Times `f` over `iters` iterations after one untimed warmup.
+fn time<R>(name: &'static str, iters: u32, mut f: impl FnMut() -> R) -> Timing {
+    std::hint::black_box(f());
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        total += dt;
+        min = min.min(dt);
+    }
+    Timing { name, iterations: iters, mean_ms: total / f64::from(iters), min_ms: min }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        // crates/bench -> repository root.
+        format!("{}/../../BENCH_engines.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let freq = Frequency::base();
+    let mut timings = Vec::new();
+
+    // The `monte_carlo/fine_grained_10k_segments` criterion case, verbatim:
+    // the per-event phase-lookup stress test the compiled path targets.
+    let levels: Vec<f64> = (0..10_000).map(|i| f64::from(u32::from(i % 7 == 0))).collect();
+    let fine = IntervalTrace::from_levels(&levels).unwrap();
+    let mc = MonteCarlo::new(MonteCarloConfig { trials: 2_000, threads: 1, ..Default::default() });
+    let rate = RawErrorRate::per_year(100.0);
+    timings.push(time("monte_carlo/fine_grained_10k_segments", 20, || {
+        mc.component_mttf(&fine, rate, freq).unwrap()
+    }));
+
+    // The day-like case: two huge segments, stresses the period-skip math
+    // rather than the lookup.
+    let day_like = IntervalTrace::busy_idle(1_000_000, 1_000_000).unwrap();
+    let mc_day =
+        MonteCarlo::new(MonteCarloConfig { trials: 10_000, threads: 1, ..Default::default() });
+    let day_rate = RawErrorRate::per_year(1.0e4);
+    timings.push(time("monte_carlo/day_like_10k_trials", 20, || {
+        mc_day.component_mttf(&day_like, rate, freq).unwrap();
+        mc_day.component_mttf(&day_like, day_rate, freq).unwrap()
+    }));
+
+    // One figure sweep: three Figure 5 design points on the day workload,
+    // exercising the parallel fan-out in serr-core.
+    let sweep_cfg = ExperimentConfig {
+        mc: MonteCarloConfig { trials: 10_000, ..Default::default() },
+        ..ExperimentConfig::quick()
+    };
+    timings.push(time("sweep/fig5_day_3_points", 5, || {
+        fig5(&[Workload::Day], &[1e7, 1e10, 1e13], &sweep_cfg).unwrap()
+    }));
+
+    let entries: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"name\": \"{}\", \"iterations\": {}, \"mean_ms\": {:.4}, \"min_ms\": {:.4}}}",
+                t.name, t.iterations, t.mean_ms, t.min_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"suite\": \"engines-smoke\",\n  \"timings\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for t in &timings {
+        println!(
+            "{:<45} mean {:>10.3} ms   min {:>10.3} ms   ({} iters)",
+            t.name, t.mean_ms, t.min_ms, t.iterations
+        );
+    }
+    println!("\nwrote {out_path}");
+}

@@ -11,6 +11,7 @@ use serr_types::{Frequency, RawErrorRate, Seconds, SerrError};
 use serr_workload::synthesized;
 
 use crate::design::Workload;
+use crate::par;
 use crate::pipeline::{processor_trace, simulate_benchmark};
 use crate::rates::UnitRates;
 use crate::validate::Validator;
@@ -71,6 +72,21 @@ impl ExperimentConfig {
     fn validator(&self) -> Validator {
         Validator::new(self.frequency, self.mc)
     }
+}
+
+/// Picks the fan-out width for `jobs` independent design points, along with
+/// the per-job configuration. When more than one job runs at once, the
+/// inner Monte Carlo is pinned to a single thread so a sweep uses one core
+/// per design point instead of oversubscribing `jobs × cores`. The engine's
+/// chunk-based RNG makes estimates bit-identical at every thread count, so
+/// the pinning cannot change any row — only how the same work is scheduled.
+fn fanout(cfg: &ExperimentConfig, jobs: usize) -> (usize, ExperimentConfig) {
+    let threads = par::fanout_threads(jobs);
+    let mut inner = *cfg;
+    if threads > 1 {
+        inner.mc.threads = 1;
+    }
+    (threads, inner)
 }
 
 impl Default for ExperimentConfig {
@@ -173,51 +189,57 @@ pub struct Sec51Row {
 /// and the SOFR step across the four components of one processor, all
 /// versus Monte Carlo. The paper reports "< 0.5% discrepancy for all cases".
 ///
+/// Benchmarks fan out across cores ([`par::par_map`]); row order follows
+/// the input order and every row is bit-identical to a serial run.
+///
 /// # Errors
 ///
 /// Propagates pipeline and estimator errors.
 pub fn sec5_1(benchmarks: &[&str], cfg: &ExperimentConfig) -> Result<Vec<Sec51Row>, SerrError> {
+    let (threads, cfg) = fanout(cfg, benchmarks.len());
+    par::par_map(benchmarks, threads, |_, &name| sec5_1_row(name, &cfg))
+        .into_iter()
+        .collect()
+}
+
+fn sec5_1_row(name: &str, cfg: &ExperimentConfig) -> Result<Sec51Row, SerrError> {
     let rates = UnitRates::paper();
     let v = cfg.validator();
-    let mut rows = Vec::with_capacity(benchmarks.len());
-    for &name in benchmarks {
-        let run = simulate_benchmark(name, cfg.sim_instructions, cfg.seed)?;
-        let t = &run.output.traces;
-        let units: [(&str, RawErrorRate, Arc<dyn VulnerabilityTrace>); 4] = [
-            ("int", rates.int_unit, Arc::new(t.int_unit.clone())),
-            ("fp", rates.fp_unit, Arc::new(t.fp_unit.clone())),
-            ("decode", rates.decode, Arc::new(t.decode.clone())),
-            ("regfile", rates.regfile, Arc::new(t.regfile.clone())),
-        ];
-        let mut components = Vec::new();
-        let mut max_err = 0.0f64;
-        let mut max_err_exact = 0.0f64;
-        for (unit, rate, trace) in &units {
-            if trace.is_never_vulnerable() {
-                // FP units on integer benchmarks never fail; the AVF step
-                // and the first-principles methods agree trivially.
-                components.push(((*unit).to_owned(), 0.0, 0.0));
-                continue;
-            }
-            let cv = v.component(trace, *rate)?;
-            components.push(((*unit).to_owned(), cv.avf, cv.avf_error_vs_mc));
-            max_err = max_err.max(cv.avf_error_vs_mc);
-            max_err_exact = max_err_exact.max(cv.avf_error_vs_renewal);
+    let run = simulate_benchmark(name, cfg.sim_instructions, cfg.seed)?;
+    let t = &run.output.traces;
+    let units: [(&str, RawErrorRate, Arc<dyn VulnerabilityTrace>); 4] = [
+        ("int", rates.int_unit, Arc::new(t.int_unit.clone())),
+        ("fp", rates.fp_unit, Arc::new(t.fp_unit.clone())),
+        ("decode", rates.decode, Arc::new(t.decode.clone())),
+        ("regfile", rates.regfile, Arc::new(t.regfile.clone())),
+    ];
+    let mut components = Vec::new();
+    let mut max_err = 0.0f64;
+    let mut max_err_exact = 0.0f64;
+    for (unit, rate, trace) in &units {
+        if trace.is_never_vulnerable() {
+            // FP units on integer benchmarks never fail; the AVF step
+            // and the first-principles methods agree trivially.
+            components.push(((*unit).to_owned(), 0.0, 0.0));
+            continue;
         }
-        let parts: Vec<(RawErrorRate, Arc<dyn VulnerabilityTrace>)> =
-            units.iter().map(|(_, r, t)| (*r, t.clone())).collect();
-        let sv = v.system_parts(&parts)?;
-        rows.push(Sec51Row {
-            benchmark: name.to_owned(),
-            components,
-            max_component_error: max_err,
-            max_component_error_exact: max_err_exact,
-            sofr_error: sv.sofr_error_vs_mc,
-            sofr_error_exact: sv.sofr_error_vs_renewal,
-            ipc: run.output.stats.ipc(),
-        });
+        let cv = v.component(trace, *rate)?;
+        components.push(((*unit).to_owned(), cv.avf, cv.avf_error_vs_mc));
+        max_err = max_err.max(cv.avf_error_vs_mc);
+        max_err_exact = max_err_exact.max(cv.avf_error_vs_renewal);
     }
-    Ok(rows)
+    let parts: Vec<(RawErrorRate, Arc<dyn VulnerabilityTrace>)> =
+        units.iter().map(|(_, r, t)| (*r, t.clone())).collect();
+    let sv = v.system_parts(&parts)?;
+    Ok(Sec51Row {
+        benchmark: name.to_owned(),
+        components,
+        max_component_error: max_err,
+        max_component_error_exact: max_err_exact,
+        sofr_error: sv.sofr_error_vs_mc,
+        sofr_error_exact: sv.sofr_error_vs_renewal,
+        ipc: run.output.stats.ipc(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +268,10 @@ pub struct Fig5Row {
 /// Reproduces Figure 5: AVF-step error for the synthesized workloads at
 /// representative `N×S` values (C = 1 throughout).
 ///
+/// Traces are built serially (once per workload), then the
+/// `workload × N×S` design points fan out across cores with deterministic
+/// row order.
+///
 /// # Errors
 ///
 /// Propagates pipeline and estimator errors.
@@ -254,25 +280,30 @@ pub fn fig5(
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Fig5Row>, SerrError> {
-    let v = cfg.validator();
-    let mut rows = Vec::new();
+    let mut points: Vec<(Workload, Arc<dyn VulnerabilityTrace>, f64)> = Vec::new();
     for &w in workloads {
         let trace = synthesized_trace(w, cfg)?;
         for &prod in n_times_s {
-            let rate = RawErrorRate::baseline_per_bit().scale(prod);
-            let cv = v.component(&trace, rate)?;
-            rows.push(Fig5Row {
-                workload: w.label().to_owned(),
-                n_times_s: prod,
-                avf: cv.avf,
-                mttf_avf_years: cv.mttf_avf.as_years(),
-                mttf_mc_years: cv.mttf_mc.mttf.as_years(),
-                error: cv.avf_error_vs_mc,
-                softarch_error: cv.softarch_error_vs_mc,
-            });
+            points.push((w, trace.clone(), prod));
         }
     }
-    Ok(rows)
+    let (threads, cfg) = fanout(cfg, points.len());
+    let v = cfg.validator();
+    par::par_map(&points, threads, |_, (w, trace, prod)| {
+        let rate = RawErrorRate::baseline_per_bit().scale(*prod);
+        let cv = v.component(trace, rate)?;
+        Ok(Fig5Row {
+            workload: w.label().to_owned(),
+            n_times_s: *prod,
+            avf: cv.avf,
+            mttf_avf_years: cv.mttf_avf.as_years(),
+            mttf_mc_years: cv.mttf_mc.mttf.as_years(),
+            error: cv.avf_error_vs_mc,
+            softarch_error: cv.softarch_error_vs_mc,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -301,6 +332,9 @@ pub struct Fig6Row {
 /// Reproduces Figure 6(a): SOFR error for clusters of processors running
 /// SPEC benchmarks.
 ///
+/// Per-benchmark simulation runs serially; the `benchmark × C × N×S`
+/// design points then fan out across cores with deterministic row order.
+///
 /// # Errors
 ///
 /// Propagates pipeline and estimator errors.
@@ -310,16 +344,16 @@ pub fn fig6a(
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Fig6Row>, SerrError> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &name in benchmarks {
         let trace = spec_processor_trace(name, cfg)?;
-        rows.extend(fig6_points(name, &trace, c_values, n_times_s, cfg)?);
+        collect_fig6_points(&mut points, name, &trace, c_values, n_times_s);
     }
-    Ok(rows)
+    fig6_rows(points, cfg)
 }
 
 /// Reproduces Figure 6(b): SOFR error for clusters running the synthesized
-/// workloads.
+/// workloads. Design points fan out across cores like [`fig6a`].
 ///
 /// # Errors
 ///
@@ -330,39 +364,49 @@ pub fn fig6b(
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Fig6Row>, SerrError> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &w in workloads {
         let trace = synthesized_trace(w, cfg)?;
-        rows.extend(fig6_points(w.label(), &trace, c_values, n_times_s, cfg)?);
+        collect_fig6_points(&mut points, w.label(), &trace, c_values, n_times_s);
     }
-    Ok(rows)
+    fig6_rows(points, cfg)
 }
 
-fn fig6_points(
+/// One Figure 6 design point awaiting evaluation: `(label, trace, C, N×S)`.
+type Fig6Point = (String, Arc<dyn VulnerabilityTrace>, u64, f64);
+
+fn collect_fig6_points(
+    points: &mut Vec<Fig6Point>,
     label: &str,
     trace: &Arc<dyn VulnerabilityTrace>,
     c_values: &[u64],
     n_times_s: &[f64],
-    cfg: &ExperimentConfig,
-) -> Result<Vec<Fig6Row>, SerrError> {
-    let v = cfg.validator();
-    let mut rows = Vec::new();
+) {
     for &c in c_values {
         for &prod in n_times_s {
-            let rate = RawErrorRate::baseline_per_bit().scale(prod);
-            let sv = v.system_identical(trace.clone(), rate, c)?;
-            rows.push(Fig6Row {
-                workload: label.to_owned(),
-                c,
-                n_times_s: prod,
-                mttf_sofr_years: sv.mttf_sofr.as_years(),
-                mttf_mc_years: sv.mttf_mc.mttf.as_years(),
-                error: sv.sofr_error_vs_mc,
-                softarch_error: sv.softarch_error_vs_mc,
-            });
+            points.push((label.to_owned(), trace.clone(), c, prod));
         }
     }
-    Ok(rows)
+}
+
+fn fig6_rows(points: Vec<Fig6Point>, cfg: &ExperimentConfig) -> Result<Vec<Fig6Row>, SerrError> {
+    let (threads, cfg) = fanout(cfg, points.len());
+    let v = cfg.validator();
+    par::par_map(&points, threads, |_, (label, trace, c, prod)| {
+        let rate = RawErrorRate::baseline_per_bit().scale(*prod);
+        let sv = v.system_identical(trace.clone(), rate, *c)?;
+        Ok(Fig6Row {
+            workload: label.clone(),
+            c: *c,
+            n_times_s: *prod,
+            mttf_sofr_years: sv.mttf_sofr.as_years(),
+            mttf_mc_years: sv.mttf_mc.mttf.as_years(),
+            error: sv.sofr_error_vs_mc,
+            softarch_error: sv.softarch_error_vs_mc,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -397,28 +441,29 @@ pub fn sec5_4(
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Sec54Row>, SerrError> {
-    let v = cfg.validator();
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &w in workloads {
         let trace = synthesized_trace(w, cfg)?;
-        for &c in c_values {
-            for &prod in n_times_s {
-                let rate = RawErrorRate::baseline_per_bit().scale(prod);
-                let sv = v.system_identical(trace.clone(), rate, c)?;
-                rows.push(Sec54Row {
-                    workload: w.label().to_owned(),
-                    c,
-                    n_times_s: prod,
-                    softarch_error: sv.softarch_error_vs_mc,
-                    softarch_error_vs_renewal: serr_types::relative_error(
-                        sv.mttf_softarch.as_secs(),
-                        sv.mttf_renewal.as_secs(),
-                    ),
-                });
-            }
-        }
+        collect_fig6_points(&mut points, w.label(), &trace, c_values, n_times_s);
     }
-    Ok(rows)
+    let (threads, cfg) = fanout(cfg, points.len());
+    let v = cfg.validator();
+    par::par_map(&points, threads, |_, (label, trace, c, prod)| {
+        let rate = RawErrorRate::baseline_per_bit().scale(*prod);
+        let sv = v.system_identical(trace.clone(), rate, *c)?;
+        Ok(Sec54Row {
+            workload: label.clone(),
+            c: *c,
+            n_times_s: *prod,
+            softarch_error: sv.softarch_error_vs_mc,
+            softarch_error_vs_renewal: serr_types::relative_error(
+                sv.mttf_softarch.as_secs(),
+                sv.mttf_renewal.as_secs(),
+            ),
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Helper: the length of one iteration of a workload's trace in wall-clock

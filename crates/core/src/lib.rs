@@ -42,6 +42,7 @@
 pub mod avf;
 pub mod design;
 pub mod experiments;
+pub mod par;
 pub mod pipeline;
 pub mod rates;
 pub mod sofr;

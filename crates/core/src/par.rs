@@ -1,0 +1,139 @@
+//! A minimal work-stealing-free parallel map over a slice, built on
+//! `std::thread::scope` only (the build environment is offline; no rayon).
+//!
+//! Design points in the figure sweeps are mutually independent and vary
+//! wildly in cost (a `C = 5000`, `N×S = 1e13` Monte Carlo run is orders of
+//! magnitude heavier than the small-`λL` corner), so workers pull the next
+//! item off a shared atomic counter rather than pre-partitioning the slice.
+//! Output order is the input order regardless of which worker computed
+//! which item, so parallel sweeps produce byte-identical report rows.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads to use for a fan-out over `jobs` independent
+/// items: `available_parallelism` capped by the job count (never zero).
+#[must_use]
+pub fn fanout_threads(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(jobs.max(1))
+}
+
+/// Applies `f` to every element of `items` using up to `threads` OS threads
+/// and returns the results **in input order**.
+///
+/// `f` receives `(index, &item)`. Items are claimed dynamically (atomic
+/// counter), so a slow item does not stall the remaining work. With
+/// `threads <= 1` or fewer than two items this degenerates to a plain
+/// sequential map on the calling thread — no threads are spawned.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the panic is propagated to the caller after
+/// the other workers finish their current items.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Each worker collects (index, result) pairs; the merge below restores
+    // input order without sharing mutable state across threads.
+    let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let (f, next) = (&f, &next);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, value) in per_worker.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let got = par_map(&items, 4, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..41).collect();
+        let seq = par_map(&items, 1, |_, &x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let par = par_map(&items, 8, |_, &x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(&items, 64, |_, &x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fanout_threads_is_positive_and_capped() {
+        assert_eq!(fanout_threads(0), 1);
+        assert_eq!(fanout_threads(1), 1);
+        assert!(fanout_threads(1024) >= 1);
+        assert!(fanout_threads(2) <= 2);
+    }
+
+    #[test]
+    fn propagates_results_with_errors() {
+        // The common call shape: f returns Result, caller collects.
+        let items: Vec<i32> = (0..20).collect();
+        let rows: Result<Vec<i32>, String> =
+            par_map(&items, 4, |_, &x| if x == 13 { Err("boom".to_owned()) } else { Ok(x) })
+                .into_iter()
+                .collect();
+        assert_eq!(rows.unwrap_err(), "boom");
+    }
+}

@@ -19,7 +19,7 @@ use serr_softarch::SoftArch;
 use serr_trace::VulnerabilityTrace;
 use serr_types::{relative_error, Frequency, Mttf, RawErrorRate, SerrError};
 
-use crate::{avf, sofr};
+use crate::{avf, par, sofr};
 
 /// Validation of the AVF step on a single component (the paper's
 /// Sections 5.1–5.2).
@@ -185,16 +185,21 @@ impl Validator {
         if parts.is_empty() {
             return Err(SerrError::invalid_config("system must have at least one part"));
         }
-        // SOFR over per-component renewal MTTFs (skipping never-failing parts).
-        let mut rates = Vec::new();
-        for (rate, trace) in parts {
-            if trace.is_never_vulnerable() {
-                continue;
-            }
-            let mttf =
-                serr_analytic::renewal::renewal_mttf(trace, *rate, self.frequency)?;
-            rates.push(mttf.to_failure_rate());
-        }
+        // SOFR over per-component renewal MTTFs (skipping never-failing
+        // parts). Each part's renewal integral is independent — fan them
+        // out across cores, keeping part order in the reduction.
+        let frequency = self.frequency;
+        let per_part: Result<Vec<_>, SerrError> =
+            par::par_map(parts, par::fanout_threads(parts.len()), |_, (rate, trace)| {
+                if trace.is_never_vulnerable() {
+                    return Ok(None);
+                }
+                let mttf = serr_analytic::renewal::renewal_mttf(trace, *rate, frequency)?;
+                Ok(Some(mttf.to_failure_rate()))
+            })
+            .into_iter()
+            .collect();
+        let rates: Vec<_> = per_part?.into_iter().flatten().collect();
         let mttf_sofr = sofr::sofr_failure_rate(rates)?.to_mttf();
 
         // Ground truth on the superposed system.

@@ -1,16 +1,61 @@
 //! The parallel Monte Carlo driver.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical** for a given `(config.seed, config.trials)`
+//! at any thread count. The trial space is split into fixed-size chunks of
+//! [`TRIAL_CHUNK`] trials; chunk `j` seeds its own RNG with a SplitMix64
+//! finalizer over `(seed, j)` — a pure counter-based derivation that never
+//! looks at which worker thread runs the chunk. Workers pick up chunks
+//! round-robin by index, and the main thread folds per-chunk statistics in
+//! ascending chunk order, so the floating-point reduction order is fixed
+//! too. (An earlier implementation derived streams from *thread* ids, which
+//! silently broke this promise for `threads > 1`.)
+//!
+//! # Compiled hot path
+//!
+//! Before spawning workers, the engine lowers the trace into a
+//! [`CompiledTrace`] (flat segments + bucketed `O(1)` phase index) and
+//! monomorphizes the trial loop over it, eliminating the per-event virtual
+//! call and binary search. Traces whose span structure is too large to
+//! flatten (see [`VulnerabilityTrace::span_count_hint`]) transparently fall
+//! back to the generic loop over the original representation.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use serr_numeric::stats::{RunningStats, Summary};
-use serr_trace::VulnerabilityTrace;
+use serr_trace::{CompiledTrace, VulnerabilityTrace};
 use serr_types::{Frequency, Mttf, RawErrorRate, SerrError};
 
 use crate::config::StartPhase;
 use crate::sampler::sample_time_to_failure;
 use crate::system::SystemModel;
 use crate::MonteCarloConfig;
+
+/// Trials per deterministic RNG chunk. Small enough that a 20,000-trial
+/// smoke run still spreads across cores, large enough that per-chunk
+/// scheduling overhead vanishes against millions of raw-error events.
+const TRIAL_CHUNK: u64 = 1024;
+
+/// Counter-based per-chunk stream derivation: a SplitMix64 finalizer over
+/// the `(seed, chunk)` pair. Depends only on the chunk *index*, never on
+/// the thread that executes it — the root of the determinism contract.
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed.wrapping_add(chunk.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything one chunk of trials produces.
+struct ChunkOutcome {
+    stats: RunningStats,
+    events: u64,
+    /// Raw per-trial TTFs in cycles, populated only when the caller asked
+    /// for samples.
+    ttfs: Vec<f64>,
+}
 
 /// A Monte Carlo MTTF estimate with sampling diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,8 +80,10 @@ impl MttfEstimate {
 /// and reports MTTF estimates with confidence intervals.
 ///
 /// Results are deterministic for a given `(config.seed, trials)` regardless
-/// of thread count: each trial's RNG stream is derived from the seed and the
-/// trial index.
+/// of thread count: RNG streams are derived per fixed-size trial *chunk*
+/// from `(seed, chunk index)` and per-chunk results are folded in chunk
+/// order — see the [module docs](self) for the scheme and the
+/// `deterministic_across_thread_counts` test for the bit-equality check.
 #[derive(Debug, Clone, Default)]
 pub struct MonteCarlo {
     config: MonteCarloConfig,
@@ -93,6 +140,11 @@ impl MonteCarlo {
     /// analysis — e.g. Kolmogorov–Smirnov tests of the SOFR exponentiality
     /// assumption.
     ///
+    /// Shares the compiled-trace chunked trial loop with
+    /// [`MonteCarlo::component_mttf`]: it honors `config.threads`, and the
+    /// returned sample vector is in deterministic trial order (chunk-major)
+    /// for any thread count.
+    ///
     /// # Errors
     ///
     /// As for [`MonteCarlo::component_mttf`].
@@ -105,24 +157,13 @@ impl MonteCarlo {
     ) -> Result<Vec<f64>, SerrError> {
         self.validate(trace, rate)?;
         let lambda_cycle = rate.per_second_value() / freq.hz();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let period = trace.period_cycles() as f64;
-        let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let phase = match self.config.start_phase {
-                StartPhase::WorkloadStart => 0.0,
-                StartPhase::Stationary => rng.gen_range(0.0..period),
-            };
-            let t = sample_time_to_failure(
-                trace,
-                lambda_cycle,
-                self.config.max_events_per_trial,
-                &mut rng,
-                phase,
-            )?;
-            out.push(t.ttf_cycles / freq.hz());
-        }
-        Ok(out)
+        let engine = MonteCarlo::new(MonteCarloConfig { trials: n, ..self.config });
+        let chunks = match CompiledTrace::compile(trace) {
+            Some(compiled) => engine.run_chunks(&compiled, lambda_cycle, true)?,
+            None => engine.run_chunks(trace, lambda_cycle, true)?,
+        };
+        let hz = freq.hz();
+        Ok(chunks.into_iter().flat_map(|c| c.ttfs).map(|t| t / hz).collect())
     }
 
     fn validate(
@@ -150,56 +191,21 @@ impl MonteCarlo {
         lambda_cycle: f64,
         freq: Frequency,
     ) -> Result<MttfEstimate, SerrError> {
-        let threads = self.config.effective_threads().min(self.config.trials.max(1) as usize);
-        let trials = self.config.trials;
-        let per_thread = trials / threads as u64;
-        let remainder = trials % threads as u64;
-        let cap = self.config.max_events_per_trial;
-        let seed = self.config.seed;
-        let start_phase = self.config.start_phase;
-        let period = trace.period_cycles() as f64;
+        // Compile once; every worker then runs the monomorphized loop with
+        // O(1) trace lookups and no virtual dispatch. Falls back to the
+        // generic loop for traces too large to flatten.
+        let chunks = match CompiledTrace::compile(trace) {
+            Some(compiled) => self.run_chunks(&compiled, lambda_cycle, false)?,
+            None => self.run_chunks(trace, lambda_cycle, false)?,
+        };
 
-        let results: Vec<Result<(RunningStats, u64), SerrError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|tid| {
-                        let my_trials = per_thread + u64::from((tid as u64) < remainder);
-                        // Deterministic per-thread stream: SplitMix-style
-                        // decorrelation of the base seed.
-                        let my_seed = seed
-                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid as u64 + 1));
-                        scope.spawn(move || {
-                            let mut rng = SmallRng::seed_from_u64(my_seed);
-                            let mut stats = RunningStats::new();
-                            let mut events = 0u64;
-                            for _ in 0..my_trials {
-                                let phase = match start_phase {
-                                    StartPhase::WorkloadStart => 0.0,
-                                    StartPhase::Stationary => rng.gen_range(0.0..period),
-                                };
-                                let t = sample_time_to_failure(
-                                    trace,
-                                    lambda_cycle,
-                                    cap,
-                                    &mut rng,
-                                    phase,
-                                )?;
-                                stats.push(t.ttf_cycles);
-                                events += t.events;
-                            }
-                            Ok((stats, events))
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            });
-
+        // Fold in ascending chunk order: the reduction order (and thus the
+        // result, bit for bit) is independent of the thread count.
         let mut stats = RunningStats::new();
         let mut total_events = 0u64;
-        for r in results {
-            let (s, e) = r?;
-            stats.merge(&s);
-            total_events += e;
+        for c in &chunks {
+            stats.merge(&c.stats);
+            total_events += c.events;
         }
 
         // Convert cycle statistics to seconds.
@@ -215,8 +221,81 @@ impl MonteCarlo {
         Ok(MttfEstimate {
             mttf: Mttf::from_secs(summary.mean),
             ttf_seconds: summary,
-            mean_events_per_trial: total_events as f64 / trials as f64,
+            mean_events_per_trial: total_events as f64 / self.config.trials as f64,
         })
+    }
+
+    /// The shared trial loop: runs `config.trials` trials in fixed chunks
+    /// of [`TRIAL_CHUNK`], fanned out over `config.threads` workers that
+    /// claim chunks round-robin by index, and returns the per-chunk
+    /// outcomes in ascending chunk order. Monomorphized over the trace type
+    /// so the compiled fast path inlines end to end.
+    fn run_chunks<T: VulnerabilityTrace + ?Sized + Sync>(
+        &self,
+        trace: &T,
+        lambda_cycle: f64,
+        collect_samples: bool,
+    ) -> Result<Vec<ChunkOutcome>, SerrError> {
+        let trials = self.config.trials;
+        let n_chunks = trials.div_ceil(TRIAL_CHUNK);
+        let threads = self.config.effective_threads().min(n_chunks.max(1) as usize).max(1);
+        let cap = self.config.max_events_per_trial;
+        let seed = self.config.seed;
+        let start_phase = self.config.start_phase;
+        let period = trace.period_cycles() as f64;
+
+        let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
+            let mut out = Vec::new();
+            let mut chunk = tid as u64;
+            while chunk < n_chunks {
+                let lo = chunk * TRIAL_CHUNK;
+                let hi = (lo + TRIAL_CHUNK).min(trials);
+                let mut rng = SmallRng::seed_from_u64(chunk_seed(seed, chunk));
+                let mut stats = RunningStats::new();
+                let mut events = 0u64;
+                let mut ttfs = Vec::with_capacity(if collect_samples {
+                    (hi - lo) as usize
+                } else {
+                    0
+                });
+                for _ in lo..hi {
+                    let phase = match start_phase {
+                        StartPhase::WorkloadStart => 0.0,
+                        StartPhase::Stationary => rng.gen_range(0.0..period),
+                    };
+                    let t =
+                        sample_time_to_failure(trace, lambda_cycle, cap, &mut rng, phase)?;
+                    stats.push(t.ttf_cycles);
+                    events += t.events;
+                    if collect_samples {
+                        ttfs.push(t.ttf_cycles);
+                    }
+                }
+                out.push((chunk, ChunkOutcome { stats, events, ttfs }));
+                chunk += threads as u64;
+            }
+            Ok(out)
+        };
+
+        let gathered: Vec<Result<Vec<(u64, ChunkOutcome)>, SerrError>> = if threads == 1 {
+            vec![worker(0)]
+        } else {
+            std::thread::scope(|scope| {
+                let worker = &worker;
+                let handles: Vec<_> =
+                    (0..threads).map(|tid| scope.spawn(move || worker(tid))).collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+        };
+
+        let mut slots: Vec<Option<ChunkOutcome>> = Vec::with_capacity(n_chunks as usize);
+        slots.resize_with(n_chunks as usize, || None);
+        for res in gathered {
+            for (chunk, outcome) in res? {
+                slots[chunk as usize] = Some(outcome);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every chunk is claimed by a worker")).collect())
     }
 }
 
@@ -245,13 +324,52 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_across_thread_counts_with_one_thread() {
+    fn deterministic_across_thread_counts() {
+        // The real contract: bit-identical estimates at different thread
+        // counts for a fixed (seed, trials). 5,000 trials span several RNG
+        // chunks, so 4 workers genuinely interleave.
         let trace = IntervalTrace::busy_idle(10, 10).unwrap();
         let rate = RawErrorRate::per_year(5.0);
-        let cfg = MonteCarloConfig { trials: 5_000, threads: 1, ..Default::default() };
-        let a = MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()).unwrap();
-        let b = MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()).unwrap();
-        assert_eq!(a.mttf.as_secs(), b.mttf.as_secs());
+        let one = MonteCarloConfig { trials: 5_000, threads: 1, ..Default::default() };
+        let four = MonteCarloConfig { threads: 4, ..one };
+        let a = MonteCarlo::new(one).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        let b = MonteCarlo::new(four).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        assert_eq!(a, b);
+        // Repeat runs are stable too.
+        let c = MonteCarlo::new(four).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts_fractional_and_stationary() {
+        // Fractional vulnerabilities exercise the Bernoulli masking draw and
+        // the stationary start draws a per-trial phase — both consume RNG on
+        // the chunk stream and must not disturb cross-thread determinism.
+        let trace =
+            IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let one = MonteCarloConfig {
+            trials: 4_000,
+            threads: 1,
+            start_phase: crate::StartPhase::Stationary,
+            ..Default::default()
+        };
+        let three = MonteCarloConfig { threads: 3, ..one };
+        let a = MonteCarlo::new(one).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        let b = MonteCarlo::new(three).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_ttfs_deterministic_and_threaded() {
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let rate = RawErrorRate::per_year(20.0);
+        let one = MonteCarlo::new(MonteCarloConfig { threads: 1, ..Default::default() });
+        let four = MonteCarlo::new(MonteCarloConfig { threads: 4, ..Default::default() });
+        let a = one.sample_ttfs(&trace, rate, Frequency::base(), 3_000).unwrap();
+        let b = four.sample_ttfs(&trace, rate, Frequency::base(), 3_000).unwrap();
+        assert_eq!(a.len(), 3_000);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The per-trial time-to-failure sampler.
 //!
-//! One trial walks the raw-error arrival process until an arrival lands in an
-//! unvulnerable... rather, *unmasked* position. Inter-arrival times are
-//! `Exp(λ)`; by the memorylessness decomposition of the paper's Appendix A,
-//! an inter-arrival splits into independent parts
+//! One trial walks the raw-error arrival process until an arrival strikes a
+//! cycle where the error is *not* masked — a vulnerable (unmasked) position
+//! of the workload loop. Inter-arrival times are `Exp(λ)`; by the
+//! memorylessness decomposition of the paper's Appendix A, an inter-arrival
+//! splits into independent parts
 //!
 //! * `K` whole workload periods, geometric with `P(K = k) = q^k(1−q)`,
 //!   `q = e^{−λL}`, and
@@ -12,6 +13,12 @@
 //!
 //! both of which are sampled at magnitudes `≤ L` — no precision is lost even
 //! when the mean time between raw errors is 10⁹ periods.
+//!
+//! The sampler is generic over the trace type so that the engine can hand it
+//! a concrete [`serr_trace::CompiledTrace`] and the per-event loop compiles
+//! down to direct, inlinable calls — no virtual dispatch on the hot path.
+//! `&dyn VulnerabilityTrace` still works (the trait is object-safe and
+//! `?Sized` is accepted) for traces that cannot be compiled.
 
 use rand::Rng;
 use serr_numeric::special::one_minus_exp_neg;
@@ -42,8 +49,8 @@ pub struct TrialOutcome {
 /// Panics if `lambda_cycle` is not positive, `initial_phase` lies outside
 /// the period, or the trace has AVF = 0 (a failure would never occur;
 /// callers validate this up front).
-pub fn sample_time_to_failure(
-    trace: &dyn VulnerabilityTrace,
+pub fn sample_time_to_failure<T: VulnerabilityTrace + ?Sized>(
+    trace: &T,
     lambda_cycle: f64,
     max_events: u64,
     rng: &mut impl Rng,
@@ -61,6 +68,14 @@ pub fn sample_time_to_failure(
     let lambda_l = lambda_cycle * l;
     // 1 − q = 1 − e^{−λL}, computed stably for both tiny and huge λL.
     let one_minus_q = one_minus_exp_neg(lambda_l);
+    // 0/1-valued traces never need the Bernoulli masking draw; hoist the
+    // decision out of the event loop (precomputed for compiled traces).
+    let binary = trace.is_binary();
+    let q_underflowed = lambda_l > 700.0;
+    // Per-event divisions replaced by multiplies with hoisted inverses.
+    let neg_inv_lambda_l = -1.0 / lambda_l;
+    let neg_inv_lambda = -1.0 / lambda_cycle;
+    let r_cap = l * (1.0 - f64::EPSILON);
 
     let mut phase = initial_phase; // current position within the period
     let mut whole_periods = 0.0_f64; // accumulated K·L contributions, in periods
@@ -77,18 +92,19 @@ pub fn sample_time_to_failure(
         }
 
         // K ~ Geometric(1−q): whole periods skipped by this inter-arrival.
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let k = if lambda_l > 700.0 {
+        // `1 − gen::<f64>()` lies in (0, 1], so the log is finite.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let k = if q_underflowed {
             // q underflowed; the arrival is essentially always within the
             // current period.
             0.0
         } else {
-            (u.ln() / -lambda_l).floor()
+            (u.ln() * neg_inv_lambda_l).floor()
         };
 
         // R ~ truncated Exp(λ) on [0, L): the exact phase-advance law.
-        let v: f64 = rng.gen_range(0.0..1.0);
-        let r = (-(-(v * one_minus_q)).ln_1p() / lambda_cycle).min(l * (1.0 - f64::EPSILON));
+        let v: f64 = rng.gen::<f64>();
+        let r = ((-(v * one_minus_q)).ln_1p() * neg_inv_lambda).min(r_cap);
 
         whole_periods += k;
         residual += r;
@@ -101,7 +117,11 @@ pub fn sample_time_to_failure(
 
         // Resolve masking at the struck cycle.
         let vuln = trace.vulnerability_at(phase as u64);
-        if vuln > 0.0 && (vuln >= 1.0 || rng.gen_range(0.0..1.0) < vuln) {
+        if binary {
+            if vuln != 0.0 {
+                return Ok(TrialOutcome { ttf_cycles: whole_periods * l + residual, events });
+            }
+        } else if vuln > 0.0 && (vuln >= 1.0 || rng.gen::<f64>() < vuln) {
             return Ok(TrialOutcome { ttf_cycles: whole_periods * l + residual, events });
         }
     }

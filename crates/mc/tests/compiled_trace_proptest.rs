@@ -1,0 +1,127 @@
+//! Property tests: `CompiledTrace` is an exact lowering of its source.
+//!
+//! The Monte Carlo engine swaps every trace for its compiled form before
+//! the trial loop, so any disagreement between the two representations is a
+//! silent estimate corruption, not a crash. These tests pin the agreement
+//! on `vulnerability_at`, `cumulative_within_period`, and `avf` across
+//! randomized interval, dense, and shifted traces — including periods far
+//! above the bucket-table memory cap, where point queries take the
+//! wide-bucket fallback paths.
+
+use proptest::prelude::*;
+use serr_trace::{CompiledTrace, DenseTrace, IntervalTrace, Segment, ShiftedTrace, VulnerabilityTrace};
+
+/// Vulnerability levels quantized to q/8: exactly representable in `f32`
+/// (so `DenseTrace`'s storage is lossless) and in `f64` prefix arithmetic.
+fn level() -> impl Strategy<Value = f64> {
+    (0..=8u8).prop_map(|q| f64::from(q) / 8.0)
+}
+
+/// Asserts the full agreement contract between a source trace and its
+/// compiled form at the given query cycles.
+fn assert_agreement(
+    source: &dyn VulnerabilityTrace,
+    compiled: &CompiledTrace,
+    cycles: &[u64],
+) -> Result<(), TestCaseError> {
+    let period = source.period_cycles();
+    prop_assert_eq!(compiled.period_cycles(), period);
+
+    // AVF: both sides reduce the same segment sums; allow only rounding
+    // differences from the merge of adjacent equal-valued spans.
+    let avf_diff = (compiled.avf() - source.avf()).abs();
+    prop_assert!(avf_diff < 1e-12, "avf {} vs {}", compiled.avf(), source.avf());
+    prop_assert_eq!(compiled.is_never_vulnerable(), source.is_never_vulnerable());
+
+    for &raw in cycles {
+        let c = raw % period;
+        // Point queries must agree bitwise: compilation copies values.
+        prop_assert_eq!(
+            compiled.vulnerability_at(c),
+            source.vulnerability_at(c),
+            "vulnerability_at({})",
+            c
+        );
+        // Cumulative sums may associate differently across merged spans;
+        // the bound scales with the magnitude of the sum itself.
+        let r = c + 1; // valid: r <= period
+        let got = compiled.cumulative_within_period(r);
+        let want = source.cumulative_within_period(r);
+        let tol = 1e-9 * (1.0 + want.abs());
+        prop_assert!(
+            (got - want).abs() <= tol,
+            "cumulative_within_period({}): {} vs {}",
+            r,
+            got,
+            want
+        );
+    }
+    let full = compiled.cumulative_within_period(period);
+    let full_want = source.cumulative_within_period(period);
+    prop_assert!((full - full_want).abs() <= 1e-9 * (1.0 + full_want.abs()));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compiled_agrees_with_interval_trace(
+        levels in proptest::collection::vec(level(), 2..60),
+        probes in proptest::collection::vec(any::<u64>(), 32),
+    ) {
+        let src = IntervalTrace::from_levels(&levels).unwrap();
+        let compiled = CompiledTrace::compile(&src).expect("small trace compiles");
+        assert_agreement(&src, &compiled, &probes)?;
+    }
+
+    #[test]
+    fn compiled_agrees_with_dense_trace(
+        levels in proptest::collection::vec(level(), 1..200),
+        probes in proptest::collection::vec(any::<u64>(), 32),
+    ) {
+        let src = DenseTrace::new(levels).unwrap();
+        let compiled = CompiledTrace::compile(&src).expect("dense trace compiles");
+        assert_agreement(&src, &compiled, &probes)?;
+    }
+
+    #[test]
+    fn compiled_agrees_with_shifted_trace(
+        levels in proptest::collection::vec(level(), 2..60),
+        shift in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 32),
+    ) {
+        let base = std::sync::Arc::new(IntervalTrace::from_levels(&levels).unwrap());
+        let src = ShiftedTrace::new(base, shift);
+        let compiled = CompiledTrace::compile(&src).expect("shifted view compiles");
+        assert_agreement(&src, &compiled, &probes)?;
+    }
+
+    #[test]
+    fn compiled_agrees_above_bucket_table_cap(
+        // Segment lengths up to 2^38 cycles: a handful of segments push the
+        // period far beyond MAX_BUCKETS (2^21), so buckets span millions of
+        // cycles and the in-bucket scan/bisect paths do real work.
+        spans in proptest::collection::vec((1u64..(1u64 << 38), level()), 2..12),
+        probes in proptest::collection::vec(any::<u64>(), 48),
+    ) {
+        let segments: Vec<Segment> = spans
+            .iter()
+            .map(|&(len, v)| Segment::new(len, v).unwrap())
+            .collect();
+        let src = IntervalTrace::from_segments(segments).unwrap();
+        prop_assume!(src.period_cycles() > CompiledTrace::MAX_BUCKETS);
+        let compiled = CompiledTrace::compile(&src).expect("few segments compile");
+        prop_assert!(compiled.bucket_count() as u64 <= CompiledTrace::MAX_BUCKETS);
+        prop_assert!(compiled.bucket_cycles() > 1, "cap must actually widen buckets");
+
+        // Probe uniformly plus right at every segment boundary (the edges
+        // are where a bucket index off by one would show).
+        let mut cycles = probes.clone();
+        for &end in &src.breakpoints() {
+            cycles.push(end.saturating_sub(1));
+            cycles.push(end % src.period_cycles());
+        }
+        assert_agreement(&src, &compiled, &cycles)?;
+    }
+}

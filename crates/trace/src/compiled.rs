@@ -1,0 +1,389 @@
+//! Compiled vulnerability traces: the hot-loop representation.
+//!
+//! Every other representation in this crate optimizes for *construction*
+//! (simulator output, day-scale synthesis, composition) and answers point
+//! queries in `O(log n)` through at least one virtual call. The Monte Carlo
+//! sampler, by contrast, issues one `vulnerability_at` per raw-error event —
+//! hundreds of millions of times per sweep — so [`CompiledTrace`] lowers any
+//! [`VulnerabilityTrace`] into a flat, query-optimized form once per run:
+//!
+//! * run-length segments (`ends`/`values`) with prefix sums, like
+//!   [`crate::IntervalTrace`];
+//! * a **bucketed phase→segment index**: the period is divided into
+//!   2ᵏ-cycle buckets and each bucket records the index of the segment
+//!   containing its first cycle, so a point query is one shift, one table
+//!   read, and a scan over the (almost always 0 or 1) segment boundaries
+//!   inside the bucket — `O(1)` instead of `partition_point`'s `O(log n)`;
+//! * cached period / AVF / total cumulative vulnerability;
+//! * a precomputed [`is_binary`](VulnerabilityTrace::is_binary) flag that
+//!   lets the sampler skip the Bernoulli masking draw for 0/1 traces.
+//!
+//! The bucket table is capped at [`CompiledTrace::MAX_BUCKETS`] entries
+//! (a few MiB) so day/week-scale periods (10¹⁴ cycles) stay cheap to index;
+//! when a bucket then spans many segments, the query falls back to a binary
+//! search *within that bucket's segment range*, which is still at worst the
+//! old `O(log n)` and in practice far better.
+//!
+//! Compilation itself is guarded by
+//! [`VulnerabilityTrace::span_count_hint`]: traces whose span list cannot be
+//! materialized (a `combined` workload tiling a benchmark trace 10⁷ times)
+//! report a huge hint and [`CompiledTrace::compile`] returns `None`, letting
+//! callers keep the original representation.
+//!
+//! ```
+//! use serr_trace::{CompiledTrace, IntervalTrace, VulnerabilityTrace};
+//!
+//! let source = IntervalTrace::busy_idle(25, 75).unwrap();
+//! let compiled = CompiledTrace::compile(&source).expect("two segments compile");
+//! assert_eq!(compiled.period_cycles(), 100);
+//! assert_eq!(compiled.avf(), 0.25);
+//! assert!(compiled.is_binary());
+//! for c in 0..200 {
+//!     assert_eq!(compiled.vulnerability_at(c), source.vulnerability_at(c));
+//! }
+//! ```
+
+use crate::VulnerabilityTrace;
+
+/// Longest within-bucket segment range resolved by linear scan before
+/// switching to binary search.
+const LINEAR_SCAN_MAX: usize = 16;
+
+/// A flattened, bucket-indexed lowering of a [`VulnerabilityTrace`] with
+/// `O(1)` expected point and cumulative queries. See the [module
+/// docs](self) for the layout.
+#[derive(Debug, Clone)]
+pub struct CompiledTrace {
+    /// Exclusive end cycle of each segment; strictly increasing, last =
+    /// period.
+    ends: Vec<u64>,
+    /// Vulnerability of each segment.
+    values: Vec<f64>,
+    /// Cumulative vulnerability before each segment start.
+    prefix: Vec<f64>,
+    period: u64,
+    /// Cumulative vulnerability over the whole period (= `avf × period`).
+    total: f64,
+    avf: f64,
+    binary: bool,
+    /// Bucket width is `1 << bucket_shift` cycles.
+    bucket_shift: u32,
+    /// `buckets[b]` = index of the segment containing cycle `b <<
+    /// bucket_shift` (equivalently `ends.partition_point(|e| e <= start)`).
+    buckets: Vec<u32>,
+}
+
+impl CompiledTrace {
+    /// Hard cap on the flattened segment count. Kept at the threshold above
+    /// which [`crate::ConcatTrace::breakpoints`] refuses to enumerate, so
+    /// compilation never triggers that panic.
+    pub const MAX_SEGMENTS: u64 = 4_000_000;
+
+    /// Memory cap on the bucket table (entries are `u32`, so this is 8 MiB).
+    /// Periods longer than this many cycles get proportionally wider
+    /// buckets; queries inside a crowded bucket fall back to binary search.
+    pub const MAX_BUCKETS: u64 = 1 << 21;
+
+    /// Lowers `trace` into the compiled form, or returns `None` when the
+    /// trace's [`span_count_hint`](VulnerabilityTrace::span_count_hint)
+    /// exceeds [`CompiledTrace::MAX_SEGMENTS`] (callers should then keep the
+    /// original representation; estimation falls back to the generic path).
+    ///
+    /// Compilation costs one `breakpoints()` enumeration plus one
+    /// `vulnerability_at` per span, and is meant to be amortized over the
+    /// millions of point queries of a Monte Carlo run.
+    #[must_use]
+    pub fn compile(trace: &(impl VulnerabilityTrace + ?Sized)) -> Option<CompiledTrace> {
+        if trace.span_count_hint() > Self::MAX_SEGMENTS {
+            return None;
+        }
+        let spans = trace.breakpoints();
+        let mut ends: Vec<u64> = Vec::with_capacity(spans.len());
+        let mut values: Vec<f64> = Vec::with_capacity(spans.len());
+        let mut prefix: Vec<f64> = Vec::with_capacity(spans.len());
+        let mut start = 0u64;
+        let mut cum = 0.0f64;
+        for end in spans {
+            if end <= start {
+                // Defensive: tolerate unsorted/duplicate breakpoints.
+                continue;
+            }
+            let v = trace.vulnerability_at(start);
+            if values.last() == Some(&v) {
+                *ends.last_mut().expect("values and ends stay in lockstep") = end;
+            } else {
+                prefix.push(cum);
+                ends.push(end);
+                values.push(v);
+            }
+            cum += (end - start) as f64 * v;
+            start = end;
+        }
+        if ends.is_empty() {
+            return None;
+        }
+        let period = start;
+        let binary = values.iter().all(|&v| v == 0.0 || v == 1.0);
+        let (bucket_shift, buckets) = build_buckets(&ends, period);
+        Some(CompiledTrace {
+            avf: cum / period as f64,
+            total: cum,
+            ends,
+            values,
+            prefix,
+            period,
+            binary,
+            bucket_shift,
+            buckets,
+        })
+    }
+
+    /// Number of (merged) segments in the flattened form.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of entries in the phase→segment bucket table.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket width in cycles (a power of two).
+    #[must_use]
+    pub fn bucket_cycles(&self) -> u64 {
+        1u64 << self.bucket_shift
+    }
+
+    /// Index of the segment containing `c` (already reduced mod period):
+    /// one shift + one table read, then a bounded scan or an in-bucket
+    /// binary search.
+    #[inline]
+    fn segment_index(&self, c: u64) -> usize {
+        let b = (c >> self.bucket_shift) as usize;
+        let lo = self.buckets[b] as usize;
+        let hi = self.buckets.get(b + 1).map_or(self.ends.len(), |&i| i as usize);
+        if hi - lo <= LINEAR_SCAN_MAX {
+            let mut i = lo;
+            // Safe: some segment in lo..=hi has `end > c` (the last end is
+            // the period, and c < period).
+            while self.ends[i] <= c {
+                i += 1;
+            }
+            i
+        } else {
+            lo + self.ends[lo..hi].partition_point(|&e| e <= c)
+        }
+    }
+}
+
+/// Picks the bucket width and fills the phase→segment table: the finest
+/// power-of-two bucket such that the table stays within
+/// [`CompiledTrace::MAX_BUCKETS`] and does not wildly exceed the segment
+/// count (finer buckets past ~4 per segment buy nothing).
+fn build_buckets(ends: &[u64], period: u64) -> (u32, Vec<u32>) {
+    let seg_count = ends.len() as u64;
+    let target = seg_count
+        .saturating_mul(4)
+        .max(64)
+        .min(CompiledTrace::MAX_BUCKETS)
+        .min(period);
+    let mut shift = 0u32;
+    while ((period - 1) >> shift) + 1 > target {
+        shift += 1;
+    }
+    let bucket_count = ((period - 1) >> shift) + 1;
+    let mut buckets = Vec::with_capacity(bucket_count as usize);
+    let mut seg = 0usize;
+    for b in 0..bucket_count {
+        let start = b << shift;
+        while ends[seg] <= start {
+            seg += 1;
+        }
+        buckets.push(seg as u32);
+    }
+    (shift, buckets)
+}
+
+impl VulnerabilityTrace for CompiledTrace {
+    fn period_cycles(&self) -> u64 {
+        self.period
+    }
+
+    #[inline]
+    fn vulnerability_at(&self, cycle: u64) -> f64 {
+        let c = cycle % self.period;
+        self.values[self.segment_index(c)]
+    }
+
+    fn cumulative_within_period(&self, r: u64) -> f64 {
+        assert!(r <= self.period, "cycle {r} beyond period {}", self.period);
+        if r == self.period {
+            return self.total;
+        }
+        let i = self.segment_index(r);
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        self.prefix[i] + (r - start) as f64 * self.values[i]
+    }
+
+    fn avf(&self) -> f64 {
+        self.avf
+    }
+
+    fn is_never_vulnerable(&self) -> bool {
+        self.total == 0.0
+    }
+
+    fn breakpoints(&self) -> Vec<u64> {
+        self.ends.clone()
+    }
+
+    fn span_count_hint(&self) -> u64 {
+        self.ends.len() as u64
+    }
+
+    fn is_binary(&self) -> bool {
+        self.binary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompositeTrace, IntervalTrace, ShiftedTrace};
+    use std::sync::Arc;
+
+    /// Deterministic xorshift so tests need no external RNG.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn random_levels(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = Lcg(seed | 1);
+        (0..n).map(|_| (rng.next() % 5) as f64 / 4.0).collect()
+    }
+
+    #[test]
+    fn agrees_with_source_interval_trace() {
+        let levels = random_levels(7, 1_000);
+        let src = IntervalTrace::from_levels(&levels).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        assert_eq!(c.period_cycles(), src.period_cycles());
+        assert!((c.avf() - src.avf()).abs() < 1e-12);
+        for cyc in 0..2_000u64 {
+            assert_eq!(c.vulnerability_at(cyc), src.vulnerability_at(cyc), "cycle {cyc}");
+        }
+        for r in (0..=1_000u64).step_by(37) {
+            let d = (c.cumulative_within_period(r) - src.cumulative_within_period(r)).abs();
+            assert!(d < 1e-9, "r={r}: {d}");
+        }
+    }
+
+    #[test]
+    fn binary_flag_detection() {
+        let bin = IntervalTrace::busy_idle(10, 20).unwrap();
+        assert!(CompiledTrace::compile(&bin).unwrap().is_binary());
+        let frac = IntervalTrace::from_levels(&[1.0, 0.5, 0.0]).unwrap();
+        assert!(!CompiledTrace::compile(&frac).unwrap().is_binary());
+        // The source traces conservatively report false either way.
+        assert!(!bin.is_binary());
+    }
+
+    #[test]
+    fn huge_period_uses_capped_bucket_table_with_fallback() {
+        // Day-scale: 1.728e14 cycles, 2 segments. The bucket table must cap
+        // out and queries must still be exact.
+        let half = 43_200u64 * 2_000_000_000;
+        let src = IntervalTrace::busy_idle(half, half).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        assert!(c.bucket_count() as u64 <= CompiledTrace::MAX_BUCKETS);
+        assert!(c.bucket_cycles() > 1);
+        assert_eq!(c.vulnerability_at(half - 1), 1.0);
+        assert_eq!(c.vulnerability_at(half), 0.0);
+        assert_eq!(c.vulnerability_at(2 * half - 1), 0.0);
+        assert_eq!(c.cumulative_within_period(half), half as f64);
+        assert_eq!(c.avf(), 0.5);
+    }
+
+    #[test]
+    fn crowded_bucket_falls_back_to_binary_search() {
+        // Many 1-cycle segments inside one wide bucket: force the in-bucket
+        // binary search path by making the period huge and the segments
+        // concentrated at the start.
+        let mut segs = Vec::new();
+        for i in 0..1_000u64 {
+            segs.push(crate::Segment::new(1, f64::from(u32::from(i % 2 == 0))).unwrap());
+        }
+        segs.push(crate::Segment::new(1u64 << 40, 0.0).unwrap());
+        let src = IntervalTrace::from_segments(segs).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        for cyc in 0..1_000u64 {
+            assert_eq!(c.vulnerability_at(cyc), src.vulnerability_at(cyc), "cycle {cyc}");
+        }
+        assert_eq!(c.vulnerability_at(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn compiles_views_and_compositions() {
+        let base: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::from_levels(&random_levels(3, 64)).unwrap());
+        let shifted = ShiftedTrace::new(base.clone(), 17);
+        let cs = CompiledTrace::compile(&shifted).unwrap();
+        for cyc in 0..128u64 {
+            assert_eq!(cs.vulnerability_at(cyc), shifted.vulnerability_at(cyc));
+        }
+        let other: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::from_levels(&random_levels(4, 64)).unwrap());
+        let comp = CompositeTrace::new(vec![(1.0, base), (3.0, other)]).unwrap();
+        let cc = CompiledTrace::compile(&comp).unwrap();
+        for cyc in 0..128u64 {
+            assert!((cc.vulnerability_at(cyc) - comp.vulnerability_at(cyc)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refuses_astronomical_span_counts() {
+        // A tiled trace whose expansion would exceed the segment cap.
+        let unit: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::busy_idle(3, 5).unwrap());
+        let tiled = crate::ConcatTrace::new(vec![(unit, 10_000_000)]).unwrap();
+        assert!(tiled.span_count_hint() > CompiledTrace::MAX_SEGMENTS);
+        assert!(CompiledTrace::compile(&tiled).is_none());
+    }
+
+    #[test]
+    fn adjacent_equal_spans_merge() {
+        // CompositeTrace breakpoints are the union of part breakpoints, so
+        // consecutive spans can share a value; compilation merges them.
+        let a: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::from_levels(&[1.0, 1.0, 0.0, 0.0]).unwrap());
+        let b: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::from_levels(&[1.0, 0.0, 0.0, 1.0]).unwrap());
+        let comp = CompositeTrace::new(vec![(1.0, a), (1.0, b)]).unwrap();
+        let c = CompiledTrace::compile(&comp).unwrap();
+        assert!(c.segment_count() <= 4);
+        for cyc in 0..4u64 {
+            assert!((c.vulnerability_at(cyc) - comp.vulnerability_at(cyc)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compiled_roundtrip_is_stable() {
+        let src = IntervalTrace::from_levels(&random_levels(9, 200)).unwrap();
+        let once = CompiledTrace::compile(&src).unwrap();
+        let twice = CompiledTrace::compile(&once).unwrap();
+        assert_eq!(once.segment_count(), twice.segment_count());
+        for cyc in 0..200u64 {
+            assert_eq!(once.vulnerability_at(cyc), twice.vulnerability_at(cyc));
+        }
+    }
+}

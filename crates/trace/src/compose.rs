@@ -117,6 +117,14 @@ impl VulnerabilityTrace for CompositeTrace {
         all.dedup();
         all
     }
+
+    fn span_count_hint(&self) -> u64 {
+        // The merged breakpoint set is at most the sum of the parts'.
+        self.parts
+            .iter()
+            .map(|(_, t)| t.span_count_hint())
+            .fold(0u64, u64::saturating_add)
+    }
 }
 
 #[cfg(test)]

@@ -182,6 +182,14 @@ impl VulnerabilityTrace for ConcatTrace {
         Some(self.parts.iter().map(|p| (p.trace.clone(), p.tiles)).collect())
     }
 
+    fn span_count_hint(&self) -> u64 {
+        // Every tile repeats the inner span structure.
+        self.parts
+            .iter()
+            .map(|p| p.tiles.saturating_mul(p.trace.span_count_hint()))
+            .fold(0u64, u64::saturating_add)
+    }
+
     fn survival_weight(&self, lambda_cycle: f64) -> (f64, f64) {
         assert!(lambda_cycle > 0.0, "per-cycle rate must be positive");
         let mut integral = 0.0f64;

@@ -252,6 +252,10 @@ impl VulnerabilityTrace for IntervalTrace {
     fn breakpoints(&self) -> Vec<u64> {
         self.ends.clone()
     }
+
+    fn span_count_hint(&self) -> u64 {
+        self.ends.len() as u64
+    }
 }
 
 /// Incremental builder for [`IntervalTrace`], used by the timing simulator

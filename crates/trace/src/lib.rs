@@ -20,6 +20,9 @@
 //!   queries, compact enough for day/week-scale periods (10¹⁴ cycles).
 //! * [`CompositeTrace`] — rate-weighted combination of unit traces into a
 //!   processor-level trace.
+//! * [`CompiledTrace`] — a flat, bucket-indexed lowering of any of the
+//!   above with `O(1)` point queries; what the Monte Carlo hot loop runs
+//!   against.
 //!
 //! All traces are periodic: the paper assumes "the workload runs in an
 //! infinite loop with similar iterations of length L" (Section 3,
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compiled;
 mod compose;
 mod concat;
 mod dense;
@@ -50,6 +54,7 @@ mod scale;
 mod shift;
 mod traits;
 
+pub use compiled::CompiledTrace;
 pub use compose::CompositeTrace;
 pub use concat::ConcatTrace;
 pub use dense::DenseTrace;

@@ -82,6 +82,10 @@ impl VulnerabilityTrace for ScaledTrace {
         self.inner.breakpoints()
     }
 
+    fn span_count_hint(&self) -> u64 {
+        self.inner.span_count_hint()
+    }
+
     fn survival_weight(&self, lambda_cycle: f64) -> (f64, f64) {
         // λ·(p·v) ≡ (λp)·v: delegate with a scaled rate; U(L) rescales back.
         if self.factor == 0.0 {

@@ -85,6 +85,11 @@ impl VulnerabilityTrace for ShiftedTrace {
         out.dedup();
         out
     }
+
+    fn span_count_hint(&self) -> u64 {
+        // A nonzero shift can split the span containing the wrap point.
+        self.inner.span_count_hint().saturating_add(1)
+    }
 }
 
 #[cfg(test)]

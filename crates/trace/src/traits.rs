@@ -110,6 +110,28 @@ pub trait VulnerabilityTrace: Send + Sync {
     fn tiling(&self) -> Option<Vec<(Arc<dyn VulnerabilityTrace>, u64)>> {
         None
     }
+
+    /// An upper bound on `breakpoints().len()` — the number of
+    /// constant-vulnerability spans in one period — that must be cheap to
+    /// compute (no span enumeration). [`crate::CompiledTrace::compile`]
+    /// consults it to decide whether a trace can be flattened without
+    /// materializing an astronomically long span list (a day-scale
+    /// [`crate::ConcatTrace`] tiles a benchmark trace tens of millions of
+    /// times). The default is the period itself: one span per cycle is
+    /// always an upper bound. Representations with compact structure
+    /// override this with their true span count.
+    fn span_count_hint(&self) -> u64 {
+        self.period_cycles()
+    }
+
+    /// True if the vulnerability is exactly `0.0` or `1.0` at every cycle
+    /// (a pure busy/idle trace). The Monte Carlo sampler uses this to skip
+    /// the Bernoulli masking draw on the hot path; `false` is always a
+    /// correct (conservative) answer and is the default, because deciding
+    /// it may cost a scan. [`crate::CompiledTrace`] precomputes it once.
+    fn is_binary(&self) -> bool {
+        false
+    }
 }
 
 impl<T: VulnerabilityTrace + ?Sized> VulnerabilityTrace for &T {
@@ -134,6 +156,12 @@ impl<T: VulnerabilityTrace + ?Sized> VulnerabilityTrace for &T {
     fn tiling(&self) -> Option<Vec<(Arc<dyn VulnerabilityTrace>, u64)>> {
         (**self).tiling()
     }
+    fn span_count_hint(&self) -> u64 {
+        (**self).span_count_hint()
+    }
+    fn is_binary(&self) -> bool {
+        (**self).is_binary()
+    }
 }
 
 impl<T: VulnerabilityTrace + ?Sized> VulnerabilityTrace for std::sync::Arc<T> {
@@ -157,6 +185,12 @@ impl<T: VulnerabilityTrace + ?Sized> VulnerabilityTrace for std::sync::Arc<T> {
     }
     fn tiling(&self) -> Option<Vec<(Arc<dyn VulnerabilityTrace>, u64)>> {
         (**self).tiling()
+    }
+    fn span_count_hint(&self) -> u64 {
+        (**self).span_count_hint()
+    }
+    fn is_binary(&self) -> bool {
+        (**self).is_binary()
     }
 }
 

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the whole workspace must build in release mode and every
+# test must pass. Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q

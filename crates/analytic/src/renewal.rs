@@ -204,5 +204,27 @@ mod tests {
                 "renewal={} direct={}", renewal, direct
             );
         }
+
+        #[test]
+        fn renewal_is_finite_across_fourteen_decades_of_lambda_l(
+            levels in proptest::collection::vec((0..=4u8).prop_map(|q| f64::from(q) / 4.0), 1..40),
+            lambda_l_exp in -12.0f64..6.0,
+        ) {
+            // λL from 1e-12 (deep AVF-valid regime, survival ≈ 1 everywhere)
+            // to 1e6 (e^{-λU} underflows to 0 after the first vulnerable
+            // cycle): the integral must stay finite and positive at both
+            // extremes, never NaN/∞ from underflow or division by a
+            // vanishing failure probability.
+            prop_assume!(levels.iter().any(|&v| v > 0.0));
+            let trace = IntervalTrace::from_levels(&levels).unwrap();
+            let lambda = 10f64.powf(lambda_l_exp) / levels.len() as f64;
+            let m = renewal_mttf_cycles(&trace, lambda);
+            prop_assert!(
+                m.is_finite() && m > 0.0,
+                "λL=1e{lambda_l_exp:.2}: renewal MTTF = {m}"
+            );
+            // And it can never beat a fully vulnerable component.
+            prop_assert!(m >= 1.0 / lambda - 1e-9 / lambda);
+        }
     }
 }

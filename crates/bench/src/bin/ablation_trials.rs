@@ -11,7 +11,7 @@ fn main() {
     let freq = Frequency::base();
     // A trace squarely in the AVF-breaking regime so the MC engine is
     // exercised where precision matters.
-    let trace = IntervalTrace::busy_idle(1_000_000, 1_000_000).unwrap();
+    let trace = IntervalTrace::busy_idle(1_000_000, 1_000_000).expect("ablation trace is valid");
     let l_seconds = 2_000_000.0 / freq.hz();
     let rate = RawErrorRate::per_second(2.0 / l_seconds); // lambda*L = 2
     let exact = renewal_mttf(&trace, rate, freq).expect("exact").as_secs();

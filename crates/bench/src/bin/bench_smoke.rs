@@ -10,8 +10,8 @@
 
 use std::time::Instant;
 
-use serr_core::experiments::{fig5, ExperimentConfig};
-use serr_core::prelude::Workload;
+use serr_core::experiments::{fig5, fig5_sweep, ExperimentConfig};
+use serr_core::prelude::{SweepOptions, Workload};
 use serr_mc::{MonteCarlo, MonteCarloConfig};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, RawErrorRate};
@@ -49,22 +49,23 @@ fn main() {
     // The `monte_carlo/fine_grained_10k_segments` criterion case, verbatim:
     // the per-event phase-lookup stress test the compiled path targets.
     let levels: Vec<f64> = (0..10_000).map(|i| f64::from(u32::from(i % 7 == 0))).collect();
-    let fine = IntervalTrace::from_levels(&levels).unwrap();
+    let fine = IntervalTrace::from_levels(&levels).expect("fine-grained trace levels are valid");
     let mc = MonteCarlo::new(MonteCarloConfig { trials: 2_000, threads: 1, ..Default::default() });
     let rate = RawErrorRate::per_year(100.0);
     timings.push(time("monte_carlo/fine_grained_10k_segments", 20, || {
-        mc.component_mttf(&fine, rate, freq).unwrap()
+        mc.component_mttf(&fine, rate, freq).expect("fine-grained MC case runs")
     }));
 
     // The day-like case: two huge segments, stresses the period-skip math
     // rather than the lookup.
-    let day_like = IntervalTrace::busy_idle(1_000_000, 1_000_000).unwrap();
+    let day_like =
+        IntervalTrace::busy_idle(1_000_000, 1_000_000).expect("day-like trace is valid");
     let mc_day =
         MonteCarlo::new(MonteCarloConfig { trials: 10_000, threads: 1, ..Default::default() });
     let day_rate = RawErrorRate::per_year(1.0e4);
     timings.push(time("monte_carlo/day_like_10k_trials", 20, || {
-        mc_day.component_mttf(&day_like, rate, freq).unwrap();
-        mc_day.component_mttf(&day_like, day_rate, freq).unwrap()
+        mc_day.component_mttf(&day_like, rate, freq).expect("day-like MC case runs");
+        mc_day.component_mttf(&day_like, day_rate, freq).expect("day-like MC case runs")
     }));
 
     // One figure sweep: three Figure 5 design points on the day workload,
@@ -74,8 +75,38 @@ fn main() {
         ..ExperimentConfig::quick()
     };
     timings.push(time("sweep/fig5_day_3_points", 5, || {
-        fig5(&[Workload::Day], &[1e7, 1e10, 1e13], &sweep_cfg).unwrap()
+        fig5(&[Workload::Day], &[1e7, 1e10, 1e13], &sweep_cfg).expect("fig5 sweep runs")
     }));
+
+    // Checkpoint/resume probe: the same sweep run Fresh (computes and
+    // journals every point) then Resume (must restore all of them without
+    // recomputation). The counts land in the JSON so a perf-tracking diff
+    // also notices if resume silently stops resuming.
+    let ck_dir = format!("{}/../../target/serr-checkpoints/bench-smoke", env!("CARGO_MANIFEST_DIR"));
+    let points = [1e7, 1e10, 1e13];
+    let fresh = fig5_sweep(
+        &[Workload::Day],
+        &points,
+        &sweep_cfg,
+        &SweepOptions::fresh().in_dir(&ck_dir),
+    )
+    .expect("fresh checkpointed sweep runs");
+    let resumed = fig5_sweep(
+        &[Workload::Day],
+        &points,
+        &sweep_cfg,
+        &SweepOptions::resume().in_dir(&ck_dir),
+    )
+    .expect("resumed checkpointed sweep runs");
+    let checkpoint_json = format!(
+        "  \"checkpoint\": {{\"sweep\": \"fig5_day_3_points\", \"fresh_computed\": {}, \
+         \"resume_restored\": {}, \"resume_recomputed\": {}}},",
+        fresh.computed, resumed.resumed, resumed.computed
+    );
+    println!(
+        "checkpoint probe: fresh computed {}, resume restored {} / recomputed {}",
+        fresh.computed, resumed.resumed, resumed.computed
+    );
 
     let entries: Vec<String> = timings
         .iter()
@@ -87,7 +118,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"suite\": \"engines-smoke\",\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 2,\n  \"suite\": \"engines-smoke\",\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        checkpoint_json,
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

@@ -1,14 +1,18 @@
 //! Regenerates Figure 5: AVF-step error vs Monte Carlo for the synthesized
 //! workloads at representative N*S values (C = 1).
 
-use serr_bench::{config_from_args, pct, render_table, sci};
-use serr_core::experiments::fig5;
+use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_core::experiments::fig5_sweep;
 use serr_core::prelude::Workload;
 
 fn main() {
     let cfg = config_from_args();
     let n_s: Vec<f64> = vec![1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 5e12];
-    let rows = fig5(&Workload::synthesized(), &n_s, &cfg).expect("pipeline runs");
+    let rows = unpack_report(
+        "fig5",
+        fig5_sweep(&Workload::synthesized(), &n_s, &cfg, &sweep_options_from_args())
+            .expect("pipeline runs"),
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,8 +1,8 @@
 //! Regenerates Figure 6(a): SOFR-step error vs Monte Carlo for clusters of
 //! processors running three representative SPEC benchmarks.
 
-use serr_bench::{config_from_args, pct, render_table, sci};
-use serr_core::experiments::{fig6a, REPRESENTATIVE_BENCHMARKS};
+use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_core::experiments::{fig6a_sweep, REPRESENTATIVE_BENCHMARKS};
 
 fn main() {
     let cfg = if std::env::args().any(|a| a == "--paper") {
@@ -12,7 +12,11 @@ fn main() {
     };
     let cs = [2u64, 8, 5_000, 50_000, 500_000];
     let n_s = [1e8, 1e9, 2e12, 5e12];
-    let rows = fig6a(&REPRESENTATIVE_BENCHMARKS, &cs, &n_s, &cfg).expect("pipeline runs");
+    let rows = unpack_report(
+        "fig6a",
+        fig6a_sweep(&REPRESENTATIVE_BENCHMARKS, &cs, &n_s, &cfg, &sweep_options_from_args())
+            .expect("pipeline runs"),
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

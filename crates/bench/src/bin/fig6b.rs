@@ -1,15 +1,19 @@
 //! Regenerates Figure 6(b): SOFR-step error vs Monte Carlo for clusters
 //! running the synthesized day/week/combined workloads.
 
-use serr_bench::{config_from_args, pct, render_table, sci};
-use serr_core::experiments::fig6b;
+use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_core::experiments::fig6b_sweep;
 use serr_core::prelude::Workload;
 
 fn main() {
     let cfg = config_from_args();
     let cs = [2u64, 8, 5_000, 50_000, 500_000];
     let n_s = [1e7, 1e8, 1e9];
-    let rows = fig6b(&Workload::synthesized(), &cs, &n_s, &cfg).expect("pipeline runs");
+    let rows = unpack_report(
+        "fig6b",
+        fig6b_sweep(&Workload::synthesized(), &cs, &n_s, &cfg, &sweep_options_from_args())
+            .expect("pipeline runs"),
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -2,14 +2,14 @@
 //! today's uniprocessor running the 21 SPEC-like benchmarks.
 //! Paper: "< 0.5% discrepancy for all cases".
 
-use serr_bench::{config_from_args, pct, render_table};
-use serr_core::experiments::sec5_1;
+use serr_bench::{config_from_args, pct, render_table, sweep_options_from_args, unpack_report};
+use serr_core::experiments::sec5_1_sweep;
 use serr_workload::BenchmarkProfile;
 
 fn main() {
     let cfg = config_from_args();
     let names: Vec<&'static str> = BenchmarkProfile::all().iter().map(|p| p.name).collect();
-    let rows = sec5_1(&names, &cfg).expect("pipeline runs");
+    let rows = unpack_report("sec5_1", sec5_1_sweep(&names, &cfg, &sweep_options_from_args()));
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

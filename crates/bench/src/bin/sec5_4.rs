@@ -2,15 +2,19 @@
 //! design space. Paper: "< 1% for a single component and less than 2% for
 //! the full system".
 
-use serr_bench::{config_from_args, pct, render_table, sci};
-use serr_core::experiments::sec5_4;
+use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_core::experiments::sec5_4_sweep;
 use serr_core::prelude::Workload;
 
 fn main() {
     let cfg = config_from_args();
     let cs = [1u64, 2, 8, 5_000, 50_000, 500_000];
     let n_s = [1e7, 1e8, 1e9, 1e12];
-    let rows = sec5_4(&Workload::synthesized(), &cs, &n_s, &cfg).expect("pipeline runs");
+    let rows = unpack_report(
+        "sec5_4",
+        sec5_4_sweep(&Workload::synthesized(), &cs, &n_s, &cfg, &sweep_options_from_args())
+            .expect("pipeline runs"),
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

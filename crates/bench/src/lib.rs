@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+use serr_core::checkpoint::{SweepOptions, SweepReport};
 use serr_core::experiments::ExperimentConfig;
 
 /// Renders rows as an aligned plain-text table.
@@ -85,6 +86,35 @@ pub fn config_from_args() -> ExperimentConfig {
     } else {
         ExperimentConfig::full()
     }
+}
+
+/// Resolves checkpoint behavior from command-line arguments: the figure
+/// binaries resume from their journal by default (a killed multi-hour run
+/// picks up where it stopped), and `--fresh` discards the journal first.
+#[must_use]
+pub fn sweep_options_from_args() -> SweepOptions {
+    if std::env::args().any(|a| a == "--fresh") {
+        SweepOptions::fresh()
+    } else {
+        SweepOptions::resume()
+    }
+}
+
+/// Unpacks a sweep report for a figure binary: bookkeeping (resume/compute
+/// counts) and any failed points go to stderr — keeping stdout a clean
+/// table — and the completed rows come back for rendering.
+pub fn unpack_report<R>(name: &str, report: SweepReport<R>) -> Vec<R> {
+    eprintln!(
+        "{name}: {} rows ({} resumed from checkpoint, {} computed, {} failed)",
+        report.rows.len(),
+        report.resumed,
+        report.computed,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        eprintln!("{name}: FAILED point {}: {}", f.index, f.error);
+    }
+    report.rows
 }
 
 #[cfg(test)]

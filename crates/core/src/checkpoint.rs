@@ -1,0 +1,552 @@
+//! Checkpoint journals and the fault-tolerant sweep runner.
+//!
+//! The figure sweeps (`sec5_1`, `fig5`, `fig6a/b`, `sec5_4`) can run for
+//! hours at paper scale (`C = 5000`, `N×S = 1e13`, 10⁶ trials per point).
+//! This module makes them restartable and panic-tolerant:
+//!
+//! * Each completed design point is appended as one JSON line to an
+//!   fsync'd journal under `target/serr-checkpoints/` (overridable via the
+//!   `SERR_CHECKPOINT_DIR` environment variable), keyed by a fingerprint of
+//!   the sweep kind, configuration, and point list. A re-run of the same
+//!   sweep resumes from the journal, recomputing only the missing points;
+//!   a *fresh* run discards the journal first.
+//! * Work items run through [`crate::par::try_par_map`], so one panicking
+//!   point surfaces as a [`SerrError::PointFailed`] in the report instead
+//!   of aborting the sweep.
+//!
+//! # Journal format
+//!
+//! One line per completed point: `{"i":<index>,"row":<row object>}`,
+//! where `<row object>` is produced by the row type's [`JournalRow`]
+//! implementation. Rows are written with shortest-round-trip float
+//! formatting (see [`crate::jsonio`]), so a resumed sweep reproduces
+//! **bit-identical** rows. A torn final line (crash mid-append) or any
+//! malformed line is simply ignored — that point is recomputed.
+//!
+//! Journal appends are flushed with `sync_data` per point: a killed process
+//! loses at most the point it was computing, never a recorded one.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serr_types::SerrError;
+
+use crate::jsonio::Json;
+use crate::par;
+
+/// How a sweep interacts with its checkpoint journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointMode {
+    /// No journal: compute everything, record nothing.
+    #[default]
+    Off,
+    /// Resume from an existing journal (if any) and record new points.
+    Resume,
+    /// Discard any existing journal, then record points as they complete.
+    Fresh,
+}
+
+/// Options controlling a fault-tolerant sweep run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Checkpoint behavior; [`CheckpointMode::Off`] by default.
+    pub mode: CheckpointMode,
+    /// Journal directory override. `None` uses `SERR_CHECKPOINT_DIR` or
+    /// `target/serr-checkpoints`.
+    pub dir: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// No checkpointing (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        SweepOptions { mode: CheckpointMode::Off, dir: None }
+    }
+
+    /// Resume from the journal if one exists.
+    #[must_use]
+    pub fn resume() -> Self {
+        SweepOptions { mode: CheckpointMode::Resume, dir: None }
+    }
+
+    /// Discard any stale journal and start over.
+    #[must_use]
+    pub fn fresh() -> Self {
+        SweepOptions { mode: CheckpointMode::Fresh, dir: None }
+    }
+
+    /// Pins the journal directory (tests; tools with their own layout).
+    #[must_use]
+    pub fn in_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+}
+
+/// One failed design point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// Input-order index of the failed point.
+    pub index: usize,
+    /// What went wrong: [`SerrError::PointFailed`] for a panic, or the
+    /// point's own typed error.
+    pub error: SerrError,
+}
+
+/// The outcome of a fault-tolerant sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport<R> {
+    /// Completed rows in input order (failed points are absent).
+    pub rows: Vec<R>,
+    /// Failed points, ascending by index.
+    pub failures: Vec<PointFailure>,
+    /// Points restored from the journal without recomputation.
+    pub resumed: usize,
+    /// Points computed (successfully) in this run.
+    pub computed: usize,
+}
+
+impl<R> SweepReport<R> {
+    /// Collapses the report into the classic all-or-nothing shape: the rows
+    /// if every point succeeded, otherwise the first failure in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`PointFailure`]'s error.
+    pub fn into_result(self) -> Result<Vec<R>, SerrError> {
+        match self.failures.into_iter().next() {
+            None => Ok(self.rows),
+            Some(f) => Err(f.error),
+        }
+    }
+}
+
+/// A row type that can round-trip through the checkpoint journal.
+///
+/// Implementations must be lossless for every field that feeds a report:
+/// `from_journal(&to_journal(row))` must reconstruct `row` bit-for-bit
+/// (floats included — [`Json`] guarantees shortest-round-trip formatting).
+pub trait JournalRow: Sized {
+    /// Encodes the row as a JSON value (one journal line's `"row"` field).
+    fn to_journal(&self) -> Json;
+    /// Decodes a row; `None` (schema mismatch, missing field) means the
+    /// journal entry is discarded and the point recomputed.
+    fn from_journal(v: &Json) -> Option<Self>;
+}
+
+/// The journal directory: `SERR_CHECKPOINT_DIR` if set, else
+/// `target/serr-checkpoints` relative to the working directory.
+#[must_use]
+pub fn default_journal_dir() -> PathBuf {
+    match std::env::var_os("SERR_CHECKPOINT_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("target").join("serr-checkpoints"),
+    }
+}
+
+/// FNV-1a fingerprint over a list of string parts, with a separator fold so
+/// part boundaries matter (`["ab","c"] != ["a","bc"]`). Keys sweeps to
+/// their configuration: same kind + config + point list → same journal.
+#[must_use]
+pub fn fingerprint(parts: &[&str]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h = (h ^ 0xff).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// An append-only, fsync'd JSONL checkpoint journal for one sweep.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    completed: BTreeMap<usize, Json>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for `(kind, fingerprint)` under
+    /// `dir`, loading previously completed points. With `fresh`, any
+    /// existing journal is deleted first.
+    ///
+    /// Malformed lines — including a final line torn by a crash mid-append
+    /// — are skipped: those points simply recompute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (unwritable directory, etc.). Callers
+    /// degrade to checkpoint-less operation rather than failing the sweep.
+    pub fn open(dir: &Path, kind: &str, fingerprint: u64, fresh: bool) -> std::io::Result<Journal> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{kind}-{fingerprint:016x}.jsonl"));
+        if fresh {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut completed = BTreeMap::new();
+        if let Ok(text) = fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Some(entry) = Json::parse(line) else { continue };
+                let Some(i) = entry.get("i").and_then(Json::as_usize) else { continue };
+                let Some(row) = entry.get("row") else { continue };
+                completed.insert(i, row.clone());
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file: Mutex::new(file), completed })
+    }
+
+    /// Points already recorded, by input index.
+    #[must_use]
+    pub fn completed(&self) -> &BTreeMap<usize, Json> {
+        &self.completed
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed point and syncs it to disk, so a subsequent
+    /// crash cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync errors; the sweep runner logs and continues
+    /// (losing checkpointing for that point, not the point itself).
+    pub fn record(&self, index: usize, row: &Json) -> std::io::Result<()> {
+        let line = Json::Obj(vec![
+            ("i".to_owned(), Json::Num(index as f64)),
+            ("row".to_owned(), row.clone()),
+        ])
+        .to_json();
+        // A poisoned lock only means another worker panicked *between*
+        // journal writes; the file itself is line-consistent, so keep going.
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()
+    }
+}
+
+/// Runs a fault-tolerant, checkpointed sweep over `items`.
+///
+/// Completed points are restored from the journal (when `opts.mode` says
+/// so) without calling `eval`; the rest run in parallel on up to `threads`
+/// workers via [`par::try_par_map`], each success being journaled before
+/// the report is assembled. Panics and errors in `eval` poison only their
+/// own point.
+///
+/// If the journal cannot be opened (read-only filesystem, permission
+/// error), the sweep still runs — it just doesn't checkpoint; a warning
+/// goes to stderr.
+pub fn run_sweep<T, R, F>(
+    kind: &str,
+    fingerprint: u64,
+    items: &[T],
+    threads: usize,
+    opts: &SweepOptions,
+    eval: F,
+) -> SweepReport<R>
+where
+    T: Sync,
+    R: JournalRow + Send,
+    F: Fn(usize, &T) -> Result<R, SerrError> + Sync,
+{
+    let journal = match opts.mode {
+        CheckpointMode::Off => None,
+        CheckpointMode::Resume | CheckpointMode::Fresh => {
+            let dir = opts.dir.clone().unwrap_or_else(default_journal_dir);
+            let fresh = opts.mode == CheckpointMode::Fresh;
+            match Journal::open(&dir, kind, fingerprint, fresh) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    eprintln!(
+                        "warning: checkpoint journal for `{kind}` unavailable ({e}); \
+                         sweep runs without checkpointing"
+                    );
+                    None
+                }
+            }
+        }
+    };
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut resumed = 0usize;
+    if let Some(j) = &journal {
+        for (&i, row) in j.completed() {
+            if i < items.len() {
+                if let Some(decoded) = R::from_journal(row) {
+                    slots[i] = Some(decoded);
+                    resumed += 1;
+                }
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..items.len()).filter(|&i| slots[i].is_none()).collect();
+    let results = par::try_par_map(&pending, threads, |_, &i| {
+        let row = eval(i, &items[i])?;
+        if let Some(j) = &journal {
+            if let Err(e) = j.record(i, &row.to_journal()) {
+                eprintln!("warning: failed to checkpoint point {i} of `{kind}`: {e}");
+            }
+        }
+        Ok(row)
+    });
+
+    let mut failures = Vec::new();
+    let mut computed = 0usize;
+    for (&orig, res) in pending.iter().zip(results) {
+        match res {
+            Ok(row) => {
+                slots[orig] = Some(row);
+                computed += 1;
+            }
+            // try_par_map indexes into `pending`; report the original
+            // position in the sweep's point list instead.
+            Err(SerrError::PointFailed { payload, .. }) => failures.push(PointFailure {
+                index: orig,
+                error: SerrError::PointFailed { index: orig, payload },
+            }),
+            Err(error) => failures.push(PointFailure { index: orig, error }),
+        }
+    }
+    failures.sort_by_key(|f| f.index);
+
+    SweepReport { rows: slots.into_iter().flatten().collect(), failures, resumed, computed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // `Write as _` in the parent has no name, so the glob import above does
+    // not bring it in; the torn-line test writes to a raw `File` directly.
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestRow {
+        idx: u64,
+        value: f64,
+        label: String,
+    }
+
+    impl JournalRow for TestRow {
+        fn to_journal(&self) -> Json {
+            Json::Obj(vec![
+                ("idx".to_owned(), Json::Num(self.idx as f64)),
+                ("value".to_owned(), Json::Num(self.value)),
+                ("label".to_owned(), Json::Str(self.label.clone())),
+            ])
+        }
+        fn from_journal(v: &Json) -> Option<Self> {
+            Some(TestRow {
+                idx: v.get("idx")?.as_u64()?,
+                value: v.get("value")?.as_f64()?,
+                label: v.get("label")?.as_str()?.to_owned(),
+            })
+        }
+    }
+
+    /// A deliberately awkward float per index, to catch any formatting
+    /// loss in the journal round trip.
+    fn eval_row(i: usize, x: &u64) -> Result<TestRow, SerrError> {
+        let value = (*x as f64).sqrt() * 0.1 + 0.2 + 1.0 / (*x as f64 + 3.0);
+        Ok(TestRow { idx: *x, value, label: format!("point-{i}") })
+    }
+
+    fn fresh_test_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("serr-checkpoint-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_rows_bit_identical(a: &[TestRow], b: &[TestRow]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.idx, y.idx);
+            assert_eq!(x.label, y.label);
+            assert_eq!(
+                x.value.to_bits(),
+                y.value.to_bits(),
+                "row {} not bit-identical: {} vs {}",
+                x.idx,
+                x.value,
+                y.value
+            );
+        }
+    }
+
+    #[test]
+    fn off_mode_computes_everything_and_journals_nothing() {
+        let items: Vec<u64> = (0..10).collect();
+        let calls = AtomicUsize::new(0);
+        let report = run_sweep("t-off", 1, &items, 4, &SweepOptions::off(), |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert_eq!(report.rows.len(), 10);
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.computed, 10);
+        assert!(report.failures.is_empty());
+        // Rows come back in input order.
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.idx, i as u64);
+        }
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_without_recomputing_completed_points() {
+        let dir = fresh_test_dir("resume");
+        let items: Vec<u64> = (0..12).collect();
+        let opts = SweepOptions::resume().in_dir(&dir);
+        let fp = fingerprint(&["resume-test", "v1"]);
+
+        // Uninterrupted reference run (no journal involved).
+        let reference =
+            run_sweep("t-resume", fp, &items, 4, &SweepOptions::off(), eval_row).rows;
+
+        // "Killed" run: points >= 7 fail, so the journal records 0..=6 only
+        // — the on-disk state a mid-run SIGKILL leaves behind.
+        let partial = run_sweep("t-resume", fp, &items, 4, &opts, |i, x| {
+            if *x >= 7 {
+                return Err(SerrError::invalid_config("simulated crash"));
+            }
+            eval_row(i, x)
+        });
+        assert_eq!(partial.rows.len(), 7);
+        assert_eq!(partial.failures.len(), 5);
+
+        // Re-invocation: only the 5 missing points are recomputed...
+        let calls = AtomicUsize::new(0);
+        let second = run_sweep("t-resume", fp, &items, 4, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 5, "resumed points were recomputed");
+        assert_eq!(second.resumed, 7);
+        assert_eq!(second.computed, 5);
+        assert!(second.failures.is_empty());
+        assert_rows_bit_identical(&second.rows, &reference);
+
+        // ...and a third run recomputes zero points, bit-identically.
+        let calls = AtomicUsize::new(0);
+        let third = run_sweep("t-resume", fp, &items, 4, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(third.resumed, 12);
+        assert_rows_bit_identical(&third.rows, &reference);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_mode_discards_the_journal() {
+        let dir = fresh_test_dir("fresh");
+        let items: Vec<u64> = (0..6).collect();
+        let fp = fingerprint(&["fresh-test"]);
+        let resume = SweepOptions::resume().in_dir(&dir);
+        run_sweep("t-fresh", fp, &items, 2, &resume, eval_row);
+
+        let calls = AtomicUsize::new(0);
+        let fresh = SweepOptions::fresh().in_dir(&dir);
+        let report = run_sweep("t-fresh", fp, &items, 2, &fresh, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 6, "--fresh must recompute everything");
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.computed, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_malformed_journal_lines_are_recomputed() {
+        let dir = fresh_test_dir("torn");
+        let items: Vec<u64> = (0..4).collect();
+        let fp = fingerprint(&["torn-test"]);
+        let journal = Journal::open(&dir, "t-torn", fp, false).unwrap();
+        // Two good lines, one torn mid-append, one schema-mismatched.
+        journal.record(0, &eval_row(0, &0).unwrap().to_journal()).unwrap();
+        journal.record(1, &eval_row(1, &1).unwrap().to_journal()).unwrap();
+        drop(journal);
+        let path = dir.join(format!("t-torn-{fp:016x}.jsonl"));
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(file, "{}", r#"{"i":2,"row":{"idx":2,"value":"not a number","label":"x"}}"#)
+            .unwrap();
+        write!(file, "{}", r#"{"i":3,"row":{"idx":3,"va"#).unwrap(); // torn
+        drop(file);
+
+        let calls = AtomicUsize::new(0);
+        let opts = SweepOptions::resume().in_dir(&dir);
+        let report = run_sweep("t-torn", fp, &items, 1, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        });
+        assert_eq!(report.resumed, 2, "good lines resume");
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "bad lines recompute");
+        assert_eq!(report.rows.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_point_is_reported_with_its_input_index() {
+        let items: Vec<u64> = (0..8).collect();
+        let report = run_sweep("t-poison", 1, &items, 3, &SweepOptions::off(), |i, x| {
+            assert!(*x != 5, "point {x} is poisoned");
+            eval_row(i, x)
+        });
+        assert_eq!(report.rows.len(), 7);
+        let expected: Vec<u64> = (0..8).filter(|&x| x != 5).collect();
+        assert_eq!(report.rows.iter().map(|r| r.idx).collect::<Vec<_>>(), expected);
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.index, 5);
+        match &failure.error {
+            SerrError::PointFailed { index: 5, payload } => {
+                assert!(payload.contains("point 5 is poisoned"), "payload: {payload}");
+            }
+            other => panic!("expected PointFailed {{ index: 5, .. }}, got {other:?}"),
+        }
+        // into_result surfaces the failure as a typed error.
+        assert!(matches!(
+            report.into_result(),
+            Err(SerrError::PointFailed { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprints_respect_part_boundaries() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_ne!(fingerprint(&["fig5"]), fingerprint(&["fig6a"]));
+        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
+    }
+
+    #[test]
+    fn journal_row_roundtrip_is_lossless() {
+        let row = TestRow { idx: 42, value: 0.1 + 0.2, label: "λ \"quoted\"\n".to_owned() };
+        let back = TestRow::from_journal(&row.to_journal()).unwrap();
+        assert_eq!(back.label, row.label);
+        assert_eq!(back.value.to_bits(), row.value.to_bits());
+    }
+}

@@ -10,7 +10,9 @@ use serr_trace::{ConcatTrace, VulnerabilityTrace};
 use serr_types::{Frequency, RawErrorRate, Seconds, SerrError};
 use serr_workload::synthesized;
 
+use crate::checkpoint::{self, JournalRow, SweepOptions, SweepReport};
 use crate::design::Workload;
+use crate::jsonio::Json;
 use crate::par;
 use crate::pipeline::{processor_trace, simulate_benchmark};
 use crate::rates::UnitRates;
@@ -95,6 +97,25 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// The checkpoint-journal fingerprint of a sweep: the sweep kind, the full
+/// configuration, and every design-point coordinate. Any change to any of
+/// them lands in a different journal file, so a resumed run can never mix
+/// rows computed under different settings.
+///
+/// `mc.threads` is canonicalised to zero first: the engine's chunked RNG
+/// makes every estimate bit-identical at any thread count, so a journal
+/// written on an 8-core box must resume cleanly on a 64-core one.
+fn sweep_fingerprint(kind: &str, cfg: &ExperimentConfig, coords: &[String]) -> u64 {
+    let mut canon = *cfg;
+    canon.mc.threads = 0;
+    let cfg_str = format!("{canon:?}");
+    let mut parts: Vec<&str> = Vec::with_capacity(2 + coords.len());
+    parts.push(kind);
+    parts.push(&cfg_str);
+    parts.extend(coords.iter().map(String::as_str));
+    checkpoint::fingerprint(&parts)
+}
+
 /// Builds a synthesized workload's component-level masking trace.
 ///
 /// For `day`/`week` these are the paper's duty-cycle loops; `combined`
@@ -166,7 +187,7 @@ pub fn spec_processor_trace(
 // ---------------------------------------------------------------------------
 
 /// One benchmark's row of the Section 5.1 result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sec51Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -185,6 +206,54 @@ pub struct Sec51Row {
     pub ipc: f64,
 }
 
+impl JournalRow for Sec51Row {
+    fn to_journal(&self) -> Json {
+        let components = self
+            .components
+            .iter()
+            .map(|(name, avf, err)| {
+                Json::Arr(vec![Json::Str(name.clone()), Json::Num(*avf), Json::Num(*err)])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("benchmark".to_owned(), Json::Str(self.benchmark.clone())),
+            ("components".to_owned(), Json::Arr(components)),
+            ("max_component_error".to_owned(), Json::Num(self.max_component_error)),
+            (
+                "max_component_error_exact".to_owned(),
+                Json::Num(self.max_component_error_exact),
+            ),
+            ("sofr_error".to_owned(), Json::Num(self.sofr_error)),
+            ("sofr_error_exact".to_owned(), Json::Num(self.sofr_error_exact)),
+            ("ipc".to_owned(), Json::Num(self.ipc)),
+        ])
+    }
+
+    fn from_journal(v: &Json) -> Option<Self> {
+        let mut components = Vec::new();
+        for entry in v.get("components")?.as_array()? {
+            let triple = entry.as_array()?;
+            if triple.len() != 3 {
+                return None;
+            }
+            components.push((
+                triple[0].as_str()?.to_owned(),
+                triple[1].as_f64()?,
+                triple[2].as_f64()?,
+            ));
+        }
+        Some(Sec51Row {
+            benchmark: v.get("benchmark")?.as_str()?.to_owned(),
+            components,
+            max_component_error: v.get("max_component_error")?.as_f64()?,
+            max_component_error_exact: v.get("max_component_error_exact")?.as_f64()?,
+            sofr_error: v.get("sofr_error")?.as_f64()?,
+            sofr_error_exact: v.get("sofr_error_exact")?.as_f64()?,
+            ipc: v.get("ipc")?.as_f64()?,
+        })
+    }
+}
+
 /// Reproduces Section 5.1: for each benchmark, the AVF step per component
 /// and the SOFR step across the four components of one processor, all
 /// versus Monte Carlo. The paper reports "< 0.5% discrepancy for all cases".
@@ -194,12 +263,27 @@ pub struct Sec51Row {
 ///
 /// # Errors
 ///
-/// Propagates pipeline and estimator errors.
+/// Fails on the first failed benchmark, in input order. Use [`sec5_1_sweep`]
+/// to keep the healthy rows (and to checkpoint).
 pub fn sec5_1(benchmarks: &[&str], cfg: &ExperimentConfig) -> Result<Vec<Sec51Row>, SerrError> {
+    sec5_1_sweep(benchmarks, cfg, &SweepOptions::off()).into_result()
+}
+
+/// Fault-tolerant, checkpointable variant of [`sec5_1`]: a panicking or
+/// failing benchmark is reported in [`SweepReport::failures`] while every
+/// other row survives, and with checkpointing on, finished benchmarks are
+/// journaled so a killed run resumes without recomputing them.
+pub fn sec5_1_sweep(
+    benchmarks: &[&str],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> SweepReport<Sec51Row> {
+    let coords: Vec<String> = benchmarks.iter().map(|&b| b.to_owned()).collect();
+    let fp = sweep_fingerprint("sec5_1", cfg, &coords);
     let (threads, cfg) = fanout(cfg, benchmarks.len());
-    par::par_map(benchmarks, threads, |_, &name| sec5_1_row(name, &cfg))
-        .into_iter()
-        .collect()
+    checkpoint::run_sweep("sec5_1", fp, benchmarks, threads, opts, |_, &name| {
+        sec5_1_row(name, &cfg)
+    })
 }
 
 fn sec5_1_row(name: &str, cfg: &ExperimentConfig) -> Result<Sec51Row, SerrError> {
@@ -247,7 +331,7 @@ fn sec5_1_row(name: &str, cfg: &ExperimentConfig) -> Result<Sec51Row, SerrError>
 // ---------------------------------------------------------------------------
 
 /// One point of Figure 5.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig5Row {
     /// Workload label.
     pub workload: String,
@@ -265,6 +349,32 @@ pub struct Fig5Row {
     pub softarch_error: f64,
 }
 
+impl JournalRow for Fig5Row {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".to_owned(), Json::Str(self.workload.clone())),
+            ("n_times_s".to_owned(), Json::Num(self.n_times_s)),
+            ("avf".to_owned(), Json::Num(self.avf)),
+            ("mttf_avf_years".to_owned(), Json::Num(self.mttf_avf_years)),
+            ("mttf_mc_years".to_owned(), Json::Num(self.mttf_mc_years)),
+            ("error".to_owned(), Json::Num(self.error)),
+            ("softarch_error".to_owned(), Json::Num(self.softarch_error)),
+        ])
+    }
+
+    fn from_journal(v: &Json) -> Option<Self> {
+        Some(Fig5Row {
+            workload: v.get("workload")?.as_str()?.to_owned(),
+            n_times_s: v.get("n_times_s")?.as_f64()?,
+            avf: v.get("avf")?.as_f64()?,
+            mttf_avf_years: v.get("mttf_avf_years")?.as_f64()?,
+            mttf_mc_years: v.get("mttf_mc_years")?.as_f64()?,
+            error: v.get("error")?.as_f64()?,
+            softarch_error: v.get("softarch_error")?.as_f64()?,
+        })
+    }
+}
+
 /// Reproduces Figure 5: AVF-step error for the synthesized workloads at
 /// representative `N×S` values (C = 1 throughout).
 ///
@@ -274,12 +384,28 @@ pub struct Fig5Row {
 ///
 /// # Errors
 ///
-/// Propagates pipeline and estimator errors.
+/// Propagates trace-construction errors, then fails on the first failed
+/// design point in input order. Use [`fig5_sweep`] to keep healthy rows.
 pub fn fig5(
     workloads: &[Workload],
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Fig5Row>, SerrError> {
+    fig5_sweep(workloads, n_times_s, cfg, &SweepOptions::off())?.into_result()
+}
+
+/// Fault-tolerant, checkpointable variant of [`fig5`].
+///
+/// # Errors
+///
+/// Only trace construction (shared by all points of a workload) aborts the
+/// sweep; per-point panics and errors land in [`SweepReport::failures`].
+pub fn fig5_sweep(
+    workloads: &[Workload],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> Result<SweepReport<Fig5Row>, SerrError> {
     let mut points: Vec<(Workload, Arc<dyn VulnerabilityTrace>, f64)> = Vec::new();
     for &w in workloads {
         let trace = synthesized_trace(w, cfg)?;
@@ -287,9 +413,12 @@ pub fn fig5(
             points.push((w, trace.clone(), prod));
         }
     }
+    let coords: Vec<String> =
+        points.iter().map(|(w, _, prod)| format!("{}@{prod:?}", w.label())).collect();
+    let fp = sweep_fingerprint("fig5", cfg, &coords);
     let (threads, cfg) = fanout(cfg, points.len());
     let v = cfg.validator();
-    par::par_map(&points, threads, |_, (w, trace, prod)| {
+    Ok(checkpoint::run_sweep("fig5", fp, &points, threads, opts, |_, (w, trace, prod)| {
         let rate = RawErrorRate::baseline_per_bit().scale(*prod);
         let cv = v.component(trace, rate)?;
         Ok(Fig5Row {
@@ -301,9 +430,7 @@ pub fn fig5(
             error: cv.avf_error_vs_mc,
             softarch_error: cv.softarch_error_vs_mc,
         })
-    })
-    .into_iter()
-    .collect()
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -311,7 +438,7 @@ pub fn fig5(
 // ---------------------------------------------------------------------------
 
 /// One point of Figure 6 (either panel).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig6Row {
     /// Workload or benchmark label.
     pub workload: String,
@@ -329,6 +456,32 @@ pub struct Fig6Row {
     pub softarch_error: f64,
 }
 
+impl JournalRow for Fig6Row {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".to_owned(), Json::Str(self.workload.clone())),
+            ("c".to_owned(), Json::Num(self.c as f64)),
+            ("n_times_s".to_owned(), Json::Num(self.n_times_s)),
+            ("mttf_sofr_years".to_owned(), Json::Num(self.mttf_sofr_years)),
+            ("mttf_mc_years".to_owned(), Json::Num(self.mttf_mc_years)),
+            ("error".to_owned(), Json::Num(self.error)),
+            ("softarch_error".to_owned(), Json::Num(self.softarch_error)),
+        ])
+    }
+
+    fn from_journal(v: &Json) -> Option<Self> {
+        Some(Fig6Row {
+            workload: v.get("workload")?.as_str()?.to_owned(),
+            c: v.get("c")?.as_u64()?,
+            n_times_s: v.get("n_times_s")?.as_f64()?,
+            mttf_sofr_years: v.get("mttf_sofr_years")?.as_f64()?,
+            mttf_mc_years: v.get("mttf_mc_years")?.as_f64()?,
+            error: v.get("error")?.as_f64()?,
+            softarch_error: v.get("softarch_error")?.as_f64()?,
+        })
+    }
+}
+
 /// Reproduces Figure 6(a): SOFR error for clusters of processors running
 /// SPEC benchmarks.
 ///
@@ -337,19 +490,36 @@ pub struct Fig6Row {
 ///
 /// # Errors
 ///
-/// Propagates pipeline and estimator errors.
+/// Propagates trace-construction errors, then fails on the first failed
+/// design point in input order. Use [`fig6a_sweep`] to keep healthy rows.
 pub fn fig6a(
     benchmarks: &[&str],
     c_values: &[u64],
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Fig6Row>, SerrError> {
+    fig6a_sweep(benchmarks, c_values, n_times_s, cfg, &SweepOptions::off())?.into_result()
+}
+
+/// Fault-tolerant, checkpointable variant of [`fig6a`].
+///
+/// # Errors
+///
+/// Only benchmark simulation / trace construction aborts the sweep;
+/// per-point panics and errors land in [`SweepReport::failures`].
+pub fn fig6a_sweep(
+    benchmarks: &[&str],
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> Result<SweepReport<Fig6Row>, SerrError> {
     let mut points = Vec::new();
     for &name in benchmarks {
         let trace = spec_processor_trace(name, cfg)?;
         collect_fig6_points(&mut points, name, &trace, c_values, n_times_s);
     }
-    fig6_rows(points, cfg)
+    Ok(fig6_rows_sweep("fig6a", points, cfg, opts))
 }
 
 /// Reproduces Figure 6(b): SOFR error for clusters running the synthesized
@@ -357,19 +527,36 @@ pub fn fig6a(
 ///
 /// # Errors
 ///
-/// Propagates pipeline and estimator errors.
+/// Propagates trace-construction errors, then fails on the first failed
+/// design point in input order. Use [`fig6b_sweep`] to keep healthy rows.
 pub fn fig6b(
     workloads: &[Workload],
     c_values: &[u64],
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Fig6Row>, SerrError> {
+    fig6b_sweep(workloads, c_values, n_times_s, cfg, &SweepOptions::off())?.into_result()
+}
+
+/// Fault-tolerant, checkpointable variant of [`fig6b`].
+///
+/// # Errors
+///
+/// Only trace construction aborts the sweep; per-point panics and errors
+/// land in [`SweepReport::failures`].
+pub fn fig6b_sweep(
+    workloads: &[Workload],
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> Result<SweepReport<Fig6Row>, SerrError> {
     let mut points = Vec::new();
     for &w in workloads {
         let trace = synthesized_trace(w, cfg)?;
         collect_fig6_points(&mut points, w.label(), &trace, c_values, n_times_s);
     }
-    fig6_rows(points, cfg)
+    Ok(fig6_rows_sweep("fig6b", points, cfg, opts))
 }
 
 /// One Figure 6 design point awaiting evaluation: `(label, trace, C, N×S)`.
@@ -389,10 +576,22 @@ fn collect_fig6_points(
     }
 }
 
-fn fig6_rows(points: Vec<Fig6Point>, cfg: &ExperimentConfig) -> Result<Vec<Fig6Row>, SerrError> {
+/// The Figure 6 design-point coordinate string used for journal
+/// fingerprints: label, cluster size, and `N×S` (exact `{:?}` float form).
+fn fig6_point_coords(points: &[Fig6Point]) -> Vec<String> {
+    points.iter().map(|(label, _, c, prod)| format!("{label}@{c}@{prod:?}")).collect()
+}
+
+fn fig6_rows_sweep(
+    kind: &str,
+    points: Vec<Fig6Point>,
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> SweepReport<Fig6Row> {
+    let fp = sweep_fingerprint(kind, cfg, &fig6_point_coords(&points));
     let (threads, cfg) = fanout(cfg, points.len());
     let v = cfg.validator();
-    par::par_map(&points, threads, |_, (label, trace, c, prod)| {
+    checkpoint::run_sweep(kind, fp, &points, threads, opts, |_, (label, trace, c, prod)| {
         let rate = RawErrorRate::baseline_per_bit().scale(*prod);
         let sv = v.system_identical(trace.clone(), rate, *c)?;
         Ok(Fig6Row {
@@ -405,8 +604,6 @@ fn fig6_rows(points: Vec<Fig6Point>, cfg: &ExperimentConfig) -> Result<Vec<Fig6R
             softarch_error: sv.softarch_error_vs_mc,
         })
     })
-    .into_iter()
-    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -414,7 +611,7 @@ fn fig6_rows(points: Vec<Fig6Point>, cfg: &ExperimentConfig) -> Result<Vec<Fig6R
 // ---------------------------------------------------------------------------
 
 /// One point of the Section 5.4 sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sec54Row {
     /// Workload label.
     pub workload: String,
@@ -428,27 +625,70 @@ pub struct Sec54Row {
     pub softarch_error_vs_renewal: f64,
 }
 
+impl JournalRow for Sec54Row {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".to_owned(), Json::Str(self.workload.clone())),
+            ("c".to_owned(), Json::Num(self.c as f64)),
+            ("n_times_s".to_owned(), Json::Num(self.n_times_s)),
+            ("softarch_error".to_owned(), Json::Num(self.softarch_error)),
+            (
+                "softarch_error_vs_renewal".to_owned(),
+                Json::Num(self.softarch_error_vs_renewal),
+            ),
+        ])
+    }
+
+    fn from_journal(v: &Json) -> Option<Self> {
+        Some(Sec54Row {
+            workload: v.get("workload")?.as_str()?.to_owned(),
+            c: v.get("c")?.as_u64()?,
+            n_times_s: v.get("n_times_s")?.as_f64()?,
+            softarch_error: v.get("softarch_error")?.as_f64()?,
+            softarch_error_vs_renewal: v.get("softarch_error_vs_renewal")?.as_f64()?,
+        })
+    }
+}
+
 /// Reproduces Section 5.4: SoftArch versus Monte Carlo over the design
 /// space. The paper reports "< 1% for a single component and less than 2%
 /// for the full system".
 ///
 /// # Errors
 ///
-/// Propagates pipeline and estimator errors.
+/// Propagates trace-construction errors, then fails on the first failed
+/// design point in input order. Use [`sec5_4_sweep`] to keep healthy rows.
 pub fn sec5_4(
     workloads: &[Workload],
     c_values: &[u64],
     n_times_s: &[f64],
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Sec54Row>, SerrError> {
+    sec5_4_sweep(workloads, c_values, n_times_s, cfg, &SweepOptions::off())?.into_result()
+}
+
+/// Fault-tolerant, checkpointable variant of [`sec5_4`].
+///
+/// # Errors
+///
+/// Only trace construction aborts the sweep; per-point panics and errors
+/// land in [`SweepReport::failures`].
+pub fn sec5_4_sweep(
+    workloads: &[Workload],
+    c_values: &[u64],
+    n_times_s: &[f64],
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> Result<SweepReport<Sec54Row>, SerrError> {
     let mut points = Vec::new();
     for &w in workloads {
         let trace = synthesized_trace(w, cfg)?;
         collect_fig6_points(&mut points, w.label(), &trace, c_values, n_times_s);
     }
+    let fp = sweep_fingerprint("sec5_4", cfg, &fig6_point_coords(&points));
     let (threads, cfg) = fanout(cfg, points.len());
     let v = cfg.validator();
-    par::par_map(&points, threads, |_, (label, trace, c, prod)| {
+    Ok(checkpoint::run_sweep("sec5_4", fp, &points, threads, opts, |_, (label, trace, c, prod)| {
         let rate = RawErrorRate::baseline_per_bit().scale(*prod);
         let sv = v.system_identical(trace.clone(), rate, *c)?;
         Ok(Sec54Row {
@@ -461,9 +701,7 @@ pub fn sec5_4(
                 sv.mttf_renewal.as_secs(),
             ),
         })
-    })
-    .into_iter()
-    .collect()
+    }))
 }
 
 /// Helper: the length of one iteration of a workload's trace in wall-clock
@@ -532,6 +770,99 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert!(rows[0].softarch_error_vs_renewal < 1e-5, "{:?}", rows[0]);
         assert!(rows[0].softarch_error < 0.05, "{:?}", rows[0]);
+    }
+
+    /// Round-trips each row type through its journal encoding and checks
+    /// bit-identity (PartialEq on f64 is exact for the finite values used).
+    #[test]
+    fn all_row_types_roundtrip_through_the_journal() {
+        let sec51 = Sec51Row {
+            benchmark: "gzip".to_owned(),
+            components: vec![
+                ("int".to_owned(), 0.3125, 0.001_953_125), // exact binary fractions
+                ("fp".to_owned(), 0.1 + 0.2, 1.0 / 3.0),   // awkward ones
+            ],
+            max_component_error: 0.017,
+            max_component_error_exact: 3.2e-7,
+            sofr_error: 0.004,
+            sofr_error_exact: 1.1e-9,
+            ipc: 1.37,
+        };
+        assert_eq!(Sec51Row::from_journal(&sec51.to_journal()).unwrap(), sec51);
+
+        let fig5 = Fig5Row {
+            workload: "day".to_owned(),
+            n_times_s: 1e13,
+            avf: 0.5,
+            mttf_avf_years: 12.34,
+            mttf_mc_years: 6.78,
+            error: 0.9,
+            softarch_error: 0.01,
+        };
+        assert_eq!(Fig5Row::from_journal(&fig5.to_journal()).unwrap(), fig5);
+
+        let fig6 = Fig6Row {
+            workload: "week".to_owned(),
+            c: 5_000,
+            n_times_s: 1e8,
+            mttf_sofr_years: 1.0 / 7.0,
+            mttf_mc_years: 0.1,
+            error: 0.11,
+            softarch_error: 0.02,
+        };
+        assert_eq!(Fig6Row::from_journal(&fig6.to_journal()).unwrap(), fig6);
+
+        let sec54 = Sec54Row {
+            workload: "combined".to_owned(),
+            c: 2,
+            n_times_s: 1e10,
+            softarch_error: 0.015,
+            softarch_error_vs_renewal: 2.5e-6,
+        };
+        assert_eq!(Sec54Row::from_journal(&sec54.to_journal()).unwrap(), sec54);
+
+        // Schema mismatch (missing field) must decode to None, not garbage.
+        assert!(Fig5Row::from_journal(&sec54.to_journal()).is_none());
+    }
+
+    /// The acceptance scenario at the experiments layer: a checkpointed
+    /// sweep re-invoked after completing restores every row from the
+    /// journal — zero recomputation — bit-identically.
+    #[test]
+    fn fig5_sweep_checkpoints_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir()
+            .join(format!("serr-fig5-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cfg();
+        let points: &[f64] = &[1e7, 1e13];
+
+        let first =
+            fig5_sweep(&[Workload::Day], points, &c, &SweepOptions::fresh().in_dir(&dir))
+                .unwrap();
+        assert!(first.failures.is_empty());
+        assert_eq!((first.computed, first.resumed), (2, 0));
+
+        let second =
+            fig5_sweep(&[Workload::Day], points, &c, &SweepOptions::resume().in_dir(&dir))
+                .unwrap();
+        assert!(second.failures.is_empty());
+        assert_eq!((second.computed, second.resumed), (0, 2));
+        assert_eq!(second.rows.len(), first.rows.len());
+        for (a, b) in first.rows.iter().zip(&second.rows) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.mttf_mc_years.to_bits(), b.mttf_mc_years.to_bits());
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.softarch_error.to_bits(), b.softarch_error.to_bits());
+        }
+
+        // A different config must not resume from this journal.
+        let mut other = c;
+        other.mc.trials += 1;
+        let third =
+            fig5_sweep(&[Workload::Day], points, &other, &SweepOptions::resume().in_dir(&dir))
+                .unwrap();
+        assert_eq!((third.computed, third.resumed), (2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,8 +40,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod avf;
+pub mod checkpoint;
 pub mod design;
 pub mod experiments;
+pub mod jsonio;
 pub mod par;
 pub mod pipeline;
 pub mod rates;
@@ -64,6 +66,7 @@ pub mod prelude {
     };
     pub use serr_workload::{BenchmarkProfile, Suite, TraceGenerator};
 
+    pub use crate::checkpoint::{CheckpointMode, SweepOptions, SweepReport};
     pub use crate::design::{DesignPoint, DesignSpace, Workload};
     pub use crate::rates::UnitRates;
     pub use crate::validate::{ComponentValidation, SystemValidation, Validator};

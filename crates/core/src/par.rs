@@ -8,7 +8,10 @@
 //! Output order is the input order regardless of which worker computed
 //! which item, so parallel sweeps produce byte-identical report rows.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serr_types::SerrError;
 
 /// The number of worker threads to use for a fan-out over `jobs` independent
 /// items: `available_parallelism` capped by the job count (never zero).
@@ -82,6 +85,46 @@ where
         .collect()
 }
 
+/// Renders a caught panic payload for error reporting: `panic!` with a
+/// string message covers practically every panic in this workspace
+/// (asserts included); anything else gets a placeholder.
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Panic-isolating variant of [`par_map`] for fallible work items: applies
+/// `f` to every element in parallel and returns one `Result` per item **in
+/// input order**. A panic in `f` poisons only its own item — it is caught
+/// with `catch_unwind` and surfaced as [`SerrError::PointFailed`] carrying
+/// the item's index and the panic message — so one pathological design
+/// point cannot abort a multi-hour sweep or discard its finished siblings.
+///
+/// Ordinary `Err` returns from `f` pass through untouched.
+pub fn try_par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<Result<U, SerrError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> Result<U, SerrError> + Sync,
+{
+    // `AssertUnwindSafe` is sound here: `f` only sees shared references, and
+    // a poisoned item's partial state is confined to the closure call that
+    // panicked — nothing it touched is observed afterwards.
+    par_map(items, threads, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).unwrap_or_else(|payload| {
+            Err(SerrError::PointFailed {
+                index: i,
+                payload: panic_payload_string(payload.as_ref()),
+            })
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +167,61 @@ mod tests {
         assert_eq!(fanout_threads(1), 1);
         assert!(fanout_threads(1024) >= 1);
         assert!(fanout_threads(2) <= 2);
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_poisoned_point() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 4] {
+            let got = try_par_map(&items, threads, |_, &x| {
+                assert!(x != 17, "poisoned point {x}");
+                Ok(x * 2)
+            });
+            assert_eq!(got.len(), items.len());
+            for (i, res) in got.iter().enumerate() {
+                if i == 17 {
+                    match res {
+                        Err(SerrError::PointFailed { index, payload }) => {
+                            assert_eq!(*index, 17);
+                            assert!(payload.contains("poisoned point 17"), "payload: {payload}");
+                        }
+                        other => panic!("expected PointFailed, got {other:?}"),
+                    }
+                } else {
+                    // Every other result is present, correct, in input order.
+                    assert_eq!(res.as_ref().expect("healthy point"), &(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_passes_plain_errors_through() {
+        let items = [1u32, 2, 3];
+        let got = try_par_map(&items, 2, |_, &x| {
+            if x == 2 {
+                Err(SerrError::invalid_config("two is right out"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(got[0], Ok(1));
+        assert_eq!(got[1], Err(SerrError::invalid_config("two is right out")));
+        assert_eq!(got[2], Ok(3));
+    }
+
+    #[test]
+    fn try_par_map_reports_non_string_payloads() {
+        let items = [0u8];
+        let got = try_par_map(&items, 1, |_, _| -> Result<(), SerrError> {
+            std::panic::panic_any(42i32)
+        });
+        match &got[0] {
+            Err(SerrError::PointFailed { index: 0, payload }) => {
+                assert_eq!(payload, "non-string panic payload");
+            }
+            other => panic!("expected PointFailed, got {other:?}"),
+        }
     }
 
     #[test]

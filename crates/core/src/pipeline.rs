@@ -22,17 +22,24 @@ use crate::rates::UnitRates;
 
 /// Bump when generator or trace-format changes invalidate cached traces
 /// (machine-configuration changes are covered by the config fingerprint).
-const CACHE_VERSION: u32 = 3;
+/// v4: a leading FNV-1a content checksum guards the whole payload.
+const CACHE_VERSION: u32 = 4;
 
-/// FNV-1a over the machine configuration's debug rendering: any change to
-/// the simulated machine silently invalidates old cache entries.
-fn config_fingerprint(cfg: &SimConfig) -> u64 {
+/// FNV-1a over arbitrary bytes — the config fingerprint and the cache-file
+/// content checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{cfg:?}").bytes() {
+    for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h
+}
+
+/// FNV-1a over the machine configuration's debug rendering: any change to
+/// the simulated machine silently invalidates old cache entries.
+fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
 }
 
 fn cache_dir() -> Option<PathBuf> {
@@ -74,17 +81,30 @@ fn decode_stats(b: &[u8]) -> Option<SimStats> {
     if b.len() != 72 {
         return None;
     }
-    let f = |i: usize| f64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().ok().unwrap());
+    let mut f = [0.0f64; 9];
+    for (slot, chunk) in f.iter_mut().zip(b.chunks_exact(8)) {
+        let v = f64::from_le_bytes(chunk.try_into().ok()?);
+        // A NaN/∞ here means the file is corrupt (no simulator statistic is
+        // non-finite); reject rather than let it poison downstream math.
+        if !v.is_finite() {
+            return None;
+        }
+        *slot = v;
+    }
+    // Counter fields must decode to exact non-negative integers.
+    let count = |v: f64| -> Option<u64> {
+        (v >= 0.0 && v <= 9_007_199_254_740_992.0 && v.fract() == 0.0).then_some(v as u64)
+    };
     Some(SimStats {
-        cycles: f(0) as u64,
-        instructions: f(1) as u64,
-        l1i_miss_rate: f(2),
-        l1d_miss_rate: f(3),
-        l2_miss_rate: f(4),
-        dtlb_miss_rate: f(5),
-        branch_mispredicts: f(6) as u64,
-        dispatch_stall_cycles: f(7) as u64,
-        l1d_writebacks: f(8) as u64,
+        cycles: count(f[0])?,
+        instructions: count(f[1])?,
+        l1i_miss_rate: f[2],
+        l1d_miss_rate: f[3],
+        l2_miss_rate: f[4],
+        dtlb_miss_rate: f[5],
+        branch_mispredicts: count(f[6])?,
+        dispatch_stall_cycles: count(f[7])?,
+        l1d_writebacks: count(f[8])?,
     })
 }
 
@@ -92,10 +112,10 @@ fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut buf = Vec::new();
+    let mut payload = Vec::new();
     let stats = encode_stats(&out.stats);
-    buf.extend_from_slice(&(stats.len() as u64).to_le_bytes());
-    buf.extend_from_slice(&stats);
+    payload.extend_from_slice(&(stats.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&stats);
     for t in [
         &out.traces.int_unit,
         &out.traces.fp_unit,
@@ -103,9 +123,15 @@ fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
         &out.traces.regfile,
     ] {
         let enc = encode_interval_trace(t);
-        buf.extend_from_slice(&(enc.len() as u64).to_le_bytes());
-        buf.extend_from_slice(&enc);
+        payload.extend_from_slice(&(enc.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&enc);
     }
+    // File layout: [FNV-1a of payload, u64 LE][payload]. The checksum
+    // catches bit rot and truncation that the structural decode would
+    // otherwise happily misread as valid (short) traces.
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
     // Atomic-ish: write then rename, so a concurrent reader never sees a
     // torn file.
     let tmp = path.with_extension(format!("tmp{}", std::process::id()));
@@ -113,21 +139,27 @@ fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-fn load(path: &PathBuf) -> Option<SimOutput> {
-    let data = std::fs::read(path).ok()?;
+/// Decodes a cache file's bytes (checksum header + payload). `None` means
+/// the entry is corrupt or from an incompatible writer.
+fn decode_cache_file(data: &[u8]) -> Option<SimOutput> {
+    let sum = u64::from_le_bytes(data.get(..8)?.try_into().ok()?);
+    let payload = data.get(8..)?;
+    if sum != fnv1a(payload) {
+        return None;
+    }
     let mut off = 0usize;
     let take_len = |data: &[u8], off: &mut usize| -> Option<usize> {
         let n = u64::from_le_bytes(data.get(*off..*off + 8)?.try_into().ok()?) as usize;
         *off += 8;
         Some(n)
     };
-    let n = take_len(&data, &mut off)?;
-    let stats = decode_stats(data.get(off..off + n)?)?;
+    let n = take_len(payload, &mut off)?;
+    let stats = decode_stats(payload.get(off..off + n)?)?;
     off += n;
     let mut traces = Vec::with_capacity(4);
     for _ in 0..4 {
-        let n = take_len(&data, &mut off)?;
-        traces.push(decode_interval_trace(data.get(off..off + n)?).ok()?);
+        let n = take_len(payload, &mut off)?;
+        traces.push(decode_interval_trace(payload.get(off..off + n)?).ok()?);
         off += n;
     }
     let regfile = traces.pop()?;
@@ -138,6 +170,19 @@ fn load(path: &PathBuf) -> Option<SimOutput> {
         stats,
         traces: ProcessorMaskingTraces { int_unit, fp_unit, decode, regfile },
     })
+}
+
+fn load(path: &PathBuf) -> Option<SimOutput> {
+    // A missing file is the normal cache-miss path — leave the filesystem
+    // alone. A present-but-undecodable file is corrupt: delete it so this
+    // run re-simulates and rewrites a good entry instead of tripping over
+    // the same bad bytes forever.
+    let data = std::fs::read(path).ok()?;
+    let out = decode_cache_file(&data);
+    if out.is_none() {
+        let _ = std::fs::remove_file(path);
+    }
+    out
 }
 
 /// A memoized benchmark simulation.
@@ -253,10 +298,76 @@ mod tests {
         assert_eq!(loaded.stats, run.output.stats);
         assert_eq!(loaded.traces.int_unit, run.output.traces.int_unit);
         assert_eq!(loaded.traces.regfile, run.output.traces.regfile);
-        // Corrupt file: load degrades to None, not a panic.
+        // Corrupt file: load degrades to None, not a panic, and the bad
+        // entry is dropped so the next run re-simulates.
         std::fs::write(&path, b"garbage").unwrap();
         assert!(load(&path).is_none());
+        assert!(!path.exists(), "corrupt cache entry should be deleted");
+        // A missing file is a plain miss — no error, nothing to delete.
+        assert!(load(&path).is_none());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checksum_catches_single_bit_flips() {
+        let dir =
+            std::env::temp_dir().join(format!("serr-cache-bitflip-{}", std::process::id()));
+        let path = dir.join("probe.bin");
+        let run = simulate_benchmark("vpr", 6_000, 4).unwrap();
+        store(&path, &run.output).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip one bit in a handful of positions spread across the file —
+        // header, stats, trace payload — and in the checksum itself. Every
+        // variant must be rejected (and the poisoned entry removed).
+        let positions = [0, 8, 20, good.len() / 2, good.len() - 1];
+        for &pos in &positions {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(load(&path).is_none(), "bit flip at byte {pos} went undetected");
+            assert!(!path.exists(), "entry with flip at byte {pos} not deleted");
+        }
+
+        // Truncation is also caught, even at an 8-byte boundary that the
+        // structural decode alone might accept.
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 8);
+        std::fs::write(&path, &truncated).unwrap();
+        assert!(load(&path).is_none(), "truncated entry went undetected");
+
+        // The pristine bytes still decode after all that.
+        std::fs::write(&path, &good).unwrap();
+        assert!(load(&path).is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn decode_stats_rejects_non_finite_and_fractional_counters() {
+        let run = simulate_benchmark("gzip", 5_000, 9).unwrap();
+        let good = encode_stats(&run.output.stats);
+        assert!(decode_stats(&good).is_some());
+
+        // NaN in a rate field.
+        let mut bad = good;
+        bad[2 * 8..3 * 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(decode_stats(&bad).is_none());
+
+        // ∞ in a counter field.
+        let mut bad = good;
+        bad[0..8].copy_from_slice(&f64::INFINITY.to_le_bytes());
+        assert!(decode_stats(&bad).is_none());
+
+        // Negative or fractional counters cannot round-trip to u64.
+        let mut bad = good;
+        bad[0..8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(decode_stats(&bad).is_none());
+        let mut bad = good;
+        bad[6 * 8..7 * 8].copy_from_slice(&1.5f64.to_le_bytes());
+        assert!(decode_stats(&bad).is_none());
+
+        // Wrong length is structurally invalid.
+        assert!(decode_stats(&good[..64]).is_none());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Monte Carlo engine configuration.
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
+use serr_types::SerrError;
 
 /// Where within the workload loop each trial begins.
 ///
@@ -44,6 +47,14 @@ pub struct MonteCarloConfig {
     pub max_events_per_trial: u64,
     /// Where within the workload loop each trial begins.
     pub start_phase: StartPhase,
+    /// Optional wall-clock budget for one engine run. When the budget
+    /// expires, workers stop claiming new trial chunks (each always finishes
+    /// the chunk it is on, and completes at least its first chunk so the
+    /// estimate is never empty) and the engine returns a *partial* estimate
+    /// flagged [`truncated`](crate::MttfEstimate::truncated) with the
+    /// honestly wider confidence interval of the trials that did run.
+    /// `None` (the default) runs every configured trial.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for MonteCarloConfig {
@@ -54,6 +65,7 @@ impl Default for MonteCarloConfig {
             threads: 0,
             max_events_per_trial: 100_000_000,
             start_phase: StartPhase::WorkloadStart,
+            deadline: None,
         }
     }
 }
@@ -69,6 +81,27 @@ impl MonteCarloConfig {
     #[must_use]
     pub fn paper() -> Self {
         MonteCarloConfig { trials: 1_000_000, ..Default::default() }
+    }
+
+    /// Checks the configuration for degenerate values before a run starts.
+    ///
+    /// A zero `deadline` is deliberately legal: it means "one chunk per
+    /// worker", the smallest truncated estimate the engine can produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidConfig`] for zero `trials` or a zero
+    /// per-trial event cap.
+    pub fn validate(&self) -> Result<(), SerrError> {
+        if self.trials == 0 {
+            return Err(SerrError::invalid_config("trial count must be positive"));
+        }
+        if self.max_events_per_trial == 0 {
+            return Err(SerrError::invalid_config(
+                "max_events_per_trial must be positive (every failing trial consumes at least one event)",
+            ));
+        }
+        Ok(())
     }
 
     /// Resolved worker thread count.
@@ -97,6 +130,19 @@ mod tests {
     #[test]
     fn start_phase_default_is_paper_convention() {
         assert_eq!(MonteCarloConfig::default().start_phase, StartPhase::WorkloadStart);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(MonteCarloConfig::default().validate().is_ok());
+        let zero_trials = MonteCarloConfig { trials: 0, ..Default::default() };
+        assert!(zero_trials.validate().is_err());
+        let zero_cap = MonteCarloConfig { max_events_per_trial: 0, ..Default::default() };
+        assert!(zero_cap.validate().is_err());
+        // Zero deadline is legal: one chunk per worker.
+        let zero_deadline =
+            MonteCarloConfig { deadline: Some(Duration::ZERO), ..Default::default() };
+        assert!(zero_deadline.validate().is_ok());
     }
 
     #[test]

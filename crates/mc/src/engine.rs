@@ -66,6 +66,11 @@ pub struct MttfEstimate {
     pub ttf_seconds: Summary,
     /// Mean raw-error events consumed per trial.
     pub mean_events_per_trial: f64,
+    /// Whether a configured [`deadline`](crate::MonteCarloConfig::deadline)
+    /// cut the run short. A truncated estimate averages only the trials
+    /// completed before the deadline (`ttf_seconds.count` of them); its
+    /// confidence interval is honestly wider than the full run's would be.
+    pub truncated: bool,
 }
 
 impl MttfEstimate {
@@ -158,7 +163,7 @@ impl MonteCarlo {
         self.validate(trace, rate)?;
         let lambda_cycle = rate.per_second_value() / freq.hz();
         let engine = MonteCarlo::new(MonteCarloConfig { trials: n, ..self.config });
-        let chunks = match CompiledTrace::compile(trace) {
+        let (chunks, _truncated) = match CompiledTrace::compile(trace) {
             Some(compiled) => engine.run_chunks(&compiled, lambda_cycle, true)?,
             None => engine.run_chunks(trace, lambda_cycle, true)?,
         };
@@ -171,9 +176,7 @@ impl MonteCarlo {
         trace: &dyn VulnerabilityTrace,
         rate: RawErrorRate,
     ) -> Result<(), SerrError> {
-        if self.config.trials == 0 {
-            return Err(SerrError::invalid_config("trial count must be positive"));
-        }
+        self.config.validate()?;
         if rate.is_zero() {
             return Err(SerrError::invalid_config("raw error rate is zero; MTTF is infinite"));
         }
@@ -194,7 +197,7 @@ impl MonteCarlo {
         // Compile once; every worker then runs the monomorphized loop with
         // O(1) trace lookups and no virtual dispatch. Falls back to the
         // generic loop for traces too large to flatten.
-        let chunks = match CompiledTrace::compile(trace) {
+        let (chunks, truncated) = match CompiledTrace::compile(trace) {
             Some(compiled) => self.run_chunks(&compiled, lambda_cycle, false)?,
             None => self.run_chunks(trace, lambda_cycle, false)?,
         };
@@ -208,10 +211,13 @@ impl MonteCarlo {
             total_events += c.events;
         }
 
-        // Convert cycle statistics to seconds.
+        // Convert cycle statistics to seconds. Normalize events by the
+        // trials that actually ran — under a deadline that is fewer than
+        // `config.trials`.
+        let completed = stats.count();
         let hz = freq.hz();
         let summary = Summary {
-            count: stats.count(),
+            count: completed,
             mean: stats.mean() / hz,
             std_dev: stats.sample_variance().sqrt() / hz,
             ci95: stats.ci95_half_width() / hz,
@@ -221,33 +227,60 @@ impl MonteCarlo {
         Ok(MttfEstimate {
             mttf: Mttf::from_secs(summary.mean),
             ttf_seconds: summary,
-            mean_events_per_trial: total_events as f64 / self.config.trials as f64,
+            mean_events_per_trial: total_events as f64 / completed as f64,
+            truncated,
         })
     }
 
     /// The shared trial loop: runs `config.trials` trials in fixed chunks
     /// of [`TRIAL_CHUNK`], fanned out over `config.threads` workers that
     /// claim chunks round-robin by index, and returns the per-chunk
-    /// outcomes in ascending chunk order. Monomorphized over the trace type
-    /// so the compiled fast path inlines end to end.
+    /// outcomes in ascending chunk order plus a flag saying whether a
+    /// configured deadline stopped the run early. Monomorphized over the
+    /// trace type so the compiled fast path inlines end to end.
+    ///
+    /// Deadline semantics: the budget is checked at chunk boundaries only —
+    /// a chunk that has started always finishes, and every worker completes
+    /// at least its *first* chunk, so a truncated run still contains at
+    /// least `TRIAL_CHUNK` trials per worker and the estimate is never
+    /// empty. Because each chunk's RNG stream depends only on its index,
+    /// the truncated result is still a deterministic function of *which*
+    /// chunks completed (e.g. a zero deadline with one thread always yields
+    /// exactly chunk 0).
     fn run_chunks<T: VulnerabilityTrace + ?Sized + Sync>(
         &self,
         trace: &T,
         lambda_cycle: f64,
         collect_samples: bool,
-    ) -> Result<Vec<ChunkOutcome>, SerrError> {
+    ) -> Result<(Vec<ChunkOutcome>, bool), SerrError> {
         let trials = self.config.trials;
         let n_chunks = trials.div_ceil(TRIAL_CHUNK);
         let threads = self.config.effective_threads().min(n_chunks.max(1) as usize).max(1);
         let cap = self.config.max_events_per_trial;
         let seed = self.config.seed;
         let start_phase = self.config.start_phase;
+        let deadline = self.config.deadline;
+        let started = std::time::Instant::now();
+        let expired = std::sync::atomic::AtomicBool::new(false);
         let period = trace.period_cycles() as f64;
 
         let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
             let mut out = Vec::new();
             let mut chunk = tid as u64;
+            let mut first = true;
             while chunk < n_chunks {
+                // Honor the wall-clock budget between chunks (never
+                // mid-chunk), but always run the first claimed chunk.
+                if !first {
+                    if let Some(limit) = deadline {
+                        use std::sync::atomic::Ordering;
+                        if expired.load(Ordering::Relaxed) || started.elapsed() >= limit {
+                            expired.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                first = false;
                 let lo = chunk * TRIAL_CHUNK;
                 let hi = (lo + TRIAL_CHUNK).min(trials);
                 let mut rng = SmallRng::seed_from_u64(chunk_seed(seed, chunk));
@@ -288,14 +321,20 @@ impl MonteCarlo {
             })
         };
 
-        let mut slots: Vec<Option<ChunkOutcome>> = Vec::with_capacity(n_chunks as usize);
-        slots.resize_with(n_chunks as usize, || None);
+        // Under a deadline the completed set can be any subset that contains
+        // each worker's first chunk; sort so the fold order stays ascending
+        // by chunk index regardless of which worker finished what.
+        let mut completed: Vec<(u64, ChunkOutcome)> = Vec::with_capacity(n_chunks as usize);
         for res in gathered {
-            for (chunk, outcome) in res? {
-                slots[chunk as usize] = Some(outcome);
-            }
+            completed.extend(res?);
         }
-        Ok(slots.into_iter().map(|s| s.expect("every chunk is claimed by a worker")).collect())
+        completed.sort_unstable_by_key(|&(chunk, _)| chunk);
+        let truncated = (completed.len() as u64) < n_chunks;
+        debug_assert!(
+            deadline.is_some() || !truncated,
+            "chunks can only go missing when a deadline expires"
+        );
+        Ok((completed.into_iter().map(|(_, outcome)| outcome).collect(), truncated))
     }
 }
 
@@ -416,5 +455,67 @@ mod tests {
         assert!((est.mttf.as_secs() - est.ttf_seconds.mean).abs() < 1e-12);
         // Fully vulnerable -> exactly one event per trial.
         assert_eq!(est.mean_events_per_trial, 1.0);
+        assert!(!est.truncated);
+    }
+
+    #[test]
+    fn zero_deadline_returns_deterministic_truncated_partial_estimate() {
+        use std::time::Duration;
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let freq = Frequency::base();
+        let full_cfg = MonteCarloConfig { trials: 40_960, threads: 1, ..Default::default() };
+        let full = MonteCarlo::new(full_cfg).component_mttf(&trace, rate, freq).unwrap();
+        assert!(!full.truncated);
+        assert_eq!(full.ttf_seconds.count, 40_960);
+
+        // A zero deadline with one worker always completes exactly chunk 0:
+        // the smallest — and a fully deterministic — truncated estimate.
+        let cut_cfg = MonteCarloConfig { deadline: Some(Duration::ZERO), ..full_cfg };
+        let cut = MonteCarlo::new(cut_cfg).component_mttf(&trace, rate, freq).unwrap();
+        assert!(cut.truncated);
+        assert_eq!(cut.ttf_seconds.count, 1024);
+        assert!(cut.mean_events_per_trial >= 1.0);
+        // Honestly wider CI than the full run.
+        assert!(cut.ttf_seconds.ci95 > full.ttf_seconds.ci95);
+        // The partial CI covers the full-run MTTF. Chunk 0 is a subset of
+        // the full run's trials, so the gap is even tighter than the
+        // independent-sample bound; 2x the half-width keeps this
+        // deterministic-seed check far from the noise floor.
+        let diff = (cut.ttf_seconds.mean - full.ttf_seconds.mean).abs();
+        assert!(
+            diff <= 2.0 * cut.ttf_seconds.ci95,
+            "partial mean {} +/- {} does not cover full-run mean {}",
+            cut.ttf_seconds.mean,
+            cut.ttf_seconds.ci95,
+            full.ttf_seconds.mean
+        );
+        // Bit-identical on re-run: the completed chunk set is deterministic.
+        let again = MonteCarlo::new(cut_cfg).component_mttf(&trace, rate, freq).unwrap();
+        assert_eq!(cut, again);
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbounded_run() {
+        use std::time::Duration;
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let base = MonteCarloConfig { trials: 5_000, threads: 2, ..Default::default() };
+        let bounded = MonteCarloConfig { deadline: Some(Duration::from_secs(3600)), ..base };
+        let a = MonteCarlo::new(base).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        let b =
+            MonteCarlo::new(bounded).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        assert!(!b.truncated);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_zero_event_cap() {
+        let live = IntervalTrace::constant(10, 1.0).unwrap();
+        let engine =
+            MonteCarlo::new(MonteCarloConfig { max_events_per_trial: 0, ..Default::default() });
+        assert!(engine
+            .component_mttf(&live, RawErrorRate::per_year(1.0), Frequency::base())
+            .is_err());
     }
 }

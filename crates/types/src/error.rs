@@ -34,6 +34,24 @@ pub enum SerrError {
         /// The requested name.
         name: String,
     },
+    /// One design point of a parallel sweep panicked. The sweep itself
+    /// completes; this variant names the poisoned point and carries the
+    /// panic payload so partial results stay usable.
+    PointFailed {
+        /// Input-order index of the failed design point.
+        index: usize,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// A numeric boundary value was NaN, infinite, or out of its valid
+    /// range. Produced by the `try_*` constructors so deep numeric code can
+    /// assume finite, in-range inputs.
+    InvalidValue {
+        /// What the value was supposed to be.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl SerrError {
@@ -48,6 +66,39 @@ impl SerrError {
     pub fn invalid_trace(reason: impl Into<String>) -> Self {
         SerrError::InvalidTrace { reason: reason.into() }
     }
+
+    /// Convenience constructor for [`SerrError::InvalidValue`].
+    #[must_use]
+    pub fn invalid_value(what: impl Into<String>, value: f64) -> Self {
+        SerrError::InvalidValue { what: what.into(), value }
+    }
+
+    /// Checks that `value` is finite and non-negative, the common contract
+    /// for rates and durations at system boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] naming `what` otherwise.
+    pub fn require_finite_non_negative(what: &str, value: f64) -> Result<f64, SerrError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(value)
+        } else {
+            Err(SerrError::invalid_value(what, value))
+        }
+    }
+
+    /// Checks that `value` is finite and strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] naming `what` otherwise.
+    pub fn require_finite_positive(what: &str, value: f64) -> Result<f64, SerrError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(value)
+        } else {
+            Err(SerrError::invalid_value(what, value))
+        }
+    }
 }
 
 impl fmt::Display for SerrError {
@@ -59,6 +110,12 @@ impl fmt::Display for SerrError {
                 write!(f, "{what} did not converge after {after} steps")
             }
             SerrError::UnknownWorkload { name } => write!(f, "unknown workload `{name}`"),
+            SerrError::PointFailed { index, payload } => {
+                write!(f, "design point {index} panicked: {payload}")
+            }
+            SerrError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
         }
     }
 }
@@ -75,6 +132,26 @@ mod tests {
         assert_eq!(e.to_string(), "invalid configuration: retirement rate is zero");
         let e = SerrError::NoConvergence { what: "adaptive simpson".into(), after: 40 };
         assert_eq!(e.to_string(), "adaptive simpson did not converge after 40 steps");
+    }
+
+    #[test]
+    fn new_variants_display_lowercase_without_punctuation() {
+        let e = SerrError::PointFailed { index: 7, payload: "boom".into() };
+        assert_eq!(e.to_string(), "design point 7 panicked: boom");
+        let e = SerrError::invalid_value("raw error rate", f64::NAN);
+        assert_eq!(e.to_string(), "invalid value for raw error rate: NaN");
+    }
+
+    #[test]
+    fn finite_guards_reject_nan_inf_and_sign() {
+        assert!(SerrError::require_finite_non_negative("x", 0.0).is_ok());
+        assert!(SerrError::require_finite_non_negative("x", 3.5).is_ok());
+        assert!(SerrError::require_finite_non_negative("x", -1.0).is_err());
+        assert!(SerrError::require_finite_non_negative("x", f64::NAN).is_err());
+        assert!(SerrError::require_finite_non_negative("x", f64::INFINITY).is_err());
+        assert!(SerrError::require_finite_positive("x", 1e-300).is_ok());
+        assert!(SerrError::require_finite_positive("x", 0.0).is_err());
+        assert!(SerrError::require_finite_positive("x", f64::NEG_INFINITY).is_err());
     }
 
     #[test]

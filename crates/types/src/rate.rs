@@ -6,7 +6,7 @@ use std::ops::{Add, Mul};
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Mttf, HOURS_PER_YEAR, SECONDS_PER_YEAR};
+use crate::{Mttf, SerrError, HOURS_PER_YEAR, SECONDS_PER_YEAR};
 
 /// Failures In Time: the number of failures per one billion device-hours
 /// (paper Section 2.1).
@@ -29,6 +29,16 @@ impl FitRate {
     pub fn new(fit: f64) -> Self {
         assert!(fit >= 0.0 && fit.is_finite(), "FIT rate must be non-negative, got {fit}");
         FitRate(fit)
+    }
+
+    /// Fallible variant of [`FitRate::new`] for boundary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `fit` is NaN, infinite, or
+    /// negative.
+    pub fn try_new(fit: f64) -> Result<Self, SerrError> {
+        SerrError::require_finite_non_negative("FIT rate", fit).map(FitRate)
     }
 
     /// The raw FIT value (failures per 10⁹ hours).
@@ -73,11 +83,34 @@ impl RawErrorRate {
         RawErrorRate(r)
     }
 
+    /// Fallible variant of [`RawErrorRate::per_second`] for boundary inputs
+    /// (CLI arguments, config files): rejects NaN/∞/negative instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `r` is NaN, infinite, or
+    /// negative.
+    pub fn try_per_second(r: f64) -> Result<Self, SerrError> {
+        SerrError::require_finite_non_negative("raw error rate", r).map(RawErrorRate)
+    }
+
     /// Creates a rate of `r` events per (365-day) year, the paper's usual
     /// unit (e.g. `1e-8` errors/year per bit).
     #[must_use]
     pub fn per_year(r: f64) -> Self {
         RawErrorRate::per_second(r / SECONDS_PER_YEAR)
+    }
+
+    /// Fallible variant of [`RawErrorRate::per_year`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `r` is NaN, infinite, or
+    /// negative.
+    pub fn try_per_year(r: f64) -> Result<Self, SerrError> {
+        SerrError::require_finite_non_negative("raw error rate", r)
+            .map(|r| RawErrorRate(r / SECONDS_PER_YEAR))
     }
 
     /// The paper's baseline per-bit rate: `1e-8` errors/year (0.001 FIT).
@@ -108,6 +141,21 @@ impl RawErrorRate {
     pub fn scale(self, factor: f64) -> Self {
         assert!(factor >= 0.0 && factor.is_finite(), "scale factor must be non-negative");
         RawErrorRate(self.0 * factor)
+    }
+
+    /// Fallible variant of [`RawErrorRate::scale`] — the `N` and `S` axes of
+    /// the paper's sweeps come straight from the CLI, so they go through
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `factor` is NaN, infinite, or
+    /// negative, or if the scaled rate overflows to infinity.
+    pub fn try_scale(self, factor: f64) -> Result<Self, SerrError> {
+        SerrError::require_finite_non_negative("scale factor", factor)?;
+        let scaled = self.0 * factor;
+        SerrError::require_finite_non_negative("scaled raw error rate", scaled)
+            .map(RawErrorRate)
     }
 
     /// Converts to FIT.
@@ -186,6 +234,21 @@ impl FailureRate {
     pub fn from_avf(raw: RawErrorRate, avf: f64) -> Self {
         assert!((0.0..=1.0).contains(&avf), "AVF must lie in [0,1], got {avf}");
         FailureRate(raw.per_second_value() * avf)
+    }
+
+    /// Fallible variant of [`FailureRate::from_avf`]: rejects NaN and
+    /// out-of-range AVF with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `avf` is NaN or outside
+    /// `[0, 1]`.
+    pub fn try_from_avf(raw: RawErrorRate, avf: f64) -> Result<Self, SerrError> {
+        if (0.0..=1.0).contains(&avf) {
+            Ok(FailureRate(raw.per_second_value() * avf))
+        } else {
+            Err(SerrError::invalid_value("AVF (must lie in [0,1])", avf))
+        }
     }
 
     /// Failures per second.
@@ -301,5 +364,40 @@ mod tests {
     fn display_formats() {
         let r = RawErrorRate::per_year(1.0);
         assert_eq!(format!("{r}"), "1.000e0 errors/year");
+    }
+
+    #[test]
+    fn try_constructors_reject_nan_inf_negative() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(FitRate::try_new(bad).is_err(), "FIT accepted {bad}");
+            assert!(RawErrorRate::try_per_second(bad).is_err(), "per_second accepted {bad}");
+            assert!(RawErrorRate::try_per_year(bad).is_err(), "per_year accepted {bad}");
+            assert!(
+                RawErrorRate::per_year(1.0).try_scale(bad).is_err(),
+                "scale accepted {bad}"
+            );
+        }
+        for bad in [f64::NAN, f64::INFINITY, -0.5, 1.0 + 1e-9] {
+            assert!(
+                FailureRate::try_from_avf(RawErrorRate::per_year(1.0), bad).is_err(),
+                "AVF accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_constructors_accept_valid_inputs() {
+        let r = RawErrorRate::try_per_year(10.0).unwrap();
+        assert_eq!(r, RawErrorRate::per_year(10.0));
+        assert_eq!(r.try_scale(2.0).unwrap(), r.scale(2.0));
+        let fr = FailureRate::try_from_avf(r, 0.5).unwrap();
+        assert_eq!(fr, FailureRate::from_avf(r, 0.5));
+        assert!(RawErrorRate::try_per_second(0.0).unwrap().is_zero());
+    }
+
+    #[test]
+    fn try_scale_rejects_overflow_to_infinity() {
+        let r = RawErrorRate::per_second(1e300);
+        assert!(r.try_scale(1e300).is_err());
     }
 }

@@ -5,7 +5,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 use serde::{Deserialize, Serialize};
 
-use crate::{SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_YEAR};
+use crate::{SerrError, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_YEAR};
 
 /// A duration in seconds, the canonical time unit of the workspace.
 ///
@@ -30,6 +30,19 @@ impl Seconds {
     pub fn new(secs: f64) -> Self {
         assert!(secs >= 0.0 && !secs.is_nan(), "duration must be non-negative, got {secs}");
         Seconds(secs)
+    }
+
+    /// Fallible variant of [`Seconds::new`] for boundary inputs. Unlike
+    /// `new` (which tolerates `+∞` for limit results such as the MTTF of an
+    /// unfailable system), this rejects infinities too: a *configured*
+    /// duration must be finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `secs` is NaN, infinite, or
+    /// negative.
+    pub fn try_new(secs: f64) -> Result<Self, SerrError> {
+        SerrError::require_finite_non_negative("duration in seconds", secs).map(Seconds)
     }
 
     /// Creates a duration from hours.
@@ -214,6 +227,16 @@ impl Frequency {
         Frequency(hz)
     }
 
+    /// Fallible variant of [`Frequency::new`] for boundary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `hz` is NaN, infinite, zero,
+    /// or negative.
+    pub fn try_new(hz: f64) -> Result<Self, SerrError> {
+        SerrError::require_finite_positive("frequency in Hz", hz).map(Frequency)
+    }
+
     /// Creates a frequency of `g` gigahertz.
     #[must_use]
     pub fn ghz(g: f64) -> Self {
@@ -275,6 +298,22 @@ impl Mttf {
     #[must_use]
     pub fn from_secs(secs: f64) -> Self {
         Mttf::new(Seconds::new(secs))
+    }
+
+    /// Fallible variant of [`Mttf::from_secs`]: rejects NaN and non-positive
+    /// durations with a typed error. Like [`Seconds::new`], `+∞` is accepted
+    /// — an infinite MTTF is the honest answer for an unfailable system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidValue`] if `secs` is NaN, zero, or
+    /// negative.
+    pub fn try_from_secs(secs: f64) -> Result<Self, SerrError> {
+        if secs > 0.0 {
+            Ok(Mttf(Seconds::new(secs)))
+        } else {
+            Err(SerrError::invalid_value("MTTF in seconds (must be positive)", secs))
+        }
     }
 
     /// Creates an MTTF of `years` years.
@@ -374,6 +413,24 @@ mod tests {
         let m = Mttf::from_years(2.0);
         let r = m.to_failure_rate();
         assert!((r.events_per_year() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_constructors_reject_invalid_inputs() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(Seconds::try_new(bad).is_err(), "Seconds accepted {bad}");
+            assert!(Frequency::try_new(bad).is_err(), "Frequency accepted {bad}");
+        }
+        assert!(Frequency::try_new(0.0).is_err());
+        assert!(Mttf::try_from_secs(0.0).is_err());
+        assert!(Mttf::try_from_secs(f64::NAN).is_err());
+        assert!(Mttf::try_from_secs(-3.0).is_err());
+        // Valid inputs round-trip to the panicking constructors' values.
+        assert_eq!(Seconds::try_new(2.5).unwrap(), Seconds::new(2.5));
+        assert_eq!(Frequency::try_new(2.0e9).unwrap(), Frequency::base());
+        assert_eq!(Mttf::try_from_secs(10.0).unwrap(), Mttf::from_secs(10.0));
+        // Infinite MTTF is a legal limit result.
+        assert!(Mttf::try_from_secs(f64::INFINITY).is_ok());
     }
 
     #[test]

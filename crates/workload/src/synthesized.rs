@@ -46,7 +46,7 @@ pub fn week(freq: Frequency) -> IntervalTrace {
 /// # Errors
 ///
 /// Returns [`SerrError::InvalidConfig`] if `busy_fraction` is outside
-/// `(0, 1]` or the period is shorter than one cycle.
+/// `(0, 1]` or the period is non-finite or shorter than one cycle.
 pub fn duty_cycle(
     period: Seconds,
     busy_fraction: f64,
@@ -58,8 +58,14 @@ pub fn duty_cycle(
         )));
     }
     let total = period.to_cycles(freq);
-    if total < 1.0 {
-        return Err(SerrError::invalid_config("period shorter than one cycle"));
+    // `!(total >= 1.0)` also traps NaN, which would otherwise slip past a
+    // `<` comparison and underflow the idle-cycle subtraction below; an
+    // infinite period cannot be a loop iteration either.
+    if !(total >= 1.0) || !total.is_finite() {
+        return Err(SerrError::invalid_config(format!(
+            "workload period must be finite and at least one cycle, got {} cycles",
+            total
+        )));
     }
     let total = total as u64;
     let busy = ((total as f64 * busy_fraction) as u64).max(1);
@@ -112,7 +118,9 @@ mod tests {
         assert!((t.avf() - 0.25).abs() < 1e-9);
         assert!(duty_cycle(Seconds::new(100.0), 0.0, f).is_err());
         assert!(duty_cycle(Seconds::new(100.0), 1.5, f).is_err());
+        assert!(duty_cycle(Seconds::new(100.0), f64::NAN, f).is_err());
         assert!(duty_cycle(Seconds::new(1e-10), 0.5, f).is_err());
+        assert!(duty_cycle(Seconds::new(f64::INFINITY), 0.5, f).is_err());
     }
 
     #[test]

@@ -6,3 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Robustness gate: no `.unwrap()` in library or binary code — a poisoned
+# design point must surface as a typed error, never a panic path someone
+# forgot about. Test code (#[cfg(test)] and tests//benches/ targets) is
+# exempt, which is exactly what the --lib --bins target selection gives us.
+# `unwrap_used` is a restriction-group lint, so `-A clippy::all` silences
+# the default lints without masking it. `.expect("reason")` stays allowed:
+# it documents why the failure is impossible.
+cargo clippy --workspace --lib --bins -- -A clippy::all -D clippy::unwrap_used

@@ -60,6 +60,19 @@ impl WorkloadSpec {
             let period = it.next().and_then(|v| v.parse::<f64>().ok());
             let busy = it.next().and_then(|v| v.parse::<f64>().ok());
             if let (Some(period_s), Some(busy), None) = (period, busy, it.next()) {
+                // Catch bad numerics at parse time with a message naming the
+                // flag, instead of a trace-construction error much later.
+                if !(period_s.is_finite() && period_s > 0.0) {
+                    return Err(SerrError::invalid_config(format!(
+                        "duty: period must be a positive finite number of seconds, \
+                         got {period_s}"
+                    )));
+                }
+                if !(busy > 0.0 && busy <= 1.0) {
+                    return Err(SerrError::invalid_config(format!(
+                        "duty: busy fraction must lie in (0, 1], got {busy}"
+                    )));
+                }
                 return Ok(WorkloadSpec::Duty { period_s, busy });
             }
         }
@@ -101,6 +114,8 @@ pub enum Command {
         rate_per_year: f64,
         /// Monte Carlo trials.
         trials: u64,
+        /// Wall-clock budget for the Monte Carlo run, in seconds.
+        deadline_s: Option<f64>,
     },
     /// SOFR cluster projection vs ground truth.
     Sofr {
@@ -112,11 +127,52 @@ pub enum Command {
         components: u64,
         /// Monte Carlo trials.
         trials: u64,
+        /// Wall-clock budget for the Monte Carlo run, in seconds.
+        deadline_s: Option<f64>,
+    },
+    /// Run one of the paper's figure sweeps with checkpoint/resume.
+    Sweep {
+        /// Which figure to regenerate.
+        figure: SweepFigure,
+        /// Discard any existing checkpoint journal first.
+        fresh: bool,
+        /// Monte Carlo trials override.
+        trials: Option<u64>,
     },
     /// List available workloads and benchmark profiles.
     Workloads,
     /// Print usage.
     Help,
+}
+
+/// The figure sweeps reachable from `serr sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFigure {
+    /// Section 5.1: uniprocessor AVF/SOFR vs Monte Carlo.
+    Sec51,
+    /// Figure 5: AVF-step error, synthesized workloads.
+    Fig5,
+    /// Figure 6(a): SOFR-step error, SPEC clusters.
+    Fig6a,
+    /// Figure 6(b): SOFR-step error, synthesized-workload clusters.
+    Fig6b,
+    /// Section 5.4: SoftArch across the design space.
+    Sec54,
+}
+
+impl SweepFigure {
+    fn parse(s: &str) -> Result<Self, SerrError> {
+        match s {
+            "sec5_1" => Ok(SweepFigure::Sec51),
+            "fig5" => Ok(SweepFigure::Fig5),
+            "fig6a" => Ok(SweepFigure::Fig6a),
+            "fig6b" => Ok(SweepFigure::Fig6b),
+            "sec5_4" => Ok(SweepFigure::Sec54),
+            other => Err(SerrError::invalid_config(format!(
+                "unknown sweep `{other}`; expected sec5_1, fig5, fig6a, fig6b, or sec5_4"
+            ))),
+        }
+    }
 }
 
 impl Command {
@@ -131,11 +187,39 @@ impl Command {
         match sub {
             "workloads" => Ok(Command::Workloads),
             "help" | "--help" | "-h" => Ok(Command::Help),
+            "sweep" => {
+                let figure = SweepFigure::parse(it.next().ok_or_else(|| {
+                    SerrError::invalid_config(
+                        "sweep needs a figure: sec5_1, fig5, fig6a, fig6b, or sec5_4",
+                    )
+                })?)?;
+                let mut fresh = false;
+                let mut trials: Option<u64> = None;
+                while let Some(flag) = it.next() {
+                    match flag {
+                        "--fresh" => fresh = true,
+                        "--resume" => fresh = false, // the default, spelled out
+                        "--trials" => {
+                            let v = it.next().ok_or_else(|| {
+                                SerrError::invalid_config("--trials needs a value")
+                            })?;
+                            trials = Some(parse_count("--trials", v)?);
+                        }
+                        other => {
+                            return Err(SerrError::invalid_config(format!(
+                                "unknown flag `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Command::Sweep { figure, fresh, trials })
+            }
             "mttf" | "sofr" => {
                 let mut workload: Option<WorkloadSpec> = None;
                 let mut rate: Option<f64> = None;
                 let mut components: u64 = 1;
                 let mut trials: u64 = 100_000;
+                let mut deadline_s: Option<f64> = None;
                 while let Some(flag) = it.next() {
                     let mut value = |name: &str| {
                         it.next()
@@ -147,17 +231,21 @@ impl Command {
                             workload = Some(WorkloadSpec::parse(&value("--workload")?)?);
                         }
                         "--rate" => {
-                            rate = Some(parse_f64("--rate", &value("--rate")?)?);
+                            rate = Some(parse_positive_f64("--rate", &value("--rate")?)?);
                         }
                         "--n-s" => {
-                            let prod = parse_f64("--n-s", &value("--n-s")?)?;
+                            let prod = parse_positive_f64("--n-s", &value("--n-s")?)?;
                             rate = Some(prod * serr_types::BASELINE_RAW_RATE_PER_BIT_PER_YEAR);
                         }
                         "--components" | "-c" => {
-                            components = parse_f64("-c", &value("-c")?)? as u64;
+                            components = parse_count("-c", &value("-c")?)?;
                         }
                         "--trials" => {
-                            trials = parse_f64("--trials", &value("--trials")?)? as u64;
+                            trials = parse_count("--trials", &value("--trials")?)?;
+                        }
+                        "--deadline" => {
+                            deadline_s =
+                                Some(parse_positive_f64("--deadline", &value("--deadline")?)?);
                         }
                         other => {
                             return Err(SerrError::invalid_config(format!(
@@ -172,12 +260,9 @@ impl Command {
                     SerrError::invalid_config("--rate <errors/year> or --n-s <product> is required")
                 })?;
                 if sub == "mttf" {
-                    Ok(Command::Mttf { workload, rate_per_year, trials })
+                    Ok(Command::Mttf { workload, rate_per_year, trials, deadline_s })
                 } else {
-                    if components < 1 {
-                        return Err(SerrError::invalid_config("-c must be at least 1"));
-                    }
-                    Ok(Command::Sofr { workload, rate_per_year, components, trials })
+                    Ok(Command::Sofr { workload, rate_per_year, components, trials, deadline_s })
                 }
             }
             other => Err(SerrError::invalid_config(format!("unknown subcommand `{other}`"))),
@@ -190,23 +275,67 @@ fn parse_f64(name: &str, v: &str) -> Result<f64, SerrError> {
         .map_err(|_| SerrError::invalid_config(format!("{name}: `{v}` is not a number")))
 }
 
+/// Parses a strictly positive, finite number — NaN, ±∞, zero, and negatives
+/// all get an error naming the flag, so bad numerics die at the command
+/// line instead of deep inside an estimator.
+fn parse_positive_f64(name: &str, v: &str) -> Result<f64, SerrError> {
+    let x = parse_f64(name, v)?;
+    if !(x.is_finite() && x > 0.0) {
+        return Err(SerrError::invalid_config(format!(
+            "{name} must be a positive finite number, got `{v}`"
+        )));
+    }
+    Ok(x)
+}
+
+/// Parses a whole-number count of at least 1. Scientific notation is
+/// accepted (`-c 5e3`), but fractional values (`-c 2.5`) and values too
+/// large to represent exactly as an integer (`> 2^53`) are rejected rather
+/// than silently truncated.
+fn parse_count(name: &str, v: &str) -> Result<u64, SerrError> {
+    if let Ok(n) = v.parse::<u64>() {
+        if n >= 1 {
+            return Ok(n);
+        }
+        return Err(SerrError::invalid_config(format!("{name} must be at least 1, got {v}")));
+    }
+    let f = parse_f64(name, v)?;
+    if !(f.is_finite() && f >= 1.0 && f.fract() == 0.0 && f <= 9_007_199_254_740_992.0) {
+        return Err(SerrError::invalid_config(format!(
+            "{name} must be a whole number between 1 and 2^53, got `{v}`"
+        )));
+    }
+    Ok(f as u64)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 serr — architecture-level soft error analysis (DSN 2007 reproduction)
 
 USAGE:
-  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N]
-  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N]
+  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--deadline <secs>]
+  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--deadline <secs>]
+  serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N]
   serr workloads
   serr help
 
 WORKLOADS <W>:
   day | week | combined | spec:<benchmark> | duty:<period_seconds>:<busy_fraction>
 
+FLAGS:
+  --deadline <secs>  wall-clock budget for the Monte Carlo run; on expiry the
+                     estimate is returned from the trials completed so far,
+                     marked truncated, with a correspondingly wider CI
+  --fresh            discard the sweep's checkpoint journal and start over
+  --resume           resume from the journal if one exists (the default);
+                     journals live under target/serr-checkpoints/ (override
+                     with SERR_CHECKPOINT_DIR)
+
 EXAMPLES:
   serr mttf --workload day --n-s 1e8
-  serr mttf --workload spec:mcf --rate 1e-4
+  serr mttf --workload spec:mcf --rate 1e-4 --deadline 10
   serr sofr --workload week --n-s 1e8 -c 5000
+  serr sweep fig5 --trials 20000
 ";
 
 /// Executes a parsed command, writing human-readable output to stdout.
@@ -237,14 +366,11 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             Ok(())
         }
-        Command::Mttf { workload, rate_per_year, trials } => {
+        Command::Mttf { workload, rate_per_year, trials, deadline_s } => {
             let trace = workload.trace(&cfg)?;
-            let rate = RawErrorRate::per_year(*rate_per_year);
+            let rate = RawErrorRate::try_per_year(*rate_per_year)?;
             let freq = cfg.frequency;
-            let v = Validator::new(
-                freq,
-                MonteCarloConfig { trials: *trials, ..Default::default() },
-            );
+            let v = Validator::new(freq, mc_config(*trials, *deadline_s));
             let r = v.component(&trace, rate)?;
             println!("workload period : {}", Seconds::new(trace.period_cycles() as f64 / freq.hz()));
             println!("AVF             : {:.4}", r.avf);
@@ -254,19 +380,23 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 r.mttf_mc.mttf.as_seconds(),
                 r.mttf_mc.relative_ci95() * 100.0
             );
+            if r.mttf_mc.truncated {
+                println!(
+                    "note: deadline hit after {} of {trials} trials; the CI above \
+                     reflects the completed subset",
+                    r.mttf_mc.ttf_seconds.count
+                );
+            }
             println!("MTTF, renewal   : {}", r.mttf_renewal.as_seconds());
             println!("MTTF, SoftArch  : {}", r.mttf_softarch.as_seconds());
             println!("AVF-step error  : {:.2}% vs MC, {:.2}% vs exact",
                 r.avf_error_vs_mc * 100.0, r.avf_error_vs_renewal * 100.0);
             Ok(())
         }
-        Command::Sofr { workload, rate_per_year, components, trials } => {
+        Command::Sofr { workload, rate_per_year, components, trials, deadline_s } => {
             let trace = workload.trace(&cfg)?;
-            let rate = RawErrorRate::per_year(*rate_per_year);
-            let v = Validator::new(
-                cfg.frequency,
-                MonteCarloConfig { trials: *trials, ..Default::default() },
-            );
+            let rate = RawErrorRate::try_per_year(*rate_per_year)?;
+            let v = Validator::new(cfg.frequency, mc_config(*trials, *deadline_s));
             let r = v.system_identical(trace, rate, *components)?;
             println!("components      : {components}");
             println!("MTTF, SOFR      : {}", r.mttf_sofr.as_seconds());
@@ -275,6 +405,13 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 r.mttf_mc.mttf.as_seconds(),
                 r.mttf_mc.relative_ci95() * 100.0
             );
+            if r.mttf_mc.truncated {
+                println!(
+                    "note: deadline hit after {} of {trials} trials; the CI above \
+                     reflects the completed subset",
+                    r.mttf_mc.ttf_seconds.count
+                );
+            }
             println!("MTTF, renewal   : {}", r.mttf_renewal.as_seconds());
             println!("MTTF, SoftArch  : {}", r.mttf_softarch.as_seconds());
             println!("SOFR-step error : {:.2}% vs MC, {:.2}% vs exact",
@@ -283,6 +420,121 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 println!("warning: SOFR is unreliable for this configuration (see DSN'07)");
             }
             Ok(())
+        }
+        Command::Sweep { figure, fresh, trials } => {
+            let mut cfg = cfg;
+            if let Some(t) = trials {
+                cfg.mc.trials = *t;
+            }
+            let opts = if *fresh { SweepOptions::fresh() } else { SweepOptions::resume() };
+            run_sweep_command(*figure, &cfg, &opts)
+        }
+    }
+}
+
+/// Assembles the Monte Carlo configuration for the `mttf`/`sofr` commands.
+fn mc_config(trials: u64, deadline_s: Option<f64>) -> MonteCarloConfig {
+    MonteCarloConfig {
+        trials,
+        deadline: deadline_s.map(std::time::Duration::from_secs_f64),
+        ..Default::default()
+    }
+}
+
+/// Prints a sweep's outcome: resumed/computed counts, one line per row, and
+/// one line per failed point (index + typed error). The process succeeds as
+/// long as the sweep infrastructure ran; failed points are reported, not
+/// fatal, so a resumed invocation can fill them in.
+fn report_sweep<R>(report: &SweepReport<R>, line: impl Fn(&R) -> String) -> Result<(), SerrError> {
+    println!(
+        "{} rows ({} resumed from checkpoint, {} computed, {} failed)",
+        report.rows.len(),
+        report.resumed,
+        report.computed,
+        report.failures.len()
+    );
+    for r in &report.rows {
+        println!("  {}", line(r));
+    }
+    for f in &report.failures {
+        println!("  FAILED point {}: {}", f.index, f.error);
+    }
+    Ok(())
+}
+
+fn run_sweep_command(
+    figure: SweepFigure,
+    cfg: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> Result<(), SerrError> {
+    use serr_core::experiments as exp;
+    // The bench binaries' design points (their `--quick` scale); the CLI
+    // adds checkpoint/resume on top.
+    let cs: [u64; 5] = [2, 8, 5_000, 50_000, 500_000];
+    match figure {
+        SweepFigure::Sec51 => {
+            let report = exp::sec5_1_sweep(&exp::REPRESENTATIVE_BENCHMARKS, cfg, opts);
+            report_sweep(&report, |r| {
+                format!(
+                    "{:>8}  worst AVF err {:.2}%  SOFR err {:.2}%",
+                    r.benchmark,
+                    r.max_component_error * 100.0,
+                    r.sofr_error * 100.0
+                )
+            })
+        }
+        SweepFigure::Fig5 => {
+            let n_s = [1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 5e12];
+            let report = exp::fig5_sweep(&Workload::synthesized(), &n_s, cfg, opts)?;
+            report_sweep(&report, |r| {
+                format!(
+                    "{:>8}  N*S {:>8.1e}  AVF err {:.2}%",
+                    r.workload,
+                    r.n_times_s,
+                    r.error * 100.0
+                )
+            })
+        }
+        SweepFigure::Fig6a => {
+            let n_s = [1e8, 1e9, 2e12, 5e12];
+            let report =
+                exp::fig6a_sweep(&exp::REPRESENTATIVE_BENCHMARKS, &cs, &n_s, cfg, opts)?;
+            report_sweep(&report, |r| {
+                format!(
+                    "{:>8}  C {:>6}  N*S {:>8.1e}  SOFR err {:.2}%",
+                    r.workload,
+                    r.c,
+                    r.n_times_s,
+                    r.error * 100.0
+                )
+            })
+        }
+        SweepFigure::Fig6b => {
+            let n_s = [1e7, 1e8, 1e9];
+            let report = exp::fig6b_sweep(&Workload::synthesized(), &cs, &n_s, cfg, opts)?;
+            report_sweep(&report, |r| {
+                format!(
+                    "{:>8}  C {:>6}  N*S {:>8.1e}  SOFR err {:.2}%",
+                    r.workload,
+                    r.c,
+                    r.n_times_s,
+                    r.error * 100.0
+                )
+            })
+        }
+        SweepFigure::Sec54 => {
+            let n_s = [1e7, 1e8, 1e9, 1e12];
+            let report = exp::sec5_4_sweep(&Workload::synthesized(), &cs, &n_s, cfg, opts)?;
+            report_sweep(&report, |r| {
+                format!(
+                    "{:>8}  C {:>6}  N*S {:>8.1e}  SoftArch err {:.2}% (vs exact {:.4}%)",
+                    r.workload,
+                    r.c,
+                    r.n_times_s,
+                    r.softarch_error * 100.0,
+                    r.softarch_error_vs_renewal * 100.0
+                )
+            })
         }
     }
 }
@@ -317,11 +569,13 @@ mod tests {
             Command::Mttf {
                 workload: WorkloadSpec::Day,
                 rate_per_year: 1.0,
-                trials: 100_000
+                trials: 100_000,
+                deadline_s: None
             }
         );
         let cmd = Command::parse(&[
-            "sofr", "-w", "week", "--rate", "2.5", "-c", "5000", "--trials", "5000",
+            "sofr", "-w", "week", "--rate", "2.5", "-c", "5e3", "--trials", "5000",
+            "--deadline", "1.5",
         ])
         .unwrap();
         assert_eq!(
@@ -330,12 +584,31 @@ mod tests {
                 workload: WorkloadSpec::Week,
                 rate_per_year: 2.5,
                 components: 5000,
-                trials: 5000
+                trials: 5000,
+                deadline_s: Some(1.5)
             }
         );
         assert_eq!(Command::parse(&["workloads"]).unwrap(), Command::Workloads);
         assert_eq!(Command::parse::<&str>(&[]).unwrap(), Command::Help);
         assert_eq!(Command::parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn sweep_commands_parse() {
+        assert_eq!(
+            Command::parse(&["sweep", "fig5", "--fresh"]).unwrap(),
+            Command::Sweep { figure: SweepFigure::Fig5, fresh: true, trials: None }
+        );
+        assert_eq!(
+            Command::parse(&["sweep", "sec5_1", "--resume", "--trials", "9000"]).unwrap(),
+            Command::Sweep { figure: SweepFigure::Sec51, fresh: false, trials: Some(9000) }
+        );
+        for figure in ["fig6a", "fig6b", "sec5_4"] {
+            assert!(Command::parse(&["sweep", figure]).is_ok());
+        }
+        assert!(Command::parse(&["sweep"]).is_err());
+        assert!(Command::parse(&["sweep", "fig7"]).is_err());
+        assert!(Command::parse(&["sweep", "fig5", "--trials", "0"]).is_err());
     }
 
     #[test]
@@ -356,11 +629,58 @@ mod tests {
         }
     }
 
+    /// Every numeric flag rejects NaN/∞/negative/zero/fractional abuse with
+    /// an [`SerrError::InvalidConfig`] whose message names the flag.
+    #[test]
+    fn numeric_flags_are_validated_at_parse_time() {
+        let rejects = |args: &[&str], needle: &str| {
+            match Command::parse(args) {
+                Err(SerrError::InvalidConfig { reason }) => {
+                    assert!(
+                        reason.contains(needle),
+                        "args {args:?}: message `{reason}` does not name `{needle}`"
+                    );
+                }
+                other => panic!("args {args:?}: expected InvalidConfig, got {other:?}"),
+            }
+        };
+        rejects(&["mttf", "-w", "day", "--rate", "-1"], "--rate");
+        rejects(&["mttf", "-w", "day", "--rate", "0"], "--rate");
+        rejects(&["mttf", "-w", "day", "--rate", "inf"], "--rate");
+        rejects(&["mttf", "-w", "day", "--rate", "NaN"], "--rate");
+        rejects(&["mttf", "-w", "day", "--n-s", "-2"], "--n-s");
+        rejects(&["mttf", "-w", "day", "--n-s", "1e8", "--trials", "0"], "--trials");
+        rejects(&["mttf", "-w", "day", "--n-s", "1e8", "--trials", "2.5"], "--trials");
+        rejects(&["sofr", "-w", "day", "--n-s", "1e8", "-c", "0"], "-c");
+        rejects(&["sofr", "-w", "day", "--n-s", "1e8", "-c", "2.5"], "-c");
+        rejects(&["sofr", "-w", "day", "--n-s", "1e8", "-c", "1e20"], "-c");
+        rejects(&["sofr", "-w", "day", "--n-s", "1e8", "-c", "-3"], "-c");
+        rejects(&["mttf", "-w", "day", "--n-s", "1e8", "--deadline", "0"], "--deadline");
+        rejects(&["mttf", "-w", "day", "--n-s", "1e8", "--deadline", "-5"], "--deadline");
+        rejects(&["mttf", "-w", "duty:3600:1.5", "--n-s", "1e8"], "busy fraction");
+        rejects(&["mttf", "-w", "duty:3600:-0.5", "--n-s", "1e8"], "busy fraction");
+        rejects(&["mttf", "-w", "duty:-1:0.5", "--n-s", "1e8"], "period");
+        rejects(&["mttf", "-w", "duty:inf:0.5", "--n-s", "1e8"], "period");
+    }
+
     #[test]
     fn run_mttf_on_duty_workload() {
         // End-to-end through the CLI layer on a tiny config.
         let cmd = Command::parse(&[
             "mttf", "--workload", "duty:0.001:0.5", "--rate", "1e6", "--trials", "2000",
+        ])
+        .unwrap();
+        run(&cmd).unwrap();
+    }
+
+    #[test]
+    fn run_mttf_with_deadline_reports_a_result() {
+        // A zero-width deadline is rejected at parse time; the smallest
+        // honest budget still yields an estimate (never an empty run,
+        // because every worker always finishes its first chunk).
+        let cmd = Command::parse(&[
+            "mttf", "--workload", "duty:0.001:0.5", "--rate", "1e6", "--trials", "50000",
+            "--deadline", "1e-9",
         ])
         .unwrap();
         run(&cmd).unwrap();

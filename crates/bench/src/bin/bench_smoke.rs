@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use serr_core::experiments::{fig5, fig5_sweep, ExperimentConfig};
-use serr_core::prelude::{SweepOptions, Workload};
+use serr_core::prelude::{run_chaos, ChaosConfig, Provenance, SweepOptions, Workload};
 use serr_mc::{MonteCarlo, MonteCarloConfig};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, RawErrorRate};
@@ -108,6 +108,32 @@ fn main() {
         fresh.computed, resumed.resumed, resumed.computed
     );
 
+    // Chaos smoke campaign: a small fixed fault-injection run whose
+    // detect/degrade/miss counts land in the JSON, so a perf-tracking diff
+    // also notices if the detect-or-degrade guarantee regresses.
+    let chaos_cfg = ChaosConfig { campaigns: 20, seed: 0xBE5C, trials: 2_000, ..Default::default() };
+    let chaos = run_chaos(&chaos_cfg).expect("chaos smoke campaign runs");
+    let chaos_json = format!(
+        "  \"chaos\": {{\"campaigns\": {}, \"clean\": {}, \"retried\": {}, \"degraded\": {}, \
+         \"suspect\": {}, \"misses\": {}}},",
+        chaos.outcomes.len(),
+        chaos.count(Provenance::Clean),
+        chaos.count(Provenance::Retried),
+        chaos.count(Provenance::Degraded),
+        chaos.count(Provenance::Suspect),
+        chaos.misses()
+    );
+    println!(
+        "chaos probe: {} campaigns -> {} clean, {} retried, {} degraded, {} suspect, {} misses",
+        chaos.outcomes.len(),
+        chaos.count(Provenance::Clean),
+        chaos.count(Provenance::Retried),
+        chaos.count(Provenance::Degraded),
+        chaos.count(Provenance::Suspect),
+        chaos.misses()
+    );
+    assert!(chaos.is_sound(), "chaos smoke campaign produced a silently wrong result");
+
     let entries: Vec<String> = timings
         .iter()
         .map(|t| {
@@ -118,8 +144,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"suite\": \"engines-smoke\",\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 3,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         checkpoint_json,
+        chaos_json,
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

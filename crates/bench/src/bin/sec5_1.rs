@@ -9,7 +9,9 @@ use serr_workload::BenchmarkProfile;
 fn main() {
     let cfg = config_from_args();
     let names: Vec<&'static str> = BenchmarkProfile::all().iter().map(|p| p.name).collect();
-    let rows = unpack_report("sec5_1", sec5_1_sweep(&names, &cfg, &sweep_options_from_args()));
+    let report = sec5_1_sweep(&names, &cfg, &sweep_options_from_args())
+        .expect("sec5_1 sweep infrastructure runs (is another sweep holding the journal lock?)");
+    let rows = unpack_report("sec5_1", report);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,0 +1,557 @@
+//! Deterministic chaos campaigns over the estimator stack.
+//!
+//! A *campaign* arms one [`FaultPlan`] — a seed plus a [`FaultKind`] — and
+//! runs the stack end to end under it: guarded MTTF estimation for the
+//! estimator-level faults (trace corruption, worker panics, injected
+//! deadline exhaustion, reference poisoning) and checkpoint/cache probes
+//! for the on-disk faults (journal corruption, lock contention, simulated
+//! I/O errors, trace-cache corruption). Every campaign yields a
+//! [`CampaignOutcome`] whose [`Provenance`] tag says how the stack coped,
+//! and a **miss** flag for the one unacceptable result: output tagged
+//! [`Provenance::Clean`] that deviates from the fault-free golden answer.
+//!
+//! Every injection decision is a pure function of the plan's seed, so the
+//! same [`ChaosConfig`] reproduces the identical campaign sequence and
+//! outcome tags at any thread count.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Once;
+
+use serr_inject::rng::{mix, unit};
+use serr_inject::{FaultKind, FaultPlan};
+use serr_trace::IntervalTrace;
+use serr_types::{Frequency, Provenance, RawErrorRate, SerrError};
+
+use crate::checkpoint::{self, Journal, JournalRow, SweepOptions};
+use crate::guard::{Guard, GuardPolicy};
+use crate::jsonio::Json;
+use crate::pipeline;
+
+/// Configuration of one chaos run (a sequence of campaigns).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of campaigns to run.
+    pub campaigns: usize,
+    /// Master seed; campaign `i` derives its plan seed as `mix(seed, i)`.
+    pub seed: u64,
+    /// Monte Carlo trials per guarded estimate.
+    pub trials: u64,
+    /// Monte Carlo worker threads (`0` = all cores). Outcome tags are
+    /// invariant to this by construction.
+    pub threads: usize,
+    /// Fault kinds to cycle through (campaign `i` uses `kinds[i % len]`).
+    pub kinds: Vec<FaultKind>,
+    /// Scratch directory for the on-disk fault probes. `None` uses a
+    /// process-unique directory under the system temp dir.
+    pub scratch_dir: Option<PathBuf>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            campaigns: 200,
+            seed: 0xC4A0_5CA0_0000_0001,
+            trials: 3_000,
+            threads: 0,
+            kinds: FaultKind::ALL.to_vec(),
+            scratch_dir: None,
+        }
+    }
+}
+
+/// One campaign's result.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Campaign index within the run.
+    pub campaign: usize,
+    /// The injected fault kind.
+    pub kind: FaultKind,
+    /// The plan seed (replays the campaign exactly).
+    pub seed: u64,
+    /// How the stack coped (the detect-or-degrade tag).
+    pub outcome: Provenance,
+    /// The guarded MTTF, for estimator-level campaigns.
+    pub mttf_seconds: Option<f64>,
+    /// Relative deviation from the fault-free golden MTTF.
+    pub deviation: Option<f64>,
+    /// `true` iff the output was tagged [`Provenance::Clean`] yet deviates
+    /// from the golden answer (or an on-disk probe silently returned wrong
+    /// data) — the invariant violation the harness exists to catch.
+    pub miss: bool,
+    /// One-line human-readable account.
+    pub detail: String,
+}
+
+impl CampaignOutcome {
+    /// The outcome as one JSONL record.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("campaign".to_owned(), Json::Num(self.campaign as f64)),
+            ("kind".to_owned(), Json::Str(self.kind.label().to_owned())),
+            ("seed".to_owned(), Json::Str(format!("{:#018x}", self.seed))),
+            ("outcome".to_owned(), Json::Str(self.outcome.label().to_owned())),
+            ("miss".to_owned(), Json::Bool(self.miss)),
+            ("detail".to_owned(), Json::Str(self.detail.clone())),
+        ];
+        if let Some(m) = self.mttf_seconds {
+            fields.push(("mttf_seconds".to_owned(), Json::Num(m)));
+        }
+        if let Some(d) = self.deviation {
+            fields.push(("deviation".to_owned(), Json::Num(d)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The aggregate result of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The fault-free golden MTTF in seconds.
+    pub golden_mttf_seconds: f64,
+    /// The golden estimate's relative 95% confidence half-width.
+    pub golden_rel_ci95: f64,
+    /// Per-campaign outcomes, in campaign order.
+    pub outcomes: Vec<CampaignOutcome>,
+}
+
+impl ChaosReport {
+    /// Campaigns whose outcome carries the given tag.
+    #[must_use]
+    pub fn count(&self, tag: Provenance) -> usize {
+        self.outcomes.iter().filter(|o| o.outcome == tag).count()
+    }
+
+    /// Campaigns that violated the detect-or-degrade invariant.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.miss).count()
+    }
+
+    /// `true` iff no campaign produced a silently wrong result.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.misses() == 0
+    }
+}
+
+/// The fixed campaign workload: a 64-cycle loop of 16 fully-vulnerable,
+/// 16 half-vulnerable, and 32 idle cycles. The first segment carries two
+/// thirds of the vulnerability mass, so consistent-corruption faults move
+/// the MTTF far beyond any acceptance tolerance.
+///
+/// # Panics
+///
+/// Never — the levels are valid by construction.
+#[must_use]
+pub fn campaign_trace() -> IntervalTrace {
+    let mut levels = vec![1.0; 16];
+    levels.extend(std::iter::repeat_n(0.5, 16));
+    levels.extend(std::iter::repeat_n(0.0, 32));
+    IntervalTrace::from_levels(&levels).expect("campaign levels are valid")
+}
+
+/// Suppresses the default panic-hook backtrace for *injected* chaos panics
+/// (their payload starts with `chaos: injected`), chaining every other
+/// panic to the previously installed hook. Installed at most once per
+/// process; campaigns would otherwise spam stderr with expected panics.
+pub fn install_chaos_panic_filter() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .is_some_and(|s| s.contains("chaos: injected"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A tiny deterministic row for the on-disk fault probes.
+#[derive(Debug, Clone, PartialEq)]
+struct ProbeRow {
+    idx: u64,
+    value: f64,
+}
+
+impl JournalRow for ProbeRow {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("idx".to_owned(), Json::Num(self.idx as f64)),
+            ("value".to_owned(), Json::Num(self.value)),
+        ])
+    }
+    fn from_journal(v: &Json) -> Option<Self> {
+        Some(ProbeRow { idx: v.get("idx")?.as_u64()?, value: v.get("value")?.as_f64()? })
+    }
+}
+
+/// Pure probe evaluator: the row depends only on `(seed, i)`.
+fn probe_eval(seed: u64, i: usize) -> ProbeRow {
+    ProbeRow { idx: i as u64, value: unit(mix(&[seed, i as u64])).mul_add(0.9, 0.05) }
+}
+
+const PROBE_POINTS: usize = 6;
+
+/// Runs the configured chaos campaigns and reports every outcome.
+///
+/// # Errors
+///
+/// Environmental failures only: an unusable scratch directory, or a golden
+/// (fault-free) baseline that is itself not [`Provenance::Clean`] — both
+/// mean the harness, not the stack under test, is broken. Injected faults
+/// never surface as errors; they land in the outcome tags.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
+    if cfg.campaigns == 0 || cfg.kinds.is_empty() {
+        return Err(SerrError::invalid_config(
+            "chaos run needs at least one campaign and one fault kind",
+        ));
+    }
+    install_chaos_panic_filter();
+
+    let trace = campaign_trace();
+    let rate = RawErrorRate::per_year(50.0);
+    let mc = serr_mc::MonteCarloConfig {
+        trials: cfg.trials,
+        threads: cfg.threads,
+        ..Default::default()
+    };
+    let guard = Guard::new(Frequency::base(), mc);
+
+    // The fault-free golden baseline the Clean tag is judged against.
+    let golden = guard.component_mttf(&trace, rate, None)?;
+    if golden.provenance != Provenance::Clean {
+        return Err(SerrError::engine_fault(
+            "chaos golden baseline",
+            format!("fault-free run tagged {}: {:?}", golden.provenance, golden.notes),
+        ));
+    }
+    let golden_mttf = golden.mttf.as_secs();
+    let golden_ci = golden.mc.map_or(0.0, |e| e.relative_ci95());
+    let policy = *guard.policy();
+    // A Clean-tagged result farther from golden than twice the combined
+    // acceptance band cannot be explained by sampling noise: it is a miss.
+    let miss_tol = 2.0 * policy.ci_mult.mul_add(golden_ci, policy.rel_tol);
+
+    let scratch = cfg.scratch_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("serr-chaos-{}", std::process::id()))
+    });
+
+    let mut outcomes = Vec::with_capacity(cfg.campaigns);
+    for campaign in 0..cfg.campaigns {
+        let seed = mix(&[cfg.seed, campaign as u64]);
+        let kind = cfg.kinds[campaign % cfg.kinds.len()];
+        let plan = FaultPlan::new(seed, kind);
+        let outcome = match kind {
+            FaultKind::TraceValueFlip
+            | FaultKind::TracePrefixPerturb
+            | FaultKind::TraceConsistentCorrupt
+            | FaultKind::ChunkPanic
+            | FaultKind::DeadlineExhaust
+            | FaultKind::RatePoison => {
+                guarded_campaign(&guard, &trace, rate, plan, campaign, golden_mttf, miss_tol)?
+            }
+            FaultKind::CheckpointIo => {
+                checkpoint_io_campaign(&scratch, plan, campaign)?
+            }
+            FaultKind::JournalCorrupt => {
+                journal_corrupt_campaign(&scratch, plan, campaign)?
+            }
+            FaultKind::JournalLock => journal_lock_campaign(&scratch, plan, campaign)?,
+            FaultKind::CacheCorrupt => cache_corrupt_campaign(&scratch, plan, campaign)?,
+        };
+        outcomes.push(outcome);
+    }
+    let _ = fs::remove_dir_all(&scratch);
+
+    Ok(ChaosReport { golden_mttf_seconds: golden_mttf, golden_rel_ci95: golden_ci, outcomes })
+}
+
+/// An estimator-level campaign: the guard runs under the plan and its own
+/// provenance tag is the verdict.
+fn guarded_campaign(
+    guard: &Guard,
+    trace: &IntervalTrace,
+    rate: RawErrorRate,
+    plan: FaultPlan,
+    campaign: usize,
+    golden_mttf: f64,
+    miss_tol: f64,
+) -> Result<CampaignOutcome, SerrError> {
+    let g = guard.component_mttf(trace, rate, Some(plan))?;
+    let mttf = g.mttf.as_secs();
+    let deviation = (mttf - golden_mttf).abs() / golden_mttf;
+    let miss = g.provenance == Provenance::Clean && deviation > miss_tol;
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed: plan.seed,
+        outcome: g.provenance,
+        mttf_seconds: Some(mttf),
+        deviation: Some(deviation),
+        miss,
+        detail: g.notes.last().cloned().unwrap_or_else(|| "no anomalies observed".to_owned()),
+    })
+}
+
+fn campaign_dir(scratch: &std::path::Path, campaign: usize) -> PathBuf {
+    scratch.join(format!("c{campaign}"))
+}
+
+/// Simulated journal I/O failure: the sweep must degrade to journal-less
+/// operation and still produce exactly the reference rows.
+fn checkpoint_io_campaign(
+    scratch: &std::path::Path,
+    plan: FaultPlan,
+    campaign: usize,
+) -> Result<CampaignOutcome, SerrError> {
+    let dir = campaign_dir(scratch, campaign);
+    let seed = plan.seed;
+    let reference: Vec<ProbeRow> = (0..PROBE_POINTS).map(|i| probe_eval(seed, i)).collect();
+    let items: Vec<u64> = (0..PROBE_POINTS as u64).collect();
+    let fp = checkpoint::fingerprint(&["chaos-io", &format!("{seed:#x}")]);
+    let opts = SweepOptions::fresh().in_dir(&dir).with_chaos(plan);
+    let report =
+        checkpoint::run_sweep("chaos-io", fp, &items, 1, &opts, |i, _| Ok(probe_eval(seed, i)))?;
+    let intact = report.rows == reference && report.failures.is_empty();
+    let site = plan.io_fault_site().expect("CheckpointIo plan selects a site");
+    let _ = fs::remove_dir_all(&dir);
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed,
+        outcome: if intact { Provenance::Degraded } else { Provenance::Suspect },
+        mttf_seconds: None,
+        deviation: None,
+        miss: !intact,
+        detail: format!("injected i/o fault at {site:?}; rows intact: {intact}"),
+    })
+}
+
+/// On-disk journal corruption: the resumed sweep must spot every damaged
+/// line (checksum or parse failure) and recompute it.
+fn journal_corrupt_campaign(
+    scratch: &std::path::Path,
+    plan: FaultPlan,
+    campaign: usize,
+) -> Result<CampaignOutcome, SerrError> {
+    let dir = campaign_dir(scratch, campaign);
+    let seed = plan.seed;
+    let reference: Vec<ProbeRow> = (0..PROBE_POINTS).map(|i| probe_eval(seed, i)).collect();
+    let items: Vec<u64> = (0..PROBE_POINTS as u64).collect();
+    let fp = checkpoint::fingerprint(&["chaos-journal", &format!("{seed:#x}")]);
+
+    let journal = Journal::open(&dir, "chaos-j", fp, true)?;
+    for (i, row) in reference.iter().enumerate() {
+        journal
+            .record(i, &row.to_journal())
+            .map_err(|e| SerrError::io("chaos journal record", e.to_string()))?;
+    }
+    drop(journal);
+
+    let path = checkpoint::journal_path(&dir, "chaos-j", fp);
+    let mut bytes =
+        fs::read(&path).map_err(|e| SerrError::io("chaos journal read", e.to_string()))?;
+    let corruption =
+        plan.file_corruption(bytes.len()).expect("JournalCorrupt plan corrupts non-empty file");
+    corruption.apply(&mut bytes);
+    fs::write(&path, &bytes).map_err(|e| SerrError::io("chaos journal write", e.to_string()))?;
+
+    let opts = SweepOptions::resume().in_dir(&dir);
+    let report =
+        checkpoint::run_sweep("chaos-j", fp, &items, 1, &opts, |i, _| Ok(probe_eval(seed, i)))?;
+    let recovered = report.rows == reference && report.failures.is_empty();
+    let detected = report.resumed < PROBE_POINTS;
+    let _ = fs::remove_dir_all(&dir);
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed,
+        // Damage caught and recomputed → Retried. Corruption that left
+        // every line's checksum intact cannot happen (the mask is nonzero),
+        // but a corrupted byte may land in a trailing newline without
+        // damaging any full line — then nothing needed recomputing.
+        outcome: if recovered && detected {
+            Provenance::Retried
+        } else if recovered {
+            Provenance::Clean
+        } else {
+            Provenance::Suspect
+        },
+        mttf_seconds: None,
+        deviation: None,
+        miss: !recovered,
+        detail: format!(
+            "corrupted {} byte(s) at offset {}; resumed {}/{PROBE_POINTS}",
+            if corruption.truncate { "tail from" } else { "1" },
+            corruption.offset,
+            report.resumed
+        ),
+    })
+}
+
+/// Lock contention: a sweep against a journal held by a live writer must
+/// refuse with the typed error, never interleave.
+fn journal_lock_campaign(
+    scratch: &std::path::Path,
+    plan: FaultPlan,
+    campaign: usize,
+) -> Result<CampaignOutcome, SerrError> {
+    let dir = campaign_dir(scratch, campaign);
+    let seed = plan.seed;
+    let items: Vec<u64> = (0..PROBE_POINTS as u64).collect();
+    let fp = checkpoint::fingerprint(&["chaos-lock", &format!("{seed:#x}")]);
+    let held = Journal::open(&dir, "chaos-l", fp, true)?;
+    let opts = SweepOptions::resume().in_dir(&dir);
+    let contender =
+        checkpoint::run_sweep("chaos-l", fp, &items, 1, &opts, |i, _| Ok(probe_eval(seed, i)));
+    let refused = matches!(contender, Err(SerrError::JournalLocked { .. }));
+    drop(held);
+    let _ = fs::remove_dir_all(&dir);
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed,
+        outcome: if refused { Provenance::Degraded } else { Provenance::Suspect },
+        mttf_seconds: None,
+        deviation: None,
+        miss: !refused,
+        detail: format!("second writer refused: {refused}"),
+    })
+}
+
+/// Trace-cache corruption: a damaged cache entry must be rejected by its
+/// content checksum (forcing re-simulation), never decoded into wrong
+/// traces.
+fn cache_corrupt_campaign(
+    scratch: &std::path::Path,
+    plan: FaultPlan,
+    campaign: usize,
+) -> Result<CampaignOutcome, SerrError> {
+    let dir = campaign_dir(scratch, campaign);
+    fs::create_dir_all(&dir)
+        .map_err(|e| SerrError::io("chaos cache scratch", e.to_string()))?;
+    // Small fixed simulation — memoized in-process, so only the first
+    // cache campaign pays for it.
+    let run = pipeline::simulate_benchmark("vpr", 6_000, 3)?;
+    let path = dir.join("probe.bin");
+    pipeline::store(&path, &run.output)
+        .map_err(|e| SerrError::io("chaos cache store", e.to_string()))?;
+    let mut bytes =
+        fs::read(&path).map_err(|e| SerrError::io("chaos cache read", e.to_string()))?;
+    let corruption =
+        plan.file_corruption(bytes.len()).expect("CacheCorrupt plan corrupts non-empty file");
+    corruption.apply(&mut bytes);
+    fs::write(&path, &bytes).map_err(|e| SerrError::io("chaos cache write", e.to_string()))?;
+
+    let loaded = pipeline::load(&path);
+    let (outcome, miss, detail) = match loaded {
+        None => (
+            Provenance::Retried,
+            false,
+            "corrupt cache entry rejected; simulation would re-run".to_owned(),
+        ),
+        Some(out)
+            if out.stats == run.output.stats
+                && out.traces.int_unit == run.output.traces.int_unit
+                && out.traces.fp_unit == run.output.traces.fp_unit
+                && out.traces.decode == run.output.traces.decode
+                && out.traces.regfile == run.output.traces.regfile => (
+            Provenance::Clean,
+            false,
+            "corruption did not alter the decoded payload".to_owned(),
+        ),
+        Some(_) => (
+            Provenance::Suspect,
+            true,
+            "corrupt cache entry decoded into different data".to_owned(),
+        ),
+    };
+    let _ = fs::remove_dir_all(&dir);
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed: plan.seed,
+        outcome,
+        mttf_seconds: None,
+        deviation: None,
+        miss,
+        detail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(campaigns: usize, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            campaigns,
+            seed,
+            trials: 2_000,
+            threads: 1,
+            scratch_dir: Some(
+                std::env::temp_dir()
+                    .join(format!("serr-chaos-test-{}-{seed}", std::process::id())),
+            ),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_run_is_sound_and_covers_all_kinds() {
+        let cfg = quick_cfg(FaultKind::ALL.len() * 2, 0xABCD);
+        let report = run_chaos(&cfg).unwrap();
+        assert_eq!(report.outcomes.len(), cfg.campaigns);
+        assert!(report.is_sound(), "misses: {:?}", report
+            .outcomes
+            .iter()
+            .filter(|o| o.miss)
+            .collect::<Vec<_>>());
+        for kind in FaultKind::ALL {
+            assert!(
+                report.outcomes.iter().any(|o| o.kind == kind),
+                "kind {kind} never ran"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_outcomes_replay_identically() {
+        let cfg = quick_cfg(FaultKind::ALL.len(), 0x5EED);
+        let a = run_chaos(&cfg).unwrap();
+        let mut cfg_mt = quick_cfg(FaultKind::ALL.len(), 0x5EED);
+        cfg_mt.threads = 4;
+        let b = run_chaos(&cfg_mt).unwrap();
+        let tags = |r: &ChaosReport| {
+            r.outcomes.iter().map(|o| (o.kind, o.outcome)).collect::<Vec<_>>()
+        };
+        assert_eq!(tags(&a), tags(&b), "outcome tags must not depend on thread count");
+    }
+
+    #[test]
+    fn outcome_json_carries_the_replay_seed() {
+        let o = CampaignOutcome {
+            campaign: 3,
+            kind: FaultKind::ChunkPanic,
+            seed: 0x1234,
+            outcome: Provenance::Retried,
+            mttf_seconds: Some(1.5e9),
+            deviation: Some(0.001),
+            miss: false,
+            detail: "healed".to_owned(),
+        };
+        let j = o.to_json();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("chunk-panic"));
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("retried"));
+        assert_eq!(j.get("seed").unwrap().as_str(), Some("0x0000000000001234"));
+        assert_eq!(j.get("miss").unwrap().as_bool(), Some(false));
+    }
+}

@@ -16,15 +16,36 @@
 //!
 //! # Journal format
 //!
-//! One line per completed point: `{"i":<index>,"row":<row object>}`,
-//! where `<row object>` is produced by the row type's [`JournalRow`]
-//! implementation. Rows are written with shortest-round-trip float
-//! formatting (see [`crate::jsonio`]), so a resumed sweep reproduces
-//! **bit-identical** rows. A torn final line (crash mid-append) or any
-//! malformed line is simply ignored — that point is recomputed.
+//! One line per completed point:
+//! `{"i":<index>,"ck":"<checksum>","row":<row object>}`, where
+//! `<row object>` is produced by the row type's [`JournalRow`]
+//! implementation and `<checksum>` is a hex FNV-1a fingerprint over the
+//! index and the row's canonical JSON. Rows are written with
+//! shortest-round-trip float formatting (see [`crate::jsonio`]), so a
+//! resumed sweep reproduces **bit-identical** rows. A torn final line
+//! (crash mid-append), any malformed line, or a line whose checksum does
+//! not match its content (on-disk corruption) is simply ignored — that
+//! point is recomputed.
 //!
 //! Journal appends are flushed with `sync_data` per point: a killed process
 //! loses at most the point it was computing, never a recorded one.
+//!
+//! # Locking
+//!
+//! Two processes appending to one journal would interleave lines and each
+//! would resume from a snapshot the other invalidates. [`Journal::open`]
+//! therefore takes an advisory per-journal lock — a `<journal>.lock` file
+//! created with `O_EXCL` and holding the owner's PID — and fails with
+//! [`SerrError::JournalLocked`] while another live process holds it. A lock
+//! left behind by a dead process (checked via `/proc`) is reclaimed
+//! automatically; the lock is removed when the [`Journal`] drops.
+//!
+//! # Fault injection
+//!
+//! [`SweepOptions::chaos`] accepts a deterministic [`FaultPlan`] (see
+//! `serr-inject`) that simulates journal I/O failures — an unopenable
+//! journal or failing per-point appends — so the degrade paths above are
+//! exercised under test exactly as a real filesystem error would.
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
@@ -32,6 +53,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use serr_inject::{FaultPlan, IoSite};
 use serr_types::SerrError;
 
 use crate::jsonio::Json;
@@ -57,31 +79,43 @@ pub struct SweepOptions {
     /// Journal directory override. `None` uses `SERR_CHECKPOINT_DIR` or
     /// `target/serr-checkpoints`.
     pub dir: Option<PathBuf>,
+    /// Deterministic fault-injection plan. `None` (the default) injects
+    /// nothing; `Some(plan)` simulates the journal I/O failure the plan's
+    /// seed selects (see `serr-inject`), degrading exactly like the real
+    /// error would.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl SweepOptions {
     /// No checkpointing (the default).
     #[must_use]
     pub fn off() -> Self {
-        SweepOptions { mode: CheckpointMode::Off, dir: None }
+        SweepOptions { mode: CheckpointMode::Off, dir: None, chaos: None }
     }
 
     /// Resume from the journal if one exists.
     #[must_use]
     pub fn resume() -> Self {
-        SweepOptions { mode: CheckpointMode::Resume, dir: None }
+        SweepOptions { mode: CheckpointMode::Resume, dir: None, chaos: None }
     }
 
     /// Discard any stale journal and start over.
     #[must_use]
     pub fn fresh() -> Self {
-        SweepOptions { mode: CheckpointMode::Fresh, dir: None }
+        SweepOptions { mode: CheckpointMode::Fresh, dir: None, chaos: None }
     }
 
     /// Pins the journal directory (tests; tools with their own layout).
     #[must_use]
     pub fn in_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.dir = Some(dir.into());
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (chaos campaigns only).
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }
@@ -164,10 +198,73 @@ pub fn fingerprint(parts: &[&str]) -> u64 {
     h
 }
 
-/// An append-only, fsync'd JSONL checkpoint journal for one sweep.
+/// The journal file path for `(kind, fingerprint)` under `dir`.
+#[must_use]
+pub fn journal_path(dir: &Path, kind: &str, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{kind}-{fingerprint:016x}.jsonl"))
+}
+
+/// The advisory lock file guarding a journal: the journal path with a
+/// `.lock` suffix appended.
+#[must_use]
+pub fn journal_lock_path(journal: &Path) -> PathBuf {
+    let mut os = journal.as_os_str().to_owned();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+/// The per-line integrity checksum: an FNV-1a fingerprint over the point
+/// index (decimal) and the row's canonical JSON.
+fn line_checksum(index: usize, row_json: &str) -> u64 {
+    fingerprint(&[&index.to_string(), row_json])
+}
+
+/// Whether the process named in `lock_path` is provably dead, so the lock
+/// is stale and may be reclaimed. An unreadable or unparsable lock file
+/// (torn write) also counts as stale. Without a `/proc` filesystem,
+/// liveness cannot be checked, so a well-formed lock is assumed live.
+fn lock_holder_is_dead(lock_path: &Path) -> bool {
+    let Some(pid) =
+        fs::read_to_string(lock_path).ok().and_then(|s| s.trim().parse::<u32>().ok())
+    else {
+        return true;
+    };
+    let proc_root = Path::new("/proc");
+    proc_root.is_dir() && !proc_root.join(pid.to_string()).is_dir()
+}
+
+/// Takes the advisory lock for a journal, reclaiming a stale holder once.
+fn acquire_journal_lock(lock_path: &Path) -> Result<(), SerrError> {
+    for attempt in 0..2u8 {
+        match OpenOptions::new().write(true).create_new(true).open(lock_path) {
+            Ok(mut f) => {
+                // Best-effort PID stamp: a missing stamp reads as a torn
+                // (stale) lock, which is the safe direction.
+                let _ = write!(f, "{}", std::process::id());
+                let _ = f.sync_data();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if attempt == 0 && lock_holder_is_dead(lock_path) {
+                    let _ = fs::remove_file(lock_path);
+                    continue;
+                }
+                return Err(SerrError::JournalLocked {
+                    path: lock_path.display().to_string(),
+                });
+            }
+            Err(e) => return Err(SerrError::io("create journal lock", e.to_string())),
+        }
+    }
+    Err(SerrError::JournalLocked { path: lock_path.display().to_string() })
+}
+
+/// An append-only, fsync'd JSONL checkpoint journal for one sweep, held
+/// under an advisory lock that is released when the journal drops.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    lock_path: PathBuf,
     file: Mutex<File>,
     completed: BTreeMap<usize, Json>,
 }
@@ -178,33 +275,65 @@ impl Journal {
     /// existing journal is deleted first.
     ///
     /// Malformed lines — including a final line torn by a crash mid-append
-    /// — are skipped: those points simply recompute.
+    /// — and lines whose checksum does not match their content are skipped:
+    /// those points simply recompute.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors (unwritable directory, etc.). Callers
-    /// degrade to checkpoint-less operation rather than failing the sweep.
-    pub fn open(dir: &Path, kind: &str, fingerprint: u64, fresh: bool) -> std::io::Result<Journal> {
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{kind}-{fingerprint:016x}.jsonl"));
+    /// [`SerrError::JournalLocked`] when another live process holds the
+    /// journal's advisory lock (fatal: two writers would corrupt each
+    /// other's resume state), or [`SerrError::Io`] for filesystem errors
+    /// (unwritable directory, etc.) — callers degrade the latter to
+    /// checkpoint-less operation rather than failing the sweep.
+    pub fn open(dir: &Path, kind: &str, fingerprint: u64, fresh: bool) -> Result<Journal, SerrError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| SerrError::io("create checkpoint directory", e.to_string()))?;
+        let path = journal_path(dir, kind, fingerprint);
+        let lock_path = journal_lock_path(&path);
+        acquire_journal_lock(&lock_path)?;
+        match Self::open_locked(&path, fresh) {
+            Ok((file, completed)) => {
+                Ok(Journal { path, lock_path, file: Mutex::new(file), completed })
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&lock_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible tail of [`Journal::open`], split out so the caller can
+    /// release the just-taken lock on any error.
+    fn open_locked(path: &Path, fresh: bool) -> Result<(File, BTreeMap<usize, Json>), SerrError> {
         if fresh {
-            match fs::remove_file(&path) {
+            match fs::remove_file(path) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
+                Err(e) => return Err(SerrError::io("discard stale journal", e.to_string())),
             }
         }
         let mut completed = BTreeMap::new();
-        if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(text) = fs::read_to_string(path) {
             for line in text.lines() {
                 let Some(entry) = Json::parse(line) else { continue };
                 let Some(i) = entry.get("i").and_then(Json::as_usize) else { continue };
                 let Some(row) = entry.get("row") else { continue };
+                let Some(ck) = entry.get("ck").and_then(Json::as_str) else { continue };
+                // Re-serialization is canonical (shortest-round-trip floats),
+                // so a checksum over the parsed row matches the written line
+                // unless the bytes changed underneath it.
+                if ck != format!("{:016x}", line_checksum(i, &row.to_json())) {
+                    continue;
+                }
                 completed.insert(i, row.clone());
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Journal { path, file: Mutex::new(file), completed })
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| SerrError::io("open checkpoint journal", e.to_string()))?;
+        Ok((file, completed))
     }
 
     /// Points already recorded, by input index.
@@ -227,17 +356,21 @@ impl Journal {
     /// Propagates write/sync errors; the sweep runner logs and continues
     /// (losing checkpointing for that point, not the point itself).
     pub fn record(&self, index: usize, row: &Json) -> std::io::Result<()> {
-        let line = Json::Obj(vec![
-            ("i".to_owned(), Json::Num(index as f64)),
-            ("row".to_owned(), row.clone()),
-        ])
-        .to_json();
+        let row_json = row.to_json();
+        let ck = line_checksum(index, &row_json);
+        let line = format!("{{\"i\":{index},\"ck\":\"{ck:016x}\",\"row\":{row_json}}}");
         // A poisoned lock only means another worker panicked *between*
         // journal writes; the file itself is line-consistent, so keep going.
         let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         file.write_all(line.as_bytes())?;
         file.write_all(b"\n")?;
         file.sync_data()
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.lock_path);
     }
 }
 
@@ -250,8 +383,14 @@ impl Journal {
 /// own point.
 ///
 /// If the journal cannot be opened (read-only filesystem, permission
-/// error), the sweep still runs — it just doesn't checkpoint; a warning
-/// goes to stderr.
+/// error, or an injected open fault), the sweep still runs — it just
+/// doesn't checkpoint; a warning goes to stderr.
+///
+/// # Errors
+///
+/// [`SerrError::JournalLocked`] when another live process holds the
+/// journal's advisory lock. Every other journal problem degrades instead
+/// of failing.
 pub fn run_sweep<T, R, F>(
     kind: &str,
     fingerprint: u64,
@@ -259,25 +398,35 @@ pub fn run_sweep<T, R, F>(
     threads: usize,
     opts: &SweepOptions,
     eval: F,
-) -> SweepReport<R>
+) -> Result<SweepReport<R>, SerrError>
 where
     T: Sync,
     R: JournalRow + Send,
     F: Fn(usize, &T) -> Result<R, SerrError> + Sync,
 {
+    let injected_io = opts.chaos.and_then(|p| p.io_fault_site());
     let journal = match opts.mode {
         CheckpointMode::Off => None,
         CheckpointMode::Resume | CheckpointMode::Fresh => {
             let dir = opts.dir.clone().unwrap_or_else(default_journal_dir);
             let fresh = opts.mode == CheckpointMode::Fresh;
-            match Journal::open(&dir, kind, fingerprint, fresh) {
-                Ok(j) => Some(j),
-                Err(e) => {
-                    eprintln!(
-                        "warning: checkpoint journal for `{kind}` unavailable ({e}); \
-                         sweep runs without checkpointing"
-                    );
-                    None
+            if injected_io == Some(IoSite::Open) {
+                eprintln!(
+                    "warning: checkpoint journal for `{kind}` unavailable (injected i/o \
+                     fault at open); sweep runs without checkpointing"
+                );
+                None
+            } else {
+                match Journal::open(&dir, kind, fingerprint, fresh) {
+                    Ok(j) => Some(j),
+                    Err(e @ SerrError::JournalLocked { .. }) => return Err(e),
+                    Err(e) => {
+                        eprintln!(
+                            "warning: checkpoint journal for `{kind}` unavailable ({e}); \
+                             sweep runs without checkpointing"
+                        );
+                        None
+                    }
                 }
             }
         }
@@ -301,7 +450,12 @@ where
     let results = par::try_par_map(&pending, threads, |_, &i| {
         let row = eval(i, &items[i])?;
         if let Some(j) = &journal {
-            if let Err(e) = j.record(i, &row.to_journal()) {
+            if injected_io == Some(IoSite::Record) {
+                eprintln!(
+                    "warning: failed to checkpoint point {i} of `{kind}`: injected i/o \
+                     fault at record"
+                );
+            } else if let Err(e) = j.record(i, &row.to_journal()) {
                 eprintln!("warning: failed to checkpoint point {i} of `{kind}`: {e}");
             }
         }
@@ -327,7 +481,7 @@ where
     }
     failures.sort_by_key(|f| f.index);
 
-    SweepReport { rows: slots.into_iter().flatten().collect(), failures, resumed, computed }
+    Ok(SweepReport { rows: slots.into_iter().flatten().collect(), failures, resumed, computed })
 }
 
 #[cfg(test)]
@@ -401,7 +555,8 @@ mod tests {
         let report = run_sweep("t-off", 1, &items, 4, &SweepOptions::off(), |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(calls.load(Ordering::Relaxed), 10);
         assert_eq!(report.rows.len(), 10);
         assert_eq!(report.resumed, 0);
@@ -422,7 +577,7 @@ mod tests {
 
         // Uninterrupted reference run (no journal involved).
         let reference =
-            run_sweep("t-resume", fp, &items, 4, &SweepOptions::off(), eval_row).rows;
+            run_sweep("t-resume", fp, &items, 4, &SweepOptions::off(), eval_row).unwrap().rows;
 
         // "Killed" run: points >= 7 fail, so the journal records 0..=6 only
         // — the on-disk state a mid-run SIGKILL leaves behind.
@@ -431,7 +586,8 @@ mod tests {
                 return Err(SerrError::invalid_config("simulated crash"));
             }
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(partial.rows.len(), 7);
         assert_eq!(partial.failures.len(), 5);
 
@@ -440,7 +596,8 @@ mod tests {
         let second = run_sweep("t-resume", fp, &items, 4, &opts, |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(calls.load(Ordering::Relaxed), 5, "resumed points were recomputed");
         assert_eq!(second.resumed, 7);
         assert_eq!(second.computed, 5);
@@ -452,10 +609,15 @@ mod tests {
         let third = run_sweep("t-resume", fp, &items, 4, &opts, |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(calls.load(Ordering::Relaxed), 0);
         assert_eq!(third.resumed, 12);
         assert_rows_bit_identical(&third.rows, &reference);
+
+        // The advisory lock is released between runs and after the last.
+        let lock = journal_lock_path(&journal_path(&dir, "t-resume", fp));
+        assert!(!lock.exists(), "lock file left behind: {}", lock.display());
 
         let _ = fs::remove_dir_all(&dir);
     }
@@ -466,14 +628,15 @@ mod tests {
         let items: Vec<u64> = (0..6).collect();
         let fp = fingerprint(&["fresh-test"]);
         let resume = SweepOptions::resume().in_dir(&dir);
-        run_sweep("t-fresh", fp, &items, 2, &resume, eval_row);
+        run_sweep("t-fresh", fp, &items, 2, &resume, eval_row).unwrap();
 
         let calls = AtomicUsize::new(0);
         let fresh = SweepOptions::fresh().in_dir(&dir);
         let report = run_sweep("t-fresh", fp, &items, 2, &fresh, |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(calls.load(Ordering::Relaxed), 6, "--fresh must recompute everything");
         assert_eq!(report.resumed, 0);
         assert_eq!(report.computed, 6);
@@ -502,7 +665,8 @@ mod tests {
         let report = run_sweep("t-torn", fp, &items, 1, &opts, |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(report.resumed, 2, "good lines resume");
         assert_eq!(calls.load(Ordering::Relaxed), 2, "bad lines recompute");
         assert_eq!(report.rows.len(), 4);
@@ -515,7 +679,8 @@ mod tests {
         let report = run_sweep("t-poison", 1, &items, 3, &SweepOptions::off(), |i, x| {
             assert!(*x != 5, "point {x} is poisoned");
             eval_row(i, x)
-        });
+        })
+        .unwrap();
         assert_eq!(report.rows.len(), 7);
         let expected: Vec<u64> = (0..8).filter(|&x| x != 5).collect();
         assert_eq!(report.rows.iter().map(|r| r.idx).collect::<Vec<_>>(), expected);
@@ -548,5 +713,115 @@ mod tests {
         let back = TestRow::from_journal(&row.to_journal()).unwrap();
         assert_eq!(back.label, row.label);
         assert_eq!(back.value.to_bits(), row.value.to_bits());
+    }
+
+    #[test]
+    fn second_writer_on_a_live_journal_gets_the_typed_lock_error() {
+        let dir = fresh_test_dir("lock");
+        let items: Vec<u64> = (0..3).collect();
+        let fp = fingerprint(&["lock-test"]);
+        let held = Journal::open(&dir, "t-lock", fp, false).unwrap();
+
+        // A sweep against the same journal must refuse, naming the lock.
+        let opts = SweepOptions::resume().in_dir(&dir);
+        match run_sweep("t-lock", fp, &items, 2, &opts, eval_row) {
+            Err(SerrError::JournalLocked { path }) => {
+                assert!(path.contains("t-lock"), "lock path should name the journal: {path}");
+                assert!(path.ends_with(".lock"), "lock path: {path}");
+            }
+            other => panic!("expected JournalLocked, got {other:?}"),
+        }
+        // So must a direct second open.
+        assert!(matches!(
+            Journal::open(&dir, "t-lock", fp, false),
+            Err(SerrError::JournalLocked { .. })
+        ));
+
+        // Dropping the holder releases the lock; the sweep then proceeds.
+        drop(held);
+        let report = run_sweep("t-lock", fp, &items, 2, &opts, eval_row).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let dir = fresh_test_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        let fp = fingerprint(&["stale-test"]);
+        let lock = journal_lock_path(&journal_path(&dir, "t-stale", fp));
+        // PID far above any real pid_max, so /proc/<pid> cannot exist.
+        fs::write(&lock, "4000000000").unwrap();
+        let j = Journal::open(&dir, "t-stale", fp, false)
+            .expect("stale lock must be reclaimed");
+        drop(j);
+        // A torn (unparsable) lock file is also stale.
+        fs::write(&lock, "not a pid").unwrap();
+        Journal::open(&dir, "t-stale", fp, false).expect("torn lock must be reclaimed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_journal_lines_fail_their_checksum_and_recompute() {
+        let dir = fresh_test_dir("ck");
+        let items: Vec<u64> = (0..3).collect();
+        let fp = fingerprint(&["ck-test"]);
+        let journal = Journal::open(&dir, "t-ck", fp, false).unwrap();
+        for i in 0..3usize {
+            journal.record(i, &eval_row(i, &(i as u64)).unwrap().to_journal()).unwrap();
+        }
+        drop(journal);
+
+        // Flip one row's payload in place (still valid JSON, wrong checksum).
+        let path = journal_path(&dir, "t-ck", fp);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("point-1"), "journal should hold row 1: {text}");
+        fs::write(&path, text.replace("point-1", "point-X")).unwrap();
+
+        let calls = AtomicUsize::new(0);
+        let opts = SweepOptions::resume().in_dir(&dir);
+        let report = run_sweep("t-ck", fp, &items, 1, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        })
+        .unwrap();
+        assert_eq!(report.resumed, 2, "intact lines resume");
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "the corrupted line recomputes");
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[1].label, "point-1", "recomputed row is correct");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_io_faults_degrade_without_losing_rows() {
+        use serr_inject::{FaultKind, FaultPlan};
+        let dir = fresh_test_dir("chaos-io");
+        let items: Vec<u64> = (0..5).collect();
+        let fp = fingerprint(&["chaos-io-test"]);
+
+        // Find plans hitting each injection site.
+        let plan_for = |site: IoSite| {
+            (0..1_000u64)
+                .map(|s| FaultPlan::new(s, FaultKind::CheckpointIo))
+                .find(|p| p.io_fault_site() == Some(site))
+                .expect("some seed selects the site")
+        };
+        let reference =
+            run_sweep("t-chaos-io", fp, &items, 1, &SweepOptions::off(), eval_row).unwrap().rows;
+
+        // Open fault: no journal at all, rows still correct.
+        let opts = SweepOptions::resume().in_dir(&dir).with_chaos(plan_for(IoSite::Open));
+        let report = run_sweep("t-chaos-io", fp, &items, 1, &opts, eval_row).unwrap();
+        assert_rows_bit_identical(&report.rows, &reference);
+        assert!(!journal_path(&dir, "t-chaos-io", fp).exists(), "open fault must not create a journal");
+
+        // Record fault: journal exists but stays empty; rows still correct.
+        let opts = SweepOptions::resume().in_dir(&dir).with_chaos(plan_for(IoSite::Record));
+        let report = run_sweep("t-chaos-io", fp, &items, 1, &opts, eval_row).unwrap();
+        assert_rows_bit_identical(&report.rows, &reference);
+        let text = fs::read_to_string(journal_path(&dir, "t-chaos-io", fp)).unwrap();
+        assert!(text.is_empty(), "record fault must suppress appends, got: {text}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -266,18 +266,23 @@ impl JournalRow for Sec51Row {
 /// Fails on the first failed benchmark, in input order. Use [`sec5_1_sweep`]
 /// to keep the healthy rows (and to checkpoint).
 pub fn sec5_1(benchmarks: &[&str], cfg: &ExperimentConfig) -> Result<Vec<Sec51Row>, SerrError> {
-    sec5_1_sweep(benchmarks, cfg, &SweepOptions::off()).into_result()
+    sec5_1_sweep(benchmarks, cfg, &SweepOptions::off())?.into_result()
 }
 
 /// Fault-tolerant, checkpointable variant of [`sec5_1`]: a panicking or
 /// failing benchmark is reported in [`SweepReport::failures`] while every
 /// other row survives, and with checkpointing on, finished benchmarks are
 /// journaled so a killed run resumes without recomputing them.
+///
+/// # Errors
+///
+/// [`SerrError::JournalLocked`] when another live process holds this
+/// sweep's checkpoint journal.
 pub fn sec5_1_sweep(
     benchmarks: &[&str],
     cfg: &ExperimentConfig,
     opts: &SweepOptions,
-) -> SweepReport<Sec51Row> {
+) -> Result<SweepReport<Sec51Row>, SerrError> {
     let coords: Vec<String> = benchmarks.iter().map(|&b| b.to_owned()).collect();
     let fp = sweep_fingerprint("sec5_1", cfg, &coords);
     let (threads, cfg) = fanout(cfg, benchmarks.len());
@@ -398,8 +403,10 @@ pub fn fig5(
 ///
 /// # Errors
 ///
-/// Only trace construction (shared by all points of a workload) aborts the
-/// sweep; per-point panics and errors land in [`SweepReport::failures`].
+/// Only trace construction (shared by all points of a workload) and a
+/// checkpoint journal held by another live process
+/// ([`SerrError::JournalLocked`]) abort the sweep; per-point panics and
+/// errors land in [`SweepReport::failures`].
 pub fn fig5_sweep(
     workloads: &[Workload],
     n_times_s: &[f64],
@@ -418,7 +425,7 @@ pub fn fig5_sweep(
     let fp = sweep_fingerprint("fig5", cfg, &coords);
     let (threads, cfg) = fanout(cfg, points.len());
     let v = cfg.validator();
-    Ok(checkpoint::run_sweep("fig5", fp, &points, threads, opts, |_, (w, trace, prod)| {
+    checkpoint::run_sweep("fig5", fp, &points, threads, opts, |_, (w, trace, prod)| {
         let rate = RawErrorRate::baseline_per_bit().scale(*prod);
         let cv = v.component(trace, rate)?;
         Ok(Fig5Row {
@@ -430,7 +437,7 @@ pub fn fig5_sweep(
             error: cv.avf_error_vs_mc,
             softarch_error: cv.softarch_error_vs_mc,
         })
-    }))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -505,8 +512,9 @@ pub fn fig6a(
 ///
 /// # Errors
 ///
-/// Only benchmark simulation / trace construction aborts the sweep;
-/// per-point panics and errors land in [`SweepReport::failures`].
+/// Only benchmark simulation / trace construction and a held checkpoint
+/// journal ([`SerrError::JournalLocked`]) abort the sweep; per-point panics
+/// and errors land in [`SweepReport::failures`].
 pub fn fig6a_sweep(
     benchmarks: &[&str],
     c_values: &[u64],
@@ -519,7 +527,7 @@ pub fn fig6a_sweep(
         let trace = spec_processor_trace(name, cfg)?;
         collect_fig6_points(&mut points, name, &trace, c_values, n_times_s);
     }
-    Ok(fig6_rows_sweep("fig6a", points, cfg, opts))
+    fig6_rows_sweep("fig6a", points, cfg, opts)
 }
 
 /// Reproduces Figure 6(b): SOFR error for clusters running the synthesized
@@ -542,8 +550,9 @@ pub fn fig6b(
 ///
 /// # Errors
 ///
-/// Only trace construction aborts the sweep; per-point panics and errors
-/// land in [`SweepReport::failures`].
+/// Only trace construction and a held checkpoint journal
+/// ([`SerrError::JournalLocked`]) abort the sweep; per-point panics and
+/// errors land in [`SweepReport::failures`].
 pub fn fig6b_sweep(
     workloads: &[Workload],
     c_values: &[u64],
@@ -556,7 +565,7 @@ pub fn fig6b_sweep(
         let trace = synthesized_trace(w, cfg)?;
         collect_fig6_points(&mut points, w.label(), &trace, c_values, n_times_s);
     }
-    Ok(fig6_rows_sweep("fig6b", points, cfg, opts))
+    fig6_rows_sweep("fig6b", points, cfg, opts)
 }
 
 /// One Figure 6 design point awaiting evaluation: `(label, trace, C, N×S)`.
@@ -587,7 +596,7 @@ fn fig6_rows_sweep(
     points: Vec<Fig6Point>,
     cfg: &ExperimentConfig,
     opts: &SweepOptions,
-) -> SweepReport<Fig6Row> {
+) -> Result<SweepReport<Fig6Row>, SerrError> {
     let fp = sweep_fingerprint(kind, cfg, &fig6_point_coords(&points));
     let (threads, cfg) = fanout(cfg, points.len());
     let v = cfg.validator();
@@ -671,8 +680,9 @@ pub fn sec5_4(
 ///
 /// # Errors
 ///
-/// Only trace construction aborts the sweep; per-point panics and errors
-/// land in [`SweepReport::failures`].
+/// Only trace construction and a held checkpoint journal
+/// ([`SerrError::JournalLocked`]) abort the sweep; per-point panics and
+/// errors land in [`SweepReport::failures`].
 pub fn sec5_4_sweep(
     workloads: &[Workload],
     c_values: &[u64],
@@ -688,7 +698,7 @@ pub fn sec5_4_sweep(
     let fp = sweep_fingerprint("sec5_4", cfg, &fig6_point_coords(&points));
     let (threads, cfg) = fanout(cfg, points.len());
     let v = cfg.validator();
-    Ok(checkpoint::run_sweep("sec5_4", fp, &points, threads, opts, |_, (label, trace, c, prod)| {
+    checkpoint::run_sweep("sec5_4", fp, &points, threads, opts, |_, (label, trace, c, prod)| {
         let rate = RawErrorRate::baseline_per_bit().scale(*prod);
         let sv = v.system_identical(trace.clone(), rate, *c)?;
         Ok(Sec54Row {
@@ -701,7 +711,7 @@ pub fn sec5_4_sweep(
                 sv.mttf_renewal.as_secs(),
             ),
         })
-    }))
+    })
 }
 
 /// Helper: the length of one iteration of a workload's trace in wall-clock

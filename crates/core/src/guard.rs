@@ -1,0 +1,417 @@
+//! Runtime guardrails: detect-or-degrade MTTF estimation.
+//!
+//! The raw estimators ([`serr_mc`], [`serr_analytic`], [`serr_softarch`])
+//! each trust their inputs and their own arithmetic. [`Guard`] wraps them
+//! in a fallback chain that cross-checks every answer and tags the result
+//! with a [`Provenance`], so a corrupted trace, a poisoned estimator, or a
+//! failing Monte Carlo run is *detected* (the tag worsens) or *degraded
+//! around* (an independent estimator supplies the answer) — never returned
+//! as a silently wrong `Clean` number.
+//!
+//! The chain, in order:
+//!
+//! 1. **Analytic renewal** ([`serr_analytic::renewal::renewal_mttf`]) —
+//!    the exact closed form. A typed error here is terminal: the
+//!    configuration itself is unusable (zero rate, AVF-0 trace).
+//! 2. **SoftArch** — an independent analytic reference. Disagreement with
+//!    renewal beyond tolerance quarantines it from the consistency vote.
+//! 3. **Trace integrity** — the compiled trace is checked with
+//!    [`CompiledTrace::verify`]; a corrupted compile is rebuilt from the
+//!    source trace (floor [`Provenance::Retried`]).
+//! 4. **Monte Carlo** — up to `1 + max_retries` attempts, each retry with
+//!    a fresh derived seed. An estimate must pass NaN/monotonicity sanity
+//!    checks and agree with renewal within a CI-derived bound to be
+//!    accepted.
+//! 5. **Fallback** — if every Monte Carlo attempt fails, the renewal
+//!    answer is returned tagged [`Provenance::Degraded`] (or
+//!    [`Provenance::Suspect`] when the analytic references disagree with
+//!    each other too, leaving nothing to vouch for the number).
+
+use serr_analytic::renewal::renewal_mttf;
+use serr_inject::rng::mix;
+use serr_inject::{FaultPlan, TraceFault};
+use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+use serr_softarch::SoftArch;
+use serr_trace::{CompiledTrace, VulnerabilityTrace};
+use serr_types::{Frequency, Mttf, Provenance, RawErrorRate, SerrError};
+
+/// Acceptance thresholds for the guard's consistency checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Monte Carlo retries after a failed or rejected first attempt.
+    pub max_retries: u32,
+    /// Baseline relative tolerance for cross-engine agreement.
+    pub rel_tol: f64,
+    /// Widens the Monte Carlo acceptance band to `ci_mult` times the
+    /// estimate's 95% confidence half-width (whichever of the two bounds
+    /// is looser wins), so a high-variance run is not rejected for honest
+    /// sampling noise.
+    pub ci_mult: f64,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy { max_retries: 1, rel_tol: 0.02, ci_mult: 4.0 }
+    }
+}
+
+/// A guarded MTTF: the number plus how much to trust it.
+#[derive(Debug, Clone)]
+pub struct GuardedMttf {
+    /// The best available MTTF.
+    pub mttf: Mttf,
+    /// How the estimate was obtained (see [`Provenance`]).
+    pub provenance: Provenance,
+    /// The accepted Monte Carlo estimate, when one was accepted.
+    pub mc: Option<MttfEstimate>,
+    /// The analytic renewal reference.
+    pub renewal: Mttf,
+    /// The SoftArch reference, when it could be computed.
+    pub softarch: Option<Mttf>,
+    /// Human-readable audit trail of every anomaly the guard saw.
+    pub notes: Vec<String>,
+}
+
+/// The guarded estimator: Monte Carlo with analytic cross-checks,
+/// retry-with-backoff, and a degrade path.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    policy: GuardPolicy,
+    frequency: Frequency,
+    mc: MonteCarloConfig,
+}
+
+impl Guard {
+    /// Creates a guard with the default [`GuardPolicy`].
+    #[must_use]
+    pub fn new(frequency: Frequency, mc: MonteCarloConfig) -> Self {
+        Guard { policy: GuardPolicy::default(), frequency, mc }
+    }
+
+    /// Overrides the acceptance policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: GuardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The acceptance policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Estimates the component MTTF with the full detect-or-degrade chain.
+    ///
+    /// `chaos` arms deterministic fault injection (`None` in production):
+    /// trace corruption is applied to the compiled trace before the
+    /// integrity check, estimator poisoning to the SoftArch reference, and
+    /// the plan rides into the Monte Carlo engine for worker-level faults.
+    ///
+    /// # Errors
+    ///
+    /// Only configuration-level failures that no estimator can work
+    /// around: a zero rate or an AVF-0 trace (from the renewal reference).
+    pub fn component_mttf(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+        chaos: Option<FaultPlan>,
+    ) -> Result<GuardedMttf, SerrError> {
+        let mut notes = Vec::new();
+        let mut floor = Provenance::Clean;
+
+        // 1. The exact renewal reference — terminal on error.
+        let renewal = renewal_mttf(trace, rate, self.frequency)?;
+
+        // 2. The SoftArch reference, with injected estimator poisoning.
+        let softarch = match SoftArch::new(self.frequency).component_mttf(trace, rate) {
+            Ok(m) => {
+                let poison = chaos.and_then(|p| p.rate_poison_factor());
+                Some(match poison {
+                    Some(f) => Mttf::from_secs(m.as_secs() * f),
+                    None => m,
+                })
+            }
+            Err(e) => {
+                notes.push(format!("softarch reference unavailable: {e}"));
+                None
+            }
+        };
+        let refs_agree = softarch.is_some_and(|s| {
+            relative_gap(s.as_secs(), renewal.as_secs()) <= self.policy.rel_tol
+        });
+        if let Some(s) = softarch {
+            if !refs_agree {
+                notes.push(format!(
+                    "softarch reference quarantined: {:.3e} s vs renewal {:.3e} s \
+                     disagree beyond {:.1}%",
+                    s.as_secs(),
+                    renewal.as_secs(),
+                    self.policy.rel_tol * 100.0
+                ));
+                // The result below still rests on two independent methods
+                // (Monte Carlo + renewal), but a reference estimator is
+                // provably wrong: never report this run as pristine.
+                floor = floor.worse(Provenance::Degraded);
+            }
+        }
+
+        // 3. Compile the trace, inject any planned corruption, and verify.
+        let compiled = self.compiled_for_run(trace, chaos, &mut notes, &mut floor);
+
+        // 4. Monte Carlo attempts with derived retry seeds.
+        let mut accepted: Option<MttfEstimate> = None;
+        for attempt in 0..=self.policy.max_retries {
+            let mut cfg = self.mc;
+            if attempt > 0 {
+                cfg.seed = mix(&[self.mc.seed, u64::from(attempt)]);
+                floor = floor.worse(Provenance::Retried);
+            }
+            cfg.chaos = chaos;
+            let engine = MonteCarlo::new(cfg);
+            let run = match &compiled {
+                Some(c) => engine.component_mttf(c, rate, self.frequency),
+                None => engine.component_mttf(trace, rate, self.frequency),
+            };
+            let est = match run {
+                Ok(est) => est,
+                Err(e) => {
+                    notes.push(format!("monte carlo attempt {attempt} failed: {e}"));
+                    continue;
+                }
+            };
+            if let Err(why) = estimate_sanity(&est) {
+                notes.push(format!("monte carlo attempt {attempt} insane: {why}"));
+                continue;
+            }
+            let tol = self.policy.rel_tol.max(self.policy.ci_mult * est.relative_ci95());
+            let gap = relative_gap(est.mttf.as_secs(), renewal.as_secs());
+            if gap > tol {
+                notes.push(format!(
+                    "monte carlo attempt {attempt} inconsistent with renewal: \
+                     relative gap {gap:.3e} exceeds tolerance {tol:.3e}"
+                ));
+                continue;
+            }
+            if est.truncated {
+                notes.push(format!(
+                    "monte carlo attempt {attempt} truncated by deadline \
+                     ({} of {} trials)",
+                    est.ttf_seconds.count, self.mc.trials
+                ));
+                floor = floor.worse(Provenance::Degraded);
+            }
+            accepted = Some(est);
+            break;
+        }
+
+        // 5. Accept, or degrade to the analytic answer.
+        match accepted {
+            Some(est) => Ok(GuardedMttf {
+                mttf: est.mttf,
+                provenance: floor,
+                mc: Some(est),
+                renewal,
+                softarch,
+                notes,
+            }),
+            None => {
+                let provenance = if refs_agree {
+                    notes.push(
+                        "all monte carlo attempts failed; degraded to the analytic \
+                         renewal estimate"
+                            .to_owned(),
+                    );
+                    floor.worse(Provenance::Degraded)
+                } else {
+                    notes.push(
+                        "all monte carlo attempts failed and the analytic references \
+                         disagree; result is suspect"
+                            .to_owned(),
+                    );
+                    Provenance::Suspect
+                };
+                Ok(GuardedMttf { mttf: renewal, provenance, mc: None, renewal, softarch, notes })
+            }
+        }
+    }
+
+    /// Compiles the trace for the Monte Carlo run, applying and then
+    /// screening any injected corruption. A compile that fails
+    /// [`CompiledTrace::verify`] is rebuilt from the source trace and the
+    /// run floor raised to [`Provenance::Retried`].
+    fn compiled_for_run(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        chaos: Option<FaultPlan>,
+        notes: &mut Vec<String>,
+        floor: &mut Provenance,
+    ) -> Option<CompiledTrace> {
+        let mut compiled = CompiledTrace::compile(trace)?;
+        if let Some(fault) = chaos.and_then(|p| p.trace_fault()) {
+            match fault {
+                TraceFault::ValueBitFlip { bit } => compiled.chaos_flip_dominant_value_bit(bit),
+                TraceFault::PrefixPerturb { selector, delta_frac } => {
+                    compiled.chaos_perturb_prefix(selector, delta_frac);
+                }
+                TraceFault::ConsistentScale { factor } => {
+                    compiled.chaos_scale_dominant_value(factor);
+                }
+            }
+        }
+        match compiled.verify() {
+            Ok(()) => Some(compiled),
+            Err(e) => {
+                notes.push(format!(
+                    "compiled trace failed integrity verification ({e}); recompiled \
+                     from the source trace"
+                ));
+                *floor = floor.worse(Provenance::Retried);
+                CompiledTrace::compile(trace)
+            }
+        }
+    }
+}
+
+/// `|a − b| / |b|`, with non-finite inputs treated as infinitely far apart.
+fn relative_gap(a: f64, b: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() || b == 0.0 {
+        return f64::INFINITY;
+    }
+    (a - b).abs() / b.abs()
+}
+
+/// NaN / monotonicity poisoning detector for a Monte Carlo estimate.
+fn estimate_sanity(est: &MttfEstimate) -> Result<(), String> {
+    let s = &est.ttf_seconds;
+    for (name, v) in [
+        ("mttf", est.mttf.as_secs()),
+        ("mean", s.mean),
+        ("std_dev", s.std_dev),
+        ("ci95", s.ci95),
+        ("min", s.min),
+        ("max", s.max),
+    ] {
+        if !v.is_finite() {
+            return Err(format!("{name} is not finite: {v}"));
+        }
+    }
+    if est.mttf.as_secs() <= 0.0 {
+        return Err(format!("mttf is not positive: {}", est.mttf.as_secs()));
+    }
+    if s.ci95 < 0.0 || s.std_dev < 0.0 {
+        return Err("negative dispersion statistic".to_owned());
+    }
+    if !(s.min <= s.mean && s.mean <= s.max) {
+        return Err(format!("order violated: min {} mean {} max {}", s.min, s.mean, s.max));
+    }
+    if s.count == 0 {
+        return Err("estimate built from zero trials".to_owned());
+    }
+    Ok(())
+}
+
+/// Tags an unguarded Monte Carlo estimate for display: [`Provenance::Clean`]
+/// for a full sane run, [`Provenance::Degraded`] for a deadline-truncated
+/// one, [`Provenance::Suspect`] if the numbers fail the sanity screen.
+#[must_use]
+pub fn classify_estimate(est: &MttfEstimate) -> Provenance {
+    if estimate_sanity(est).is_err() {
+        Provenance::Suspect
+    } else if est.truncated {
+        Provenance::Degraded
+    } else {
+        Provenance::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_inject::FaultKind;
+    use serr_trace::IntervalTrace;
+
+    fn campaign_trace() -> IntervalTrace {
+        let mut levels = vec![1.0; 16];
+        levels.extend(std::iter::repeat_n(0.5, 16));
+        levels.extend(std::iter::repeat_n(0.0, 32));
+        IntervalTrace::from_levels(&levels).expect("valid levels")
+    }
+
+    fn guard() -> Guard {
+        let cfg = MonteCarloConfig { trials: 3_000, threads: 1, ..Default::default() };
+        Guard::new(Frequency::base(), cfg)
+    }
+
+    #[test]
+    fn fault_free_run_is_clean_and_matches_renewal() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        let g = guard().component_mttf(&trace, rate, None).unwrap();
+        assert_eq!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
+        assert!(g.mc.is_some());
+        let est = g.mc.as_ref().unwrap();
+        let gap = relative_gap(g.mttf.as_secs(), g.renewal.as_secs());
+        assert!(gap <= 0.02f64.max(4.0 * est.relative_ci95()), "gap {gap}");
+    }
+
+    #[test]
+    fn trace_corruption_is_detected_and_healed() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        // A bit-flip plan: verify() must catch it and the guard recompile.
+        let plan = FaultPlan::new(11, FaultKind::TraceValueFlip);
+        assert!(matches!(plan.trace_fault(), Some(TraceFault::ValueBitFlip { .. })));
+        let g = guard().component_mttf(&trace, rate, Some(plan)).unwrap();
+        assert_ne!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
+        assert!(g.notes.iter().any(|n| n.contains("integrity")), "notes: {:?}", g.notes);
+        // The healed answer still agrees with the analytic reference.
+        assert!(relative_gap(g.mttf.as_secs(), g.renewal.as_secs()) < 0.1);
+    }
+
+    #[test]
+    fn consistent_corruption_is_caught_by_the_cross_engine_check() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        let plan = FaultPlan::new(3, FaultKind::TraceConsistentCorrupt);
+        assert!(matches!(plan.trace_fault(), Some(TraceFault::ConsistentScale { .. })));
+        let g = guard().component_mttf(&trace, rate, Some(plan)).unwrap();
+        // The corrupted trace self-verifies, so only the renewal
+        // cross-check can flag it; the guard must not report Clean...
+        assert_ne!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
+        // ...and the degraded answer is the (uncorrupted) analytic one.
+        assert_eq!(g.mttf.as_secs().to_bits(), g.renewal.as_secs().to_bits());
+    }
+
+    #[test]
+    fn poisoned_reference_estimator_is_quarantined() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        let plan = FaultPlan::new(5, FaultKind::RatePoison);
+        let factor = plan.rate_poison_factor().unwrap();
+        assert!(factor >= 1.5, "poison factor {factor} too small to detect");
+        let g = guard().component_mttf(&trace, rate, Some(plan)).unwrap();
+        assert_ne!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
+        assert!(g.notes.iter().any(|n| n.contains("quarantined")), "notes: {:?}", g.notes);
+        // The answer itself comes from the two agreeing engines.
+        assert!(relative_gap(g.mttf.as_secs(), g.renewal.as_secs()) < 0.1);
+    }
+
+    #[test]
+    fn classify_estimate_maps_states_to_tags() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        let cfg = MonteCarloConfig { trials: 3_000, threads: 1, ..Default::default() };
+        let est = MonteCarlo::new(cfg)
+            .component_mttf(&trace, rate, Frequency::base())
+            .unwrap();
+        assert_eq!(classify_estimate(&est), Provenance::Clean);
+        let mut truncated = est.clone();
+        truncated.truncated = true;
+        assert_eq!(classify_estimate(&truncated), Provenance::Degraded);
+        let mut poisoned = est;
+        poisoned.ttf_seconds.mean = f64::NAN;
+        assert_eq!(classify_estimate(&poisoned), Provenance::Suspect);
+    }
+}

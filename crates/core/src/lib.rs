@@ -40,9 +40,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod avf;
+pub mod chaos;
 pub mod checkpoint;
 pub mod design;
 pub mod experiments;
+pub mod guard;
 pub mod jsonio;
 pub mod par;
 pub mod pipeline;
@@ -66,8 +68,13 @@ pub mod prelude {
     };
     pub use serr_workload::{BenchmarkProfile, Suite, TraceGenerator};
 
+    pub use serr_inject::{FaultKind, FaultPlan};
+    pub use serr_types::Provenance;
+
+    pub use crate::chaos::{CampaignOutcome, ChaosConfig, ChaosReport, run_chaos};
     pub use crate::checkpoint::{CheckpointMode, SweepOptions, SweepReport};
     pub use crate::design::{DesignPoint, DesignSpace, Workload};
+    pub use crate::guard::{Guard, GuardPolicy, GuardedMttf, classify_estimate};
     pub use crate::rates::UnitRates;
     pub use crate::validate::{ComponentValidation, SystemValidation, Validator};
 }

@@ -108,7 +108,7 @@ fn decode_stats(b: &[u8]) -> Option<SimStats> {
     })
 }
 
-fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
+pub(crate) fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -172,7 +172,7 @@ fn decode_cache_file(data: &[u8]) -> Option<SimOutput> {
     })
 }
 
-fn load(path: &PathBuf) -> Option<SimOutput> {
+pub(crate) fn load(path: &PathBuf) -> Option<SimOutput> {
     // A missing file is the normal cache-miss path — leave the filesystem
     // alone. A present-but-undecodable file is corrupt: delete it so this
     // run re-simulates and rewrites a good entry instead of tripping over

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use serr_inject::FaultPlan;
 use serr_types::SerrError;
 
 /// Where within the workload loop each trial begins.
@@ -47,14 +48,22 @@ pub struct MonteCarloConfig {
     pub max_events_per_trial: u64,
     /// Where within the workload loop each trial begins.
     pub start_phase: StartPhase,
-    /// Optional wall-clock budget for one engine run. When the budget
-    /// expires, workers stop claiming new trial chunks (each always finishes
-    /// the chunk it is on, and completes at least its first chunk so the
-    /// estimate is never empty) and the engine returns a *partial* estimate
-    /// flagged [`truncated`](crate::MttfEstimate::truncated) with the
-    /// honestly wider confidence interval of the trials that did run.
-    /// `None` (the default) runs every configured trial.
+    /// Optional wall-clock budget for one engine run. A budget that is
+    /// already exhausted when the run starts (zero, or elapsed before the
+    /// first chunk) aborts immediately with
+    /// [`SerrError::DeadlineExhausted`]. Otherwise, when the budget expires
+    /// mid-run, workers stop claiming new trial chunks (each finishes the
+    /// chunk it is on) and the engine returns a *partial* estimate flagged
+    /// [`truncated`](crate::MttfEstimate::truncated) with the honestly wider
+    /// confidence interval of the trials that did run. `None` (the default)
+    /// runs every configured trial.
     pub deadline: Option<Duration>,
+    /// Deterministic fault-injection plan for chaos testing. `None` (the
+    /// default, and the only sensible production value) injects nothing and
+    /// costs one branch per chunk. `Some(plan)` makes the engine consult the
+    /// plan's pure seed-derived queries for injected worker panics and
+    /// artificial deadline exhaustion — see `serr-inject`.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for MonteCarloConfig {
@@ -66,6 +75,7 @@ impl Default for MonteCarloConfig {
             max_events_per_trial: 100_000_000,
             start_phase: StartPhase::WorkloadStart,
             deadline: None,
+            chaos: None,
         }
     }
 }
@@ -85,8 +95,9 @@ impl MonteCarloConfig {
 
     /// Checks the configuration for degenerate values before a run starts.
     ///
-    /// A zero `deadline` is deliberately legal: it means "one chunk per
-    /// worker", the smallest truncated estimate the engine can produce.
+    /// A zero `deadline` passes validation but any run under it fails with
+    /// [`SerrError::DeadlineExhausted`]: the budget is exhausted before the
+    /// first chunk, so not even a truncated estimate would be honest.
     ///
     /// # Errors
     ///
@@ -139,7 +150,8 @@ mod tests {
         assert!(zero_trials.validate().is_err());
         let zero_cap = MonteCarloConfig { max_events_per_trial: 0, ..Default::default() };
         assert!(zero_cap.validate().is_err());
-        // Zero deadline is legal: one chunk per worker.
+        // Zero deadline passes validation; the *run* rejects it with the
+        // typed deadline-exhausted error (see engine tests).
         let zero_deadline =
             MonteCarloConfig { deadline: Some(Duration::ZERO), ..Default::default() };
         assert!(zero_deadline.validate().is_ok());

@@ -48,6 +48,19 @@ fn chunk_seed(seed: u64, chunk: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Renders a panic payload for the typed worker-fault error, mirroring the
+/// helper in `serr-core::par` (the two crates cannot share it without a
+/// dependency cycle).
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Everything one chunk of trials produces.
 struct ChunkOutcome {
     stats: RunningStats,
@@ -260,7 +273,24 @@ impl MonteCarlo {
         let seed = self.config.seed;
         let start_phase = self.config.start_phase;
         let deadline = self.config.deadline;
+        let chaos = self.config.chaos;
         let started = std::time::Instant::now();
+
+        // A budget that is already spent buys zero chunks: fail fast with
+        // the typed error instead of burning one full chunk per worker on a
+        // deadline that has no time left in it.
+        if let Some(limit) = deadline {
+            if limit.is_zero() || started.elapsed() >= limit {
+                return Err(SerrError::DeadlineExhausted { budget_s: limit.as_secs_f64() });
+            }
+        }
+        // Injected deadline exhaustion at chunk 0 models the same condition.
+        if chaos.and_then(|p| p.deadline_cut_chunk()) == Some(0) {
+            return Err(SerrError::DeadlineExhausted {
+                budget_s: deadline.map_or(0.0, |d| d.as_secs_f64()),
+            });
+        }
+
         let expired = std::sync::atomic::AtomicBool::new(false);
         let period = trace.period_cycles() as f64;
 
@@ -269,6 +299,14 @@ impl MonteCarlo {
             let mut chunk = tid as u64;
             let mut first = true;
             while chunk < n_chunks {
+                // Injected deadline cut: unlike the wall-clock budget this
+                // keys on the chunk *index*, so the completed set {0..k} is
+                // identical at any thread count.
+                if let Some(k) = chaos.and_then(|p| p.deadline_cut_chunk()) {
+                    if chunk >= k {
+                        break;
+                    }
+                }
                 // Honor the wall-clock budget between chunks (never
                 // mid-chunk), but always run the first claimed chunk.
                 if !first {
@@ -281,6 +319,11 @@ impl MonteCarlo {
                     }
                 }
                 first = false;
+                if let Some(plan) = chaos {
+                    if plan.chunk_panics(seed, chunk) {
+                        panic!("chaos: injected panic in chunk {chunk}");
+                    }
+                }
                 let lo = chunk * TRIAL_CHUNK;
                 let hi = (lo + TRIAL_CHUNK).min(trials);
                 let mut rng = SmallRng::seed_from_u64(chunk_seed(seed, chunk));
@@ -310,14 +353,30 @@ impl MonteCarlo {
             Ok(out)
         };
 
+        // A panicking worker — injected or genuine — must surface as a typed
+        // error, never tear down the caller: catch the unwind on the
+        // single-thread path and map scope-join failures on the parallel one.
         let gathered: Vec<Result<Vec<(u64, ChunkOutcome)>, SerrError>> = if threads == 1 {
-            vec![worker(0)]
+            vec![std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(0)))
+                .unwrap_or_else(|p| {
+                    Err(SerrError::engine_fault("monte carlo worker", panic_payload_string(&*p)))
+                })]
         } else {
             std::thread::scope(|scope| {
                 let worker = &worker;
                 let handles: Vec<_> =
                     (0..threads).map(|tid| scope.spawn(move || worker(tid))).collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|p| {
+                            Err(SerrError::engine_fault(
+                                "monte carlo worker",
+                                panic_payload_string(&*p),
+                            ))
+                        })
+                    })
+                    .collect()
             })
         };
 
@@ -331,8 +390,8 @@ impl MonteCarlo {
         completed.sort_unstable_by_key(|&(chunk, _)| chunk);
         let truncated = (completed.len() as u64) < n_chunks;
         debug_assert!(
-            deadline.is_some() || !truncated,
-            "chunks can only go missing when a deadline expires"
+            deadline.is_some() || chaos.is_some() || !truncated,
+            "chunks can only go missing when a deadline (real or injected) expires"
         );
         Ok((completed.into_iter().map(|(_, outcome)| outcome).collect(), truncated))
     }
@@ -459,8 +518,29 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_returns_deterministic_truncated_partial_estimate() {
+    fn exhausted_deadline_fails_before_the_first_chunk() {
         use std::time::Duration;
+        // A deadline already in the past used to buy one full chunk per
+        // worker; now it fails immediately with the typed error.
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        for threads in [1usize, 4] {
+            let cfg = MonteCarloConfig {
+                trials: 40_960,
+                threads,
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            };
+            match MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()) {
+                Err(SerrError::DeadlineExhausted { budget_s }) => assert_eq!(budget_s, 0.0),
+                other => panic!("expected DeadlineExhausted, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_deadline_cut_truncates_identically_at_any_thread_count() {
+        use serr_inject::{FaultKind, FaultPlan};
         let trace = IntervalTrace::busy_idle(10, 10).unwrap();
         let rate = RawErrorRate::per_year(5.0);
         let freq = Frequency::base();
@@ -469,19 +549,20 @@ mod tests {
         assert!(!full.truncated);
         assert_eq!(full.ttf_seconds.count, 40_960);
 
-        // A zero deadline with one worker always completes exactly chunk 0:
-        // the smallest — and a fully deterministic — truncated estimate.
-        let cut_cfg = MonteCarloConfig { deadline: Some(Duration::ZERO), ..full_cfg };
+        // An injected cut at chunk 2 completes exactly chunks {0, 1} no
+        // matter how many workers race for them.
+        let plan = (0..1_000u64)
+            .map(|s| FaultPlan::new(s, FaultKind::DeadlineExhaust))
+            .find(|p| p.deadline_cut_chunk() == Some(2))
+            .expect("some seed cuts at chunk 2");
+        let cut_cfg = MonteCarloConfig { chaos: Some(plan), ..full_cfg };
         let cut = MonteCarlo::new(cut_cfg).component_mttf(&trace, rate, freq).unwrap();
         assert!(cut.truncated);
-        assert_eq!(cut.ttf_seconds.count, 1024);
+        assert_eq!(cut.ttf_seconds.count, 2_048);
         assert!(cut.mean_events_per_trial >= 1.0);
-        // Honestly wider CI than the full run.
+        // Honestly wider CI than the full run, and the partial mean still
+        // covers it (chunks {0,1} are a subset of the full run's trials).
         assert!(cut.ttf_seconds.ci95 > full.ttf_seconds.ci95);
-        // The partial CI covers the full-run MTTF. Chunk 0 is a subset of
-        // the full run's trials, so the gap is even tighter than the
-        // independent-sample bound; 2x the half-width keeps this
-        // deterministic-seed check far from the noise floor.
         let diff = (cut.ttf_seconds.mean - full.ttf_seconds.mean).abs();
         assert!(
             diff <= 2.0 * cut.ttf_seconds.ci95,
@@ -490,9 +571,68 @@ mod tests {
             cut.ttf_seconds.ci95,
             full.ttf_seconds.mean
         );
-        // Bit-identical on re-run: the completed chunk set is deterministic.
+        // Bit-identical on re-run and across thread counts.
         let again = MonteCarlo::new(cut_cfg).component_mttf(&trace, rate, freq).unwrap();
         assert_eq!(cut, again);
+        let four = MonteCarloConfig { threads: 4, ..cut_cfg };
+        let wide = MonteCarlo::new(four).component_mttf(&trace, rate, freq).unwrap();
+        assert_eq!(cut, wide);
+    }
+
+    #[test]
+    fn injected_cut_at_chunk_zero_is_the_typed_deadline_error() {
+        use serr_inject::{FaultKind, FaultPlan};
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let plan = (0..1_000u64)
+            .map(|s| FaultPlan::new(s, FaultKind::DeadlineExhaust))
+            .find(|p| p.deadline_cut_chunk() == Some(0))
+            .expect("some seed cuts at chunk 0");
+        let cfg = MonteCarloConfig { trials: 4_096, chaos: Some(plan), ..Default::default() };
+        let res = MonteCarlo::new(cfg).component_mttf(
+            &trace,
+            RawErrorRate::per_year(5.0),
+            Frequency::base(),
+        );
+        assert!(
+            matches!(res, Err(SerrError::DeadlineExhausted { .. })),
+            "expected DeadlineExhausted, got {res:?}"
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_surfaces_as_typed_engine_fault() {
+        use serr_inject::{FaultKind, FaultPlan};
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let base = MonteCarloConfig { trials: 8_192, threads: 1, ..Default::default() };
+        // Pick a plan whose victim chunk actually exists for this run seed.
+        let plan = (0..1_000u64)
+            .map(|s| FaultPlan::new(s, FaultKind::ChunkPanic))
+            .find(|p| (0..8).any(|c| p.chunk_panics(base.seed, c)))
+            .expect("some seed panics within the first 8 chunks");
+        // Quiet the default panic hook for the injected panics; restoring it
+        // would race other tests, and the filter chains to the previous hook
+        // for every genuine panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("chaos: injected"));
+            if !injected {
+                prev(info);
+            }
+        }));
+        for threads in [1usize, 3] {
+            let cfg = MonteCarloConfig { threads, chaos: Some(plan), ..base };
+            match MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()) {
+                Err(SerrError::EngineFault { site, detail }) => {
+                    assert_eq!(site, "monte carlo worker");
+                    assert!(detail.contains("chaos: injected panic"), "detail: {detail}");
+                }
+                other => panic!("threads={threads}: expected EngineFault, got {other:?}"),
+            }
+        }
     }
 
     #[test]

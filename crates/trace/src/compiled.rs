@@ -44,6 +44,7 @@
 //! ```
 
 use crate::VulnerabilityTrace;
+use serr_types::SerrError;
 
 /// Longest within-bucket segment range resolved by linear scan before
 /// switching to binary search.
@@ -175,6 +176,151 @@ impl CompiledTrace {
         } else {
             lo + self.ends[lo..hi].partition_point(|&e| e <= c)
         }
+    }
+
+    /// Index of the segment carrying the most vulnerability mass
+    /// (`span length × value`) — the segment whose corruption moves the
+    /// final estimate the most, which is what the fault injectors target.
+    fn dominant_segment(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_mass = -1.0f64;
+        let mut start = 0u64;
+        for (i, (&end, &v)) in self.ends.iter().zip(&self.values).enumerate() {
+            let mass = (end - start) as f64 * v;
+            if mass > best_mass {
+                best_mass = mass;
+                best = i;
+            }
+            start = end;
+        }
+        best
+    }
+
+    /// Fault injection: XORs `bit` into the IEEE-754 bit pattern of the
+    /// dominant segment's value, modeling a memory bit flip in the compiled
+    /// table. Derived fields are deliberately left stale — that is the
+    /// inconsistency [`CompiledTrace::verify`] exists to catch.
+    pub fn chaos_flip_dominant_value_bit(&mut self, bit: u32) {
+        debug_assert!(bit < 64, "f64 has 64 bits, got bit index {bit}");
+        let i = self.dominant_segment();
+        self.values[i] = f64::from_bits(self.values[i].to_bits() ^ (1u64 << bit));
+    }
+
+    /// Fault injection: adds `delta_frac` of the total vulnerability mass to
+    /// one prefix-sum entry (chosen by `selector`). The sampler never reads
+    /// the prefix table, so this corruption is invisible to Monte Carlo
+    /// estimates — only [`CompiledTrace::verify`]'s recomputation sees it.
+    pub fn chaos_perturb_prefix(&mut self, selector: u64, delta_frac: f64) {
+        debug_assert!(delta_frac != 0.0, "a zero perturbation injects nothing");
+        let i = (selector % self.prefix.len() as u64) as usize;
+        let scale = if self.total > 0.0 { self.total } else { 1.0 };
+        self.prefix[i] += delta_frac * scale;
+    }
+
+    /// Fault injection: multiplies the dominant segment's value by `factor`
+    /// and recomputes every derived field (prefix sums, total, AVF, binary
+    /// flag) so the trace stays fully self-consistent. This models
+    /// corruption *before* compilation: structural checks pass by
+    /// construction and only a cross-engine consistency check can notice.
+    pub fn chaos_scale_dominant_value(&mut self, factor: f64) {
+        debug_assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "scale factor must stay within [0, 1] to keep values valid, got {factor}"
+        );
+        let i = self.dominant_segment();
+        self.values[i] *= factor;
+        let mut cum = 0.0f64;
+        let mut start = 0u64;
+        for (j, (&end, &v)) in self.ends.iter().zip(&self.values).enumerate() {
+            self.prefix[j] = cum;
+            cum += (end - start) as f64 * v;
+            start = end;
+        }
+        self.total = cum;
+        self.avf = cum / self.period as f64;
+        self.binary = self.values.iter().all(|&v| v == 0.0 || v == 1.0);
+    }
+
+    /// Structural self-check: segment geometry, value ranges, and all
+    /// derived fields (prefix sums, total, AVF, binary flag) must be
+    /// mutually consistent.
+    ///
+    /// This is the poisoning detector the guarded estimation path runs
+    /// before trusting a compiled trace: an undetected bit flip in the
+    /// segment table silently rescales every estimate, which is exactly the
+    /// "silently wrong" failure mode the paper warns about. The prefix
+    /// tolerance scales with segment count because [`CompiledTrace::compile`]
+    /// accumulates its sums over pre-merge source spans, which legitimately
+    /// differs from a post-merge recomputation by a few ulps per span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidTrace`] naming the first inconsistency.
+    pub fn verify(&self) -> Result<(), SerrError> {
+        let n = self.values.len();
+        if n == 0 || self.ends.len() != n || self.prefix.len() != n {
+            return Err(SerrError::invalid_trace(format!(
+                "compiled tables out of lockstep: {} ends, {n} values, {} prefixes",
+                self.ends.len(),
+                self.prefix.len()
+            )));
+        }
+        if self.period == 0 || *self.ends.last().expect("checked non-empty") != self.period {
+            return Err(SerrError::invalid_trace(format!(
+                "last segment ends at {}, period is {}",
+                self.ends.last().expect("checked non-empty"),
+                self.period
+            )));
+        }
+        let mut start = 0u64;
+        for (i, &end) in self.ends.iter().enumerate() {
+            if end <= start {
+                return Err(SerrError::invalid_trace(format!(
+                    "segment {i} ends at {end}, not after its start {start}"
+                )));
+            }
+            start = end;
+        }
+        for (i, &v) in self.values.iter().enumerate() {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(SerrError::invalid_trace(format!(
+                    "segment {i} vulnerability is {v}, outside [0, 1]"
+                )));
+            }
+            if self.binary && v != 0.0 && v != 1.0 {
+                return Err(SerrError::invalid_trace(format!(
+                    "trace is flagged binary but segment {i} has vulnerability {v}"
+                )));
+            }
+        }
+        let scale = if self.total.is_finite() { self.total.abs().max(1.0) } else { 1.0 };
+        let tol = scale * 1e-15 * (n as f64).max(1e3);
+        let mut cum = 0.0f64;
+        start = 0;
+        for (i, (&end, &v)) in self.ends.iter().zip(&self.values).enumerate() {
+            if (self.prefix[i] - cum).abs() > tol {
+                return Err(SerrError::invalid_trace(format!(
+                    "prefix sum {i} is {}, recomputation gives {cum}",
+                    self.prefix[i]
+                )));
+            }
+            cum += (end - start) as f64 * v;
+            start = end;
+        }
+        if !self.total.is_finite() || (self.total - cum).abs() > tol {
+            return Err(SerrError::invalid_trace(format!(
+                "total vulnerability mass is {}, recomputation gives {cum}",
+                self.total
+            )));
+        }
+        let avf = self.total / self.period as f64;
+        if !self.avf.is_finite() || (self.avf - avf).abs() > tol / self.period as f64 + 1e-12 {
+            return Err(SerrError::invalid_trace(format!(
+                "cached AVF is {}, total/period gives {avf}",
+                self.avf
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -374,6 +520,61 @@ mod tests {
         for cyc in 0..4u64 {
             assert!((c.vulnerability_at(cyc) - comp.vulnerability_at(cyc)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn verify_accepts_freshly_compiled_traces() {
+        for n in [3usize, 64, 1_000] {
+            let src = IntervalTrace::from_levels(&random_levels(n as u64, n)).unwrap();
+            let c = CompiledTrace::compile(&src).unwrap();
+            c.verify().unwrap_or_else(|e| panic!("{n}-level trace failed verify: {e}"));
+        }
+        let day = IntervalTrace::busy_idle(1 << 30, 1 << 30).unwrap();
+        CompiledTrace::compile(&day).unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn verify_catches_value_bit_flips() {
+        let src = IntervalTrace::from_levels(&[1.0, 1.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
+        for bit in [30u32, 40, 51, 55, 62] {
+            let mut c = CompiledTrace::compile(&src).unwrap();
+            c.chaos_flip_dominant_value_bit(bit);
+            assert!(c.verify().is_err(), "bit {bit} flip went undetected");
+        }
+    }
+
+    #[test]
+    fn verify_catches_prefix_perturbations() {
+        let src = IntervalTrace::from_levels(&[1.0, 0.5, 0.0, 0.25]).unwrap();
+        for selector in 0..8u64 {
+            let mut c = CompiledTrace::compile(&src).unwrap();
+            c.chaos_perturb_prefix(selector, 0.05);
+            assert!(c.verify().is_err(), "prefix perturbation {selector} went undetected");
+            // The sampler never reads the prefix table, so point queries
+            // still agree with the source — which is why this fault *must*
+            // be caught structurally.
+            for cyc in 0..4 {
+                assert_eq!(c.vulnerability_at(cyc), src.vulnerability_at(cyc));
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_scaling_passes_verify_but_changes_avf() {
+        let src = IntervalTrace::from_levels(&[1.0, 1.0, 1.0, 0.5, 0.0, 0.0]).unwrap();
+        let clean = CompiledTrace::compile(&src).unwrap();
+        let mut c = clean.clone();
+        c.chaos_scale_dominant_value(0.25);
+        // Self-consistent corruption is invisible to structural checks...
+        c.verify().unwrap();
+        // ...but the estimate-relevant quantities all moved.
+        assert!(c.avf() < clean.avf());
+        assert!(
+            (c.cumulative_within_period(c.period_cycles()) - c.avf() * c.period_cycles() as f64)
+                .abs()
+                < 1e-9
+        );
+        assert!(!c.is_binary() || c.avf() == 0.0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use crate::{
-    decode_interval_trace, encode_interval_trace, CompositeTrace, DenseTrace, IntervalTrace,
-    Segment, VulnerabilityTrace,
+    decode_interval_trace, encode_interval_trace, CompiledTrace, CompositeTrace, DenseTrace,
+    IntervalTrace, Segment, VulnerabilityTrace,
 };
 use std::sync::Arc;
 
@@ -100,6 +100,97 @@ proptest! {
         let period = t.period_cycles();
         let cycle = k * period + (off % period);
         prop_assert_eq!(t.vulnerability_at(cycle), t.vulnerability_at(cycle % period));
+    }
+}
+
+/// Crowded-bucket shape: many 1-cycle segments packed at the start of the
+/// period followed by one enormous idle tail. The tail forces wide buckets,
+/// so all the short segments share one bucket and point queries must take
+/// the in-bucket binary-search fallback.
+fn arb_crowded_segments() -> impl Strategy<Value = (Vec<Segment>, u64)> {
+    (
+        prop::collection::vec((0..=4u8).prop_map(|q| f64::from(q) / 4.0), 64..512),
+        30u32..45,
+    )
+        .prop_map(|(head, tail_log2)| {
+            let mut segs: Vec<Segment> =
+                head.iter().map(|&v| Segment::new(1, v).expect("1-cycle segment is valid")).collect();
+            segs.push(Segment::new(1u64 << tail_log2, 0.0).expect("tail segment is valid"));
+            (segs, head.len() as u64)
+        })
+}
+
+/// Cycles that stress `CompiledTrace::segment_index`: every bucket boundary
+/// ±1 plus the segment ends themselves, the places where an off-by-one in
+/// the bucket table or the scan loop would first show.
+fn boundary_cycles(c: &CompiledTrace) -> Vec<u64> {
+    let period = c.period_cycles();
+    let mut cycles = Vec::new();
+    let width = c.bucket_cycles();
+    for b in 0..c.bucket_count() as u64 {
+        let start = b * width;
+        for x in [start.saturating_sub(1), start, start + 1] {
+            if x < period {
+                cycles.push(x);
+            }
+        }
+    }
+    for &end in &c.breakpoints() {
+        for x in [end - 1, end % period, (end + 1) % period] {
+            cycles.push(x);
+        }
+    }
+    cycles
+}
+
+proptest! {
+    #[test]
+    fn compiled_matches_naive_at_bucket_boundaries_and_wraparound(
+        levels in arb_levels(),
+        k in 1u64..4,
+    ) {
+        let src = IntervalTrace::from_levels(&levels).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        let period = c.period_cycles();
+        for cyc in boundary_cycles(&c) {
+            prop_assert_eq!(
+                c.vulnerability_at(cyc),
+                src.vulnerability_at(cyc),
+                "cycle {} of period {}", cyc, period
+            );
+            // Period wrap-around: cycle k·L + c must reduce to cycle c.
+            let wrapped = k * period + cyc;
+            prop_assert_eq!(c.vulnerability_at(wrapped), c.vulnerability_at(cyc));
+        }
+        // The cycle just before wrap and the wrap itself.
+        prop_assert_eq!(c.vulnerability_at(period - 1), src.vulnerability_at(period - 1));
+        prop_assert_eq!(c.vulnerability_at(period), src.vulnerability_at(0));
+    }
+
+    #[test]
+    fn compiled_matches_naive_on_crowded_and_capped_bucket_tables(
+        (segs, head_len) in arb_crowded_segments(),
+    ) {
+        let src = IntervalTrace::from_segments(segs).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        let period = c.period_cycles();
+        // The huge tail must have forced buckets wider than one cycle, so
+        // the 1-cycle head segments all share the first bucket (the crowded
+        // in-bucket search path) — otherwise this test isn't testing it.
+        prop_assert!(c.bucket_cycles() > head_len, "buckets not crowded");
+        for cyc in (0..head_len + 2).chain(boundary_cycles(&c)) {
+            prop_assert_eq!(
+                c.vulnerability_at(cyc),
+                src.vulnerability_at(cyc),
+                "cycle {} of period {}", cyc, period
+            );
+        }
+        // Wrap-around across the huge period must reduce exactly, including
+        // the last cycle of the tail.
+        for cyc in [period - 1, period, period + 1, 3 * period - 1, 3 * period + head_len] {
+            prop_assert_eq!(c.vulnerability_at(cyc), src.vulnerability_at(cyc % period));
+        }
+        c.verify().expect("freshly compiled crowded trace verifies");
     }
 }
 

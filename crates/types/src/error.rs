@@ -52,6 +52,36 @@ pub enum SerrError {
         /// The offending value.
         value: f64,
     },
+    /// An estimation engine failed internally: a worker panicked, a sanity
+    /// check on its output tripped, or a cross-engine consistency check
+    /// rejected the result.
+    EngineFault {
+        /// Where the fault surfaced (e.g. `monte carlo worker`).
+        site: String,
+        /// What went wrong, rendered to a string.
+        detail: String,
+    },
+    /// The wall-clock budget was exhausted before the engine completed its
+    /// first unit of work, so not even a truncated estimate exists.
+    DeadlineExhausted {
+        /// The budget that was granted, in seconds.
+        budget_s: f64,
+    },
+    /// Another live process holds the advisory lock on a checkpoint journal
+    /// with the same configuration fingerprint; concurrent writers would
+    /// interleave and corrupt the journal.
+    JournalLocked {
+        /// The lock file that names the holder.
+        path: String,
+    },
+    /// An I/O operation failed in a context where silently degrading is not
+    /// an option.
+    Io {
+        /// The operation that failed (e.g. `open checkpoint journal`).
+        site: String,
+        /// The underlying error, rendered to a string.
+        detail: String,
+    },
 }
 
 impl SerrError {
@@ -87,6 +117,18 @@ impl SerrError {
         }
     }
 
+    /// Convenience constructor for [`SerrError::EngineFault`].
+    #[must_use]
+    pub fn engine_fault(site: impl Into<String>, detail: impl Into<String>) -> Self {
+        SerrError::EngineFault { site: site.into(), detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`SerrError::Io`].
+    #[must_use]
+    pub fn io(site: impl Into<String>, detail: impl Into<String>) -> Self {
+        SerrError::Io { site: site.into(), detail: detail.into() }
+    }
+
     /// Checks that `value` is finite and strictly positive.
     ///
     /// # Errors
@@ -116,6 +158,16 @@ impl fmt::Display for SerrError {
             SerrError::InvalidValue { what, value } => {
                 write!(f, "invalid value for {what}: {value}")
             }
+            SerrError::EngineFault { site, detail } => {
+                write!(f, "engine fault in {site}: {detail}")
+            }
+            SerrError::DeadlineExhausted { budget_s } => {
+                write!(f, "deadline of {budget_s} s exhausted before the first trial chunk")
+            }
+            SerrError::JournalLocked { path } => {
+                write!(f, "checkpoint journal locked by another process: {path}")
+            }
+            SerrError::Io { site, detail } => write!(f, "i/o error during {site}: {detail}"),
         }
     }
 }
@@ -140,6 +192,14 @@ mod tests {
         assert_eq!(e.to_string(), "design point 7 panicked: boom");
         let e = SerrError::invalid_value("raw error rate", f64::NAN);
         assert_eq!(e.to_string(), "invalid value for raw error rate: NaN");
+        let e = SerrError::engine_fault("monte carlo worker", "worker panicked");
+        assert_eq!(e.to_string(), "engine fault in monte carlo worker: worker panicked");
+        let e = SerrError::DeadlineExhausted { budget_s: 0.5 };
+        assert_eq!(e.to_string(), "deadline of 0.5 s exhausted before the first trial chunk");
+        let e = SerrError::JournalLocked { path: "/tmp/j.lock".into() };
+        assert_eq!(e.to_string(), "checkpoint journal locked by another process: /tmp/j.lock");
+        let e = SerrError::io("open checkpoint journal", "permission denied");
+        assert_eq!(e.to_string(), "i/o error during open checkpoint journal: permission denied");
     }
 
     #[test]

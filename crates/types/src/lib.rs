@@ -33,11 +33,13 @@
 
 mod component;
 mod error;
+mod provenance;
 mod rate;
 mod time;
 
 pub use component::{Component, ComponentId, ComponentKind};
 pub use error::SerrError;
+pub use provenance::Provenance;
 pub use rate::{FailureRate, FitRate, RawErrorRate};
 pub use time::{Cycles, Frequency, Mttf, Seconds};
 

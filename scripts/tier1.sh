@@ -7,6 +7,19 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Fault-injection tests again in release mode with debug assertions armed:
+# the injectors and the Monte Carlo chaos hooks carry debug_assert range
+# checks (bit positions, corruption offsets, poison factors, chunk
+# accounting) that plain --release would compile out and that the dev
+# profile runs without release codegen. Scoped to the two injection-bearing
+# crates so the gate stays fast.
+RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-mc
+
+# Chaos smoke campaign: a small fixed-seed fault-injection run across all
+# ten injector kinds must uphold the detect-or-degrade invariant (the
+# binary exits nonzero on any silently-wrong result).
+cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
+
 # Robustness gate: no `.unwrap()` in library or binary code — a poisoned
 # design point must surface as a typed error, never a panic path someone
 # forgot about. Test code (#[cfg(test)] and tests//benches/ targets) is

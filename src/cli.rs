@@ -6,6 +6,7 @@
 //! $ serr mttf --workload day --n-s 1e8                # all four estimators
 //! $ serr mttf --workload spec:gzip --rate 1e-4        # simulated benchmark
 //! $ serr sofr --workload week --n-s 1e8 -c 5000       # cluster projection
+//! $ serr chaos --campaigns 50 --seed 7                # fault-injection campaigns
 //! $ serr workloads                                    # list what's available
 //! ```
 //!
@@ -139,6 +140,20 @@ pub enum Command {
         /// Monte Carlo trials override.
         trials: Option<u64>,
     },
+    /// Run deterministic fault-injection campaigns across the stack and
+    /// check the detect-or-degrade invariant.
+    Chaos {
+        /// Number of campaigns.
+        campaigns: usize,
+        /// Master seed (campaign `i` uses plan seed `mix(seed, i)`).
+        seed: u64,
+        /// Monte Carlo trials per guarded estimate.
+        trials: u64,
+        /// Restrict campaigns to these fault kinds (`None` = all ten).
+        kinds: Option<Vec<FaultKind>>,
+        /// Write one JSON line per campaign outcome to this path.
+        jsonl: Option<std::path::PathBuf>,
+    },
     /// List available workloads and benchmark profiles.
     Workloads,
     /// Print usage.
@@ -214,6 +229,42 @@ impl Command {
                 }
                 Ok(Command::Sweep { figure, fresh, trials })
             }
+            "chaos" => {
+                let defaults = serr_core::chaos::ChaosConfig::default();
+                let mut campaigns = defaults.campaigns;
+                let mut seed = defaults.seed;
+                let mut trials = defaults.trials;
+                let mut kinds: Option<Vec<FaultKind>> = None;
+                let mut jsonl: Option<std::path::PathBuf> = None;
+                while let Some(flag) = it.next() {
+                    let mut value = |name: &str| {
+                        it.next()
+                            .map(str::to_owned)
+                            .ok_or_else(|| SerrError::invalid_config(format!("{name} needs a value")))
+                    };
+                    match flag {
+                        "--campaigns" => {
+                            campaigns = parse_count("--campaigns", &value("--campaigns")?)?
+                                .try_into()
+                                .map_err(|_| {
+                                    SerrError::invalid_config("--campaigns is out of range")
+                                })?;
+                        }
+                        "--seed" => seed = parse_seed(&value("--seed")?)?,
+                        "--trials" => trials = parse_count("--trials", &value("--trials")?)?,
+                        "--kinds" => kinds = Some(parse_kinds(&value("--kinds")?)?),
+                        "--jsonl" => {
+                            jsonl = Some(std::path::PathBuf::from(value("--jsonl")?));
+                        }
+                        other => {
+                            return Err(SerrError::invalid_config(format!(
+                                "unknown flag `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Command::Chaos { campaigns, seed, trials, kinds, jsonl })
+            }
             "mttf" | "sofr" => {
                 let mut workload: Option<WorkloadSpec> = None;
                 let mut rate: Option<f64> = None;
@@ -288,6 +339,32 @@ fn parse_positive_f64(name: &str, v: &str) -> Result<f64, SerrError> {
     Ok(x)
 }
 
+/// Parses a campaign seed: decimal or `0x`-prefixed hex (the form chaos
+/// reports print, so a seed can be pasted back verbatim to replay).
+fn parse_seed(v: &str) -> Result<u64, SerrError> {
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse::<u64>().ok(),
+    };
+    parsed.ok_or_else(|| {
+        SerrError::invalid_config(format!("--seed: `{v}` is not a u64 (decimal or 0x-hex)"))
+    })
+}
+
+/// Parses a comma-separated list of fault-kind labels.
+fn parse_kinds(v: &str) -> Result<Vec<FaultKind>, SerrError> {
+    v.split(',')
+        .map(|s| {
+            FaultKind::parse(s.trim()).ok_or_else(|| {
+                SerrError::invalid_config(format!(
+                    "--kinds: unknown fault kind `{s}`; known: {}",
+                    FaultKind::ALL.map(FaultKind::label).join(", ")
+                ))
+            })
+        })
+        .collect()
+}
+
 /// Parses a whole-number count of at least 1. Scientific notation is
 /// accepted (`-c 5e3`), but fractional values (`-c 2.5`) and values too
 /// large to represent exactly as an integer (`> 2^53`) are rejected rather
@@ -316,6 +393,7 @@ USAGE:
   serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--deadline <secs>]
   serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--deadline <secs>]
   serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N]
+  serr chaos [--campaigns N] [--seed S] [--trials N] [--kinds k1,k2,...] [--jsonl PATH]
   serr workloads
   serr help
 
@@ -330,12 +408,23 @@ FLAGS:
   --resume           resume from the journal if one exists (the default);
                      journals live under target/serr-checkpoints/ (override
                      with SERR_CHECKPOINT_DIR)
+  --campaigns N      number of fault-injection campaigns to run (default 200)
+  --seed S           chaos master seed, decimal or 0x-hex; the same seed
+                     replays the identical campaign sequence and outcome
+                     tags at any thread count
+  --kinds k1,k2      restrict chaos campaigns to these injectors; known:
+                     trace-value-flip, trace-prefix-perturb,
+                     trace-consistent-corrupt, chunk-panic, deadline-exhaust,
+                     rate-poison, checkpoint-io, journal-corrupt,
+                     journal-lock, cache-corrupt
+  --jsonl PATH       write one JSON line per campaign outcome to PATH
 
 EXAMPLES:
   serr mttf --workload day --n-s 1e8
   serr mttf --workload spec:mcf --rate 1e-4 --deadline 10
   serr sofr --workload week --n-s 1e8 -c 5000
   serr sweep fig5 --trials 20000
+  serr chaos --campaigns 50 --seed 0xC0FFEE --jsonl chaos.jsonl
 ";
 
 /// Executes a parsed command, writing human-readable output to stdout.
@@ -380,6 +469,7 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 r.mttf_mc.mttf.as_seconds(),
                 r.mttf_mc.relative_ci95() * 100.0
             );
+            println!("provenance      : {}", classify_estimate(&r.mttf_mc));
             if r.mttf_mc.truncated {
                 println!(
                     "note: deadline hit after {} of {trials} trials; the CI above \
@@ -405,6 +495,7 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 r.mttf_mc.mttf.as_seconds(),
                 r.mttf_mc.relative_ci95() * 100.0
             );
+            println!("provenance      : {}", classify_estimate(&r.mttf_mc));
             if r.mttf_mc.truncated {
                 println!(
                     "note: deadline hit after {} of {trials} trials; the CI above \
@@ -428,6 +519,57 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             let opts = if *fresh { SweepOptions::fresh() } else { SweepOptions::resume() };
             run_sweep_command(*figure, &cfg, &opts)
+        }
+        Command::Chaos { campaigns, seed, trials, kinds, jsonl } => {
+            let ccfg = ChaosConfig {
+                campaigns: *campaigns,
+                seed: *seed,
+                trials: *trials,
+                kinds: kinds.clone().unwrap_or_else(|| FaultKind::ALL.to_vec()),
+                ..ChaosConfig::default()
+            };
+            let report = run_chaos(&ccfg)?;
+            println!(
+                "golden MTTF     : {} (±{:.2}% at 95%)",
+                Seconds::new(report.golden_mttf_seconds),
+                report.golden_rel_ci95 * 100.0
+            );
+            println!("campaigns       : {}", report.outcomes.len());
+            for p in Provenance::ALL {
+                println!("  {:<9}: {}", p.label(), report.count(p));
+            }
+            for o in report.outcomes.iter().filter(|o| o.miss) {
+                println!(
+                    "MISS: campaign {} ({}, seed {:#018x}): {}",
+                    o.campaign, o.kind, o.seed, o.detail
+                );
+            }
+            if let Some(path) = jsonl {
+                let mut text = String::new();
+                for o in &report.outcomes {
+                    text.push_str(&o.to_json().to_json());
+                    text.push('\n');
+                }
+                std::fs::write(path, text)
+                    .map_err(|e| SerrError::io("write chaos jsonl", e.to_string()))?;
+                println!("wrote {} JSONL rows to {}", report.outcomes.len(), path.display());
+            }
+            if report.is_sound() {
+                println!(
+                    "detect-or-degrade invariant: PASS ({} campaigns, 0 misses)",
+                    report.outcomes.len()
+                );
+                Ok(())
+            } else {
+                Err(SerrError::engine_fault(
+                    "chaos campaign",
+                    format!(
+                        "{} of {} campaigns produced silently wrong results",
+                        report.misses(),
+                        report.outcomes.len()
+                    ),
+                ))
+            }
         }
     }
 }
@@ -473,7 +615,7 @@ fn run_sweep_command(
     let cs: [u64; 5] = [2, 8, 5_000, 50_000, 500_000];
     match figure {
         SweepFigure::Sec51 => {
-            let report = exp::sec5_1_sweep(&exp::REPRESENTATIVE_BENCHMARKS, cfg, opts);
+            let report = exp::sec5_1_sweep(&exp::REPRESENTATIVE_BENCHMARKS, cfg, opts)?;
             report_sweep(&report, |r| {
                 format!(
                     "{:>8}  worst AVF err {:.2}%  SOFR err {:.2}%",
@@ -674,15 +816,86 @@ mod tests {
     }
 
     #[test]
-    fn run_mttf_with_deadline_reports_a_result() {
-        // A zero-width deadline is rejected at parse time; the smallest
-        // honest budget still yields an estimate (never an empty run,
-        // because every worker always finishes its first chunk).
+    fn run_mttf_with_exhausted_deadline_is_a_typed_error() {
+        // 1e-15 s rounds to a zero Duration, so the budget is exhausted
+        // before the first chunk: the engine must refuse with the typed
+        // error instead of returning an empty (NaN-ridden) estimate.
         let cmd = Command::parse(&[
             "mttf", "--workload", "duty:0.001:0.5", "--rate", "1e6", "--trials", "50000",
-            "--deadline", "1e-9",
+            "--deadline", "1e-15",
+        ])
+        .unwrap();
+        match run(&cmd) {
+            Err(SerrError::DeadlineExhausted { .. }) => {}
+            other => panic!("expected DeadlineExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_commands_parse() {
+        let cmd = Command::parse(&[
+            "chaos", "--campaigns", "40", "--seed", "0xBEEF", "--trials", "2500", "--kinds",
+            "chunk-panic,rate-poison", "--jsonl", "/tmp/out.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                campaigns: 40,
+                seed: 0xBEEF,
+                trials: 2500,
+                kinds: Some(vec![FaultKind::ChunkPanic, FaultKind::RatePoison]),
+                jsonl: Some(std::path::PathBuf::from("/tmp/out.jsonl")),
+            }
+        );
+        // Defaults mirror ChaosConfig::default().
+        let defaults = serr_core::chaos::ChaosConfig::default();
+        match Command::parse(&["chaos"]).unwrap() {
+            Command::Chaos { campaigns, seed, trials, kinds, jsonl } => {
+                assert_eq!(campaigns, defaults.campaigns);
+                assert_eq!(seed, defaults.seed);
+                assert_eq!(trials, defaults.trials);
+                assert_eq!(kinds, None);
+                assert_eq!(jsonl, None);
+            }
+            other => panic!("expected Chaos, got {other:?}"),
+        }
+        assert!(Command::parse(&["chaos", "--seed", "zzz"]).is_err());
+        assert!(Command::parse(&["chaos", "--kinds", "no-such-fault"]).is_err());
+        assert!(Command::parse(&["chaos", "--campaigns", "0"]).is_err());
+    }
+
+    #[test]
+    fn run_small_chaos_campaign_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("serr-cli-chaos-{}", std::process::id()));
+        let jsonl = dir.join("chaos.jsonl");
+        let _ = std::fs::create_dir_all(&dir);
+        let cmd = Command::parse(&[
+            "chaos", "--campaigns", "4", "--seed", "11", "--trials", "1500", "--kinds",
+            "trace-value-flip,journal-corrupt", "--jsonl",
+        ])
+        .map(|_| ())
+        .unwrap_err(); // --jsonl without a value is rejected
+        assert!(matches!(cmd, SerrError::InvalidConfig { .. }));
+
+        let cmd = Command::parse(&[
+            "chaos",
+            "--campaigns",
+            "4",
+            "--seed",
+            "11",
+            "--trials",
+            "1500",
+            "--kinds",
+            "trace-value-flip,journal-corrupt",
+            "--jsonl",
+            jsonl.to_str().unwrap(),
         ])
         .unwrap();
         run(&cmd).unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("\"outcome\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,8 +13,23 @@ use std::time::Instant;
 use serr_core::experiments::{fig5, fig5_sweep, ExperimentConfig};
 use serr_core::prelude::{run_chaos, ChaosConfig, Provenance, SweepOptions, Workload};
 use serr_mc::{MonteCarlo, MonteCarloConfig};
+use serr_obs::{Event, Obs, Value};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, RawErrorRate};
+
+/// Pulls a numeric field out of an event, NaN if absent or non-numeric.
+fn field_f64(e: &Event, key: &str) -> f64 {
+    e.fields
+        .iter()
+        .find_map(|(k, v)| {
+            (*k == key).then(|| match v {
+                Value::F64(x) => *x,
+                Value::U64(n) => *n as f64,
+                _ => f64::NAN,
+            })
+        })
+        .unwrap_or(f64::NAN)
+}
 
 struct Timing {
     name: &'static str,
@@ -67,6 +82,52 @@ fn main() {
         mc_day.component_mttf(&day_like, rate, freq).expect("day-like MC case runs");
         mc_day.component_mttf(&day_like, day_rate, freq).expect("day-like MC case runs")
     }));
+
+    // Observed re-run of the day-like case: per-stage wall time and the
+    // per-chunk convergence trajectory fold into the JSON (schema v4), so
+    // the perf trajectory also records *where* the time goes and how fast
+    // the estimator tightens.
+    let (obs, sink) = Obs::memory();
+    let mc_observed = MonteCarlo::new(MonteCarloConfig {
+        trials: 10_000,
+        threads: 1,
+        ..Default::default()
+    })
+    .with_observer(obs.clone());
+    mc_observed.component_mttf(&day_like, rate, freq).expect("observed MC case runs");
+    let snap = obs.metrics().snapshot();
+    let stage_entries: Vec<String> = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("stage."))
+        .map(|(name, h)| {
+            format!(
+                "    {{\"stage\": \"{name}\", \"count\": {}, \"total_ms\": {:.4}}}",
+                h.count(),
+                h.sum()
+            )
+        })
+        .collect();
+    let stages_json = format!("  \"stages\": [\n{}\n  ],", stage_entries.join(",\n"));
+    let convergence_entries: Vec<String> = sink
+        .events_of("mc.chunk")
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"chunk\": {}, \"n\": {}, \"mean_s\": {:.6e}, \"ci95_s\": {:.6e}}}",
+                e.seq,
+                field_f64(e, "n") as u64,
+                field_f64(e, "mean_s"),
+                field_f64(e, "ci95_s")
+            )
+        })
+        .collect();
+    assert!(
+        !convergence_entries.is_empty(),
+        "observed MC run must emit at least one convergence snapshot"
+    );
+    let convergence_json =
+        format!("  \"mc_convergence\": [\n{}\n  ],", convergence_entries.join(",\n"));
 
     // One figure sweep: three Figure 5 design points on the day workload,
     // exercising the parallel fan-out in serr-core.
@@ -144,9 +205,11 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 3,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 4,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         checkpoint_json,
         chaos_json,
+        stages_json,
+        convergence_json,
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");

@@ -1,0 +1,82 @@
+//! Validates a `--metrics` JSONL file produced by `serr` or the bench
+//! binaries: every line must parse as a JSON object with an `event` string
+//! and a numeric `seq`, and the stream must contain at least one per-stage
+//! timing and one Monte Carlo convergence snapshot. Used by `tier1.sh` as
+//! the observability smoke gate.
+//!
+//! Usage: `obs_check <metrics.jsonl>`
+//!
+//! Exit status 0 iff the file is well-formed and complete; the summary and
+//! any defects print to stdout.
+
+use std::process::ExitCode;
+
+use serr_core::jsonio::Json;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        println!("usage: obs_check <metrics.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut lines = 0usize;
+    let mut stage_events = 0usize;
+    let mut chunk_events = 0usize;
+    let mut snapshot_lines = 0usize;
+    let mut defects: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let Some(v) = Json::parse(line) else {
+            defects.push(format!("line {}: not valid JSON: {line}", lineno + 1));
+            continue;
+        };
+        let Some(kind) = v.get("event").and_then(Json::as_str) else {
+            defects.push(format!("line {}: missing string field `event`", lineno + 1));
+            continue;
+        };
+        if v.get("seq").and_then(Json::as_u64).is_none() {
+            defects.push(format!("line {}: missing numeric field `seq`", lineno + 1));
+            continue;
+        }
+        match kind {
+            "stage" => stage_events += 1,
+            "mc.chunk" => chunk_events += 1,
+            k if k.starts_with("metric.") => snapshot_lines += 1,
+            _ => {}
+        }
+    }
+
+    if lines == 0 {
+        defects.push("file contains no JSONL records".to_owned());
+    }
+    if stage_events == 0 {
+        defects.push("no `stage` timing events found".to_owned());
+    }
+    if chunk_events == 0 {
+        defects.push("no `mc.chunk` convergence snapshots found".to_owned());
+    }
+
+    println!(
+        "obs_check: {lines} records, {stage_events} stage timings, \
+         {chunk_events} convergence snapshots, {snapshot_lines} snapshot metrics"
+    );
+    if defects.is_empty() {
+        println!("obs_check: OK ({path})");
+        ExitCode::SUCCESS
+    } else {
+        for d in &defects {
+            println!("obs_check: DEFECT: {d}");
+        }
+        ExitCode::FAILURE
+    }
+}

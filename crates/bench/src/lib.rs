@@ -21,6 +21,7 @@
 
 use serr_core::checkpoint::{SweepOptions, SweepReport};
 use serr_core::experiments::ExperimentConfig;
+use serr_obs::{Event, Level, Obs};
 
 /// Renders rows as an aligned plain-text table.
 ///
@@ -101,18 +102,26 @@ pub fn sweep_options_from_args() -> SweepOptions {
 }
 
 /// Unpacks a sweep report for a figure binary: bookkeeping (resume/compute
-/// counts) and any failed points go to stderr — keeping stdout a clean
-/// table — and the completed rows come back for rendering.
+/// counts) and any failed points become typed events on an info-level
+/// stderr observer — keeping stdout a clean table — and the completed rows
+/// come back for rendering.
 pub fn unpack_report<R>(name: &str, report: SweepReport<R>) -> Vec<R> {
-    eprintln!(
-        "{name}: {} rows ({} resumed from checkpoint, {} computed, {} failed)",
-        report.rows.len(),
-        report.resumed,
-        report.computed,
-        report.failures.len()
+    let obs = Obs::stderr(Level::Info);
+    obs.emit(
+        Event::new("sweep.summary", 0)
+            .with("sweep", name.to_owned())
+            .with("rows", report.rows.len() as u64)
+            .with("resumed", report.resumed as u64)
+            .with("computed", report.computed as u64)
+            .with("failed", report.failures.len() as u64),
     );
     for f in &report.failures {
-        eprintln!("{name}: FAILED point {}: {}", f.index, f.error);
+        obs.emit(
+            Event::warn("sweep.point_failed", f.index as u64)
+                .with("sweep", name.to_owned())
+                .with("point", f.index as u64)
+                .with("error", f.error.to_string()),
+        );
     }
     report.rows
 }

@@ -20,6 +20,7 @@ use std::sync::Once;
 
 use serr_inject::rng::{mix, unit};
 use serr_inject::{FaultKind, FaultPlan};
+use serr_obs::{Event, Obs};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, Provenance, RawErrorRate, SerrError};
 
@@ -45,6 +46,10 @@ pub struct ChaosConfig {
     /// Scratch directory for the on-disk fault probes. `None` uses a
     /// process-unique directory under the system temp dir.
     pub scratch_dir: Option<PathBuf>,
+    /// Observer receiving one `chaos.verdict` event per campaign (sequenced
+    /// by campaign index) plus campaign/miss counters. `None` routes to the
+    /// process-global observer.
+    pub obs: Option<Obs>,
 }
 
 impl Default for ChaosConfig {
@@ -56,6 +61,7 @@ impl Default for ChaosConfig {
             threads: 0,
             kinds: FaultKind::ALL.to_vec(),
             scratch_dir: None,
+            obs: None,
         }
     }
 }
@@ -267,11 +273,36 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
             FaultKind::JournalLock => journal_lock_campaign(&scratch, plan, campaign)?,
             FaultKind::CacheCorrupt => cache_corrupt_campaign(&scratch, plan, campaign)?,
         };
+        emit_verdict(cfg.obs.as_ref().unwrap_or_else(|| serr_obs::global()), &outcome);
         outcomes.push(outcome);
     }
+    let obs = cfg.obs.as_ref().unwrap_or_else(|| serr_obs::global());
+    obs.metrics().add("chaos.campaigns", outcomes.len() as u64);
+    obs.metrics().add("chaos.misses", outcomes.iter().filter(|o| o.miss).count() as u64);
     let _ = fs::remove_dir_all(&scratch);
 
     Ok(ChaosReport { golden_mttf_seconds: golden_mttf, golden_rel_ci95: golden_ci, outcomes })
+}
+
+/// One typed `chaos.verdict` event per campaign, sequenced by campaign
+/// index — the same deterministic key at any thread count. A miss (the
+/// detect-or-degrade invariant violated) is the only warning-level verdict.
+fn emit_verdict(obs: &Obs, o: &CampaignOutcome) {
+    let seq = o.campaign as u64;
+    let mut ev = if o.miss {
+        Event::warn("chaos.verdict", seq)
+    } else {
+        Event::new("chaos.verdict", seq)
+    };
+    ev = ev
+        .with("kind", o.kind.label())
+        .with("outcome", o.outcome.label())
+        .with("miss", o.miss)
+        .with("detail", o.detail.clone());
+    if let Some(m) = o.mttf_seconds {
+        ev = ev.with("mttf_s", m);
+    }
+    obs.emit(ev);
 }
 
 /// An estimator-level campaign: the guard runs under the plan and its own
@@ -534,6 +565,21 @@ mod tests {
             r.outcomes.iter().map(|o| (o.kind, o.outcome)).collect::<Vec<_>>()
         };
         assert_eq!(tags(&a), tags(&b), "outcome tags must not depend on thread count");
+    }
+
+    #[test]
+    fn every_campaign_emits_one_verdict_event() {
+        let (obs, sink) = Obs::memory();
+        let mut cfg = quick_cfg(FaultKind::ALL.len(), 0xE4E7);
+        cfg.obs = Some(obs);
+        let report = run_chaos(&cfg).unwrap();
+        let verdicts = sink.events_of("chaos.verdict");
+        assert_eq!(verdicts.len(), report.outcomes.len());
+        for (i, (e, o)) in verdicts.iter().zip(&report.outcomes).enumerate() {
+            assert_eq!(e.seq, i as u64, "verdicts sequenced by campaign index");
+            let is_warn = e.level == serr_obs::Level::Warn;
+            assert_eq!(is_warn, o.miss, "only misses warn");
+        }
     }
 
     #[test]

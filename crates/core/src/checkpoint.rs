@@ -54,6 +54,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use serr_inject::{FaultPlan, IoSite};
+use serr_obs::{Event, Obs};
 use serr_types::SerrError;
 
 use crate::jsonio::Json;
@@ -84,25 +85,30 @@ pub struct SweepOptions {
     /// seed selects (see `serr-inject`), degrading exactly like the real
     /// error would.
     pub chaos: Option<FaultPlan>,
+    /// Observability handle for checkpoint warnings and resume/compute
+    /// counters. `None` falls back to [`serr_obs::global`], whose default
+    /// renders warnings to stderr — the behaviour the old ad-hoc
+    /// `eprintln!` diagnostics had.
+    pub obs: Option<Obs>,
 }
 
 impl SweepOptions {
     /// No checkpointing (the default).
     #[must_use]
     pub fn off() -> Self {
-        SweepOptions { mode: CheckpointMode::Off, dir: None, chaos: None }
+        SweepOptions { mode: CheckpointMode::Off, ..SweepOptions::default() }
     }
 
     /// Resume from the journal if one exists.
     #[must_use]
     pub fn resume() -> Self {
-        SweepOptions { mode: CheckpointMode::Resume, dir: None, chaos: None }
+        SweepOptions { mode: CheckpointMode::Resume, ..SweepOptions::default() }
     }
 
     /// Discard any stale journal and start over.
     #[must_use]
     pub fn fresh() -> Self {
-        SweepOptions { mode: CheckpointMode::Fresh, dir: None, chaos: None }
+        SweepOptions { mode: CheckpointMode::Fresh, ..SweepOptions::default() }
     }
 
     /// Pins the journal directory (tests; tools with their own layout).
@@ -117,6 +123,21 @@ impl SweepOptions {
     pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = Some(plan);
         self
+    }
+
+    /// Routes checkpoint warnings and counters through `obs` instead of
+    /// the process-wide default.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The effective observability handle: the attached one, else the
+    /// process-wide default (warnings to stderr).
+    #[must_use]
+    pub fn effective_obs(&self) -> &Obs {
+        self.obs.as_ref().unwrap_or_else(|| serr_obs::global())
     }
 }
 
@@ -384,7 +405,10 @@ impl Drop for Journal {
 ///
 /// If the journal cannot be opened (read-only filesystem, permission
 /// error, or an injected open fault), the sweep still runs — it just
-/// doesn't checkpoint; a warning goes to stderr.
+/// doesn't checkpoint; a `checkpoint.journal_unavailable` warning event is
+/// emitted through `opts.obs` (or the process-wide default sink, which
+/// renders warnings to stderr). Resume/compute/failure counts land in the
+/// same handle's metrics registry.
 ///
 /// # Errors
 ///
@@ -405,26 +429,32 @@ where
     F: Fn(usize, &T) -> Result<R, SerrError> + Sync,
 {
     let injected_io = opts.chaos.and_then(|p| p.io_fault_site());
+    let obs = opts.effective_obs();
+    // Typed replacements for the old `eprintln!` warnings: same severity
+    // (the default global sink renders warnings to stderr), but structured,
+    // keyed by point index, and capturable by tests and `--metrics` files.
+    let warn_open = |reason: String| {
+        obs.emit(
+            Event::warn("checkpoint.journal_unavailable", 0)
+                .with("sweep", kind)
+                .with("reason", reason)
+                .with("action", "sweep runs without checkpointing"),
+        );
+    };
     let journal = match opts.mode {
         CheckpointMode::Off => None,
         CheckpointMode::Resume | CheckpointMode::Fresh => {
             let dir = opts.dir.clone().unwrap_or_else(default_journal_dir);
             let fresh = opts.mode == CheckpointMode::Fresh;
             if injected_io == Some(IoSite::Open) {
-                eprintln!(
-                    "warning: checkpoint journal for `{kind}` unavailable (injected i/o \
-                     fault at open); sweep runs without checkpointing"
-                );
+                warn_open("injected i/o fault at open".to_owned());
                 None
             } else {
                 match Journal::open(&dir, kind, fingerprint, fresh) {
                     Ok(j) => Some(j),
                     Err(e @ SerrError::JournalLocked { .. }) => return Err(e),
                     Err(e) => {
-                        eprintln!(
-                            "warning: checkpoint journal for `{kind}` unavailable ({e}); \
-                             sweep runs without checkpointing"
-                        );
+                        warn_open(e.to_string());
                         None
                     }
                 }
@@ -447,16 +477,24 @@ where
     }
 
     let pending: Vec<usize> = (0..items.len()).filter(|&i| slots[i].is_none()).collect();
+    // Record-failure events carry the point index as their sequence key:
+    // workers emit concurrently, so sink order is nondeterministic, but the
+    // key set for a given failure pattern is thread-count invariant.
+    let warn_record = |i: usize, reason: String| {
+        obs.emit(
+            Event::warn("checkpoint.record_failed", i as u64)
+                .with("sweep", kind)
+                .with("point", i)
+                .with("reason", reason),
+        );
+    };
     let results = par::try_par_map(&pending, threads, |_, &i| {
         let row = eval(i, &items[i])?;
         if let Some(j) = &journal {
             if injected_io == Some(IoSite::Record) {
-                eprintln!(
-                    "warning: failed to checkpoint point {i} of `{kind}`: injected i/o \
-                     fault at record"
-                );
+                warn_record(i, "injected i/o fault at record".to_owned());
             } else if let Err(e) = j.record(i, &row.to_journal()) {
-                eprintln!("warning: failed to checkpoint point {i} of `{kind}`: {e}");
+                warn_record(i, e.to_string());
             }
         }
         Ok(row)
@@ -480,6 +518,11 @@ where
         }
     }
     failures.sort_by_key(|f| f.index);
+
+    let metrics = obs.metrics();
+    metrics.add("checkpoint.resumed", resumed as u64);
+    metrics.add("checkpoint.computed", computed as u64);
+    metrics.add("checkpoint.failed", failures.len() as u64);
 
     Ok(SweepReport { rows: slots.into_iter().flatten().collect(), failures, resumed, computed })
 }
@@ -790,6 +833,47 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 1, "the corrupted line recomputes");
         assert_eq!(report.rows.len(), 3);
         assert_eq!(report.rows[1].label, "point-1", "recomputed row is correct");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_warnings_are_typed_events_not_stderr_noise() {
+        use serr_inject::{FaultKind, FaultPlan};
+        let dir = fresh_test_dir("obs-events");
+        let items: Vec<u64> = (0..4).collect();
+        let fp = fingerprint(&["obs-events-test"]);
+        let plan_for = |site: IoSite| {
+            (0..1_000u64)
+                .map(|s| FaultPlan::new(s, FaultKind::CheckpointIo))
+                .find(|p| p.io_fault_site() == Some(site))
+                .expect("some seed selects the site")
+        };
+
+        // Open fault: one journal_unavailable warning, no record events.
+        let (obs, sink) = Obs::memory();
+        let opts = SweepOptions::resume()
+            .in_dir(&dir)
+            .with_chaos(plan_for(IoSite::Open))
+            .with_obs(obs.clone());
+        run_sweep("t-obs-ev", fp, &items, 2, &opts, eval_row).unwrap();
+        let warns = sink.events_of("checkpoint.journal_unavailable");
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].level, serr_obs::Level::Warn);
+        assert!(sink.events_of("checkpoint.record_failed").is_empty());
+        assert_eq!(obs.metrics().snapshot().counters["checkpoint.computed"], 4);
+
+        // Record fault: one record_failed warning per computed point, keyed
+        // by point index — the same key set at any worker count.
+        let (obs, sink) = Obs::memory();
+        let opts = SweepOptions::resume()
+            .in_dir(&dir)
+            .with_chaos(plan_for(IoSite::Record))
+            .with_obs(obs.clone());
+        run_sweep("t-obs-ev", fp, &items, 2, &opts, eval_row).unwrap();
+        let mut keys: Vec<u64> =
+            sink.events_of("checkpoint.record_failed").iter().map(|e| e.seq).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -31,6 +31,7 @@ use serr_analytic::renewal::renewal_mttf;
 use serr_inject::rng::mix;
 use serr_inject::{FaultPlan, TraceFault};
 use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+use serr_obs::{Event, Obs};
 use serr_softarch::SoftArch;
 use serr_trace::{CompiledTrace, VulnerabilityTrace};
 use serr_types::{Frequency, Mttf, Provenance, RawErrorRate, SerrError};
@@ -79,13 +80,24 @@ pub struct Guard {
     policy: GuardPolicy,
     frequency: Frequency,
     mc: MonteCarloConfig,
+    obs: Option<Obs>,
 }
 
 impl Guard {
     /// Creates a guard with the default [`GuardPolicy`].
     #[must_use]
     pub fn new(frequency: Frequency, mc: MonteCarloConfig) -> Self {
-        Guard { policy: GuardPolicy::default(), frequency, mc }
+        Guard { policy: GuardPolicy::default(), frequency, mc, obs: None }
+    }
+
+    /// Attaches an observer: every audit-trail note is mirrored as a typed
+    /// `guard.fallback` event, the final tag as a `guard.verdict`, and the
+    /// inner Monte Carlo attempts report stage timings and convergence
+    /// telemetry through the same sink.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Overrides the acceptance policy.
@@ -169,7 +181,10 @@ impl Guard {
                 floor = floor.worse(Provenance::Retried);
             }
             cfg.chaos = chaos;
-            let engine = MonteCarlo::new(cfg);
+            let mut engine = MonteCarlo::new(cfg);
+            if let Some(obs) = &self.obs {
+                engine = engine.with_observer(obs.clone());
+            }
             let run = match &compiled {
                 Some(c) => engine.component_mttf(c, rate, self.frequency),
                 None => engine.component_mttf(trace, rate, self.frequency),
@@ -207,15 +222,15 @@ impl Guard {
         }
 
         // 5. Accept, or degrade to the analytic answer.
-        match accepted {
-            Some(est) => Ok(GuardedMttf {
+        let guarded = match accepted {
+            Some(est) => GuardedMttf {
                 mttf: est.mttf,
                 provenance: floor,
                 mc: Some(est),
                 renewal,
                 softarch,
                 notes,
-            }),
+            },
             None => {
                 let provenance = if refs_agree {
                     notes.push(
@@ -232,9 +247,30 @@ impl Guard {
                     );
                     Provenance::Suspect
                 };
-                Ok(GuardedMttf { mttf: renewal, provenance, mc: None, renewal, softarch, notes })
+                GuardedMttf { mttf: renewal, provenance, mc: None, renewal, softarch, notes }
             }
+        };
+        self.emit_verdict(&guarded);
+        Ok(guarded)
+    }
+
+    /// Mirrors the audit trail into the event stream: one `guard.fallback`
+    /// warning per note, sequenced by note index so the stream is
+    /// byte-identical for identical runs, then a closing `guard.verdict`
+    /// carrying the provenance tag.
+    fn emit_verdict(&self, g: &GuardedMttf) {
+        let Some(obs) = &self.obs else { return };
+        for (i, note) in g.notes.iter().enumerate() {
+            obs.emit(Event::warn("guard.fallback", i as u64).with("note", note.clone()));
         }
+        obs.emit(
+            Event::new("guard.verdict", g.notes.len() as u64)
+                .with("provenance", g.provenance.to_string())
+                .with("mttf_s", g.mttf.as_secs())
+                .with("mc_accepted", g.mc.is_some()),
+        );
+        obs.metrics().add("guard.runs", 1);
+        obs.metrics().add("guard.fallback_notes", g.notes.len() as u64);
     }
 
     /// Compiles the trace for the Monte Carlo run, applying and then
@@ -396,6 +432,29 @@ mod tests {
         assert!(g.notes.iter().any(|n| n.contains("quarantined")), "notes: {:?}", g.notes);
         // The answer itself comes from the two agreeing engines.
         assert!(relative_gap(g.mttf.as_secs(), g.renewal.as_secs()) < 0.1);
+    }
+
+    #[test]
+    fn guard_fallbacks_surface_as_typed_events() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        let (obs, sink) = serr_obs::Obs::memory();
+        let plan = FaultPlan::new(11, FaultKind::TraceValueFlip);
+        let g = guard().with_observer(obs).component_mttf(&trace, rate, Some(plan)).unwrap();
+        assert!(!g.notes.is_empty(), "corruption plan should leave an audit trail");
+        // One warn event per audit note, sequenced by note index.
+        let fallbacks = sink.events_of("guard.fallback");
+        assert_eq!(fallbacks.len(), g.notes.len());
+        for (i, e) in fallbacks.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.level, serr_obs::Level::Warn);
+        }
+        // Exactly one closing verdict, sequenced after the notes.
+        let verdicts = sink.events_of("guard.verdict");
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].seq, g.notes.len() as u64);
+        // The inner Monte Carlo engine shares the sink.
+        assert!(!sink.events_of("mc.chunk").is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use serr_obs::Event;
 use serr_sim::{ProcessorMaskingTraces, SimConfig, SimOutput, SimStats, Simulator};
 use serr_trace::{decode_interval_trace, encode_interval_trace, CompositeTrace, VulnerabilityTrace};
 use serr_types::SerrError;
@@ -181,6 +182,14 @@ pub(crate) fn load(path: &PathBuf) -> Option<SimOutput> {
     let out = decode_cache_file(&data);
     if out.is_none() {
         let _ = std::fs::remove_file(path);
+        let obs = serr_obs::global();
+        obs.emit(
+            Event::warn("cache.evict", 0)
+                .with("path", path.display().to_string())
+                .with("reason", "checksum or decode failure")
+                .with("bytes", data.len() as u64),
+        );
+        obs.metrics().add("cache.evictions", 1);
     }
     out
 }

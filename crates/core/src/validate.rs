@@ -15,6 +15,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use serr_mc::system::SystemModel;
 use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+use serr_obs::Obs;
 use serr_softarch::SoftArch;
 use serr_trace::VulnerabilityTrace;
 use serr_types::{relative_error, Frequency, Mttf, RawErrorRate, SerrError};
@@ -71,6 +72,7 @@ pub struct SystemValidation {
 pub struct Validator {
     frequency: Frequency,
     mc: MonteCarlo,
+    obs: Option<Obs>,
 }
 
 impl Validator {
@@ -78,13 +80,32 @@ impl Validator {
     /// Monte Carlo with `config`.
     #[must_use]
     pub fn new(frequency: Frequency, config: MonteCarloConfig) -> Self {
-        Validator { frequency, mc: MonteCarlo::new(config) }
+        Validator { frequency, mc: MonteCarlo::new(config), obs: None }
+    }
+
+    /// Attaches an observer: the analytic stages record their wall time
+    /// (`stage.renewal_quadrature_ms`, `stage.softarch_ms`) and the Monte
+    /// Carlo engine reports its own stage timings and per-chunk convergence
+    /// telemetry through the same sink.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.mc = self.mc.clone().with_observer(obs.clone());
+        self.obs = Some(obs);
+        self
     }
 
     /// The Monte Carlo engine used.
     #[must_use]
     pub fn monte_carlo(&self) -> &MonteCarlo {
         &self.mc
+    }
+
+    /// Runs `f` under the observer's stage timer when one is attached.
+    fn timed<R>(&self, stage: &'static str, f: impl FnOnce() -> R) -> R {
+        match &self.obs {
+            Some(obs) => obs.time_stage(stage, f),
+            None => f(),
+        }
     }
 
     /// Validates the AVF step on one component.
@@ -100,10 +121,11 @@ impl Validator {
     ) -> Result<ComponentValidation, SerrError> {
         let mttf_avf = avf::avf_step_mttf(trace, rate)?;
         let mttf_mc = self.mc.component_mttf(trace, rate, self.frequency)?;
-        let mttf_renewal =
-            serr_analytic::renewal::renewal_mttf(trace, rate, self.frequency)?;
-        let mttf_softarch =
-            SoftArch::new(self.frequency).component_mttf(trace, rate)?;
+        let mttf_renewal = self.timed("renewal_quadrature", || {
+            serr_analytic::renewal::renewal_mttf(trace, rate, self.frequency)
+        })?;
+        let mttf_softarch = self
+            .timed("softarch", || SoftArch::new(self.frequency).component_mttf(trace, rate))?;
         Ok(ComponentValidation {
             avf: trace.avf(),
             mttf_avf,
@@ -140,18 +162,21 @@ impl Validator {
         }
         // SOFR: component MTTF from the exact first-principles method,
         // divided by C (Equations 2-3 for identical components).
-        let component_mttf =
-            serr_analytic::renewal::renewal_mttf(&trace, component_rate, self.frequency)?;
+        let component_mttf = self.timed("renewal_quadrature", || {
+            serr_analytic::renewal::renewal_mttf(&trace, component_rate, self.frequency)
+        })?;
         let mttf_sofr = sofr::sofr_mttf_identical(component_mttf, c)?;
 
         // Ground truth: identical phase-aligned components superpose into a
         // single process with C x the rate over the same trace.
         let system_rate = component_rate.scale(c as f64);
         let mttf_mc = self.mc.component_mttf(&trace, system_rate, self.frequency)?;
-        let mttf_renewal =
-            serr_analytic::renewal::renewal_mttf(&trace, system_rate, self.frequency)?;
-        let mttf_softarch =
-            SoftArch::new(self.frequency).component_mttf(&trace, system_rate)?;
+        let mttf_renewal = self.timed("renewal_quadrature", || {
+            serr_analytic::renewal::renewal_mttf(&trace, system_rate, self.frequency)
+        })?;
+        let mttf_softarch = self.timed("softarch", || {
+            SoftArch::new(self.frequency).component_mttf(&trace, system_rate)
+        })?;
 
         Ok(SystemValidation {
             components: c,
@@ -189,13 +214,15 @@ impl Validator {
         // parts). Each part's renewal integral is independent — fan them
         // out across cores, keeping part order in the reduction.
         let frequency = self.frequency;
-        let per_part: Result<Vec<_>, SerrError> =
-            par::par_map(parts, par::fanout_threads(parts.len()), |_, (rate, trace)| {
-                if trace.is_never_vulnerable() {
-                    return Ok(None);
-                }
-                let mttf = serr_analytic::renewal::renewal_mttf(trace, *rate, frequency)?;
-                Ok(Some(mttf.to_failure_rate()))
+        let per_part: Result<Vec<_>, SerrError> = self
+            .timed("renewal_quadrature", || {
+                par::par_map(parts, par::fanout_threads(parts.len()), |_, (rate, trace)| {
+                    if trace.is_never_vulnerable() {
+                        return Ok(None);
+                    }
+                    let mttf = serr_analytic::renewal::renewal_mttf(trace, *rate, frequency)?;
+                    Ok(Some(mttf.to_failure_rate()))
+                })
             })
             .into_iter()
             .collect();
@@ -211,9 +238,11 @@ impl Validator {
         let mttf_mc = self.mc.system_mttf(&system)?;
         let combined = system.combined_trace();
         let total = system.total_rate();
-        let mttf_renewal =
-            serr_analytic::renewal::renewal_mttf(&combined, total, self.frequency)?;
-        let mttf_softarch = SoftArch::new(self.frequency).component_mttf(&combined, total)?;
+        let mttf_renewal = self.timed("renewal_quadrature", || {
+            serr_analytic::renewal::renewal_mttf(&combined, total, self.frequency)
+        })?;
+        let mttf_softarch = self
+            .timed("softarch", || SoftArch::new(self.frequency).component_mttf(&combined, total))?;
 
         Ok(SystemValidation {
             components: parts.len() as u64,
@@ -312,6 +341,26 @@ mod tests {
         assert!(v.sofr_error_vs_renewal < 1e-6, "{}", v.sofr_error_vs_renewal);
         assert!(v.sofr_error_vs_mc < 0.02);
         assert_eq!(v.components, 2);
+    }
+
+    #[test]
+    fn observer_records_per_stage_wall_time() {
+        let (obs, sink) = Obs::memory();
+        let trace = IntervalTrace::busy_idle(3_000, 7_000).unwrap();
+        let v = validator().with_observer(obs.clone());
+        v.component(&trace, RawErrorRate::per_year(10.0)).unwrap();
+        let snap = obs.metrics().snapshot();
+        for stage in [
+            "stage.renewal_quadrature_ms",
+            "stage.softarch_ms",
+            "stage.trace_compile_ms",
+            "stage.mc_run_ms",
+        ] {
+            let h = snap.histograms.get(stage).unwrap_or_else(|| panic!("missing {stage}"));
+            assert_eq!(h.count(), 1, "{stage} should be timed exactly once");
+        }
+        // The shared sink carries the engine's convergence telemetry too.
+        assert!(!sink.events_of("mc.chunk").is_empty());
     }
 
     #[test]

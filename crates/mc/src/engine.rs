@@ -25,6 +25,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use serr_numeric::stats::{RunningStats, Summary};
+use serr_obs::{Event, Obs};
 use serr_trace::{CompiledTrace, VulnerabilityTrace};
 use serr_types::{Frequency, Mttf, RawErrorRate, SerrError};
 
@@ -46,6 +47,36 @@ fn chunk_seed(seed: u64, chunk: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The single wall-clock deadline test shared by the pre-run gate and the
+/// between-chunks check, so the two paths cannot drift (PR 3 fixed exactly
+/// such a drift). Semantics:
+///
+/// * no deadline configured → never expired;
+/// * once any caller has observed expiry, the sticky `expired` flag makes
+///   every later call answer `true` without consulting the clock — a
+///   worker that races past an expiring clock can therefore never buy
+///   another chunk after a peer has seen the deadline pass;
+/// * otherwise the clock is consulted, and an elapsed budget (including a
+///   zero budget, where `elapsed >= ZERO` holds trivially) sets the flag.
+fn deadline_expired(
+    started: &std::time::Instant,
+    deadline: Option<std::time::Duration>,
+    expired: &std::sync::atomic::AtomicBool,
+) -> bool {
+    use std::sync::atomic::Ordering;
+    let Some(limit) = deadline else {
+        return false;
+    };
+    if expired.load(Ordering::Relaxed) {
+        return true;
+    }
+    if started.elapsed() >= limit {
+        expired.store(true, Ordering::Relaxed);
+        return true;
+    }
+    false
 }
 
 /// Renders a panic payload for the typed worker-fault error, mirroring the
@@ -105,13 +136,29 @@ impl MttfEstimate {
 #[derive(Debug, Clone, Default)]
 pub struct MonteCarlo {
     config: MonteCarloConfig,
+    /// Optional observability handle. Telemetry is strictly read-only over
+    /// the already-folded results: convergence events are emitted from the
+    /// deterministic chunk-order fold on the main thread, so attaching an
+    /// observer cannot perturb estimates or their thread-count invariance.
+    obs: Option<Obs>,
 }
 
 impl MonteCarlo {
     /// Creates an engine with the given configuration.
     #[must_use]
     pub fn new(config: MonteCarloConfig) -> Self {
-        MonteCarlo { config }
+        MonteCarlo { config, obs: None }
+    }
+
+    /// Attaches an observability handle. The engine then records per-stage
+    /// wall time (`stage.trace_compile_ms`, `stage.mc_run_ms`), chunk /
+    /// trial / raw-event counters, a samples-per-second gauge, and emits
+    /// one `mc.chunk` convergence event per completed chunk (running mean
+    /// and CI half-width after folding that chunk, keyed by chunk index).
+    #[must_use]
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The engine's configuration.
@@ -181,7 +228,7 @@ impl MonteCarlo {
             None => engine.run_chunks(trace, lambda_cycle, true)?,
         };
         let hz = freq.hz();
-        Ok(chunks.into_iter().flat_map(|c| c.ttfs).map(|t| t / hz).collect())
+        Ok(chunks.into_iter().flat_map(|(_, c)| c.ttfs).map(|t| t / hz).collect())
     }
 
     fn validate(
@@ -210,25 +257,58 @@ impl MonteCarlo {
         // Compile once; every worker then runs the monomorphized loop with
         // O(1) trace lookups and no virtual dispatch. Falls back to the
         // generic loop for traces too large to flatten.
-        let (chunks, truncated) = match CompiledTrace::compile(trace) {
-            Some(compiled) => self.run_chunks(&compiled, lambda_cycle, false)?,
+        let t_compile = std::time::Instant::now();
+        let compiled = CompiledTrace::compile(trace);
+        if let Some(obs) = &self.obs {
+            obs.record_stage("trace_compile", t_compile.elapsed().as_secs_f64() * 1e3);
+        }
+        let t_run = std::time::Instant::now();
+        let (chunks, truncated) = match &compiled {
+            Some(compiled) => self.run_chunks(compiled, lambda_cycle, false)?,
             None => self.run_chunks(trace, lambda_cycle, false)?,
         };
 
         // Fold in ascending chunk order: the reduction order (and thus the
-        // result, bit for bit) is independent of the thread count.
+        // result, bit for bit) is independent of the thread count. The
+        // per-chunk convergence snapshots ride on this fold — emitted from
+        // the main thread in chunk order and keyed by chunk index, they are
+        // byte-identical at any thread count.
+        let hz = freq.hz();
         let mut stats = RunningStats::new();
         let mut total_events = 0u64;
-        for c in &chunks {
+        for (chunk, c) in &chunks {
             stats.merge(&c.stats);
             total_events += c.events;
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    Event::new("mc.chunk", *chunk)
+                        .with("chunk", *chunk)
+                        .with("n", stats.count())
+                        .with("mean_s", stats.mean() / hz)
+                        .with("ci95_s", stats.ci95_half_width() / hz),
+                );
+            }
         }
 
         // Convert cycle statistics to seconds. Normalize events by the
         // trials that actually ran — under a deadline that is fewer than
         // `config.trials`.
         let completed = stats.count();
-        let hz = freq.hz();
+        if let Some(obs) = &self.obs {
+            let secs = t_run.elapsed().as_secs_f64();
+            obs.record_stage("mc_run", secs * 1e3);
+            let metrics = obs.metrics();
+            metrics.add("mc.runs", 1);
+            metrics.add("mc.rng_chunks", chunks.len() as u64);
+            metrics.add("mc.trials_completed", completed);
+            metrics.add("mc.raw_error_events", total_events);
+            if truncated {
+                metrics.add("mc.truncated_runs", 1);
+            }
+            if secs > 0.0 {
+                metrics.set_gauge("mc.samples_per_sec", completed as f64 / secs);
+            }
+        }
         let summary = Summary {
             count: completed,
             mean: stats.mean() / hz,
@@ -265,7 +345,7 @@ impl MonteCarlo {
         trace: &T,
         lambda_cycle: f64,
         collect_samples: bool,
-    ) -> Result<(Vec<ChunkOutcome>, bool), SerrError> {
+    ) -> Result<(Vec<(u64, ChunkOutcome)>, bool), SerrError> {
         let trials = self.config.trials;
         let n_chunks = trials.div_ceil(TRIAL_CHUNK);
         let threads = self.config.effective_threads().min(n_chunks.max(1) as usize).max(1);
@@ -275,14 +355,17 @@ impl MonteCarlo {
         let deadline = self.config.deadline;
         let chaos = self.config.chaos;
         let started = std::time::Instant::now();
+        let expired = std::sync::atomic::AtomicBool::new(false);
 
         // A budget that is already spent buys zero chunks: fail fast with
         // the typed error instead of burning one full chunk per worker on a
-        // deadline that has no time left in it.
-        if let Some(limit) = deadline {
-            if limit.is_zero() || started.elapsed() >= limit {
-                return Err(SerrError::DeadlineExhausted { budget_s: limit.as_secs_f64() });
-            }
+        // deadline that has no time left in it. Same predicate as the
+        // between-chunks check below (a zero budget trips `elapsed >= limit`
+        // trivially), so the two paths cannot disagree about what "expired"
+        // means.
+        if deadline_expired(&started, deadline, &expired) {
+            let budget_s = deadline.map_or(0.0, |d| d.as_secs_f64());
+            return Err(SerrError::DeadlineExhausted { budget_s });
         }
         // Injected deadline exhaustion at chunk 0 models the same condition.
         if chaos.and_then(|p| p.deadline_cut_chunk()) == Some(0) {
@@ -290,8 +373,6 @@ impl MonteCarlo {
                 budget_s: deadline.map_or(0.0, |d| d.as_secs_f64()),
             });
         }
-
-        let expired = std::sync::atomic::AtomicBool::new(false);
         let period = trace.period_cycles() as f64;
 
         let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
@@ -308,15 +389,13 @@ impl MonteCarlo {
                     }
                 }
                 // Honor the wall-clock budget between chunks (never
-                // mid-chunk), but always run the first claimed chunk.
-                if !first {
-                    if let Some(limit) = deadline {
-                        use std::sync::atomic::Ordering;
-                        if expired.load(Ordering::Relaxed) || started.elapsed() >= limit {
-                            expired.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
+                // mid-chunk), but always run the first claimed chunk. Same
+                // `deadline_expired` predicate as the pre-run gate; its
+                // sticky flag means that once any worker observes expiry,
+                // no worker — including one that raced past the clock
+                // check — buys another chunk.
+                if !first && deadline_expired(&started, deadline, &expired) {
+                    break;
                 }
                 first = false;
                 if let Some(plan) = chaos {
@@ -393,7 +472,9 @@ impl MonteCarlo {
             deadline.is_some() || chaos.is_some() || !truncated,
             "chunks can only go missing when a deadline (real or injected) expires"
         );
-        Ok((completed.into_iter().map(|(_, outcome)| outcome).collect(), truncated))
+        // Chunk indices ride along so the caller's fold can key convergence
+        // telemetry deterministically.
+        Ok((completed, truncated))
     }
 }
 
@@ -493,7 +574,7 @@ mod tests {
         let rate = RawErrorRate::per_year(20.0); // λL astronomically small
         let engine = fast_engine();
         let samples = engine.sample_ttfs(&trace, rate, freq, 4_000).unwrap();
-        let ecdf = serr_numeric::ecdf::Ecdf::new(samples);
+        let ecdf = serr_numeric::ecdf::Ecdf::new(samples).expect("TTF samples contain no NaN");
         let eff_rate = rate.per_second_value() * 0.3;
         let d = ecdf.ks_vs_exponential(eff_rate);
         assert!(
@@ -647,6 +728,116 @@ mod tests {
             MonteCarlo::new(bounded).component_mttf(&trace, rate, Frequency::base()).unwrap();
         assert!(!b.truncated);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadline_helper_shares_semantics_between_gate_and_workers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+        let started = Instant::now();
+
+        // No deadline: never expires, flag untouched.
+        let flag = AtomicBool::new(false);
+        assert!(!deadline_expired(&started, None, &flag));
+        assert!(!flag.load(Ordering::Relaxed));
+
+        // Zero budget: expires on the first consultation (the pre-run gate
+        // path) and latches the flag.
+        let flag = AtomicBool::new(false);
+        assert!(deadline_expired(&started, Some(Duration::ZERO), &flag));
+        assert!(flag.load(Ordering::Relaxed));
+
+        // Generous budget: not expired, flag stays clear.
+        let flag = AtomicBool::new(false);
+        assert!(!deadline_expired(&started, Some(Duration::from_secs(3600)), &flag));
+        assert!(!flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn expiry_observed_by_one_worker_is_sticky_for_all() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::{Duration, Instant};
+        // Regression for the mid-run guarantee: once any worker has seen
+        // the deadline pass, every later check answers "expired" without
+        // consulting the clock — even against a budget the clock would
+        // still call generous — so no worker can buy a second chunk after
+        // a peer observed expiry.
+        let started = Instant::now();
+        let flag = AtomicBool::new(false);
+        assert!(deadline_expired(&started, Some(Duration::ZERO), &flag), "first observer trips");
+        assert!(
+            deadline_expired(&started, Some(Duration::from_secs(3600)), &flag),
+            "sticky flag must override a clock that says there is time left"
+        );
+    }
+
+    #[test]
+    fn tiny_deadline_never_buys_a_second_chunk_per_worker() {
+        use std::time::Duration;
+        // A 1 ns budget is always spent by the time anyone checks: either
+        // the pre-run gate catches it (typed error), or — on a coarse
+        // clock — workers run exactly their first claimed chunk each and
+        // then stop. Either way no worker completes two chunks: with the
+        // old duplicated checks, drift between the two predicates could
+        // hand an expired worker one more chunk.
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        for threads in [1usize, 4] {
+            let cfg = MonteCarloConfig {
+                trials: 40_960,
+                threads,
+                deadline: Some(Duration::from_nanos(1)),
+                ..Default::default()
+            };
+            match MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()) {
+                Err(SerrError::DeadlineExhausted { budget_s }) => {
+                    assert!((budget_s - 1e-9).abs() < 1e-15);
+                }
+                Ok(est) => {
+                    assert!(est.truncated);
+                    let n = est.ttf_seconds.count;
+                    assert_eq!(n % TRIAL_CHUNK, 0, "whole chunks only");
+                    assert!(
+                        n <= threads as u64 * TRIAL_CHUNK,
+                        "threads={threads}: {n} trials means some worker bought a second \
+                         chunk after expiry"
+                    );
+                }
+                other => panic!("threads={threads}: unexpected result {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn observer_telemetry_is_readonly_and_chunk_ordered() {
+        use serr_obs::Value;
+        // Attaching an observer must not change the estimate, and the
+        // mc.chunk convergence snapshots arrive in ascending chunk order
+        // with a running sample count.
+        let trace = IntervalTrace::busy_idle(10, 10).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        let cfg = MonteCarloConfig { trials: 5_000, threads: 4, ..Default::default() };
+        let plain = MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        let (obs, sink) = Obs::memory();
+        let observed = MonteCarlo::new(cfg)
+            .with_observer(obs.clone())
+            .component_mttf(&trace, rate, Frequency::base())
+            .unwrap();
+        assert_eq!(plain, observed);
+
+        let chunks = sink.events_of("mc.chunk");
+        assert_eq!(chunks.len(), 5, "5000 trials -> 5 chunks of 1024");
+        let seqs: Vec<u64> = chunks.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        let last = &chunks[4];
+        assert!(last.fields.iter().any(|(k, v)| *k == "n" && *v == Value::U64(5_000)));
+
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counters["mc.rng_chunks"], 5);
+        assert_eq!(snap.counters["mc.trials_completed"], 5_000);
+        assert_eq!(snap.histograms["stage.mc_run_ms"].count(), 1);
+        assert_eq!(snap.histograms["stage.trace_compile_ms"].count(), 1);
+        assert!(snap.gauges["mc.samples_per_sec"] > 0.0);
     }
 
     #[test]

@@ -5,14 +5,21 @@
 //! claims `T mod L` is uniform when `L·λ → 0`. These tools quantify how far
 //! empirical failure-time samples are from those reference distributions.
 
+use serr_types::SerrError;
+
 /// An empirical cumulative distribution function over a sorted sample.
 ///
 /// ```
 /// use serr_numeric::ecdf::Ecdf;
-/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0])?;
 /// assert_eq!(e.eval(2.5), 0.5);
 /// assert_eq!(e.eval(0.0), 0.0);
 /// assert_eq!(e.eval(9.0), 1.0);
+///
+/// // Invalid samples are reported as typed errors, not panics:
+/// assert!(Ecdf::new(vec![]).is_err());
+/// assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+/// # Ok::<(), serr_types::SerrError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
@@ -20,17 +27,23 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF from a sample (sorts internally; NaNs are rejected).
+    /// Builds an ECDF from a sample (sorts internally).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the sample is empty or contains NaN.
-    #[must_use]
-    pub fn new(mut sample: Vec<f64>) -> Self {
-        assert!(!sample.is_empty(), "ECDF requires a non-empty sample");
-        assert!(sample.iter().all(|x| !x.is_nan()), "ECDF sample must not contain NaN");
+    /// Returns [`SerrError::InvalidConfig`] for an empty sample and
+    /// [`SerrError::InvalidValue`] if the sample contains NaN — validation
+    /// results, not panics, per the workspace convention for library-crate
+    /// input checking.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self, SerrError> {
+        if sample.is_empty() {
+            return Err(SerrError::invalid_config("ECDF requires a non-empty sample"));
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(SerrError::invalid_value("ECDF sample (must not contain NaN)", f64::NAN));
+        }
         sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
-        Ecdf { sorted: sample }
+        Ok(Ecdf { sorted: sample })
     }
 
     /// The fraction of samples `≤ x`.
@@ -46,8 +59,9 @@ impl Ecdf {
         self.sorted.len()
     }
 
-    /// Whether the ECDF is empty (never true by construction, provided for
-    /// API completeness).
+    /// Whether the ECDF is empty. Never true for a successfully
+    /// constructed value — [`Ecdf::new`] rejects empty samples — but kept
+    /// so the `len`/`is_empty` pair stays complete.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty()
@@ -135,7 +149,7 @@ mod tests {
 
     #[test]
     fn eval_steps() {
-        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).expect("valid sample");
         assert_eq!(e.eval(0.5), 0.0);
         assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-15);
         assert!((e.eval(2.9) - 2.0 / 3.0).abs() < 1e-15);
@@ -145,14 +159,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_sample_panics() {
-        let _ = Ecdf::new(vec![]);
+    fn invalid_samples_are_typed_errors_not_panics() {
+        // Regression: `new` used to assert, taking the process down on the
+        // first malformed sample instead of reporting a validation error.
+        assert!(matches!(Ecdf::new(vec![]), Err(SerrError::InvalidConfig { .. })));
+        assert!(matches!(
+            Ecdf::new(vec![1.0, f64::NAN]),
+            Err(SerrError::InvalidValue { .. })
+        ));
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_ok(), "infinities sort fine; only NaN rejected");
     }
 
     #[test]
     fn uniform_sample_passes_uniform_ks() {
-        let e = Ecdf::new(lcg_uniform(5000));
+        let e = Ecdf::new(lcg_uniform(5000)).expect("valid sample");
         let d = e.ks_vs_uniform(1.0);
         assert!(d < ks_critical_value(5000, 0.05), "KS {d} too large for uniform sample");
     }
@@ -161,7 +181,7 @@ mod tests {
     fn exponential_sample_passes_exponential_ks() {
         let lambda = 2.5;
         let sample: Vec<f64> = lcg_uniform(5000).iter().map(|u| -(1.0 - u).ln() / lambda).collect();
-        let e = Ecdf::new(sample);
+        let e = Ecdf::new(sample).expect("valid sample");
         let d = e.ks_vs_exponential(lambda);
         assert!(d < ks_critical_value(5000, 0.05), "KS {d} too large for exponential sample");
     }
@@ -169,7 +189,7 @@ mod tests {
     #[test]
     fn wrong_rate_fails_exponential_ks() {
         let sample: Vec<f64> = lcg_uniform(5000).iter().map(|u| -(1.0 - u).ln() / 2.5).collect();
-        let e = Ecdf::new(sample);
+        let e = Ecdf::new(sample).expect("valid sample");
         // Testing against a rate 4x too small must be detected.
         let d = e.ks_vs_exponential(0.625);
         assert!(d > ks_critical_value(5000, 0.01), "KS {d} should reject wrong rate");
@@ -180,7 +200,7 @@ mod tests {
         // Half the mass at ~0.1, half at ~0.9: clearly not uniform.
         let sample: Vec<f64> =
             (0..1000).map(|i| if i % 2 == 0 { 0.1 } else { 0.9 }).collect();
-        let e = Ecdf::new(sample);
+        let e = Ecdf::new(sample).expect("valid sample");
         assert!(e.ks_vs_uniform(1.0) > ks_critical_value(1000, 0.01));
     }
 

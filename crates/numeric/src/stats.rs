@@ -100,12 +100,25 @@ impl RunningStats {
         }
     }
 
-    /// Half-width of the 95% normal-approximation confidence interval on the
-    /// mean (`1.96 × SEM`). With the ≥10⁵ samples used in this workspace the
-    /// normal approximation is exact for practical purposes.
+    /// Half-width of the 95% confidence interval on the mean, using the
+    /// Student-t critical value for the actual sample count: `t` from a
+    /// lookup table through n = 30, the normal z = 1.96 beyond (where the
+    /// two are indistinguishable at three digits). Returns NaN for n < 2,
+    /// where no variance estimate exists — the old fixed `1.96 × SEM`
+    /// silently reported a zero-width interval there.
     #[must_use]
     pub fn ci95_half_width(&self) -> f64 {
-        1.96 * self.standard_error()
+        match self.n {
+            0 | 1 => f64::NAN,
+            n => t_critical_975(n) * self.standard_error(),
+        }
+    }
+
+    /// [`Self::ci95_half_width`] as an `Option`: `None` when fewer than two
+    /// samples make the interval undefined.
+    #[must_use]
+    pub fn try_ci95_half_width(&self) -> Option<f64> {
+        (self.n >= 2).then(|| self.ci95_half_width())
     }
 
     /// Merges another accumulator into this one (Chan et al. parallel
@@ -127,6 +140,26 @@ impl RunningStats {
         self.n += other.n;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Two-sided 97.5th-percentile Student-t critical values for ν = 1..=29
+/// degrees of freedom (i.e. sample counts 2..=30).
+const T975: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // ν = 1..=10
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // ν = 11..=20
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, // ν = 21..=29
+];
+
+/// The 95%-CI critical multiplier for a mean estimated from `n ≥ 2`
+/// samples: Student-t with ν = n − 1 through n = 30, z = 1.96 beyond.
+fn t_critical_975(n: u64) -> f64 {
+    debug_assert!(n >= 2);
+    let df = (n - 1) as usize;
+    if df <= T975.len() {
+        T975[df - 1]
+    } else {
+        1.96
     }
 }
 
@@ -240,6 +273,45 @@ mod tests {
         let small: RunningStats = (0..100).map(|i| (i % 10) as f64).collect();
         let large: RunningStats = (0..10000).map(|i| (i % 10) as f64).collect();
         assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    /// Builds stats over `n` evenly spread points with sample std-dev
+    /// exactly recoverable, then checks the CI multiplier in use.
+    fn ci_multiplier(n: u64) -> f64 {
+        let s: RunningStats = (0..n).map(|i| i as f64).collect();
+        s.ci95_half_width() / s.standard_error()
+    }
+
+    #[test]
+    fn ci95_uses_student_t_for_small_samples() {
+        // Regression for the fixed-z bug: 1.96 at n=2 understated the
+        // interval by a factor of 6.5.
+        assert!((ci_multiplier(2) - 12.706).abs() < 1e-9);
+        assert!((ci_multiplier(5) - 2.776).abs() < 1e-9);
+        assert!((ci_multiplier(30) - 2.045).abs() < 1e-9);
+        assert!((ci_multiplier(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_is_undefined_below_two_samples() {
+        let empty = RunningStats::new();
+        assert!(empty.ci95_half_width().is_nan());
+        assert_eq!(empty.try_ci95_half_width(), None);
+        let mut one = RunningStats::new();
+        one.push(42.0);
+        assert!(one.ci95_half_width().is_nan());
+        assert_eq!(one.try_ci95_half_width(), None);
+        let two: RunningStats = [1.0, 3.0].into_iter().collect();
+        assert!(two.try_ci95_half_width().is_some());
+        assert!(two.ci95_half_width().is_finite());
+    }
+
+    #[test]
+    fn ci95_exact_at_n_2() {
+        // Samples [0, 2]: mean 1, sample variance 2, SEM = 1.
+        let s: RunningStats = [0.0, 2.0].into_iter().collect();
+        assert!((s.standard_error() - 1.0).abs() < 1e-12);
+        assert!((s.ci95_half_width() - 12.706).abs() < 1e-9);
     }
 
     #[test]

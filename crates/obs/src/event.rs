@@ -1,0 +1,359 @@
+//! Structured events and the sinks that receive them.
+//!
+//! An [`Event`] is a typed record — a static kind, a severity, a
+//! *deterministic* sequence key, and a flat list of fields. The sequence
+//! key is chosen by the emitter from the work being described (a chunk
+//! index, a sweep point index, a fallback step number), never from wall
+//! clock or thread identity, so the event stream for a given computation
+//! is identical at any thread count.
+//!
+//! Sinks are deliberately boring: [`NullSink`] drops everything,
+//! [`StderrSink`] renders a one-line human form, [`JsonlSink`] appends one
+//! JSON object per line, and [`MemorySink`] captures events for tests.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A field value. Floats that are not finite serialise as JSON `null`
+/// rather than panicking, since events must never take a process down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Event severity. `Info` is progress/telemetry; `Warn` is something an
+/// operator should see even without opting into metrics capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Info,
+    Warn,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// One structured event. `(kind, seq)` is the deterministic ordering key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub kind: &'static str,
+    pub level: Level,
+    pub seq: u64,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// An informational event with the given deterministic sequence key.
+    #[must_use]
+    pub fn new(kind: &'static str, seq: u64) -> Self {
+        Event { kind, level: Level::Info, seq, fields: Vec::new() }
+    }
+
+    /// A warning event with the given deterministic sequence key.
+    #[must_use]
+    pub fn warn(kind: &'static str, seq: u64) -> Self {
+        Event { kind, level: Level::Warn, seq, fields: Vec::new() }
+    }
+
+    /// Attaches a field (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The deterministic ordering key: identical across thread counts for
+    /// the same computation.
+    #[must_use]
+    pub fn sequence_key(&self) -> (&'static str, u64) {
+        (self.kind, self.seq)
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"event\":");
+        push_json_str(&mut out, self.kind);
+        let _ = write!(out, ",\"seq\":{},\"level\":\"{}\"", self.seq, self.level.as_str());
+        for (key, value) in &self.fields {
+            out.push(',');
+            push_json_str(&mut out, key);
+            out.push(':');
+            push_json_value(&mut out, value);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders a compact single-line human form for stderr.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut out = format!("serr[{}#{}]", self.kind, self.seq);
+        if self.level == Level::Warn {
+            out.push_str(" WARN");
+        }
+        for (key, value) in &self.fields {
+            match value {
+                Value::U64(v) => {
+                    let _ = write!(out, " {key}={v}");
+                }
+                Value::F64(v) => {
+                    let _ = write!(out, " {key}={v}");
+                }
+                Value::Str(v) => {
+                    let _ = write!(out, " {key}={v:?}");
+                }
+                Value::Bool(v) => {
+                    let _ = write!(out, " {key}={v}");
+                }
+            }
+        }
+        out
+    }
+}
+
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, keeping the value a float on re-parse.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => push_json_f64(out, *v),
+        Value::Str(v) => push_json_str(out, v),
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+    }
+}
+
+/// Receives events. Implementations must be cheap enough to call from a
+/// fold loop (one short critical section per event at most) and must
+/// never panic: observability cannot be allowed to take the run down.
+pub trait EventSink: Send + Sync + std::fmt::Debug {
+    fn emit(&self, event: &Event);
+    /// Flushes any buffered output. Default: nothing to flush.
+    fn flush(&self) {}
+}
+
+/// Drops every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Writes one human-readable line per event at or above `min_level`.
+///
+/// Uses an explicit `stderr()` handle rather than the `eprintln!` macro:
+/// library crates in this workspace deny `clippy::print_stderr`, and the
+/// sink is the single sanctioned escape hatch.
+#[derive(Debug, Clone, Copy)]
+pub struct StderrSink {
+    min_level: Level,
+}
+
+impl StderrSink {
+    #[must_use]
+    pub fn new(min_level: Level) -> Self {
+        StderrSink { min_level }
+    }
+}
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        if event.level >= self.min_level {
+            let mut line = event.to_line();
+            line.push('\n');
+            // Best-effort: a broken stderr must not abort the computation.
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Appends one JSON object per line to a file, buffered behind a mutex.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying `File::create` failure.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut writer = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writer.flush();
+    }
+}
+
+/// Captures events in memory, for tests and for `bench_smoke`.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A snapshot of everything emitted so far, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Events of one kind, in emission order.
+    #[must_use]
+    pub fn events_of(&self, kind: &str) -> Vec<Event> {
+        self.events().into_iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_is_flat_and_ordered() {
+        let e = Event::warn("checkpoint.warn", 3)
+            .with("sweep", "fig5")
+            .with("reason", "journal unavailable")
+            .with("points", 7u64)
+            .with("ratio", 0.5f64);
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"checkpoint.warn\",\"seq\":3,\"level\":\"warn\",\
+             \"sweep\":\"fig5\",\"reason\":\"journal unavailable\",\
+             \"points\":7,\"ratio\":0.5}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_serialise_as_null() {
+        let e = Event::new("x", 0).with("v", f64::NAN).with("w", f64::INFINITY);
+        assert_eq!(e.to_json(), "{\"event\":\"x\",\"seq\":0,\"level\":\"info\",\"v\":null,\"w\":null}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::new("x", 0).with("p", "a\"b\\c\nd");
+        assert!(e.to_json().contains("\"p\":\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn memory_sink_preserves_order_and_filters_by_kind() {
+        let sink = MemorySink::new();
+        sink.emit(&Event::new("a", 0));
+        sink.emit(&Event::new("b", 0));
+        sink.emit(&Event::new("a", 1));
+        assert_eq!(sink.events().len(), 3);
+        let a: Vec<u64> = sink.events_of("a").iter().map(|e| e.seq).collect();
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn sequence_key_ignores_fields() {
+        let a = Event::new("mc.chunk", 7).with("mean_s", 1.0);
+        let b = Event::new("mc.chunk", 7).with("mean_s", 2.0);
+        assert_eq!(a.sequence_key(), b.sequence_key());
+    }
+}

@@ -1,0 +1,229 @@
+//! Observability substrate for the soft-error analysis stack.
+//!
+//! `serr-obs` is std-only (plus `serr-numeric` for compensated sums) and
+//! provides the two halves of "show your work":
+//!
+//! * **Events** — typed records with a deterministic sequence key, fanned
+//!   out through an [`EventSink`] (JSONL file, stderr, in-memory capture,
+//!   or nothing). Replaces ad-hoc `eprintln!` diagnostics.
+//! * **Metrics** — monotonic counters, gauges, and fixed-bucket log2
+//!   histograms with Kahan-summed totals, aggregated commutatively so
+//!   values do not depend on worker interleaving.
+//!
+//! The [`Obs`] handle bundles both and is cheap to clone (two `Arc`s). A
+//! process-wide default ([`global()`]) renders warnings to stderr so
+//! library code always has somewhere to report; opting into `--metrics`
+//! swaps in a JSONL sink.
+//!
+//! # Determinism contract
+//!
+//! Event sequence keys (`(kind, seq)`) must be derived from the work
+//! itself — chunk index, sweep point index, fallback step — never from
+//! wall clock or thread identity. Emitters fold worker output in a
+//! deterministic order before emitting, so the event stream for a given
+//! computation is identical at `SERR_THREADS=1` and `SERR_THREADS=8`.
+//! Field *values* carrying wall-clock measurements (stage timings,
+//! samples/sec) naturally vary run to run; the keys do not.
+
+mod event;
+mod metrics;
+
+pub use event::{Event, EventSink, JsonlSink, Level, MemorySink, NullSink, StderrSink, Value};
+pub use metrics::{Log2Histogram, Metrics, MetricsSnapshot, BUCKETS};
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A cloneable handle bundling an event sink and a metrics registry.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    sink: Arc<dyn EventSink>,
+    metrics: Arc<Metrics>,
+    stage_seq: Arc<AtomicU64>,
+}
+
+impl Obs {
+    /// Wraps an arbitrary sink with a fresh metrics registry.
+    #[must_use]
+    pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        Obs { sink, metrics: Arc::new(Metrics::new()), stage_seq: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Discards events; metrics still accumulate.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Obs::with_sink(Arc::new(NullSink))
+    }
+
+    /// Renders events at or above `min_level` to stderr.
+    #[must_use]
+    pub fn stderr(min_level: Level) -> Self {
+        Obs::with_sink(Arc::new(StderrSink::new(min_level)))
+    }
+
+    /// Captures events in memory; returns the sink for inspection.
+    #[must_use]
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Obs::with_sink(sink.clone()), sink)
+    }
+
+    /// Streams events as JSON lines to the file at `path` (truncating it).
+    ///
+    /// # Errors
+    /// Propagates the underlying file-creation failure.
+    pub fn jsonl(path: &Path) -> std::io::Result<Self> {
+        Ok(Obs::with_sink(Arc::new(JsonlSink::create(path)?)))
+    }
+
+    /// Sends one event to the sink.
+    pub fn emit(&self, event: Event) {
+        self.sink.emit(&event);
+    }
+
+    /// The metrics registry attached to this handle.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The underlying sink (for sharing with another handle).
+    #[must_use]
+    pub fn sink(&self) -> Arc<dyn EventSink> {
+        self.sink.clone()
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+
+    /// Runs `f`, records its wall time into the `stage.<name>_ms`
+    /// histogram, and emits a `stage` event. Stage events get sequential
+    /// keys in program order; call this from deterministic (single-thread)
+    /// control flow only, so the key sequence is thread-count invariant.
+    pub fn time_stage<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.record_stage(name, ms);
+        out
+    }
+
+    /// Records an externally measured stage duration (milliseconds).
+    pub fn record_stage(&self, name: &'static str, ms: f64) {
+        self.metrics.observe(&format!("stage.{name}_ms"), ms);
+        let seq = self.stage_seq.fetch_add(1, Ordering::Relaxed);
+        self.emit(Event::new("stage", seq).with("name", name).with("ms", ms));
+    }
+
+    /// Emits the current metrics snapshot as one event-per-metric JSONL
+    /// block through the sink, then flushes. Used at the end of a CLI run
+    /// so `--metrics out.jsonl` files are self-contained.
+    pub fn emit_metrics_snapshot(&self) {
+        let snap = self.metrics.snapshot();
+        for (i, (name, value)) in snap.counters.iter().enumerate() {
+            self.emit(
+                Event::new("metric.counter", i as u64)
+                    .with("name", name.as_str())
+                    .with("value", *value),
+            );
+        }
+        for (i, (name, value)) in snap.gauges.iter().enumerate() {
+            self.emit(
+                Event::new("metric.gauge", i as u64)
+                    .with("name", name.as_str())
+                    .with("value", *value),
+            );
+        }
+        for (i, (name, hist)) in snap.histograms.iter().enumerate() {
+            self.emit(
+                Event::new("metric.histogram", i as u64)
+                    .with("name", name.as_str())
+                    .with("count", hist.count())
+                    .with("sum", hist.sum())
+                    .with("mean", hist.mean().unwrap_or(f64::NAN))
+                    .with("buckets", hist.sparse_buckets()),
+            );
+        }
+        self.flush();
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide default handle. Until [`try_set_global`] installs
+/// something else, warnings render to stderr and info events are dropped,
+/// matching the old `eprintln!` behaviour of library crates.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(|| Obs::stderr(Level::Warn))
+}
+
+/// Installs `obs` as the process-wide default. Returns `false` if a
+/// default was already installed (first caller wins).
+pub fn try_set_global(obs: Obs) -> bool {
+    GLOBAL.set(obs).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_stage_records_histogram_and_event() {
+        let (obs, sink) = Obs::memory();
+        let out = obs.time_stage("renewal_quadrature", || 21 * 2);
+        assert_eq!(out, 42);
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.histograms["stage.renewal_quadrature_ms"].count(), 1);
+        let events = sink.events_of("stage");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(
+            events[0].fields[0],
+            ("name", Value::Str("renewal_quadrature".to_owned()))
+        );
+    }
+
+    #[test]
+    fn stage_sequence_keys_are_program_ordered() {
+        let (obs, sink) = Obs::memory();
+        obs.time_stage("a", || ());
+        obs.time_stage("b", || ());
+        let seqs: Vec<u64> = sink.events_of("stage").iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn clones_share_sink_and_metrics() {
+        let (obs, sink) = Obs::memory();
+        let clone = obs.clone();
+        clone.emit(Event::new("x", 0));
+        clone.metrics().add("n", 1);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(obs.metrics().snapshot().counters["n"], 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_events_cover_all_families() {
+        let (obs, sink) = Obs::memory();
+        obs.metrics().add("c", 1);
+        obs.metrics().set_gauge("g", 2.0);
+        obs.metrics().observe("h", 3.0);
+        obs.emit_metrics_snapshot();
+        assert_eq!(sink.events_of("metric.counter").len(), 1);
+        assert_eq!(sink.events_of("metric.gauge").len(), 1);
+        assert_eq!(sink.events_of("metric.histogram").len(), 1);
+    }
+
+    #[test]
+    fn global_default_exists() {
+        // First touch initialises the stderr default; both calls must hand
+        // back the same registry.
+        let a = global().metrics() as *const Metrics;
+        let b = global().metrics() as *const Metrics;
+        assert_eq!(a, b);
+    }
+}

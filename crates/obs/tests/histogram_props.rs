@@ -1,0 +1,94 @@
+//! Property tests for the metrics layer's aggregation laws.
+//!
+//! Thread-count invariance of metrics rests on merge being commutative
+//! and associative: workers may fold partial histograms in any grouping,
+//! and the result must not depend on it. Bucket counts must agree
+//! *exactly*; Kahan-compensated totals may differ by rounding on the
+//! order of one ulp per merge, so they get an epsilon.
+
+use proptest::prelude::*;
+use serr_obs::Log2Histogram;
+
+fn hist(values: &[f64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn merged(a: &Log2Histogram, b: &Log2Histogram) -> Log2Histogram {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+fn sums_close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+/// Observation values spanning many decades, including subnormal-ish and
+/// huge magnitudes plus the absorbing bucket-0 cases.
+fn value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => (-200.0f64..200.0).prop_map(|e| (e / 10.0).exp2()),
+        1 => Just(0.0),
+        1 => (-100.0f64..0.0),
+    ]
+}
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(value(), 0..64)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(xs in values(), ys in values()) {
+        let (a, b) = (hist(&xs), hist(&ys));
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!(sums_close(ab.sum(), ba.sum()),
+            "sums diverged: {} vs {}", ab.sum(), ba.sum());
+    }
+
+    #[test]
+    fn merge_is_associative(xs in values(), ys in values(), zs in values()) {
+        let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!(sums_close(left.sum(), right.sum()),
+            "sums diverged: {} vs {}", left.sum(), right.sum());
+    }
+
+    #[test]
+    fn merge_of_splits_equals_whole(xs in values(), split in 0usize..64) {
+        // Chunked accumulation (what per-worker partials do) must agree
+        // with a single accumulator on counts.
+        let cut = split.min(xs.len());
+        let whole = hist(&xs);
+        let pieces = merged(&hist(&xs[..cut]), &hist(&xs[cut..]));
+        prop_assert_eq!(whole.bucket_counts(), pieces.bucket_counts());
+        prop_assert!(sums_close(whole.sum(), pieces.sum()));
+    }
+
+    #[test]
+    fn identity_merge_is_noop(xs in values()) {
+        let a = hist(&xs);
+        let with_empty = merged(&a, &Log2Histogram::new());
+        prop_assert_eq!(a.bucket_counts(), with_empty.bucket_counts());
+        prop_assert_eq!(a.count(), with_empty.count());
+        prop_assert!(sums_close(a.sum(), with_empty.sum()));
+    }
+
+    #[test]
+    fn bucket_index_is_total(v in prop::num::f64::ANY) {
+        // Every f64, including NaN and infinities, maps to a valid bucket.
+        let i = Log2Histogram::bucket_index(v);
+        prop_assert!(i < serr_obs::BUCKETS);
+    }
+}

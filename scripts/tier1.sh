@@ -20,6 +20,16 @@ RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-m
 # binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
 
+# Observability smoke: a metrics-instrumented mttf run must produce
+# parseable JSONL with per-stage timings and at least one Monte Carlo
+# convergence snapshot, validated by the obs_check binary. SERR_THREADS=3
+# exercises the telemetry path under the parallel fold (sequence keys are
+# thread-count invariant by contract).
+mkdir -p target
+SERR_THREADS=3 cargo run --release --bin serr -- \
+  mttf --workload day --n-s 1e8 --trials 20000 --metrics target/obs-smoke.jsonl
+cargo run --release -p serr-bench --bin obs_check -- target/obs-smoke.jsonl
+
 # Robustness gate: no `.unwrap()` in library or binary code — a poisoned
 # design point must surface as a typed error, never a panic path someone
 # forgot about. Test code (#[cfg(test)] and tests//benches/ targets) is
@@ -28,3 +38,12 @@ cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 
 # the default lints without masking it. `.expect("reason")` stays allowed:
 # it documents why the failure is impossible.
 cargo clippy --workspace --lib --bins -- -A clippy::all -D clippy::unwrap_used
+
+# Observability gate: library crates must not print to stderr/stdout with
+# the print macros — diagnostics go through serr-obs typed events (the
+# sanctioned StderrSink writes via io::stderr(), which the lint does not
+# flag). Only the root CLI package is exempt (its lib hosts the command
+# runner whose stdout IS the product); --lib keeps the bench/figure
+# binaries out of scope automatically.
+cargo clippy --workspace --exclude soft-error-analysis --lib -- \
+  -A clippy::all -D clippy::print_stderr -D clippy::print_stdout

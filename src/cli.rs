@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use serr_core::experiments::ExperimentConfig;
 use serr_core::prelude::*;
+use serr_obs::Obs;
 use serr_types::SerrError;
 
 /// Which workload a command targets.
@@ -117,6 +118,9 @@ pub enum Command {
         trials: u64,
         /// Wall-clock budget for the Monte Carlo run, in seconds.
         deadline_s: Option<f64>,
+        /// Write stage timings, convergence events, and a metrics snapshot
+        /// as JSONL to this path.
+        metrics: Option<std::path::PathBuf>,
     },
     /// SOFR cluster projection vs ground truth.
     Sofr {
@@ -130,6 +134,9 @@ pub enum Command {
         trials: u64,
         /// Wall-clock budget for the Monte Carlo run, in seconds.
         deadline_s: Option<f64>,
+        /// Write stage timings, convergence events, and a metrics snapshot
+        /// as JSONL to this path.
+        metrics: Option<std::path::PathBuf>,
     },
     /// Run one of the paper's figure sweeps with checkpoint/resume.
     Sweep {
@@ -139,6 +146,9 @@ pub enum Command {
         fresh: bool,
         /// Monte Carlo trials override.
         trials: Option<u64>,
+        /// Write checkpoint events and a metrics snapshot as JSONL to this
+        /// path.
+        metrics: Option<std::path::PathBuf>,
     },
     /// Run deterministic fault-injection campaigns across the stack and
     /// check the detect-or-degrade invariant.
@@ -210,6 +220,7 @@ impl Command {
                 })?)?;
                 let mut fresh = false;
                 let mut trials: Option<u64> = None;
+                let mut metrics: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
                     match flag {
                         "--fresh" => fresh = true,
@@ -220,6 +231,12 @@ impl Command {
                             })?;
                             trials = Some(parse_count("--trials", v)?);
                         }
+                        "--metrics" => {
+                            let v = it.next().ok_or_else(|| {
+                                SerrError::invalid_config("--metrics needs a path")
+                            })?;
+                            metrics = Some(std::path::PathBuf::from(v));
+                        }
                         other => {
                             return Err(SerrError::invalid_config(format!(
                                 "unknown flag `{other}`"
@@ -227,7 +244,7 @@ impl Command {
                         }
                     }
                 }
-                Ok(Command::Sweep { figure, fresh, trials })
+                Ok(Command::Sweep { figure, fresh, trials, metrics })
             }
             "chaos" => {
                 let defaults = serr_core::chaos::ChaosConfig::default();
@@ -271,6 +288,7 @@ impl Command {
                 let mut components: u64 = 1;
                 let mut trials: u64 = 100_000;
                 let mut deadline_s: Option<f64> = None;
+                let mut metrics: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
                     let mut value = |name: &str| {
                         it.next()
@@ -298,6 +316,9 @@ impl Command {
                             deadline_s =
                                 Some(parse_positive_f64("--deadline", &value("--deadline")?)?);
                         }
+                        "--metrics" => {
+                            metrics = Some(std::path::PathBuf::from(value("--metrics")?));
+                        }
                         other => {
                             return Err(SerrError::invalid_config(format!(
                                 "unknown flag `{other}`"
@@ -311,9 +332,16 @@ impl Command {
                     SerrError::invalid_config("--rate <errors/year> or --n-s <product> is required")
                 })?;
                 if sub == "mttf" {
-                    Ok(Command::Mttf { workload, rate_per_year, trials, deadline_s })
+                    Ok(Command::Mttf { workload, rate_per_year, trials, deadline_s, metrics })
                 } else {
-                    Ok(Command::Sofr { workload, rate_per_year, components, trials, deadline_s })
+                    Ok(Command::Sofr {
+                        workload,
+                        rate_per_year,
+                        components,
+                        trials,
+                        deadline_s,
+                        metrics,
+                    })
                 }
             }
             other => Err(SerrError::invalid_config(format!("unknown subcommand `{other}`"))),
@@ -390,9 +418,9 @@ pub const USAGE: &str = "\
 serr — architecture-level soft error analysis (DSN 2007 reproduction)
 
 USAGE:
-  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--deadline <secs>]
-  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--deadline <secs>]
-  serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N]
+  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--deadline <secs>] [--metrics PATH]
+  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--deadline <secs>] [--metrics PATH]
+  serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--metrics PATH]
   serr chaos [--campaigns N] [--seed S] [--trials N] [--kinds k1,k2,...] [--jsonl PATH]
   serr workloads
   serr help
@@ -418,10 +446,21 @@ FLAGS:
                      rate-poison, checkpoint-io, journal-corrupt,
                      journal-lock, cache-corrupt
   --jsonl PATH       write one JSON line per campaign outcome to PATH
+  --metrics PATH     stream structured telemetry to PATH as JSON lines:
+                     per-stage wall time (trace compile, renewal quadrature,
+                     SoftArch, MC run), per-chunk Monte Carlo convergence
+                     snapshots (running mean + 95% CI half-width), and a
+                     closing counters/gauges/histograms snapshot; event
+                     sequence keys are identical at any SERR_THREADS
+
+ENVIRONMENT:
+  SERR_THREADS       Monte Carlo worker threads for mttf/sofr (0 or unset =
+                     all cores); estimates are bit-identical at any setting
 
 EXAMPLES:
   serr mttf --workload day --n-s 1e8
   serr mttf --workload spec:mcf --rate 1e-4 --deadline 10
+  serr mttf --workload day --n-s 1e8 --metrics out.jsonl
   serr sofr --workload week --n-s 1e8 -c 5000
   serr sweep fig5 --trials 20000
   serr chaos --campaigns 50 --seed 0xC0FFEE --jsonl chaos.jsonl
@@ -455,11 +494,15 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             Ok(())
         }
-        Command::Mttf { workload, rate_per_year, trials, deadline_s } => {
+        Command::Mttf { workload, rate_per_year, trials, deadline_s, metrics } => {
+            let obs = metrics_obs(metrics.as_deref())?;
             let trace = workload.trace(&cfg)?;
             let rate = RawErrorRate::try_per_year(*rate_per_year)?;
             let freq = cfg.frequency;
-            let v = Validator::new(freq, mc_config(*trials, *deadline_s));
+            let mut v = Validator::new(freq, mc_config(*trials, *deadline_s));
+            if let Some(obs) = &obs {
+                v = v.with_observer(obs.clone());
+            }
             let r = v.component(&trace, rate)?;
             println!("workload period : {}", Seconds::new(trace.period_cycles() as f64 / freq.hz()));
             println!("AVF             : {:.4}", r.avf);
@@ -481,12 +524,17 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             println!("MTTF, SoftArch  : {}", r.mttf_softarch.as_seconds());
             println!("AVF-step error  : {:.2}% vs MC, {:.2}% vs exact",
                 r.avf_error_vs_mc * 100.0, r.avf_error_vs_renewal * 100.0);
+            finish_metrics(obs.as_ref(), metrics.as_deref());
             Ok(())
         }
-        Command::Sofr { workload, rate_per_year, components, trials, deadline_s } => {
+        Command::Sofr { workload, rate_per_year, components, trials, deadline_s, metrics } => {
+            let obs = metrics_obs(metrics.as_deref())?;
             let trace = workload.trace(&cfg)?;
             let rate = RawErrorRate::try_per_year(*rate_per_year)?;
-            let v = Validator::new(cfg.frequency, mc_config(*trials, *deadline_s));
+            let mut v = Validator::new(cfg.frequency, mc_config(*trials, *deadline_s));
+            if let Some(obs) = &obs {
+                v = v.with_observer(obs.clone());
+            }
             let r = v.system_identical(trace, rate, *components)?;
             println!("components      : {components}");
             println!("MTTF, SOFR      : {}", r.mttf_sofr.as_seconds());
@@ -510,15 +558,22 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             if r.sofr_error_vs_renewal > 0.10 {
                 println!("warning: SOFR is unreliable for this configuration (see DSN'07)");
             }
+            finish_metrics(obs.as_ref(), metrics.as_deref());
             Ok(())
         }
-        Command::Sweep { figure, fresh, trials } => {
+        Command::Sweep { figure, fresh, trials, metrics } => {
+            let obs = metrics_obs(metrics.as_deref())?;
             let mut cfg = cfg;
             if let Some(t) = trials {
                 cfg.mc.trials = *t;
             }
-            let opts = if *fresh { SweepOptions::fresh() } else { SweepOptions::resume() };
-            run_sweep_command(*figure, &cfg, &opts)
+            let mut opts = if *fresh { SweepOptions::fresh() } else { SweepOptions::resume() };
+            if let Some(obs) = &obs {
+                opts = opts.with_obs(obs.clone());
+            }
+            run_sweep_command(*figure, &cfg, &opts)?;
+            finish_metrics(obs.as_ref(), metrics.as_deref());
+            Ok(())
         }
         Command::Chaos { campaigns, seed, trials, kinds, jsonl } => {
             let ccfg = ChaosConfig {
@@ -575,11 +630,37 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
 }
 
 /// Assembles the Monte Carlo configuration for the `mttf`/`sofr` commands.
+/// `SERR_THREADS` overrides the worker-thread count (unset, empty, or `0`
+/// means all cores); estimates are bit-identical at any setting — the
+/// variable exists so that invariance can be demonstrated from the shell.
 fn mc_config(trials: u64, deadline_s: Option<f64>) -> MonteCarloConfig {
+    let threads = std::env::var("SERR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
     MonteCarloConfig {
         trials,
+        threads,
         deadline: deadline_s.map(std::time::Duration::from_secs_f64),
         ..Default::default()
+    }
+}
+
+/// Opens the `--metrics` JSONL observer, when one was requested.
+fn metrics_obs(path: Option<&std::path::Path>) -> Result<Option<Obs>, SerrError> {
+    path.map(|p| {
+        Obs::jsonl(p).map_err(|e| SerrError::io("open --metrics jsonl", e.to_string()))
+    })
+    .transpose()
+}
+
+/// Closes out a `--metrics` run: appends the counter/gauge/histogram
+/// snapshot to the event stream, flushes the file, and tells the user
+/// where it landed.
+fn finish_metrics(obs: Option<&Obs>, path: Option<&std::path::Path>) {
+    if let (Some(obs), Some(path)) = (obs, path) {
+        obs.emit_metrics_snapshot();
+        println!("wrote metrics JSONL to {}", path.display());
     }
 }
 
@@ -712,7 +793,8 @@ mod tests {
                 workload: WorkloadSpec::Day,
                 rate_per_year: 1.0,
                 trials: 100_000,
-                deadline_s: None
+                deadline_s: None,
+                metrics: None
             }
         );
         let cmd = Command::parse(&[
@@ -727,7 +809,8 @@ mod tests {
                 rate_per_year: 2.5,
                 components: 5000,
                 trials: 5000,
-                deadline_s: Some(1.5)
+                deadline_s: Some(1.5),
+                metrics: None
             }
         );
         assert_eq!(Command::parse(&["workloads"]).unwrap(), Command::Workloads);
@@ -739,12 +822,32 @@ mod tests {
     fn sweep_commands_parse() {
         assert_eq!(
             Command::parse(&["sweep", "fig5", "--fresh"]).unwrap(),
-            Command::Sweep { figure: SweepFigure::Fig5, fresh: true, trials: None }
+            Command::Sweep {
+                figure: SweepFigure::Fig5,
+                fresh: true,
+                trials: None,
+                metrics: None
+            }
         );
         assert_eq!(
             Command::parse(&["sweep", "sec5_1", "--resume", "--trials", "9000"]).unwrap(),
-            Command::Sweep { figure: SweepFigure::Sec51, fresh: false, trials: Some(9000) }
+            Command::Sweep {
+                figure: SweepFigure::Sec51,
+                fresh: false,
+                trials: Some(9000),
+                metrics: None
+            }
         );
+        assert_eq!(
+            Command::parse(&["sweep", "fig5", "--metrics", "m.jsonl"]).unwrap(),
+            Command::Sweep {
+                figure: SweepFigure::Fig5,
+                fresh: false,
+                trials: None,
+                metrics: Some(std::path::PathBuf::from("m.jsonl"))
+            }
+        );
+        assert!(Command::parse(&["sweep", "fig5", "--metrics"]).is_err());
         for figure in ["fig6a", "fig6b", "sec5_4"] {
             assert!(Command::parse(&["sweep", figure]).is_ok());
         }
@@ -813,6 +916,41 @@ mod tests {
         ])
         .unwrap();
         run(&cmd).unwrap();
+    }
+
+    #[test]
+    fn run_mttf_with_metrics_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir().join(format!("serr-cli-metrics-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("mttf.jsonl");
+        let cmd = Command::parse(&[
+            "mttf",
+            "--workload",
+            "duty:0.001:0.5",
+            "--rate",
+            "1e6",
+            "--trials",
+            "3000",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&cmd).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut stage_lines = 0;
+        let mut chunk_lines = 0;
+        for line in text.lines() {
+            let parsed = serr_core::jsonio::Json::parse(line)
+                .unwrap_or_else(|| panic!("unparseable metrics line `{line}`"));
+            match parsed.get("event").and_then(serr_core::jsonio::Json::as_str) {
+                Some("stage") => stage_lines += 1,
+                Some("mc.chunk") => chunk_lines += 1,
+                _ => {}
+            }
+        }
+        assert!(stage_lines >= 3, "expected stage timings, saw {stage_lines}");
+        assert!(chunk_lines >= 1, "expected >=1 convergence snapshot, saw {chunk_lines}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

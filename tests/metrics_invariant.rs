@@ -1,0 +1,91 @@
+//! Thread-count invariance of the estimates AND their telemetry.
+//!
+//! The engine's determinism contract says a run is bit-identical at any
+//! worker-thread count. The observability layer must not weaken that:
+//! event sequence keys derive from chunk indices (never scheduling), the
+//! per-chunk convergence snapshots are emitted from the main-thread fold
+//! in ascending chunk order, and counters aggregate commutatively — so the
+//! whole telemetry stream, rendered to JSON, is byte-identical too (modulo
+//! wall-clock-valued stage timings, which keep deterministic *keys*).
+
+use serr_core::prelude::*;
+use serr_obs::{Event, Obs};
+
+struct Telemetry {
+    estimate: MttfEstimate,
+    /// Full JSON rendering of every `mc.chunk` convergence event.
+    chunk_json: Vec<String>,
+    /// `(kind, seq)` for every event, in emission order.
+    sequence_keys: Vec<(String, u64)>,
+    /// All counters (deterministic; gauges carry wall-clock rates).
+    counters: Vec<(String, u64)>,
+}
+
+fn observed_run(threads: usize) -> Telemetry {
+    let trace = IntervalTrace::busy_idle(1_000, 3_000).expect("valid trace");
+    let cfg = MonteCarloConfig {
+        trials: 10_000,
+        threads,
+        seed: 0x0D15_EA5E,
+        ..Default::default()
+    };
+    let (obs, sink) = Obs::memory();
+    let estimate = MonteCarlo::new(cfg)
+        .with_observer(obs.clone())
+        .component_mttf(&trace, RawErrorRate::per_year(25.0), Frequency::base())
+        .expect("MC run succeeds");
+    Telemetry {
+        estimate,
+        chunk_json: sink.events_of("mc.chunk").iter().map(Event::to_json).collect(),
+        sequence_keys: sink
+            .events()
+            .iter()
+            .map(|e| (e.kind.to_owned(), e.seq))
+            .collect(),
+        counters: obs.metrics().snapshot().counters.into_iter().collect(),
+    }
+}
+
+#[test]
+fn telemetry_is_byte_identical_across_thread_counts() {
+    let one = observed_run(1);
+    let eight = observed_run(8);
+
+    // The estimate itself: bit-identical, observer attached or not.
+    assert_eq!(one.estimate, eight.estimate);
+    assert_eq!(
+        one.estimate.mttf.as_secs().to_bits(),
+        eight.estimate.mttf.as_secs().to_bits(),
+        "estimates must be bit-identical at 1 vs 8 threads"
+    );
+
+    // Convergence snapshots: same count, same keys, same rendered bytes.
+    assert!(!one.chunk_json.is_empty(), "run must emit convergence snapshots");
+    assert_eq!(one.chunk_json, eight.chunk_json, "mc.chunk JSON must not depend on threads");
+
+    // Every event's (kind, seq) — including stage timings, whose *values*
+    // are wall clock but whose keys are program-ordered.
+    assert_eq!(one.sequence_keys, eight.sequence_keys);
+
+    // Counters aggregate commutatively.
+    assert_eq!(one.counters, eight.counters);
+}
+
+#[test]
+fn convergence_snapshots_tighten_the_estimator() {
+    // The telemetry exists so `--metrics` shows the CI half-width shrinking
+    // as chunks fold in; verify the trajectory it reports actually narrows
+    // (1/sqrt(n)-ish) from the first snapshot to the last.
+    let t = observed_run(4);
+    let ci = |line: &str| -> f64 {
+        let json = serr_core::jsonio::Json::parse(line).expect("chunk event renders valid JSON");
+        json.get("ci95_s").and_then(serr_core::jsonio::Json::as_f64).expect("ci95_s field")
+    };
+    let first = ci(&t.chunk_json[0]);
+    let last = ci(t.chunk_json.last().expect("at least one snapshot"));
+    assert!(first.is_finite() && last.is_finite());
+    assert!(
+        last < first,
+        "CI half-width should tighten across chunks: first {first:.3e}, last {last:.3e}"
+    );
+}

@@ -161,7 +161,7 @@ fn masked_ttf_is_exponential_only_in_the_valid_regime() {
     let mc = MonteCarlo::new(MonteCarloConfig::default());
     let samples = mc.sample_ttfs(&day, small_rate, freq, n).unwrap();
     let eff = small_rate.per_second_value() * 0.5;
-    let d_small = Ecdf::new(samples).ks_vs_exponential(eff);
+    let d_small = Ecdf::new(samples).expect("MC samples contain no NaN").ks_vs_exponential(eff);
     assert!(
         d_small < ks_critical_value(n as usize, 0.01),
         "valid regime should look exponential: KS {d_small}"
@@ -172,7 +172,7 @@ fn masked_ttf_is_exponential_only_in_the_valid_regime() {
     let big_rate = RawErrorRate::baseline_per_bit().scale(5e11);
     let samples = mc.sample_ttfs(&day, big_rate, freq, n).unwrap();
     let eff = big_rate.per_second_value() * 0.5;
-    let d_big = Ecdf::new(samples).ks_vs_exponential(eff);
+    let d_big = Ecdf::new(samples).expect("MC samples contain no NaN").ks_vs_exponential(eff);
     assert!(
         d_big > 5.0 * ks_critical_value(n as usize, 0.01),
         "invalid regime should be detectably non-exponential: KS {d_big}"

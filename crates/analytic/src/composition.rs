@@ -24,8 +24,8 @@ pub fn erlang_pdf(n: u32, lambda: f64, x: f64) -> f64 {
     if x == 0.0 {
         return if n == 1 { lambda } else { 0.0 };
     }
-    let log_pdf = lambda.ln() + f64::from(n - 1) * (lambda * x).ln() - lambda * x
-        - ln_factorial(n - 1);
+    let log_pdf =
+        lambda.ln() + f64::from(n - 1) * (lambda * x).ln() - lambda * x - ln_factorial(n - 1);
     log_pdf.exp()
 }
 
@@ -142,11 +142,9 @@ mod tests {
     #[test]
     fn mixture_mean_is_avf_derated_mttf() {
         let (avf, lambda) = (0.25, 0.5);
-        let mean = integrate_to_infinity(
-            |x| x * geometric_erlang_mixture_pdf(avf, lambda, x),
-            1e-12,
-        )
-        .unwrap();
+        let mean =
+            integrate_to_infinity(|x| x * geometric_erlang_mixture_pdf(avf, lambda, x), 1e-12)
+                .unwrap();
         assert!((mean - 1.0 / (avf * lambda)).abs() < 1e-6);
     }
 }

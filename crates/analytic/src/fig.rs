@@ -119,14 +119,8 @@ mod tests {
     #[test]
     fn fig3_errors_small_at_baseline_larger_at_5x() {
         let rows = fig3_series(16);
-        let base_16d = rows
-            .iter()
-            .find(|r| r.scale == 1.0 && r.l_days == 16.0)
-            .unwrap();
-        let hot_16d = rows
-            .iter()
-            .find(|r| r.scale == 5.0 && r.l_days == 16.0)
-            .unwrap();
+        let base_16d = rows.iter().find(|r| r.scale == 1.0 && r.l_days == 16.0).unwrap();
+        let hot_16d = rows.iter().find(|r| r.scale == 5.0 && r.l_days == 16.0).unwrap();
         // Paper: "although the errors are small for the baseline value of
         // lambda, they can be significant for higher values."
         assert!(base_16d.relative_error < 0.10, "baseline {}", base_16d.relative_error);

@@ -99,11 +99,8 @@ mod tests {
     fn survival_form_matches_density_form_for_min() {
         // E(Y) via ∫ y·f_Y(y) dy with f_Y = N(1-F)^{N-1} f, as in the paper.
         let n = 4;
-        let by_density = integrate_to_infinity(
-            |y| y * 4.0 * erfc(y).powi(n - 1) * density(y),
-            1e-13,
-        )
-        .unwrap();
+        let by_density =
+            integrate_to_infinity(|y| y * 4.0 * erfc(y).powi(n - 1) * density(y), 1e-13).unwrap();
         let by_survival = system_mttf(n as u32).unwrap();
         assert!((by_density - by_survival).abs() < 1e-8);
     }

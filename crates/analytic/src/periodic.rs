@@ -91,13 +91,9 @@ mod tests {
 
     #[test]
     fn simplified_equals_paper_form() {
-        for &(lambda, a, l) in &[
-            (0.5, 1.0, 2.0),
-            (2.0, 0.3, 1.0),
-            (0.01, 5.0, 20.0),
-            (1.0, 0.9, 1.0),
-            (3.0, 2.0, 2.0),
-        ] {
+        for &(lambda, a, l) in
+            &[(0.5, 1.0, 2.0), (2.0, 0.3, 1.0), (0.01, 5.0, 20.0), (1.0, 0.9, 1.0), (3.0, 2.0, 2.0)]
+        {
             let simple = busy_idle_mttf(lambda, a, l);
             let paper = busy_idle_mttf_paper_form(lambda, a, l);
             assert!(

@@ -45,9 +45,7 @@ pub fn renewal_mttf(
         return Err(SerrError::invalid_config("raw error rate is zero; MTTF is infinite"));
     }
     if trace.is_never_vulnerable() {
-        return Err(SerrError::invalid_trace(
-            "trace has AVF = 0; the component can never fail",
-        ));
+        return Err(SerrError::invalid_trace("trace has AVF = 0; the component can never fail"));
     }
     let lambda_cycle = rate.per_second_value() / freq.hz();
     let mttf_cycles = renewal_mttf_cycles(trace, lambda_cycle);

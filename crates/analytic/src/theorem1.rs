@@ -92,8 +92,7 @@ mod tests {
     fn density_integrates_to_one() {
         for &(lambda, l) in &[(0.5, 4.0), (2.0, 1.0), (1e-6, 1000.0)] {
             let total =
-                integrate(|x| phase_density(lambda, x, l), 0.0, l * (1.0 - 1e-12), 1e-12)
-                    .unwrap();
+                integrate(|x| phase_density(lambda, x, l), 0.0, l * (1.0 - 1e-12), 1e-12).unwrap();
             assert!((total - 1.0).abs() < 1e-8, "λ={lambda}, L={l}: {total}");
         }
     }

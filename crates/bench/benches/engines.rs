@@ -23,7 +23,8 @@ fn bench_monte_carlo(c: &mut Criterion) {
     let levels: Vec<f64> = (0..10_000).map(|i| f64::from(u32::from(i % 7 == 0))).collect();
     let fine = IntervalTrace::from_levels(&levels).unwrap();
     g.bench_function("fine_grained_10k_segments", |b| {
-        let mc = MonteCarlo::new(MonteCarloConfig { trials: 2_000, threads: 1, ..Default::default() });
+        let mc =
+            MonteCarlo::new(MonteCarloConfig { trials: 2_000, threads: 1, ..Default::default() });
         let rate = RawErrorRate::per_year(100.0);
         b.iter(|| mc.component_mttf(&fine, rate, freq).unwrap());
     });

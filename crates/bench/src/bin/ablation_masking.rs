@@ -38,10 +38,7 @@ fn main() {
         "Ablation: conservative-masking sensitivity, day workload\n\
          (busy-cycle failure probability derated; exact renewal reference)\n"
     );
-    print!(
-        "{}",
-        render_table(&["busy fails", "N*S", "AVF", "AVF-step error"], &rows)
-    );
+    print!("{}", render_table(&["busy fails", "N*S", "AVF", "AVF-step error"], &rows));
     println!("\nextra masking rescales the effective error rate (shifting the");
     println!("breakdown threshold right by 1/p) but does not repair the AVF");
     println!("step: the discrepancy at matched lambda*AVF*L is unchanged.");

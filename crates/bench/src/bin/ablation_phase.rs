@@ -64,9 +64,21 @@ fn main() {
         rows.push(vec![
             c.to_string(),
             format!("{:.3}h", sofr.as_secs() / 3600.0),
-            format!("{:.3}h / {}", aligned.as_secs() / 3600.0, pct(relative_error(sofr.as_secs(), aligned.as_secs()))),
-            format!("{:.3}h / {}", stationary / 3600.0, pct(relative_error(sofr.as_secs(), stationary))),
-            format!("{:.3}h / {}", desync.as_secs() / 3600.0, pct(relative_error(sofr.as_secs(), desync.as_secs()))),
+            format!(
+                "{:.3}h / {}",
+                aligned.as_secs() / 3600.0,
+                pct(relative_error(sofr.as_secs(), aligned.as_secs()))
+            ),
+            format!(
+                "{:.3}h / {}",
+                stationary / 3600.0,
+                pct(relative_error(sofr.as_secs(), stationary))
+            ),
+            format!(
+                "{:.3}h / {}",
+                desync.as_secs() / 3600.0,
+                pct(relative_error(sofr.as_secs(), desync.as_secs()))
+            ),
         ]);
     }
     println!(

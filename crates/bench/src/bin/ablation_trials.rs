@@ -31,10 +31,7 @@ fn main() {
     println!("Ablation: Monte Carlo convergence (exact MTTF = {exact:.6e} s)\n");
     print!(
         "{}",
-        render_table(
-            &["trials", "MTTF (s)", "error vs exact", "95% CI", "events/trial"],
-            &rows
-        )
+        render_table(&["trials", "MTTF (s)", "error vs exact", "95% CI", "events/trial"], &rows)
     );
     println!("\nthe paper's 1e6 trials resolve MTTF to ~0.2%; 2e5 (this repo's");
     println!("default) to ~0.4% — both far below the discrepancies under study.");

@@ -32,10 +32,7 @@ fn main() {
             },
         ),
         ("mshr=1", SimConfig { mshrs: 1, ..SimConfig::power4() }),
-        (
-            "next-line prefetch",
-            SimConfig { l1d_next_line_prefetch: true, ..SimConfig::power4() },
-        ),
+        ("next-line prefetch", SimConfig { l1d_next_line_prefetch: true, ..SimConfig::power4() }),
     ];
 
     for bench in ["gzip", "mcf", "swim"] {

@@ -73,8 +73,7 @@ fn main() {
 
     // The day-like case: two huge segments, stresses the period-skip math
     // rather than the lookup.
-    let day_like =
-        IntervalTrace::busy_idle(1_000_000, 1_000_000).expect("day-like trace is valid");
+    let day_like = IntervalTrace::busy_idle(1_000_000, 1_000_000).expect("day-like trace is valid");
     let mc_day =
         MonteCarlo::new(MonteCarloConfig { trials: 10_000, threads: 1, ..Default::default() });
     let day_rate = RawErrorRate::per_year(1.0e4);
@@ -88,12 +87,9 @@ fn main() {
     // the perf trajectory also records *where* the time goes and how fast
     // the estimator tightens.
     let (obs, sink) = Obs::memory();
-    let mc_observed = MonteCarlo::new(MonteCarloConfig {
-        trials: 10_000,
-        threads: 1,
-        ..Default::default()
-    })
-    .with_observer(obs.clone());
+    let mc_observed =
+        MonteCarlo::new(MonteCarloConfig { trials: 10_000, threads: 1, ..Default::default() })
+            .with_observer(obs.clone());
     mc_observed.component_mttf(&day_like, rate, freq).expect("observed MC case runs");
     let snap = obs.metrics().snapshot();
     let stage_entries: Vec<String> = snap
@@ -143,22 +139,15 @@ fn main() {
     // journals every point) then Resume (must restore all of them without
     // recomputation). The counts land in the JSON so a perf-tracking diff
     // also notices if resume silently stops resuming.
-    let ck_dir = format!("{}/../../target/serr-checkpoints/bench-smoke", env!("CARGO_MANIFEST_DIR"));
+    let ck_dir =
+        format!("{}/../../target/serr-checkpoints/bench-smoke", env!("CARGO_MANIFEST_DIR"));
     let points = [1e7, 1e10, 1e13];
-    let fresh = fig5_sweep(
-        &[Workload::Day],
-        &points,
-        &sweep_cfg,
-        &SweepOptions::fresh().in_dir(&ck_dir),
-    )
-    .expect("fresh checkpointed sweep runs");
-    let resumed = fig5_sweep(
-        &[Workload::Day],
-        &points,
-        &sweep_cfg,
-        &SweepOptions::resume().in_dir(&ck_dir),
-    )
-    .expect("resumed checkpointed sweep runs");
+    let fresh =
+        fig5_sweep(&[Workload::Day], &points, &sweep_cfg, &SweepOptions::fresh().in_dir(&ck_dir))
+            .expect("fresh checkpointed sweep runs");
+    let resumed =
+        fig5_sweep(&[Workload::Day], &points, &sweep_cfg, &SweepOptions::resume().in_dir(&ck_dir))
+            .expect("resumed checkpointed sweep runs");
     let checkpoint_json = format!(
         "  \"checkpoint\": {{\"sweep\": \"fig5_day_3_points\", \"fresh_computed\": {}, \
          \"resume_restored\": {}, \"resume_recomputed\": {}}},",
@@ -172,7 +161,8 @@ fn main() {
     // Chaos smoke campaign: a small fixed fault-injection run whose
     // detect/degrade/miss counts land in the JSON, so a perf-tracking diff
     // also notices if the detect-or-degrade guarantee regresses.
-    let chaos_cfg = ChaosConfig { campaigns: 20, seed: 0xBE5C, trials: 2_000, ..Default::default() };
+    let chaos_cfg =
+        ChaosConfig { campaigns: 20, seed: 0xBE5C, trials: 2_000, ..Default::default() };
     let chaos = run_chaos(&chaos_cfg).expect("chaos smoke campaign runs");
     let chaos_json = format!(
         "  \"chaos\": {{\"campaigns\": {}, \"clean\": {}, \"retried\": {}, \"degraded\": {}, \

@@ -21,9 +21,8 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn parsed<T: std::str::FromStr>(name: &str) -> Option<T> {
-    arg_value(name).map(|v| {
-        v.parse().unwrap_or_else(|_| panic!("{name}: `{v}` is not a valid value"))
-    })
+    arg_value(name)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{name}: `{v}` is not a valid value")))
 }
 
 fn main() {
@@ -57,15 +56,11 @@ fn main() {
         .map(|&kind| {
             let mut row = vec![kind.label().to_owned()];
             for tag in Provenance::ALL {
-                let n = report
-                    .outcomes
-                    .iter()
-                    .filter(|o| o.kind == kind && o.outcome == tag)
-                    .count();
+                let n =
+                    report.outcomes.iter().filter(|o| o.kind == kind && o.outcome == tag).count();
                 row.push(n.to_string());
             }
-            let misses =
-                report.outcomes.iter().filter(|o| o.kind == kind && o.miss).count();
+            let misses = report.outcomes.iter().filter(|o| o.kind == kind && o.miss).count();
             row.push(misses.to_string());
             row
         })
@@ -81,10 +76,7 @@ fn main() {
         report.golden_rel_ci95 * 100.0
     );
     for o in report.outcomes.iter().filter(|o| o.miss) {
-        println!(
-            "MISS: campaign {} ({}, seed {:#018x}): {}",
-            o.campaign, o.kind, o.seed, o.detail
-        );
+        println!("MISS: campaign {} ({}, seed {:#018x}): {}", o.campaign, o.kind, o.seed, o.detail);
     }
     if report.is_sound() {
         println!(

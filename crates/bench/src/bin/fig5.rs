@@ -1,7 +1,9 @@
 //! Regenerates Figure 5: AVF-step error vs Monte Carlo for the synthesized
 //! workloads at representative N*S values (C = 1).
 
-use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_bench::{
+    config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report,
+};
 use serr_core::experiments::fig5_sweep;
 use serr_core::prelude::Workload;
 

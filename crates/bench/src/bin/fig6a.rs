@@ -1,7 +1,9 @@
 //! Regenerates Figure 6(a): SOFR-step error vs Monte Carlo for clusters of
 //! processors running three representative SPEC benchmarks.
 
-use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_bench::{
+    config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report,
+};
 use serr_core::experiments::{fig6a_sweep, REPRESENTATIVE_BENCHMARKS};
 
 fn main() {
@@ -39,7 +41,15 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["benchmark", "C", "N*S", "MTTF SOFR (yr)", "MTTF MC (yr)", "SOFR err", "SoftArch err"],
+            &[
+                "benchmark",
+                "C",
+                "N*S",
+                "MTTF SOFR (yr)",
+                "MTTF MC (yr)",
+                "SOFR err",
+                "SoftArch err"
+            ],
             &table
         )
     );

@@ -1,7 +1,9 @@
 //! Regenerates Figure 6(b): SOFR-step error vs Monte Carlo for clusters
 //! running the synthesized day/week/combined workloads.
 
-use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_bench::{
+    config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report,
+};
 use serr_core::experiments::fig6b_sweep;
 use serr_core::prelude::Workload;
 

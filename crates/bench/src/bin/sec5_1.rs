@@ -16,10 +16,10 @@ fn main() {
         .iter()
         .map(|r| {
             let unit = |n: &str| {
-                r.components
-                    .iter()
-                    .find(|(name, _, _)| name == n)
-                    .map_or_else(|| "-".to_owned(), |(_, avf, err)| format!("{:.3}/{}", avf, pct(*err)))
+                r.components.iter().find(|(name, _, _)| name == n).map_or_else(
+                    || "-".to_owned(),
+                    |(_, avf, err)| format!("{:.3}/{}", avf, pct(*err)),
+                )
             };
             vec![
                 r.benchmark.clone(),
@@ -60,8 +60,7 @@ fn main() {
     );
     let worst_avf = rows.iter().map(|r| r.max_component_error).fold(0.0, f64::max);
     let worst_sofr = rows.iter().map(|r| r.sofr_error).fold(0.0, f64::max);
-    let worst_avf_exact =
-        rows.iter().map(|r| r.max_component_error_exact).fold(0.0, f64::max);
+    let worst_avf_exact = rows.iter().map(|r| r.max_component_error_exact).fold(0.0, f64::max);
     let worst_sofr_exact = rows.iter().map(|r| r.sofr_error_exact).fold(0.0, f64::max);
     println!(
         "\nworst AVF-step error: {} vs MC ({} vs exact)   worst SOFR-step error: {} vs MC ({} vs exact)",

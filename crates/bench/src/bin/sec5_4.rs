@@ -2,7 +2,9 @@
 //! design space. Paper: "< 1% for a single component and less than 2% for
 //! the full system".
 
-use serr_bench::{config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report};
+use serr_bench::{
+    config_from_args, pct, render_table, sci, sweep_options_from_args, unpack_report,
+};
 use serr_core::experiments::sec5_4_sweep;
 use serr_core::prelude::Workload;
 
@@ -32,15 +34,13 @@ fn main() {
          renewal reference) across the design space (trials = {}).\n",
         cfg.mc.trials
     );
-    print!(
-        "{}",
-        render_table(
-            &["workload", "C", "N*S", "vs Monte Carlo", "vs renewal"],
-            &table
-        )
-    );
+    print!("{}", render_table(&["workload", "C", "N*S", "vs Monte Carlo", "vs renewal"], &table));
     let worst_mc = rows.iter().map(|r| r.softarch_error).fold(0.0, f64::max);
     let worst_exact = rows.iter().map(|r| r.softarch_error_vs_renewal).fold(0.0, f64::max);
-    println!("\nworst vs MC: {} (MC sampling noise included); worst vs exact: {}", pct(worst_mc), pct(worst_exact));
+    println!(
+        "\nworst vs MC: {} (MC sampling noise included); worst vs exact: {}",
+        pct(worst_mc),
+        pct(worst_exact)
+    );
     println!("paper: < 1% (component), < 2% (system) for every point in the space");
 }

@@ -21,7 +21,10 @@ fn main() {
         ],
         vec![
             "Integer FU latencies".into(),
-            format!("{}/{}/{} add/multiply/divide", c.int_alu_latency, c.int_mul_latency, c.int_div_latency),
+            format!(
+                "{}/{}/{} add/multiply/divide",
+                c.int_alu_latency, c.int_mul_latency, c.int_div_latency
+            ),
         ],
         vec![
             "FP FU latencies".into(),
@@ -38,9 +41,18 @@ fn main() {
         vec!["Memory queue size".into(), format!("{} entries", c.mem_queue_size)],
         vec!["iTLB".into(), format!("{} entries", c.tlb_entries)],
         vec!["dTLB".into(), format!("{} entries", c.tlb_entries)],
-        vec!["L1 Dcache".into(), format!("{}KB, {}-way, {}-byte line", c.l1d.0 / 1024, c.l1d.1, c.line_bytes)],
-        vec!["L1 Icache".into(), format!("{}KB, {}-way, {}-byte line", c.l1i.0 / 1024, c.l1i.1, c.line_bytes)],
-        vec!["L2 (Unified)".into(), format!("{}MB, {}-way, {}-byte line", c.l2.0 / (1024 * 1024), c.l2.1, c.line_bytes)],
+        vec![
+            "L1 Dcache".into(),
+            format!("{}KB, {}-way, {}-byte line", c.l1d.0 / 1024, c.l1d.1, c.line_bytes),
+        ],
+        vec![
+            "L1 Icache".into(),
+            format!("{}KB, {}-way, {}-byte line", c.l1i.0 / 1024, c.l1i.1, c.line_bytes),
+        ],
+        vec![
+            "L2 (Unified)".into(),
+            format!("{}MB, {}-way, {}-byte line", c.l2.0 / (1024 * 1024), c.l2.1, c.line_bytes),
+        ],
         vec!["L1 Latency".into(), format!("{} cycles", c.l1_latency)],
         vec!["L2 Latency".into(), format!("{} cycles", c.l2_latency)],
         vec!["Main memory Latency".into(), format!("{} cycles", c.mem_latency)],

@@ -246,9 +246,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
     // acceptance band cannot be explained by sampling noise: it is a miss.
     let miss_tol = 2.0 * policy.ci_mult.mul_add(golden_ci, policy.rel_tol);
 
-    let scratch = cfg.scratch_dir.clone().unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("serr-chaos-{}", std::process::id()))
-    });
+    let scratch = cfg
+        .scratch_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("serr-chaos-{}", std::process::id())));
 
     let mut outcomes = Vec::with_capacity(cfg.campaigns);
     for campaign in 0..cfg.campaigns {
@@ -264,12 +265,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
             | FaultKind::RatePoison => {
                 guarded_campaign(&guard, &trace, rate, plan, campaign, golden_mttf, miss_tol)?
             }
-            FaultKind::CheckpointIo => {
-                checkpoint_io_campaign(&scratch, plan, campaign)?
-            }
-            FaultKind::JournalCorrupt => {
-                journal_corrupt_campaign(&scratch, plan, campaign)?
-            }
+            FaultKind::CheckpointIo => checkpoint_io_campaign(&scratch, plan, campaign)?,
+            FaultKind::JournalCorrupt => journal_corrupt_campaign(&scratch, plan, campaign)?,
             FaultKind::JournalLock => journal_lock_campaign(&scratch, plan, campaign)?,
             FaultKind::CacheCorrupt => cache_corrupt_campaign(&scratch, plan, campaign)?,
         };
@@ -289,11 +286,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
 /// detect-or-degrade invariant violated) is the only warning-level verdict.
 fn emit_verdict(obs: &Obs, o: &CampaignOutcome) {
     let seq = o.campaign as u64;
-    let mut ev = if o.miss {
-        Event::warn("chaos.verdict", seq)
-    } else {
-        Event::new("chaos.verdict", seq)
-    };
+    let mut ev =
+        if o.miss { Event::warn("chaos.verdict", seq) } else { Event::new("chaos.verdict", seq) };
     ev = ev
         .with("kind", o.kind.label())
         .with("outcome", o.outcome.label())
@@ -467,8 +461,7 @@ fn cache_corrupt_campaign(
     campaign: usize,
 ) -> Result<CampaignOutcome, SerrError> {
     let dir = campaign_dir(scratch, campaign);
-    fs::create_dir_all(&dir)
-        .map_err(|e| SerrError::io("chaos cache scratch", e.to_string()))?;
+    fs::create_dir_all(&dir).map_err(|e| SerrError::io("chaos cache scratch", e.to_string()))?;
     // Small fixed simulation — memoized in-process, so only the first
     // cache campaign pays for it.
     let run = pipeline::simulate_benchmark("vpr", 6_000, 3)?;
@@ -494,11 +487,10 @@ fn cache_corrupt_campaign(
                 && out.traces.int_unit == run.output.traces.int_unit
                 && out.traces.fp_unit == run.output.traces.fp_unit
                 && out.traces.decode == run.output.traces.decode
-                && out.traces.regfile == run.output.traces.regfile => (
-            Provenance::Clean,
-            false,
-            "corruption did not alter the decoded payload".to_owned(),
-        ),
+                && out.traces.regfile == run.output.traces.regfile =>
+        {
+            (Provenance::Clean, false, "corruption did not alter the decoded payload".to_owned())
+        }
         Some(_) => (
             Provenance::Suspect,
             true,
@@ -529,8 +521,7 @@ mod tests {
             trials: 2_000,
             threads: 1,
             scratch_dir: Some(
-                std::env::temp_dir()
-                    .join(format!("serr-chaos-test-{}-{seed}", std::process::id())),
+                std::env::temp_dir().join(format!("serr-chaos-test-{}-{seed}", std::process::id())),
             ),
             ..Default::default()
         }
@@ -541,16 +532,13 @@ mod tests {
         let cfg = quick_cfg(FaultKind::ALL.len() * 2, 0xABCD);
         let report = run_chaos(&cfg).unwrap();
         assert_eq!(report.outcomes.len(), cfg.campaigns);
-        assert!(report.is_sound(), "misses: {:?}", report
-            .outcomes
-            .iter()
-            .filter(|o| o.miss)
-            .collect::<Vec<_>>());
+        assert!(
+            report.is_sound(),
+            "misses: {:?}",
+            report.outcomes.iter().filter(|o| o.miss).collect::<Vec<_>>()
+        );
         for kind in FaultKind::ALL {
-            assert!(
-                report.outcomes.iter().any(|o| o.kind == kind),
-                "kind {kind} never ran"
-            );
+            assert!(report.outcomes.iter().any(|o| o.kind == kind), "kind {kind} never ran");
         }
     }
 
@@ -561,9 +549,8 @@ mod tests {
         let mut cfg_mt = quick_cfg(FaultKind::ALL.len(), 0x5EED);
         cfg_mt.threads = 4;
         let b = run_chaos(&cfg_mt).unwrap();
-        let tags = |r: &ChaosReport| {
-            r.outcomes.iter().map(|o| (o.kind, o.outcome)).collect::<Vec<_>>()
-        };
+        let tags =
+            |r: &ChaosReport| r.outcomes.iter().map(|o| (o.kind, o.outcome)).collect::<Vec<_>>();
         assert_eq!(tags(&a), tags(&b), "outcome tags must not depend on thread count");
     }
 

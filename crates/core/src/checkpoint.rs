@@ -245,8 +245,7 @@ fn line_checksum(index: usize, row_json: &str) -> u64 {
 /// (torn write) also counts as stale. Without a `/proc` filesystem,
 /// liveness cannot be checked, so a well-formed lock is assumed live.
 fn lock_holder_is_dead(lock_path: &Path) -> bool {
-    let Some(pid) =
-        fs::read_to_string(lock_path).ok().and_then(|s| s.trim().parse::<u32>().ok())
+    let Some(pid) = fs::read_to_string(lock_path).ok().and_then(|s| s.trim().parse::<u32>().ok())
     else {
         return true;
     };
@@ -270,9 +269,7 @@ fn acquire_journal_lock(lock_path: &Path) -> Result<(), SerrError> {
                     let _ = fs::remove_file(lock_path);
                     continue;
                 }
-                return Err(SerrError::JournalLocked {
-                    path: lock_path.display().to_string(),
-                });
+                return Err(SerrError::JournalLocked { path: lock_path.display().to_string() });
             }
             Err(e) => return Err(SerrError::io("create journal lock", e.to_string())),
         }
@@ -306,7 +303,12 @@ impl Journal {
     /// other's resume state), or [`SerrError::Io`] for filesystem errors
     /// (unwritable directory, etc.) — callers degrade the latter to
     /// checkpoint-less operation rather than failing the sweep.
-    pub fn open(dir: &Path, kind: &str, fingerprint: u64, fresh: bool) -> Result<Journal, SerrError> {
+    pub fn open(
+        dir: &Path,
+        kind: &str,
+        fingerprint: u64,
+        fresh: bool,
+    ) -> Result<Journal, SerrError> {
         fs::create_dir_all(dir)
             .map_err(|e| SerrError::io("create checkpoint directory", e.to_string()))?;
         let path = journal_path(dir, kind, fingerprint);
@@ -737,10 +739,7 @@ mod tests {
             other => panic!("expected PointFailed {{ index: 5, .. }}, got {other:?}"),
         }
         // into_result surfaces the failure as a typed error.
-        assert!(matches!(
-            report.into_result(),
-            Err(SerrError::PointFailed { index: 5, .. })
-        ));
+        assert!(matches!(report.into_result(), Err(SerrError::PointFailed { index: 5, .. })));
     }
 
     #[test]
@@ -796,8 +795,7 @@ mod tests {
         let lock = journal_lock_path(&journal_path(&dir, "t-stale", fp));
         // PID far above any real pid_max, so /proc/<pid> cannot exist.
         fs::write(&lock, "4000000000").unwrap();
-        let j = Journal::open(&dir, "t-stale", fp, false)
-            .expect("stale lock must be reclaimed");
+        let j = Journal::open(&dir, "t-stale", fp, false).expect("stale lock must be reclaimed");
         drop(j);
         // A torn (unparsable) lock file is also stale.
         fs::write(&lock, "not a pid").unwrap();
@@ -898,7 +896,10 @@ mod tests {
         let opts = SweepOptions::resume().in_dir(&dir).with_chaos(plan_for(IoSite::Open));
         let report = run_sweep("t-chaos-io", fp, &items, 1, &opts, eval_row).unwrap();
         assert_rows_bit_identical(&report.rows, &reference);
-        assert!(!journal_path(&dir, "t-chaos-io", fp).exists(), "open fault must not create a journal");
+        assert!(
+            !journal_path(&dir, "t-chaos-io", fp).exists(),
+            "open fault must not create a journal"
+        );
 
         // Record fault: journal exists but stays empty; rows still correct.
         let opts = SweepOptions::resume().in_dir(&dir).with_chaos(plan_for(IoSite::Record));

@@ -35,13 +35,7 @@ impl Workload {
     /// All five workload classes in Table 2 order.
     #[must_use]
     pub fn all() -> [Workload; 5] {
-        [
-            Workload::SpecFp,
-            Workload::SpecInt,
-            Workload::Day,
-            Workload::Week,
-            Workload::Combined,
-        ]
+        [Workload::SpecFp, Workload::SpecInt, Workload::Day, Workload::Week, Workload::Combined]
     }
 
     /// The synthesized (long-horizon) workloads.
@@ -155,12 +149,7 @@ impl DesignSpace {
             let ns = ns.clone();
             cs.into_iter().flat_map(move |c| {
                 let ns = ns.clone();
-                ns.into_iter().map(move |prod| DesignPoint {
-                    n: prod,
-                    s: 1.0,
-                    c,
-                    workload: w,
-                })
+                ns.into_iter().map(move |prod| DesignPoint { n: prod, s: 1.0, c, workload: w })
             })
         })
     }

@@ -219,10 +219,7 @@ impl JournalRow for Sec51Row {
             ("benchmark".to_owned(), Json::Str(self.benchmark.clone())),
             ("components".to_owned(), Json::Arr(components)),
             ("max_component_error".to_owned(), Json::Num(self.max_component_error)),
-            (
-                "max_component_error_exact".to_owned(),
-                Json::Num(self.max_component_error_exact),
-            ),
+            ("max_component_error_exact".to_owned(), Json::Num(self.max_component_error_exact)),
             ("sofr_error".to_owned(), Json::Num(self.sofr_error)),
             ("sofr_error_exact".to_owned(), Json::Num(self.sofr_error_exact)),
             ("ipc".to_owned(), Json::Num(self.ipc)),
@@ -641,10 +638,7 @@ impl JournalRow for Sec54Row {
             ("c".to_owned(), Json::Num(self.c as f64)),
             ("n_times_s".to_owned(), Json::Num(self.n_times_s)),
             ("softarch_error".to_owned(), Json::Num(self.softarch_error)),
-            (
-                "softarch_error_vs_renewal".to_owned(),
-                Json::Num(self.softarch_error_vs_renewal),
-            ),
+            ("softarch_error_vs_renewal".to_owned(), Json::Num(self.softarch_error_vs_renewal)),
         ])
     }
 
@@ -748,8 +742,7 @@ mod tests {
 
     #[test]
     fn fig5_day_shows_error_growth_with_n_s() {
-        let rows =
-            fig5(&[Workload::Day], &[1e7, 1e11, 1e13], &cfg()).unwrap();
+        let rows = fig5(&[Workload::Day], &[1e7, 1e11, 1e13], &cfg()).unwrap();
         assert_eq!(rows.len(), 3);
         // Small N×S: valid regime. Large N×S: the paper's up-to-90% regime.
         assert!(rows[0].error < 0.05, "small N×S: {}", rows[0].error);
@@ -840,21 +833,18 @@ mod tests {
     /// journal — zero recomputation — bit-identically.
     #[test]
     fn fig5_sweep_checkpoints_and_resumes_bit_identically() {
-        let dir = std::env::temp_dir()
-            .join(format!("serr-fig5-resume-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("serr-fig5-resume-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let c = cfg();
         let points: &[f64] = &[1e7, 1e13];
 
         let first =
-            fig5_sweep(&[Workload::Day], points, &c, &SweepOptions::fresh().in_dir(&dir))
-                .unwrap();
+            fig5_sweep(&[Workload::Day], points, &c, &SweepOptions::fresh().in_dir(&dir)).unwrap();
         assert!(first.failures.is_empty());
         assert_eq!((first.computed, first.resumed), (2, 0));
 
         let second =
-            fig5_sweep(&[Workload::Day], points, &c, &SweepOptions::resume().in_dir(&dir))
-                .unwrap();
+            fig5_sweep(&[Workload::Day], points, &c, &SweepOptions::resume().in_dir(&dir)).unwrap();
         assert!(second.failures.is_empty());
         assert_eq!((second.computed, second.resumed), (0, 2));
         assert_eq!(second.rows.len(), first.rows.len());
@@ -879,10 +869,7 @@ mod tests {
     fn synthesized_traces_have_paper_periods() {
         let c = cfg();
         let day = synthesized_trace(Workload::Day, &c).unwrap();
-        assert_eq!(
-            trace_period(&day, c.frequency).as_hours().round() as u64,
-            24
-        );
+        assert_eq!(trace_period(&day, c.frequency).as_hours().round() as u64, 24);
         let week = synthesized_trace(Workload::Week, &c).unwrap();
         assert_eq!(trace_period(&week, c.frequency).as_days().round() as u64, 7);
         assert!(matches!(

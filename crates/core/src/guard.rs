@@ -150,9 +150,8 @@ impl Guard {
                 None
             }
         };
-        let refs_agree = softarch.is_some_and(|s| {
-            relative_gap(s.as_secs(), renewal.as_secs()) <= self.policy.rel_tol
-        });
+        let refs_agree = softarch
+            .is_some_and(|s| relative_gap(s.as_secs(), renewal.as_secs()) <= self.policy.rel_tol);
         if let Some(s) = softarch {
             if !refs_agree {
                 notes.push(format!(
@@ -462,9 +461,7 @@ mod tests {
         let trace = campaign_trace();
         let rate = RawErrorRate::per_year(50.0);
         let cfg = MonteCarloConfig { trials: 3_000, threads: 1, ..Default::default() };
-        let est = MonteCarlo::new(cfg)
-            .component_mttf(&trace, rate, Frequency::base())
-            .unwrap();
+        let est = MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()).unwrap();
         assert_eq!(classify_estimate(&est), Provenance::Clean);
         let mut truncated = est.clone();
         truncated.truncated = true;

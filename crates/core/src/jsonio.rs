@@ -318,8 +318,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return None;
                                 }
-                                let cp =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(cp)?
                             } else {
                                 char::from_u32(hi)?
@@ -401,8 +400,8 @@ mod tests {
 
     #[test]
     fn parses_nested_structures() {
-        let v = Json::parse(r#"{"i":3,"row":{"name":"gzip","xs":[1,2.5,-3e-2],"ok":true}}"#)
-            .unwrap();
+        let v =
+            Json::parse(r#"{"i":3,"row":{"name":"gzip","xs":[1,2.5,-3e-2],"ok":true}}"#).unwrap();
         assert_eq!(v.get("i").unwrap().as_usize(), Some(3));
         let row = v.get("row").unwrap();
         assert_eq!(row.get("name").unwrap().as_str(), Some("gzip"));
@@ -415,8 +414,23 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "tru", "nul", "1.2.3", "--1", "1e", "\"unterminated",
-            "{\"a\":1} trailing", "[1 2]", "\"bad \\x escape\"", "nan", "Infinity", "01x",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "1.2.3",
+            "--1",
+            "1e",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "[1 2]",
+            "\"bad \\x escape\"",
+            "nan",
+            "Infinity",
+            "01x",
             "{\"i\":5,\"row\":{\"v\":0.1", // a torn journal line
         ] {
             assert_eq!(Json::parse(bad), None, "accepted malformed input: {bad:?}");

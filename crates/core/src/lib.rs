@@ -55,8 +55,8 @@ pub mod validate;
 /// Convenient re-exports for downstream code and examples.
 pub mod prelude {
     pub use serr_analytic as analytic;
-    pub use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
     pub use serr_mc::system::SystemModel;
+    pub use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
     pub use serr_sim::{SimConfig, SimOutput, Simulator};
     pub use serr_softarch::SoftArch;
     pub use serr_trace::{
@@ -71,10 +71,10 @@ pub mod prelude {
     pub use serr_inject::{FaultKind, FaultPlan};
     pub use serr_types::Provenance;
 
-    pub use crate::chaos::{CampaignOutcome, ChaosConfig, ChaosReport, run_chaos};
+    pub use crate::chaos::{run_chaos, CampaignOutcome, ChaosConfig, ChaosReport};
     pub use crate::checkpoint::{CheckpointMode, SweepOptions, SweepReport};
     pub use crate::design::{DesignPoint, DesignSpace, Workload};
-    pub use crate::guard::{Guard, GuardPolicy, GuardedMttf, classify_estimate};
+    pub use crate::guard::{classify_estimate, Guard, GuardPolicy, GuardedMttf};
     pub use crate::rates::UnitRates;
     pub use crate::validate::{ComponentValidation, SystemValidation, Validator};
 }

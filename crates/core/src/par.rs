@@ -17,9 +17,7 @@ use serr_types::SerrError;
 /// items: `available_parallelism` capped by the job count (never zero).
 #[must_use]
 pub fn fanout_threads(jobs: usize) -> usize {
-    std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(jobs.max(1))
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(jobs.max(1))
 }
 
 /// Applies `f` to every element of `items` using up to `threads` OS threads
@@ -79,10 +77,7 @@ where
     for (i, value) in per_worker.into_iter().flatten() {
         slots[i] = Some(value);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("every index claimed exactly once")).collect()
 }
 
 /// Renders a caught panic payload for error reporting: `panic!` with a

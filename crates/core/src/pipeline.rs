@@ -15,7 +15,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serr_obs::Event;
 use serr_sim::{ProcessorMaskingTraces, SimConfig, SimOutput, SimStats, Simulator};
-use serr_trace::{decode_interval_trace, encode_interval_trace, CompositeTrace, VulnerabilityTrace};
+use serr_trace::{
+    decode_interval_trace, encode_interval_trace, CompositeTrace, VulnerabilityTrace,
+};
 use serr_types::SerrError;
 use serr_workload::{BenchmarkProfile, TraceGenerator};
 
@@ -117,12 +119,7 @@ pub(crate) fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
     let stats = encode_stats(&out.stats);
     payload.extend_from_slice(&(stats.len() as u64).to_le_bytes());
     payload.extend_from_slice(&stats);
-    for t in [
-        &out.traces.int_unit,
-        &out.traces.fp_unit,
-        &out.traces.decode,
-        &out.traces.regfile,
-    ] {
+    for t in [&out.traces.int_unit, &out.traces.fp_unit, &out.traces.decode, &out.traces.regfile] {
         let enc = encode_interval_trace(t);
         payload.extend_from_slice(&(enc.len() as u64).to_le_bytes());
         payload.extend_from_slice(&enc);
@@ -167,10 +164,7 @@ fn decode_cache_file(data: &[u8]) -> Option<SimOutput> {
     let decode = traces.pop()?;
     let fp_unit = traces.pop()?;
     let int_unit = traces.pop()?;
-    Some(SimOutput {
-        stats,
-        traces: ProcessorMaskingTraces { int_unit, fp_unit, decode, regfile },
-    })
+    Some(SimOutput { stats, traces: ProcessorMaskingTraces { int_unit, fp_unit, decode, regfile } })
 }
 
 pub(crate) fn load(path: &PathBuf) -> Option<SimOutput> {
@@ -260,10 +254,7 @@ pub fn simulate_benchmark(
 ///
 /// Returns [`SerrError::InvalidTrace`] if the traces disagree on period
 /// (cannot happen for traces from one simulation).
-pub fn processor_trace(
-    run: &BenchmarkRun,
-    rates: &UnitRates,
-) -> Result<CompositeTrace, SerrError> {
+pub fn processor_trace(run: &BenchmarkRun, rates: &UnitRates) -> Result<CompositeTrace, SerrError> {
     let t = &run.output.traces;
     let parts: Vec<(f64, Arc<dyn VulnerabilityTrace>)> = vec![
         (rates.int_unit.per_second_value(), Arc::new(t.int_unit.clone()) as _),
@@ -319,8 +310,7 @@ mod tests {
 
     #[test]
     fn checksum_catches_single_bit_flips() {
-        let dir =
-            std::env::temp_dir().join(format!("serr-cache-bitflip-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("serr-cache-bitflip-{}", std::process::id()));
         let path = dir.join("probe.bin");
         let run = simulate_benchmark("vpr", 6_000, 4).unwrap();
         store(&path, &run.output).unwrap();

@@ -86,10 +86,11 @@ mod tests {
     fn scaling_axis() {
         let hot = UnitRates::paper().scaled(5000.0);
         assert!((hot.int_unit.events_per_year() - 2.3e-6 * 5000.0).abs() < 1e-12);
-        assert!((hot.total().events_per_year()
-            - UnitRates::paper().total().events_per_year() * 5000.0)
-            .abs()
-            < 1e-9);
+        assert!(
+            (hot.total().events_per_year() - UnitRates::paper().total().events_per_year() * 5000.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

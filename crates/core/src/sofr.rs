@@ -67,12 +67,8 @@ mod tests {
     #[test]
     fn reciprocal_sum() {
         // 1/(1/2 + 1/3 + 1/6) = 1
-        let sys = sofr_mttf([
-            Mttf::from_years(2.0),
-            Mttf::from_years(3.0),
-            Mttf::from_years(6.0),
-        ])
-        .unwrap();
+        let sys = sofr_mttf([Mttf::from_years(2.0), Mttf::from_years(3.0), Mttf::from_years(6.0)])
+            .unwrap();
         assert!((sys.as_years() - 1.0).abs() < 1e-12);
     }
 
@@ -81,8 +77,7 @@ mod tests {
         let sys = sofr_mttf_identical(Mttf::from_years(5000.0), 5000).unwrap();
         assert!((sys.as_years() - 1.0).abs() < 1e-12);
         // Agrees with the general form.
-        let general =
-            sofr_mttf(std::iter::repeat_n(Mttf::from_years(5000.0), 5000)).unwrap();
+        let general = sofr_mttf(std::iter::repeat_n(Mttf::from_years(5000.0), 5000)).unwrap();
         assert!((general.as_years() - sys.as_years()).abs() < 1e-9);
     }
 

@@ -124,8 +124,8 @@ impl Validator {
         let mttf_renewal = self.timed("renewal_quadrature", || {
             serr_analytic::renewal::renewal_mttf(trace, rate, self.frequency)
         })?;
-        let mttf_softarch = self
-            .timed("softarch", || SoftArch::new(self.frequency).component_mttf(trace, rate))?;
+        let mttf_softarch =
+            self.timed("softarch", || SoftArch::new(self.frequency).component_mttf(trace, rate))?;
         Ok(ComponentValidation {
             avf: trace.avf(),
             mttf_avf,
@@ -133,14 +133,8 @@ impl Validator {
             mttf_renewal,
             mttf_softarch,
             avf_error_vs_mc: relative_error(mttf_avf.as_secs(), mttf_mc.mttf.as_secs()),
-            avf_error_vs_renewal: relative_error(
-                mttf_avf.as_secs(),
-                mttf_renewal.as_secs(),
-            ),
-            softarch_error_vs_mc: relative_error(
-                mttf_softarch.as_secs(),
-                mttf_mc.mttf.as_secs(),
-            ),
+            avf_error_vs_renewal: relative_error(mttf_avf.as_secs(), mttf_renewal.as_secs()),
+            softarch_error_vs_mc: relative_error(mttf_softarch.as_secs(), mttf_mc.mttf.as_secs()),
         })
     }
 
@@ -185,14 +179,8 @@ impl Validator {
             mttf_renewal,
             mttf_softarch,
             sofr_error_vs_mc: relative_error(mttf_sofr.as_secs(), mttf_mc.mttf.as_secs()),
-            sofr_error_vs_renewal: relative_error(
-                mttf_sofr.as_secs(),
-                mttf_renewal.as_secs(),
-            ),
-            softarch_error_vs_mc: relative_error(
-                mttf_softarch.as_secs(),
-                mttf_mc.mttf.as_secs(),
-            ),
+            sofr_error_vs_renewal: relative_error(mttf_sofr.as_secs(), mttf_renewal.as_secs()),
+            softarch_error_vs_mc: relative_error(mttf_softarch.as_secs(), mttf_mc.mttf.as_secs()),
         })
     }
 
@@ -251,14 +239,8 @@ impl Validator {
             mttf_renewal,
             mttf_softarch,
             sofr_error_vs_mc: relative_error(mttf_sofr.as_secs(), mttf_mc.mttf.as_secs()),
-            sofr_error_vs_renewal: relative_error(
-                mttf_sofr.as_secs(),
-                mttf_renewal.as_secs(),
-            ),
-            softarch_error_vs_mc: relative_error(
-                mttf_softarch.as_secs(),
-                mttf_mc.mttf.as_secs(),
-            ),
+            sofr_error_vs_renewal: relative_error(mttf_sofr.as_secs(), mttf_renewal.as_secs()),
+            softarch_error_vs_mc: relative_error(mttf_softarch.as_secs(), mttf_mc.mttf.as_secs()),
         })
     }
 }
@@ -269,10 +251,7 @@ mod tests {
     use serr_trace::IntervalTrace;
 
     fn validator() -> Validator {
-        Validator::new(
-            Frequency::base(),
-            MonteCarloConfig { trials: 30_000, ..Default::default() },
-        )
+        Validator::new(Frequency::base(), MonteCarloConfig { trials: 30_000, ..Default::default() })
     }
 
     #[test]
@@ -299,8 +278,7 @@ mod tests {
         // SoftArch stays faithful (paper Section 5.4).
         assert!(v.softarch_error_vs_mc < 0.02, "softarch {}", v.softarch_error_vs_mc);
         // And the MC engine itself agrees with the exact answer.
-        let mc_vs_renewal =
-            relative_error(v.mttf_mc.mttf.as_secs(), v.mttf_renewal.as_secs());
+        let mc_vs_renewal = relative_error(v.mttf_mc.mttf.as_secs(), v.mttf_renewal.as_secs());
         assert!(mc_vs_renewal < 0.02, "mc noise {mc_vs_renewal}");
     }
 
@@ -317,25 +295,17 @@ mod tests {
         let small = v.system_identical(trace.clone(), rate, 2).unwrap();
         let large = v.system_identical(trace, rate, 100).unwrap();
         assert!(small.sofr_error_vs_renewal < 0.03, "C=2 {}", small.sofr_error_vs_renewal);
-        assert!(
-            large.sofr_error_vs_renewal > 0.3,
-            "C=100 {}",
-            large.sofr_error_vs_renewal
-        );
+        assert!(large.sofr_error_vs_renewal > 0.3, "C=100 {}", large.sofr_error_vs_renewal);
         assert!(large.softarch_error_vs_mc < 0.02);
     }
 
     #[test]
     fn heterogeneous_system_validation() {
-        let a: Arc<dyn VulnerabilityTrace> =
-            Arc::new(IntervalTrace::busy_idle(400, 600).unwrap());
+        let a: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(400, 600).unwrap());
         let b: Arc<dyn VulnerabilityTrace> =
             Arc::new(IntervalTrace::from_levels(&[0.5; 1000]).unwrap());
         let v = validator()
-            .system_parts(&[
-                (RawErrorRate::per_year(3.0), a),
-                (RawErrorRate::per_year(7.0), b),
-            ])
+            .system_parts(&[(RawErrorRate::per_year(3.0), a), (RawErrorRate::per_year(7.0), b)])
             .unwrap();
         // Tiny λL: SOFR is fine here.
         assert!(v.sofr_error_vs_renewal < 1e-6, "{}", v.sofr_error_vs_renewal);
@@ -366,8 +336,7 @@ mod tests {
     #[test]
     fn rejects_degenerate_systems() {
         let v = validator();
-        let t: Arc<dyn VulnerabilityTrace> =
-            Arc::new(IntervalTrace::busy_idle(1, 1).unwrap());
+        let t: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(1, 1).unwrap());
         assert!(v.system_identical(t, RawErrorRate::per_year(1.0), 0).is_err());
         assert!(v.system_parts(&[]).is_err());
     }

@@ -260,8 +260,13 @@ impl FaultPlan {
     /// For [`FaultKind::CheckpointIo`] plans, which journal operation fails.
     #[must_use]
     pub fn io_fault_site(&self) -> Option<IoSite> {
-        (self.kind == FaultKind::CheckpointIo)
-            .then(|| if self.h(SALT_IO) & 1 == 0 { IoSite::Open } else { IoSite::Record })
+        (self.kind == FaultKind::CheckpointIo).then(|| {
+            if self.h(SALT_IO) & 1 == 0 {
+                IoSite::Open
+            } else {
+                IoSite::Record
+            }
+        })
     }
 
     /// For the on-disk corruption kinds, the deterministic corruption to

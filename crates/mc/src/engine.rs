@@ -408,18 +408,14 @@ impl MonteCarlo {
                 let mut rng = SmallRng::seed_from_u64(chunk_seed(seed, chunk));
                 let mut stats = RunningStats::new();
                 let mut events = 0u64;
-                let mut ttfs = Vec::with_capacity(if collect_samples {
-                    (hi - lo) as usize
-                } else {
-                    0
-                });
+                let mut ttfs =
+                    Vec::with_capacity(if collect_samples { (hi - lo) as usize } else { 0 });
                 for _ in lo..hi {
                     let phase = match start_phase {
                         StartPhase::WorkloadStart => 0.0,
                         StartPhase::Stationary => rng.gen_range(0.0..period),
                     };
-                    let t =
-                        sample_time_to_failure(trace, lambda_cycle, cap, &mut rng, phase)?;
+                    let t = sample_time_to_failure(trace, lambda_cycle, cap, &mut rng, phase)?;
                     stats.push(t.ttf_cycles);
                     events += t.events;
                     if collect_samples {
@@ -494,8 +490,7 @@ mod tests {
         // λL ≈ 0.5 at this rate: a regime with real AVF error.
         let rate = RawErrorRate::per_second(0.005 * freq.hz() / 100.0);
         let est = fast_engine().component_mttf(&trace, rate, freq).unwrap();
-        let truth =
-            serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap().as_secs();
+        let truth = serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap().as_secs();
         let err = (est.mttf.as_secs() - truth).abs() / truth;
         assert!(err < 0.02, "MC {} vs renewal {truth}: {err}", est.mttf.as_secs());
         assert!(est.relative_ci95() < 0.02);
@@ -724,8 +719,7 @@ mod tests {
         let base = MonteCarloConfig { trials: 5_000, threads: 2, ..Default::default() };
         let bounded = MonteCarloConfig { deadline: Some(Duration::from_secs(3600)), ..base };
         let a = MonteCarlo::new(base).component_mttf(&trace, rate, Frequency::base()).unwrap();
-        let b =
-            MonteCarlo::new(bounded).component_mttf(&trace, rate, Frequency::base()).unwrap();
+        let b = MonteCarlo::new(bounded).component_mttf(&trace, rate, Frequency::base()).unwrap();
         assert!(!b.truncated);
         assert_eq!(a, b);
     }

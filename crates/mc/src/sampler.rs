@@ -61,10 +61,7 @@ pub fn sample_time_to_failure<T: VulnerabilityTrace + ?Sized>(
 
     let period = trace.period_cycles();
     let l = period as f64;
-    assert!(
-        (0.0..l).contains(&initial_phase),
-        "initial phase {initial_phase} outside [0, {l})"
-    );
+    assert!((0.0..l).contains(&initial_phase), "initial phase {initial_phase} outside [0, {l})");
     let lambda_l = lambda_cycle * l;
     // 1 − q = 1 − e^{−λL}, computed stably for both tiny and huge λL.
     let one_minus_q = one_minus_exp_neg(lambda_l);
@@ -177,8 +174,8 @@ mod tests {
 
     #[test]
     fn matches_renewal_with_fractional_vulnerability() {
-        let trace = IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0])
-            .unwrap();
+        let trace =
+            IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
         let lambda = 0.05;
         let stats = run_mean(&trace, lambda, 200_000, 4);
         let want = serr_analytic::renewal::renewal_mttf_cycles(&trace, lambda);
@@ -246,8 +243,7 @@ mod tests {
         let mut stats = RunningStats::new();
         for _ in 0..100_000 {
             let phase = rng.gen_range(0.0..1000.0);
-            let out =
-                sample_time_to_failure(&trace, lambda, 1_000_000, &mut rng, phase).unwrap();
+            let out = sample_time_to_failure(&trace, lambda, 1_000_000, &mut rng, phase).unwrap();
             stats.push(out.ttf_cycles);
         }
         // Reference: average renewal MTTF over shifted trace views.

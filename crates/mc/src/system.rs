@@ -189,13 +189,7 @@ impl SystemModelBuilder {
                 )));
             }
         }
-        self.parts.push(SystemPart {
-            rate,
-            trace,
-            multiplicity,
-            phase_offset,
-            name: name.into(),
-        });
+        self.parts.push(SystemPart { rate, trace, multiplicity, phase_offset, name: name.into() });
         Ok(self)
     }
 
@@ -253,8 +247,7 @@ mod tests {
     #[test]
     fn offsets_desynchronize_idle_windows() {
         let mut b = SystemModel::builder(Frequency::base());
-        b.add_with_offsets("cpu", RawErrorRate::per_year(1.0), day_like(), &[0, 500])
-            .unwrap();
+        b.add_with_offsets("cpu", RawErrorRate::per_year(1.0), day_like(), &[0, 500]).unwrap();
         let sys = b.build().unwrap();
         let combined = sys.combined_trace();
         // At any cycle exactly one of the two replicas is busy.
@@ -268,9 +261,7 @@ mod tests {
     fn builder_rejects_bad_input() {
         let mut b = SystemModel::builder(Frequency::base());
         assert!(b.add("z", RawErrorRate::ZERO, day_like()).is_err());
-        assert!(b
-            .add_replicated("m", RawErrorRate::per_year(1.0), day_like(), 0)
-            .is_err());
+        assert!(b.add_replicated("m", RawErrorRate::per_year(1.0), day_like(), 0).is_err());
         assert!(b.build().is_err()); // empty
         b.add("ok", RawErrorRate::per_year(1.0), day_like()).unwrap();
         let other_period = Arc::new(IntervalTrace::busy_idle(3, 3).unwrap());

@@ -9,7 +9,9 @@
 //! wide-bucket fallback paths.
 
 use proptest::prelude::*;
-use serr_trace::{CompiledTrace, DenseTrace, IntervalTrace, Segment, ShiftedTrace, VulnerabilityTrace};
+use serr_trace::{
+    CompiledTrace, DenseTrace, IntervalTrace, Segment, ShiftedTrace, VulnerabilityTrace,
+};
 
 /// Vulnerability levels quantized to q/8: exactly representable in `f32`
 /// (so `DenseTrace`'s storage is lossless) and in `f64` prefix arithmetic.

@@ -163,10 +163,7 @@ mod tests {
         // Regression: `new` used to assert, taking the process down on the
         // first malformed sample instead of reporting a validation error.
         assert!(matches!(Ecdf::new(vec![]), Err(SerrError::InvalidConfig { .. })));
-        assert!(matches!(
-            Ecdf::new(vec![1.0, f64::NAN]),
-            Err(SerrError::InvalidValue { .. })
-        ));
+        assert!(matches!(Ecdf::new(vec![1.0, f64::NAN]), Err(SerrError::InvalidValue { .. })));
         assert!(Ecdf::new(vec![f64::INFINITY]).is_ok(), "infinities sort fine; only NaN rejected");
     }
 
@@ -198,8 +195,7 @@ mod tests {
     #[test]
     fn bimodal_sample_fails_uniform_ks() {
         // Half the mass at ~0.1, half at ~0.9: clearly not uniform.
-        let sample: Vec<f64> =
-            (0..1000).map(|i| if i % 2 == 0 { 0.1 } else { 0.9 }).collect();
+        let sample: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 0.1 } else { 0.9 }).collect();
         let e = Ecdf::new(sample).expect("valid sample");
         assert!(e.ks_vs_uniform(1.0) > ks_critical_value(1000, 0.01));
     }

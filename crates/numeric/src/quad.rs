@@ -24,12 +24,7 @@ const MAX_DEPTH: usize = 60;
 /// Returns [`SerrError::NoConvergence`] if the requested tolerance cannot be
 /// met within the maximum recursion depth, and [`SerrError::InvalidConfig`]
 /// if `tol` is not positive or the interval is reversed.
-pub fn integrate(
-    f: impl Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<f64, SerrError> {
+pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<f64, SerrError> {
     if tol.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(SerrError::invalid_config(format!("tolerance must be positive, got {tol}")));
     }

@@ -64,10 +64,7 @@ mod tests {
             let truncated: f64 = (0..2000).map(|n| x.powi(n)).sum();
             assert!((geometric_sum(x) - truncated).abs() < 1e-9, "x={x}");
             let truncated_weighted: f64 = (0..4000).map(|n| n as f64 * x.powi(n)).sum();
-            assert!(
-                (weighted_geometric_sum(x) - truncated_weighted).abs() < 1e-8,
-                "x={x}"
-            );
+            assert!((weighted_geometric_sum(x) - truncated_weighted).abs() < 1e-8, "x={x}");
         }
     }
 
@@ -81,8 +78,8 @@ mod tests {
     fn exp_weighted_integral_matches_quadrature() {
         let lambda = 0.7;
         let (a, b) = (0.3, 2.9);
-        let quad = crate::quad::integrate(|t| lambda * (-lambda * t).exp() * t, a, b, 1e-13)
-            .unwrap();
+        let quad =
+            crate::quad::integrate(|t| lambda * (-lambda * t).exp() * t, a, b, 1e-13).unwrap();
         assert!((exp_weighted_time_integral(lambda, a, b) - quad).abs() < 1e-10);
     }
 

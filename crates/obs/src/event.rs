@@ -330,7 +330,10 @@ mod tests {
     #[test]
     fn non_finite_floats_serialise_as_null() {
         let e = Event::new("x", 0).with("v", f64::NAN).with("w", f64::INFINITY);
-        assert_eq!(e.to_json(), "{\"event\":\"x\",\"seq\":0,\"level\":\"info\",\"v\":null,\"w\":null}");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"x\",\"seq\":0,\"level\":\"info\",\"v\":null,\"w\":null}"
+        );
     }
 
     #[test]

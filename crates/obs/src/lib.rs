@@ -181,10 +181,7 @@ mod tests {
         let events = sink.events_of("stage");
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].seq, 0);
-        assert_eq!(
-            events[0].fields[0],
-            ("name", Value::Str("renewal_quadrature".to_owned()))
-        );
+        assert_eq!(events[0].fields[0], ("name", Value::Str("renewal_quadrature".to_owned())));
     }
 
     #[test]

@@ -268,7 +268,7 @@ mod tests {
         let mut c = Cache::new(128, 2, 64);
         assert!(!c.access_rw(0, true).hit); // dirty line 0
         assert!(!c.access_rw(64, false).hit); // clean line 1
-        // Line 2 evicts LRU (dirty line 0): writeback.
+                                              // Line 2 evicts LRU (dirty line 0): writeback.
         let a = c.access_rw(128, false);
         assert!(!a.hit && a.writeback);
         assert_eq!(c.writebacks(), 1);

@@ -166,9 +166,7 @@ impl SimConfig {
         if !self.line_bytes.is_power_of_two() || !self.page_bytes.is_power_of_two() {
             return Err(SerrError::invalid_config("line and page sizes must be powers of two"));
         }
-        for (what, (bytes, ways)) in
-            [("L1D", self.l1d), ("L1I", self.l1i), ("L2", self.l2)]
-        {
+        for (what, (bytes, ways)) in [("L1D", self.l1d), ("L1I", self.l1i), ("L2", self.l2)] {
             if ways == 0 || bytes == 0 || bytes % (ways * self.line_bytes) != 0 {
                 return Err(SerrError::invalid_config(format!(
                     "{what} geometry {bytes}B/{ways}-way incompatible with {}B lines",
@@ -197,10 +195,7 @@ mod tests {
         assert_eq!(c.dispatch_width, 5);
         assert_eq!(c.rob_size, 150);
         assert_eq!((c.int_units, c.fp_units, c.ls_units, c.branch_units), (2, 2, 2, 1));
-        assert_eq!(
-            (c.int_alu_latency, c.int_mul_latency, c.int_div_latency),
-            (1, 4, 35)
-        );
+        assert_eq!((c.int_alu_latency, c.int_mul_latency, c.int_div_latency), (1, 4, 35));
         assert_eq!((c.fp_latency, c.fp_div_latency), (5, 28));
         assert_eq!((c.int_phys_regs, c.fp_phys_regs, c.regfile_entries), (80, 72, 256));
         assert_eq!(c.mem_queue_size, 32);

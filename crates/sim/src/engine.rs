@@ -237,11 +237,7 @@ impl Simulator {
                 if e.state != EntryState::Waiting {
                     continue;
                 }
-                let deps_ready = e
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .all(|&p| ready(&ready_int, &ready_fp, p));
+                let deps_ready = e.srcs.iter().flatten().all(|&p| ready(&ready_int, &ready_fp, p));
                 if !deps_ready {
                     continue;
                 }
@@ -252,8 +248,8 @@ impl Simulator {
                             OpClass::IntMul => cfg.int_mul_latency,
                             _ => cfg.int_div_latency,
                         };
-                        let slot = (0..cfg.int_units)
-                            .find(|&f| !int_taken[f] && int_busy_until[f] <= now);
+                        let slot =
+                            (0..cfg.int_units).find(|&f| !int_taken[f] && int_busy_until[f] <= now);
                         if let Some(f) = slot {
                             int_taken[f] = true;
                             if e.op == OpClass::IntDiv {
@@ -273,8 +269,8 @@ impl Simulator {
                         } else {
                             cfg.fp_latency
                         };
-                        let slot = (0..cfg.fp_units)
-                            .find(|&f| !fp_taken[f] && fp_busy_until[f] <= now);
+                        let slot =
+                            (0..cfg.fp_units).find(|&f| !fp_taken[f] && fp_busy_until[f] <= now);
                         if let Some(f) = slot {
                             fp_taken[f] = true;
                             collector.mark_fp(f, now, now + latency);
@@ -289,12 +285,10 @@ impl Simulator {
                         // MSHR gate: a miss may only start if a miss
                         // register is free (probe is side-effect free).
                         let will_miss = !l1d.probe(addr);
-                        if ls_taken < cfg.ls_units
-                            && (!will_miss || outstanding_misses < cfg.mshrs)
+                        if ls_taken < cfg.ls_units && (!will_miss || outstanding_misses < cfg.mshrs)
                         {
                             ls_taken += 1;
-                            let tlb_pen =
-                                if dtlb.access(addr) { 0 } else { cfg.tlb_miss_penalty };
+                            let tlb_pen = if dtlb.access(addr) { 0 } else { cfg.tlb_miss_penalty };
                             let is_write = e.op == OpClass::Store;
                             let l1 = l1d.access_rw(addr, is_write);
                             let access = if l1.hit {
@@ -443,8 +437,7 @@ impl Simulator {
                         }
                     }
                     if pc & line_mask != prev_line {
-                        let tlb_pen =
-                            if itlb.access(pc) { 0 } else { cfg.tlb_miss_penalty };
+                        let tlb_pen = if itlb.access(pc) { 0 } else { cfg.tlb_miss_penalty };
                         let hit = l1i.access(pc);
                         if !hit || tlb_pen > 0 {
                             let access = if hit {
@@ -521,9 +514,7 @@ mod tests {
 
     fn run_bench(name: &str, n: u64) -> SimOutput {
         let profile = BenchmarkProfile::by_name(name).unwrap();
-        Simulator::new(SimConfig::power4())
-            .run(TraceGenerator::new(profile, 42), n)
-            .unwrap()
+        Simulator::new(SimConfig::power4()).run(TraceGenerator::new(profile, 42), n).unwrap()
     }
 
     #[test]
@@ -531,13 +522,7 @@ mod tests {
         // Independent single-cycle ALU ops: IPC should approach the
         // dispatch width of 5.
         let insts: Vec<Instruction> = (0..100_000)
-            .map(|i| {
-                Instruction::alu(
-                    OpClass::IntAlu,
-                    RegId::Int((i % 32) as u8),
-                    [None, None],
-                )
-            })
+            .map(|i| Instruction::alu(OpClass::IntAlu, RegId::Int((i % 32) as u8), [None, None]))
             .collect();
         let out = Simulator::new(SimConfig::power4()).run(insts, 100_000).unwrap();
         assert_eq!(out.stats.instructions, 100_000);
@@ -550,9 +535,7 @@ mod tests {
     fn dependent_chain_serializes() {
         // Each op reads the previous result: IPC near 1 at best.
         let insts: Vec<Instruction> = (0..2000)
-            .map(|_| {
-                Instruction::alu(OpClass::IntAlu, RegId::Int(0), [Some(RegId::Int(0)), None])
-            })
+            .map(|_| Instruction::alu(OpClass::IntAlu, RegId::Int(0), [Some(RegId::Int(0)), None]))
             .collect();
         let out = Simulator::new(SimConfig::power4()).run(insts, 2000).unwrap();
         assert!(out.stats.ipc() <= 1.1, "ipc {}", out.stats.ipc());
@@ -561,13 +544,7 @@ mod tests {
     #[test]
     fn divides_throttle_throughput() {
         let divs: Vec<Instruction> = (0..500)
-            .map(|i| {
-                Instruction::alu(
-                    OpClass::IntDiv,
-                    RegId::Int((i % 32) as u8),
-                    [None, None],
-                )
-            })
+            .map(|i| Instruction::alu(OpClass::IntDiv, RegId::Int((i % 32) as u8), [None, None]))
             .collect();
         let out = Simulator::new(SimConfig::power4()).run(divs, 500).unwrap();
         // 2 blocking 35-cycle dividers: at most ~2/35 IPC.
@@ -630,10 +607,7 @@ mod tests {
     fn rejects_bad_budgets_and_short_workloads() {
         let sim = Simulator::new(SimConfig::power4());
         assert!(sim.run(Vec::<Instruction>::new(), 0).is_err());
-        let two = vec![
-            Instruction::alu(OpClass::IntAlu, RegId::Int(0), [None, None]);
-            2
-        ];
+        let two = vec![Instruction::alu(OpClass::IntAlu, RegId::Int(0), [None, None]); 2];
         assert!(sim.run(two, 5).is_err());
     }
 
@@ -655,16 +629,12 @@ mod tests {
             let w = cycles / windows;
             let utils: Vec<f64> = (0..windows)
                 .map(|i| {
-                    (t.cumulative_within_period((i + 1) * w)
-                        - t.cumulative_within_period(i * w))
+                    (t.cumulative_within_period((i + 1) * w) - t.cumulative_within_period(i * w))
                         / w as f64
                 })
                 .collect();
             let mean = utils.iter().sum::<f64>() / utils.len() as f64;
-            let alternation = utils
-                .windows(2)
-                .map(|w| (w[1] - w[0]).abs())
-                .sum::<f64>()
+            let alternation = utils.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
                 / (utils.len() - 1) as f64;
             alternation / mean
         }
@@ -694,10 +664,7 @@ mod tests {
         };
         let serial = run(1);
         let parallel = run(8);
-        assert!(
-            parallel > serial * 1.3,
-            "mshr=8 ipc {parallel} should beat mshr=1 ipc {serial}"
-        );
+        assert!(parallel > serial * 1.3, "mshr=8 ipc {parallel} should beat mshr=1 ipc {serial}");
     }
 
     #[test]
@@ -707,20 +674,14 @@ mod tests {
         let profile = BenchmarkProfile::by_name("gzip").unwrap();
         let run = |pf: bool| {
             let cfg = SimConfig { l1d_next_line_prefetch: pf, ..SimConfig::power4() };
-            Simulator::new(cfg)
-                .run(TraceGenerator::new(profile.clone(), 42), 40_000)
-                .unwrap()
-                .stats
+            Simulator::new(cfg).run(TraceGenerator::new(profile.clone(), 42), 40_000).unwrap().stats
         };
         let off = run(false);
         let on = run(true);
         // Miss-triggered next-line prefetch converts at most every other
         // sequential miss (the prefetched line's own hit does not trigger
         // a further prefetch), so expect a solid but sub-2x reduction.
-        assert!(
-            on.l1d_miss_rate < off.l1d_miss_rate * 0.95,
-            "prefetch {on:?} vs baseline {off:?}"
-        );
+        assert!(on.l1d_miss_rate < off.l1d_miss_rate * 0.95, "prefetch {on:?} vs baseline {off:?}");
         assert!(on.cycles <= off.cycles, "prefetch should not slow execution");
     }
 
@@ -741,10 +702,7 @@ mod tests {
         let profile = BenchmarkProfile::by_name("gcc").unwrap();
         let run = |kind: BranchPredictorKind| {
             let cfg = SimConfig { branch_predictor: kind, ..SimConfig::power4() };
-            Simulator::new(cfg)
-                .run(TraceGenerator::new(profile.clone(), 42), 40_000)
-                .unwrap()
-                .stats
+            Simulator::new(cfg).run(TraceGenerator::new(profile.clone(), 42), 40_000).unwrap().stats
         };
         let annotated = run(BranchPredictorKind::TraceAnnotation);
         let bimodal = run(BranchPredictorKind::Bimodal { entries: 4096 });

@@ -45,7 +45,12 @@ pub struct MaskingCollector {
 impl MaskingCollector {
     /// Creates a collector for a machine with the given unit counts.
     #[must_use]
-    pub fn new(int_units: usize, fp_units: usize, dispatch_width: usize, regfile_entries: usize) -> Self {
+    pub fn new(
+        int_units: usize,
+        fp_units: usize,
+        dispatch_width: usize,
+        regfile_entries: usize,
+    ) -> Self {
         MaskingCollector {
             int_fu_diff: vec![Vec::new(); int_units],
             fp_fu_diff: vec![Vec::new(); fp_units],

@@ -234,8 +234,7 @@ mod tests {
         // On a history-CORRELATED pattern (period-4 T,T,N,T at one site),
         // gshare learns the pattern and approaches perfection while
         // bimodal saturates at the majority direction (75%).
-        let pattern: Vec<(u32, bool)> =
-            (0..40_000).map(|i| (7u32, i % 4 != 2)).collect();
+        let pattern: Vec<(u32, bool)> = (0..40_000).map(|i| (7u32, i % 4 != 2)).collect();
         let bim = accuracy(&mut Bimodal::new(1024), &pattern);
         let gs = accuracy(&mut Gshare::new(4096, 8), &pattern);
         assert!(gs > 0.95, "gshare should learn the pattern: {gs}");

@@ -51,8 +51,7 @@ impl RenameState {
     pub fn new(int_phys: usize, fp_phys: usize) -> Self {
         let arch = RegId::BANK_SIZE as usize;
         assert!(int_phys > arch && fp_phys > arch);
-        let ident =
-            |i: usize, fp: bool| PhysReg { idx: i as u16, fp };
+        let ident = |i: usize, fp: bool| PhysReg { idx: i as u16, fp };
         let mut int_map = [ident(0, false); RegId::BANK_SIZE as usize];
         let mut fp_map = [ident(0, true); RegId::BANK_SIZE as usize];
         for i in 0..arch {
@@ -111,9 +110,7 @@ impl RenameState {
         let prev = *map;
         let new = PhysReg { idx, fp };
         *map = new;
-        new
-            .pipe_state(self)
-            .clone_from(&PhysState { written: None, last_read: None });
+        new.pipe_state(self).clone_from(&PhysState { written: None, last_read: None });
         (new, prev)
     }
 
@@ -159,8 +156,7 @@ impl RenameState {
     /// returns all `(start_cycle, end_cycle)` vulnerable intervals.
     #[must_use]
     pub fn finish(mut self) -> Vec<(u64, u64)> {
-        let mapped: Vec<PhysReg> =
-            self.int_map.iter().chain(self.fp_map.iter()).copied().collect();
+        let mapped: Vec<PhysReg> = self.int_map.iter().chain(self.fp_map.iter()).copied().collect();
         for phys in mapped {
             self.close_interval(phys);
         }
@@ -213,7 +209,7 @@ mod tests {
         rs.record_write(p, 100);
         rs.record_read(p, 120);
         rs.record_read(p, 110); // out-of-order reads keep the max
-        // Superseding write retires: the old value's liveness closes.
+                                // Superseding write retires: the old value's liveness closes.
         let (_p2, prev2) = rs.rename(RegId::Int(0));
         assert_eq!(prev2, p);
         rs.release(prev2);

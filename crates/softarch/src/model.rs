@@ -167,8 +167,7 @@ impl SoftArch {
         let mut block: Option<Block> = None;
         let mut start = 0u64;
         for end in bps {
-            let rho: f64 =
-                units.iter().map(|(t, l)| l * t.vulnerability_at(start)).sum();
+            let rho: f64 = units.iter().map(|(t, l)| l * t.vulnerability_at(start)).sum();
             let seg = Block::constant(rho, end - start);
             block = Some(match block {
                 Some(b) => b.then(&seg),
@@ -178,9 +177,7 @@ impl SoftArch {
         }
         let block = block.ok_or_else(|| SerrError::invalid_trace("empty traces"))?;
         if block.fail_prob() == 0.0 {
-            return Err(SerrError::invalid_config(
-                "all components have zero failure intensity",
-            ));
+            return Err(SerrError::invalid_config("all components have zero failure intensity"));
         }
         Ok(Mttf::from_secs(block.mttf_cycles() / self.frequency.hz()))
     }
@@ -204,10 +201,8 @@ mod tests {
         for &per_year in &[1e-2, 1.0, 1e3, 1e6, 1e9] {
             let rate = RawErrorRate::per_year(per_year);
             let soft = sa().component_mttf(&trace, rate).unwrap();
-            let renewal =
-                serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap();
-            let err =
-                (soft.as_secs() - renewal.as_secs()).abs() / renewal.as_secs();
+            let renewal = serr_analytic::renewal::renewal_mttf(&trace, rate, freq).unwrap();
+            let err = (soft.as_secs() - renewal.as_secs()).abs() / renewal.as_secs();
             assert!(err < 1e-6, "rate {per_year}/yr: err {err}");
         }
     }
@@ -238,9 +233,7 @@ mod tests {
         ])
         .unwrap();
         let rate = RawErrorRate::per_year(2.0e5);
-        let soft = sa()
-            .tiled_mttf(&[(&bench_a, 5000), (&bench_b, 5000)], rate)
-            .unwrap();
+        let soft = sa().tiled_mttf(&[(&bench_a, 5000), (&bench_b, 5000)], rate).unwrap();
         let renewal = serr_analytic::renewal::renewal_mttf(&concat, rate, freq).unwrap();
         let err = (soft.as_secs() - renewal.as_secs()).abs() / renewal.as_secs();
         assert!(err < 1e-5, "err {err}");

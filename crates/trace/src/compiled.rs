@@ -330,11 +330,7 @@ impl CompiledTrace {
 /// count (finer buckets past ~4 per segment buy nothing).
 fn build_buckets(ends: &[u64], period: u64) -> (u32, Vec<u32>) {
     let seg_count = ends.len() as u64;
-    let target = seg_count
-        .saturating_mul(4)
-        .max(64)
-        .min(CompiledTrace::MAX_BUCKETS)
-        .min(period);
+    let target = seg_count.saturating_mul(4).max(64).min(CompiledTrace::MAX_BUCKETS).min(period);
     let mut shift = 0u32;
     while ((period - 1) >> shift) + 1 > target {
         shift += 1;
@@ -499,8 +495,7 @@ mod tests {
     #[test]
     fn refuses_astronomical_span_counts() {
         // A tiled trace whose expansion would exceed the segment cap.
-        let unit: Arc<dyn VulnerabilityTrace> =
-            Arc::new(IntervalTrace::busy_idle(3, 5).unwrap());
+        let unit: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(3, 5).unwrap());
         let tiled = crate::ConcatTrace::new(vec![(unit, 10_000_000)]).unwrap();
         assert!(tiled.span_count_hint() > CompiledTrace::MAX_SEGMENTS);
         assert!(CompiledTrace::compile(&tiled).is_none());

@@ -120,10 +120,7 @@ impl VulnerabilityTrace for CompositeTrace {
 
     fn span_count_hint(&self) -> u64 {
         // The merged breakpoint set is at most the sum of the parts'.
-        self.parts
-            .iter()
-            .map(|(_, t)| t.span_count_hint())
-            .fold(0u64, u64::saturating_add)
+        self.parts.iter().map(|(_, t)| t.span_count_hint()).fold(0u64, u64::saturating_add)
     }
 }
 
@@ -164,8 +161,7 @@ mod tests {
         let b = IntervalTrace::from_levels(&[0.0, 1.0, 0.5, 0.75]).unwrap();
         let c = CompositeTrace::new(vec![(1.0, arc(a.clone())), (3.0, arc(b.clone()))]).unwrap();
         for cyc in 0..4 {
-            let want =
-                (a.vulnerability_at(cyc) + 3.0 * b.vulnerability_at(cyc)) / 4.0;
+            let want = (a.vulnerability_at(cyc) + 3.0 * b.vulnerability_at(cyc)) / 4.0;
             assert!((c.vulnerability_at(cyc) - want).abs() < 1e-12, "cycle {cyc}");
         }
     }

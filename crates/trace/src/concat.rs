@@ -123,10 +123,7 @@ impl ConcatTrace {
     }
 
     fn locate(&self, cycle_in_period: u64) -> (&Part, u64) {
-        let idx = self
-            .parts
-            .partition_point(|p| p.start <= cycle_in_period)
-            .saturating_sub(1);
+        let idx = self.parts.partition_point(|p| p.start <= cycle_in_period).saturating_sub(1);
         let part = &self.parts[idx];
         (part, cycle_in_period - part.start)
     }
@@ -157,11 +154,8 @@ impl VulnerabilityTrace for ConcatTrace {
     /// (e.g. a day-scale `combined` workload); the analytic path never needs
     /// it because [`ConcatTrace`] overrides `survival_weight`.
     fn breakpoints(&self) -> Vec<u64> {
-        let total: u64 = self
-            .parts
-            .iter()
-            .map(|p| p.tiles * p.trace.breakpoints().len() as u64)
-            .sum();
+        let total: u64 =
+            self.parts.iter().map(|p| p.tiles * p.trace.breakpoints().len() as u64).sum();
         assert!(
             total <= 4_000_000,
             "expanding {total} breakpoints is infeasible; use survival_weight instead"
@@ -226,8 +220,7 @@ mod tests {
 
     /// Reference: materialize the concatenation as a flat IntervalTrace.
     fn flatten(c: &ConcatTrace) -> IntervalTrace {
-        let levels: Vec<f64> =
-            (0..c.period_cycles()).map(|cy| c.vulnerability_at(cy)).collect();
+        let levels: Vec<f64> = (0..c.period_cycles()).map(|cy| c.vulnerability_at(cy)).collect();
         IntervalTrace::from_levels(&levels).unwrap()
     }
 
@@ -295,8 +288,7 @@ mod tests {
         let half_day_cycles = 43_200u64 * 2_000_000_000;
         let bench_a = arc(IntervalTrace::busy_idle(700_000, 300_000).unwrap()); // AVF 0.7
         let bench_b = arc(IntervalTrace::busy_idle(200_000, 800_000).unwrap()); // AVF 0.2
-        let c =
-            ConcatTrace::two_phase(bench_a, half_day_cycles, bench_b, half_day_cycles).unwrap();
+        let c = ConcatTrace::two_phase(bench_a, half_day_cycles, bench_b, half_day_cycles).unwrap();
         assert!((c.avf() - 0.45).abs() < 1e-9);
         // λL small: MTTF ≈ 1/(λ·AVF).
         let lambda = 1e-20;
@@ -309,9 +301,7 @@ mod tests {
     #[test]
     fn rejects_invalid_construction() {
         assert!(ConcatTrace::new(vec![]).is_err());
-        assert!(
-            ConcatTrace::new(vec![(arc(IntervalTrace::busy_idle(1, 1).unwrap()), 0)]).is_err()
-        );
+        assert!(ConcatTrace::new(vec![(arc(IntervalTrace::busy_idle(1, 1).unwrap()), 0)]).is_err());
         // two_phase spans shorter than one iteration.
         assert!(ConcatTrace::two_phase(
             arc(IntervalTrace::busy_idle(5, 5).unwrap()),
@@ -325,11 +315,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "infeasible")]
     fn huge_breakpoint_expansion_panics() {
-        let c = ConcatTrace::new(vec![(
-            arc(IntervalTrace::busy_idle(1, 1).unwrap()),
-            10_000_000,
-        )])
-        .unwrap();
+        let c = ConcatTrace::new(vec![(arc(IntervalTrace::busy_idle(1, 1).unwrap()), 10_000_000)])
+            .unwrap();
         let _ = c.breakpoints();
     }
 }

@@ -149,9 +149,7 @@ mod tests {
 
     #[test]
     fn compress_preserves_semantics() {
-        let values: Vec<f64> = (0..1000)
-            .map(|i| if i % 100 < 30 { 1.0 } else { 0.25 })
-            .collect();
+        let values: Vec<f64> = (0..1000).map(|i| if i % 100 < 30 { 1.0 } else { 0.25 }).collect();
         let dense = DenseTrace::new(values).unwrap();
         let compressed = dense.compress();
         assert_eq!(dense.period_cycles(), compressed.period_cycles());

@@ -56,9 +56,9 @@ pub fn decode_interval_trace(mut bytes: &[u8]) -> Result<IntervalTrace, SerrErro
         return Err(SerrError::invalid_trace(format!("unsupported trace version {version}")));
     }
     let count = bytes.get_u64_le();
-    let need = (count as usize).checked_mul(16).ok_or_else(|| {
-        SerrError::invalid_trace("segment count overflows")
-    })?;
+    let need = (count as usize)
+        .checked_mul(16)
+        .ok_or_else(|| SerrError::invalid_trace("segment count overflows"))?;
     if bytes.remaining() != need {
         return Err(SerrError::invalid_trace(format!(
             "expected {need} bytes of segments, found {}",

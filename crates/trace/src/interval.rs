@@ -203,8 +203,7 @@ impl IntervalTrace {
         let mut start = 0u64;
         while start < period {
             let end = (start + window).min(period);
-            let mass =
-                self.cumulative_within_period(end) - self.cumulative_within_period(start);
+            let mass = self.cumulative_within_period(end) - self.cumulative_within_period(start);
             let v = (mass / (end - start) as f64).clamp(0.0, 1.0);
             builder.push_cycles(end - start, v)?;
             start = end;
@@ -454,9 +453,8 @@ mod tests {
             assert!(coarse.segment_count() <= (10_000 / window + 2) as usize);
             // Cumulative drift bounded by one window of mass.
             for r in (0..=10_000).step_by(500) {
-                let d = (coarse.cumulative_within_period(r)
-                    - fine.cumulative_within_period(r))
-                .abs();
+                let d =
+                    (coarse.cumulative_within_period(r) - fine.cumulative_within_period(r)).abs();
                 assert!(d <= window as f64, "window {window}, r {r}: drift {d}");
             }
         }

@@ -108,13 +108,12 @@ proptest! {
 /// so all the short segments share one bucket and point queries must take
 /// the in-bucket binary-search fallback.
 fn arb_crowded_segments() -> impl Strategy<Value = (Vec<Segment>, u64)> {
-    (
-        prop::collection::vec((0..=4u8).prop_map(|q| f64::from(q) / 4.0), 64..512),
-        30u32..45,
-    )
+    (prop::collection::vec((0..=4u8).prop_map(|q| f64::from(q) / 4.0), 64..512), 30u32..45)
         .prop_map(|(head, tail_log2)| {
-            let mut segs: Vec<Segment> =
-                head.iter().map(|&v| Segment::new(1, v).expect("1-cycle segment is valid")).collect();
+            let mut segs: Vec<Segment> = head
+                .iter()
+                .map(|&v| Segment::new(1, v).expect("1-cycle segment is valid"))
+                .collect();
             segs.push(Segment::new(1u64 << tail_log2, 0.0).expect("tail segment is valid"));
             (segs, head.len() as u64)
         })

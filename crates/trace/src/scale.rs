@@ -100,10 +100,8 @@ impl VulnerabilityTrace for ScaledTrace {
             parts
                 .into_iter()
                 .map(|(t, k)| {
-                    let scaled: Arc<dyn VulnerabilityTrace> = Arc::new(ScaledTrace {
-                        inner: t,
-                        factor: self.factor,
-                    });
+                    let scaled: Arc<dyn VulnerabilityTrace> =
+                        Arc::new(ScaledTrace { inner: t, factor: self.factor });
                     (scaled, k)
                 })
                 .collect()
@@ -155,8 +153,7 @@ mod tests {
         let scaled_levels: Vec<f64> = levels.iter().map(|v| v * 0.3).collect();
         let explicit = IntervalTrace::from_levels(&scaled_levels).unwrap();
         let adapter =
-            ScaledTrace::new(Arc::new(IntervalTrace::from_levels(&levels).unwrap()), 0.3)
-                .unwrap();
+            ScaledTrace::new(Arc::new(IntervalTrace::from_levels(&levels).unwrap()), 0.3).unwrap();
         for &lambda in &[1e-6, 0.01, 0.5] {
             let (ia, ua) = adapter.survival_weight(lambda);
             let (ie, ue) = explicit.survival_weight(lambda);
@@ -173,8 +170,7 @@ mod tests {
 
     #[test]
     fn tiling_propagates_scaling() {
-        let part: Arc<dyn VulnerabilityTrace> =
-            Arc::new(IntervalTrace::busy_idle(2, 2).unwrap());
+        let part: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(2, 2).unwrap());
         let concat = Arc::new(crate::ConcatTrace::new(vec![(part, 3)]).unwrap());
         let scaled = ScaledTrace::new(concat, 0.5).unwrap();
         let tiling = scaled.tiling().expect("concat tiling visible through scale");

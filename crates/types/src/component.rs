@@ -193,15 +193,8 @@ mod tests {
     #[test]
     fn kind_labels_are_distinct() {
         use ComponentKind::*;
-        let kinds = [
-            IntegerUnit,
-            FloatingPointUnit,
-            DecodeUnit,
-            RegisterFile,
-            Cache,
-            Processor,
-            Other,
-        ];
+        let kinds =
+            [IntegerUnit, FloatingPointUnit, DecodeUnit, RegisterFile, Cache, Processor, Other];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
     }

@@ -154,8 +154,7 @@ impl RawErrorRate {
     pub fn try_scale(self, factor: f64) -> Result<Self, SerrError> {
         SerrError::require_finite_non_negative("scale factor", factor)?;
         let scaled = self.0 * factor;
-        SerrError::require_finite_non_negative("scaled raw error rate", scaled)
-            .map(RawErrorRate)
+        SerrError::require_finite_non_negative("scaled raw error rate", scaled).map(RawErrorRate)
     }
 
     /// Converts to FIT.
@@ -372,10 +371,7 @@ mod tests {
             assert!(FitRate::try_new(bad).is_err(), "FIT accepted {bad}");
             assert!(RawErrorRate::try_per_second(bad).is_err(), "per_second accepted {bad}");
             assert!(RawErrorRate::try_per_year(bad).is_err(), "per_year accepted {bad}");
-            assert!(
-                RawErrorRate::per_year(1.0).try_scale(bad).is_err(),
-                "scale accepted {bad}"
-            );
+            assert!(RawErrorRate::per_year(1.0).try_scale(bad).is_err(), "scale accepted {bad}");
         }
         for bad in [f64::NAN, f64::INFINITY, -0.5, 1.0 + 1e-9] {
             assert!(

@@ -288,12 +288,8 @@ impl Iterator for TraceGenerator {
                 let site = ((u * u) * BRANCH_SITES as f64) as u32;
                 let bias = self.branch_bias[site as usize % BRANCH_SITES];
                 let taken = self.rng.gen_range(0.0..1.0) < bias;
-                let hint =
-                    self.rng.gen_range(0.0..1.0) < self.profile.branch_mispredict_rate;
-                Instruction::branch(
-                    Some(cond),
-                    BranchInfo { site, taken, mispredict_hint: hint },
-                )
+                let hint = self.rng.gen_range(0.0..1.0) < self.profile.branch_mispredict_rate;
+                Instruction::branch(Some(cond), BranchInfo { site, taken, mispredict_hint: hint })
             }
         };
         Some(inst)
@@ -385,10 +381,7 @@ mod tests {
     fn mispredict_rate_matches_profile() {
         let p = BenchmarkProfile::by_name("perlbmk").unwrap();
         let stats = TraceStats::measure(&sample("perlbmk", 300_000));
-        assert!(
-            (stats.mispredict_rate - p.branch_mispredict_rate).abs() < 0.01,
-            "{stats:?}"
-        );
+        assert!((stats.mispredict_rate - p.branch_mispredict_rate).abs() < 0.01, "{stats:?}");
     }
 
     #[test]
@@ -407,12 +400,8 @@ mod tests {
         let a = sample("gcc", 1000);
         let b = sample("gcc", 1000);
         assert_eq!(a, b);
-        let c: Vec<_> = TraceGenerator::new(
-            BenchmarkProfile::by_name("gcc").unwrap(),
-            99,
-        )
-        .take(1000)
-        .collect();
+        let c: Vec<_> =
+            TraceGenerator::new(BenchmarkProfile::by_name("gcc").unwrap(), 99).take(1000).collect();
         assert_ne!(a, c);
     }
 
@@ -477,10 +466,8 @@ mod tests {
         // the test fast.)
         let mut p = BenchmarkProfile::by_name("gcc").unwrap();
         assert!(p.phases.is_some(), "gcc ships with phases");
-        p.phases = Some(crate::PhaseBehavior {
-            period_instructions: 300_000,
-            memory_fraction: 0.35,
-        });
+        p.phases =
+            Some(crate::PhaseBehavior { period_instructions: 300_000, memory_fraction: 0.35 });
         let phase = p.phases.expect("set above");
         let insts: Vec<_> = TraceGenerator::new(p, 77).take(900_000).collect();
         let window = (phase.period_instructions as f64 * phase.memory_fraction / 2.0) as usize;
@@ -503,8 +490,7 @@ mod tests {
     #[test]
     fn fp_benchmarks_write_fp_registers() {
         let insts = sample("swim", 10_000);
-        let fp_dsts =
-            insts.iter().filter(|i| matches!(i.dst, Some(RegId::Fp(_)))).count();
+        let fp_dsts = insts.iter().filter(|i| matches!(i.dst, Some(RegId::Fp(_)))).count();
         assert!(fp_dsts > 3000, "fp dsts {fp_dsts}");
     }
 }

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 /// The simulated ISA has 32 integer and 32 floating-point architectural
 /// registers; the renamer in `serr-sim` maps these onto the 256-entry
 /// physical file of the paper's Table 1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RegId {
     /// Integer register `Ri`.
     Int(u8),

@@ -222,9 +222,15 @@ impl BenchmarkProfile {
         // characterization studies).
         for prog in &mut v {
             let phases = match prog.name {
-                "gcc" => Some(PhaseBehavior { period_instructions: 2_000_000, memory_fraction: 0.35 }),
-                "mcf" => Some(PhaseBehavior { period_instructions: 3_000_000, memory_fraction: 0.60 }),
-                "bzip2" => Some(PhaseBehavior { period_instructions: 1_500_000, memory_fraction: 0.30 }),
+                "gcc" => {
+                    Some(PhaseBehavior { period_instructions: 2_000_000, memory_fraction: 0.35 })
+                }
+                "mcf" => {
+                    Some(PhaseBehavior { period_instructions: 3_000_000, memory_fraction: 0.60 })
+                }
+                "bzip2" => {
+                    Some(PhaseBehavior { period_instructions: 1_500_000, memory_fraction: 0.30 })
+                }
                 _ => None,
             };
             prog.phases = phases;
@@ -292,8 +298,12 @@ impl BenchmarkProfile {
         ];
         for prog in &mut v {
             let phases = match prog.name {
-                "art" => Some(PhaseBehavior { period_instructions: 2_000_000, memory_fraction: 0.45 }),
-                "equake" => Some(PhaseBehavior { period_instructions: 3_000_000, memory_fraction: 0.50 }),
+                "art" => {
+                    Some(PhaseBehavior { period_instructions: 2_000_000, memory_fraction: 0.45 })
+                }
+                "equake" => {
+                    Some(PhaseBehavior { period_instructions: 3_000_000, memory_fraction: 0.50 })
+                }
                 _ => None,
             };
             prog.phases = phases;

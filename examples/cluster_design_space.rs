@@ -13,14 +13,14 @@ use serr_core::prelude::*;
 fn main() -> Result<(), SerrError> {
     let freq = Frequency::base();
     let day: Arc<dyn VulnerabilityTrace> = Arc::new(serr_workload::synthesized::day(freq));
-    let validator = Validator::new(
-        freq,
-        MonteCarloConfig { trials: 50_000, ..Default::default() },
-    );
+    let validator = Validator::new(freq, MonteCarloConfig { trials: 50_000, ..Default::default() });
 
     println!("SOFR trustworthiness map: day/night workload, per-processor");
     println!("storage N bits at terrestrial baseline (0.001 FIT/bit)\n");
-    println!("{:>10} {:>10} {:>14} {:>14} {:>10}", "N (bits)", "cluster C", "SOFR MTTF", "true MTTF", "error");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>10}",
+        "N (bits)", "cluster C", "SOFR MTTF", "true MTTF", "error"
+    );
 
     for &n in &[1e6, 1e8, 1e9] {
         let rate = RawErrorRate::baseline_per_bit().scale(n);

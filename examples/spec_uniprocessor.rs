@@ -12,11 +12,8 @@ use serr_core::prelude::*;
 
 fn main() -> Result<(), SerrError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let benchmarks: Vec<String> = if args.is_empty() {
-        vec!["gzip".into(), "mcf".into(), "swim".into()]
-    } else {
-        args
-    };
+    let benchmarks: Vec<String> =
+        if args.is_empty() { vec!["gzip".into(), "mcf".into(), "swim".into()] } else { args };
 
     let cfg = ExperimentConfig { sim_instructions: 200_000, ..ExperimentConfig::quick() };
     let rates = UnitRates::paper();

@@ -255,9 +255,9 @@ impl Command {
                 let mut jsonl: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
                     let mut value = |name: &str| {
-                        it.next()
-                            .map(str::to_owned)
-                            .ok_or_else(|| SerrError::invalid_config(format!("{name} needs a value")))
+                        it.next().map(str::to_owned).ok_or_else(|| {
+                            SerrError::invalid_config(format!("{name} needs a value"))
+                        })
                     };
                     match flag {
                         "--campaigns" => {
@@ -291,9 +291,9 @@ impl Command {
                 let mut metrics: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
                     let mut value = |name: &str| {
-                        it.next()
-                            .map(str::to_owned)
-                            .ok_or_else(|| SerrError::invalid_config(format!("{name} needs a value")))
+                        it.next().map(str::to_owned).ok_or_else(|| {
+                            SerrError::invalid_config(format!("{name} needs a value"))
+                        })
                     };
                     match flag {
                         "--workload" | "-w" => {
@@ -326,8 +326,8 @@ impl Command {
                         }
                     }
                 }
-                let workload = workload
-                    .ok_or_else(|| SerrError::invalid_config("--workload is required"))?;
+                let workload =
+                    workload.ok_or_else(|| SerrError::invalid_config("--workload is required"))?;
                 let rate_per_year = rate.ok_or_else(|| {
                     SerrError::invalid_config("--rate <errors/year> or --n-s <product> is required")
                 })?;
@@ -504,7 +504,10 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 v = v.with_observer(obs.clone());
             }
             let r = v.component(&trace, rate)?;
-            println!("workload period : {}", Seconds::new(trace.period_cycles() as f64 / freq.hz()));
+            println!(
+                "workload period : {}",
+                Seconds::new(trace.period_cycles() as f64 / freq.hz())
+            );
             println!("AVF             : {:.4}", r.avf);
             println!("MTTF, AVF step  : {}", r.mttf_avf.as_seconds());
             println!(
@@ -522,8 +525,11 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             println!("MTTF, renewal   : {}", r.mttf_renewal.as_seconds());
             println!("MTTF, SoftArch  : {}", r.mttf_softarch.as_seconds());
-            println!("AVF-step error  : {:.2}% vs MC, {:.2}% vs exact",
-                r.avf_error_vs_mc * 100.0, r.avf_error_vs_renewal * 100.0);
+            println!(
+                "AVF-step error  : {:.2}% vs MC, {:.2}% vs exact",
+                r.avf_error_vs_mc * 100.0,
+                r.avf_error_vs_renewal * 100.0
+            );
             finish_metrics(obs.as_ref(), metrics.as_deref());
             Ok(())
         }
@@ -553,8 +559,11 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             println!("MTTF, renewal   : {}", r.mttf_renewal.as_seconds());
             println!("MTTF, SoftArch  : {}", r.mttf_softarch.as_seconds());
-            println!("SOFR-step error : {:.2}% vs MC, {:.2}% vs exact",
-                r.sofr_error_vs_mc * 100.0, r.sofr_error_vs_renewal * 100.0);
+            println!(
+                "SOFR-step error : {:.2}% vs MC, {:.2}% vs exact",
+                r.sofr_error_vs_mc * 100.0,
+                r.sofr_error_vs_renewal * 100.0
+            );
             if r.sofr_error_vs_renewal > 0.10 {
                 println!("warning: SOFR is unreliable for this configuration (see DSN'07)");
             }
@@ -648,10 +657,8 @@ fn mc_config(trials: u64, deadline_s: Option<f64>) -> MonteCarloConfig {
 
 /// Opens the `--metrics` JSONL observer, when one was requested.
 fn metrics_obs(path: Option<&std::path::Path>) -> Result<Option<Obs>, SerrError> {
-    path.map(|p| {
-        Obs::jsonl(p).map_err(|e| SerrError::io("open --metrics jsonl", e.to_string()))
-    })
-    .transpose()
+    path.map(|p| Obs::jsonl(p).map_err(|e| SerrError::io("open --metrics jsonl", e.to_string())))
+        .transpose()
 }
 
 /// Closes out a `--metrics` run: appends the counter/gauge/histogram
@@ -720,8 +727,7 @@ fn run_sweep_command(
         }
         SweepFigure::Fig6a => {
             let n_s = [1e8, 1e9, 2e12, 5e12];
-            let report =
-                exp::fig6a_sweep(&exp::REPRESENTATIVE_BENCHMARKS, &cs, &n_s, cfg, opts)?;
+            let report = exp::fig6a_sweep(&exp::REPRESENTATIVE_BENCHMARKS, &cs, &n_s, cfg, opts)?;
             report_sweep(&report, |r| {
                 format!(
                     "{:>8}  C {:>6}  N*S {:>8.1e}  SOFR err {:.2}%",
@@ -771,10 +777,7 @@ mod tests {
         assert_eq!(WorkloadSpec::parse("day").unwrap(), WorkloadSpec::Day);
         assert_eq!(WorkloadSpec::parse("week").unwrap(), WorkloadSpec::Week);
         assert_eq!(WorkloadSpec::parse("combined").unwrap(), WorkloadSpec::Combined);
-        assert_eq!(
-            WorkloadSpec::parse("spec:mcf").unwrap(),
-            WorkloadSpec::Spec("mcf".into())
-        );
+        assert_eq!(WorkloadSpec::parse("spec:mcf").unwrap(), WorkloadSpec::Spec("mcf".into()));
         assert_eq!(
             WorkloadSpec::parse("duty:3600:0.25").unwrap(),
             WorkloadSpec::Duty { period_s: 3600.0, busy: 0.25 }
@@ -798,8 +801,17 @@ mod tests {
             }
         );
         let cmd = Command::parse(&[
-            "sofr", "-w", "week", "--rate", "2.5", "-c", "5e3", "--trials", "5000",
-            "--deadline", "1.5",
+            "sofr",
+            "-w",
+            "week",
+            "--rate",
+            "2.5",
+            "-c",
+            "5e3",
+            "--trials",
+            "5000",
+            "--deadline",
+            "1.5",
         ])
         .unwrap();
         assert_eq!(
@@ -822,12 +834,7 @@ mod tests {
     fn sweep_commands_parse() {
         assert_eq!(
             Command::parse(&["sweep", "fig5", "--fresh"]).unwrap(),
-            Command::Sweep {
-                figure: SweepFigure::Fig5,
-                fresh: true,
-                trials: None,
-                metrics: None
-            }
+            Command::Sweep { figure: SweepFigure::Fig5, fresh: true, trials: None, metrics: None }
         );
         assert_eq!(
             Command::parse(&["sweep", "sec5_1", "--resume", "--trials", "9000"]).unwrap(),
@@ -878,16 +885,14 @@ mod tests {
     /// an [`SerrError::InvalidConfig`] whose message names the flag.
     #[test]
     fn numeric_flags_are_validated_at_parse_time() {
-        let rejects = |args: &[&str], needle: &str| {
-            match Command::parse(args) {
-                Err(SerrError::InvalidConfig { reason }) => {
-                    assert!(
-                        reason.contains(needle),
-                        "args {args:?}: message `{reason}` does not name `{needle}`"
-                    );
-                }
-                other => panic!("args {args:?}: expected InvalidConfig, got {other:?}"),
+        let rejects = |args: &[&str], needle: &str| match Command::parse(args) {
+            Err(SerrError::InvalidConfig { reason }) => {
+                assert!(
+                    reason.contains(needle),
+                    "args {args:?}: message `{reason}` does not name `{needle}`"
+                );
             }
+            other => panic!("args {args:?}: expected InvalidConfig, got {other:?}"),
         };
         rejects(&["mttf", "-w", "day", "--rate", "-1"], "--rate");
         rejects(&["mttf", "-w", "day", "--rate", "0"], "--rate");
@@ -912,7 +917,13 @@ mod tests {
     fn run_mttf_on_duty_workload() {
         // End-to-end through the CLI layer on a tiny config.
         let cmd = Command::parse(&[
-            "mttf", "--workload", "duty:0.001:0.5", "--rate", "1e6", "--trials", "2000",
+            "mttf",
+            "--workload",
+            "duty:0.001:0.5",
+            "--rate",
+            "1e6",
+            "--trials",
+            "2000",
         ])
         .unwrap();
         run(&cmd).unwrap();
@@ -959,8 +970,15 @@ mod tests {
         // before the first chunk: the engine must refuse with the typed
         // error instead of returning an empty (NaN-ridden) estimate.
         let cmd = Command::parse(&[
-            "mttf", "--workload", "duty:0.001:0.5", "--rate", "1e6", "--trials", "50000",
-            "--deadline", "1e-15",
+            "mttf",
+            "--workload",
+            "duty:0.001:0.5",
+            "--rate",
+            "1e6",
+            "--trials",
+            "50000",
+            "--deadline",
+            "1e-15",
         ])
         .unwrap();
         match run(&cmd) {
@@ -972,8 +990,17 @@ mod tests {
     #[test]
     fn chaos_commands_parse() {
         let cmd = Command::parse(&[
-            "chaos", "--campaigns", "40", "--seed", "0xBEEF", "--trials", "2500", "--kinds",
-            "chunk-panic,rate-poison", "--jsonl", "/tmp/out.jsonl",
+            "chaos",
+            "--campaigns",
+            "40",
+            "--seed",
+            "0xBEEF",
+            "--trials",
+            "2500",
+            "--kinds",
+            "chunk-panic,rate-poison",
+            "--jsonl",
+            "/tmp/out.jsonl",
         ])
         .unwrap();
         assert_eq!(
@@ -1009,8 +1036,16 @@ mod tests {
         let jsonl = dir.join("chaos.jsonl");
         let _ = std::fs::create_dir_all(&dir);
         let cmd = Command::parse(&[
-            "chaos", "--campaigns", "4", "--seed", "11", "--trials", "1500", "--kinds",
-            "trace-value-flip,journal-corrupt", "--jsonl",
+            "chaos",
+            "--campaigns",
+            "4",
+            "--seed",
+            "11",
+            "--trials",
+            "1500",
+            "--kinds",
+            "trace-value-flip,journal-corrupt",
+            "--jsonl",
         ])
         .map(|_| ())
         .unwrap_err(); // --jsonl without a value is rejected

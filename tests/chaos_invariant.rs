@@ -32,10 +32,7 @@ fn two_hundred_campaigns_cover_every_injector_with_zero_misses() {
         .iter()
         .filter(|o| o.miss)
         .map(|o| {
-            format!(
-                "campaign {} kind {} seed {:#018x}: {}",
-                o.campaign, o.kind, o.seed, o.detail
-            )
+            format!("campaign {} kind {} seed {:#018x}: {}", o.campaign, o.kind, o.seed, o.detail)
         })
         .collect();
     assert!(misses.is_empty(), "detect-or-degrade violated:\n{}", misses.join("\n"));
@@ -63,10 +60,7 @@ fn two_hundred_campaigns_cover_every_injector_with_zero_misses() {
         FaultKind::JournalLock,
     ] {
         assert!(
-            report
-                .outcomes
-                .iter()
-                .any(|o| o.kind == kind && o.outcome != Provenance::Clean),
+            report.outcomes.iter().any(|o| o.kind == kind && o.outcome != Provenance::Clean),
             "kind {kind} never produced a non-Clean outcome"
         );
     }

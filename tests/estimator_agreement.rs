@@ -77,10 +77,8 @@ fn agreement_on_shifted_traces() {
 fn agreement_on_concat_trace_via_survival_weight() {
     // MC walks the ConcatTrace point-by-point; renewal uses the
     // geometric closed form — they must coincide.
-    let a: Arc<dyn VulnerabilityTrace> =
-        Arc::new(IntervalTrace::busy_idle(800, 200).unwrap());
-    let b: Arc<dyn VulnerabilityTrace> =
-        Arc::new(IntervalTrace::busy_idle(100, 900).unwrap());
+    let a: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(800, 200).unwrap());
+    let b: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(100, 900).unwrap());
     let concat = ConcatTrace::new(vec![(a, 2_000), (b, 2_000)]).unwrap();
     let freq = Frequency::base();
     // λ·L ≈ 2 over the 4M-cycle period.
@@ -111,11 +109,9 @@ fn system_superposition_equals_explicit_parts() {
     let system = builder.build().unwrap();
     let via_system = mc().system_mttf(&system).expect("system mc");
 
-    let via_scaled = mc()
-        .component_mttf(&trace, rate.scale(c as f64), freq)
-        .expect("scaled mc");
+    let via_scaled = mc().component_mttf(&trace, rate.scale(c as f64), freq).expect("scaled mc");
 
-    let diff = (via_system.mttf.as_secs() - via_scaled.mttf.as_secs()).abs()
-        / via_scaled.mttf.as_secs();
+    let diff =
+        (via_system.mttf.as_secs() - via_scaled.mttf.as_secs()).abs() / via_scaled.mttf.as_secs();
     assert!(diff < 0.02, "superposition mismatch {diff}");
 }

@@ -23,12 +23,7 @@ struct Telemetry {
 
 fn observed_run(threads: usize) -> Telemetry {
     let trace = IntervalTrace::busy_idle(1_000, 3_000).expect("valid trace");
-    let cfg = MonteCarloConfig {
-        trials: 10_000,
-        threads,
-        seed: 0x0D15_EA5E,
-        ..Default::default()
-    };
+    let cfg = MonteCarloConfig { trials: 10_000, threads, seed: 0x0D15_EA5E, ..Default::default() };
     let (obs, sink) = Obs::memory();
     let estimate = MonteCarlo::new(cfg)
         .with_observer(obs.clone())
@@ -37,11 +32,7 @@ fn observed_run(threads: usize) -> Telemetry {
     Telemetry {
         estimate,
         chunk_json: sink.events_of("mc.chunk").iter().map(Event::to_json).collect(),
-        sequence_keys: sink
-            .events()
-            .iter()
-            .map(|e| (e.kind.to_owned(), e.seq))
-            .collect(),
+        sequence_keys: sink.events().iter().map(|e| (e.kind.to_owned(), e.seq)).collect(),
         counters: obs.metrics().snapshot().counters.into_iter().collect(),
     }
 }

@@ -94,13 +94,8 @@ fn figure6b_sofr_breaks_at_scale() {
 #[test]
 fn section5_4_softarch_is_accurate_everywhere() {
     let c = cfg();
-    let rows = sec5_4(
-        &[Workload::Day, Workload::Week],
-        &[2, 5_000],
-        &[1e8, 1e12],
-        &c,
-    )
-    .expect("pipeline");
+    let rows =
+        sec5_4(&[Workload::Day, Workload::Week], &[2, 5_000], &[1e8, 1e12], &c).expect("pipeline");
     for r in &rows {
         assert!(
             r.softarch_error_vs_renewal < 1e-4,
@@ -131,15 +126,13 @@ fn the_limits_of_common_assumptions() {
     let v = Validator::new(freq, MonteCarloConfig { trials: 40_000, ..Default::default() });
 
     // Terrestrial single server: everything agrees.
-    let small = v
-        .component(day.as_ref(), RawErrorRate::baseline_per_bit().scale(1e6))
-        .expect("small");
+    let small =
+        v.component(day.as_ref(), RawErrorRate::baseline_per_bit().scale(1e6)).expect("small");
     assert!(small.avf_error_vs_renewal < 1e-4);
 
     // Space-grade rates: AVF wrong by ~2x, SoftArch still right.
-    let large = v
-        .component(day.as_ref(), RawErrorRate::baseline_per_bit().scale(5e12))
-        .expect("large");
+    let large =
+        v.component(day.as_ref(), RawErrorRate::baseline_per_bit().scale(5e12)).expect("large");
     assert!(large.avf_error_vs_renewal > 0.5, "{}", large.avf_error_vs_renewal);
     assert!(large.softarch_error_vs_mc < 0.03, "{}", large.softarch_error_vs_mc);
 }

@@ -27,8 +27,7 @@ fn simulate_serialize_estimate_roundtrip() {
     let freq = Frequency::base();
     let a = serr_core::prelude::analytic::renewal::renewal_mttf(&out.traces.int_unit, rate, freq)
         .unwrap();
-    let b =
-        serr_core::prelude::analytic::renewal::renewal_mttf(&decoded, rate, freq).unwrap();
+    let b = serr_core::prelude::analytic::renewal::renewal_mttf(&decoded, rate, freq).unwrap();
     assert!((a.as_secs() - b.as_secs()).abs() < 1e-9);
 }
 
@@ -130,9 +129,7 @@ fn design_space_points_drive_the_validator() {
     let mut count = 0;
     for point in space.points() {
         point.validate().unwrap();
-        let sv = v
-            .system_identical(day.clone(), point.component_rate(), point.c)
-            .unwrap();
+        let sv = v.system_identical(day.clone(), point.component_rate(), point.c).unwrap();
         assert!(sv.mttf_mc.mttf.as_secs() > 0.0);
         count += 1;
     }

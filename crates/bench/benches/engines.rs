@@ -43,7 +43,7 @@ fn bench_naive_vs_fast(c: &mut Criterion) {
     g.bench_function("naive_trial", |b| {
         let mut rng = SmallRng::seed_from_u64(1);
         b.iter(|| {
-            serr_mc::naive::sample_time_to_failure_naive(&trace, lambda, 100_000_000, &mut rng)
+            serr_mc::naive::sample_time_to_failure_naive(&trace, lambda, 100_000_000, &mut rng, 0)
                 .unwrap()
         });
     });
@@ -52,6 +52,13 @@ fn bench_naive_vs_fast(c: &mut Criterion) {
         b.iter(|| {
             serr_mc::sampler::sample_time_to_failure(&trace, lambda, 1_000_000, &mut rng, 0.0)
                 .unwrap()
+        });
+    });
+    g.bench_function("inversion_trial", |b| {
+        let compiled = serr_trace::CompiledTrace::compile(&trace).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            serr_mc::inversion::sample_time_to_failure_inversion(&compiled, lambda, &mut rng, 0.0)
         });
     });
     g.finish();

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use serr_core::experiments::{fig5, fig5_sweep, ExperimentConfig};
 use serr_core::prelude::{run_chaos, ChaosConfig, Provenance, SweepOptions, Workload};
-use serr_mc::{MonteCarlo, MonteCarloConfig};
+use serr_mc::{MonteCarlo, MonteCarloConfig, SamplerKind};
 use serr_obs::{Event, Obs, Value};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, RawErrorRate};
@@ -82,10 +82,66 @@ fn main() {
         mc_day.component_mttf(&day_like, day_rate, freq).expect("day-like MC case runs")
     }));
 
+    // Sampler duel on a low-AVF workload (schema v5): busy 1 cycle in 1000,
+    // so the event-loop walk burns ~1/AVF = 1000 thinning rejections per
+    // trial while the Λ-inversion sampler spends exactly one Exp(1) draw.
+    // This is the regime the inversion sampler exists for; the timing pair
+    // and per-trial event counts land in the JSON, and the run aborts if
+    // the advertised ≥10× advantage ever regresses.
+    let low_avf = IntervalTrace::busy_idle(1, 999).expect("low-AVF trace is valid");
+    let duel_rate = RawErrorRate::per_year(1.0e3);
+    let duel_trials = 20_000u64;
+    let mc_ev = MonteCarlo::new(MonteCarloConfig {
+        trials: duel_trials,
+        threads: 1,
+        sampler: SamplerKind::EventLoop,
+        ..Default::default()
+    });
+    let mc_inv = MonteCarlo::new(MonteCarloConfig {
+        trials: duel_trials,
+        threads: 1,
+        sampler: SamplerKind::Inversion,
+        ..Default::default()
+    });
+    let ev_est = mc_ev.component_mttf(&low_avf, duel_rate, freq).expect("event-loop duel runs");
+    let inv_est = mc_inv.component_mttf(&low_avf, duel_rate, freq).expect("inversion duel runs");
+    assert_eq!(ev_est.sampler, SamplerKind::EventLoop);
+    assert_eq!(inv_est.sampler, SamplerKind::Inversion);
+    let t_ev = time("sampler/event_loop_low_avf_20k_trials", 3, || {
+        mc_ev.component_mttf(&low_avf, duel_rate, freq).expect("event-loop duel runs")
+    });
+    let t_inv = time("sampler/inversion_low_avf_20k_trials", 3, || {
+        mc_inv.component_mttf(&low_avf, duel_rate, freq).expect("inversion duel runs")
+    });
+    let speedup = t_ev.min_ms / t_inv.min_ms;
+    let sampler_json = format!(
+        "  \"sampler_duel\": {{\"workload\": \"busy_idle_1_999\", \"avf\": 0.001, \
+         \"trials\": {duel_trials}, \"event_loop_min_ms\": {:.4}, \"inversion_min_ms\": {:.4}, \
+         \"event_loop_events_per_trial\": {:.2}, \"inversion_events_per_trial\": {:.2}, \
+         \"speedup\": {:.1}}},",
+        t_ev.min_ms,
+        t_inv.min_ms,
+        ev_est.mean_events_per_trial,
+        inv_est.mean_events_per_trial,
+        speedup
+    );
+    println!(
+        "sampler duel: event-loop {:.3} ms ({:.1} events/trial) vs inversion {:.3} ms \
+         ({:.1} events/trial) -> {speedup:.1}x",
+        t_ev.min_ms, ev_est.mean_events_per_trial, t_inv.min_ms, inv_est.mean_events_per_trial
+    );
+    assert!(
+        speedup >= 10.0,
+        "inversion sampler must be >=10x faster than the event loop on the low-AVF duel, \
+         measured {speedup:.1}x"
+    );
+    timings.push(t_ev);
+    timings.push(t_inv);
+
     // Observed re-run of the day-like case: per-stage wall time and the
-    // per-chunk convergence trajectory fold into the JSON (schema v4), so
-    // the perf trajectory also records *where* the time goes and how fast
-    // the estimator tightens.
+    // per-chunk convergence trajectory fold into the JSON, so the perf
+    // trajectory also records *where* the time goes and how fast the
+    // estimator tightens.
     let (obs, sink) = Obs::memory();
     let mc_observed =
         MonteCarlo::new(MonteCarloConfig { trials: 10_000, threads: 1, ..Default::default() })
@@ -195,7 +251,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 4,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 5,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        sampler_json,
         checkpoint_json,
         chaos_json,
         stages_json,

@@ -20,6 +20,7 @@ use std::sync::Once;
 
 use serr_inject::rng::{mix, unit};
 use serr_inject::{FaultKind, FaultPlan};
+use serr_mc::SamplerKind;
 use serr_obs::{Event, Obs};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, Provenance, RawErrorRate, SerrError};
@@ -41,6 +42,11 @@ pub struct ChaosConfig {
     /// Monte Carlo worker threads (`0` = all cores). Outcome tags are
     /// invariant to this by construction.
     pub threads: usize,
+    /// Which time-to-failure sampler the guarded campaigns run. The default
+    /// mirrors production ([`SamplerKind::Inversion`]); campaigns target it
+    /// deliberately, because the inversion sampler *reads* the compiled
+    /// prefix table that [`FaultKind::TracePrefixPerturb`] corrupts.
+    pub sampler: SamplerKind,
     /// Fault kinds to cycle through (campaign `i` uses `kinds[i % len]`).
     pub kinds: Vec<FaultKind>,
     /// Scratch directory for the on-disk fault probes. `None` uses a
@@ -59,6 +65,7 @@ impl Default for ChaosConfig {
             seed: 0xC4A0_5CA0_0000_0001,
             trials: 3_000,
             threads: 0,
+            sampler: SamplerKind::default(),
             kinds: FaultKind::ALL.to_vec(),
             scratch_dir: None,
             obs: None,
@@ -227,6 +234,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
     let mc = serr_mc::MonteCarloConfig {
         trials: cfg.trials,
         threads: cfg.threads,
+        sampler: cfg.sampler,
         ..Default::default()
     };
     let guard = Guard::new(Frequency::base(), mc);

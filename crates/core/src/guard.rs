@@ -21,7 +21,11 @@
 //! 4. **Monte Carlo** — up to `1 + max_retries` attempts, each retry with
 //!    a fresh derived seed. An estimate must pass NaN/monotonicity sanity
 //!    checks and agree with renewal within a CI-derived bound to be
-//!    accepted.
+//!    accepted; when the default inversion sampler produced it, a small
+//!    event-loop run must also agree ([`GuardPolicy::oracle_trials`]) —
+//!    the event loop resolves masking from segment values alone and never
+//!    reads the prefix tables the inversion sampler inverts, so the two
+//!    samplers vote on each other's compiled state.
 //! 5. **Fallback** — if every Monte Carlo attempt fails, the renewal
 //!    answer is returned tagged [`Provenance::Degraded`] (or
 //!    [`Provenance::Suspect`] when the analytic references disagree with
@@ -30,7 +34,7 @@
 use serr_analytic::renewal::renewal_mttf;
 use serr_inject::rng::mix;
 use serr_inject::{FaultPlan, TraceFault};
-use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate, SamplerKind};
 use serr_obs::{Event, Obs};
 use serr_softarch::SoftArch;
 use serr_trace::{CompiledTrace, VulnerabilityTrace};
@@ -48,11 +52,19 @@ pub struct GuardPolicy {
     /// is looser wins), so a high-variance run is not rejected for honest
     /// sampling noise.
     pub ci_mult: f64,
+    /// Trials for the event-loop oracle run that cross-checks an accepted
+    /// inversion estimate (see [`SamplerKind`]): the two samplers draw from
+    /// the same distribution but read different compiled tables, so a
+    /// disagreement means one of them was fed corrupted state. Kept small —
+    /// the oracle pays the event loop's ~1/AVF events per trial, exactly
+    /// the cost the inversion sampler exists to avoid — and `0` disables
+    /// the vote entirely.
+    pub oracle_trials: u64,
 }
 
 impl Default for GuardPolicy {
     fn default() -> Self {
-        GuardPolicy { max_retries: 1, rel_tol: 0.02, ci_mult: 4.0 }
+        GuardPolicy { max_retries: 1, rel_tol: 0.02, ci_mult: 4.0, oracle_trials: 4_096 }
     }
 }
 
@@ -208,6 +220,31 @@ impl Guard {
                 ));
                 continue;
             }
+            // 4b. Sampler consistency vote: the event loop never reads the
+            // prefix tables the inversion sampler inverts, so an
+            // independent event-loop run on the *same* compiled trace
+            // cross-checks the inversion machinery itself (defense in
+            // depth beyond the renewal check, which is computed from the
+            // uncompiled source trace).
+            if est.sampler == SamplerKind::Inversion && self.policy.oracle_trials > 0 {
+                match self.event_loop_oracle(trace, compiled.as_ref(), rate, attempt) {
+                    Ok(oracle) => {
+                        if let Some(obs) = &self.obs {
+                            obs.metrics().add("guard.oracle_runs", 1);
+                        }
+                        if let Some(why) = oracle_disagreement(&est, &oracle, &self.policy) {
+                            notes.push(format!("monte carlo attempt {attempt}: {why}"));
+                            continue;
+                        }
+                    }
+                    Err(e) => {
+                        notes.push(format!(
+                            "monte carlo attempt {attempt}: event-loop oracle failed: {e}"
+                        ));
+                        continue;
+                    }
+                }
+            }
             if est.truncated {
                 notes.push(format!(
                     "monte carlo attempt {attempt} truncated by deadline \
@@ -272,6 +309,33 @@ impl Guard {
         obs.metrics().add("guard.fallback_notes", g.notes.len() as u64);
     }
 
+    /// Runs the small event-loop cross-check (see
+    /// [`GuardPolicy::oracle_trials`]) on the same trace the candidate
+    /// estimate sampled — *including* any injected corruption baked into
+    /// the compiled form, which is the point: the event loop votes on the
+    /// compiled state through an independent code path and an independent
+    /// derived seed.
+    fn event_loop_oracle(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        compiled: Option<&CompiledTrace>,
+        rate: RawErrorRate,
+        attempt: u32,
+    ) -> Result<MttfEstimate, SerrError> {
+        let cfg = MonteCarloConfig {
+            sampler: SamplerKind::EventLoop,
+            trials: self.policy.oracle_trials.min(self.mc.trials),
+            seed: mix(&[self.mc.seed, 0x0DAC_1E00, u64::from(attempt)]),
+            chaos: None,
+            ..self.mc
+        };
+        let engine = MonteCarlo::new(cfg);
+        match compiled {
+            Some(c) => engine.component_mttf(c, rate, self.frequency),
+            None => engine.component_mttf(trace, rate, self.frequency),
+        }
+    }
+
     /// Compiles the trace for the Monte Carlo run, applying and then
     /// screening any injected corruption. A compile that fails
     /// [`CompiledTrace::verify`] is rebuilt from the source trace and the
@@ -315,6 +379,26 @@ fn relative_gap(a: f64, b: f64) -> f64 {
         return f64::INFINITY;
     }
     (a - b).abs() / b.abs()
+}
+
+/// The sampler consistency vote: an accepted inversion estimate must agree
+/// with an independent event-loop run within the combined CI-derived
+/// tolerance. Returns the rejection note on disagreement.
+fn oracle_disagreement(
+    est: &MttfEstimate,
+    oracle: &MttfEstimate,
+    policy: &GuardPolicy,
+) -> Option<String> {
+    let gap = relative_gap(est.mttf.as_secs(), oracle.mttf.as_secs());
+    let tol = policy.rel_tol.max(policy.ci_mult * (est.relative_ci95() + oracle.relative_ci95()));
+    (gap > tol).then(|| {
+        format!(
+            "inversion sampler disagrees with the event-loop oracle \
+             ({:.3e} s vs {:.3e} s): relative gap {gap:.3e} exceeds tolerance {tol:.3e}",
+            est.mttf.as_secs(),
+            oracle.mttf.as_secs()
+        )
+    })
 }
 
 /// NaN / monotonicity poisoning detector for a Monte Carlo estimate.
@@ -454,6 +538,64 @@ mod tests {
         assert_eq!(verdicts[0].seq, g.notes.len() as u64);
         // The inner Monte Carlo engine shares the sink.
         assert!(!sink.events_of("mc.chunk").is_empty());
+    }
+
+    #[test]
+    fn inversion_runs_are_vetted_by_the_event_loop_oracle() {
+        let trace = campaign_trace();
+        let rate = RawErrorRate::per_year(50.0);
+        // The default-configured guard samples by inversion; a clean run
+        // must carry exactly one oracle vote and stay Clean.
+        let (obs, _sink) = serr_obs::Obs::memory();
+        let g = guard().with_observer(obs.clone()).component_mttf(&trace, rate, None).unwrap();
+        assert_eq!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
+        assert_eq!(g.mc.as_ref().unwrap().sampler, serr_mc::SamplerKind::Inversion);
+        assert_eq!(obs.metrics().snapshot().counters["guard.oracle_runs"], 1);
+
+        // An event-loop-configured guard has nothing to cross-check.
+        let cfg = MonteCarloConfig {
+            trials: 3_000,
+            threads: 1,
+            sampler: serr_mc::SamplerKind::EventLoop,
+            ..Default::default()
+        };
+        let (obs, _sink) = serr_obs::Obs::memory();
+        let g = Guard::new(Frequency::base(), cfg)
+            .with_observer(obs.clone())
+            .component_mttf(&trace, rate, None)
+            .unwrap();
+        assert_eq!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
+        assert!(!obs.metrics().snapshot().counters.contains_key("guard.oracle_runs"));
+    }
+
+    #[test]
+    fn oracle_vote_rejects_gross_disagreement_and_tolerates_noise() {
+        fn est(mean_s: f64, ci95: f64, sampler: serr_mc::SamplerKind) -> MttfEstimate {
+            MttfEstimate {
+                mttf: Mttf::from_secs(mean_s),
+                ttf_seconds: serr_numeric::stats::Summary {
+                    count: 10_000,
+                    mean: mean_s,
+                    std_dev: ci95 * 51.0,
+                    ci95,
+                    min: 0.0,
+                    max: mean_s * 10.0,
+                },
+                mean_events_per_trial: 1.0,
+                truncated: false,
+                sampler,
+            }
+        }
+        let policy = GuardPolicy::default();
+        let inv = est(1.0e6, 5.0e3, serr_mc::SamplerKind::Inversion);
+        // Within combined CI noise: no vote against.
+        let close = est(1.01e6, 8.0e3, serr_mc::SamplerKind::EventLoop);
+        assert_eq!(oracle_disagreement(&inv, &close, &policy), None);
+        // A corrupted prefix table shifts the inversion answer far outside
+        // any honest noise band: the vote must reject.
+        let far = est(2.0e6, 8.0e3, serr_mc::SamplerKind::EventLoop);
+        let why = oracle_disagreement(&inv, &far, &policy).expect("gross gap must be rejected");
+        assert!(why.contains("event-loop oracle"), "note: {why}");
     }
 
     #[test]

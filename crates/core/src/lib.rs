@@ -56,7 +56,7 @@ pub mod validate;
 pub mod prelude {
     pub use serr_analytic as analytic;
     pub use serr_mc::system::SystemModel;
-    pub use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+    pub use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate, SamplerKind, StartPhase};
     pub use serr_sim::{SimConfig, SimOutput, Simulator};
     pub use serr_softarch::SoftArch;
     pub use serr_trace::{

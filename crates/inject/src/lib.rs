@@ -54,7 +54,11 @@ pub enum FaultKind {
     /// value. Must be caught by the trace structural verifier.
     TraceValueFlip,
     /// Add a large perturbation to one entry of the compiled prefix-sum
-    /// table. Invisible to the sampler, so only the verifier can catch it.
+    /// table. The event-loop sampler never reads the prefix sums, so under
+    /// it only the verifier can catch this; the default inversion sampler
+    /// inverts the prefix table on *every trial*, so the corruption must
+    /// be caught by the verifier (or, failing that, the guard's event-loop
+    /// oracle vote) before it poisons the estimate.
     TracePrefixPerturb,
     /// Scale the dominant segment value and recompute every derived field
     /// consistently. Passes structural checks by construction; only the

@@ -22,6 +22,58 @@ pub enum StartPhase {
     Stationary,
 }
 
+/// Which time-to-failure sampler the engine runs per trial.
+///
+/// Both samplers draw from the *same* distribution (the KS-equivalence
+/// suite pins this): thinning a homogeneous Poisson(λ) raw-error stream by
+/// the masking trace `v(t)` is an inhomogeneous Poisson process with
+/// intensity `λ·v(t)`, so `P(TTF > t) = exp(−λ·V(t))` either way. They
+/// differ only in cost — and in which compiled tables they read, which is
+/// why the chaos taxonomy distinguishes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Walk raw-error events one at a time (the paper's Appendix A
+    /// decomposition): geometric period skip + truncated-exponential
+    /// within-period draw + Bernoulli masking per event. Costs ~1/AVF
+    /// events per trial; reads only point values. Kept as the
+    /// cross-check oracle in the guarded estimation path.
+    EventLoop,
+    /// Invert the cumulative-vulnerability function: one `Exp(1)` draw,
+    /// split into whole periods plus a remainder located in the compiled
+    /// prefix table — O(1) per trial, independent of AVF and λL. Requires
+    /// a [`serr_trace::CompiledTrace`]; traces too large to compile fall
+    /// back to the event loop.
+    #[default]
+    Inversion,
+}
+
+impl SamplerKind {
+    /// Stable lowercase label (CLI values, telemetry keys, bench JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerKind::EventLoop => "event-loop",
+            SamplerKind::Inversion => "inversion",
+        }
+    }
+
+    /// Parses a CLI-style label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidConfig`] for anything other than
+    /// `event-loop` or `inversion`.
+    pub fn parse(s: &str) -> Result<Self, SerrError> {
+        match s {
+            "event-loop" => Ok(SamplerKind::EventLoop),
+            "inversion" => Ok(SamplerKind::Inversion),
+            other => Err(SerrError::invalid_config(format!(
+                "unknown sampler {other:?} (expected event-loop or inversion)"
+            ))),
+        }
+    }
+}
+
 /// Configuration for the Monte Carlo MTTF engine.
 ///
 /// The paper runs 1,000,000 trials; the default here is 200,000, which
@@ -48,6 +100,8 @@ pub struct MonteCarloConfig {
     pub max_events_per_trial: u64,
     /// Where within the workload loop each trial begins.
     pub start_phase: StartPhase,
+    /// Which per-trial time-to-failure sampler to run (see [`SamplerKind`]).
+    pub sampler: SamplerKind,
     /// Optional wall-clock budget for one engine run. A budget that is
     /// already exhausted when the run starts (zero, or elapsed before the
     /// first chunk) aborts immediately with
@@ -74,6 +128,7 @@ impl Default for MonteCarloConfig {
             threads: 0,
             max_events_per_trial: 100_000_000,
             start_phase: StartPhase::WorkloadStart,
+            sampler: SamplerKind::Inversion,
             deadline: None,
             chaos: None,
         }
@@ -141,6 +196,16 @@ mod tests {
     #[test]
     fn start_phase_default_is_paper_convention() {
         assert_eq!(MonteCarloConfig::default().start_phase, StartPhase::WorkloadStart);
+    }
+
+    #[test]
+    fn sampler_defaults_to_inversion_and_labels_round_trip() {
+        assert_eq!(MonteCarloConfig::default().sampler, SamplerKind::Inversion);
+        for kind in [SamplerKind::EventLoop, SamplerKind::Inversion] {
+            assert_eq!(SamplerKind::parse(kind.label()).expect("label parses"), kind);
+        }
+        assert!(SamplerKind::parse("naive").is_err());
+        assert!(SamplerKind::parse("").is_err());
     }
 
     #[test]

@@ -12,14 +12,24 @@
 //! too. (An earlier implementation derived streams from *thread* ids, which
 //! silently broke this promise for `threads > 1`.)
 //!
-//! # Compiled hot path
+//! # Compiled hot path and sampler dispatch
 //!
 //! Before spawning workers, the engine lowers the trace into a
-//! [`CompiledTrace`] (flat segments + bucketed `O(1)` phase index) and
-//! monomorphizes the trial loop over it, eliminating the per-event virtual
-//! call and binary search. Traces whose span structure is too large to
-//! flatten (see [`VulnerabilityTrace::span_count_hint`]) transparently fall
-//! back to the generic loop over the original representation.
+//! [`CompiledTrace`] (flat segments + bucketed `O(1)` phase index and a
+//! bucketed inverse index over the prefix sums) and monomorphizes the
+//! trial loop over the configured [`SamplerKind`]:
+//!
+//! * [`SamplerKind::Inversion`] (the default) draws each time to failure
+//!   in O(1) by inverting the cumulative-vulnerability function through
+//!   the compiled prefix table — see [`crate::inversion`];
+//! * [`SamplerKind::EventLoop`] walks raw-error events one at a time (the
+//!   paper's Appendix A decomposition) — kept as the cross-check oracle.
+//!
+//! Traces whose span structure is too large to flatten (see
+//! [`VulnerabilityTrace::span_count_hint`]) transparently fall back to the
+//! generic event loop over the original representation regardless of the
+//! configured kind (the inversion sampler needs the compiled tables); the
+//! sampler that actually ran is reported in [`MttfEstimate::sampler`].
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -29,8 +39,9 @@ use serr_obs::{Event, Obs};
 use serr_trace::{CompiledTrace, VulnerabilityTrace};
 use serr_types::{Frequency, Mttf, RawErrorRate, SerrError};
 
-use crate::config::StartPhase;
-use crate::sampler::sample_time_to_failure;
+use crate::config::{SamplerKind, StartPhase};
+use crate::inversion::sample_time_to_failure_inversion;
+use crate::sampler::{sample_time_to_failure, TrialOutcome};
 use crate::system::SystemModel;
 use crate::MonteCarloConfig;
 
@@ -115,6 +126,11 @@ pub struct MttfEstimate {
     /// completed before the deadline (`ttf_seconds.count` of them); its
     /// confidence interval is honestly wider than the full run's would be.
     pub truncated: bool,
+    /// The sampler that actually produced the trials. Normally the
+    /// configured [`MonteCarloConfig::sampler`]; a trace too large to
+    /// compile downgrades `Inversion` to `EventLoop` (the inversion sampler
+    /// needs the compiled prefix table).
+    pub sampler: SamplerKind,
 }
 
 impl MttfEstimate {
@@ -223,10 +239,9 @@ impl MonteCarlo {
         self.validate(trace, rate)?;
         let lambda_cycle = rate.per_second_value() / freq.hz();
         let engine = MonteCarlo::new(MonteCarloConfig { trials: n, ..self.config });
-        let (chunks, _truncated) = match CompiledTrace::compile(trace) {
-            Some(compiled) => engine.run_chunks(&compiled, lambda_cycle, true)?,
-            None => engine.run_chunks(trace, lambda_cycle, true)?,
-        };
+        let compiled = CompiledTrace::compile(trace);
+        let (chunks, _truncated, _sampler) =
+            engine.run_sampler(trace, compiled.as_ref(), lambda_cycle, true)?;
         let hz = freq.hz();
         Ok(chunks.into_iter().flat_map(|(_, c)| c.ttfs).map(|t| t / hz).collect())
     }
@@ -263,10 +278,8 @@ impl MonteCarlo {
             obs.record_stage("trace_compile", t_compile.elapsed().as_secs_f64() * 1e3);
         }
         let t_run = std::time::Instant::now();
-        let (chunks, truncated) = match &compiled {
-            Some(compiled) => self.run_chunks(compiled, lambda_cycle, false)?,
-            None => self.run_chunks(trace, lambda_cycle, false)?,
-        };
+        let (chunks, truncated, sampler) =
+            self.run_sampler(trace, compiled.as_ref(), lambda_cycle, false)?;
 
         // Fold in ascending chunk order: the reduction order (and thus the
         // result, bit for bit) is independent of the thread count. The
@@ -299,6 +312,13 @@ impl MonteCarlo {
             obs.record_stage("mc_run", secs * 1e3);
             let metrics = obs.metrics();
             metrics.add("mc.runs", 1);
+            metrics.add(
+                match sampler {
+                    SamplerKind::EventLoop => "mc.runs_event_loop",
+                    SamplerKind::Inversion => "mc.runs_inversion",
+                },
+                1,
+            );
             metrics.add("mc.rng_chunks", chunks.len() as u64);
             metrics.add("mc.trials_completed", completed);
             metrics.add("mc.raw_error_events", total_events);
@@ -322,7 +342,48 @@ impl MonteCarlo {
             ttf_seconds: summary,
             mean_events_per_trial: total_events as f64 / completed as f64,
             truncated,
+            sampler,
         })
+    }
+
+    /// Dispatches the configured [`SamplerKind`] over the compiled (or
+    /// generic) trace and runs the chunked trial loop, monomorphizing it
+    /// over the per-trial closure. Returns the chunk outcomes, the
+    /// truncation flag, and the sampler that actually ran: a trace too
+    /// large to compile falls back to the generic event loop regardless of
+    /// the configured kind, since the inversion sampler reads the compiled
+    /// prefix table.
+    fn run_sampler(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        compiled: Option<&CompiledTrace>,
+        lambda_cycle: f64,
+        collect_samples: bool,
+    ) -> Result<(Vec<(u64, ChunkOutcome)>, bool, SamplerKind), SerrError> {
+        let cap = self.config.max_events_per_trial;
+        match (compiled, self.config.sampler) {
+            (Some(c), SamplerKind::Inversion) => {
+                let (chunks, truncated) =
+                    self.run_chunks(c.period_cycles(), collect_samples, |rng, phase| {
+                        Ok(sample_time_to_failure_inversion(c, lambda_cycle, rng, phase))
+                    })?;
+                Ok((chunks, truncated, SamplerKind::Inversion))
+            }
+            (Some(c), SamplerKind::EventLoop) => {
+                let (chunks, truncated) =
+                    self.run_chunks(c.period_cycles(), collect_samples, |rng, phase| {
+                        sample_time_to_failure(c, lambda_cycle, cap, rng, phase)
+                    })?;
+                Ok((chunks, truncated, SamplerKind::EventLoop))
+            }
+            (None, _) => {
+                let (chunks, truncated) =
+                    self.run_chunks(trace.period_cycles(), collect_samples, |rng, phase| {
+                        sample_time_to_failure(trace, lambda_cycle, cap, rng, phase)
+                    })?;
+                Ok((chunks, truncated, SamplerKind::EventLoop))
+            }
+        }
     }
 
     /// The shared trial loop: runs `config.trials` trials in fixed chunks
@@ -330,7 +391,10 @@ impl MonteCarlo {
     /// claim chunks round-robin by index, and returns the per-chunk
     /// outcomes in ascending chunk order plus a flag saying whether a
     /// configured deadline stopped the run early. Monomorphized over the
-    /// trace type so the compiled fast path inlines end to end.
+    /// per-trial closure so each sampler's fast path inlines end to end;
+    /// the chunk/RNG/deadline/chaos scaffolding — including the
+    /// `StartPhase` draw, which must stay *before* the trial call so every
+    /// sampler sees the identical phase stream — lives here exactly once.
     ///
     /// Deadline semantics: the budget is checked at chunk boundaries only —
     /// a chunk that has started always finishes, and every worker completes
@@ -340,16 +404,18 @@ impl MonteCarlo {
     /// the truncated result is still a deterministic function of *which*
     /// chunks completed (e.g. a zero deadline with one thread always yields
     /// exactly chunk 0).
-    fn run_chunks<T: VulnerabilityTrace + ?Sized + Sync>(
+    fn run_chunks<F>(
         &self,
-        trace: &T,
-        lambda_cycle: f64,
+        period_cycles: u64,
         collect_samples: bool,
-    ) -> Result<(Vec<(u64, ChunkOutcome)>, bool), SerrError> {
+        trial: F,
+    ) -> Result<(Vec<(u64, ChunkOutcome)>, bool), SerrError>
+    where
+        F: Fn(&mut SmallRng, f64) -> Result<TrialOutcome, SerrError> + Sync,
+    {
         let trials = self.config.trials;
         let n_chunks = trials.div_ceil(TRIAL_CHUNK);
         let threads = self.config.effective_threads().min(n_chunks.max(1) as usize).max(1);
-        let cap = self.config.max_events_per_trial;
         let seed = self.config.seed;
         let start_phase = self.config.start_phase;
         let deadline = self.config.deadline;
@@ -373,7 +439,7 @@ impl MonteCarlo {
                 budget_s: deadline.map_or(0.0, |d| d.as_secs_f64()),
             });
         }
-        let period = trace.period_cycles() as f64;
+        let period = period_cycles as f64;
 
         let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
             let mut out = Vec::new();
@@ -415,7 +481,7 @@ impl MonteCarlo {
                         StartPhase::WorkloadStart => 0.0,
                         StartPhase::Stationary => rng.gen_range(0.0..period),
                     };
-                    let t = sample_time_to_failure(trace, lambda_cycle, cap, &mut rng, phase)?;
+                    let t = trial(&mut rng, phase)?;
                     stats.push(t.ttf_cycles);
                     events += t.events;
                     if collect_samples {
@@ -532,6 +598,79 @@ mod tests {
         let a = MonteCarlo::new(one).component_mttf(&trace, rate, Frequency::base()).unwrap();
         let b = MonteCarlo::new(three).component_mttf(&trace, rate, Frequency::base()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn both_samplers_are_deterministic_across_thread_counts() {
+        let trace =
+            IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
+        let rate = RawErrorRate::per_year(5.0);
+        for sampler in [SamplerKind::EventLoop, SamplerKind::Inversion] {
+            for start_phase in [StartPhase::WorkloadStart, StartPhase::Stationary] {
+                let one = MonteCarloConfig {
+                    trials: 4_000,
+                    threads: 1,
+                    sampler,
+                    start_phase,
+                    ..Default::default()
+                };
+                let four = MonteCarloConfig { threads: 4, ..one };
+                let a =
+                    MonteCarlo::new(one).component_mttf(&trace, rate, Frequency::base()).unwrap();
+                let b =
+                    MonteCarlo::new(four).component_mttf(&trace, rate, Frequency::base()).unwrap();
+                assert_eq!(a, b, "{sampler:?}/{start_phase:?} not thread-count invariant");
+                assert_eq!(a.sampler, sampler);
+            }
+        }
+    }
+
+    #[test]
+    fn samplers_agree_within_confidence_intervals() {
+        // Same trace, same rate: the two samplers draw from the same
+        // distribution (the full KS suite lives in
+        // tests/sampler_equivalence.rs; this pins the engine wiring).
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let rate = RawErrorRate::per_second(0.01 * Frequency::base().hz() / 100.0);
+        let base = MonteCarloConfig { trials: 100_000, ..Default::default() };
+        let inv = MonteCarlo::new(MonteCarloConfig { sampler: SamplerKind::Inversion, ..base })
+            .component_mttf(&trace, rate, Frequency::base())
+            .unwrap();
+        let ev = MonteCarlo::new(MonteCarloConfig { sampler: SamplerKind::EventLoop, ..base })
+            .component_mttf(&trace, rate, Frequency::base())
+            .unwrap();
+        let gap = (inv.mttf.as_secs() - ev.mttf.as_secs()).abs();
+        let tol = 3.0 * (inv.ttf_seconds.ci95 + ev.ttf_seconds.ci95);
+        assert!(
+            gap <= tol,
+            "inversion {} vs event-loop {}: gap {gap} > {tol}",
+            inv.mttf.as_secs(),
+            ev.mttf.as_secs()
+        );
+        // The inversion sampler consumes exactly one event per trial; the
+        // event loop needs ~1/AVF (plus the λL-dependent correction).
+        assert_eq!(inv.mean_events_per_trial, 1.0);
+        assert!(ev.mean_events_per_trial > 2.0, "events {}", ev.mean_events_per_trial);
+        assert_eq!(inv.sampler, SamplerKind::Inversion);
+        assert_eq!(ev.sampler, SamplerKind::EventLoop);
+    }
+
+    #[test]
+    fn uncompilable_trace_falls_back_to_event_loop() {
+        use std::sync::Arc;
+        // A tiled trace whose expansion exceeds the compiler's segment cap:
+        // the engine must downgrade Inversion to the generic event loop and
+        // say so in the estimate.
+        let unit: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(3, 5).unwrap());
+        let tiled = serr_trace::ConcatTrace::new(vec![(unit, 10_000_000)]).unwrap();
+        assert!(CompiledTrace::compile(&tiled).is_none());
+        let cfg = MonteCarloConfig { trials: 2_000, ..Default::default() };
+        assert_eq!(cfg.sampler, SamplerKind::Inversion);
+        let est = MonteCarlo::new(cfg)
+            .component_mttf(&tiled, RawErrorRate::per_year(1000.0), Frequency::base())
+            .unwrap();
+        assert_eq!(est.sampler, SamplerKind::EventLoop);
+        assert!(est.mean_events_per_trial >= 1.0);
     }
 
     #[test]
@@ -828,6 +967,8 @@ mod tests {
 
         let snap = obs.metrics().snapshot();
         assert_eq!(snap.counters["mc.rng_chunks"], 5);
+        assert_eq!(snap.counters["mc.runs_inversion"], 1, "default sampler is inversion");
+        assert!(!snap.counters.contains_key("mc.runs_event_loop"));
         assert_eq!(snap.counters["mc.trials_completed"], 5_000);
         assert_eq!(snap.histograms["stage.mc_run_ms"].count(), 1);
         assert_eq!(snap.histograms["stage.trace_compile_ms"].count(), 1);

@@ -1,0 +1,269 @@
+//! The O(1)-per-trial inversion sampler: time to failure by inverting the
+//! cumulative-vulnerability function.
+//!
+//! # Why the event loop can be replaced by one draw
+//!
+//! The event-loop sampler ([`crate::sampler`]) walks a homogeneous
+//! Poisson(λ) raw-error arrival stream and accepts each arrival striking
+//! cycle `t` independently with probability `v(t)` (the Bernoulli masking
+//! draw; skipped when `v ∈ {0, 1}`). By the Poisson thinning theorem, the
+//! accepted arrivals form an **inhomogeneous Poisson process with intensity
+//! `λ·v(t)`** — the Bernoulli draw is not extra randomness on top of the
+//! arrival process, it *is* the intensity modulation, including fractional
+//! `v`. The time to failure is the first accepted arrival, so with
+//! `V(t) = ∫₀ᵗ v(s) ds` (extended periodically, `V(t + L) = V(t) + V(L)`)
+//! and a trial starting at phase `φ`:
+//!
+//! ```text
+//! P(TTF > t) = exp(−λ·[V(φ + t) − V(φ)])
+//! ```
+//!
+//! Therefore `Λ(t) = λ·[V(φ + t) − V(φ)]` is the integrated intensity and
+//! `TTF = Λ⁻¹(E)` for `E ~ Exp(1)` is an *exact* sample — the same
+//! distribution the event loop walks out one arrival at a time, at any λL
+//! and for any fractional-vulnerability trace. The KS-equivalence suite
+//! (`tests/sampler_equivalence.rs`) pins this identity empirically across
+//! λL ∈ {1e-9, 1, 2000}.
+//!
+//! # Inverting Λ in O(1)
+//!
+//! Write `W = V(L)` for the mass of one whole period (`avf × L`,
+//! [`CompiledTrace::total_mass`]). The inversion splits `E/λ` — the
+//! exposure mass consumed before failure — into three parts, each sampled
+//! at bounded magnitude (no `E/λ ~ 10⁹·W` cancellation):
+//!
+//! 1. **First partial window** `[φ, L)` with mass `tail₀ = W − V(φ)`:
+//!    failure lands here with probability `p₀ = 1 − e^{−λ·tail₀}`. If so,
+//!    the conditional mass beyond `V(φ)` is truncated-`Exp(λ)` on
+//!    `[0, tail₀)` and the failing phase is `ψ = V⁻¹(V(φ) + m)`.
+//! 2. **Whole periods skipped**: by memorylessness, given survival of the
+//!    first window, `K ~ Geometric(1 − q)`, `q = e^{−λW}` — same law as
+//!    the event loop's period skip, sampled as `⌊ln u / (−λW)⌋`.
+//! 3. **Final window**: mass `m` is truncated-`Exp(λ)` on `[0, W)`; the
+//!    failing phase is `ψ = V⁻¹(m)`.
+//!
+//! `V⁻¹` is [`CompiledTrace::phase_at_cumulative`]: a bucketed inverse
+//! index over the compiled prefix sums, O(1) amortized. Total cost: 2–3
+//! RNG draws, two logs, one inverse lookup — **independent of AVF and
+//! λL**, where the event loop needs ~1/AVF events per trial.
+//!
+//! Consequence for fault injection: this sampler reads the prefix table on
+//! every trial, so `TracePrefixPerturb` corruption (invisible to the event
+//! loop's point queries) now skews estimates directly — the guarded path
+//! must verify a compiled trace before trusting it (see
+//! [`CompiledTrace::verify`] and the chaos taxonomy in `serr-inject`).
+
+use rand::Rng;
+use serr_numeric::special::one_minus_exp_neg;
+use serr_trace::{CompiledTrace, VulnerabilityTrace};
+
+use crate::sampler::TrialOutcome;
+
+/// Samples one time to failure by inverting the cumulative-vulnerability
+/// function of `trace` — O(1) per trial. Exact for any λ and any trace
+/// (fractional vulnerabilities included); distribution-identical to
+/// [`crate::sampler::sample_time_to_failure`].
+///
+/// Always succeeds in bounded time (no event cap needed); the returned
+/// [`TrialOutcome::events`] is the single failing raw-error event.
+///
+/// # Panics
+///
+/// Panics if `lambda_cycle` is not positive, `initial_phase` lies outside
+/// the period, or the trace has AVF = 0 (a failure would never occur;
+/// callers validate this up front).
+pub fn sample_time_to_failure_inversion(
+    trace: &CompiledTrace,
+    lambda_cycle: f64,
+    rng: &mut impl Rng,
+    initial_phase: f64,
+) -> TrialOutcome {
+    assert!(lambda_cycle > 0.0, "per-cycle rate must be positive");
+    let l = trace.period_cycles() as f64;
+    assert!((0.0..l).contains(&initial_phase), "initial phase {initial_phase} outside [0, {l})");
+    let total = trace.total_mass();
+    assert!(total > 0.0, "AVF = 0 trace cannot fail");
+
+    let neg_inv_lambda = -1.0 / lambda_cycle;
+    // Masses handed to the inverse lookup must stay strictly below the
+    // period total; one next_down absorbs any rounding-up in the draws.
+    let mass_cap = total.next_down();
+
+    // Part 1: does failure land in the first partial window [φ, L)?
+    let v_phi = trace.cumulative_at(initial_phase);
+    let tail0 = (total - v_phi).max(0.0);
+    let p0 = one_minus_exp_neg(lambda_cycle * tail0);
+    let u1: f64 = rng.gen::<f64>();
+    if u1 < p0 {
+        // Conditional mass beyond V(φ): truncated Exp(λ) on [0, tail0).
+        let u3: f64 = rng.gen::<f64>();
+        let m = (-(u3 * p0)).ln_1p() * neg_inv_lambda;
+        let psi = trace.phase_at_cumulative((v_phi + m).min(mass_cap));
+        return TrialOutcome { ttf_cycles: (psi - initial_phase).max(0.0), events: 1 };
+    }
+
+    // Part 2: whole periods skipped after the first window — geometric via
+    // one uniform, with the same e^{−λW} underflow guard as the event loop.
+    let lambda_w = lambda_cycle * total;
+    let k = if lambda_w > 700.0 {
+        0.0
+    } else {
+        // `1 − gen::<f64>()` lies in (0, 1], so the log is finite.
+        let u2: f64 = 1.0 - rng.gen::<f64>();
+        (u2.ln() * (-1.0 / lambda_w)).floor()
+    };
+
+    // Part 3: failing mass within the final window — truncated Exp(λ) on
+    // [0, W), inverted through the prefix table.
+    let one_minus_q = one_minus_exp_neg(lambda_w);
+    let u3: f64 = rng.gen::<f64>();
+    let m = (-(u3 * one_minus_q)).ln_1p() * neg_inv_lambda;
+    let psi = trace.phase_at_cumulative(m.min(mass_cap));
+    TrialOutcome { ttf_cycles: (l - initial_phase) + k * l + psi, events: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use serr_numeric::stats::RunningStats;
+    use serr_trace::IntervalTrace;
+
+    fn compiled(trace: &IntervalTrace) -> CompiledTrace {
+        CompiledTrace::compile(trace).expect("test traces compile")
+    }
+
+    fn run_mean(trace: &IntervalTrace, lambda: f64, trials: u64, seed: u64) -> RunningStats {
+        let c = compiled(trace);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = RunningStats::new();
+        for _ in 0..trials {
+            stats.push(sample_time_to_failure_inversion(&c, lambda, &mut rng, 0.0).ttf_cycles);
+        }
+        stats
+    }
+
+    #[test]
+    fn fully_vulnerable_matches_exponential_mean() {
+        let trace = IntervalTrace::constant(100, 1.0).unwrap();
+        let lambda = 0.02;
+        let stats = run_mean(&trace, lambda, 50_000, 1);
+        let want = 1.0 / lambda;
+        assert!(
+            (stats.mean() - want).abs() < 4.0 * stats.ci95_half_width().max(1e-9),
+            "mean {} want {want}",
+            stats.mean()
+        );
+        let c = compiled(&trace);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(sample_time_to_failure_inversion(&c, lambda, &mut rng, 0.0).events, 1);
+    }
+
+    #[test]
+    fn matches_renewal_closed_form_busy_idle() {
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let lambda = 0.01; // λL = 1.0
+        let stats = run_mean(&trace, lambda, 200_000, 3);
+        let want = serr_analytic::renewal::renewal_mttf_cycles(&trace, lambda);
+        let err = (stats.mean() - want).abs() / want;
+        assert!(err < 0.01, "MC {} vs renewal {want}: err {err}", stats.mean());
+    }
+
+    #[test]
+    fn matches_renewal_with_fractional_vulnerability() {
+        // Fractional levels: the thinning identity must hold with no
+        // Bernoulli draw anywhere in this sampler.
+        let trace =
+            IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
+        let lambda = 0.05;
+        let stats = run_mean(&trace, lambda, 200_000, 4);
+        let want = serr_analytic::renewal::renewal_mttf_cycles(&trace, lambda);
+        let err = (stats.mean() - want).abs() / want;
+        assert!(err < 0.015, "MC {} vs renewal {want}: err {err}", stats.mean());
+    }
+
+    #[test]
+    fn tiny_lambda_l_matches_avf_formula() {
+        // λL = 1e-9: K is astronomically large; magnitudes must not cancel.
+        let trace = IntervalTrace::busy_idle(25, 75).unwrap();
+        let lambda = 1e-11;
+        let stats = run_mean(&trace, lambda, 20_000, 5);
+        let want = 1.0 / (lambda * 0.25);
+        let err = (stats.mean() - want).abs() / want;
+        assert!(err < 0.03, "MC {} vs AVF {want}: err {err}", stats.mean());
+    }
+
+    #[test]
+    fn huge_lambda_l_is_stable() {
+        // λL = 2000: e^{−λW} underflows; failures land in the first busy
+        // window essentially always.
+        let trace = IntervalTrace::busy_idle(1000, 1000).unwrap();
+        let lambda = 1.0;
+        let stats = run_mean(&trace, lambda, 20_000, 6);
+        assert!((stats.mean() - 1.0).abs() < 0.05, "mean {}", stats.mean());
+    }
+
+    #[test]
+    fn stationary_start_matches_phase_averaged_renewal() {
+        let trace = IntervalTrace::busy_idle(500, 500).unwrap();
+        let c = compiled(&trace);
+        let lambda = 0.007;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut stats = RunningStats::new();
+        for _ in 0..100_000 {
+            let phase = rng.gen_range(0.0..1000.0);
+            stats.push(sample_time_to_failure_inversion(&c, lambda, &mut rng, phase).ttf_cycles);
+        }
+        use std::sync::Arc;
+        let arc: Arc<dyn VulnerabilityTrace> = Arc::new(trace.clone());
+        let shifts = 1000u64;
+        let want: f64 = (0..shifts)
+            .map(|i| {
+                let t = serr_trace::ShiftedTrace::new(arc.clone(), i);
+                serr_analytic::renewal::renewal_mttf_cycles(&t, lambda)
+            })
+            .sum::<f64>()
+            / shifts as f64;
+        let err = (stats.mean() - want).abs() / want;
+        assert!(err < 0.02, "MC {} vs shift-averaged renewal {want}: {err}", stats.mean());
+    }
+
+    #[test]
+    fn initial_phase_in_dead_segment_is_exact() {
+        // A trial starting mid-idle must wait for the next busy window:
+        // V(φ) sits on the prefix plateau and the first-window inversion
+        // lands at (or after) the next vulnerable cycle.
+        let trace = IntervalTrace::busy_idle(100, 300).unwrap();
+        let c = compiled(&trace);
+        let lambda = 0.001;
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut stats = RunningStats::new();
+        let phase = 250.0; // mid-idle
+        for _ in 0..100_000 {
+            let out = sample_time_to_failure_inversion(&c, lambda, &mut rng, phase);
+            // Time to the next busy window is 150 cycles; no failure can
+            // occur before that.
+            assert!(out.ttf_cycles >= 150.0, "failed during idle: {}", out.ttf_cycles);
+            stats.push(out.ttf_cycles);
+        }
+        let shifted = serr_trace::ShiftedTrace::new(
+            std::sync::Arc::new(trace) as std::sync::Arc<dyn VulnerabilityTrace>,
+            250,
+        );
+        let want = serr_analytic::renewal::renewal_mttf_cycles(&shifted, lambda);
+        let err = (stats.mean() - want).abs() / want;
+        assert!(err < 0.02, "MC {} vs shifted renewal {want}: {err}", stats.mean());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let trace = IntervalTrace::busy_idle(5, 5).unwrap();
+        let c = compiled(&trace);
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        let x = sample_time_to_failure_inversion(&c, 0.01, &mut a, 0.0);
+        let y = sample_time_to_failure_inversion(&c, 0.01, &mut b, 0.0);
+        assert_eq!(x, y);
+    }
+}

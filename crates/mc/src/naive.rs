@@ -15,7 +15,9 @@ use rand::Rng;
 use serr_trace::VulnerabilityTrace;
 use serr_types::SerrError;
 
-/// Samples one time to failure by stepping individual cycles.
+/// Samples one time to failure by stepping individual cycles, starting
+/// `initial_phase` cycles into the workload loop (`0` is the paper's
+/// convention; see [`crate::config::StartPhase`]).
 ///
 /// The per-cycle raw-error probability is `1 − e^{−λ}` (at most one raw
 /// error per cycle is modeled, accurate for `λ_cycle ≪ 1` — which holds for
@@ -29,24 +31,28 @@ use serr_types::SerrError;
 ///
 /// # Panics
 ///
-/// Panics if `lambda_cycle` is outside `(0, 1)`.
+/// Panics if `lambda_cycle` is outside `(0, 1)` or `initial_phase` lies
+/// outside the period.
 pub fn sample_time_to_failure_naive(
     trace: &dyn VulnerabilityTrace,
     lambda_cycle: f64,
     max_cycles: u64,
     rng: &mut impl Rng,
+    initial_phase: u64,
 ) -> Result<f64, SerrError> {
     assert!(
         lambda_cycle > 0.0 && lambda_cycle < 1.0,
         "per-cycle rate must be in (0,1), got {lambda_cycle}"
     );
-    let p_raw = -(-lambda_cycle).exp_m1();
     let period = trace.period_cycles();
+    assert!(initial_phase < period, "initial phase {initial_phase} outside [0, {period})");
+    let p_raw = -(-lambda_cycle).exp_m1();
     let mut cycle = 0u64;
     while cycle < max_cycles {
         if rng.gen_range(0.0..1.0) < p_raw {
-            // A raw error strikes this cycle; masked per the trace.
-            let v = trace.vulnerability_at(cycle % period);
+            // A raw error strikes this cycle; masked per the trace at the
+            // phase-shifted position.
+            let v = trace.vulnerability_at((initial_phase + cycle) % period);
             if v > 0.0 && (v >= 1.0 || rng.gen_range(0.0..1.0) < v) {
                 return Ok(cycle as f64);
             }
@@ -80,7 +86,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut naive = RunningStats::new();
         for _ in 0..trials {
-            naive.push(sample_time_to_failure_naive(&trace, lambda, 10_000_000, &mut rng).unwrap());
+            naive.push(
+                sample_time_to_failure_naive(&trace, lambda, 10_000_000, &mut rng, 0).unwrap(),
+            );
         }
 
         let mut rng = SmallRng::seed_from_u64(6);
@@ -124,7 +132,7 @@ mod tests {
         assert!(out.events < 100);
         // Naive: the failure lies ~2/λ = 2e6 cycles out; a single trial
         // visits that many cycles (we bound the demonstration at 100k).
-        let res = sample_time_to_failure_naive(&trace, lambda, 100_000, &mut rng);
+        let res = sample_time_to_failure_naive(&trace, lambda, 100_000, &mut rng, 0);
         assert!(matches!(res, Err(SerrError::NoConvergence { .. })));
     }
 
@@ -133,8 +141,57 @@ mod tests {
         let trace = IntervalTrace::busy_idle(1, 1).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sample_time_to_failure_naive(&trace, 1.5, 10, &mut rng)
+            sample_time_to_failure_naive(&trace, 1.5, 10, &mut rng, 0)
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_phase() {
+        let trace = IntervalTrace::busy_idle(1, 1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sample_time_to_failure_naive(&trace, 0.01, 10, &mut rng, 2)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn initial_phase_matches_shift_averaged_renewal() {
+        // Regression: the sampler used to ignore the starting phase,
+        // indexing the trace from cycle 0 regardless — so stationary-start
+        // trials silently reproduced the workload-start distribution. With
+        // the phase honored, uniformly random starts must average to the
+        // shift-averaged renewal MTTF, which differs strongly from the
+        // busy-start value on an asymmetric loop.
+        let trace = IntervalTrace::busy_idle(20, 80).unwrap();
+        let lambda = 0.02;
+        let period = trace.period_cycles();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut stats = RunningStats::new();
+        for _ in 0..60_000 {
+            let phase = rng.gen_range(0..period);
+            stats.push(
+                sample_time_to_failure_naive(&trace, lambda, 10_000_000, &mut rng, phase).unwrap(),
+            );
+        }
+        use std::sync::Arc;
+        let arc: Arc<dyn VulnerabilityTrace> = Arc::new(trace.clone());
+        let want: f64 = (0..period)
+            .map(|i| {
+                let t = serr_trace::ShiftedTrace::new(arc.clone(), i);
+                serr_analytic::renewal::renewal_mttf_cycles(&t, lambda)
+            })
+            .sum::<f64>()
+            / period as f64;
+        let err = (stats.mean() - want).abs() / want;
+        assert!(err < 0.03, "naive {} vs shift-averaged renewal {want}: {err}", stats.mean());
+        // And far from the busy-start answer the bug used to produce.
+        let busy_start = serr_analytic::renewal::renewal_mttf_cycles(&trace, lambda);
+        assert!(
+            (stats.mean() - busy_start).abs() / busy_start > 0.1,
+            "stationary mean {} indistinguishable from busy-start {busy_start}",
+            stats.mean()
+        );
     }
 }

@@ -108,6 +108,33 @@ impl Ecdf {
         assert!(length > 0.0, "length must be positive");
         self.ks_statistic(|x| (x / length).clamp(0.0, 1.0))
     }
+
+    /// Two-sample Kolmogorov–Smirnov statistic against another ECDF:
+    /// `D = supₓ |F̂₁(x) − F̂₂(x)|`, computed by a merge walk over the two
+    /// sorted samples in `O(n + m)`. Tied observations are consumed from
+    /// both samples before the gap is measured, so the statistic is exact
+    /// for discrete-valued samples too.
+    #[must_use]
+    pub fn ks_two_sample(&self, other: &Ecdf) -> f64 {
+        let (a, b) = (&self.sorted, &other.sorted);
+        let (n, m) = (a.len() as f64, b.len() as f64);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut d: f64 = 0.0;
+        while i < a.len() && j < b.len() {
+            let x = a[i].min(b[j]);
+            while i < a.len() && a[i] <= x {
+                i += 1;
+            }
+            while j < b.len() && b[j] <= x {
+                j += 1;
+            }
+            d = d.max((i as f64 / n - j as f64 / m).abs());
+        }
+        // Once one sample is exhausted its CDF sits at 1 and every later
+        // jump of the other only shrinks the gap, so the loop has already
+        // seen the supremum.
+        d
+    }
 }
 
 /// The critical KS value at significance `alpha ∈ {0.05, 0.01}` for sample
@@ -122,14 +149,32 @@ impl Ecdf {
 #[must_use]
 pub fn ks_critical_value(n: usize, alpha: f64) -> f64 {
     assert!(n > 0, "sample size must be positive");
-    let c = if (alpha - 0.05).abs() < 1e-12 {
+    ks_coefficient(alpha) / (n as f64).sqrt()
+}
+
+/// The critical two-sample KS value at significance `alpha ∈ {0.05, 0.01}`
+/// for sample sizes `n` and `m` (asymptotic `c(α)·√((n+m)/(n·m))`). Two
+/// samples are distinguishable at level `alpha` when their
+/// [`Ecdf::ks_two_sample`] statistic exceeds this.
+///
+/// # Panics
+///
+/// Panics if either size is zero or `alpha` is not a supported level.
+#[must_use]
+pub fn ks_two_sample_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0, "sample sizes must be positive");
+    let (n, m) = (n as f64, m as f64);
+    ks_coefficient(alpha) * ((n + m) / (n * m)).sqrt()
+}
+
+fn ks_coefficient(alpha: f64) -> f64 {
+    if (alpha - 0.05).abs() < 1e-12 {
         1.358
     } else if (alpha - 0.01).abs() < 1e-12 {
         1.628
     } else {
         panic!("unsupported significance level {alpha}; use 0.05 or 0.01")
-    };
-    c / (n as f64).sqrt()
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +249,41 @@ mod tests {
     fn critical_values_ordered() {
         assert!(ks_critical_value(100, 0.01) > ks_critical_value(100, 0.05));
         assert!(ks_critical_value(100, 0.05) > ks_critical_value(10000, 0.05));
+        // Two-sample with one side infinite-precision degenerates to the
+        // one-sample formula; equal sizes cost √2 more.
+        let two = ks_two_sample_critical_value(5000, 5000, 0.05);
+        assert!((two - 2f64.sqrt() * ks_critical_value(5000, 0.05)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_sample_ks_detects_shift_and_accepts_same_distribution() {
+        let u = lcg_uniform(4000);
+        let (a, b) = u.split_at(2000);
+        let ea = Ecdf::new(a.to_vec()).expect("valid");
+        let eb = Ecdf::new(b.to_vec()).expect("valid");
+        // Identical sample → D = 0 exactly.
+        assert_eq!(ea.ks_two_sample(&ea), 0.0);
+        // Two halves of one uniform stream: indistinguishable.
+        let d = ea.ks_two_sample(&eb);
+        assert_eq!(d, eb.ks_two_sample(&ea), "statistic is symmetric");
+        assert!(d < ks_two_sample_critical_value(2000, 2000, 0.05), "KS {d} rejects same dist");
+        // A shifted copy must be rejected.
+        let shifted: Vec<f64> = a.iter().map(|x| x + 0.2).collect();
+        let es = Ecdf::new(shifted).expect("valid");
+        let d = ea.ks_two_sample(&es);
+        assert!(d > ks_two_sample_critical_value(2000, 2000, 0.01), "KS {d} misses a 0.2 shift");
+    }
+
+    #[test]
+    fn two_sample_ks_handles_ties_and_disjoint_supports() {
+        // All mass tied at one point each, disjoint: D = 1.
+        let a = Ecdf::new(vec![1.0; 10]).expect("valid");
+        let b = Ecdf::new(vec![2.0; 20]).expect("valid");
+        assert_eq!(a.ks_two_sample(&b), 1.0);
+        assert_eq!(b.ks_two_sample(&a), 1.0);
+        // Identical discrete distributions: D = 0 despite ties.
+        let c = Ecdf::new(vec![1.0, 1.0, 2.0, 2.0]).expect("valid");
+        let d = Ecdf::new(vec![1.0, 2.0]).expect("valid");
+        assert_eq!(c.ks_two_sample(&d), 0.0);
     }
 }

@@ -14,6 +14,13 @@
 //!   containing its first cycle, so a point query is one shift, one table
 //!   read, and a scan over the (almost always 0 or 1) segment boundaries
 //!   inside the bucket — `O(1)` instead of `partition_point`'s `O(log n)`;
+//! * a **bucketed inverse (mass→segment) index** over the prefix sums,
+//!   mirroring the phase index: the total vulnerability mass is divided
+//!   into equal-width buckets and each bucket records where its first mass
+//!   coordinate lands in the prefix table, so
+//!   [`CompiledTrace::phase_at_cumulative`] — the inner loop of the
+//!   inversion sampler, which turns an `Exp(1)` draw into a failing cycle —
+//!   is also `O(1)` amortized;
 //! * cached period / AVF / total cumulative vulnerability;
 //! * a precomputed [`is_binary`](VulnerabilityTrace::is_binary) flag that
 //!   lets the sampler skip the Bernoulli masking draw for 0/1 traces.
@@ -72,6 +79,11 @@ pub struct CompiledTrace {
     /// `buckets[b]` = index of the segment containing cycle `b <<
     /// bucket_shift` (equivalently `ends.partition_point(|e| e <= start)`).
     buckets: Vec<u32>,
+    /// Inverse (mass→segment) bucket table: `inv_buckets[b]` =
+    /// `prefix.partition_point(|p| p <= b·w)` where `w = total /
+    /// inv_buckets.len()` — the search window start for any mass coordinate
+    /// inside bucket `b`. Empty when `total == 0` (nothing to invert).
+    inv_buckets: Vec<u32>,
 }
 
 impl CompiledTrace {
@@ -126,6 +138,7 @@ impl CompiledTrace {
         let period = start;
         let binary = values.iter().all(|&v| v == 0.0 || v == 1.0);
         let (bucket_shift, buckets) = build_buckets(&ends, period);
+        let inv_buckets = build_inv_buckets(&prefix, cum);
         Some(CompiledTrace {
             avf: cum / period as f64,
             total: cum,
@@ -136,6 +149,7 @@ impl CompiledTrace {
             binary,
             bucket_shift,
             buckets,
+            inv_buckets,
         })
     }
 
@@ -155,6 +169,114 @@ impl CompiledTrace {
     #[must_use]
     pub fn bucket_cycles(&self) -> u64 {
         1u64 << self.bucket_shift
+    }
+
+    /// Number of entries in the inverse (mass→segment) bucket table
+    /// (zero for never-vulnerable traces).
+    #[must_use]
+    pub fn inv_bucket_count(&self) -> usize {
+        self.inv_buckets.len()
+    }
+
+    /// Cumulative vulnerability mass over one full period
+    /// (`avf × period`, in cycle units). The inversion sampler's `Λ(L)/λ`.
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.total
+    }
+
+    /// Cumulative vulnerability `V(phase)` at a *fractional* phase within
+    /// the period: the integral of `v(t)` over `[0, phase)`, linearly
+    /// interpolated inside the containing segment. The fractional analog of
+    /// [`VulnerabilityTrace::cumulative_within_period`], used by the
+    /// inversion sampler to offset the first window by the trial's
+    /// `initial_phase`.
+    #[must_use]
+    pub fn cumulative_at(&self, phase: f64) -> f64 {
+        debug_assert!(
+            phase.is_finite() && (0.0..=self.period as f64).contains(&phase),
+            "phase {phase} outside [0, {}]",
+            self.period
+        );
+        if phase >= self.period as f64 {
+            return self.total;
+        }
+        let c = (phase as u64).min(self.period - 1);
+        let i = self.segment_index(c);
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        self.prefix[i] + (phase - start as f64) * self.values[i]
+    }
+
+    /// Inverts the cumulative-vulnerability function: returns the fractional
+    /// phase `ψ ∈ [0, period)` with `V(ψ) = m`, for `m ∈ [0, total_mass())`.
+    ///
+    /// This is the inversion sampler's segment search. The bucketed inverse
+    /// index narrows the candidate range to a handful of prefix entries
+    /// (`O(1)` amortized); a short boundary walk then pins the exact
+    /// segment, absorbing the one-ulp disagreements between the build-time
+    /// bucket boundaries `b·w` and the query-time division `m/w`. The
+    /// landing segment always has `v > 0` on a self-consistent table: the
+    /// last prefix entry `≤ m` cannot start a zero-mass run that reaches
+    /// `total`, because then `m < total` would be unreachable mass.
+    ///
+    /// Out-of-range or non-finite `m` (possible only through corrupted
+    /// tables feeding the caller) is clamped, never a panic: the guarded
+    /// estimation path runs [`CompiledTrace::verify`] before trusting a
+    /// compiled trace, and chaos campaigns rely on corruption surfacing
+    /// there rather than as a crash here.
+    #[must_use]
+    pub fn phase_at_cumulative(&self, m: f64) -> f64 {
+        debug_assert!(
+            m.is_finite() && (0.0..self.total.max(f64::MIN_POSITIVE)).contains(&m),
+            "mass {m} outside [0, {})",
+            self.total
+        );
+        if self.inv_buckets.is_empty() || !(self.total > 0.0) {
+            // Never-vulnerable (or corrupted-to-empty) trace: nothing to
+            // invert; callers cannot reach here through the sampler because
+            // AVF = 0 traces never fail.
+            return 0.0;
+        }
+        let n = self.values.len();
+        let m = m.clamp(0.0, self.total);
+        let n_inv = self.inv_buckets.len();
+        let w = self.total / n_inv as f64;
+        let b = ((m / w) as usize).min(n_inv - 1);
+        // ±1 slack around the bucket's window; the walk below makes
+        // correctness independent of any rounding in `b`.
+        let lo = (self.inv_buckets[b] as usize).saturating_sub(1).min(n - 1);
+        let hi = self.inv_buckets.get(b + 1).map_or(n, |&j| (j as usize + 1).min(n));
+        let j = if hi.saturating_sub(lo) <= LINEAR_SCAN_MAX {
+            let mut j = lo;
+            while j < hi && self.prefix[j] <= m {
+                j += 1;
+            }
+            j
+        } else {
+            lo + self.prefix[lo..hi].partition_point(|&p| p <= m)
+        };
+        // Pin the true last index with prefix[i] <= m (walks are O(1): they
+        // only move past entries inside the one-ulp boundary window or
+        // across zero-mass segments sharing a prefix value).
+        let mut i = j.saturating_sub(1).min(n - 1);
+        while i > 0 && self.prefix[i] > m {
+            i -= 1;
+        }
+        while i + 1 < n && self.prefix[i + 1] <= m {
+            i += 1;
+        }
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        let v = self.values[i];
+        let off = if v > 0.0 { (m - self.prefix[i]).max(0.0) / v } else { 0.0 };
+        let end = self.ends[i] as f64;
+        let phase = start as f64 + off;
+        if phase >= end {
+            // Division rounded up to (or past) the segment boundary; step
+            // back inside so the returned cycle is always vulnerable.
+            end.next_down().max(start as f64)
+        } else {
+            phase
+        }
     }
 
     /// Index of the segment containing `c` (already reduced mod period):
@@ -207,9 +329,14 @@ impl CompiledTrace {
     }
 
     /// Fault injection: adds `delta_frac` of the total vulnerability mass to
-    /// one prefix-sum entry (chosen by `selector`). The sampler never reads
-    /// the prefix table, so this corruption is invisible to Monte Carlo
-    /// estimates — only [`CompiledTrace::verify`]'s recomputation sees it.
+    /// one prefix-sum entry (chosen by `selector`). The event-loop sampler
+    /// never reads the prefix table, so to it this corruption is invisible;
+    /// the inversion sampler reads prefix sums on *every* trial
+    /// ([`CompiledTrace::phase_at_cumulative`]), so under
+    /// `SamplerKind::Inversion` a perturbed entry skews the sampled failure
+    /// phases directly. Either way the corruption must be caught *before*
+    /// estimation by [`CompiledTrace::verify`]'s recomputation — which is
+    /// exactly what the guarded path does.
     pub fn chaos_perturb_prefix(&mut self, selector: u64, delta_frac: f64) {
         debug_assert!(delta_frac != 0.0, "a zero perturbation injects nothing");
         let i = (selector % self.prefix.len() as u64) as usize;
@@ -239,6 +366,7 @@ impl CompiledTrace {
         self.total = cum;
         self.avf = cum / self.period as f64;
         self.binary = self.values.iter().all(|&v| v == 0.0 || v == 1.0);
+        self.inv_buckets = build_inv_buckets(&self.prefix, self.total);
     }
 
     /// Structural self-check: segment geometry, value ranges, and all
@@ -320,6 +448,16 @@ impl CompiledTrace {
                 self.avf
             )));
         }
+        // The inversion sampler trusts the inverse index to bracket its
+        // prefix search; a stale or truncated table silently widens (or
+        // misdirects) every mass lookup, so rebuild-and-compare it like the
+        // other derived fields.
+        if self.inv_buckets != build_inv_buckets(&self.prefix, self.total) {
+            return Err(SerrError::invalid_trace(format!(
+                "inverse bucket index ({} entries) disagrees with a rebuild from the prefix table",
+                self.inv_buckets.len()
+            )));
+        }
         Ok(())
     }
 }
@@ -346,6 +484,35 @@ fn build_buckets(ends: &[u64], period: u64) -> (u32, Vec<u32>) {
         buckets.push(seg as u32);
     }
     (shift, buckets)
+}
+
+/// Fills the inverse (mass→segment) bucket table: `total` is divided into
+/// equal-width mass buckets (~4 per segment, same sizing policy as the
+/// phase index, minus the power-of-two constraint — mass coordinates are
+/// `f64`, so the width need not be shiftable) and entry `b` records
+/// `prefix.partition_point(|p| p <= b·w)`. A query for mass `m` starts its
+/// prefix search at `inv_buckets[floor(m/w)] - 1`. Returns an empty table
+/// when `total` is not positive: a never-vulnerable trace has no mass to
+/// invert.
+fn build_inv_buckets(prefix: &[f64], total: f64) -> Vec<u32> {
+    if !(total > 0.0) || prefix.is_empty() {
+        return Vec::new();
+    }
+    let n_inv =
+        (prefix.len() as u64).saturating_mul(4).max(64).min(CompiledTrace::MAX_BUCKETS) as usize;
+    let w = total / n_inv as f64;
+    let mut buckets = Vec::with_capacity(n_inv);
+    // partition_point of a sorted table at an increasing boundary is
+    // monotone, so one linear sweep fills every bucket in O(n_inv + n).
+    let mut j = 0usize;
+    for b in 0..n_inv {
+        let boundary = b as f64 * w;
+        while j < prefix.len() && prefix[j] <= boundary {
+            j += 1;
+        }
+        buckets.push(j as u32);
+    }
+    buckets
 }
 
 impl VulnerabilityTrace for CompiledTrace {
@@ -545,13 +712,120 @@ mod tests {
             let mut c = CompiledTrace::compile(&src).unwrap();
             c.chaos_perturb_prefix(selector, 0.05);
             assert!(c.verify().is_err(), "prefix perturbation {selector} went undetected");
-            // The sampler never reads the prefix table, so point queries
-            // still agree with the source — which is why this fault *must*
-            // be caught structurally.
+            // Point queries (the event-loop sampler's only reads) still
+            // agree with the source — the corruption only reaches estimates
+            // through the inversion sampler's prefix lookups, which is why
+            // this fault *must* be caught structurally before estimation.
             for cyc in 0..4 {
                 assert_eq!(c.vulnerability_at(cyc), src.vulnerability_at(cyc));
             }
         }
+    }
+
+    #[test]
+    fn inverse_lookup_round_trips_cumulative() {
+        for (seed, n) in [(7u64, 5usize), (11, 64), (13, 1_000)] {
+            let src = IntervalTrace::from_levels(&random_levels(seed, n)).unwrap();
+            let c = CompiledTrace::compile(&src).unwrap();
+            let total = c.total_mass();
+            assert!(total > 0.0);
+            for k in 0..997u64 {
+                let m = total * (k as f64 / 997.0);
+                let phase = c.phase_at_cumulative(m);
+                assert!((0.0..(c.period_cycles() as f64)).contains(&phase), "m={m} phase={phase}");
+                let back = c.cumulative_at(phase);
+                assert!(
+                    (back - m).abs() <= 1e-9 * total.max(1.0),
+                    "seed {seed}: V(phase_at({m})) = {back}"
+                );
+                // The landing cycle must be vulnerable: zero-mass segments
+                // are never selected.
+                assert!(c.vulnerability_at(phase as u64) > 0.0, "m={m} landed on a dead cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_lookup_skips_zero_segments_at_boundaries() {
+        // Masses exactly at segment boundaries sit between a vulnerable
+        // segment and a zero run sharing the same prefix value; the lookup
+        // must land at the *start of the next vulnerable* segment, never
+        // inside the dead run.
+        let src = IntervalTrace::from_levels(&[1.0, 0.0, 0.0, 0.5, 0.0, 1.0, 0.0]).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        assert_eq!(c.total_mass(), 2.5);
+        // m = 1.0 is the boundary after the first segment: next mass lives
+        // in the 0.5 segment starting at cycle 3.
+        assert_eq!(c.phase_at_cumulative(1.0), 3.0);
+        // m = 1.5 exhausts the 0.5 segment: next mass starts at cycle 5.
+        assert_eq!(c.phase_at_cumulative(1.5), 5.0);
+        assert_eq!(c.phase_at_cumulative(0.0), 0.0);
+        assert!((c.phase_at_cumulative(1.25) - 3.5).abs() < 1e-12);
+        assert!((c.phase_at_cumulative(2.0) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_at_interpolates_fractional_phases() {
+        let src = IntervalTrace::from_levels(&[1.0, 0.25, 0.0, 0.5]).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        for r in 0..=4u64 {
+            assert_eq!(c.cumulative_at(r as f64), c.cumulative_within_period(r), "r={r}");
+        }
+        assert!((c.cumulative_at(0.5) - 0.5).abs() < 1e-15);
+        assert!((c.cumulative_at(1.5) - 1.125).abs() < 1e-15);
+        assert!((c.cumulative_at(2.5) - 1.25).abs() < 1e-15);
+        assert!((c.cumulative_at(3.5) - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_lookup_handles_huge_periods() {
+        // Day-scale period with a capped bucket table: mass coordinates are
+        // ~1e14, so the inverse lookup must stay exact where f64 can be and
+        // always land in the vulnerable first half.
+        let half = 43_200u64 * 2_000_000_000;
+        let src = IntervalTrace::busy_idle(half, half).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        for frac in [0.0, 0.25, 0.5, 0.9999] {
+            let m = c.total_mass() * frac;
+            let phase = c.phase_at_cumulative(m);
+            assert!(phase <= half as f64, "frac {frac} escaped the vulnerable half: {phase}");
+            assert!((c.cumulative_at(phase) - m).abs() <= 1e-9 * c.total_mass());
+        }
+    }
+
+    #[test]
+    fn never_vulnerable_trace_has_degenerate_inverse_index() {
+        let src = IntervalTrace::from_levels(&[0.0, 0.0]).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        assert!(c.is_never_vulnerable());
+        assert_eq!(c.inv_bucket_count(), 0);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn consistent_scaling_rebuilds_inverse_index() {
+        let src = IntervalTrace::from_levels(&random_levels(21, 128)).unwrap();
+        let mut c = CompiledTrace::compile(&src).unwrap();
+        c.chaos_scale_dominant_value(0.25);
+        // Self-consistent corruption keeps every derived table valid —
+        // including the inverse index the inversion sampler reads.
+        c.verify().unwrap();
+        let total = c.total_mass();
+        for k in [0u64, 31, 63, 96] {
+            let m = total * (k as f64 / 97.0);
+            let back = c.cumulative_at(c.phase_at_cumulative(m));
+            assert!((back - m).abs() <= 1e-9 * total.max(1.0));
+        }
+    }
+
+    #[test]
+    fn verify_catches_stale_inverse_index() {
+        let src = IntervalTrace::from_levels(&random_levels(5, 32)).unwrap();
+        let mut c = CompiledTrace::compile(&src).unwrap();
+        c.verify().unwrap();
+        let last = c.inv_buckets.len() - 1;
+        c.inv_buckets[last] = 0;
+        assert!(c.verify().is_err(), "zeroed inverse-bucket entry went undetected");
     }
 
     #[test]

@@ -7,6 +7,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Formatting gate: the committed rustfmt.toml is the single style arbiter;
+# a diff that disagrees with it fails fast here rather than in review.
+cargo fmt --check
+
 # Fault-injection tests again in release mode with debug assertions armed:
 # the injectors and the Monte Carlo chaos hooks carry debug_assert range
 # checks (bit positions, corruption offsets, poison factors, chunk
@@ -19,6 +23,12 @@ RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-m
 # ten injector kinds must uphold the detect-or-degrade invariant (the
 # binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
+
+# Perf smoke: regenerates BENCH_engines.json (schema v5) and, on the
+# low-AVF sampler duel inside it, asserts the Λ-inversion sampler stays
+# >=10x faster than the event-loop walk — the binary aborts if the O(1)
+# contract regresses.
+cargo run --release -p serr-bench --bin bench_smoke -- target/bench-smoke.json
 
 # Observability smoke: a metrics-instrumented mttf run must produce
 # parseable JSONL with per-stage timings and at least one Monte Carlo

@@ -116,6 +116,8 @@ pub enum Command {
         rate_per_year: f64,
         /// Monte Carlo trials.
         trials: u64,
+        /// Which time-to-failure sampler the Monte Carlo engine runs.
+        sampler: SamplerKind,
         /// Wall-clock budget for the Monte Carlo run, in seconds.
         deadline_s: Option<f64>,
         /// Write stage timings, convergence events, and a metrics snapshot
@@ -132,6 +134,8 @@ pub enum Command {
         components: u64,
         /// Monte Carlo trials.
         trials: u64,
+        /// Which time-to-failure sampler the Monte Carlo engine runs.
+        sampler: SamplerKind,
         /// Wall-clock budget for the Monte Carlo run, in seconds.
         deadline_s: Option<f64>,
         /// Write stage timings, convergence events, and a metrics snapshot
@@ -159,6 +163,8 @@ pub enum Command {
         seed: u64,
         /// Monte Carlo trials per guarded estimate.
         trials: u64,
+        /// Which sampler the guarded campaigns run.
+        sampler: SamplerKind,
         /// Restrict campaigns to these fault kinds (`None` = all ten).
         kinds: Option<Vec<FaultKind>>,
         /// Write one JSON line per campaign outcome to this path.
@@ -251,6 +257,7 @@ impl Command {
                 let mut campaigns = defaults.campaigns;
                 let mut seed = defaults.seed;
                 let mut trials = defaults.trials;
+                let mut sampler = defaults.sampler;
                 let mut kinds: Option<Vec<FaultKind>> = None;
                 let mut jsonl: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
@@ -269,6 +276,7 @@ impl Command {
                         }
                         "--seed" => seed = parse_seed(&value("--seed")?)?,
                         "--trials" => trials = parse_count("--trials", &value("--trials")?)?,
+                        "--sampler" => sampler = SamplerKind::parse(&value("--sampler")?)?,
                         "--kinds" => kinds = Some(parse_kinds(&value("--kinds")?)?),
                         "--jsonl" => {
                             jsonl = Some(std::path::PathBuf::from(value("--jsonl")?));
@@ -280,13 +288,14 @@ impl Command {
                         }
                     }
                 }
-                Ok(Command::Chaos { campaigns, seed, trials, kinds, jsonl })
+                Ok(Command::Chaos { campaigns, seed, trials, sampler, kinds, jsonl })
             }
             "mttf" | "sofr" => {
                 let mut workload: Option<WorkloadSpec> = None;
                 let mut rate: Option<f64> = None;
                 let mut components: u64 = 1;
                 let mut trials: u64 = 100_000;
+                let mut sampler = SamplerKind::default();
                 let mut deadline_s: Option<f64> = None;
                 let mut metrics: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
@@ -312,6 +321,9 @@ impl Command {
                         "--trials" => {
                             trials = parse_count("--trials", &value("--trials")?)?;
                         }
+                        "--sampler" => {
+                            sampler = SamplerKind::parse(&value("--sampler")?)?;
+                        }
                         "--deadline" => {
                             deadline_s =
                                 Some(parse_positive_f64("--deadline", &value("--deadline")?)?);
@@ -332,13 +344,21 @@ impl Command {
                     SerrError::invalid_config("--rate <errors/year> or --n-s <product> is required")
                 })?;
                 if sub == "mttf" {
-                    Ok(Command::Mttf { workload, rate_per_year, trials, deadline_s, metrics })
+                    Ok(Command::Mttf {
+                        workload,
+                        rate_per_year,
+                        trials,
+                        sampler,
+                        deadline_s,
+                        metrics,
+                    })
                 } else {
                     Ok(Command::Sofr {
                         workload,
                         rate_per_year,
                         components,
                         trials,
+                        sampler,
                         deadline_s,
                         metrics,
                     })
@@ -418,10 +438,10 @@ pub const USAGE: &str = "\
 serr — architecture-level soft error analysis (DSN 2007 reproduction)
 
 USAGE:
-  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--deadline <secs>] [--metrics PATH]
-  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--deadline <secs>] [--metrics PATH]
+  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--sampler inversion|event-loop] [--deadline <secs>] [--metrics PATH]
+  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler inversion|event-loop] [--deadline <secs>] [--metrics PATH]
   serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--metrics PATH]
-  serr chaos [--campaigns N] [--seed S] [--trials N] [--kinds k1,k2,...] [--jsonl PATH]
+  serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
   serr workloads
   serr help
 
@@ -429,6 +449,11 @@ WORKLOADS <W>:
   day | week | combined | spec:<benchmark> | duty:<period_seconds>:<busy_fraction>
 
 FLAGS:
+  --sampler <S>      time-to-failure sampler for the Monte Carlo trials:
+                     `inversion` (default) draws one Exp(1) variate per trial
+                     and inverts the cumulative-vulnerability function in
+                     O(1); `event-loop` replays the classic per-error walk —
+                     same distribution, kept as a cross-check oracle
   --deadline <secs>  wall-clock budget for the Monte Carlo run; on expiry the
                      estimate is returned from the trials completed so far,
                      marked truncated, with a correspondingly wider CI
@@ -460,6 +485,7 @@ ENVIRONMENT:
 EXAMPLES:
   serr mttf --workload day --n-s 1e8
   serr mttf --workload spec:mcf --rate 1e-4 --deadline 10
+  serr mttf --workload day --n-s 1e8 --sampler event-loop
   serr mttf --workload day --n-s 1e8 --metrics out.jsonl
   serr sofr --workload week --n-s 1e8 -c 5000
   serr sweep fig5 --trials 20000
@@ -494,12 +520,12 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             Ok(())
         }
-        Command::Mttf { workload, rate_per_year, trials, deadline_s, metrics } => {
+        Command::Mttf { workload, rate_per_year, trials, sampler, deadline_s, metrics } => {
             let obs = metrics_obs(metrics.as_deref())?;
             let trace = workload.trace(&cfg)?;
             let rate = RawErrorRate::try_per_year(*rate_per_year)?;
             let freq = cfg.frequency;
-            let mut v = Validator::new(freq, mc_config(*trials, *deadline_s));
+            let mut v = Validator::new(freq, mc_config(*trials, *sampler, *deadline_s));
             if let Some(obs) = &obs {
                 v = v.with_observer(obs.clone());
             }
@@ -511,9 +537,10 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             println!("AVF             : {:.4}", r.avf);
             println!("MTTF, AVF step  : {}", r.mttf_avf.as_seconds());
             println!(
-                "MTTF, MonteCarlo: {} (±{:.2}% at 95%)",
+                "MTTF, MonteCarlo: {} (±{:.2}% at 95%, {} sampler)",
                 r.mttf_mc.mttf.as_seconds(),
-                r.mttf_mc.relative_ci95() * 100.0
+                r.mttf_mc.relative_ci95() * 100.0,
+                r.mttf_mc.sampler.label()
             );
             println!("provenance      : {}", classify_estimate(&r.mttf_mc));
             if r.mttf_mc.truncated {
@@ -533,11 +560,19 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             finish_metrics(obs.as_ref(), metrics.as_deref());
             Ok(())
         }
-        Command::Sofr { workload, rate_per_year, components, trials, deadline_s, metrics } => {
+        Command::Sofr {
+            workload,
+            rate_per_year,
+            components,
+            trials,
+            sampler,
+            deadline_s,
+            metrics,
+        } => {
             let obs = metrics_obs(metrics.as_deref())?;
             let trace = workload.trace(&cfg)?;
             let rate = RawErrorRate::try_per_year(*rate_per_year)?;
-            let mut v = Validator::new(cfg.frequency, mc_config(*trials, *deadline_s));
+            let mut v = Validator::new(cfg.frequency, mc_config(*trials, *sampler, *deadline_s));
             if let Some(obs) = &obs {
                 v = v.with_observer(obs.clone());
             }
@@ -545,9 +580,10 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             println!("components      : {components}");
             println!("MTTF, SOFR      : {}", r.mttf_sofr.as_seconds());
             println!(
-                "MTTF, MonteCarlo: {} (±{:.2}% at 95%)",
+                "MTTF, MonteCarlo: {} (±{:.2}% at 95%, {} sampler)",
                 r.mttf_mc.mttf.as_seconds(),
-                r.mttf_mc.relative_ci95() * 100.0
+                r.mttf_mc.relative_ci95() * 100.0,
+                r.mttf_mc.sampler.label()
             );
             println!("provenance      : {}", classify_estimate(&r.mttf_mc));
             if r.mttf_mc.truncated {
@@ -584,11 +620,12 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             finish_metrics(obs.as_ref(), metrics.as_deref());
             Ok(())
         }
-        Command::Chaos { campaigns, seed, trials, kinds, jsonl } => {
+        Command::Chaos { campaigns, seed, trials, sampler, kinds, jsonl } => {
             let ccfg = ChaosConfig {
                 campaigns: *campaigns,
                 seed: *seed,
                 trials: *trials,
+                sampler: *sampler,
                 kinds: kinds.clone().unwrap_or_else(|| FaultKind::ALL.to_vec()),
                 ..ChaosConfig::default()
             };
@@ -642,7 +679,7 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
 /// `SERR_THREADS` overrides the worker-thread count (unset, empty, or `0`
 /// means all cores); estimates are bit-identical at any setting — the
 /// variable exists so that invariance can be demonstrated from the shell.
-fn mc_config(trials: u64, deadline_s: Option<f64>) -> MonteCarloConfig {
+fn mc_config(trials: u64, sampler: SamplerKind, deadline_s: Option<f64>) -> MonteCarloConfig {
     let threads = std::env::var("SERR_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -650,6 +687,7 @@ fn mc_config(trials: u64, deadline_s: Option<f64>) -> MonteCarloConfig {
     MonteCarloConfig {
         trials,
         threads,
+        sampler,
         deadline: deadline_s.map(std::time::Duration::from_secs_f64),
         ..Default::default()
     }
@@ -796,6 +834,7 @@ mod tests {
                 workload: WorkloadSpec::Day,
                 rate_per_year: 1.0,
                 trials: 100_000,
+                sampler: SamplerKind::Inversion,
                 deadline_s: None,
                 metrics: None
             }
@@ -812,6 +851,8 @@ mod tests {
             "5000",
             "--deadline",
             "1.5",
+            "--sampler",
+            "event-loop",
         ])
         .unwrap();
         assert_eq!(
@@ -821,6 +862,7 @@ mod tests {
                 rate_per_year: 2.5,
                 components: 5000,
                 trials: 5000,
+                sampler: SamplerKind::EventLoop,
                 deadline_s: Some(1.5),
                 metrics: None
             }
@@ -828,6 +870,42 @@ mod tests {
         assert_eq!(Command::parse(&["workloads"]).unwrap(), Command::Workloads);
         assert_eq!(Command::parse::<&str>(&[]).unwrap(), Command::Help);
         assert_eq!(Command::parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    /// `--sampler` parses both kinds, defaults to inversion everywhere, and
+    /// rejects unknown names with a message naming the bad value.
+    #[test]
+    fn sampler_flag_parses_and_defaults() {
+        for (sub, tail) in [("mttf", vec![]), ("sofr", vec!["-c", "10"])] {
+            let mut base = vec![sub, "-w", "day", "--n-s", "1e8"];
+            base.extend(&tail);
+            let default = Command::parse(&base).unwrap();
+            let mut explicit = base.clone();
+            explicit.extend(["--sampler", "inversion"]);
+            assert_eq!(default, Command::parse(&explicit).unwrap());
+
+            let mut ev = base.clone();
+            ev.extend(["--sampler", "event-loop"]);
+            let got = match Command::parse(&ev).unwrap() {
+                Command::Mttf { sampler, .. } | Command::Sofr { sampler, .. } => sampler,
+                other => panic!("expected mttf/sofr, got {other:?}"),
+            };
+            assert_eq!(got, SamplerKind::EventLoop);
+
+            let mut bad = base.clone();
+            bad.extend(["--sampler", "quantum"]);
+            match Command::parse(&bad).unwrap_err() {
+                SerrError::InvalidConfig { reason } => {
+                    assert!(reason.contains("quantum"), "message `{reason}` omits the value");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        match Command::parse(&["chaos", "--sampler", "event-loop"]).unwrap() {
+            Command::Chaos { sampler, .. } => assert_eq!(sampler, SamplerKind::EventLoop),
+            other => panic!("expected Chaos, got {other:?}"),
+        }
+        assert!(Command::parse(&["chaos", "--sampler", "bogus"]).is_err());
     }
 
     #[test]
@@ -1009,6 +1087,7 @@ mod tests {
                 campaigns: 40,
                 seed: 0xBEEF,
                 trials: 2500,
+                sampler: SamplerKind::Inversion,
                 kinds: Some(vec![FaultKind::ChunkPanic, FaultKind::RatePoison]),
                 jsonl: Some(std::path::PathBuf::from("/tmp/out.jsonl")),
             }
@@ -1016,10 +1095,11 @@ mod tests {
         // Defaults mirror ChaosConfig::default().
         let defaults = serr_core::chaos::ChaosConfig::default();
         match Command::parse(&["chaos"]).unwrap() {
-            Command::Chaos { campaigns, seed, trials, kinds, jsonl } => {
+            Command::Chaos { campaigns, seed, trials, sampler, kinds, jsonl } => {
                 assert_eq!(campaigns, defaults.campaigns);
                 assert_eq!(seed, defaults.seed);
                 assert_eq!(trials, defaults.trials);
+                assert_eq!(sampler, defaults.sampler);
                 assert_eq!(kinds, None);
                 assert_eq!(jsonl, None);
             }

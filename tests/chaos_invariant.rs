@@ -3,7 +3,7 @@
 //! invariant checked on each — no campaign may return a `clean`-tagged
 //! result that deviates from the fault-free golden answer.
 
-use serr_core::prelude::{run_chaos, ChaosConfig, FaultKind, Provenance};
+use serr_core::prelude::{run_chaos, ChaosConfig, FaultKind, Provenance, SamplerKind};
 
 fn scratch(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("serr-chaos-invariant-{}-{tag}", std::process::id()))
@@ -54,6 +54,7 @@ fn two_hundred_campaigns_cover_every_injector_with_zero_misses() {
     );
     for kind in [
         FaultKind::TraceValueFlip,
+        FaultKind::TracePrefixPerturb,
         FaultKind::TraceConsistentCorrupt,
         FaultKind::RatePoison,
         FaultKind::CheckpointIo,
@@ -63,6 +64,41 @@ fn two_hundred_campaigns_cover_every_injector_with_zero_misses() {
             report.outcomes.iter().any(|o| o.kind == kind && o.outcome != Provenance::Clean),
             "kind {kind} never produced a non-Clean outcome"
         );
+    }
+}
+
+/// Prefix-table corruption attacks exactly the table the default inversion
+/// sampler inverts on every trial (the event loop never reads it — see the
+/// `FaultKind::TracePrefixPerturb` taxonomy entry). Under *either* sampler
+/// every such campaign must come back detected — the compiled-trace
+/// verifier catches the damaged table before any trial runs, and the
+/// guard's event-loop oracle vote backstops the verifier — never as a
+/// silently wrong Clean result.
+#[test]
+fn prefix_corruption_is_detect_or_degrade_under_both_samplers() {
+    for (tag, sampler) in [("inv", SamplerKind::Inversion), ("ev", SamplerKind::EventLoop)] {
+        let cfg = ChaosConfig {
+            campaigns: 20,
+            seed: 0x0D15_EA5E_0000_0011,
+            trials: 2_000,
+            threads: 0,
+            sampler,
+            kinds: vec![FaultKind::TracePrefixPerturb],
+            scratch_dir: Some(scratch(&format!("prefix-{tag}"))),
+            ..Default::default()
+        };
+        let report = run_chaos(&cfg).expect("chaos harness runs");
+        assert_eq!(report.outcomes.len(), 20);
+        for o in &report.outcomes {
+            assert!(!o.miss, "{tag}: campaign {} was a miss: {}", o.campaign, o.detail);
+            assert_ne!(
+                o.outcome,
+                Provenance::Clean,
+                "{tag}: campaign {} prefix corruption went unnoticed ({})",
+                o.campaign,
+                o.detail
+            );
+        }
     }
 }
 

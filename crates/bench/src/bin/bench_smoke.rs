@@ -82,61 +82,91 @@ fn main() {
         mc_day.component_mttf(&day_like, day_rate, freq).expect("day-like MC case runs")
     }));
 
-    // Sampler duel on a low-AVF workload (schema v5): busy 1 cycle in 1000,
-    // so the event-loop walk burns ~1/AVF = 1000 thinning rejections per
-    // trial while the Λ-inversion sampler spends exactly one Exp(1) draw.
-    // This is the regime the inversion sampler exists for; the timing pair
-    // and per-trial event counts land in the JSON, and the run aborts if
-    // the advertised ≥10× advantage ever regresses.
+    // Three-way sampler duel on a low-AVF workload (schema v6): busy 1
+    // cycle in 1000, so the event-loop walk burns ~1/AVF = 1000 thinning
+    // rejections per trial, the scalar Λ-inversion sampler spends exactly
+    // one Exp(1) draw, and the batched sampler amortizes that draw's RNG,
+    // log transforms, and phase probe across whole chunks in SoA passes.
+    // Min-of-N timings (one untimed warmup each; N = 25 for the two
+    // sub-millisecond inversion samplers, where a min-of-5 is still timer
+    // noise, and 5 for the ~400 ms event loop), per-trial event counts,
+    // and ns-per-trial all land in the JSON; the run aborts if either
+    // advertised advantage — inversion ≥10× over the event loop, batched
+    // ≥5× over scalar inversion — ever regresses.
     let low_avf = IntervalTrace::busy_idle(1, 999).expect("low-AVF trace is valid");
     let duel_rate = RawErrorRate::per_year(1.0e3);
     let duel_trials = 20_000u64;
-    let mc_ev = MonteCarlo::new(MonteCarloConfig {
+    let duel_config = |sampler| MonteCarloConfig {
         trials: duel_trials,
         threads: 1,
-        sampler: SamplerKind::EventLoop,
+        sampler,
         ..Default::default()
-    });
-    let mc_inv = MonteCarlo::new(MonteCarloConfig {
-        trials: duel_trials,
-        threads: 1,
-        sampler: SamplerKind::Inversion,
-        ..Default::default()
-    });
+    };
+    let mc_ev = MonteCarlo::new(duel_config(SamplerKind::EventLoop));
+    let mc_inv = MonteCarlo::new(duel_config(SamplerKind::Inversion));
+    let mc_batched = MonteCarlo::new(duel_config(SamplerKind::BatchedInversion));
     let ev_est = mc_ev.component_mttf(&low_avf, duel_rate, freq).expect("event-loop duel runs");
     let inv_est = mc_inv.component_mttf(&low_avf, duel_rate, freq).expect("inversion duel runs");
+    let batched_est =
+        mc_batched.component_mttf(&low_avf, duel_rate, freq).expect("batched duel runs");
     assert_eq!(ev_est.sampler, SamplerKind::EventLoop);
     assert_eq!(inv_est.sampler, SamplerKind::Inversion);
-    let t_ev = time("sampler/event_loop_low_avf_20k_trials", 3, || {
+    assert_eq!(batched_est.sampler, SamplerKind::BatchedInversion);
+    let t_ev = time("sampler/event_loop_low_avf_20k_trials", 5, || {
         mc_ev.component_mttf(&low_avf, duel_rate, freq).expect("event-loop duel runs")
     });
-    let t_inv = time("sampler/inversion_low_avf_20k_trials", 3, || {
+    let t_inv = time("sampler/inversion_low_avf_20k_trials", 25, || {
         mc_inv.component_mttf(&low_avf, duel_rate, freq).expect("inversion duel runs")
     });
+    let t_batched = time("sampler/batched_inversion_low_avf_20k_trials", 25, || {
+        mc_batched.component_mttf(&low_avf, duel_rate, freq).expect("batched duel runs")
+    });
+    let ns_per_trial = |t: &Timing| t.min_ms * 1e6 / duel_trials as f64;
     let speedup = t_ev.min_ms / t_inv.min_ms;
+    let batched_speedup = t_inv.min_ms / t_batched.min_ms;
     let sampler_json = format!(
         "  \"sampler_duel\": {{\"workload\": \"busy_idle_1_999\", \"avf\": 0.001, \
          \"trials\": {duel_trials}, \"event_loop_min_ms\": {:.4}, \"inversion_min_ms\": {:.4}, \
+         \"batched_inversion_min_ms\": {:.4}, \
          \"event_loop_events_per_trial\": {:.2}, \"inversion_events_per_trial\": {:.2}, \
-         \"speedup\": {:.1}}},",
+         \"batched_inversion_events_per_trial\": {:.2}, \
+         \"event_loop_ns_per_trial\": {:.1}, \"inversion_ns_per_trial\": {:.1}, \
+         \"batched_inversion_ns_per_trial\": {:.1}, \
+         \"speedup\": {speedup:.1}, \"batched_speedup_vs_inversion\": {batched_speedup:.1}}},",
         t_ev.min_ms,
         t_inv.min_ms,
+        t_batched.min_ms,
         ev_est.mean_events_per_trial,
         inv_est.mean_events_per_trial,
-        speedup
+        batched_est.mean_events_per_trial,
+        ns_per_trial(&t_ev),
+        ns_per_trial(&t_inv),
+        ns_per_trial(&t_batched),
     );
     println!(
         "sampler duel: event-loop {:.3} ms ({:.1} events/trial) vs inversion {:.3} ms \
-         ({:.1} events/trial) -> {speedup:.1}x",
-        t_ev.min_ms, ev_est.mean_events_per_trial, t_inv.min_ms, inv_est.mean_events_per_trial
+         ({:.1} events/trial) vs batched {:.3} ms ({:.1} events/trial) -> \
+         {speedup:.1}x scalar, {batched_speedup:.1}x batched-over-scalar",
+        t_ev.min_ms,
+        ev_est.mean_events_per_trial,
+        t_inv.min_ms,
+        inv_est.mean_events_per_trial,
+        t_batched.min_ms,
+        batched_est.mean_events_per_trial
     );
     assert!(
         speedup >= 10.0,
         "inversion sampler must be >=10x faster than the event loop on the low-AVF duel, \
          measured {speedup:.1}x"
     );
+    assert!(
+        batched_speedup >= 5.0,
+        "batched inversion must be >=5x faster than the scalar sampler on the low-AVF duel, \
+         measured {batched_speedup:.1}x"
+    );
     timings.push(t_ev);
     timings.push(t_inv);
+    timings.push(t_batched);
 
     // Observed re-run of the day-like case: per-stage wall time and the
     // per-chunk convergence trajectory fold into the JSON, so the perf
@@ -251,7 +281,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 5,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 6,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         sampler_json,
         checkpoint_json,
         chaos_json,

@@ -43,9 +43,10 @@ pub struct ChaosConfig {
     /// invariant to this by construction.
     pub threads: usize,
     /// Which time-to-failure sampler the guarded campaigns run. The default
-    /// mirrors production ([`SamplerKind::Inversion`]); campaigns target it
-    /// deliberately, because the inversion sampler *reads* the compiled
-    /// prefix table that [`FaultKind::TracePrefixPerturb`] corrupts.
+    /// mirrors production ([`SamplerKind::BatchedInversion`]); campaigns
+    /// target the inversion kinds deliberately, because both *read* the
+    /// compiled prefix table that [`FaultKind::TracePrefixPerturb`]
+    /// corrupts.
     pub sampler: SamplerKind,
     /// Fault kinds to cycle through (campaign `i` uses `kinds[i % len]`).
     pub kinds: Vec<FaultKind>,
@@ -92,6 +93,11 @@ pub struct CampaignOutcome {
     /// from the golden answer (or an on-disk probe silently returned wrong
     /// data) — the invariant violation the harness exists to catch.
     pub miss: bool,
+    /// The sampler that produced the accepted Monte Carlo estimate —
+    /// `None` for on-disk probes and for campaigns where the guard
+    /// degraded without accepting any estimate. Recorded so a logged
+    /// verdict says which sampling code path was under attack.
+    pub sampler: Option<SamplerKind>,
     /// One-line human-readable account.
     pub detail: String,
 }
@@ -113,6 +119,9 @@ impl CampaignOutcome {
         }
         if let Some(d) = self.deviation {
             fields.push(("deviation".to_owned(), Json::Num(d)));
+        }
+        if let Some(k) = self.sampler {
+            fields.push(("sampler".to_owned(), Json::Str(k.label().to_owned())));
         }
         Json::Obj(fields)
     }
@@ -304,6 +313,9 @@ fn emit_verdict(obs: &Obs, o: &CampaignOutcome) {
     if let Some(m) = o.mttf_seconds {
         ev = ev.with("mttf_s", m);
     }
+    if let Some(k) = o.sampler {
+        ev = ev.with("sampler", k.label());
+    }
     obs.emit(ev);
 }
 
@@ -330,6 +342,7 @@ fn guarded_campaign(
         mttf_seconds: Some(mttf),
         deviation: Some(deviation),
         miss,
+        sampler: g.mc.map(|e| e.sampler),
         detail: g.notes.last().cloned().unwrap_or_else(|| "no anomalies observed".to_owned()),
     })
 }
@@ -364,6 +377,7 @@ fn checkpoint_io_campaign(
         mttf_seconds: None,
         deviation: None,
         miss: !intact,
+        sampler: None,
         detail: format!("injected i/o fault at {site:?}; rows intact: {intact}"),
     })
 }
@@ -421,6 +435,7 @@ fn journal_corrupt_campaign(
         mttf_seconds: None,
         deviation: None,
         miss: !recovered,
+        sampler: None,
         detail: format!(
             "corrupted {} byte(s) at offset {}; resumed {}/{PROBE_POINTS}",
             if corruption.truncate { "tail from" } else { "1" },
@@ -456,6 +471,7 @@ fn journal_lock_campaign(
         mttf_seconds: None,
         deviation: None,
         miss: !refused,
+        sampler: None,
         detail: format!("second writer refused: {refused}"),
     })
 }
@@ -514,6 +530,7 @@ fn cache_corrupt_campaign(
         mttf_seconds: None,
         deviation: None,
         miss,
+        sampler: None,
         detail,
     })
 }
@@ -578,6 +595,61 @@ mod tests {
     }
 
     #[test]
+    fn prefix_perturb_under_batched_inversion_is_detected_and_tagged() {
+        // The batched sampler reads the same corrupted prefix table as the
+        // scalar one; the guard must detect or degrade every campaign, and
+        // accepted estimates must carry the batched-inversion sampler tag
+        // in both the outcome record and the verdict event.
+        let (obs, sink) = Obs::memory();
+        let cfg = ChaosConfig {
+            campaigns: 8,
+            seed: 0xBA7C_4A05,
+            trials: 2_000,
+            threads: 1,
+            sampler: SamplerKind::BatchedInversion,
+            kinds: vec![FaultKind::TracePrefixPerturb],
+            scratch_dir: Some(
+                std::env::temp_dir()
+                    .join(format!("serr-chaos-test-batched-{}", std::process::id())),
+            ),
+            obs: Some(obs),
+        };
+        let report = run_chaos(&cfg).unwrap();
+        assert!(report.is_sound(), "prefix perturbation produced a miss under batched inversion");
+        for o in &report.outcomes {
+            assert_ne!(
+                o.outcome,
+                Provenance::Clean,
+                "campaign {}: prefix corruption went unnoticed ({})",
+                o.campaign,
+                o.detail
+            );
+            // An accepted estimate under this config can only have come
+            // from the batched sampler (the campaign trace always
+            // compiles); campaigns that degraded past every attempt
+            // accepted none and carry no tag.
+            if let Some(k) = o.sampler {
+                assert_eq!(k, SamplerKind::BatchedInversion);
+            }
+        }
+        // Verdict events mirror the tag.
+        let verdicts = sink.events_of("chaos.verdict");
+        assert_eq!(verdicts.len(), report.outcomes.len());
+        for (e, o) in verdicts.iter().zip(&report.outcomes) {
+            let tagged = e
+                .fields
+                .iter()
+                .any(|(k, v)| *k == "sampler" && *v == serr_obs::Value::from("batched-inversion"));
+            assert_eq!(
+                tagged,
+                o.sampler == Some(SamplerKind::BatchedInversion),
+                "campaign {}: verdict sampler tag out of sync",
+                o.campaign
+            );
+        }
+    }
+
+    #[test]
     fn outcome_json_carries_the_replay_seed() {
         let o = CampaignOutcome {
             campaign: 3,
@@ -587,6 +659,7 @@ mod tests {
             mttf_seconds: Some(1.5e9),
             deviation: Some(0.001),
             miss: false,
+            sampler: Some(SamplerKind::BatchedInversion),
             detail: "healed".to_owned(),
         };
         let j = o.to_json();
@@ -594,5 +667,6 @@ mod tests {
         assert_eq!(j.get("outcome").unwrap().as_str(), Some("retried"));
         assert_eq!(j.get("seed").unwrap().as_str(), Some("0x0000000000001234"));
         assert_eq!(j.get("miss").unwrap().as_bool(), Some(false));
+        assert_eq!(j.get("sampler").unwrap().as_str(), Some("batched-inversion"));
     }
 }

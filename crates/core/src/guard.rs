@@ -221,12 +221,12 @@ impl Guard {
                 continue;
             }
             // 4b. Sampler consistency vote: the event loop never reads the
-            // prefix tables the inversion sampler inverts, so an
+            // prefix tables the inversion samplers invert, so an
             // independent event-loop run on the *same* compiled trace
-            // cross-checks the inversion machinery itself (defense in
-            // depth beyond the renewal check, which is computed from the
-            // uncompiled source trace).
-            if est.sampler == SamplerKind::Inversion && self.policy.oracle_trials > 0 {
+            // cross-checks the inversion machinery — scalar or batched —
+            // itself (defense in depth beyond the renewal check, which is
+            // computed from the uncompiled source trace).
+            if est.sampler != SamplerKind::EventLoop && self.policy.oracle_trials > 0 {
                 match self.event_loop_oracle(trace, compiled.as_ref(), rate, attempt) {
                     Ok(oracle) => {
                         if let Some(obs) = &self.obs {
@@ -381,9 +381,10 @@ fn relative_gap(a: f64, b: f64) -> f64 {
     (a - b).abs() / b.abs()
 }
 
-/// The sampler consistency vote: an accepted inversion estimate must agree
-/// with an independent event-loop run within the combined CI-derived
-/// tolerance. Returns the rejection note on disagreement.
+/// The sampler consistency vote: an accepted inversion estimate (scalar or
+/// batched) must agree with an independent event-loop run within the
+/// combined CI-derived tolerance. Returns the rejection note on
+/// disagreement.
 fn oracle_disagreement(
     est: &MttfEstimate,
     oracle: &MttfEstimate,
@@ -393,8 +394,9 @@ fn oracle_disagreement(
     let tol = policy.rel_tol.max(policy.ci_mult * (est.relative_ci95() + oracle.relative_ci95()));
     (gap > tol).then(|| {
         format!(
-            "inversion sampler disagrees with the event-loop oracle \
+            "{} sampler disagrees with the event-loop oracle \
              ({:.3e} s vs {:.3e} s): relative gap {gap:.3e} exceeds tolerance {tol:.3e}",
+            est.sampler.label(),
             est.mttf.as_secs(),
             oracle.mttf.as_secs()
         )
@@ -544,12 +546,27 @@ mod tests {
     fn inversion_runs_are_vetted_by_the_event_loop_oracle() {
         let trace = campaign_trace();
         let rate = RawErrorRate::per_year(50.0);
-        // The default-configured guard samples by inversion; a clean run
-        // must carry exactly one oracle vote and stay Clean.
+        // The default-configured guard samples by batched inversion; a
+        // clean run must carry exactly one oracle vote and stay Clean.
         let (obs, _sink) = serr_obs::Obs::memory();
         let g = guard().with_observer(obs.clone()).component_mttf(&trace, rate, None).unwrap();
         assert_eq!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
-        assert_eq!(g.mc.as_ref().unwrap().sampler, serr_mc::SamplerKind::Inversion);
+        assert_eq!(g.mc.as_ref().unwrap().sampler, serr_mc::SamplerKind::BatchedInversion);
+        assert_eq!(obs.metrics().snapshot().counters["guard.oracle_runs"], 1);
+
+        // The scalar inversion sampler is vetted the same way.
+        let cfg = MonteCarloConfig {
+            trials: 3_000,
+            threads: 1,
+            sampler: serr_mc::SamplerKind::Inversion,
+            ..Default::default()
+        };
+        let (obs, _sink) = serr_obs::Obs::memory();
+        let g = Guard::new(Frequency::base(), cfg)
+            .with_observer(obs.clone())
+            .component_mttf(&trace, rate, None)
+            .unwrap();
+        assert_eq!(g.provenance, Provenance::Clean, "notes: {:?}", g.notes);
         assert_eq!(obs.metrics().snapshot().counters["guard.oracle_runs"], 1);
 
         // An event-loop-configured guard has nothing to cross-check.

@@ -14,10 +14,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use serr_types::SerrError;
 
 /// The number of worker threads to use for a fan-out over `jobs` independent
-/// items: `available_parallelism` capped by the job count (never zero).
+/// items: the `SERR_THREADS` override when set, else `available_parallelism`,
+/// capped by the job count (never zero).
+///
+/// `SERR_THREADS` follows the same convention as the Monte Carlo engine's
+/// CLI plumbing — unset, empty, unparsable, or `0` means all cores — so one
+/// environment variable pins every thread pool in a run, sweeps included.
+/// Results never depend on the setting (sweep output is input-ordered and
+/// each MC estimate is chunk-deterministic); the variable exists so that
+/// invariance can be demonstrated, and core counts bounded, from the shell.
 #[must_use]
 pub fn fanout_threads(jobs: usize) -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(jobs.max(1))
+    let configured = std::env::var("SERR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    configured
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .min(jobs.max(1))
 }
 
 /// Applies `f` to every element of `items` using up to `threads` OS threads
@@ -162,6 +178,28 @@ mod tests {
         assert_eq!(fanout_threads(1), 1);
         assert!(fanout_threads(1024) >= 1);
         assert!(fanout_threads(2) <= 2);
+    }
+
+    #[test]
+    fn fanout_threads_honors_serr_threads() {
+        // Env mutation is process-global: take values through every branch
+        // inside one test so no parallel test observes a half-set variable.
+        let saved = std::env::var("SERR_THREADS").ok();
+        std::env::set_var("SERR_THREADS", "5");
+        assert_eq!(fanout_threads(1024), 5, "explicit override wins");
+        assert_eq!(fanout_threads(3), 3, "job count still caps the override");
+        assert_eq!(fanout_threads(0), 1, "never zero");
+        std::env::set_var("SERR_THREADS", " 2 ");
+        assert_eq!(fanout_threads(1024), 2, "whitespace-tolerant like the CLI");
+        for all_cores in ["0", "", "not-a-number"] {
+            std::env::set_var("SERR_THREADS", all_cores);
+            let n = fanout_threads(1024);
+            assert!(n >= 1, "{all_cores:?} must fall back to all cores, got {n}");
+        }
+        match saved {
+            Some(v) => std::env::set_var("SERR_THREADS", v),
+            None => std::env::remove_var("SERR_THREADS"),
+        }
     }
 
     #[test]

@@ -42,9 +42,18 @@ pub enum SamplerKind {
     /// split into whole periods plus a remainder located in the compiled
     /// prefix table — O(1) per trial, independent of AVF and λL. Requires
     /// a [`serr_trace::CompiledTrace`]; traces too large to compile fall
-    /// back to the event loop.
-    #[default]
+    /// back to the event loop. Kept as the scalar oracle for the batched
+    /// sampler's equivalence suite.
     Inversion,
+    /// The same inversion transform restructured so a whole trial chunk is
+    /// the unit of work: counter-based RNG words, structure-of-arrays
+    /// buffers, and branchless array passes (see `serr_mc::batched`).
+    /// Samples the identical distribution as [`SamplerKind::Inversion`]
+    /// from a *different* (versioned) random stream — estimates are
+    /// statistically interchangeable but not bit-equal across sampler
+    /// kinds. Falls back to the event loop when the trace cannot compile.
+    #[default]
+    BatchedInversion,
 }
 
 impl SamplerKind {
@@ -54,6 +63,7 @@ impl SamplerKind {
         match self {
             SamplerKind::EventLoop => "event-loop",
             SamplerKind::Inversion => "inversion",
+            SamplerKind::BatchedInversion => "batched-inversion",
         }
     }
 
@@ -62,13 +72,14 @@ impl SamplerKind {
     /// # Errors
     ///
     /// Returns [`SerrError::InvalidConfig`] for anything other than
-    /// `event-loop` or `inversion`.
+    /// `event-loop`, `inversion`, or `batched-inversion`.
     pub fn parse(s: &str) -> Result<Self, SerrError> {
         match s {
             "event-loop" => Ok(SamplerKind::EventLoop),
             "inversion" => Ok(SamplerKind::Inversion),
+            "batched-inversion" => Ok(SamplerKind::BatchedInversion),
             other => Err(SerrError::invalid_config(format!(
-                "unknown sampler {other:?} (expected event-loop or inversion)"
+                "unknown sampler {other:?} (expected event-loop, inversion, or batched-inversion)"
             ))),
         }
     }
@@ -128,7 +139,7 @@ impl Default for MonteCarloConfig {
             threads: 0,
             max_events_per_trial: 100_000_000,
             start_phase: StartPhase::WorkloadStart,
-            sampler: SamplerKind::Inversion,
+            sampler: SamplerKind::BatchedInversion,
             deadline: None,
             chaos: None,
         }
@@ -199,9 +210,10 @@ mod tests {
     }
 
     #[test]
-    fn sampler_defaults_to_inversion_and_labels_round_trip() {
-        assert_eq!(MonteCarloConfig::default().sampler, SamplerKind::Inversion);
-        for kind in [SamplerKind::EventLoop, SamplerKind::Inversion] {
+    fn sampler_defaults_to_batched_inversion_and_labels_round_trip() {
+        assert_eq!(MonteCarloConfig::default().sampler, SamplerKind::BatchedInversion);
+        for kind in [SamplerKind::EventLoop, SamplerKind::Inversion, SamplerKind::BatchedInversion]
+        {
             assert_eq!(SamplerKind::parse(kind.label()).expect("label parses"), kind);
         }
         assert!(SamplerKind::parse("naive").is_err());

@@ -19,9 +19,13 @@
 //! bucketed inverse index over the prefix sums) and monomorphizes the
 //! trial loop over the configured [`SamplerKind`]:
 //!
-//! * [`SamplerKind::Inversion`] (the default) draws each time to failure
-//!   in O(1) by inverting the cumulative-vulnerability function through
-//!   the compiled prefix table — see [`crate::inversion`];
+//! * [`SamplerKind::BatchedInversion`] (the default) makes the whole
+//!   chunk the unit of work: counter-based RNG words and branchless
+//!   structure-of-arrays passes produce all [`TRIAL_CHUNK`] times to
+//!   failure per dispatch — see [`crate::batched`];
+//! * [`SamplerKind::Inversion`] draws each time to failure in O(1) by
+//!   inverting the cumulative-vulnerability function through the compiled
+//!   prefix table — see [`crate::inversion`] — kept as the scalar oracle;
 //! * [`SamplerKind::EventLoop`] walks raw-error events one at a time (the
 //!   paper's Appendix A decomposition) — kept as the cross-check oracle.
 //!
@@ -39,6 +43,7 @@ use serr_obs::{Event, Obs};
 use serr_trace::{CompiledTrace, VulnerabilityTrace};
 use serr_types::{Frequency, Mttf, RawErrorRate, SerrError};
 
+use crate::batched::{BatchScratch, BatchedInversionSampler};
 use crate::config::{SamplerKind, StartPhase};
 use crate::inversion::sample_time_to_failure_inversion;
 use crate::sampler::{sample_time_to_failure, TrialOutcome};
@@ -128,8 +133,8 @@ pub struct MttfEstimate {
     pub truncated: bool,
     /// The sampler that actually produced the trials. Normally the
     /// configured [`MonteCarloConfig::sampler`]; a trace too large to
-    /// compile downgrades `Inversion` to `EventLoop` (the inversion sampler
-    /// needs the compiled prefix table).
+    /// compile downgrades either inversion kind to `EventLoop` (both read
+    /// the compiled prefix table).
     pub sampler: SamplerKind,
 }
 
@@ -316,6 +321,7 @@ impl MonteCarlo {
                 match sampler {
                     SamplerKind::EventLoop => "mc.runs_event_loop",
                     SamplerKind::Inversion => "mc.runs_inversion",
+                    SamplerKind::BatchedInversion => "mc.runs_batched_inversion",
                 },
                 1,
             );
@@ -362,6 +368,34 @@ impl MonteCarlo {
     ) -> Result<(Vec<(u64, ChunkOutcome)>, bool, SamplerKind), SerrError> {
         let cap = self.config.max_events_per_trial;
         match (compiled, self.config.sampler) {
+            (Some(c), SamplerKind::BatchedInversion) => {
+                // Chunk-at-a-time path: the sampler consumes its own
+                // versioned counter-RNG stream derived from the same
+                // `chunk_seed(seed, chunk)` values, so the determinism
+                // contract (bit-identical at any thread count) holds by the
+                // same argument as the per-trial path. `StartPhase` is
+                // resolved inside the batched kernels — the stationary
+                // variant draws its phase plane from the counter stream.
+                let sampler =
+                    BatchedInversionSampler::new(c, lambda_cycle, self.config.start_phase);
+                let seed = self.config.seed;
+                let (chunks, truncated) =
+                    self.run_chunks_scaffold(BatchScratch::new, |scratch, chunk, n| {
+                        let (ttfs, stats) = sampler.sample_chunk_with_stats(
+                            scratch,
+                            chunk_seed(seed, chunk),
+                            n as usize,
+                        );
+                        Ok(ChunkOutcome {
+                            stats,
+                            // Like the scalar inversion sampler: one
+                            // raw-error event (the failing one) per trial.
+                            events: n,
+                            ttfs: if collect_samples { ttfs.to_vec() } else { Vec::new() },
+                        })
+                    })?;
+                Ok((chunks, truncated, SamplerKind::BatchedInversion))
+            }
             (Some(c), SamplerKind::Inversion) => {
                 let (chunks, truncated) =
                     self.run_chunks(c.period_cycles(), collect_samples, |rng, phase| {
@@ -386,24 +420,14 @@ impl MonteCarlo {
         }
     }
 
-    /// The shared trial loop: runs `config.trials` trials in fixed chunks
-    /// of [`TRIAL_CHUNK`], fanned out over `config.threads` workers that
-    /// claim chunks round-robin by index, and returns the per-chunk
-    /// outcomes in ascending chunk order plus a flag saying whether a
-    /// configured deadline stopped the run early. Monomorphized over the
-    /// per-trial closure so each sampler's fast path inlines end to end;
-    /// the chunk/RNG/deadline/chaos scaffolding — including the
-    /// `StartPhase` draw, which must stay *before* the trial call so every
-    /// sampler sees the identical phase stream — lives here exactly once.
+    /// The per-trial loop over [`run_chunks_scaffold`]: one chunk-seeded
+    /// `SmallRng` per chunk, one closure call per trial. Monomorphized over
+    /// the per-trial closure so each sampler's fast path inlines end to
+    /// end; the `StartPhase` draw lives here exactly once, *before* the
+    /// trial call, so every per-trial sampler sees the identical phase
+    /// stream.
     ///
-    /// Deadline semantics: the budget is checked at chunk boundaries only —
-    /// a chunk that has started always finishes, and every worker completes
-    /// at least its *first* chunk, so a truncated run still contains at
-    /// least `TRIAL_CHUNK` trials per worker and the estimate is never
-    /// empty. Because each chunk's RNG stream depends only on its index,
-    /// the truncated result is still a deterministic function of *which*
-    /// chunks completed (e.g. a zero deadline with one thread always yields
-    /// exactly chunk 0).
+    /// [`run_chunks_scaffold`]: MonteCarlo::run_chunks_scaffold
     fn run_chunks<F>(
         &self,
         period_cycles: u64,
@@ -413,11 +437,66 @@ impl MonteCarlo {
     where
         F: Fn(&mut SmallRng, f64) -> Result<TrialOutcome, SerrError> + Sync,
     {
+        let seed = self.config.seed;
+        let start_phase = self.config.start_phase;
+        let period = period_cycles as f64;
+        self.run_chunks_scaffold(
+            || (),
+            |(), chunk, n| {
+                let mut rng = SmallRng::seed_from_u64(chunk_seed(seed, chunk));
+                let mut stats = RunningStats::new();
+                let mut events = 0u64;
+                let mut ttfs = Vec::with_capacity(if collect_samples { n as usize } else { 0 });
+                for _ in 0..n {
+                    // The `StartPhase` draw must stay *before* the trial
+                    // call so every per-trial sampler sees the identical
+                    // phase stream.
+                    let phase = match start_phase {
+                        StartPhase::WorkloadStart => 0.0,
+                        StartPhase::Stationary => rng.gen_range(0.0..period),
+                    };
+                    let t = trial(&mut rng, phase)?;
+                    stats.push(t.ttf_cycles);
+                    events += t.events;
+                    if collect_samples {
+                        ttfs.push(t.ttf_cycles);
+                    }
+                }
+                Ok(ChunkOutcome { stats, events, ttfs })
+            },
+        )
+    }
+
+    /// The chunk scaffolding shared by the per-trial and batched paths:
+    /// claims chunks round-robin by index across workers, honors real and
+    /// injected deadlines at chunk boundaries, maps worker panics to the
+    /// typed engine fault, and returns outcomes sorted by chunk index.
+    /// `scratch_init` runs once per worker (the batched sampler reuses its
+    /// structure-of-arrays buffers across every chunk a worker claims);
+    /// `chunk_body(scratch, chunk, n)` produces the outcome of `n` trials
+    /// on chunk `chunk`'s deterministic stream.
+    ///
+    /// Deadline semantics: the budget is checked at chunk boundaries only —
+    /// a chunk that has started always finishes, and every worker completes
+    /// at least its *first* chunk, so a truncated run still contains at
+    /// least [`TRIAL_CHUNK`] trials per worker and the estimate is never
+    /// empty. Because each chunk's stream depends only on its index, the
+    /// truncated result is still a deterministic function of *which* chunks
+    /// completed (e.g. a zero deadline with one thread always yields
+    /// exactly chunk 0).
+    fn run_chunks_scaffold<S, I, G>(
+        &self,
+        scratch_init: I,
+        chunk_body: G,
+    ) -> Result<(Vec<(u64, ChunkOutcome)>, bool), SerrError>
+    where
+        I: Fn() -> S + Sync,
+        G: Fn(&mut S, u64, u64) -> Result<ChunkOutcome, SerrError> + Sync,
+    {
         let trials = self.config.trials;
         let n_chunks = trials.div_ceil(TRIAL_CHUNK);
         let threads = self.config.effective_threads().min(n_chunks.max(1) as usize).max(1);
         let seed = self.config.seed;
-        let start_phase = self.config.start_phase;
         let deadline = self.config.deadline;
         let chaos = self.config.chaos;
         let started = std::time::Instant::now();
@@ -439,9 +518,8 @@ impl MonteCarlo {
                 budget_s: deadline.map_or(0.0, |d| d.as_secs_f64()),
             });
         }
-        let period = period_cycles as f64;
-
         let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
+            let mut scratch = scratch_init();
             let mut out = Vec::new();
             let mut chunk = tid as u64;
             let mut first = true;
@@ -471,24 +549,7 @@ impl MonteCarlo {
                 }
                 let lo = chunk * TRIAL_CHUNK;
                 let hi = (lo + TRIAL_CHUNK).min(trials);
-                let mut rng = SmallRng::seed_from_u64(chunk_seed(seed, chunk));
-                let mut stats = RunningStats::new();
-                let mut events = 0u64;
-                let mut ttfs =
-                    Vec::with_capacity(if collect_samples { (hi - lo) as usize } else { 0 });
-                for _ in lo..hi {
-                    let phase = match start_phase {
-                        StartPhase::WorkloadStart => 0.0,
-                        StartPhase::Stationary => rng.gen_range(0.0..period),
-                    };
-                    let t = trial(&mut rng, phase)?;
-                    stats.push(t.ttf_cycles);
-                    events += t.events;
-                    if collect_samples {
-                        ttfs.push(t.ttf_cycles);
-                    }
-                }
-                out.push((chunk, ChunkOutcome { stats, events, ttfs }));
+                out.push((chunk, chunk_body(&mut scratch, chunk, hi - lo)?));
                 chunk += threads as u64;
             }
             Ok(out)
@@ -601,11 +662,13 @@ mod tests {
     }
 
     #[test]
-    fn both_samplers_are_deterministic_across_thread_counts() {
+    fn all_samplers_are_deterministic_across_thread_counts() {
         let trace =
             IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
         let rate = RawErrorRate::per_year(5.0);
-        for sampler in [SamplerKind::EventLoop, SamplerKind::Inversion] {
+        for sampler in
+            [SamplerKind::EventLoop, SamplerKind::Inversion, SamplerKind::BatchedInversion]
+        {
             for start_phase in [StartPhase::WorkloadStart, StartPhase::Stationary] {
                 let one = MonteCarloConfig {
                     trials: 4_000,
@@ -639,20 +702,28 @@ mod tests {
         let ev = MonteCarlo::new(MonteCarloConfig { sampler: SamplerKind::EventLoop, ..base })
             .component_mttf(&trace, rate, Frequency::base())
             .unwrap();
-        let gap = (inv.mttf.as_secs() - ev.mttf.as_secs()).abs();
-        let tol = 3.0 * (inv.ttf_seconds.ci95 + ev.ttf_seconds.ci95);
-        assert!(
-            gap <= tol,
-            "inversion {} vs event-loop {}: gap {gap} > {tol}",
-            inv.mttf.as_secs(),
-            ev.mttf.as_secs()
-        );
-        // The inversion sampler consumes exactly one event per trial; the
+        let batched =
+            MonteCarlo::new(MonteCarloConfig { sampler: SamplerKind::BatchedInversion, ..base })
+                .component_mttf(&trace, rate, Frequency::base())
+                .unwrap();
+        for (label, other) in [("event-loop", &ev), ("batched-inversion", &batched)] {
+            let gap = (inv.mttf.as_secs() - other.mttf.as_secs()).abs();
+            let tol = 3.0 * (inv.ttf_seconds.ci95 + other.ttf_seconds.ci95);
+            assert!(
+                gap <= tol,
+                "inversion {} vs {label} {}: gap {gap} > {tol}",
+                inv.mttf.as_secs(),
+                other.mttf.as_secs()
+            );
+        }
+        // Both inversion samplers consume exactly one event per trial; the
         // event loop needs ~1/AVF (plus the λL-dependent correction).
         assert_eq!(inv.mean_events_per_trial, 1.0);
+        assert_eq!(batched.mean_events_per_trial, 1.0);
         assert!(ev.mean_events_per_trial > 2.0, "events {}", ev.mean_events_per_trial);
         assert_eq!(inv.sampler, SamplerKind::Inversion);
         assert_eq!(ev.sampler, SamplerKind::EventLoop);
+        assert_eq!(batched.sampler, SamplerKind::BatchedInversion);
     }
 
     #[test]
@@ -665,7 +736,7 @@ mod tests {
         let tiled = serr_trace::ConcatTrace::new(vec![(unit, 10_000_000)]).unwrap();
         assert!(CompiledTrace::compile(&tiled).is_none());
         let cfg = MonteCarloConfig { trials: 2_000, ..Default::default() };
-        assert_eq!(cfg.sampler, SamplerKind::Inversion);
+        assert_eq!(cfg.sampler, SamplerKind::BatchedInversion);
         let est = MonteCarlo::new(cfg)
             .component_mttf(&tiled, RawErrorRate::per_year(1000.0), Frequency::base())
             .unwrap();
@@ -967,8 +1038,12 @@ mod tests {
 
         let snap = obs.metrics().snapshot();
         assert_eq!(snap.counters["mc.rng_chunks"], 5);
-        assert_eq!(snap.counters["mc.runs_inversion"], 1, "default sampler is inversion");
+        assert_eq!(
+            snap.counters["mc.runs_batched_inversion"], 1,
+            "default sampler is batched inversion"
+        );
         assert!(!snap.counters.contains_key("mc.runs_event_loop"));
+        assert!(!snap.counters.contains_key("mc.runs_inversion"));
         assert_eq!(snap.counters["mc.trials_completed"], 5_000);
         assert_eq!(snap.histograms["stage.mc_run_ms"].count(), 1);
         assert_eq!(snap.histograms["stage.trace_compile_ms"].count(), 1);

@@ -256,6 +256,105 @@ mod tests {
         assert!(err < 0.02, "MC {} vs shifted renewal {want}: {err}", stats.mean());
     }
 
+    /// Scripted RNG for driving the numeric guards: yields the given
+    /// 64-bit words in order and repeats the last one forever. `u64::MAX`
+    /// maps to the largest representable uniform `1 − 2⁻⁵³`; `0` maps to
+    /// `u = 0` exactly — the two edges of rand 0.8's 53-bit grid.
+    struct WordRng {
+        words: Vec<u64>,
+        at: usize,
+    }
+
+    impl rand::RngCore for WordRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.at.min(self.words.len() - 1)];
+            self.at += 1;
+            w
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    fn scripted(words: &[u64]) -> WordRng {
+        WordRng { words: words.to_vec(), at: 0 }
+    }
+
+    #[test]
+    fn lambda_w_overflow_guard_forces_zero_period_skips() {
+        // λW = 1000 > 700: e^{−λW} underflows, so the geometric skip count
+        // must come from the guard (k = 0), never from ln(u)/ln(q) with a
+        // denominator of −∞. Starting mid-idle makes p₀ = 0, so part 2 runs
+        // regardless of the first uniform.
+        let trace = IntervalTrace::busy_idle(1000, 1000).unwrap();
+        let c = compiled(&trace);
+        let phase = 1500.0;
+        // u₃ = 0 ⇒ zero final-window mass ⇒ TTF is exactly the wait for
+        // the next busy window: no period is ever skipped.
+        let out = sample_time_to_failure_inversion(&c, 1.0, &mut scripted(&[0]), phase);
+        assert_eq!(out.ttf_cycles, 500.0, "k must be 0 under the overflow guard");
+        // u₃ → 1⁻ ⇒ the largest mass draw; still finite, still within the
+        // first unskipped period.
+        let out = sample_time_to_failure_inversion(&c, 1.0, &mut scripted(&[u64::MAX]), phase);
+        assert!(out.ttf_cycles.is_finite());
+        assert!(
+            (500.0..2500.0).contains(&out.ttf_cycles),
+            "ttf {} skipped a period despite λW > 700",
+            out.ttf_cycles
+        );
+    }
+
+    #[test]
+    fn extreme_uniforms_produce_finite_draws() {
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let c = compiled(&trace);
+        let lambda = 0.01; // λW = 0.3: all three parts reachable
+
+        // u → 0 on every draw: part 1 with zero conditional mass. The log
+        // path sees ln_1p(−0) = 0, never ln(0) = −∞.
+        let out = sample_time_to_failure_inversion(&c, lambda, &mut scripted(&[0]), 0.0);
+        assert!(out.ttf_cycles.is_finite() && out.ttf_cycles >= 0.0, "ttf {}", out.ttf_cycles);
+
+        // u → 1⁻ on every draw: part 2 with the maximal period skip
+        // (1 − u = 2⁻⁵³ exactly, so ln gives −36.74 and k = ⌊36.74/λW⌋
+        // = 122) and the maximal final-window mass. That mass rounds up to
+        // the per-period cap, where the clamp holds it, so ψ lands exactly
+        // at the busy-window end — the range's upper edge is attainable.
+        let out = sample_time_to_failure_inversion(&c, lambda, &mut scripted(&[u64::MAX]), 0.0);
+        assert!(out.ttf_cycles.is_finite(), "ttf {}", out.ttf_cycles);
+        let (k, l) = (122.0, 100.0);
+        assert!(
+            (k * l + l..=k * l + l + 30.0).contains(&out.ttf_cycles),
+            "ttf {} disagrees with the hand-computed skip count",
+            out.ttf_cycles
+        );
+
+        // u₁ → 0 then u₃ → 1⁻: part 1's truncated-Exp draw at its upper
+        // edge; the mass must land strictly inside the first window.
+        let out = sample_time_to_failure_inversion(&c, lambda, &mut scripted(&[0, u64::MAX]), 0.0);
+        assert!(out.ttf_cycles.is_finite());
+        assert!((0.0..30.0).contains(&out.ttf_cycles), "ttf {}", out.ttf_cycles);
+
+        // p₀ rounds to exactly 1.0 (λ·tail₀ = 1000): u₃ → 1⁻ exercises
+        // ln_1p at −(1 − 2⁻⁵³), the closest the argument can get to the
+        // singularity. Finite by construction of the 53-bit grid.
+        let dense = IntervalTrace::constant(100, 1.0).unwrap();
+        let dc = compiled(&dense);
+        let out = sample_time_to_failure_inversion(&dc, 10.0, &mut scripted(&[u64::MAX]), 0.0);
+        assert!(out.ttf_cycles.is_finite() && out.ttf_cycles >= 0.0, "ttf {}", out.ttf_cycles);
+        assert_eq!(out.events, 1);
+    }
+
     #[test]
     fn deterministic_given_seed() {
         let trace = IntervalTrace::busy_idle(5, 5).unwrap();

@@ -1,13 +1,16 @@
 //! Distributional equivalence of the time-to-failure samplers.
 //!
 //! The thinning identity (see `serr_mc::inversion`) says the event-loop
-//! walk and the Λ-inversion draw sample the *same* distribution,
+//! walk, the scalar Λ-inversion draw, and the batched inversion passes all
+//! sample the *same* distribution,
 //! `P(TTF > t) = exp(−λ·[V(φ+t) − V(φ)])` — not merely the same mean. This
 //! suite pins that with two-sample Kolmogorov–Smirnov tests across the
 //! regimes the paper's sweeps visit (λL from 1e-9 to 2000, binary and
-//! fractional masking, workload-start and stationary phases), anchors both
-//! against the naive cycle-stepping reference, and property-tests the
-//! inversion sampler against the renewal closed form on random traces.
+//! fractional masking, workload-start and stationary phases), anchors all
+//! three against the naive cycle-stepping reference, property-tests the
+//! inversion sampler against the renewal closed form on random traces, and
+//! pins the batched sampler's bit-identity across thread counts (its
+//! versioned counter-RNG schedule).
 //!
 //! Thresholds are 1.5× the α = 0.01 two-sample critical value: by the
 //! Kolmogorov tail bound `P(D > c·√((n+m)/nm)) ≈ 2·exp(−2c²)` that puts a
@@ -86,6 +89,82 @@ fn inversion_matches_event_loop_across_the_design_grid() {
 }
 
 #[test]
+fn batched_inversion_matches_the_scalar_oracle_across_the_design_grid() {
+    // The batched sampler draws from a *different* (versioned) random
+    // stream — see `serr_mc::batched::BATCHED_RNG_SCHEDULE_VERSION` — so
+    // the pin here is distributional: two-sample KS against the scalar
+    // inversion oracle over the same grid as the event-loop duel.
+    let binary = IntervalTrace::busy_idle(30, 70).expect("valid trace");
+    let fractional =
+        IntervalTrace::from_levels(&[1.0, 0.25, 0.0, 0.5, 0.0, 0.75, 0.0, 0.0]).expect("valid");
+    let n = 20_000usize;
+    let crit = 1.5 * ks_two_sample_critical_value(n, n, 0.01);
+    for (tname, trace) in [("binary", &binary), ("fractional", &fractional)] {
+        for lambda_l in [1e-9, 1.0, 2000.0] {
+            for start in [StartPhase::WorkloadStart, StartPhase::Stationary] {
+                let batched = engine_samples(
+                    trace,
+                    lambda_l,
+                    SamplerKind::BatchedInversion,
+                    start,
+                    n as u64,
+                    0xD00D_0005,
+                );
+                let inv = engine_samples(
+                    trace,
+                    lambda_l,
+                    SamplerKind::Inversion,
+                    start,
+                    n as u64,
+                    0xA11C_E001,
+                );
+                let d = Ecdf::new(batched)
+                    .expect("no NaN")
+                    .ks_two_sample(&Ecdf::new(inv).expect("no NaN"));
+                assert!(
+                    d < crit,
+                    "{tname} λL={lambda_l:e} {start:?}: KS {d:.5} ≥ {crit:.5} — the batched \
+                     passes draw a different distribution than the scalar oracle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_inversion_is_bit_identical_across_thread_counts() {
+    // The per-chunk (seed, chunk) counter-RNG derivation means the sample
+    // vector — not just the mean — is bit-equal at any thread count. Any
+    // change to the intra-chunk draw order must bump
+    // `BATCHED_RNG_SCHEDULE_VERSION` and re-pin this test.
+    let trace = IntervalTrace::busy_idle(30, 70).expect("valid trace");
+    for start in [StartPhase::WorkloadStart, StartPhase::Stationary] {
+        let mut baseline = None;
+        for threads in [1usize, 8] {
+            let freq = Frequency::base();
+            let period_s = trace.period_cycles() as f64 / freq.hz();
+            let rate = RawErrorRate::per_second(1.0 / period_s);
+            let mc = MonteCarlo::new(MonteCarloConfig {
+                trials: 10_000,
+                seed: 0x5EED_0006,
+                threads,
+                sampler: SamplerKind::BatchedInversion,
+                start_phase: start,
+                ..Default::default()
+            });
+            let ttfs = mc.sample_ttfs(&trace, rate, freq, 10_000).expect("sampling succeeds");
+            match &baseline {
+                None => baseline = Some(ttfs),
+                Some(want) => assert_eq!(
+                    want, &ttfs,
+                    "{start:?}: sample vector differs between 1 and {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn both_samplers_match_the_naive_reference_at_moderate_rate() {
     // λL = 1 on a 1000-cycle loop: λ_cycle = 1e-3 is small enough that the
     // naive sampler's one-error-per-cycle discretization shifts its CDF by
@@ -104,7 +183,7 @@ fn both_samplers_match_the_naive_reference_at_moderate_rate() {
         .collect();
     let naive_ecdf = Ecdf::new(naive).expect("no NaN");
     let crit = 1.5 * ks_two_sample_critical_value(n, n, 0.01) + 2.0 * lambda_cycle;
-    for sampler in [SamplerKind::Inversion, SamplerKind::EventLoop] {
+    for sampler in [SamplerKind::BatchedInversion, SamplerKind::Inversion, SamplerKind::EventLoop] {
         let s =
             engine_samples(&trace, 1.0, sampler, StartPhase::WorkloadStart, n as u64, 0xCAFE_0004);
         let d = naive_ecdf.ks_two_sample(&Ecdf::new(s).expect("no NaN"));

@@ -36,6 +36,7 @@ pub mod quad;
 pub mod series;
 pub mod special;
 pub mod stats;
+pub mod vecmath;
 
 mod kahan;
 

@@ -279,6 +279,107 @@ impl CompiledTrace {
         }
     }
 
+    /// Longest segment table resolved by the branchless select-chain in
+    /// [`CompiledTrace::phase_at_cumulative_batch`]; longer tables fall
+    /// back to the bucketed scalar probe per element.
+    pub const BATCH_SCAN_SEGMENTS: usize = 32;
+
+    /// Batched [`CompiledTrace::phase_at_cumulative`]: replaces every mass
+    /// coordinate in `masses` with its inverse phase, in place.
+    ///
+    /// For tables up to [`CompiledTrace::BATCH_SCAN_SEGMENTS`] segments —
+    /// the overwhelmingly common case after compile-time merging — the
+    /// lookup is a branchless select-chain over stack-resident copies of
+    /// the prefix table: each segment contributes one compare-and-blend,
+    /// so the winning lane is the *last* index with `prefix ≤ m`, exactly
+    /// the segment the scalar probe's pin-walk lands on (zero-run boundary
+    /// handling included). The chain has a compile-time trip count (tables
+    /// are padded to the next lane tier with `+∞` prefixes that never
+    /// win), no data-dependent branches, and no gathers — every table
+    /// entry is a loop-invariant scalar — which is what lets the compiler
+    /// keep the prefix data in registers and vectorize across the batch.
+    /// Larger tables delegate to [`CompiledTrace::phase_at_cumulative`]
+    /// per element, which is still `O(1)` amortized through the inverse
+    /// bucket index.
+    ///
+    /// The returned phases land in the same segment the scalar probe picks
+    /// for every input; within the segment the offset is computed with a
+    /// precomputed reciprocal (one ulp-level difference from the scalar
+    /// division), which is why the batched sampler carries its own RNG
+    /// schedule version instead of claiming bit-equality with the scalar
+    /// sampler.
+    pub fn phase_at_cumulative_batch(&self, masses: &mut [f64]) {
+        if self.inv_buckets.is_empty() || !(self.total > 0.0) {
+            masses.fill(0.0);
+            return;
+        }
+        let n = self.values.len();
+        match n {
+            0..=2 => self.invert_select_chain::<2>(masses),
+            3..=4 => self.invert_select_chain::<4>(masses),
+            5..=8 => self.invert_select_chain::<8>(masses),
+            9..=16 => self.invert_select_chain::<16>(masses),
+            17..=Self::BATCH_SCAN_SEGMENTS => {
+                self.invert_select_chain::<{ Self::BATCH_SCAN_SEGMENTS }>(masses);
+            }
+            _ => {
+                for m in masses {
+                    *m = self.phase_at_cumulative(*m);
+                }
+            }
+        }
+    }
+
+    /// The tiered select-chain body of
+    /// [`CompiledTrace::phase_at_cumulative_batch`]: `LANES` is the padded
+    /// compile-time segment count (`≥ self.values.len()`).
+    fn invert_select_chain<const LANES: usize>(&self, masses: &mut [f64]) {
+        let n = self.values.len();
+        debug_assert!((1..=LANES).contains(&n));
+        let mut pre = [f64::INFINITY; LANES];
+        let mut inv_v = [0.0f64; LANES];
+        let mut start_f = [0.0f64; LANES];
+        let mut end_down = [0.0f64; LANES];
+        for j in 0..n {
+            pre[j] = self.prefix[j];
+            inv_v[j] = if self.values[j] > 0.0 { 1.0 / self.values[j] } else { 0.0 };
+            start_f[j] = if j == 0 { 0.0 } else { self.ends[j - 1] as f64 };
+            end_down[j] = (self.ends[j] as f64).next_down().max(start_f[j]);
+        }
+        let total = self.total;
+        for m in masses {
+            let mm = m.clamp(0.0, total);
+            // Lane 0 always qualifies (prefix[0] = 0 ≤ mm); later lanes
+            // overwrite while their prefix stays ≤ mm, so the survivor is
+            // the last qualifying segment — the scalar pin-walk's answer.
+            // `mm − pre[j]` is ≥ 0 whenever lane j is selected, and min()
+            // against the predecessor of the segment end is the branchless
+            // form of the scalar "step back inside the segment" clamp
+            // (phase < end implies phase ≤ next_down(end)); a zero-mass
+            // lane has inv_v = 0 and resolves to its start, as scalar.
+            let mut phase = (mm * inv_v[0]).min(end_down[0]);
+            for j in 1..LANES {
+                let cand = (start_f[j] + (mm - pre[j]) * inv_v[j]).min(end_down[j]);
+                phase = if pre[j] <= mm { cand } else { phase };
+            }
+            *m = phase;
+        }
+    }
+
+    /// Batched [`CompiledTrace::cumulative_at`]: writes `V(phase)` for each
+    /// fractional phase into `out`. The stationary-start batched sampler
+    /// uses this to price each trial's initial phase before drawing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn cumulative_at_batch(&self, phases: &[f64], out: &mut [f64]) {
+        assert_eq!(phases.len(), out.len(), "phase and output slices out of lockstep");
+        for (o, &p) in out.iter_mut().zip(phases) {
+            *o = self.cumulative_at(p);
+        }
+    }
+
     /// Index of the segment containing `c` (already reduced mod period):
     /// one shift + one table read, then a bounded scan or an in-bucket
     /// binary search.
@@ -844,6 +945,79 @@ mod tests {
                 < 1e-9
         );
         assert!(!c.is_binary() || c.avf() == 0.0);
+    }
+
+    #[test]
+    fn batch_inverse_agrees_with_scalar_probe() {
+        // Small tables take the branchless count-scan; large ones fall back
+        // to the scalar probe. Either way each mass must land in the same
+        // segment as the scalar lookup, with the in-segment offset equal up
+        // to the reciprocal-vs-division rounding.
+        for (seed, n) in [(3u64, 4usize), (7, 20), (5, 32), (13, 1_000)] {
+            let src = IntervalTrace::from_levels(&random_levels(seed, n)).unwrap();
+            let c = CompiledTrace::compile(&src).unwrap();
+            let total = c.total_mass();
+            let mut masses: Vec<f64> = (0..997).map(|k| total * (f64::from(k) / 997.0)).collect();
+            let scalar: Vec<f64> = masses.iter().map(|&m| c.phase_at_cumulative(m)).collect();
+            c.phase_at_cumulative_batch(&mut masses);
+            for (i, (&b, &s)) in masses.iter().zip(&scalar).enumerate() {
+                assert!(
+                    (b - s).abs() <= 1e-12 * c.period_cycles() as f64,
+                    "seed {seed} n {n} mass #{i}: batch {b} vs scalar {s}"
+                );
+                assert_eq!(b as u64, s as u64, "landed in different cycles");
+                assert!(c.vulnerability_at(b as u64) > 0.0, "batch landed on a dead cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inverse_pins_zero_run_boundaries_like_the_scalar_probe() {
+        // Same fixture as inverse_lookup_skips_zero_segments_at_boundaries:
+        // boundary masses share a prefix value with a dead run and must
+        // resolve to the next vulnerable segment's start, exactly.
+        let src = IntervalTrace::from_levels(&[1.0, 0.0, 0.0, 0.5, 0.0, 1.0, 0.0]).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        let mut masses = [1.0, 1.5, 0.0, 1.25, 2.0];
+        c.phase_at_cumulative_batch(&mut masses);
+        assert_eq!(masses[0], 3.0);
+        assert_eq!(masses[1], 5.0);
+        assert_eq!(masses[2], 0.0);
+        assert!((masses[3] - 3.5).abs() < 1e-12);
+        assert!((masses[4] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_inverse_clamps_the_extremes_inside_the_period() {
+        let src = IntervalTrace::busy_idle(25, 75).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        // At m → total⁻ the phase must stay strictly inside the vulnerable
+        // segment; slight underflow clamps to phase 0 instead of NaN-ing.
+        let mut masses = [c.total_mass().next_down(), -1e-12, 0.0];
+        c.phase_at_cumulative_batch(&mut masses);
+        assert!(masses[0] < 25.0, "m→total⁻ escaped the busy half: {}", masses[0]);
+        assert_eq!(masses[1], 0.0);
+        assert_eq!(masses[2], 0.0);
+        for p in masses {
+            assert!(c.vulnerability_at(p as u64) > 0.0);
+        }
+
+        let dead = CompiledTrace::compile(&IntervalTrace::from_levels(&[0.0, 0.0]).unwrap());
+        let mut masses = [0.5, 0.0];
+        dead.unwrap().phase_at_cumulative_batch(&mut masses);
+        assert_eq!(masses, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_cumulative_matches_pointwise_queries() {
+        let src = IntervalTrace::from_levels(&random_levels(17, 64)).unwrap();
+        let c = CompiledTrace::compile(&src).unwrap();
+        let phases: Vec<f64> = (0..=256).map(|k| f64::from(k) / 4.0).collect();
+        let mut out = vec![0.0; phases.len()];
+        c.cumulative_at_batch(&phases, &mut out);
+        for (&p, &got) in phases.iter().zip(&out) {
+            assert_eq!(got, c.cumulative_at(p), "phase {p}");
+        }
     }
 
     #[test]

@@ -24,10 +24,11 @@ RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-m
 # binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
 
-# Perf smoke: regenerates BENCH_engines.json (schema v5) and, on the
-# low-AVF sampler duel inside it, asserts the Λ-inversion sampler stays
-# >=10x faster than the event-loop walk — the binary aborts if the O(1)
-# contract regresses.
+# Perf smoke: regenerates BENCH_engines.json (schema v6) and, on the
+# low-AVF three-way sampler duel inside it, asserts the Λ-inversion
+# sampler stays >=10x faster than the event-loop walk AND the batched
+# inversion sampler stays >=5x faster than the scalar one — the binary
+# aborts if either contract regresses.
 cargo run --release -p serr-bench --bin bench_smoke -- target/bench-smoke.json
 
 # Observability smoke: a metrics-instrumented mttf run must produce

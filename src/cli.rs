@@ -438,10 +438,10 @@ pub const USAGE: &str = "\
 serr — architecture-level soft error analysis (DSN 2007 reproduction)
 
 USAGE:
-  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--sampler inversion|event-loop] [--deadline <secs>] [--metrics PATH]
-  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler inversion|event-loop] [--deadline <secs>] [--metrics PATH]
+  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
+  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
   serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--metrics PATH]
-  serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
+  serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler batched-inversion|inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
   serr workloads
   serr help
 
@@ -450,10 +450,14 @@ WORKLOADS <W>:
 
 FLAGS:
   --sampler <S>      time-to-failure sampler for the Monte Carlo trials:
-                     `inversion` (default) draws one Exp(1) variate per trial
-                     and inverts the cumulative-vulnerability function in
-                     O(1); `event-loop` replays the classic per-error walk —
-                     same distribution, kept as a cross-check oracle
+                     `batched-inversion` (default) inverts the cumulative-
+                     vulnerability function over whole trial chunks at once —
+                     counter-based RNG, structure-of-arrays buffers, branchless
+                     array passes; `inversion` is the same O(1)-per-trial
+                     transform one scalar trial at a time (the batched
+                     sampler's oracle); `event-loop` replays the classic
+                     per-error walk — same distribution, slowest, the
+                     assumption-free cross-check
   --deadline <secs>  wall-clock budget for the Monte Carlo run; on expiry the
                      estimate is returned from the trials completed so far,
                      marked truncated, with a correspondingly wider CI
@@ -834,7 +838,7 @@ mod tests {
                 workload: WorkloadSpec::Day,
                 rate_per_year: 1.0,
                 trials: 100_000,
-                sampler: SamplerKind::Inversion,
+                sampler: SamplerKind::BatchedInversion,
                 deadline_s: None,
                 metrics: None
             }
@@ -872,8 +876,9 @@ mod tests {
         assert_eq!(Command::parse(&["--help"]).unwrap(), Command::Help);
     }
 
-    /// `--sampler` parses both kinds, defaults to inversion everywhere, and
-    /// rejects unknown names with a message naming the bad value.
+    /// `--sampler` parses all three kinds, defaults to batched-inversion
+    /// everywhere, and rejects unknown names with a message naming the bad
+    /// value.
     #[test]
     fn sampler_flag_parses_and_defaults() {
         for (sub, tail) in [("mttf", vec![]), ("sofr", vec!["-c", "10"])] {
@@ -881,16 +886,20 @@ mod tests {
             base.extend(&tail);
             let default = Command::parse(&base).unwrap();
             let mut explicit = base.clone();
-            explicit.extend(["--sampler", "inversion"]);
+            explicit.extend(["--sampler", "batched-inversion"]);
             assert_eq!(default, Command::parse(&explicit).unwrap());
 
-            let mut ev = base.clone();
-            ev.extend(["--sampler", "event-loop"]);
-            let got = match Command::parse(&ev).unwrap() {
-                Command::Mttf { sampler, .. } | Command::Sofr { sampler, .. } => sampler,
-                other => panic!("expected mttf/sofr, got {other:?}"),
-            };
-            assert_eq!(got, SamplerKind::EventLoop);
+            for (label, want) in
+                [("inversion", SamplerKind::Inversion), ("event-loop", SamplerKind::EventLoop)]
+            {
+                let mut flagged = base.clone();
+                flagged.extend(["--sampler", label]);
+                let got = match Command::parse(&flagged).unwrap() {
+                    Command::Mttf { sampler, .. } | Command::Sofr { sampler, .. } => sampler,
+                    other => panic!("expected mttf/sofr, got {other:?}"),
+                };
+                assert_eq!(got, want);
+            }
 
             let mut bad = base.clone();
             bad.extend(["--sampler", "quantum"]);
@@ -1087,7 +1096,7 @@ mod tests {
                 campaigns: 40,
                 seed: 0xBEEF,
                 trials: 2500,
-                sampler: SamplerKind::Inversion,
+                sampler: SamplerKind::BatchedInversion,
                 kinds: Some(vec![FaultKind::ChunkPanic, FaultKind::RatePoison]),
                 jsonl: Some(std::path::PathBuf::from("/tmp/out.jsonl")),
             }

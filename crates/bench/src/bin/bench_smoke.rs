@@ -2,18 +2,23 @@
 //!
 //! Criterion gives statistically careful numbers but its reports are for
 //! humans; this binary runs a small, fixed subset of the `engines` bench
-//! plus one figure sweep and writes the timings as JSON to
-//! `BENCH_engines.json` at the repository root, so successive PRs leave a
-//! perf trajectory that tooling can diff.
+//! plus one figure sweep, a checkpoint/chaos probe, and a `serr serve`
+//! service probe, and writes the results as JSON to `BENCH_engines.json`
+//! at the repository root, so successive PRs leave a perf trajectory that
+//! tooling can diff.
 //!
 //! Usage: `cargo run --release -p serr-bench --bin bench_smoke [out.json]`
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serr_core::experiments::{fig5, fig5_sweep, ExperimentConfig};
-use serr_core::prelude::{run_chaos, ChaosConfig, Provenance, SweepOptions, Workload};
+use serr_core::prelude::{
+    run_chaos, ChaosConfig, Provenance, SweepOptions, Workload, WorkloadSpec,
+};
+use serr_inject::{FaultKind, FaultPlan};
 use serr_mc::{MonteCarlo, MonteCarloConfig, SamplerKind};
 use serr_obs::{Event, Obs, Value};
+use serr_serve::{Bind, Client, Request, RequestBody, Response, ServeConfig, Server};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, RawErrorRate};
 
@@ -51,6 +56,52 @@ fn time<R>(name: &'static str, iters: u32, mut f: impl FnMut() -> R) -> Timing {
         min = min.min(dt);
     }
     Timing { name, iterations: iters, mean_ms: total / f64::from(iters), min_ms: min }
+}
+
+/// A unique estimation request for the service probe: the duty-cycle
+/// spelling varies the workload and the rate varies with `i`, so no two
+/// requests share a canonical body and none short-circuits through the
+/// daemon's resume map.
+fn serve_request(i: u64, trials: u64) -> Request {
+    let duty = ["duty:0.002:0.5", "duty:0.004:0.25", "duty:0.001:0.75", "duty:0.003:0.4"]
+        [usize::try_from(i % 4).expect("i % 4 fits usize")];
+    Request {
+        id: i,
+        deadline_ms: None,
+        tag: Some(i),
+        body: RequestBody::Mttf {
+            workload: WorkloadSpec::parse(duty).expect("duty workload parses"),
+            rate_per_year: 1.0e6 * (1.0 + i as f64 / 100.0),
+            trials,
+            sampler: SamplerKind::default(),
+        },
+    }
+}
+
+/// Snapshot of the daemon's counters via a `stats` request.
+fn serve_stats(client: &mut Client) -> Vec<(String, u64)> {
+    let resp = client
+        .roundtrip(&Request { id: 9_999, deadline_ms: None, tag: None, body: RequestBody::Stats })
+        .expect("stats io")
+        .expect("stats response");
+    match resp {
+        Response::Stats { counters, .. } => counters,
+        other => panic!("stats request answered with {other:?}"),
+    }
+}
+
+fn serve_counter(counters: &[(String, u64)], name: &str) -> u64 {
+    counters.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v)
+}
+
+/// Graceful shutdown: request, assert the ack, and join the daemon.
+fn shut_down_service(client: &mut Client, server: Server) {
+    let ack = client
+        .roundtrip(&Request { id: 0, deadline_ms: None, tag: None, body: RequestBody::Shutdown })
+        .expect("shutdown io")
+        .expect("shutdown ack");
+    assert!(matches!(ack, Response::ShutdownAck { .. }), "expected shutdown ack, got {ack:?}");
+    server.wait();
 }
 
 fn main() {
@@ -271,6 +322,133 @@ fn main() {
     );
     assert!(chaos.is_sound(), "chaos smoke campaign produced a silently wrong result");
 
+    // Service probe (schema v7): the `serr serve` daemon exercised
+    // in-process over unix sockets, three short campaigns. (a) Pipelined
+    // unique requests against a healthy server measure sustained JSONL
+    // throughput. (b) A worker-starved server (zero estimate slots,
+    // depth-1 queues) must shed every request — through admission control
+    // or the shutdown drain — never hang or drop one. (c) A chaos
+    // campaign under injected worker panics must restart one estimate
+    // slot per panic. The counts land in the JSON so a perf-tracking diff
+    // also notices if service throughput, the backpressure contract, or
+    // the supervision loop regresses.
+    let serve_dir = std::env::temp_dir().join("serr-bench-smoke-serve");
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    std::fs::create_dir_all(&serve_dir).expect("create service probe dir");
+
+    let (serve_obs, _serve_sink) = Obs::memory();
+    let mut serve_cfg = ServeConfig::new(Bind::Unix(serve_dir.join("throughput.sock")));
+    serve_cfg.obs = serve_obs;
+    serve_cfg.mc_threads = 1;
+    let server = Server::start(serve_cfg).expect("throughput server starts");
+    let mut client = Client::connect(server.bind_addr()).expect("connect throughput server");
+    let serve_n = 32u64;
+    let t0 = Instant::now();
+    for i in 0..serve_n {
+        client.send_line(&serve_request(i, 2_000).to_line()).expect("pipeline request");
+    }
+    for _ in 0..serve_n {
+        let line = client.recv_line().expect("recv").expect("pipelined response line");
+        let resp = Response::parse(&line).expect("response parses");
+        assert_eq!(resp.state(), "result", "clean service request must terminate as `result`");
+    }
+    let throughput_rps = serve_n as f64 / t0.elapsed().as_secs_f64();
+    shut_down_service(&mut client, server);
+
+    let mut shed_cfg = ServeConfig::new(Bind::Unix(serve_dir.join("shed.sock")));
+    shed_cfg.compile_workers = 1;
+    shed_cfg.estimate_workers = 0;
+    shed_cfg.queue_depth = 1;
+    shed_cfg.journal_dir = Some(serve_dir.join("shed-journal"));
+    shed_cfg.mc_threads = 1;
+    let server = Server::start(shed_cfg).expect("shed server starts");
+    let mut client = Client::connect(server.bind_addr()).expect("connect shed server");
+    let shed_n = 6u64;
+    for i in 0..shed_n {
+        client.send_line(&serve_request(100 + i, 2_000).to_line()).expect("pipeline request");
+    }
+    client
+        .send_line(
+            &Request { id: 0, deadline_ms: None, tag: None, body: RequestBody::Shutdown }.to_line(),
+        )
+        .expect("send shutdown");
+    let mut shed = 0u64;
+    let mut acked = false;
+    while let Some(line) = client.recv_line().expect("recv") {
+        match Response::parse(&line).expect("response parses") {
+            Response::Shed { .. } => shed += 1,
+            Response::ShutdownAck { .. } => acked = true,
+            other => panic!("worker-starved server produced {other:?}"),
+        }
+        if acked && shed == shed_n {
+            break;
+        }
+    }
+    assert!(acked, "shed server never acknowledged shutdown");
+    assert_eq!(shed, shed_n, "a worker-starved depth-1 server must shed every request");
+    server.wait();
+
+    // The injected panics below are supervised crashes, not bugs: silence
+    // the default hook for the daemon's own worker threads only, so a
+    // genuine assertion failure in this binary still prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let in_service_worker =
+            std::thread::current().name().is_some_and(|n| n.starts_with("serr-serve"));
+        if !in_service_worker {
+            default_hook(info);
+        }
+    }));
+    let (panic_obs, _panic_sink) = Obs::memory();
+    let mut panic_cfg = ServeConfig::new(Bind::Unix(serve_dir.join("panic.sock")));
+    panic_cfg.chaos = Some(FaultPlan::new(0xB0B, FaultKind::ServeWorkerPanic));
+    panic_cfg.obs = panic_obs;
+    panic_cfg.mc_threads = 1;
+    let server = Server::start(panic_cfg).expect("panic server starts");
+    let mut client = Client::connect(server.bind_addr()).expect("connect panic server");
+    let panic_n = 16u64;
+    for i in 0..panic_n {
+        let resp = client
+            .roundtrip(&serve_request(200 + i, 1_000))
+            .expect("request io")
+            .expect("response under panic chaos");
+        assert!(
+            matches!(resp.state(), "result" | "error"),
+            "panic-chaos request terminated as {}",
+            resp.state()
+        );
+    }
+    let injected_panics = serve_counter(&serve_stats(&mut client), "serve.injected_panics");
+    assert!(injected_panics >= 1, "seeded plan must panic at least one of {panic_n} workers");
+    // The worker answers its request before dying, so the final restart
+    // may still be in flight: poll until the supervisor catches up.
+    let catch_up = Instant::now() + Duration::from_secs(60);
+    let worker_restarts = loop {
+        let restarts = serve_counter(&serve_stats(&mut client), "serve.worker_restarts");
+        if restarts >= injected_panics {
+            break restarts;
+        }
+        assert!(
+            Instant::now() < catch_up,
+            "supervisor stuck at {restarts} restarts for {injected_panics} injected panics"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    shut_down_service(&mut client, server);
+    let _ = std::fs::remove_dir_all(&serve_dir);
+
+    let service_json = format!(
+        "  \"service\": {{\"requests\": {}, \"throughput_rps\": {throughput_rps:.1}, \
+         \"shed\": {shed}, \"worker_restarts\": {worker_restarts}, \
+         \"injected_panics\": {injected_panics}}},",
+        serve_n + shed_n + panic_n
+    );
+    println!(
+        "service probe: {serve_n} pipelined requests at {throughput_rps:.1} rps, \
+         {shed} shed on the starved server, {worker_restarts} worker restarts \
+         for {injected_panics} injected panics"
+    );
+
     let entries: Vec<String> = timings
         .iter()
         .map(|t| {
@@ -281,10 +459,11 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 6,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 7,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         sampler_json,
         checkpoint_json,
         chaos_json,
+        service_json,
         stages_json,
         convergence_json,
         entries.join(",\n")

@@ -67,7 +67,7 @@ impl Default for ChaosConfig {
             trials: 3_000,
             threads: 0,
             sampler: SamplerKind::default(),
-            kinds: FaultKind::ALL.to_vec(),
+            kinds: FaultKind::CORE.to_vec(),
             scratch_dir: None,
             obs: None,
         }
@@ -286,6 +286,19 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
             FaultKind::JournalCorrupt => journal_corrupt_campaign(&scratch, plan, campaign)?,
             FaultKind::JournalLock => journal_lock_campaign(&scratch, plan, campaign)?,
             FaultKind::CacheCorrupt => cache_corrupt_campaign(&scratch, plan, campaign)?,
+            // The serve-layer kinds need a running service to mean
+            // anything; the request soak in `serr-serve` injects them.
+            kind if kind.is_serve() => {
+                return Err(SerrError::invalid_config(format!(
+                    "fault kind {kind} targets the serving layer; run the serr-serve chaos \
+                     soak instead of an estimator campaign"
+                )))
+            }
+            kind => {
+                return Err(SerrError::invalid_config(format!(
+                    "fault kind {kind} has no estimator campaign"
+                )))
+            }
         };
         emit_verdict(cfg.obs.as_ref().unwrap_or_else(|| serr_obs::global()), &outcome);
         outcomes.push(outcome);
@@ -554,7 +567,7 @@ mod tests {
 
     #[test]
     fn small_campaign_run_is_sound_and_covers_all_kinds() {
-        let cfg = quick_cfg(FaultKind::ALL.len() * 2, 0xABCD);
+        let cfg = quick_cfg(FaultKind::CORE.len() * 2, 0xABCD);
         let report = run_chaos(&cfg).unwrap();
         assert_eq!(report.outcomes.len(), cfg.campaigns);
         assert!(
@@ -562,16 +575,16 @@ mod tests {
             "misses: {:?}",
             report.outcomes.iter().filter(|o| o.miss).collect::<Vec<_>>()
         );
-        for kind in FaultKind::ALL {
+        for kind in FaultKind::CORE {
             assert!(report.outcomes.iter().any(|o| o.kind == kind), "kind {kind} never ran");
         }
     }
 
     #[test]
     fn campaign_outcomes_replay_identically() {
-        let cfg = quick_cfg(FaultKind::ALL.len(), 0x5EED);
+        let cfg = quick_cfg(FaultKind::CORE.len(), 0x5EED);
         let a = run_chaos(&cfg).unwrap();
-        let mut cfg_mt = quick_cfg(FaultKind::ALL.len(), 0x5EED);
+        let mut cfg_mt = quick_cfg(FaultKind::CORE.len(), 0x5EED);
         cfg_mt.threads = 4;
         let b = run_chaos(&cfg_mt).unwrap();
         let tags =
@@ -582,7 +595,7 @@ mod tests {
     #[test]
     fn every_campaign_emits_one_verdict_event() {
         let (obs, sink) = Obs::memory();
-        let mut cfg = quick_cfg(FaultKind::ALL.len(), 0xE4E7);
+        let mut cfg = quick_cfg(FaultKind::CORE.len(), 0xE4E7);
         cfg.obs = Some(obs);
         let report = run_chaos(&cfg).unwrap();
         let verdicts = sink.events_of("chaos.verdict");

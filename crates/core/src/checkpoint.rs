@@ -59,6 +59,7 @@ use serr_types::SerrError;
 
 use crate::jsonio::Json;
 use crate::par;
+use crate::retry::{retry_with_backoff, BackoffPolicy};
 
 /// How a sweep interacts with its checkpoint journal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -309,6 +310,41 @@ impl Journal {
         fingerprint: u64,
         fresh: bool,
     ) -> Result<Journal, SerrError> {
+        Self::open_inner(dir, kind, fingerprint, fresh)
+    }
+
+    /// [`Journal::open`] wrapped in [`retry_with_backoff`]: a journal
+    /// locked by a process that is just shutting down (the common transient
+    /// — e.g. a draining service handing over to its replacement) is
+    /// retried on the bounded, jitter-deterministic schedule instead of
+    /// failing the first probe. A lock held by a *live* writer still
+    /// defeats every attempt and returns the same typed error as before.
+    ///
+    /// # Errors
+    ///
+    /// [`SerrError::JournalLocked`] once retries are exhausted, or any
+    /// non-transient [`Journal::open`] error unchanged from the first try.
+    pub fn open_with_retry(
+        dir: &Path,
+        kind: &str,
+        fingerprint: u64,
+        fresh: bool,
+        policy: &BackoffPolicy,
+    ) -> Result<Journal, SerrError> {
+        retry_with_backoff(
+            policy,
+            |_| Self::open_inner(dir, kind, fingerprint, fresh),
+            |e| matches!(e, SerrError::JournalLocked { .. }),
+            std::thread::sleep,
+        )
+    }
+
+    fn open_inner(
+        dir: &Path,
+        kind: &str,
+        fingerprint: u64,
+        fresh: bool,
+    ) -> Result<Journal, SerrError> {
         fs::create_dir_all(dir)
             .map_err(|e| SerrError::io("create checkpoint directory", e.to_string()))?;
         let path = journal_path(dir, kind, fingerprint);
@@ -452,7 +488,11 @@ where
                 warn_open("injected i/o fault at open".to_owned());
                 None
             } else {
-                match Journal::open(&dir, kind, fingerprint, fresh) {
+                // A lock holder that is mid-shutdown clears within the
+                // bounded retry schedule; a genuinely live writer defeats
+                // every attempt and the typed error stays fatal.
+                let policy = BackoffPolicy::journal(fingerprint);
+                match Journal::open_with_retry(&dir, kind, fingerprint, fresh, &policy) {
                     Ok(j) => Some(j),
                     Err(e @ SerrError::JournalLocked { .. }) => return Err(e),
                     Err(e) => {
@@ -783,6 +823,35 @@ mod tests {
         drop(held);
         let report = run_sweep("t-lock", fp, &items, 2, &opts, eval_row).unwrap();
         assert_eq!(report.rows.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_with_retry_outlasts_a_holder_that_is_shutting_down() {
+        let dir = fresh_test_dir("retry-open");
+        let fp = fingerprint(&["retry-open-test"]);
+        let held = Journal::open(&dir, "t-retry", fp, false).unwrap();
+
+        // Release the lock partway through the retry schedule; the
+        // contender's later attempt then succeeds where the first failed.
+        let policy = BackoffPolicy::journal(fp);
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(policy.delay(0) / 2);
+            drop(held);
+        });
+        let j = Journal::open_with_retry(&dir, "t-retry", fp, false, &policy)
+            .expect("retry must outlast a shutting-down holder");
+        release.join().expect("release thread");
+        drop(j);
+
+        // A holder that never releases still defeats every attempt with
+        // the same typed error the fail-fast path produced.
+        let held = Journal::open(&dir, "t-retry", fp, false).unwrap();
+        assert!(matches!(
+            Journal::open_with_retry(&dir, "t-retry", fp, false, &policy),
+            Err(SerrError::JournalLocked { .. })
+        ));
+        drop(held);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -61,6 +61,18 @@ impl ExperimentConfig {
         }
     }
 
+    /// The interactive front-end configuration, shared by the `serr` CLI
+    /// and the `serr serve` daemon: [`Self::quick`]'s seed and trial count
+    /// with longer simulations (300k instructions) so `spec:` workloads
+    /// develop realistic phase structure. The two front ends **must** build
+    /// traces from the same config — the service's bit-parity contract with
+    /// the batch CLI depends on it — so neither is allowed its own copy of
+    /// these numbers.
+    #[must_use]
+    pub fn cli() -> Self {
+        ExperimentConfig { sim_instructions: 300_000, ..Self::quick() }
+    }
+
     /// Paper-scale trace lengths: 8M instructions of detailed simulation
     /// per benchmark (the paper uses 100M). At this length the SPEC
     /// program-phase windows are long enough for the Figure 6(a) corner

@@ -49,8 +49,10 @@ pub mod jsonio;
 pub mod par;
 pub mod pipeline;
 pub mod rates;
+pub mod retry;
 pub mod sofr;
 pub mod validate;
+pub mod workspec;
 
 /// Convenient re-exports for downstream code and examples.
 pub mod prelude {
@@ -76,5 +78,7 @@ pub mod prelude {
     pub use crate::design::{DesignPoint, DesignSpace, Workload};
     pub use crate::guard::{classify_estimate, Guard, GuardPolicy, GuardedMttf};
     pub use crate::rates::UnitRates;
+    pub use crate::retry::{retry_with_backoff, BackoffPolicy};
     pub use crate::validate::{ComponentValidation, SystemValidation, Validator};
+    pub use crate::workspec::WorkloadSpec;
 }

@@ -1,0 +1,206 @@
+//! Deterministic bounded retry with exponential backoff and SplitMix64
+//! jitter.
+//!
+//! Transient contention — most concretely another process briefly holding a
+//! checkpoint journal's advisory lock while it shuts down — should not fail
+//! an otherwise healthy run, but unbounded retries would turn a genuinely
+//! held lock into a hang. [`retry_with_backoff`] bounds both directions:
+//! a fixed attempt budget, exponentially growing delays capped at a
+//! maximum, and jitter drawn from the same SplitMix64 generator the fault
+//! injectors use, so a chaos replay with the same [`BackoffPolicy`] sees
+//! the *same* delay schedule. The clock is injectable (the `sleep` closure)
+//! so tests replay schedules instantly and services substitute their own
+//! timers.
+
+use std::time::Duration;
+
+use serr_inject::rng::{mix, unit};
+use serr_types::SerrError;
+
+/// Retry schedule: bounded attempts, exponential backoff, deterministic
+/// jitter.
+///
+/// The delay before retry `k` (zero-based) is the exponential target
+/// `base_delay · 2^k`, capped at `max_delay`, scaled by a jitter factor in
+/// `[0.5, 1.0)` derived from `mix(&[jitter_seed, k])` — fully determined
+/// by the policy, so reproducible across runs and processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total attempts (initial try included). Zero is treated as one: the
+    /// operation always runs at least once.
+    pub max_attempts: u32,
+    /// Exponential base delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay (applied before jitter).
+    pub max_delay: Duration,
+    /// Seed for the SplitMix64 jitter stream; replaying with the same seed
+    /// replays the same schedule.
+    pub jitter_seed: u64,
+}
+
+impl BackoffPolicy {
+    /// A short schedule for lock contention on local files: 3 attempts,
+    /// 5 ms base, 20 ms cap — worst case under 35 ms of waiting, which a
+    /// test suite can afford and a genuinely held lock still defeats.
+    #[must_use]
+    pub fn journal(jitter_seed: u64) -> Self {
+        BackoffPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            jitter_seed,
+        }
+    }
+
+    /// The deterministic delay before zero-based retry `attempt`.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let target = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt.min(30)))
+            .min(self.max_delay);
+        let jitter = 0.5 + 0.5 * unit(mix(&[self.jitter_seed, u64::from(attempt)]));
+        target.mul_f64(jitter)
+    }
+}
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping `policy.delay(k)`
+/// via the injectable `sleep` closure between attempts, as long as
+/// `retryable` classifies the error as transient.
+///
+/// `op` receives the zero-based attempt index. The first non-retryable
+/// error — and the final error once attempts are exhausted — is returned
+/// unchanged, so callers that matched on a typed error (for example
+/// [`SerrError::JournalLocked`]) before retries existed still see it.
+///
+/// # Errors
+///
+/// The last error returned by `op`, once attempts are exhausted or the
+/// error is not retryable.
+pub fn retry_with_backoff<T>(
+    policy: &BackoffPolicy,
+    mut op: impl FnMut(u32) -> Result<T, SerrError>,
+    mut retryable: impl FnMut(&SerrError) -> bool,
+    mut sleep: impl FnMut(Duration),
+) -> Result<T, SerrError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut k = 0;
+    loop {
+        match op(k) {
+            Ok(v) => return Ok(v),
+            Err(e) if k + 1 < attempts && retryable(&e) => {
+                sleep(policy.delay(k));
+                k += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recording_sleep(log: &mut Vec<Duration>) -> impl FnMut(Duration) + '_ {
+        |d| log.push(d)
+    }
+
+    #[test]
+    fn delays_are_deterministic_bounded_and_jittered() {
+        let p = BackoffPolicy::journal(0xBACC_0FF);
+        let again = BackoffPolicy::journal(0xBACC_0FF);
+        for k in 0..8 {
+            assert_eq!(p.delay(k), again.delay(k), "same policy, same schedule");
+            let target = p.base_delay.saturating_mul(2u32.pow(k.min(30))).min(p.max_delay);
+            assert!(p.delay(k) >= target.mul_f64(0.5), "jitter floor is half the target");
+            assert!(p.delay(k) < target, "jitter never exceeds the capped target");
+        }
+        let other = BackoffPolicy { jitter_seed: 1, ..p };
+        assert!(
+            (0..8).any(|k| other.delay(k) != p.delay(k)),
+            "different seeds must produce different schedules"
+        );
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures_with_the_policy_schedule() {
+        let p = BackoffPolicy::journal(7);
+        let mut slept = Vec::new();
+        let mut calls = 0u32;
+        let got = retry_with_backoff(
+            &p,
+            |k| {
+                assert_eq!(k, calls, "op sees the attempt index");
+                calls += 1;
+                if calls < 3 {
+                    Err(SerrError::JournalLocked { path: "j.lock".into() })
+                } else {
+                    Ok(42)
+                }
+            },
+            |e| matches!(e, SerrError::JournalLocked { .. }),
+            recording_sleep(&mut slept),
+        );
+        assert_eq!(got, Ok(42));
+        assert_eq!(calls, 3);
+        assert_eq!(slept, vec![p.delay(0), p.delay(1)], "one sleep per failed attempt");
+    }
+
+    #[test]
+    fn exhausted_attempts_return_the_typed_error_unchanged() {
+        let p = BackoffPolicy::journal(7);
+        let mut slept = Vec::new();
+        let mut calls = 0u32;
+        let got: Result<(), SerrError> = retry_with_backoff(
+            &p,
+            |_| {
+                calls += 1;
+                Err(SerrError::JournalLocked { path: "held.lock".into() })
+            },
+            |e| matches!(e, SerrError::JournalLocked { .. }),
+            recording_sleep(&mut slept),
+        );
+        match got {
+            Err(SerrError::JournalLocked { path }) => assert_eq!(path, "held.lock"),
+            other => panic!("expected JournalLocked, got {other:?}"),
+        }
+        assert_eq!(calls, p.max_attempts);
+        assert_eq!(slept.len(), p.max_attempts as usize - 1);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast_without_sleeping() {
+        let p = BackoffPolicy::journal(7);
+        let mut slept = Vec::new();
+        let mut calls = 0u32;
+        let got: Result<(), SerrError> = retry_with_backoff(
+            &p,
+            |_| {
+                calls += 1;
+                Err(SerrError::invalid_config("permanent"))
+            },
+            |e| matches!(e, SerrError::JournalLocked { .. }),
+            recording_sleep(&mut slept),
+        );
+        assert!(got.is_err());
+        assert_eq!(calls, 1);
+        assert!(slept.is_empty());
+    }
+
+    #[test]
+    fn zero_attempt_policies_still_run_the_operation_once() {
+        let p = BackoffPolicy { max_attempts: 0, ..BackoffPolicy::journal(0) };
+        let mut calls = 0u32;
+        let got = retry_with_backoff(
+            &p,
+            |_| {
+                calls += 1;
+                Ok(7)
+            },
+            |_| true,
+            |_| {},
+        );
+        assert_eq!(got, Ok(7));
+        assert_eq!(calls, 1);
+    }
+}

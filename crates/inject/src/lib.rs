@@ -43,6 +43,7 @@ const SALT_TRACE: u64 = 0x03;
 const SALT_RATE: u64 = 0x04;
 const SALT_IO: u64 = 0x05;
 const SALT_FILE: u64 = 0x06;
+const SALT_SERVE: u64 = 0x07;
 
 /// The injector families a [`FaultPlan`] can select.
 ///
@@ -80,11 +81,41 @@ pub enum FaultKind {
     JournalLock,
     /// Corrupt or truncate a trace-cache file on disk.
     CacheCorrupt,
+    /// Panic inside a service estimation worker mid-request; the worker
+    /// thread dies and the supervisor must restart it.
+    ServeWorkerPanic,
+    /// Stall a service worker for a plan-chosen number of milliseconds
+    /// before it touches its request, modeling a slow or wedged worker.
+    ServeWorkerStall,
+    /// Deliver a malformed or oversized request frame to the service.
+    ServeFrameCorrupt,
+    /// Drop the client socket mid-response, after the estimate computed.
+    ServeSocketDrop,
 }
 
 impl FaultKind {
     /// Every injector kind, in a fixed order campaigns cycle through.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 14] = [
+        FaultKind::TraceValueFlip,
+        FaultKind::TracePrefixPerturb,
+        FaultKind::TraceConsistentCorrupt,
+        FaultKind::ChunkPanic,
+        FaultKind::DeadlineExhaust,
+        FaultKind::RatePoison,
+        FaultKind::CheckpointIo,
+        FaultKind::JournalCorrupt,
+        FaultKind::JournalLock,
+        FaultKind::CacheCorrupt,
+        FaultKind::ServeWorkerPanic,
+        FaultKind::ServeWorkerStall,
+        FaultKind::ServeFrameCorrupt,
+        FaultKind::ServeSocketDrop,
+    ];
+
+    /// The estimator- and disk-level kinds `serr_core`'s chaos campaigns
+    /// exercise. The serve-layer kinds below are injected by the `serr-serve`
+    /// request soak instead: they need a running service to mean anything.
+    pub const CORE: [FaultKind; 10] = [
         FaultKind::TraceValueFlip,
         FaultKind::TracePrefixPerturb,
         FaultKind::TraceConsistentCorrupt,
@@ -96,6 +127,21 @@ impl FaultKind {
         FaultKind::JournalLock,
         FaultKind::CacheCorrupt,
     ];
+
+    /// The service-layer kinds, in the order the serve soak cycles through.
+    pub const SERVE: [FaultKind; 4] = [
+        FaultKind::ServeWorkerPanic,
+        FaultKind::ServeWorkerStall,
+        FaultKind::ServeFrameCorrupt,
+        FaultKind::ServeSocketDrop,
+    ];
+
+    /// True for the service-layer kinds (injected per request by
+    /// `serr-serve`, not per chunk/file by the estimator campaigns).
+    #[must_use]
+    pub fn is_serve(self) -> bool {
+        FaultKind::SERVE.contains(&self)
+    }
 
     /// Stable kebab-case label used in CLI output and JSONL rows.
     #[must_use]
@@ -111,6 +157,10 @@ impl FaultKind {
             FaultKind::JournalCorrupt => "journal-corrupt",
             FaultKind::JournalLock => "journal-lock",
             FaultKind::CacheCorrupt => "cache-corrupt",
+            FaultKind::ServeWorkerPanic => "serve-worker-panic",
+            FaultKind::ServeWorkerStall => "serve-worker-stall",
+            FaultKind::ServeFrameCorrupt => "serve-frame-corrupt",
+            FaultKind::ServeSocketDrop => "serve-socket-drop",
         }
     }
 
@@ -183,6 +233,33 @@ impl FileCorruption {
             *b ^= self.xor_mask;
         }
     }
+}
+
+/// A service-layer fault to inject while handling one request, fully
+/// parameterized (see [`FaultPlan::serve_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Panic inside the estimation worker before it computes the request;
+    /// the worker thread dies and the supervisor must restart it while the
+    /// request still reaches a typed terminal state.
+    WorkerPanic,
+    /// Sleep `stall_ms` milliseconds before touching the request (5..30 —
+    /// long enough to back up a bounded queue, short enough for soaks).
+    WorkerStall {
+        /// The injected stall, in milliseconds.
+        stall_ms: u64,
+    },
+    /// Mangle the request frame before it is sent: either garbage bytes
+    /// (`oversized == false`) or a frame longer than the protocol's limit.
+    FrameCorrupt {
+        /// If true, inflate the frame past the size limit instead of
+        /// corrupting its bytes.
+        oversized: bool,
+    },
+    /// Drop the client connection mid-response, after the estimate
+    /// computed — the server-side ledger must still record the terminal
+    /// state exactly once.
+    SocketDrop,
 }
 
 /// A replayable fault-injection campaign spec: one seed, one injector kind.
@@ -273,6 +350,31 @@ impl FaultPlan {
         })
     }
 
+    /// For the serve-layer kinds, the fault to inject while handling
+    /// request number `request` (the service's admission counter), or
+    /// `None` when this request is spared. Roughly one request in four is
+    /// a victim, so a soak sees healthy and faulted requests interleaved;
+    /// the victim set is a pure function of `(seed, kind, request)` and so
+    /// identical at any worker count.
+    #[must_use]
+    pub fn serve_fault(&self, request: u64) -> Option<ServeFault> {
+        if !self.kind.is_serve() {
+            return None;
+        }
+        let h = mix(&[self.seed, SALT_SERVE, request]);
+        if h % 4 != 0 {
+            return None;
+        }
+        let detail = mix(&[h, SALT_SERVE]);
+        Some(match self.kind {
+            FaultKind::ServeWorkerPanic => ServeFault::WorkerPanic,
+            FaultKind::ServeWorkerStall => ServeFault::WorkerStall { stall_ms: 5 + detail % 25 },
+            FaultKind::ServeFrameCorrupt => ServeFault::FrameCorrupt { oversized: detail & 1 == 0 },
+            FaultKind::ServeSocketDrop => ServeFault::SocketDrop,
+            _ => unreachable!("is_serve() gated above"),
+        })
+    }
+
     /// For the on-disk corruption kinds, the deterministic corruption to
     /// apply to a file of `len` bytes. Returns `None` for other kinds or for
     /// empty files.
@@ -328,6 +430,47 @@ mod tests {
             if kind != FaultKind::ChunkPanic {
                 assert!(!(0..64).any(|c| p.chunk_panics(1, c)));
             }
+            assert_eq!((0..64).any(|r| p.serve_fault(r).is_some()), kind.is_serve());
+        }
+    }
+
+    #[test]
+    fn core_and_serve_partition_the_kinds() {
+        assert_eq!(FaultKind::CORE.len() + FaultKind::SERVE.len(), FaultKind::ALL.len());
+        for kind in FaultKind::ALL {
+            assert_eq!(
+                FaultKind::CORE.contains(&kind),
+                !FaultKind::SERVE.contains(&kind),
+                "{kind} must be in exactly one family"
+            );
+            assert_eq!(kind.is_serve(), FaultKind::SERVE.contains(&kind));
+        }
+    }
+
+    #[test]
+    fn serve_faults_spare_most_requests_and_match_their_kind() {
+        for kind in FaultKind::SERVE {
+            let p = FaultPlan::new(0x5E4E, kind);
+            let victims: Vec<u64> = (0..400).filter(|&r| p.serve_fault(r).is_some()).collect();
+            // Roughly one in four; generous bounds keep this seed-robust.
+            assert!(
+                (40..=200).contains(&victims.len()),
+                "{kind}: {} victims out of 400",
+                victims.len()
+            );
+            for &r in &victims {
+                let fault = p.serve_fault(r).expect("victim");
+                assert_eq!(p.serve_fault(r), Some(fault), "pure query");
+                match (kind, fault) {
+                    (FaultKind::ServeWorkerPanic, ServeFault::WorkerPanic)
+                    | (FaultKind::ServeFrameCorrupt, ServeFault::FrameCorrupt { .. })
+                    | (FaultKind::ServeSocketDrop, ServeFault::SocketDrop) => {}
+                    (FaultKind::ServeWorkerStall, ServeFault::WorkerStall { stall_ms }) => {
+                        assert!((5..30).contains(&stall_ms), "stall out of range: {stall_ms}");
+                    }
+                    (k, f) => panic!("kind {k} produced mismatched fault {f:?}"),
+                }
+            }
         }
     }
 
@@ -380,6 +523,12 @@ mod tests {
                     prop_assert!(c.offset < len);
                     prop_assert!(c.xor_mask != 0);
                     prop_assert_eq!(p.file_corruption(len), Some(c));
+                }
+                for r in 0..16u64 {
+                    prop_assert_eq!(p.serve_fault(r), p.serve_fault(r));
+                    if let Some(ServeFault::WorkerStall { stall_ms }) = p.serve_fault(r) {
+                        prop_assert!((5..30).contains(&stall_ms));
+                    }
                 }
             }
         }

@@ -510,12 +510,16 @@ impl MonteCarlo {
         // means.
         if deadline_expired(&started, deadline, &expired) {
             let budget_s = deadline.map_or(0.0, |d| d.as_secs_f64());
-            return Err(SerrError::DeadlineExhausted { budget_s });
+            return Err(SerrError::DeadlineExhausted {
+                budget_s,
+                elapsed_s: started.elapsed().as_secs_f64(),
+            });
         }
         // Injected deadline exhaustion at chunk 0 models the same condition.
         if chaos.and_then(|p| p.deadline_cut_chunk()) == Some(0) {
             return Err(SerrError::DeadlineExhausted {
                 budget_s: deadline.map_or(0.0, |d| d.as_secs_f64()),
+                elapsed_s: started.elapsed().as_secs_f64(),
             });
         }
         let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
@@ -818,7 +822,10 @@ mod tests {
                 ..Default::default()
             };
             match MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()) {
-                Err(SerrError::DeadlineExhausted { budget_s }) => assert_eq!(budget_s, 0.0),
+                Err(SerrError::DeadlineExhausted { budget_s, elapsed_s }) => {
+                    assert_eq!(budget_s, 0.0);
+                    assert!(elapsed_s >= 0.0, "elapsed context must be populated");
+                }
                 other => panic!("expected DeadlineExhausted, got {other:?}"),
             }
         }
@@ -994,8 +1001,9 @@ mod tests {
                 ..Default::default()
             };
             match MonteCarlo::new(cfg).component_mttf(&trace, rate, Frequency::base()) {
-                Err(SerrError::DeadlineExhausted { budget_s }) => {
+                Err(SerrError::DeadlineExhausted { budget_s, elapsed_s }) => {
                     assert!((budget_s - 1e-9).abs() < 1e-15);
+                    assert!(elapsed_s >= budget_s, "the budget was blown, not merely met");
                 }
                 Ok(est) => {
                     assert!(est.truncated);

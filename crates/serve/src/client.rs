@@ -1,0 +1,67 @@
+//! A minimal blocking JSONL client for the `serr serve` protocol — used
+//! by `serr request`, the smoke tests, and the chaos soak.
+
+use std::io::{BufRead, BufReader, Write};
+
+use crate::protocol::{Request, Response};
+use crate::server::{Bind, Stream};
+
+/// One connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    write: Stream,
+    read: BufReader<Stream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket connect failure.
+    pub fn connect(bind: &Bind) -> std::io::Result<Client> {
+        let stream = Stream::connect(bind)?;
+        let read = BufReader::new(stream.try_clone()?);
+        Ok(Client { write: stream, read })
+    }
+
+    /// Sends one raw frame line (the chaos soak uses this to deliver
+    /// deliberately corrupted frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.write.write_all(line.as_bytes())?;
+        self.write.write_all(b"\n")?;
+        self.write.flush()
+    }
+
+    /// Reads one response line. `Ok(None)` means the connection ended —
+    /// cleanly or mid-line (an injected socket drop reads as a torn
+    /// fragment with no newline; it is reported as `None` too, since a
+    /// torn line never parses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket read failures.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.read.read_line(&mut line)?;
+        if n == 0 || !line.ends_with('\n') {
+            return Ok(None);
+        }
+        Ok(Some(line.trim_end().to_owned()))
+    }
+
+    /// Sends a request and reads its response. `Ok(None)` means the
+    /// connection dropped before a complete response line arrived.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn roundtrip(&mut self, req: &Request) -> std::io::Result<Option<Response>> {
+        self.send_line(&req.to_line())?;
+        Ok(self.recv_line()?.and_then(|line| Response::parse(&line)))
+    }
+}

@@ -1,0 +1,100 @@
+//! Graceful-shutdown drain and restart-resume: a request still in flight
+//! when shutdown begins is journaled (and answered with a typed `shed`),
+//! and a fresh server on the same journal directory — same configuration
+//! fingerprint — replays it at startup, so a re-request is answered from
+//! the results journal (`resumed: true`) bit-identically to the batch
+//! computation path instead of being recomputed.
+
+use serr_core::prelude::{SamplerKind, WorkloadSpec};
+use serr_obs::Obs;
+
+use crate::client::Client;
+use crate::protocol::{Request, RequestBody, Response};
+use crate::server::{Bind, ServeConfig, Server};
+use crate::soak::{counter, direct_estimate, shut_down, stats, temp_dir, wait_for_counter};
+
+#[test]
+fn shutdown_drains_in_flight_work_and_a_fresh_server_resumes_bit_identically() {
+    let dir = temp_dir("drain");
+    let journal = dir.join("journal");
+    let body = RequestBody::Mttf {
+        workload: WorkloadSpec::parse("duty:0.002:0.5").expect("valid spec"),
+        rate_per_year: 2e6,
+        trials: 1_500,
+        sampler: SamplerKind::default(),
+    };
+
+    // Server A runs zero estimate workers: admitted work compiles, then
+    // parks in the estimate queue until the drain journals it.
+    let (obs_a, _sink_a) = Obs::memory();
+    let mut cfg = ServeConfig::new(Bind::Unix(dir.join("a.sock")));
+    cfg.estimate_workers = 0;
+    cfg.compile_workers = 1;
+    cfg.journal_dir = Some(journal.clone());
+    cfg.obs = obs_a;
+    let a = Server::start(cfg).expect("server A starts");
+    let bind_a = a.bind_addr().clone();
+
+    let mut job_client = Client::connect(&bind_a).expect("connect A");
+    let req = Request { id: 1, deadline_ms: None, tag: Some(7), body: body.clone() };
+    job_client.send_line(&req.to_line()).expect("send request");
+
+    let mut ctl = Client::connect(&bind_a).expect("control connect A");
+    // Once the compile stage has run, the job sits in the estimate queue
+    // with nobody to pop it — exactly the in-flight state drain must save.
+    wait_for_counter(&mut ctl, "serve.cache_misses", 1);
+    let shutdown = Request { id: 2, deadline_ms: None, tag: None, body: RequestBody::Shutdown };
+    let ack = ctl.roundtrip(&shutdown).expect("shutdown io").expect("shutdown ack");
+    assert!(matches!(ack, Response::ShutdownAck { .. }), "got {ack:?}");
+
+    // The drain answers the parked request with a typed shed naming the
+    // journal, not silence and not a dropped connection.
+    let line = job_client.recv_line().expect("recv").expect("drain sends a full line");
+    let shed = Response::parse(&line).expect("shed response parses");
+    match &shed {
+        Response::Shed { id: 1, reason } => {
+            assert!(reason.contains("journaled"), "shed reason: {reason}");
+        }
+        other => panic!("expected shed for the parked request, got {other:?}"),
+    }
+    a.wait();
+
+    // Server B: same journal directory, hence the same configuration
+    // fingerprint, with real workers. Startup replays the pending journal.
+    let (obs_b, _sink_b) = Obs::memory();
+    let mut cfg = ServeConfig::new(Bind::Unix(dir.join("b.sock")));
+    cfg.journal_dir = Some(journal);
+    cfg.obs = obs_b;
+    cfg.mc_threads = 1;
+    let b = Server::start(cfg).expect("server B starts");
+    let bind_b = b.bind_addr().clone();
+    let mut ctl_b = Client::connect(&bind_b).expect("connect B");
+    wait_for_counter(&mut ctl_b, "serve.replayed_pending", 1);
+    wait_for_counter(&mut ctl_b, "serve.results_published", 1);
+
+    let retry = Request { id: 3, deadline_ms: None, tag: Some(9), body: body.clone() };
+    let resp = ctl_b.roundtrip(&retry).expect("retry io").expect("retry response");
+    let est = match resp {
+        Response::Estimate { id: 3, est } => est,
+        other => panic!("expected the resumed estimate, got {other:?}"),
+    };
+    assert!(est.resumed, "answered from the results journal, not recomputed");
+    assert!(!est.truncated);
+    assert_eq!(est.provenance, "clean");
+
+    let direct = direct_estimate(&body, 0);
+    assert_eq!(
+        est.mttf_mc_s.to_bits(),
+        direct.mttf_mc_s.to_bits(),
+        "resumed estimate is bit-identical to the batch path"
+    );
+    assert_eq!(est.rel_ci95.to_bits(), direct.rel_ci95.to_bits());
+    assert_eq!(est.mttf_step_s.to_bits(), direct.mttf_step_s.to_bits());
+    assert_eq!(est.avf.to_bits(), direct.avf.to_bits());
+    assert_eq!(est.trials_done, direct.trials_done);
+
+    let counters = stats(&mut ctl_b, 4);
+    assert!(counter(&counters, "serve.resumed") >= 1, "{counters:?}");
+    assert_eq!(counter(&counters, "serve.double_terminal"), 0, "{counters:?}");
+    shut_down(&mut ctl_b, b);
+}

@@ -1,0 +1,1125 @@
+//! The `serr serve` daemon: a supervised estimation pipeline behind a
+//! JSONL socket.
+//!
+//! ```text
+//!                 ┌───────────────────────────────────────────────┐
+//!   client ──────▶│ reader thread: parse + admission control      │
+//!                 │   shed on: full queue, predicted deadline     │
+//!                 │   miss, shutdown in progress                  │
+//!                 └──────────────┬────────────────────────────────┘
+//!                    ingress queue (bounded → backpressure)
+//!                 ┌──────────────▼────────────────────────────────┐
+//!                 │ compile pool: trace cache (LRU, verify-on-hit)│
+//!                 └──────────────┬────────────────────────────────┘
+//!                    estimate queue (bounded)
+//!                 ┌──────────────▼────────────────────────────────┐
+//!                 │ estimate pool: Validator — the CLI's own path │
+//!                 │   deadline → truncated, honestly-widened CI   │
+//!                 └──────────────┬────────────────────────────────┘
+//!                 per-connection writer thread ──▶ client
+//! ```
+//!
+//! Both pools are supervised ([`crate::supervisor`]): a worker panic kills
+//! one request's worker, never the service, and the slot restarts under
+//! bounded exponential backoff. Every admitted request reaches exactly one
+//! typed terminal state (`result` | `degraded` | `shed` | `error`); the
+//! terminal ledger counts any double-completion into
+//! `serve.double_terminal`, which the chaos soak pins at zero.
+//!
+//! Estimates are **bit-identical to the batch CLI** because the service
+//! shares its entire computation path: [`ExperimentConfig::cli`],
+//! [`WorkloadSpec::trace`](serr_core::workspec::WorkloadSpec), and
+//! [`Validator`] with the same [`MonteCarloConfig`] defaults.
+//!
+//! Graceful shutdown drains both queues into the `serve-pending`
+//! checkpoint journal; a fresh server replays journaled work at startup,
+//! and completed clean results live in the `serve-results` journal, so a
+//! re-request after restart is answered from the journal (`resumed: true`)
+//! bit-identically instead of recomputed.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serr_core::checkpoint::{fingerprint, Journal};
+use serr_core::experiments::ExperimentConfig;
+use serr_core::jsonio::Json;
+use serr_core::prelude::{
+    classify_estimate, BackoffPolicy, FaultPlan, MonteCarloConfig, RawErrorRate, Validator,
+    VulnerabilityTrace, WorkloadSpec,
+};
+use serr_inject::ServeFault;
+use serr_obs::{Event, Obs};
+
+use crate::cache::{CacheOutcome, CachedTrace, TraceCache};
+use crate::protocol::{Estimate, FrameError, Request, RequestBody, Response, MAX_FRAME_BYTES};
+use crate::queue::{Bounded, PushError};
+use crate::supervisor::{Pool, WorkerExit};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7979` (`:0` picks a free port).
+    Tcp(String),
+}
+
+impl Bind {
+    /// Parses `unix:PATH` or `tcp:ADDR`.
+    ///
+    /// # Errors
+    ///
+    /// [`serr_types::SerrError::InvalidConfig`] for any other shape.
+    pub fn parse(s: &str) -> Result<Bind, serr_types::SerrError> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Bind::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Ok(Bind::Tcp(addr.to_owned()));
+        }
+        Err(serr_types::SerrError::invalid_config(format!(
+            "bind address must be unix:PATH or tcp:ADDR, got `{s}`"
+        )))
+    }
+}
+
+impl std::fmt::Display for Bind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bind::Unix(p) => write!(f, "unix:{}", p.display()),
+            Bind::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// One live client connection, unix or TCP.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    pub(crate) fn connect(bind: &Bind) -> std::io::Result<Stream> {
+        Ok(match bind {
+            Bind::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
+            Bind::Tcp(a) => Stream::Tcp(TcpStream::connect(a)?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(bind: &Bind) -> std::io::Result<Listener> {
+        match bind {
+            Bind::Unix(p) => {
+                // A stale socket file from a dead server blocks rebinding.
+                let _ = std::fs::remove_file(p);
+                Ok(Listener::Unix(UnixListener::bind(p)?, p.clone()))
+            }
+            Bind::Tcp(a) => Ok(Listener::Tcp(TcpListener::bind(a)?)),
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    fn resolved_bind(&self) -> std::io::Result<Bind> {
+        match self {
+            Listener::Unix(_, p) => Ok(Bind::Unix(p.clone())),
+            Listener::Tcp(l) => Ok(Bind::Tcp(l.local_addr()?.to_string())),
+        }
+    }
+}
+
+/// Daemon configuration. [`ServeConfig::new`] picks the defaults the CLI
+/// uses; every knob is public for tests and tuning.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Where to listen.
+    pub bind: Bind,
+    /// Compile-stage worker slots.
+    pub compile_workers: usize,
+    /// Estimate-stage worker slots. Zero is allowed (all estimate work
+    /// queues until shutdown drains it — used by the drain/resume tests).
+    pub estimate_workers: usize,
+    /// Capacity of each bounded queue; the admission controller sheds
+    /// beyond this depth.
+    pub queue_depth: usize,
+    /// Trace-cache capacity (distinct canonical workloads).
+    pub cache_capacity: usize,
+    /// Checkpoint directory for the `serve-results`/`serve-pending`
+    /// journals; `None` disables persistence (no resume after restart).
+    pub journal_dir: Option<PathBuf>,
+    /// Deterministic service-layer fault injection (chaos soak only).
+    pub chaos: Option<FaultPlan>,
+    /// The experiment configuration — MUST be [`ExperimentConfig::cli`]
+    /// for bit-parity with the batch CLI.
+    pub experiment: ExperimentConfig,
+    /// Monte Carlo worker threads per estimate (0 = all cores). Estimates
+    /// are bit-identical at any setting.
+    pub mc_threads: usize,
+    /// Telemetry sink; counters back the `stats` request.
+    pub obs: Obs,
+}
+
+impl ServeConfig {
+    /// CLI defaults: 2+2 workers, depth-64 queues, 8-entry cache,
+    /// `SERR_THREADS` honored exactly like the batch commands.
+    #[must_use]
+    pub fn new(bind: Bind) -> ServeConfig {
+        let mc_threads = std::env::var("SERR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        ServeConfig {
+            bind,
+            compile_workers: 2,
+            estimate_workers: 2,
+            queue_depth: 64,
+            cache_capacity: 8,
+            journal_dir: None,
+            chaos: None,
+            experiment: ExperimentConfig::cli(),
+            mc_threads,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// One line bound for a connection's writer thread.
+struct WireOut {
+    line: String,
+    /// Injected [`ServeFault::SocketDrop`]: write half the bytes, then
+    /// sever the connection.
+    torn: bool,
+}
+
+/// An admitted estimation request traveling the pipeline.
+struct Job {
+    tag: u64,
+    id: u64,
+    body: RequestBody,
+    /// Absolute deadline and the original budget in ms.
+    deadline: Option<(Instant, u64)>,
+    canonical: String,
+    /// Reply channel; `None` for internal (journal-replayed) jobs.
+    reply: Option<mpsc::Sender<WireOut>>,
+    /// Journal-replayed work: exempt from chaos and from deadlines.
+    internal: bool,
+}
+
+struct EstimateJob {
+    job: Job,
+    cached: CachedTrace,
+}
+
+struct Journals {
+    results: Journal,
+    pending: Journal,
+    next_result: usize,
+    next_pending: usize,
+}
+
+struct State {
+    experiment: ExperimentConfig,
+    mc_threads: usize,
+    chaos: Option<FaultPlan>,
+    obs: Obs,
+    queue_depth: usize,
+    ingress: Bounded<Job>,
+    estimate_q: Bounded<EstimateJob>,
+    cache: TraceCache,
+    /// Completed clean results by canonical body — the resume source.
+    results: Mutex<HashMap<String, Estimate>>,
+    journals: Mutex<Option<Journals>>,
+    shutting_down: AtomicBool,
+    stop_accept: AtomicBool,
+    drain_once: AtomicBool,
+    /// tag → terminal state; a second terminal for one tag is the bug the
+    /// chaos soak exists to catch.
+    ledger: Mutex<HashMap<u64, &'static str>>,
+    /// EWMA of estimate wall time in ms, feeding deadline-miss prediction.
+    ewma_ms: Mutex<f64>,
+    seq: AtomicU64,
+    event_seq: AtomicU64,
+    pools: Mutex<Option<(Pool, Pool)>>,
+    done: (Mutex<bool>, Condvar),
+}
+
+impl State {
+    fn next_event_seq(&self) -> u64 {
+        self.event_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn record_terminal(&self, tag: u64, state: &'static str) {
+        let prior = {
+            let mut ledger = self.ledger.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            ledger.insert(tag, state)
+        };
+        if prior.is_some() {
+            self.obs.metrics().add("serve.double_terminal", 1);
+        }
+        self.obs.metrics().add(
+            match state {
+                "result" => "serve.results",
+                "degraded" => "serve.degraded",
+                "shed" => "serve.shed",
+                _ => "serve.errors",
+            },
+            1,
+        );
+    }
+
+    /// Records the terminal state and ships the response line (when the
+    /// requester is still connected — internal jobs and gone clients have
+    /// no channel, but the terminal state is recorded regardless).
+    fn respond(
+        &self,
+        reply: Option<&mpsc::Sender<WireOut>>,
+        tag: u64,
+        resp: &Response,
+        torn: bool,
+    ) {
+        self.record_terminal(tag, resp.state());
+        if let Some(tx) = reply {
+            let _ = tx.send(WireOut { line: resp.to_line(), torn });
+        }
+    }
+
+    fn shed(&self, reply: Option<&mpsc::Sender<WireOut>>, tag: u64, id: u64, reason: &str) {
+        self.respond(reply, tag, &Response::Shed { id, reason: reason.to_owned() }, false);
+    }
+
+    fn fresh_tag(&self) -> u64 {
+        // Internal tags live far above any plausible client tag space so
+        // they never collide with soak-chosen tags in the ledger.
+        1u64 << 63 | self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Journals an undone request body so a restarted server replays it.
+    fn journal_pending(&self, canonical: &str) {
+        let mut g = self.journals.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(j) = g.as_mut() {
+            let row = Json::Obj(vec![("body".to_owned(), Json::Str(canonical.to_owned()))]);
+            if j.pending.record(j.next_pending, &row).is_ok() {
+                j.next_pending += 1;
+            }
+        }
+    }
+
+    /// Journals a completed clean result and publishes it to the resume map.
+    fn publish_result(&self, canonical: &str, est: &Estimate) {
+        {
+            let mut g = self.journals.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(j) = g.as_mut() {
+                let mut fields = vec![("body".to_owned(), Json::Str(canonical.to_owned()))];
+                fields.extend(est.to_fields());
+                if j.results.record(j.next_result, &Json::Obj(fields)).is_ok() {
+                    j.next_result += 1;
+                }
+            }
+        }
+        self.results
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(canonical.to_owned(), est.clone());
+        self.obs.metrics().add("serve.results_published", 1);
+    }
+
+    fn update_ewma(&self, elapsed_ms: f64) {
+        let mut ewma = self.ewma_ms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ewma = if *ewma == 0.0 { elapsed_ms } else { 0.8 * *ewma + 0.2 * elapsed_ms };
+        self.obs.metrics().set_gauge("serve.ewma_estimate_ms", *ewma);
+    }
+
+    /// The admission controller's deadline check: with `depth` requests
+    /// ahead of this one and the current EWMA service time, would the
+    /// budget already be blown before work starts?
+    fn predicts_deadline_miss(&self, deadline_ms: u64) -> Option<f64> {
+        let ewma = *self.ewma_ms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let depth = (self.ingress.len() + self.estimate_q.len() + 1) as f64;
+        let predicted = depth * ewma;
+        (predicted > deadline_ms as f64).then_some(predicted)
+    }
+}
+
+fn spec_of(body: &RequestBody) -> Option<&WorkloadSpec> {
+    match body {
+        RequestBody::Mttf { workload, .. } | RequestBody::Sofr { workload, .. } => Some(workload),
+        RequestBody::Stats | RequestBody::Shutdown => None,
+    }
+}
+
+/// A running `serr serve` daemon.
+pub struct Server {
+    state: Arc<State>,
+    bind: Bind,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("bind", &self.bind).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds, loads the journals, spawns the supervised pools and the
+    /// accept loop, and replays any journaled pending work.
+    ///
+    /// # Errors
+    ///
+    /// Bind or journal failures (the journal uses
+    /// [`Journal::open_with_retry`] under [`BackoffPolicy::journal`], so a
+    /// transiently locked journal is retried before giving up).
+    pub fn start(cfg: ServeConfig) -> Result<Server, serr_types::SerrError> {
+        let listener = Listener::bind(&cfg.bind)
+            .map_err(|e| serr_types::SerrError::io(format!("bind {}", cfg.bind), e.to_string()))?;
+        let bind = listener
+            .resolved_bind()
+            .map_err(|e| serr_types::SerrError::io("resolve bind", e.to_string()))?;
+
+        let state = Arc::new(State {
+            experiment: cfg.experiment,
+            mc_threads: cfg.mc_threads,
+            chaos: cfg.chaos,
+            obs: cfg.obs,
+            queue_depth: cfg.queue_depth,
+            ingress: Bounded::new(cfg.queue_depth),
+            estimate_q: Bounded::new(cfg.queue_depth),
+            cache: TraceCache::new(cfg.cache_capacity),
+            results: Mutex::new(HashMap::new()),
+            journals: Mutex::new(None),
+            shutting_down: AtomicBool::new(false),
+            stop_accept: AtomicBool::new(false),
+            drain_once: AtomicBool::new(false),
+            ledger: Mutex::new(HashMap::new()),
+            ewma_ms: Mutex::new(0.0),
+            seq: AtomicU64::new(0),
+            event_seq: AtomicU64::new(0),
+            pools: Mutex::new(None),
+            done: (Mutex::new(false), Condvar::new()),
+        });
+
+        let replay = Self::open_journals(&state, cfg.journal_dir.as_deref())?;
+        Self::spawn_pools(&state, cfg.compile_workers, cfg.estimate_workers);
+
+        // Replay journaled pending work as internal jobs — chaos-exempt,
+        // no deadline, no reply channel; their clean results land in the
+        // results journal, so re-requests are answered bit-identically.
+        for canonical in replay {
+            if let Some(body) = body_from_canonical(&canonical) {
+                let job = Job {
+                    tag: state.fresh_tag(),
+                    id: 0,
+                    body,
+                    deadline: None,
+                    canonical,
+                    reply: None,
+                    internal: true,
+                };
+                state.obs.metrics().add("serve.replayed_pending", 1);
+                if state.ingress.push(job).is_err() {
+                    break; // shutting down already
+                }
+            }
+        }
+
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("serr-serve/accept".to_owned())
+                .spawn(move || accept_loop(&state, &listener))
+                .expect("accept thread spawn")
+        };
+        Ok(Server { state, bind, accept: Some(accept) })
+    }
+
+    fn open_journals(
+        state: &Arc<State>,
+        dir: Option<&std::path::Path>,
+    ) -> Result<Vec<String>, serr_types::SerrError> {
+        let Some(dir) = dir else { return Ok(Vec::new()) };
+        // Fingerprint over the canonicalized experiment config (threads
+        // pinned to 0) so hosts with different core counts share journals —
+        // estimates are thread-count invariant by construction.
+        let mut canon = state.experiment;
+        canon.mc.threads = 0;
+        let fp = fingerprint(&["serve", &format!("{canon:?}")]);
+        let policy = BackoffPolicy::journal(canon.seed);
+
+        let results = Journal::open_with_retry(dir, "serve-results", fp, false, &policy)?;
+        let next_result = results.completed().keys().next_back().map_or(0, |k| k + 1);
+        {
+            let mut map = state.results.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for row in results.completed().values() {
+                if let (Some(body), Some(est)) =
+                    (row.get("body").and_then(Json::as_str), Estimate::from_fields(row))
+                {
+                    map.insert(body.to_owned(), est);
+                }
+            }
+            state.obs.metrics().add("serve.journal_results_loaded", map.len() as u64);
+        }
+
+        // Pending rows from the previous run are replayed now, so the
+        // journal restarts empty (fresh) for this run's own drain.
+        let replay: Vec<String> = {
+            let pending = Journal::open_with_retry(dir, "serve-pending", fp, false, &policy)?;
+            pending
+                .completed()
+                .values()
+                .filter_map(|row| row.get("body").and_then(Json::as_str).map(str::to_owned))
+                .collect()
+        };
+        let pending = Journal::open_with_retry(dir, "serve-pending", fp, true, &policy)?;
+        *state.journals.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(Journals { results, pending, next_result, next_pending: 0 });
+        Ok(replay)
+    }
+
+    fn spawn_pools(state: &Arc<State>, compile_workers: usize, estimate_workers: usize) {
+        let restart_policy = BackoffPolicy {
+            max_attempts: u32::MAX,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            jitter_seed: state.experiment.seed,
+        };
+        let on_restart = |state: Arc<State>, pool: &'static str| {
+            Arc::new(move |slot: usize| {
+                state.obs.metrics().add("serve.worker_restarts", 1);
+                state.obs.emit(
+                    Event::warn("serve.worker_restart", state.next_event_seq())
+                        .with("pool", pool)
+                        .with("slot", slot as u64),
+                );
+            })
+        };
+        let compile = Pool::spawn(
+            "compile",
+            compile_workers,
+            restart_policy,
+            {
+                let state = Arc::clone(state);
+                Arc::new(move |_slot| compile_work(&state))
+            },
+            on_restart(Arc::clone(state), "compile"),
+        );
+        let estimate = Pool::spawn(
+            "estimate",
+            estimate_workers,
+            restart_policy,
+            {
+                let state = Arc::clone(state);
+                Arc::new(move |_slot| estimate_work(&state))
+            },
+            on_restart(Arc::clone(state), "estimate"),
+        );
+        *state.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((compile, estimate));
+    }
+
+    /// The address actually bound — for `tcp:HOST:0`, the resolved port.
+    #[must_use]
+    pub fn bind_addr(&self) -> &Bind {
+        &self.bind
+    }
+
+    /// Triggers the graceful shutdown sequence from the host process (the
+    /// wire `shutdown` request does the same).
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.state);
+    }
+
+    /// Blocks until the daemon has fully shut down (drained, journaled,
+    /// stopped accepting).
+    pub fn wait(mut self) {
+        let (lock, cvar) = &self.state.done;
+        let mut done = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*done {
+            done = cvar.wait(done).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(done);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the drain sequence exactly once, on its own thread so the
+/// triggering reader thread can keep servicing its connection.
+fn trigger_shutdown(state: &Arc<State>) {
+    if state.drain_once.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    state.shutting_down.store(true, Ordering::SeqCst);
+    let state = Arc::clone(state);
+    std::thread::Builder::new()
+        .name("serr-serve/shutdown".to_owned())
+        .spawn(move || drain_and_stop(&state))
+        .expect("shutdown thread spawn");
+}
+
+/// The graceful shutdown sequence: stage by stage, upstream first, so no
+/// in-flight request is lost — everything not completed is journaled and
+/// answered with a typed `shed`.
+fn drain_and_stop(state: &Arc<State>) {
+    let pools = state.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    let (compile_pool, estimate_pool) = match pools {
+        Some(p) => p,
+        None => return,
+    };
+
+    // 1. Close both queues before joining either pool: a compile worker
+    //    blocked on a full estimate queue only unblocks when that queue
+    //    closes, so closing first is what makes the joins deadlock-free.
+    //    Workers finish the job they hold, then retire (pop → None).
+    compile_pool.begin_shutdown();
+    estimate_pool.begin_shutdown();
+    state.ingress.close();
+    for job in state.ingress.drain() {
+        state.journal_pending(&job.canonical);
+        state.shed(job.reply.as_ref(), job.tag, job.id, "draining; journaled for restart resume");
+    }
+    state.estimate_q.close();
+    for ej in state.estimate_q.drain() {
+        state.journal_pending(&ej.job.canonical);
+        state.shed(
+            ej.job.reply.as_ref(),
+            ej.job.tag,
+            ej.job.id,
+            "draining; journaled for restart resume",
+        );
+    }
+    compile_pool.join();
+    estimate_pool.join();
+
+    // 3. Release the journal locks so a successor can open them.
+    state.journals.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+
+    // 4. Stop accepting and wake `Server::wait`.
+    state.stop_accept.store(true, Ordering::SeqCst);
+    let (lock, cvar) = &state.done;
+    *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+    cvar.notify_all();
+}
+
+fn accept_loop(state: &Arc<State>, listener: &Listener) {
+    if listener.set_nonblocking().is_err() {
+        // Cannot poll the stop flag without non-blocking accept; shut down
+        // rather than hang forever.
+        trigger_shutdown(state);
+        return;
+    }
+    while !state.stop_accept.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                let _ = match &stream {
+                    Stream::Unix(s) => s.set_nonblocking(false),
+                    Stream::Tcp(s) => s.set_nonblocking(false),
+                };
+                spawn_connection(state, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    if let Listener::Unix(_, path) = listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// One reader + one writer thread per connection. The reader exits on
+/// client disconnect (so it is deliberately not joined at shutdown: a
+/// connected-but-idle client would otherwise block the drain); the writer
+/// exits when every reply sender for this connection is gone.
+fn spawn_connection(state: &Arc<State>, stream: Stream) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<WireOut>();
+    std::thread::Builder::new()
+        .name("serr-serve/writer".to_owned())
+        .spawn(move || writer_loop(write_half, &rx))
+        .expect("writer thread spawn");
+    let state = Arc::clone(state);
+    std::thread::Builder::new()
+        .name("serr-serve/reader".to_owned())
+        .spawn(move || reader_loop(&state, stream, &tx))
+        .expect("reader thread spawn");
+}
+
+fn writer_loop(mut stream: Stream, rx: &mpsc::Receiver<WireOut>) {
+    while let Ok(out) = rx.recv() {
+        if out.torn {
+            // Injected SocketDrop: half the payload, then sever. The
+            // request's terminal state is already recorded server-side;
+            // the client sees a torn line + EOF and may simply re-request
+            // (answered `resumed: true`, bit-identically, from the
+            // results journal).
+            let bytes = out.line.as_bytes();
+            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+            let _ = stream.flush();
+            stream.shutdown();
+            return;
+        }
+        if stream.write_all(out.line.as_bytes()).is_err()
+            || stream.write_all(b"\n").is_err()
+            || stream.flush().is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Reads frames with a hard per-line byte bound: a frame exceeding
+/// [`MAX_FRAME_BYTES`] is answered with a typed error and the rest of the
+/// line discarded, so an oversized (or endless) frame cannot exhaust
+/// memory.
+fn reader_loop(state: &Arc<State>, stream: Stream, tx: &mpsc::Sender<WireOut>) {
+    let mut reader = BufReader::new(stream);
+    let limit = (MAX_FRAME_BYTES + 2) as u64;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        let n = match reader.by_ref().take(limit).read_until(b'\n', &mut buf) {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        if n == 0 {
+            return; // client disconnected
+        }
+        if !buf.ends_with(b"\n") && n as u64 == limit {
+            // The line kept going past the frame bound: reject and skip
+            // to the next newline without buffering the excess.
+            let tag = state.fresh_tag();
+            state.obs.metrics().add("serve.requests", 1);
+            state.respond(
+                Some(tx),
+                tag,
+                &Response::Error {
+                    id: None,
+                    error: format!("oversized frame: more than {MAX_FRAME_BYTES} bytes"),
+                    budget_s: None,
+                    elapsed_s: None,
+                },
+                false,
+            );
+            if !skip_to_newline(&mut reader) {
+                return;
+            }
+            continue;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        state.obs.metrics().add("serve.requests", 1);
+        handle_line(state, line, tx);
+    }
+}
+
+fn skip_to_newline(reader: &mut BufReader<Stream>) -> bool {
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) if byte[0] == b'\n' => return true,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Parse, admit, and route one frame. Every path out of this function
+/// records exactly one terminal state for the request.
+fn handle_line(state: &Arc<State>, line: &str, tx: &mpsc::Sender<WireOut>) {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(FrameError { id, reason }) => {
+            let tag = state.fresh_tag();
+            state.respond(
+                Some(tx),
+                tag,
+                &Response::Error { id, error: reason, budget_s: None, elapsed_s: None },
+                false,
+            );
+            return;
+        }
+    };
+    let tag = req.tag.unwrap_or_else(|| state.fresh_tag());
+    match &req.body {
+        RequestBody::Stats => {
+            let counters: Vec<(String, u64)> =
+                state.obs.metrics().snapshot().counters.into_iter().collect();
+            state.respond(Some(tx), tag, &Response::Stats { id: req.id, counters }, false);
+        }
+        RequestBody::Shutdown => {
+            state.respond(Some(tx), tag, &Response::ShutdownAck { id: req.id }, false);
+            trigger_shutdown(state);
+        }
+        RequestBody::Mttf { .. } | RequestBody::Sofr { .. } => {
+            admit(state, req, tag, tx);
+        }
+    }
+}
+
+/// Admission control for estimation requests: answer from the resume map,
+/// or shed (shutdown in progress, predicted deadline miss, full queue), or
+/// enqueue.
+fn admit(state: &Arc<State>, req: Request, tag: u64, tx: &mpsc::Sender<WireOut>) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        state.shed(Some(tx), tag, req.id, "shutting down");
+        return;
+    }
+    let canonical = req.body_canonical();
+    let hit = state
+        .results
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&canonical)
+        .cloned();
+    if let Some(mut est) = hit {
+        est.resumed = true;
+        state.obs.metrics().add("serve.resumed", 1);
+        state.respond(Some(tx), tag, &Response::Estimate { id: req.id, est }, false);
+        return;
+    }
+    if let Some(ms) = req.deadline_ms {
+        if let Some(predicted) = state.predicts_deadline_miss(ms) {
+            state.shed(
+                Some(tx),
+                tag,
+                req.id,
+                &format!("predicted deadline miss: ~{predicted:.0} ms queued vs {ms} ms budget"),
+            );
+            return;
+        }
+    }
+    let job = Job {
+        tag,
+        id: req.id,
+        deadline: req.deadline_ms.map(|ms| (Instant::now() + Duration::from_millis(ms), ms)),
+        body: req.body,
+        canonical,
+        reply: Some(tx.clone()),
+        internal: false,
+    };
+    match state.ingress.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(job)) => {
+            state.shed(
+                job.reply.as_ref(),
+                job.tag,
+                job.id,
+                &format!("queue full (depth {})", state.queue_depth),
+            );
+        }
+        Err(PushError::Closed(job)) => {
+            state.shed(job.reply.as_ref(), job.tag, job.id, "shutting down");
+        }
+    }
+}
+
+/// Compile-stage worker body: build (or fetch) the trace, hand off to the
+/// estimate stage with blocking backpressure.
+fn compile_work(state: &Arc<State>) -> WorkerExit {
+    while let Some(job) = state.ingress.pop() {
+        let spec = spec_of(&job.body).expect("only estimation bodies are enqueued").clone();
+        let experiment = state.experiment;
+        let built = state.cache.get_or_build(&job.canonical, || spec.trace(&experiment));
+        let (cached, outcome, evicted) = match built {
+            Ok(ok) => ok,
+            Err(e) => {
+                state.respond(
+                    job.reply.as_ref(),
+                    job.tag,
+                    &Response::Error {
+                        id: Some(job.id),
+                        error: e.to_string(),
+                        budget_s: None,
+                        elapsed_s: None,
+                    },
+                    false,
+                );
+                continue;
+            }
+        };
+        state.obs.metrics().add(
+            match outcome {
+                CacheOutcome::Hit => "serve.cache_hits",
+                CacheOutcome::HitRebuilt => "serve.cache_rebuilds",
+                CacheOutcome::Miss => "serve.cache_misses",
+            },
+            1,
+        );
+        if evicted {
+            state.obs.metrics().add("serve.cache_evictions", 1);
+        }
+        if let Err(ej) = state.estimate_q.push(EstimateJob { job, cached }) {
+            // The estimate queue closed mid-handoff: the drain already ran
+            // past us, so journal and shed here — the request is not lost.
+            state.journal_pending(&ej.job.canonical);
+            state.shed(
+                ej.job.reply.as_ref(),
+                ej.job.tag,
+                ej.job.id,
+                "draining; journaled for restart resume",
+            );
+        }
+    }
+    WorkerExit::Shutdown
+}
+
+/// Estimate-stage worker body. Injected faults hit here: a stall delays
+/// the request, a panic kills this worker *after* the request's terminal
+/// state is recorded (the supervisor restarts the slot), and a socket drop
+/// tears the response mid-line after recording the terminal state.
+fn estimate_work(state: &Arc<State>) -> WorkerExit {
+    while let Some(ej) = state.estimate_q.pop() {
+        process_estimate(state, &ej);
+    }
+    WorkerExit::Shutdown
+}
+
+fn process_estimate(state: &Arc<State>, ej: &EstimateJob) {
+    let job = &ej.job;
+    let started = Instant::now();
+    let fault =
+        if job.internal { None } else { state.chaos.as_ref().and_then(|p| p.serve_fault(job.tag)) };
+    let mut torn = false;
+    match fault {
+        Some(ServeFault::WorkerStall { stall_ms }) => {
+            state.obs.metrics().add("serve.injected_stalls", 1);
+            std::thread::sleep(Duration::from_millis(stall_ms));
+        }
+        Some(ServeFault::SocketDrop) => {
+            state.obs.metrics().add("serve.injected_drops", 1);
+            torn = true;
+        }
+        Some(ServeFault::WorkerPanic) => {
+            // The request reaches its typed terminal state FIRST; then the
+            // worker dies and the supervisor restarts the slot. Zero lost
+            // requests, real restart coverage.
+            state.obs.metrics().add("serve.injected_panics", 1);
+            state.respond(
+                job.reply.as_ref(),
+                job.tag,
+                &Response::Error {
+                    id: Some(job.id),
+                    error: "injected worker panic; the supervisor restarts this worker".to_owned(),
+                    budget_s: None,
+                    elapsed_s: None,
+                },
+                false,
+            );
+            panic!("chaos: injected estimate-worker panic");
+        }
+        // FrameCorrupt is a client-side fault: it never reaches a worker.
+        Some(ServeFault::FrameCorrupt { .. }) | None => {}
+    }
+
+    // Map the request deadline onto the engine's budget: what is left of
+    // the wall-clock budget after queueing. An already-blown budget makes
+    // the engine return the typed DeadlineExhausted error (with elapsed
+    // context); a tight one yields a truncated — honestly widened —
+    // estimate tagged Degraded by the provenance lattice.
+    let remaining = job.deadline.map(|(at, _)| at.saturating_duration_since(Instant::now()));
+    let result = run_validator(state, job, &ej.cached, remaining);
+    let elapsed = started.elapsed();
+    match result {
+        Ok(est) => {
+            // Only clean full-fidelity results are journaled and resumable:
+            // a truncated estimate depends on this run's deadline pressure
+            // and must not masquerade as the canonical answer.
+            if est.state() == "result" {
+                state.publish_result(&job.canonical, &est);
+            }
+            state.respond(
+                job.reply.as_ref(),
+                job.tag,
+                &Response::Estimate { id: job.id, est },
+                torn,
+            );
+        }
+        Err(serr_types::SerrError::DeadlineExhausted { budget_s, elapsed_s }) => {
+            state.respond(
+                job.reply.as_ref(),
+                job.tag,
+                &Response::Error {
+                    id: Some(job.id),
+                    error: serr_types::SerrError::DeadlineExhausted { budget_s, elapsed_s }
+                        .to_string(),
+                    budget_s: Some(budget_s),
+                    elapsed_s: Some(elapsed_s),
+                },
+                torn,
+            );
+        }
+        Err(e) => {
+            state.respond(
+                job.reply.as_ref(),
+                job.tag,
+                &Response::Error {
+                    id: Some(job.id),
+                    error: e.to_string(),
+                    budget_s: None,
+                    elapsed_s: None,
+                },
+                torn,
+            );
+        }
+    }
+    state.update_ewma(elapsed.as_secs_f64() * 1e3);
+    state.obs.metrics().observe("serve.estimate_ms", elapsed.as_secs_f64() * 1e3);
+}
+
+/// The estimation itself — the exact code path `serr mttf` / `serr sofr`
+/// run, so responses are bit-identical to the batch CLI at any
+/// `SERR_THREADS` (deadline truncation aside).
+fn run_validator(
+    state: &Arc<State>,
+    job: &Job,
+    cached: &CachedTrace,
+    deadline: Option<Duration>,
+) -> Result<Estimate, serr_types::SerrError> {
+    let (rate_per_year, trials, sampler) = match &job.body {
+        RequestBody::Mttf { rate_per_year, trials, sampler, .. }
+        | RequestBody::Sofr { rate_per_year, trials, sampler, .. } => {
+            (*rate_per_year, *trials, *sampler)
+        }
+        RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("only estimation bodies are enqueued")
+        }
+    };
+    let rate = RawErrorRate::try_per_year(rate_per_year)?;
+    let mc = MonteCarloConfig {
+        trials,
+        threads: state.mc_threads,
+        sampler,
+        deadline,
+        ..Default::default()
+    };
+    let v = Validator::new(state.experiment.frequency, mc);
+    let (avf, mttf_step_s, mc_est) = match &job.body {
+        RequestBody::Mttf { .. } => {
+            let r = v.component(&*cached.raw, rate)?;
+            (r.avf, r.mttf_avf.as_secs(), r.mttf_mc)
+        }
+        RequestBody::Sofr { components, .. } => {
+            let r = v.system_identical(Arc::clone(&cached.raw), rate, *components)?;
+            (cached.raw.avf(), r.mttf_sofr.as_secs(), r.mttf_mc)
+        }
+        RequestBody::Stats | RequestBody::Shutdown => unreachable!("gated above"),
+    };
+    Ok(Estimate {
+        mttf_mc_s: mc_est.mttf.as_secs(),
+        rel_ci95: mc_est.relative_ci95(),
+        mttf_step_s,
+        avf,
+        provenance: classify_estimate(&mc_est).label().to_owned(),
+        sampler: mc_est.sampler.label().to_owned(),
+        trials_done: mc_est.ttf_seconds.count,
+        truncated: mc_est.truncated,
+        resumed: false,
+    })
+}
+
+/// Reconstructs a request body from its canonical spelling (the form the
+/// pending journal stores). The canonical body is itself a valid frame
+/// minus the `id`, so parsing is one splice away.
+fn body_from_canonical(canonical: &str) -> Option<RequestBody> {
+    let rest = canonical.strip_prefix('{')?;
+    let line = format!("{{\"id\":0,{rest}");
+    Request::parse(&line).ok().map(|r| r.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_parses_both_schemes_and_rejects_garbage() {
+        assert_eq!(Bind::parse("unix:/tmp/s.sock").unwrap(), Bind::Unix("/tmp/s.sock".into()));
+        assert_eq!(
+            Bind::parse("tcp:127.0.0.1:7979").unwrap(),
+            Bind::Tcp("127.0.0.1:7979".to_owned())
+        );
+        assert!(Bind::parse("udp:1.2.3.4").is_err());
+        assert_eq!(Bind::parse("unix:/a/b").unwrap().to_string(), "unix:/a/b");
+    }
+
+    #[test]
+    fn canonical_bodies_roundtrip_through_the_pending_journal_form() {
+        let req = Request::parse(
+            r#"{"id":5,"cmd":"sofr","workload":"duty:0.002:0.5","rate_per_year":1e6,"components":10,"trials":2000}"#,
+        )
+        .expect("parses");
+        let body = body_from_canonical(&req.body_canonical()).expect("reconstructs");
+        assert_eq!(body, req.body);
+    }
+}

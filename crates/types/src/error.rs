@@ -66,6 +66,9 @@ pub enum SerrError {
     DeadlineExhausted {
         /// The budget that was granted, in seconds.
         budget_s: f64,
+        /// Wall-clock seconds actually spent before the engine gave up, so
+        /// the caller can tell a zero budget from a badly blown one.
+        elapsed_s: f64,
     },
     /// Another live process holds the advisory lock on a checkpoint journal
     /// with the same configuration fingerprint; concurrent writers would
@@ -161,8 +164,12 @@ impl fmt::Display for SerrError {
             SerrError::EngineFault { site, detail } => {
                 write!(f, "engine fault in {site}: {detail}")
             }
-            SerrError::DeadlineExhausted { budget_s } => {
-                write!(f, "deadline of {budget_s} s exhausted before the first trial chunk")
+            SerrError::DeadlineExhausted { budget_s, elapsed_s } => {
+                write!(
+                    f,
+                    "deadline of {budget_s} s exhausted before the first trial chunk \
+                     ({elapsed_s} s elapsed)"
+                )
             }
             SerrError::JournalLocked { path } => {
                 write!(f, "checkpoint journal locked by another process: {path}")
@@ -194,8 +201,11 @@ mod tests {
         assert_eq!(e.to_string(), "invalid value for raw error rate: NaN");
         let e = SerrError::engine_fault("monte carlo worker", "worker panicked");
         assert_eq!(e.to_string(), "engine fault in monte carlo worker: worker panicked");
-        let e = SerrError::DeadlineExhausted { budget_s: 0.5 };
-        assert_eq!(e.to_string(), "deadline of 0.5 s exhausted before the first trial chunk");
+        let e = SerrError::DeadlineExhausted { budget_s: 0.5, elapsed_s: 0.75 };
+        assert_eq!(
+            e.to_string(),
+            "deadline of 0.5 s exhausted before the first trial chunk (0.75 s elapsed)"
+        );
         let e = SerrError::JournalLocked { path: "/tmp/j.lock".into() };
         assert_eq!(e.to_string(), "checkpoint journal locked by another process: /tmp/j.lock");
         let e = SerrError::io("open checkpoint journal", "permission denied");

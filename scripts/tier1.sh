@@ -24,11 +24,12 @@ RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-m
 # binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
 
-# Perf smoke: regenerates BENCH_engines.json (schema v6) and, on the
-# low-AVF three-way sampler duel inside it, asserts the Λ-inversion
-# sampler stays >=10x faster than the event-loop walk AND the batched
-# inversion sampler stays >=5x faster than the scalar one — the binary
-# aborts if either contract regresses.
+# Perf smoke: regenerates BENCH_engines.json (schema v7, now carrying a
+# `serr serve` service section: throughput, shed, and worker-restart
+# counts) and, on the low-AVF three-way sampler duel inside it, asserts
+# the Λ-inversion sampler stays >=10x faster than the event-loop walk AND
+# the batched inversion sampler stays >=5x faster than the scalar one —
+# the binary aborts if either contract regresses.
 cargo run --release -p serr-bench --bin bench_smoke -- target/bench-smoke.json
 
 # Observability smoke: a metrics-instrumented mttf run must produce
@@ -40,6 +41,27 @@ mkdir -p target
 SERR_THREADS=3 cargo run --release --bin serr -- \
   mttf --workload day --n-s 1e8 --trials 20000 --metrics target/obs-smoke.jsonl
 cargo run --release -p serr-bench --bin obs_check -- target/obs-smoke.jsonl
+
+# Service smoke: bring up the `serr serve` daemon on a unix socket, drive
+# it with `serr request` (mttf, sofr, stats), then shut it down gracefully.
+# Every response is one JSONL line with a typed terminal state; the daemon
+# must drain and exit zero on the shutdown request.
+SERVE_DIR="$(mktemp -d)"
+SOCK="$SERVE_DIR/serr.sock"
+cargo run --release --bin serr -- \
+  serve --bind "unix:$SOCK" --journal-dir "$SERVE_DIR/journal" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || { echo "serve smoke: daemon never bound $SOCK" >&2; exit 1; }
+REQ=(cargo run --release --bin serr -- request --connect "unix:$SOCK")
+"${REQ[@]}" --cmd mttf -w duty:0.001:0.5 --rate 1e6 --trials 2000 \
+  | grep -q '"state":"result"'
+"${REQ[@]}" --cmd sofr -w duty:0.001:0.5 --rate 1e6 -c 100 --trials 2000 \
+  | grep -q '"state":"result"'
+"${REQ[@]}" --cmd stats | grep -q '"counters"'
+"${REQ[@]}" --cmd shutdown | grep -q '"shutdown":true'
+wait "$SERVE_PID"
+rm -rf "$SERVE_DIR"
 
 # Robustness gate: no `.unwrap()` in library or binary code — a poisoned
 # design point must surface as a typed error, never a panic path someone

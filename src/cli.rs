@@ -7,6 +7,8 @@
 //! $ serr mttf --workload spec:gzip --rate 1e-4        # simulated benchmark
 //! $ serr sofr --workload week --n-s 1e8 -c 5000       # cluster projection
 //! $ serr chaos --campaigns 50 --seed 7                # fault-injection campaigns
+//! $ serr serve --bind unix:/tmp/serr.sock             # estimation daemon
+//! $ serr request --connect unix:/tmp/serr.sock --cmd mttf -w day --n-s 1e8
 //! $ serr workloads                                    # list what's available
 //! ```
 //!
@@ -14,96 +16,15 @@
 //! testable; `src/bin/serr.rs` is a thin shell around [`Command::parse`]
 //! and [`run`].
 
-use std::sync::Arc;
-
 use serr_core::experiments::ExperimentConfig;
 use serr_core::prelude::*;
 use serr_obs::Obs;
+use serr_serve::{Bind, RequestBody, ServeConfig, Server};
 use serr_types::SerrError;
 
-/// Which workload a command targets.
-#[derive(Debug, Clone, PartialEq)]
-pub enum WorkloadSpec {
-    /// The 24-hour half-busy loop.
-    Day,
-    /// The 7-day business-week loop.
-    Week,
-    /// The gzip+swim 24-hour combined loop.
-    Combined,
-    /// A simulated SPEC-like benchmark by name.
-    Spec(String),
-    /// `duty:<period_seconds>:<busy_fraction>`.
-    Duty {
-        /// Loop period in seconds.
-        period_s: f64,
-        /// Fraction of the period that is busy.
-        busy: f64,
-    },
-}
-
-impl WorkloadSpec {
-    /// Parses the `--workload` argument value.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SerrError::UnknownWorkload`] for unrecognized syntax.
-    pub fn parse(s: &str) -> Result<Self, SerrError> {
-        match s {
-            "day" => return Ok(WorkloadSpec::Day),
-            "week" => return Ok(WorkloadSpec::Week),
-            "combined" => return Ok(WorkloadSpec::Combined),
-            _ => {}
-        }
-        if let Some(name) = s.strip_prefix("spec:") {
-            return Ok(WorkloadSpec::Spec(name.to_owned()));
-        }
-        if let Some(rest) = s.strip_prefix("duty:") {
-            let mut it = rest.split(':');
-            let period = it.next().and_then(|v| v.parse::<f64>().ok());
-            let busy = it.next().and_then(|v| v.parse::<f64>().ok());
-            if let (Some(period_s), Some(busy), None) = (period, busy, it.next()) {
-                // Catch bad numerics at parse time with a message naming the
-                // flag, instead of a trace-construction error much later.
-                if !(period_s.is_finite() && period_s > 0.0) {
-                    return Err(SerrError::invalid_config(format!(
-                        "duty: period must be a positive finite number of seconds, \
-                         got {period_s}"
-                    )));
-                }
-                if !(busy > 0.0 && busy <= 1.0) {
-                    return Err(SerrError::invalid_config(format!(
-                        "duty: busy fraction must lie in (0, 1], got {busy}"
-                    )));
-                }
-                return Ok(WorkloadSpec::Duty { period_s, busy });
-            }
-        }
-        Err(SerrError::UnknownWorkload { name: s.to_owned() })
-    }
-
-    /// Materializes the workload's vulnerability trace.
-    ///
-    /// # Errors
-    ///
-    /// Propagates workload construction and simulation errors.
-    pub fn trace(&self, cfg: &ExperimentConfig) -> Result<Arc<dyn VulnerabilityTrace>, SerrError> {
-        use serr_core::experiments as exp;
-        match self {
-            WorkloadSpec::Day => exp::synthesized_trace(Workload::Day, cfg),
-            WorkloadSpec::Week => exp::synthesized_trace(Workload::Week, cfg),
-            WorkloadSpec::Combined => exp::synthesized_trace(Workload::Combined, cfg),
-            WorkloadSpec::Spec(name) => exp::spec_processor_trace(name, cfg),
-            WorkloadSpec::Duty { period_s, busy } => {
-                let t = serr_workload::synthesized::duty_cycle(
-                    Seconds::new(*period_s),
-                    *busy,
-                    cfg.frequency,
-                )?;
-                Ok(Arc::new(t))
-            }
-        }
-    }
-}
+// The spec grammar and trace construction live in serr-core so the `serr
+// serve` daemon provably shares them; re-exported here for API stability.
+pub use serr_core::workspec::WorkloadSpec;
 
 /// A parsed `serr` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,6 +90,30 @@ pub enum Command {
         kinds: Option<Vec<FaultKind>>,
         /// Write one JSON line per campaign outcome to this path.
         jsonl: Option<std::path::PathBuf>,
+    },
+    /// Run the supervised estimation daemon (`serr serve`).
+    Serve {
+        /// Where to listen (`unix:PATH` or `tcp:ADDR`).
+        bind: Bind,
+        /// Estimate-stage worker slots.
+        workers: usize,
+        /// Compile-stage worker slots.
+        compile_workers: usize,
+        /// Bounded queue depth; admission control sheds beyond it.
+        queue_depth: usize,
+        /// Checkpoint directory for drain/resume journals.
+        journal_dir: Option<std::path::PathBuf>,
+    },
+    /// Send one JSONL request to a running daemon and print the response.
+    Request {
+        /// The daemon's address (`unix:PATH` or `tcp:ADDR`).
+        connect: Bind,
+        /// Correlation id echoed on the response.
+        id: u64,
+        /// Wall-clock budget for the request, in milliseconds.
+        deadline_ms: Option<u64>,
+        /// What to ask for.
+        body: RequestBody,
     },
     /// List available workloads and benchmark profiles.
     Workloads,
@@ -364,9 +309,143 @@ impl Command {
                     })
                 }
             }
+            "serve" => {
+                let mut bind: Option<Bind> = None;
+                let mut workers: usize = 2;
+                let mut compile_workers: usize = 2;
+                let mut queue_depth: usize = 64;
+                let mut journal_dir: Option<std::path::PathBuf> = None;
+                while let Some(flag) = it.next() {
+                    let mut value = |name: &str| {
+                        it.next().map(str::to_owned).ok_or_else(|| {
+                            SerrError::invalid_config(format!("{name} needs a value"))
+                        })
+                    };
+                    match flag {
+                        "--bind" => bind = Some(Bind::parse(&value("--bind")?)?),
+                        "--workers" => {
+                            workers = parse_small_count("--workers", &value("--workers")?)?;
+                        }
+                        "--compile-workers" => {
+                            compile_workers = parse_small_count(
+                                "--compile-workers",
+                                &value("--compile-workers")?,
+                            )?;
+                        }
+                        "--queue" => {
+                            queue_depth = parse_small_count("--queue", &value("--queue")?)?;
+                        }
+                        "--journal-dir" => {
+                            journal_dir = Some(std::path::PathBuf::from(value("--journal-dir")?));
+                        }
+                        other => {
+                            return Err(SerrError::invalid_config(format!(
+                                "unknown flag `{other}`"
+                            )))
+                        }
+                    }
+                }
+                let bind = bind.ok_or_else(|| {
+                    SerrError::invalid_config("--bind is required (unix:PATH or tcp:ADDR)")
+                })?;
+                Ok(Command::Serve { bind, workers, compile_workers, queue_depth, journal_dir })
+            }
+            "request" => {
+                let mut connect: Option<Bind> = None;
+                let mut cmd: Option<String> = None;
+                let mut workload: Option<WorkloadSpec> = None;
+                let mut rate: Option<f64> = None;
+                let mut components: u64 = 1;
+                let mut trials: u64 = 100_000;
+                let mut sampler = SamplerKind::default();
+                let mut deadline_ms: Option<u64> = None;
+                let mut id: u64 = 0;
+                while let Some(flag) = it.next() {
+                    let mut value = |name: &str| {
+                        it.next().map(str::to_owned).ok_or_else(|| {
+                            SerrError::invalid_config(format!("{name} needs a value"))
+                        })
+                    };
+                    match flag {
+                        "--connect" => connect = Some(Bind::parse(&value("--connect")?)?),
+                        "--cmd" => cmd = Some(value("--cmd")?),
+                        "--workload" | "-w" => {
+                            workload = Some(WorkloadSpec::parse(&value("--workload")?)?);
+                        }
+                        "--rate" => {
+                            rate = Some(parse_positive_f64("--rate", &value("--rate")?)?);
+                        }
+                        "--n-s" => {
+                            let prod = parse_positive_f64("--n-s", &value("--n-s")?)?;
+                            rate = Some(prod * serr_types::BASELINE_RAW_RATE_PER_BIT_PER_YEAR);
+                        }
+                        "--components" | "-c" => {
+                            components = parse_count("-c", &value("-c")?)?;
+                        }
+                        "--trials" => trials = parse_count("--trials", &value("--trials")?)?,
+                        "--sampler" => sampler = SamplerKind::parse(&value("--sampler")?)?,
+                        "--deadline-ms" => {
+                            deadline_ms =
+                                Some(parse_count("--deadline-ms", &value("--deadline-ms")?)?);
+                        }
+                        "--id" => id = parse_count("--id", &value("--id")?)?,
+                        other => {
+                            return Err(SerrError::invalid_config(format!(
+                                "unknown flag `{other}`"
+                            )))
+                        }
+                    }
+                }
+                let connect = connect.ok_or_else(|| {
+                    SerrError::invalid_config("--connect is required (unix:PATH or tcp:ADDR)")
+                })?;
+                let estimation = |components: Option<u64>| -> Result<RequestBody, SerrError> {
+                    let workload = workload.clone().ok_or_else(|| {
+                        SerrError::invalid_config("--workload is required for this --cmd")
+                    })?;
+                    let rate_per_year = rate.ok_or_else(|| {
+                        SerrError::invalid_config(
+                            "--rate <errors/year> or --n-s <product> is required for this --cmd",
+                        )
+                    })?;
+                    Ok(match components {
+                        Some(components) => RequestBody::Sofr {
+                            workload,
+                            rate_per_year,
+                            components,
+                            trials,
+                            sampler,
+                        },
+                        None => RequestBody::Mttf { workload, rate_per_year, trials, sampler },
+                    })
+                };
+                let body = match cmd.as_deref() {
+                    Some("mttf") => estimation(None)?,
+                    Some("sofr") => estimation(Some(components))?,
+                    Some("stats") => RequestBody::Stats,
+                    Some("shutdown") => RequestBody::Shutdown,
+                    Some(other) => {
+                        return Err(SerrError::invalid_config(format!(
+                            "unknown --cmd `{other}`; expected mttf, sofr, stats, or shutdown"
+                        )))
+                    }
+                    None => {
+                        return Err(SerrError::invalid_config(
+                            "--cmd is required (mttf, sofr, stats, or shutdown)",
+                        ))
+                    }
+                };
+                Ok(Command::Request { connect, id, deadline_ms, body })
+            }
             other => Err(SerrError::invalid_config(format!("unknown subcommand `{other}`"))),
         }
     }
+}
+
+/// Parses a count that must also fit a `usize` (worker slots, queue depth).
+fn parse_small_count(name: &str, v: &str) -> Result<usize, SerrError> {
+    usize::try_from(parse_count(name, v)?)
+        .map_err(|_| SerrError::invalid_config(format!("{name} is out of range")))
 }
 
 fn parse_f64(name: &str, v: &str) -> Result<f64, SerrError> {
@@ -405,8 +484,9 @@ fn parse_kinds(v: &str) -> Result<Vec<FaultKind>, SerrError> {
         .map(|s| {
             FaultKind::parse(s.trim()).ok_or_else(|| {
                 SerrError::invalid_config(format!(
-                    "--kinds: unknown fault kind `{s}`; known: {}",
-                    FaultKind::ALL.map(FaultKind::label).join(", ")
+                    "--kinds: unknown fault kind `{s}`; known: {} \
+                     (serve-* kinds belong to the serr-serve chaos soak)",
+                    FaultKind::CORE.map(FaultKind::label).join(", ")
                 ))
             })
         })
@@ -442,6 +522,8 @@ USAGE:
   serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
   serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--metrics PATH]
   serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler batched-inversion|inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
+  serr serve --bind <unix:PATH|tcp:ADDR> [--workers N] [--compile-workers N] [--queue N] [--journal-dir DIR]
+  serr request --connect <unix:PATH|tcp:ADDR> --cmd <mttf|sofr|stats|shutdown> [-w <W>] [--rate R | --n-s P] [-c N] [--trials N] [--sampler S] [--deadline-ms N] [--id N]
   serr workloads
   serr help
 
@@ -475,6 +557,23 @@ FLAGS:
                      rate-poison, checkpoint-io, journal-corrupt,
                      journal-lock, cache-corrupt
   --jsonl PATH       write one JSON line per campaign outcome to PATH
+  --bind <ADDR>      where the daemon listens: unix:PATH or tcp:HOST:PORT
+                     (tcp:HOST:0 picks a free port, printed at startup)
+  --workers N        estimate-stage worker slots (default 2); workers are
+                     panic-isolated and restarted under bounded backoff
+  --compile-workers N
+                     compile-stage worker slots (default 2)
+  --queue N          bounded queue depth per stage (default 64); admission
+                     control sheds with a typed response beyond this
+  --journal-dir DIR  persist drain/resume journals here: shutdown journals
+                     in-flight requests, a fresh `serr serve` on the same
+                     directory replays them, and re-requests are answered
+                     from the results journal bit-identically
+  --connect <ADDR>   the daemon to talk to (same grammar as --bind)
+  --cmd <C>          request kind: mttf | sofr | stats | shutdown
+  --deadline-ms N    wall-clock budget for the request; overload sheds
+                     up front, a tight budget degrades to a truncated
+                     estimate with an honestly wider CI
   --metrics PATH     stream structured telemetry to PATH as JSON lines:
                      per-stage wall time (trace compile, renewal quadrature,
                      SoftArch, MC run), per-chunk Monte Carlo convergence
@@ -494,6 +593,23 @@ EXAMPLES:
   serr sofr --workload week --n-s 1e8 -c 5000
   serr sweep fig5 --trials 20000
   serr chaos --campaigns 50 --seed 0xC0FFEE --jsonl chaos.jsonl
+  serr serve --bind unix:/tmp/serr.sock --journal-dir /var/lib/serr
+  serr request --connect unix:/tmp/serr.sock --cmd mttf -w day --n-s 1e8
+  serr request --connect unix:/tmp/serr.sock --cmd sofr -w week --n-s 1e8 -c 5000 --deadline-ms 2000
+  serr request --connect unix:/tmp/serr.sock --cmd stats
+  serr request --connect unix:/tmp/serr.sock --cmd shutdown
+
+WIRE PROTOCOL (serr serve):
+  JSON Lines, one request and one response per line. Every request ends in
+  exactly one typed terminal state:
+    result    full-fidelity estimate, bit-identical to the batch CLI
+    degraded  honest estimate from a truncated run (deadline pressure)
+    shed      refused by admission control before any work was done
+    error     typed failure (bad frame, estimator error, injected fault)
+  request : {\"id\":1,\"cmd\":\"mttf\",\"workload\":\"day\",\"rate_per_year\":1.0,
+             \"trials\":100000,\"deadline_ms\":2000}
+  response: {\"id\":1,\"state\":\"result\",\"mttf_mc_s\":...,\"rel_ci95\":...,
+             \"provenance\":\"clean\",\"trials_done\":100000,\"resumed\":false,...}
 ";
 
 /// Executes a parsed command, writing human-readable output to stdout.
@@ -502,7 +618,7 @@ EXAMPLES:
 ///
 /// Propagates estimator errors.
 pub fn run(cmd: &Command) -> Result<(), SerrError> {
-    let cfg = ExperimentConfig { sim_instructions: 300_000, ..ExperimentConfig::quick() };
+    let cfg = ExperimentConfig::cli();
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -610,6 +726,40 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             finish_metrics(obs.as_ref(), metrics.as_deref());
             Ok(())
         }
+        Command::Serve { bind, workers, compile_workers, queue_depth, journal_dir } => {
+            let mut scfg = ServeConfig::new(bind.clone());
+            scfg.estimate_workers = *workers;
+            scfg.compile_workers = *compile_workers;
+            scfg.queue_depth = *queue_depth;
+            scfg.journal_dir = journal_dir.clone();
+            let server = Server::start(scfg)?;
+            println!("serr serve: listening on {}", server.bind_addr());
+            println!(
+                "stop with a {{\"cmd\":\"shutdown\"}} request (`serr request ... --cmd shutdown`); \
+                 in-flight work is journaled and resumed on restart"
+            );
+            server.wait();
+            println!("serr serve: drained and stopped");
+            Ok(())
+        }
+        Command::Request { connect, id, deadline_ms, body } => {
+            let mut client = serr_serve::Client::connect(connect)
+                .map_err(|e| SerrError::io(format!("connect {connect}"), e.to_string()))?;
+            let req = serr_serve::Request {
+                id: *id,
+                deadline_ms: *deadline_ms,
+                tag: None,
+                body: body.clone(),
+            };
+            let resp = client
+                .roundtrip(&req)
+                .map_err(|e| SerrError::io("request", e.to_string()))?
+                .ok_or_else(|| {
+                    SerrError::io("request", "connection closed before a complete response")
+                })?;
+            println!("{}", resp.to_line());
+            Ok(())
+        }
         Command::Sweep { figure, fresh, trials, metrics } => {
             let obs = metrics_obs(metrics.as_deref())?;
             let mut cfg = cfg;
@@ -630,7 +780,7 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 seed: *seed,
                 trials: *trials,
                 sampler: *sampler,
-                kinds: kinds.clone().unwrap_or_else(|| FaultKind::ALL.to_vec()),
+                kinds: kinds.clone().unwrap_or_else(|| FaultKind::CORE.to_vec()),
                 ..ChaosConfig::default()
             };
             let report = run_chaos(&ccfg)?;
@@ -1117,6 +1267,153 @@ mod tests {
         assert!(Command::parse(&["chaos", "--seed", "zzz"]).is_err());
         assert!(Command::parse(&["chaos", "--kinds", "no-such-fault"]).is_err());
         assert!(Command::parse(&["chaos", "--campaigns", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_and_request_commands_parse() {
+        assert_eq!(
+            Command::parse(&["serve", "--bind", "unix:/tmp/s.sock"]).unwrap(),
+            Command::Serve {
+                bind: Bind::Unix("/tmp/s.sock".into()),
+                workers: 2,
+                compile_workers: 2,
+                queue_depth: 64,
+                journal_dir: None,
+            }
+        );
+        assert_eq!(
+            Command::parse(&[
+                "serve",
+                "--bind",
+                "tcp:127.0.0.1:0",
+                "--workers",
+                "4",
+                "--compile-workers",
+                "1",
+                "--queue",
+                "16",
+                "--journal-dir",
+                "/tmp/j",
+            ])
+            .unwrap(),
+            Command::Serve {
+                bind: Bind::Tcp("127.0.0.1:0".to_owned()),
+                workers: 4,
+                compile_workers: 1,
+                queue_depth: 16,
+                journal_dir: Some(std::path::PathBuf::from("/tmp/j")),
+            }
+        );
+        assert!(Command::parse(&["serve"]).is_err(), "--bind is required");
+        assert!(Command::parse(&["serve", "--bind", "udp:nope"]).is_err());
+        assert!(Command::parse(&["serve", "--bind", "unix:/s", "--queue", "0"]).is_err());
+
+        let cmd = Command::parse(&[
+            "request",
+            "--connect",
+            "unix:/tmp/s.sock",
+            "--cmd",
+            "sofr",
+            "-w",
+            "week",
+            "--rate",
+            "2.5",
+            "-c",
+            "5000",
+            "--trials",
+            "4000",
+            "--deadline-ms",
+            "1500",
+            "--id",
+            "9",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Request {
+                connect: Bind::Unix("/tmp/s.sock".into()),
+                id: 9,
+                deadline_ms: Some(1500),
+                body: RequestBody::Sofr {
+                    workload: WorkloadSpec::Week,
+                    rate_per_year: 2.5,
+                    components: 5000,
+                    trials: 4000,
+                    sampler: SamplerKind::BatchedInversion,
+                },
+            }
+        );
+        // stats/shutdown need no workload or rate.
+        for c in ["stats", "shutdown"] {
+            assert!(Command::parse(&["request", "--connect", "unix:/s", "--cmd", c]).is_ok());
+        }
+        assert!(Command::parse(&["request", "--cmd", "stats"]).is_err(), "--connect required");
+        assert!(Command::parse(&["request", "--connect", "unix:/s"]).is_err(), "--cmd required");
+        assert!(
+            Command::parse(&["request", "--connect", "unix:/s", "--cmd", "mttf"]).is_err(),
+            "mttf needs a workload and a rate"
+        );
+        assert!(
+            Command::parse(&["request", "--connect", "unix:/s", "--cmd", "reboot"]).is_err(),
+            "unknown request kinds are rejected"
+        );
+    }
+
+    #[test]
+    fn run_serve_daemon_answers_requests_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("serr-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("serve.sock");
+        let bind_arg = format!("unix:{}", sock.display());
+        let serve = Command::parse(&[
+            "serve",
+            "--bind",
+            &bind_arg,
+            "--workers",
+            "1",
+            "--compile-workers",
+            "1",
+        ])
+        .unwrap();
+        let daemon = std::thread::spawn(move || run(&serve));
+
+        // Wait for the daemon's socket, then drive it with the library
+        // client and with `serr request` itself.
+        let bind = Bind::Unix(sock.clone());
+        let mut client = None;
+        for _ in 0..500 {
+            match serr_serve::Client::connect(&bind) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut client = client.expect("daemon came up");
+        let req = serr_serve::Request {
+            id: 1,
+            deadline_ms: None,
+            tag: Some(1),
+            body: RequestBody::Mttf {
+                workload: WorkloadSpec::parse("duty:0.001:0.5").unwrap(),
+                rate_per_year: 1e6,
+                trials: 800,
+                sampler: SamplerKind::default(),
+            },
+        };
+        let resp = client.roundtrip(&req).unwrap().expect("typed response");
+        assert_eq!(resp.state(), "result", "{resp:?}");
+
+        // `serr request` end-to-end: stats, then shutdown.
+        let stats = Command::parse(&["request", "--connect", &bind_arg, "--cmd", "stats"]).unwrap();
+        run(&stats).unwrap();
+        let shutdown =
+            Command::parse(&["request", "--connect", &bind_arg, "--cmd", "shutdown"]).unwrap();
+        run(&shutdown).unwrap();
+        daemon.join().expect("daemon thread").expect("daemon ran");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub use serr_analytic as analytic;
 pub use serr_core as core;
 pub use serr_mc as mc;
 pub use serr_numeric as numeric;
+pub use serr_serve as serve;
 pub use serr_sim as sim;
 pub use serr_softarch as softarch;
 pub use serr_trace as trace;

@@ -11,7 +11,12 @@
 
 use std::time::{Duration, Instant};
 
+use serr_core::checkpoint::{fingerprint, Journal};
 use serr_core::experiments::{fig5, fig5_sweep, ExperimentConfig};
+use serr_core::jsonio::Json;
+use serr_core::pipeline::{
+    load_cache_entry_mmap, load_cache_entry_read, simulate_benchmark, write_cache_entry,
+};
 use serr_core::prelude::{
     run_chaos, ChaosConfig, Provenance, SweepOptions, Workload, WorkloadSpec,
 };
@@ -449,6 +454,109 @@ fn main() {
          for {injected_panics} injected panics"
     );
 
+    // Storage probe (schema v8): the durable-store layer measured against
+    // the format it replaced. (a) A dense checkpoint journal — 2,000 rows,
+    // each carrying a 64-sample trace vector, the shape the figure sweeps
+    // write — is resumed from the CRC-paged binary store and, for
+    // comparison, parsed from the legacy JSONL spelling of the same rows;
+    // the run aborts if the binary resume is not at least 5x faster,
+    // because that advantage is the reason the binary format exists.
+    // (b) One trace-cache entry loaded through the default mmap path and
+    // through an ordinary buffered read, so the zero-copy claim stays
+    // measured.
+    let storage_dir = std::env::temp_dir().join("serr-bench-smoke-storage");
+    let _ = std::fs::remove_dir_all(&storage_dir);
+    std::fs::create_dir_all(&storage_dir).expect("create storage probe dir");
+    let journal_rows = 2_000usize;
+    let dense_row = |i: usize| -> Json {
+        let trace: Vec<Json> =
+            (0..64).map(|k| Json::Num(((i * 64 + k) as f64).sqrt() * 0.013 + 0.2)).collect();
+        Json::Obj(vec![
+            ("i".to_owned(), Json::Num(i as f64)),
+            ("trace".to_owned(), Json::Arr(trace)),
+        ])
+    };
+    let storage_fp = fingerprint(&["bench-smoke", "storage"]);
+    {
+        let journal = Journal::open(&storage_dir, "bench-storage", storage_fp, true)
+            .expect("storage probe journal opens");
+        for i in 0..journal_rows {
+            journal.record(i, &dense_row(i)).expect("storage probe row records");
+        }
+    }
+    // The legacy line format the binary journal replaced, verbatim:
+    // `{"i":N,"ck":"<fnv hex>","row":<json>}` with the checksum over the
+    // decimal index and the row's canonical JSON.
+    let legacy_text: String = (0..journal_rows)
+        .map(|i| {
+            let row = dense_row(i).to_json();
+            let ck = fingerprint(&[&i.to_string(), &row]);
+            format!("{{\"i\":{i},\"ck\":\"{ck:016x}\",\"row\":{row}}}\n")
+        })
+        .collect();
+    let t_binary = time("storage/binary_journal_resume_2k_rows", 5, || {
+        let journal = Journal::open(&storage_dir, "bench-storage", storage_fp, false)
+            .expect("binary resume opens");
+        assert_eq!(journal.completed().len(), journal_rows);
+    });
+    let t_jsonl = time("storage/jsonl_journal_parse_2k_rows", 5, || {
+        // What every resume paid before the binary store: parse each line,
+        // re-serialize the row to verify its checksum, and collect the
+        // completed-point map.
+        let mut rows = std::collections::BTreeMap::new();
+        for line in legacy_text.lines() {
+            let mut v = Json::parse(line).expect("legacy line parses");
+            let i = v.get("i").and_then(Json::as_u64).expect("index field") as usize;
+            let row = v.get("row").expect("row field");
+            let ck = v.get("ck").and_then(Json::as_str).expect("checksum field");
+            let expect = format!("{:016x}", fingerprint(&[&i.to_string(), &row.to_json()]));
+            assert_eq!(ck, expect, "legacy checksum holds");
+            if let Json::Obj(fields) = &mut v {
+                if let Some(pos) = fields.iter().position(|(k, _)| k == "row") {
+                    rows.insert(i, fields.swap_remove(pos).1);
+                }
+            }
+        }
+        assert_eq!(rows.len(), journal_rows);
+    });
+    let binary_resume_speedup = t_jsonl.min_ms / t_binary.min_ms;
+    println!(
+        "storage probe: {journal_rows}-row dense journal resumes in {:.3} ms binary vs \
+         {:.3} ms JSONL -> {binary_resume_speedup:.1}x",
+        t_binary.min_ms, t_jsonl.min_ms
+    );
+    assert!(
+        binary_resume_speedup >= 5.0,
+        "binary journal resume must be >=5x faster than the JSONL parse it replaced on the \
+         dense-trace workload, measured {binary_resume_speedup:.1}x"
+    );
+
+    let cache_entry = storage_dir.join("cache-probe.store");
+    let sim = simulate_benchmark("gzip", 100_000, 7).expect("cache probe simulation runs");
+    write_cache_entry(&cache_entry, &sim.output).expect("cache probe entry writes");
+    let t_cache_mmap = time("storage/cache_load_mmap", 25, || {
+        load_cache_entry_mmap(&cache_entry).expect("mmap cache load decodes")
+    });
+    let t_cache_read = time("storage/cache_load_read", 25, || {
+        load_cache_entry_read(&cache_entry).expect("buffered cache load decodes")
+    });
+    println!(
+        "storage probe: cache entry loads in {:.3} ms mmap vs {:.3} ms read",
+        t_cache_mmap.min_ms, t_cache_read.min_ms
+    );
+    let storage_json = format!(
+        "  \"storage\": {{\"journal_rows\": {journal_rows}, \
+         \"jsonl_resume_ms\": {:.4}, \"binary_resume_ms\": {:.4}, \
+         \"binary_resume_speedup\": {binary_resume_speedup:.1}, \
+         \"cache_load_mmap_ms\": {:.4}, \"cache_load_read_ms\": {:.4}}},",
+        t_jsonl.min_ms, t_binary.min_ms, t_cache_mmap.min_ms, t_cache_read.min_ms
+    );
+    let _ = std::fs::remove_dir_all(&storage_dir);
+    timings.push(t_binary);
+    timings.push(t_jsonl);
+    timings.push(t_cache_mmap);
+    timings.push(t_cache_read);
+
     let entries: Vec<String> = timings
         .iter()
         .map(|t| {
@@ -459,11 +567,12 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 7,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 8,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         sampler_json,
         checkpoint_json,
         chaos_json,
         service_json,
+        storage_json,
         stages_json,
         convergence_json,
         entries.join(",\n")

@@ -19,14 +19,14 @@ use std::path::PathBuf;
 use std::sync::Once;
 
 use serr_inject::rng::{mix, unit};
-use serr_inject::{FaultKind, FaultPlan};
+use serr_inject::{FaultKind, FaultPlan, StoreFault};
 use serr_mc::SamplerKind;
 use serr_obs::{Event, Obs};
 use serr_trace::IntervalTrace;
 use serr_types::{Frequency, Provenance, RawErrorRate, SerrError};
 
 use crate::checkpoint::{self, Journal, JournalRow, SweepOptions};
-use crate::guard::{Guard, GuardPolicy};
+use crate::guard::Guard;
 use crate::jsonio::Json;
 use crate::pipeline;
 
@@ -286,6 +286,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
             FaultKind::JournalCorrupt => journal_corrupt_campaign(&scratch, plan, campaign)?,
             FaultKind::JournalLock => journal_lock_campaign(&scratch, plan, campaign)?,
             FaultKind::CacheCorrupt => cache_corrupt_campaign(&scratch, plan, campaign)?,
+            FaultKind::StoreTornTail
+            | FaultKind::StoreBitFlip
+            | FaultKind::StoreHeaderCorrupt
+            | FaultKind::StoreStaleVersion => store_fault_campaign(&scratch, plan, campaign)?,
             // The serve-layer kinds need a running service to mean
             // anything; the request soak in `serr-serve` injects them.
             kind if kind.is_serve() => {
@@ -395,8 +399,9 @@ fn checkpoint_io_campaign(
     })
 }
 
-/// On-disk journal corruption: the resumed sweep must spot every damaged
-/// line (checksum or parse failure) and recompute it.
+/// On-disk journal corruption: the resumed sweep must spot the damage (a
+/// failed page CRC, torn tail, or broken header) and recompute whatever
+/// the valid prefix no longer covers.
 fn journal_corrupt_campaign(
     scratch: &std::path::Path,
     plan: FaultPlan,
@@ -434,10 +439,10 @@ fn journal_corrupt_campaign(
         campaign,
         kind: plan.kind,
         seed,
-        // Damage caught and recomputed → Retried. Corruption that left
-        // every line's checksum intact cannot happen (the mask is nonzero),
-        // but a corrupted byte may land in a trailing newline without
-        // damaging any full line — then nothing needed recomputing.
+        // Damage caught and recomputed → Retried. A truncation that lands
+        // exactly on a page boundary (or at the full file length) removes
+        // nothing detectable — then nothing needed recomputing and Clean
+        // with matching rows is legitimate.
         outcome: if recovered && detected {
             Provenance::Retried
         } else if recovered {
@@ -453,6 +458,109 @@ fn journal_corrupt_campaign(
             "corrupted {} byte(s) at offset {}; resumed {}/{PROBE_POINTS}",
             if corruption.truncate { "tail from" } else { "1" },
             corruption.offset,
+            report.resumed
+        ),
+    })
+}
+
+/// Applies a [`StoreFault`] to an in-memory store image, returning a
+/// one-line description for the campaign detail.
+fn apply_store_fault(bytes: &mut Vec<u8>, fault: StoreFault) -> String {
+    use serr_store::pages::{forge_format_version, FORMAT_VERSION};
+    match fault {
+        StoreFault::TornTail { drop_bytes } => {
+            let cut = bytes.len().saturating_sub(drop_bytes);
+            bytes.truncate(cut);
+            format!("tore {drop_bytes} byte(s) off the tail")
+        }
+        StoreFault::BitFlip { offset, xor_mask } => {
+            if let Some(b) = bytes.get_mut(offset) {
+                *b ^= xor_mask;
+            }
+            format!("xor {xor_mask:#04x} into page byte {offset}")
+        }
+        StoreFault::HeaderCorrupt { offset, xor_mask } => {
+            if let Some(b) = bytes.get_mut(offset) {
+                *b ^= xor_mask;
+            }
+            format!("xor {xor_mask:#04x} into header byte {offset}")
+        }
+        StoreFault::StaleVersion { bump } => {
+            let version = FORMAT_VERSION.wrapping_add(bump);
+            forge_format_version(bytes, version);
+            format!("forged format version {version}")
+        }
+    }
+}
+
+/// Binary-container damage against a checkpoint journal: a torn tail or an
+/// in-page flip must degrade resume to the valid prefix (the rest
+/// recomputes); a damaged header or a foreign format version must surface
+/// as a typed error that resets the journal. In every case the final rows
+/// must equal the fault-free reference — a Clean-tagged deviation is the
+/// miss this campaign exists to catch.
+fn store_fault_campaign(
+    scratch: &std::path::Path,
+    plan: FaultPlan,
+    campaign: usize,
+) -> Result<CampaignOutcome, SerrError> {
+    let dir = campaign_dir(scratch, campaign);
+    let seed = plan.seed;
+    let reference: Vec<ProbeRow> = (0..PROBE_POINTS).map(|i| probe_eval(seed, i)).collect();
+    let items: Vec<u64> = (0..PROBE_POINTS as u64).collect();
+    let fp = checkpoint::fingerprint(&["chaos-store", &format!("{seed:#x}")]);
+
+    let journal = Journal::open(&dir, "chaos-s", fp, true)?;
+    for (i, row) in reference.iter().enumerate() {
+        journal
+            .record(i, &row.to_journal())
+            .map_err(|e| SerrError::io("chaos store record", e.to_string()))?;
+    }
+    drop(journal);
+
+    let path = checkpoint::journal_path(&dir, "chaos-s", fp);
+    let mut bytes =
+        fs::read(&path).map_err(|e| SerrError::io("chaos store read", e.to_string()))?;
+    let fault = plan
+        .store_fault(bytes.len(), serr_store::pages::HEADER_LEN)
+        .expect("store plans always select a fault");
+    let fault_detail = apply_store_fault(&mut bytes, fault);
+    fs::write(&path, &bytes).map_err(|e| SerrError::io("chaos store write", e.to_string()))?;
+
+    // A private observer so the campaign can see whether the sweep took the
+    // reset path (typed header/version error) or prefix recovery.
+    let (obs, sink) = Obs::memory();
+    let opts = SweepOptions::resume().in_dir(&dir).with_obs(obs);
+    let report =
+        checkpoint::run_sweep("chaos-s", fp, &items, 1, &opts, |i, _| Ok(probe_eval(seed, i)))?;
+    let recovered = report.rows == reference && report.failures.is_empty();
+    let reset = !sink.events_of("checkpoint.journal_reset").is_empty();
+    let detected = reset || report.resumed < PROBE_POINTS;
+    let _ = fs::remove_dir_all(&dir);
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed,
+        // Header/version damage is answered wholesale (journal reset) →
+        // Degraded; page-level damage resumes the valid prefix and
+        // recomputes the rest → Retried. Damage that altered nothing
+        // observable (e.g. a flip in already-ignored trailing bytes) would
+        // be Clean — acceptable only because the rows match the reference.
+        outcome: if recovered && reset {
+            Provenance::Degraded
+        } else if recovered && detected {
+            Provenance::Retried
+        } else if recovered {
+            Provenance::Clean
+        } else {
+            Provenance::Suspect
+        },
+        mttf_seconds: None,
+        deviation: None,
+        miss: !recovered,
+        sampler: None,
+        detail: format!(
+            "{fault_detail}; reset: {reset}, resumed {}/{PROBE_POINTS}",
             report.resumed
         ),
     })

@@ -4,35 +4,54 @@
 //! hours at paper scale (`C = 5000`, `N×S = 1e13`, 10⁶ trials per point).
 //! This module makes them restartable and panic-tolerant:
 //!
-//! * Each completed design point is appended as one JSON line to an
-//!   fsync'd journal under `target/serr-checkpoints/` (overridable via the
-//!   `SERR_CHECKPOINT_DIR` environment variable), keyed by a fingerprint of
-//!   the sweep kind, configuration, and point list. A re-run of the same
-//!   sweep resumes from the journal, recomputing only the missing points;
-//!   a *fresh* run discards the journal first.
+//! * Each completed design point is appended to a CRC-paged binary journal
+//!   (the `serr-store` container) under `target/serr-checkpoints/`
+//!   (overridable via the `SERR_CHECKPOINT_DIR` environment variable),
+//!   keyed by a fingerprint of the sweep kind, configuration, and point
+//!   list. A re-run of the same sweep resumes from the journal, recomputing
+//!   only the missing points; a *fresh* run discards the journal first.
 //! * Work items run through [`crate::par::try_par_map`], so one panicking
 //!   point surfaces as a [`SerrError::PointFailed`] in the report instead
 //!   of aborting the sweep.
 //!
 //! # Journal format
 //!
-//! One line per completed point:
-//! `{"i":<index>,"ck":"<checksum>","row":<row object>}`, where
-//! `<row object>` is produced by the row type's [`JournalRow`]
-//! implementation and `<checksum>` is a hex FNV-1a fingerprint over the
-//! index and the row's canonical JSON. Rows are written with
-//! shortest-round-trip float formatting (see [`crate::jsonio`]), so a
-//! resumed sweep reproduces **bit-identical** rows. A torn final line
-//! (crash mid-append), any malformed line, or a line whose checksum does
-//! not match its content (on-disk corruption) is simply ignored — that
-//! point is recomputed.
+//! The journal is a `serr-store` page stream (`.store` extension, stream
+//! kind [`serr_store::kind::CHECKPOINT_JOURNAL`]): a versioned header
+//! followed by CRC-guarded pages, one page per append. Each record is a
+//! varint point index followed by the row's binary JSON encoding (see
+//! [`crate::binjson`]) — floats travel as raw `f64` bits, so a resumed
+//! sweep reproduces **bit-identical** rows without a decimal parse on the
+//! resume path. Appends are fsynced per point: a killed process loses at
+//! most the point it was computing, never a recorded one.
 //!
-//! Journal appends are flushed with `sync_data` per point: a killed process
-//! loses at most the point it was computing, never a recorded one.
+//! Damage is detect-or-degrade, never silent: a torn final page (crash
+//! mid-append) is truncated away on open; an in-page flip fails that
+//! page's CRC and resume falls back to the longest valid prefix (the
+//! damaged page and its successors recompute); a damaged header or a
+//! foreign format version is a typed error ([`SerrError::StoreCorrupt`] /
+//! [`SerrError::StoreVersion`]) that [`run_sweep`] answers by resetting
+//! the journal — all points recompute, with a `checkpoint.journal_reset`
+//! warning — rather than trusting bytes it cannot verify.
+//!
+//! # Legacy JSONL migration
+//!
+//! Journals written by earlier releases are one JSON line per point with an
+//! FNV-1a checksum. When [`Journal::open`] finds no `.store` file but a
+//! legacy `.jsonl` sibling, it migrates once: every line that passes its
+//! checksum is re-encoded into the binary store, the store is re-read and
+//! verified against the parsed rows, and only then is the legacy file
+//! removed. Malformed or corrupt legacy lines are dropped exactly as the
+//! legacy reader dropped them (those points recompute).
+//!
+//! The legacy format lives on as an opt-in debugging aid: with
+//! [`SweepOptions::with_debug_journal`] the journal also maintains a
+//! human-readable `.jsonl` sidecar in the legacy format, one line per
+//! recorded point.
 //!
 //! # Locking
 //!
-//! Two processes appending to one journal would interleave lines and each
+//! Two processes appending to one journal would interleave pages and each
 //! would resume from a snapshot the other invalidates. [`Journal::open`]
 //! therefore takes an advisory per-journal lock — a `<journal>.lock` file
 //! created with `O_EXCL` and holding the owner's PID — and fails with
@@ -55,11 +74,18 @@ use std::sync::Mutex;
 
 use serr_inject::{FaultPlan, IoSite};
 use serr_obs::{Event, Obs};
+use serr_store::pages::PageJournal;
+use serr_store::{kind as store_kind, varint, Deserializer as _, Serializer as _};
 use serr_types::SerrError;
 
+use crate::binjson::{JsonDeserializer, JsonSerializer};
 use crate::jsonio::Json;
 use crate::par;
 use crate::retry::{retry_with_backoff, BackoffPolicy};
+
+/// Application-level schema version of the checkpoint record encoding
+/// (varint point index + binary JSON row), stored in the container header.
+pub const CHECKPOINT_APP: u32 = 1;
 
 /// How a sweep interacts with its checkpoint journal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +112,9 @@ pub struct SweepOptions {
     /// seed selects (see `serr-inject`), degrading exactly like the real
     /// error would.
     pub chaos: Option<FaultPlan>,
+    /// Also maintain a human-readable JSONL sidecar in the legacy journal
+    /// format (debugging aid; the binary store stays authoritative).
+    pub debug_journal: bool,
     /// Observability handle for checkpoint warnings and resume/compute
     /// counters. `None` falls back to [`serr_obs::global`], whose default
     /// renders warnings to stderr — the behaviour the old ad-hoc
@@ -123,6 +152,14 @@ impl SweepOptions {
     #[must_use]
     pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Also write the legacy-format JSONL sidecar next to the binary
+    /// journal (the `--debug-journal` CLI flag).
+    #[must_use]
+    pub fn with_debug_journal(mut self) -> Self {
+        self.debug_journal = true;
         self
     }
 
@@ -184,9 +221,10 @@ impl<R> SweepReport<R> {
 ///
 /// Implementations must be lossless for every field that feeds a report:
 /// `from_journal(&to_journal(row))` must reconstruct `row` bit-for-bit
-/// (floats included — [`Json`] guarantees shortest-round-trip formatting).
+/// (floats included — the binary journal carries raw `f64` bits, and the
+/// legacy JSONL sidecar uses shortest-round-trip formatting).
 pub trait JournalRow: Sized {
-    /// Encodes the row as a JSON value (one journal line's `"row"` field).
+    /// Encodes the row as a JSON value (one journal record's row payload).
     fn to_journal(&self) -> Json;
     /// Decodes a row; `None` (schema mismatch, missing field) means the
     /// journal entry is discarded and the point recomputed.
@@ -220,9 +258,16 @@ pub fn fingerprint(parts: &[&str]) -> u64 {
     h
 }
 
-/// The journal file path for `(kind, fingerprint)` under `dir`.
+/// The binary journal file path for `(kind, fingerprint)` under `dir`.
 #[must_use]
 pub fn journal_path(dir: &Path, kind: &str, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{kind}-{fingerprint:016x}.store"))
+}
+
+/// The legacy JSONL journal path for `(kind, fingerprint)` under `dir` —
+/// the migration source, and the debug sidecar's location.
+#[must_use]
+pub fn legacy_journal_path(dir: &Path, kind: &str, fingerprint: u64) -> PathBuf {
     dir.join(format!("{kind}-{fingerprint:016x}.jsonl"))
 }
 
@@ -235,10 +280,55 @@ pub fn journal_lock_path(journal: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-/// The per-line integrity checksum: an FNV-1a fingerprint over the point
-/// index (decimal) and the row's canonical JSON.
+/// The legacy per-line integrity checksum: an FNV-1a fingerprint over the
+/// point index (decimal) and the row's canonical JSON. Still computed for
+/// migration verification and the debug sidecar.
 fn line_checksum(index: usize, row_json: &str) -> u64 {
     fingerprint(&[&index.to_string(), row_json])
+}
+
+/// One legacy-format journal line (also the debug sidecar line format).
+fn legacy_line(index: usize, row_json: &str) -> String {
+    let ck = line_checksum(index, row_json);
+    format!("{{\"i\":{index},\"ck\":\"{ck:016x}\",\"row\":{row_json}}}")
+}
+
+/// Parses legacy JSONL journal text, dropping malformed lines — including
+/// a final line torn by a crash mid-append — and lines whose checksum does
+/// not match their content. Exactly the legacy reader's semantics.
+fn parse_legacy_lines(text: &str) -> BTreeMap<usize, Json> {
+    let mut completed = BTreeMap::new();
+    for line in text.lines() {
+        let Some(entry) = Json::parse(line) else { continue };
+        let Some(i) = entry.get("i").and_then(Json::as_usize) else { continue };
+        let Some(row) = entry.get("row") else { continue };
+        let Some(ck) = entry.get("ck").and_then(Json::as_str) else { continue };
+        // Re-serialization is canonical (shortest-round-trip floats), so a
+        // checksum over the parsed row matches the written line unless the
+        // bytes changed underneath it.
+        if ck != format!("{:016x}", line_checksum(i, &row.to_json())) {
+            continue;
+        }
+        completed.insert(i, row.clone());
+    }
+    completed
+}
+
+/// One binary journal record: varint point index + binary JSON row.
+fn encode_record(index: usize, row: &Json) -> Vec<u8> {
+    let mut buf = Vec::new();
+    varint::write_u64(&mut buf, index as u64);
+    JsonSerializer.serialize(row, &mut buf).expect("binary json encoding is infallible");
+    buf
+}
+
+/// Decodes one journal record; `None` (bad varint, corrupt row encoding,
+/// trailing bytes) means the record is dropped and its point recomputes.
+fn decode_record(mut bytes: &[u8]) -> Option<(usize, Json)> {
+    let index = varint::read_u64(&mut bytes).ok()?;
+    let index = usize::try_from(index).ok()?;
+    let row = JsonDeserializer.deserialize(&mut bytes).ok()?;
+    bytes.is_empty().then_some((index, row))
 }
 
 /// Whether the process named in `lock_path` is provably dead, so the lock
@@ -278,32 +368,40 @@ fn acquire_journal_lock(lock_path: &Path) -> Result<(), SerrError> {
     Err(SerrError::JournalLocked { path: lock_path.display().to_string() })
 }
 
-/// An append-only, fsync'd JSONL checkpoint journal for one sweep, held
+/// An append-only, fsync'd binary checkpoint journal for one sweep, held
 /// under an advisory lock that is released when the journal drops.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    legacy_path: PathBuf,
     lock_path: PathBuf,
-    file: Mutex<File>,
+    store: Mutex<PageJournal>,
+    debug: Option<Mutex<File>>,
     completed: BTreeMap<usize, Json>,
 }
 
 impl Journal {
     /// Opens (or creates) the journal for `(kind, fingerprint)` under
     /// `dir`, loading previously completed points. With `fresh`, any
-    /// existing journal is deleted first.
+    /// existing journal (and legacy sidecar) is deleted first.
     ///
-    /// Malformed lines — including a final line torn by a crash mid-append
-    /// — and lines whose checksum does not match their content are skipped:
-    /// those points simply recompute.
+    /// A torn final page (crash mid-append) is truncated away; a page
+    /// damaged in place stops the scan there, so the valid prefix resumes
+    /// and the rest recomputes. A legacy `.jsonl` journal with no binary
+    /// sibling is migrated once (checksum-verified line by line, then the
+    /// written store is re-read and verified) before the legacy file is
+    /// removed.
     ///
     /// # Errors
     ///
     /// [`SerrError::JournalLocked`] when another live process holds the
     /// journal's advisory lock (fatal: two writers would corrupt each
-    /// other's resume state), or [`SerrError::Io`] for filesystem errors
-    /// (unwritable directory, etc.) — callers degrade the latter to
-    /// checkpoint-less operation rather than failing the sweep.
+    /// other's resume state); [`SerrError::StoreCorrupt`] /
+    /// [`SerrError::StoreVersion`] when the store header is damaged or
+    /// claims a foreign format version (deterministic — retrying cannot
+    /// help; callers reset the journal instead); [`SerrError::Io`] for
+    /// filesystem errors — callers degrade the latter to checkpoint-less
+    /// operation rather than failing the sweep.
     pub fn open(
         dir: &Path,
         kind: &str,
@@ -316,14 +414,21 @@ impl Journal {
     /// [`Journal::open`] wrapped in [`retry_with_backoff`]: a journal
     /// locked by a process that is just shutting down (the common transient
     /// — e.g. a draining service handing over to its replacement) is
-    /// retried on the bounded, jitter-deterministic schedule instead of
-    /// failing the first probe. A lock held by a *live* writer still
+    /// retried on the bounded, jitter-deterministic schedule, as is a
+    /// transient filesystem error. A lock held by a *live* writer still
     /// defeats every attempt and returns the same typed error as before.
+    ///
+    /// Deterministic corruption ([`SerrError::StoreCorrupt`] /
+    /// [`SerrError::StoreVersion`]) is **not** retried: the bytes on disk
+    /// do not change between attempts, so retrying only burns the backoff
+    /// schedule before the caller learns it must reset the journal. The
+    /// error surfaces immediately, unchanged from the first attempt.
     ///
     /// # Errors
     ///
-    /// [`SerrError::JournalLocked`] once retries are exhausted, or any
-    /// non-transient [`Journal::open`] error unchanged from the first try.
+    /// [`SerrError::JournalLocked`] once retries are exhausted, corruption
+    /// errors immediately, or any other [`Journal::open`] error unchanged
+    /// from the first try.
     pub fn open_with_retry(
         dir: &Path,
         kind: &str,
@@ -331,12 +436,33 @@ impl Journal {
         fresh: bool,
         policy: &BackoffPolicy,
     ) -> Result<Journal, SerrError> {
+        Self::open_with_retry_sleep(dir, kind, fingerprint, fresh, policy, std::thread::sleep)
+    }
+
+    /// [`Journal::open_with_retry`] with an injectable sleep, so tests can
+    /// assert the retry schedule (corruption must not sleep at all).
+    pub(crate) fn open_with_retry_sleep(
+        dir: &Path,
+        kind: &str,
+        fingerprint: u64,
+        fresh: bool,
+        policy: &BackoffPolicy,
+        sleep: impl FnMut(std::time::Duration),
+    ) -> Result<Journal, SerrError> {
         retry_with_backoff(
             policy,
             |_| Self::open_inner(dir, kind, fingerprint, fresh),
-            |e| matches!(e, SerrError::JournalLocked { .. }),
-            std::thread::sleep,
+            Self::open_retryable,
+            sleep,
         )
+    }
+
+    /// Which open errors are worth retrying: lock contention and transient
+    /// I/O. Deterministic corruption is excluded — the same bytes fail the
+    /// same way on every attempt.
+    fn open_retryable(e: &SerrError) -> bool {
+        !e.is_deterministic_corruption()
+            && matches!(e, SerrError::JournalLocked { .. } | SerrError::Io { .. })
     }
 
     fn open_inner(
@@ -348,12 +474,18 @@ impl Journal {
         fs::create_dir_all(dir)
             .map_err(|e| SerrError::io("create checkpoint directory", e.to_string()))?;
         let path = journal_path(dir, kind, fingerprint);
+        let legacy_path = legacy_journal_path(dir, kind, fingerprint);
         let lock_path = journal_lock_path(&path);
         acquire_journal_lock(&lock_path)?;
-        match Self::open_locked(&path, fresh) {
-            Ok((file, completed)) => {
-                Ok(Journal { path, lock_path, file: Mutex::new(file), completed })
-            }
+        match Self::open_locked(&path, &legacy_path, fresh) {
+            Ok((store, completed)) => Ok(Journal {
+                path,
+                legacy_path,
+                lock_path,
+                store: Mutex::new(store),
+                debug: None,
+                completed,
+            }),
             Err(e) => {
                 let _ = fs::remove_file(&lock_path);
                 Err(e)
@@ -363,36 +495,95 @@ impl Journal {
 
     /// The fallible tail of [`Journal::open`], split out so the caller can
     /// release the just-taken lock on any error.
-    fn open_locked(path: &Path, fresh: bool) -> Result<(File, BTreeMap<usize, Json>), SerrError> {
+    fn open_locked(
+        path: &Path,
+        legacy_path: &Path,
+        fresh: bool,
+    ) -> Result<(PageJournal, BTreeMap<usize, Json>), SerrError> {
         if fresh {
-            match fs::remove_file(path) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(SerrError::io("discard stale journal", e.to_string())),
-            }
-        }
-        let mut completed = BTreeMap::new();
-        if let Ok(text) = fs::read_to_string(path) {
-            for line in text.lines() {
-                let Some(entry) = Json::parse(line) else { continue };
-                let Some(i) = entry.get("i").and_then(Json::as_usize) else { continue };
-                let Some(row) = entry.get("row") else { continue };
-                let Some(ck) = entry.get("ck").and_then(Json::as_str) else { continue };
-                // Re-serialization is canonical (shortest-round-trip floats),
-                // so a checksum over the parsed row matches the written line
-                // unless the bytes changed underneath it.
-                if ck != format!("{:016x}", line_checksum(i, &row.to_json())) {
-                    continue;
+            for p in [path, legacy_path] {
+                match fs::remove_file(p) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(SerrError::io("discard stale journal", e.to_string())),
                 }
-                completed.insert(i, row.clone());
             }
         }
-        let file = OpenOptions::new()
+
+        // One-time migration: a legacy JSONL journal with no binary sibling
+        // is absorbed into a fresh store, verified, and then removed.
+        let migrate = !fresh && !path.exists() && legacy_path.exists();
+        let (mut store, recovery) =
+            PageJournal::open(path, store_kind::CHECKPOINT_JOURNAL, CHECKPOINT_APP)?;
+
+        let mut completed = BTreeMap::new();
+        if migrate {
+            let text = fs::read_to_string(legacy_path)
+                .map_err(|e| SerrError::io("read legacy journal", e.to_string()))?;
+            completed = parse_legacy_lines(&text);
+            let records: Vec<Vec<u8>> =
+                completed.iter().map(|(&i, row)| encode_record(i, row)).collect();
+            let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+            store.append(&refs)?;
+            Self::verify_migration(path, &completed)?;
+            // Read once, migrated, verified — the legacy file is done.
+            // (Best-effort: a leftover file is ignored on future opens,
+            // because the store now exists.)
+            let _ = fs::remove_file(legacy_path);
+        } else {
+            for rec in &recovery.records {
+                if let Some((i, row)) = decode_record(rec) {
+                    completed.insert(i, row);
+                }
+            }
+        }
+        Ok((store, completed))
+    }
+
+    /// Re-reads a just-migrated store and checks it decodes to exactly the
+    /// rows parsed from the legacy journal.
+    fn verify_migration(path: &Path, expected: &BTreeMap<usize, Json>) -> Result<(), SerrError> {
+        let (_, records, truncated) = serr_store::pages::read_store(path)?;
+        let mut decoded = BTreeMap::new();
+        for rec in &records {
+            if let Some((i, row)) = decode_record(rec) {
+                decoded.insert(i, row);
+            }
+        }
+        if truncated || &decoded != expected {
+            return Err(SerrError::store_corrupt(
+                path.display().to_string(),
+                "migrated store does not round-trip the legacy rows",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Switches on the legacy-format JSONL sidecar (debugging aid). If the
+    /// sidecar does not exist yet, already-completed points are dumped
+    /// first, so the file is a complete legacy-format mirror of the store.
+    ///
+    /// # Errors
+    ///
+    /// [`SerrError::Io`] when the sidecar cannot be created; callers treat
+    /// that as a degraded (binary-only) journal, not a failure.
+    pub fn enable_debug_jsonl(&mut self) -> Result<(), SerrError> {
+        let existed = self.legacy_path.exists();
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)
-            .map_err(|e| SerrError::io("open checkpoint journal", e.to_string()))?;
-        Ok((file, completed))
+            .open(&self.legacy_path)
+            .map_err(|e| SerrError::io("open debug journal sidecar", e.to_string()))?;
+        if !existed {
+            for (&i, row) in &self.completed {
+                let line = legacy_line(i, &row.to_json());
+                file.write_all(line.as_bytes())
+                    .and_then(|()| file.write_all(b"\n"))
+                    .map_err(|e| SerrError::io("seed debug journal sidecar", e.to_string()))?;
+            }
+        }
+        self.debug = Some(Mutex::new(file));
+        Ok(())
     }
 
     /// Points already recorded, by input index.
@@ -401,29 +592,42 @@ impl Journal {
         &self.completed
     }
 
-    /// The journal file path.
+    /// The binary journal file path.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Appends one completed point and syncs it to disk, so a subsequent
-    /// crash cannot lose it.
+    /// The legacy/sidecar JSONL path next to the binary journal.
+    #[must_use]
+    pub fn legacy_path(&self) -> &Path {
+        &self.legacy_path
+    }
+
+    /// Appends one completed point as its own fsynced page, so a subsequent
+    /// crash cannot lose it (and can tear at most this page, which recovery
+    /// truncates away).
     ///
     /// # Errors
     ///
     /// Propagates write/sync errors; the sweep runner logs and continues
     /// (losing checkpointing for that point, not the point itself).
-    pub fn record(&self, index: usize, row: &Json) -> std::io::Result<()> {
-        let row_json = row.to_json();
-        let ck = line_checksum(index, &row_json);
-        let line = format!("{{\"i\":{index},\"ck\":\"{ck:016x}\",\"row\":{row_json}}}");
-        // A poisoned lock only means another worker panicked *between*
-        // journal writes; the file itself is line-consistent, so keep going.
-        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        file.write_all(line.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_data()
+    pub fn record(&self, index: usize, row: &Json) -> Result<(), SerrError> {
+        let record = encode_record(index, row);
+        {
+            // A poisoned lock only means another worker panicked *between*
+            // journal writes; the file itself is page-consistent, so keep
+            // going.
+            let mut store = self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            store.append(&[record.as_slice()])?;
+        }
+        if let Some(debug) = &self.debug {
+            // Best-effort mirror: sidecar damage never costs checkpointing.
+            let line = legacy_line(index, &row.to_json());
+            let mut file = debug.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = file.write_all(line.as_bytes()).and_then(|()| file.write_all(b"\n"));
+        }
+        Ok(())
     }
 }
 
@@ -445,8 +649,12 @@ impl Drop for Journal {
 /// error, or an injected open fault), the sweep still runs — it just
 /// doesn't checkpoint; a `checkpoint.journal_unavailable` warning event is
 /// emitted through `opts.obs` (or the process-wide default sink, which
-/// renders warnings to stderr). Resume/compute/failure counts land in the
-/// same handle's metrics registry.
+/// renders warnings to stderr). A journal whose store header is damaged or
+/// claims a foreign format version is **reset**: a
+/// `checkpoint.journal_reset` warning is emitted, the store is recreated
+/// fresh, and every point recomputes — degraded, never silently wrong.
+/// Resume/compute/failure counts land in the same handle's metrics
+/// registry.
 ///
 /// # Errors
 ///
@@ -492,9 +700,29 @@ where
                 // bounded retry schedule; a genuinely live writer defeats
                 // every attempt and the typed error stays fatal.
                 let policy = BackoffPolicy::journal(fingerprint);
-                match Journal::open_with_retry(&dir, kind, fingerprint, fresh, &policy) {
+                let open =
+                    |fresh| Journal::open_with_retry(&dir, kind, fingerprint, fresh, &policy);
+                match open(fresh) {
                     Ok(j) => Some(j),
                     Err(e @ SerrError::JournalLocked { .. }) => return Err(e),
+                    Err(e) if e.is_deterministic_corruption() => {
+                        // Unusable bytes: reset rather than trust them.
+                        // All points recompute — degraded, never silent.
+                        obs.emit(
+                            Event::warn("checkpoint.journal_reset", 0)
+                                .with("sweep", kind)
+                                .with("reason", e.to_string())
+                                .with("action", "journal reset; every point recomputes"),
+                        );
+                        match open(true) {
+                            Ok(j) => Some(j),
+                            Err(e @ SerrError::JournalLocked { .. }) => return Err(e),
+                            Err(e) => {
+                                warn_open(e.to_string());
+                                None
+                            }
+                        }
+                    }
                     Err(e) => {
                         warn_open(e.to_string());
                         None
@@ -503,6 +731,19 @@ where
             }
         }
     };
+    let journal = journal.map(|mut j| {
+        if opts.debug_journal {
+            if let Err(e) = j.enable_debug_jsonl() {
+                obs.emit(
+                    Event::warn("checkpoint.debug_sidecar_failed", 0)
+                        .with("sweep", kind)
+                        .with("reason", e.to_string())
+                        .with("action", "journal stays binary-only"),
+                );
+            }
+        }
+        j
+    });
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
@@ -573,7 +814,7 @@ where
 mod tests {
     use super::*;
     // `Write as _` in the parent has no name, so the glob import above does
-    // not bring it in; the torn-line test writes to a raw `File` directly.
+    // not bring it in; the legacy-journal tests write raw files directly.
     use std::io::Write as _;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -630,6 +871,17 @@ mod tests {
                 x.value,
                 y.value
             );
+        }
+    }
+
+    /// Writes a legacy-format JSONL journal by hand (the files older
+    /// releases produced), for the migration tests.
+    fn write_legacy_journal(dir: &Path, kind: &str, fp: u64, rows: &[(usize, Json)]) {
+        fs::create_dir_all(dir).unwrap();
+        let path = legacy_journal_path(dir, kind, fp);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path).unwrap();
+        for (i, row) in rows {
+            writeln!(file, "{}", legacy_line(*i, &row.to_json())).unwrap();
         }
     }
 
@@ -729,32 +981,44 @@ mod tests {
     }
 
     #[test]
-    fn torn_and_malformed_journal_lines_are_recomputed() {
-        let dir = fresh_test_dir("torn");
+    fn legacy_jsonl_journal_migrates_once_with_bad_lines_recomputed() {
+        let dir = fresh_test_dir("migrate");
         let items: Vec<u64> = (0..4).collect();
-        let fp = fingerprint(&["torn-test"]);
-        let journal = Journal::open(&dir, "t-torn", fp, false).unwrap();
-        // Two good lines, one torn mid-append, one schema-mismatched.
-        journal.record(0, &eval_row(0, &0).unwrap().to_journal()).unwrap();
-        journal.record(1, &eval_row(1, &1).unwrap().to_journal()).unwrap();
-        drop(journal);
-        let path = dir.join(format!("t-torn-{fp:016x}.jsonl"));
-        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        let fp = fingerprint(&["migrate-test"]);
+
+        // Two good legacy lines, one malformed, one torn mid-append.
+        let good: Vec<(usize, Json)> =
+            (0..2).map(|i| (i, eval_row(i, &(i as u64)).unwrap().to_journal())).collect();
+        write_legacy_journal(&dir, "t-mig", fp, &good);
+        let legacy = legacy_journal_path(&dir, "t-mig", fp);
+        let mut file = OpenOptions::new().append(true).open(&legacy).unwrap();
         writeln!(file, "{}", r#"{"i":2,"row":{"idx":2,"value":"not a number","label":"x"}}"#)
             .unwrap();
-        write!(file, "{}", r#"{"i":3,"row":{"idx":3,"va"#).unwrap(); // torn
+        write!(file, "{}", r#"{"i":3,"ck":"00","row":{"idx":3,"va"#).unwrap(); // torn
         drop(file);
 
         let calls = AtomicUsize::new(0);
         let opts = SweepOptions::resume().in_dir(&dir);
-        let report = run_sweep("t-torn", fp, &items, 1, &opts, |i, x| {
+        let report = run_sweep("t-mig", fp, &items, 1, &opts, |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
         })
         .unwrap();
-        assert_eq!(report.resumed, 2, "good lines resume");
-        assert_eq!(calls.load(Ordering::Relaxed), 2, "bad lines recompute");
+        assert_eq!(report.resumed, 2, "good legacy lines resume");
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "bad legacy lines recompute");
         assert_eq!(report.rows.len(), 4);
+        assert!(journal_path(&dir, "t-mig", fp).exists(), "migration writes the binary store");
+        assert!(!legacy.exists(), "the legacy journal is read once, then removed");
+
+        // The migrated + freshly-recorded store resumes everything.
+        let calls = AtomicUsize::new(0);
+        let second = run_sweep("t-mig", fp, &items, 1, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(second.resumed, 4);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -795,6 +1059,20 @@ mod tests {
         let back = TestRow::from_journal(&row.to_journal()).unwrap();
         assert_eq!(back.label, row.label);
         assert_eq!(back.value.to_bits(), row.value.to_bits());
+    }
+
+    #[test]
+    fn binary_record_roundtrip_is_lossless() {
+        let row = eval_row(3, &9).unwrap().to_journal();
+        let rec = encode_record(3, &row);
+        let (i, back) = decode_record(&rec).expect("record decodes");
+        assert_eq!(i, 3);
+        assert_eq!(back, row);
+        // Truncated and padded records are dropped, not trusted.
+        assert!(decode_record(&rec[..rec.len() - 1]).is_none());
+        let mut padded = rec.clone();
+        padded.push(0);
+        assert!(decode_record(&padded).is_none());
     }
 
     #[test]
@@ -855,6 +1133,49 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    #[test]
+    fn open_with_retry_fails_corruption_immediately_without_sleeping() {
+        let dir = fresh_test_dir("retry-corrupt");
+        let fp = fingerprint(&["retry-corrupt-test"]);
+        // A journal whose store header is damaged in place.
+        let journal = Journal::open(&dir, "t-rc", fp, false).unwrap();
+        journal.record(0, &eval_row(0, &0).unwrap().to_journal()).unwrap();
+        drop(journal);
+        let path = journal_path(&dir, "t-rc", fp);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0x40; // magic byte
+        fs::write(&path, &bytes).unwrap();
+
+        // Deterministic corruption must not burn the backoff schedule:
+        // zero sleeps, typed error from the first attempt.
+        let policy = BackoffPolicy::journal(fp);
+        let sleeps = AtomicUsize::new(0);
+        let result = Journal::open_with_retry_sleep(&dir, "t-rc", fp, false, &policy, |_| {
+            sleeps.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            matches!(result, Err(SerrError::StoreCorrupt { .. })),
+            "expected StoreCorrupt, got {result:?}"
+        );
+        assert_eq!(sleeps.load(Ordering::Relaxed), 0, "corruption retries cannot help");
+
+        // Same for a structurally valid header claiming a future format.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0x40; // restore magic
+        serr_store::pages::forge_format_version(&mut bytes, serr_store::pages::FORMAT_VERSION + 9);
+        fs::write(&path, &bytes).unwrap();
+        let sleeps = AtomicUsize::new(0);
+        let result = Journal::open_with_retry_sleep(&dir, "t-rc", fp, false, &policy, |_| {
+            sleeps.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            matches!(result, Err(SerrError::StoreVersion { .. })),
+            "expected StoreVersion, got {result:?}"
+        );
+        assert_eq!(sleeps.load(Ordering::Relaxed), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
     #[cfg(target_os = "linux")]
     #[test]
     fn stale_lock_from_a_dead_process_is_reclaimed() {
@@ -873,33 +1194,111 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_journal_lines_fail_their_checksum_and_recompute() {
-        let dir = fresh_test_dir("ck");
+    fn corrupted_journal_pages_fail_their_crc_and_recompute() {
+        let dir = fresh_test_dir("crc");
         let items: Vec<u64> = (0..3).collect();
-        let fp = fingerprint(&["ck-test"]);
-        let journal = Journal::open(&dir, "t-ck", fp, false).unwrap();
+        let fp = fingerprint(&["crc-test"]);
+        let journal = Journal::open(&dir, "t-crc", fp, false).unwrap();
         for i in 0..3usize {
             journal.record(i, &eval_row(i, &(i as u64)).unwrap().to_journal()).unwrap();
         }
         drop(journal);
 
-        // Flip one row's payload in place (still valid JSON, wrong checksum).
-        let path = journal_path(&dir, "t-ck", fp);
-        let text = fs::read_to_string(&path).unwrap();
-        assert!(text.contains("point-1"), "journal should hold row 1: {text}");
-        fs::write(&path, text.replace("point-1", "point-X")).unwrap();
+        // Flip one byte inside row 1's page payload (its label string lands
+        // verbatim in the binary encoding).
+        let path = journal_path(&dir, "t-crc", fp);
+        let mut bytes = fs::read(&path).unwrap();
+        let needle = b"point-1";
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("journal should hold row 1");
+        bytes[at + 6] ^= 0x08; // "point-1" -> not "point-1"
+        fs::write(&path, &bytes).unwrap();
 
+        // The damaged page fails its CRC; the scan stops there, so row 0
+        // resumes and rows 1..3 (the damaged page and its successors)
+        // recompute. Prefix recovery trades later intact pages for never
+        // trusting an unverifiable offset.
         let calls = AtomicUsize::new(0);
         let opts = SweepOptions::resume().in_dir(&dir);
-        let report = run_sweep("t-ck", fp, &items, 1, &opts, |i, x| {
+        let report = run_sweep("t-crc", fp, &items, 1, &opts, |i, x| {
             calls.fetch_add(1, Ordering::Relaxed);
             eval_row(i, x)
         })
         .unwrap();
-        assert_eq!(report.resumed, 2, "intact lines resume");
-        assert_eq!(calls.load(Ordering::Relaxed), 1, "the corrupted line recomputes");
+        assert_eq!(report.resumed, 1, "the prefix before the damaged page resumes");
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "damaged page and successors recompute");
         assert_eq!(report.rows.len(), 3);
         assert_eq!(report.rows[1].label, "point-1", "recomputed row is correct");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_header_resets_the_journal_with_a_typed_warning() {
+        let dir = fresh_test_dir("reset");
+        let items: Vec<u64> = (0..4).collect();
+        let fp = fingerprint(&["reset-test"]);
+        let journal = Journal::open(&dir, "t-reset", fp, false).unwrap();
+        for i in 0..4usize {
+            journal.record(i, &eval_row(i, &(i as u64)).unwrap().to_journal()).unwrap();
+        }
+        drop(journal);
+        let path = journal_path(&dir, "t-reset", fp);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF; // format-version field -> header CRC mismatch
+        fs::write(&path, &bytes).unwrap();
+
+        let (obs, sink) = Obs::memory();
+        let calls = AtomicUsize::new(0);
+        let opts = SweepOptions::resume().in_dir(&dir).with_obs(obs);
+        let report = run_sweep("t-reset", fp, &items, 2, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        })
+        .unwrap();
+        assert_eq!(report.resumed, 0, "nothing from unverifiable bytes");
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "every point recomputes");
+        let resets = sink.events_of("checkpoint.journal_reset");
+        assert_eq!(resets.len(), 1);
+        assert_eq!(resets[0].level, serr_obs::Level::Warn);
+
+        // The reset journal is usable again: the next run resumes all 4.
+        let opts = SweepOptions::resume().in_dir(&dir);
+        let second = run_sweep("t-reset", fp, &items, 2, &opts, eval_row).unwrap();
+        assert_eq!(second.resumed, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn debug_sidecar_mirrors_the_binary_journal_in_legacy_format() {
+        let dir = fresh_test_dir("sidecar");
+        let items: Vec<u64> = (0..5).collect();
+        let fp = fingerprint(&["sidecar-test"]);
+        let opts = SweepOptions::resume().in_dir(&dir).with_debug_journal();
+        run_sweep("t-sc", fp, &items, 2, &opts, eval_row).unwrap();
+
+        let sidecar = legacy_journal_path(&dir, "t-sc", fp);
+        let text = fs::read_to_string(&sidecar).expect("sidecar exists");
+        let parsed = parse_legacy_lines(&text);
+        assert_eq!(parsed.len(), 5, "sidecar lines parse under legacy rules: {text}");
+
+        // The sidecar decodes to exactly the rows the binary store holds —
+        // and the binary store (not the sidecar) drives the resume.
+        let journal = Journal::open(&dir, "t-sc", fp, false).unwrap();
+        assert_eq!(journal.completed(), &parsed);
+        drop(journal);
+
+        // Resuming with the sidecar on seeds no duplicates and recomputes
+        // nothing.
+        let calls = AtomicUsize::new(0);
+        let second = run_sweep("t-sc", fp, &items, 2, &opts, |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            eval_row(i, x)
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(second.resumed, 5);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -970,12 +1369,17 @@ mod tests {
             "open fault must not create a journal"
         );
 
-        // Record fault: journal exists but stays empty; rows still correct.
+        // Record fault: journal exists but holds no pages; rows still
+        // correct.
         let opts = SweepOptions::resume().in_dir(&dir).with_chaos(plan_for(IoSite::Record));
         let report = run_sweep("t-chaos-io", fp, &items, 1, &opts, eval_row).unwrap();
         assert_rows_bit_identical(&report.rows, &reference);
-        let text = fs::read_to_string(journal_path(&dir, "t-chaos-io", fp)).unwrap();
-        assert!(text.is_empty(), "record fault must suppress appends, got: {text}");
+        let len = fs::metadata(journal_path(&dir, "t-chaos-io", fp)).unwrap().len();
+        assert_eq!(
+            len,
+            serr_store::pages::HEADER_LEN as u64,
+            "record fault must suppress appends (header only)"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod avf;
+pub mod binjson;
 pub mod chaos;
 pub mod checkpoint;
 pub mod design;

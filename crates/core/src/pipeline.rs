@@ -10,11 +10,13 @@
 //! changing the simulator) or point it at another directory.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use serr_obs::Event;
 use serr_sim::{ProcessorMaskingTraces, SimConfig, SimOutput, SimStats, Simulator};
+use serr_store::pages::{recover, write_atomic, StoreBuilder};
+use serr_store::{kind as store_kind, FileBytes};
 use serr_trace::{
     decode_interval_trace, encode_interval_trace, CompositeTrace, VulnerabilityTrace,
 };
@@ -26,10 +28,13 @@ use crate::rates::UnitRates;
 /// Bump when generator or trace-format changes invalidate cached traces
 /// (machine-configuration changes are covered by the config fingerprint).
 /// v4: a leading FNV-1a content checksum guards the whole payload.
-const CACHE_VERSION: u32 = 4;
+/// v5: the `serr-store` CRC-paged container (`.store` extension, stream
+/// kind [`serr_store::kind::TRACE_CACHE`], this constant as the `app`
+/// header field) with five records — the stats block and the four unit
+/// traces — and memory-mapped zero-copy loads.
+const CACHE_VERSION: u32 = 5;
 
-/// FNV-1a over arbitrary bytes — the config fingerprint and the cache-file
-/// content checksum.
+/// FNV-1a over arbitrary bytes — the config fingerprint.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -56,7 +61,7 @@ fn cache_dir() -> Option<PathBuf> {
 fn cache_path(name: &str, instructions: u64, seed: u64, cfg: &SimConfig) -> Option<PathBuf> {
     let fp = config_fingerprint(cfg);
     cache_dir()
-        .map(|d| d.join(format!("v{CACHE_VERSION}-{fp:016x}-{name}-{instructions}-{seed}.bin")))
+        .map(|d| d.join(format!("v{CACHE_VERSION}-{fp:016x}-{name}-{instructions}-{seed}.store")))
 }
 
 /// On-disk format: a fixed-width stats header followed by the four traces
@@ -111,54 +116,41 @@ fn decode_stats(b: &[u8]) -> Option<SimStats> {
     })
 }
 
-pub(crate) fn store(path: &PathBuf, out: &SimOutput) -> std::io::Result<()> {
+pub(crate) fn store(path: &Path, out: &SimOutput) -> Result<(), SerrError> {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+        std::fs::create_dir_all(parent)
+            .map_err(|e| SerrError::io("create trace-cache directory", e.to_string()))?;
     }
-    let mut payload = Vec::new();
-    let stats = encode_stats(&out.stats);
-    payload.extend_from_slice(&(stats.len() as u64).to_le_bytes());
-    payload.extend_from_slice(&stats);
+    // Five records in the CRC-paged container: the stats block, then the
+    // four unit traces. `write_atomic` commits via tmp + fsync + rename, so
+    // a concurrent reader never sees a torn file.
+    let mut builder = StoreBuilder::new(store_kind::TRACE_CACHE, CACHE_VERSION);
+    builder.push_record(&encode_stats(&out.stats));
     for t in [&out.traces.int_unit, &out.traces.fp_unit, &out.traces.decode, &out.traces.regfile] {
-        let enc = encode_interval_trace(t);
-        payload.extend_from_slice(&(enc.len() as u64).to_le_bytes());
-        payload.extend_from_slice(&enc);
+        builder.push_record(&encode_interval_trace(t));
     }
-    // File layout: [FNV-1a of payload, u64 LE][payload]. The checksum
-    // catches bit rot and truncation that the structural decode would
-    // otherwise happily misread as valid (short) traces.
-    let mut buf = Vec::with_capacity(8 + payload.len());
-    buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-    buf.extend_from_slice(&payload);
-    // Atomic-ish: write then rename, so a concurrent reader never sees a
-    // torn file.
-    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-    std::fs::write(&tmp, &buf)?;
-    std::fs::rename(&tmp, path)
+    write_atomic(path, &builder.finish())
 }
 
-/// Decodes a cache file's bytes (checksum header + payload). `None` means
-/// the entry is corrupt or from an incompatible writer.
-fn decode_cache_file(data: &[u8]) -> Option<SimOutput> {
-    let sum = u64::from_le_bytes(data.get(..8)?.try_into().ok()?);
-    let payload = data.get(8..)?;
-    if sum != fnv1a(payload) {
+/// Decodes a cache file image (store container, five records). `None`
+/// means the entry is corrupt, incomplete, or from an incompatible writer.
+///
+/// Unlike the checkpoint journal, a cache entry is all-or-nothing: a valid
+/// *prefix* of a simulation's traces is useless, so any damage — torn tail,
+/// failed page CRC, wrong record count — rejects the whole entry.
+fn decode_cache_image(data: &[u8]) -> Option<SimOutput> {
+    let rec = recover(data, "trace cache").ok()?;
+    if rec.header.kind != store_kind::TRACE_CACHE
+        || rec.header.app != CACHE_VERSION
+        || rec.truncated()
+        || rec.records.len() != 5
+    {
         return None;
     }
-    let mut off = 0usize;
-    let take_len = |data: &[u8], off: &mut usize| -> Option<usize> {
-        let n = u64::from_le_bytes(data.get(*off..*off + 8)?.try_into().ok()?) as usize;
-        *off += 8;
-        Some(n)
-    };
-    let n = take_len(payload, &mut off)?;
-    let stats = decode_stats(payload.get(off..off + n)?)?;
-    off += n;
+    let stats = decode_stats(rec.records[0])?;
     let mut traces = Vec::with_capacity(4);
-    for _ in 0..4 {
-        let n = take_len(payload, &mut off)?;
-        traces.push(decode_interval_trace(payload.get(off..off + n)?).ok()?);
-        off += n;
+    for raw in &rec.records[1..] {
+        traces.push(decode_interval_trace(raw).ok()?);
     }
     let regfile = traces.pop()?;
     let decode = traces.pop()?;
@@ -167,25 +159,58 @@ fn decode_cache_file(data: &[u8]) -> Option<SimOutput> {
     Some(SimOutput { stats, traces: ProcessorMaskingTraces { int_unit, fp_unit, decode, regfile } })
 }
 
-pub(crate) fn load(path: &PathBuf) -> Option<SimOutput> {
+fn load_with(
+    path: &Path,
+    open: impl FnOnce(&Path) -> Result<FileBytes, SerrError>,
+) -> Option<SimOutput> {
     // A missing file is the normal cache-miss path — leave the filesystem
     // alone. A present-but-undecodable file is corrupt: delete it so this
     // run re-simulates and rewrites a good entry instead of tripping over
     // the same bad bytes forever.
-    let data = std::fs::read(path).ok()?;
-    let out = decode_cache_file(&data);
+    let image = open(path).ok()?;
+    let out = decode_cache_image(&image);
     if out.is_none() {
+        let bytes = image.len() as u64;
+        drop(image); // release the mapping before unlinking
         let _ = std::fs::remove_file(path);
         let obs = serr_obs::global();
         obs.emit(
             Event::warn("cache.evict", 0)
                 .with("path", path.display().to_string())
                 .with("reason", "checksum or decode failure")
-                .with("bytes", data.len() as u64),
+                .with("bytes", bytes),
         );
         obs.metrics().add("cache.evictions", 1);
     }
     out
+}
+
+pub(crate) fn load(path: &Path) -> Option<SimOutput> {
+    load_with(path, FileBytes::map)
+}
+
+/// Loads one on-disk cache entry through the memory-mapped (zero-copy)
+/// path — the default the pipeline itself uses. Public for benchmarks.
+#[must_use]
+pub fn load_cache_entry_mmap(path: &Path) -> Option<SimOutput> {
+    load_with(path, FileBytes::map)
+}
+
+/// Loads one on-disk cache entry through an ordinary buffered read —
+/// the comparison baseline for [`load_cache_entry_mmap`] benchmarks.
+#[must_use]
+pub fn load_cache_entry_read(path: &Path) -> Option<SimOutput> {
+    load_with(path, FileBytes::read)
+}
+
+/// Writes one on-disk cache entry in the v5 store format. Public for
+/// benchmarks; the pipeline writes entries itself on cache misses.
+///
+/// # Errors
+///
+/// [`SerrError::Io`] when the directory or file cannot be written.
+pub fn write_cache_entry(path: &Path, out: &SimOutput) -> Result<(), SerrError> {
+    store(path, out)
 }
 
 /// A memoized benchmark simulation.
@@ -227,7 +252,7 @@ pub fn simulate_benchmark(
     }
     let machine = SimConfig::power4();
     let disk = cache_path(name, instructions, seed, &machine);
-    if let Some(output) = disk.as_ref().and_then(load) {
+    if let Some(output) = disk.as_deref().and_then(load) {
         let run = Arc::new(BenchmarkRun { name: name.to_owned(), output });
         cache().lock().expect("cache lock").insert(key, run.clone());
         return Ok(run);

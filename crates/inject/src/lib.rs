@@ -44,6 +44,7 @@ const SALT_RATE: u64 = 0x04;
 const SALT_IO: u64 = 0x05;
 const SALT_FILE: u64 = 0x06;
 const SALT_SERVE: u64 = 0x07;
+const SALT_STORE: u64 = 0x08;
 
 /// The injector families a [`FaultPlan`] can select.
 ///
@@ -81,6 +82,20 @@ pub enum FaultKind {
     JournalLock,
     /// Corrupt or truncate a trace-cache file on disk.
     CacheCorrupt,
+    /// Tear the final append of a `serr-store` container: truncate the file
+    /// mid-page, as a crash between `write` and `fsync` would. Recovery
+    /// must drop the torn tail and resume from the last valid page.
+    StoreTornTail,
+    /// Flip one bit inside a store page body. The page CRC must catch it
+    /// and recovery must degrade to the valid prefix before that page.
+    StoreBitFlip,
+    /// Flip one bit inside the store's fixed header. The header CRC (or
+    /// magic check) must reject the whole file with a typed error.
+    StoreHeaderCorrupt,
+    /// Rewrite the store's format version to a foreign value with a valid
+    /// CRC — a file from a different release. Readers must refuse it with
+    /// a typed version error, never guess at its layout.
+    StoreStaleVersion,
     /// Panic inside a service estimation worker mid-request; the worker
     /// thread dies and the supervisor must restart it.
     ServeWorkerPanic,
@@ -95,7 +110,7 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every injector kind, in a fixed order campaigns cycle through.
-    pub const ALL: [FaultKind; 14] = [
+    pub const ALL: [FaultKind; 18] = [
         FaultKind::TraceValueFlip,
         FaultKind::TracePrefixPerturb,
         FaultKind::TraceConsistentCorrupt,
@@ -106,6 +121,10 @@ impl FaultKind {
         FaultKind::JournalCorrupt,
         FaultKind::JournalLock,
         FaultKind::CacheCorrupt,
+        FaultKind::StoreTornTail,
+        FaultKind::StoreBitFlip,
+        FaultKind::StoreHeaderCorrupt,
+        FaultKind::StoreStaleVersion,
         FaultKind::ServeWorkerPanic,
         FaultKind::ServeWorkerStall,
         FaultKind::ServeFrameCorrupt,
@@ -115,7 +134,7 @@ impl FaultKind {
     /// The estimator- and disk-level kinds `serr_core`'s chaos campaigns
     /// exercise. The serve-layer kinds below are injected by the `serr-serve`
     /// request soak instead: they need a running service to mean anything.
-    pub const CORE: [FaultKind; 10] = [
+    pub const CORE: [FaultKind; 14] = [
         FaultKind::TraceValueFlip,
         FaultKind::TracePrefixPerturb,
         FaultKind::TraceConsistentCorrupt,
@@ -126,6 +145,10 @@ impl FaultKind {
         FaultKind::JournalCorrupt,
         FaultKind::JournalLock,
         FaultKind::CacheCorrupt,
+        FaultKind::StoreTornTail,
+        FaultKind::StoreBitFlip,
+        FaultKind::StoreHeaderCorrupt,
+        FaultKind::StoreStaleVersion,
     ];
 
     /// The service-layer kinds, in the order the serve soak cycles through.
@@ -157,6 +180,10 @@ impl FaultKind {
             FaultKind::JournalCorrupt => "journal-corrupt",
             FaultKind::JournalLock => "journal-lock",
             FaultKind::CacheCorrupt => "cache-corrupt",
+            FaultKind::StoreTornTail => "store-torn-tail",
+            FaultKind::StoreBitFlip => "store-bit-flip",
+            FaultKind::StoreHeaderCorrupt => "store-header-corrupt",
+            FaultKind::StoreStaleVersion => "store-stale-version",
             FaultKind::ServeWorkerPanic => "serve-worker-panic",
             FaultKind::ServeWorkerStall => "serve-worker-stall",
             FaultKind::ServeFrameCorrupt => "serve-frame-corrupt",
@@ -233,6 +260,43 @@ impl FileCorruption {
             *b ^= self.xor_mask;
         }
     }
+}
+
+/// A deterministic fault against a `serr-store` container file, fully
+/// parameterized (see [`FaultPlan::store_fault`]). The applier owns the
+/// byte-level mechanics; this type only carries the decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Truncate the file `drop_bytes` short of its end — a torn final
+    /// append. Always leaves the fixed header intact (`drop_bytes` never
+    /// exceeds the body length), because a decapitated file is
+    /// [`StoreFault::HeaderCorrupt`]'s job.
+    TornTail {
+        /// How many trailing bytes the tear removes (≥ 1).
+        drop_bytes: usize,
+    },
+    /// XOR `xor_mask` into the byte at `offset`, which always lands in the
+    /// page body (at or past the header length given to the query).
+    BitFlip {
+        /// Absolute byte offset of the flip.
+        offset: usize,
+        /// Nonzero single-bit mask.
+        xor_mask: u8,
+    },
+    /// XOR `xor_mask` into a byte inside the fixed header
+    /// (`offset < header_len`).
+    HeaderCorrupt {
+        /// Byte offset within the header.
+        offset: usize,
+        /// Nonzero single-bit mask.
+        xor_mask: u8,
+    },
+    /// Rewrite the container's format version to `current + bump` (with a
+    /// refreshed header CRC, so only the version check can object).
+    StaleVersion {
+        /// Nonzero amount to add to the current format version.
+        bump: u32,
+    },
 }
 
 /// A service-layer fault to inject while handling one request, fully
@@ -394,6 +458,35 @@ impl FaultPlan {
         debug_assert!(c.xor_mask != 0, "xor mask must actually change the byte");
         Some(c)
     }
+
+    /// For the `Store*` kinds, the deterministic store fault to apply to a
+    /// container file of `file_len` bytes whose fixed header occupies the
+    /// first `header_len`. Returns `None` for other kinds. Offsets are
+    /// placed so each kind hits its own layer: tears and bit flips stay in
+    /// the page body, header corruption stays in the header.
+    #[must_use]
+    pub fn store_fault(&self, file_len: usize, header_len: usize) -> Option<StoreFault> {
+        let h = self.h(SALT_STORE);
+        let body = file_len.saturating_sub(header_len).max(1);
+        let at = (mix(&[h, SALT_STORE]) % body as u64) as usize;
+        let mask = 1u8 << (h % 8);
+        let fault = match self.kind {
+            FaultKind::StoreTornTail => StoreFault::TornTail { drop_bytes: 1 + at },
+            FaultKind::StoreBitFlip => {
+                StoreFault::BitFlip { offset: header_len + at, xor_mask: mask }
+            }
+            FaultKind::StoreHeaderCorrupt => StoreFault::HeaderCorrupt {
+                offset: (h % header_len.max(1) as u64) as usize,
+                xor_mask: mask,
+            },
+            FaultKind::StoreStaleVersion => StoreFault::StaleVersion { bump: 1 + (h % 64) as u32 },
+            _ => return None,
+        };
+        if let StoreFault::TornTail { drop_bytes } = fault {
+            debug_assert!(drop_bytes <= body, "tear must not reach into the header");
+        }
+        Some(fault)
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -426,6 +519,16 @@ mod tests {
             assert_eq!(
                 p.file_corruption(100).is_some(),
                 matches!(kind, FaultKind::JournalCorrupt | FaultKind::CacheCorrupt)
+            );
+            assert_eq!(
+                p.store_fault(500, 24).is_some(),
+                matches!(
+                    kind,
+                    FaultKind::StoreTornTail
+                        | FaultKind::StoreBitFlip
+                        | FaultKind::StoreHeaderCorrupt
+                        | FaultKind::StoreStaleVersion
+                )
             );
             if kind != FaultKind::ChunkPanic {
                 assert!(!(0..64).any(|c| p.chunk_panics(1, c)));
@@ -523,6 +626,28 @@ mod tests {
                     prop_assert!(c.offset < len);
                     prop_assert!(c.xor_mask != 0);
                     prop_assert_eq!(p.file_corruption(len), Some(c));
+                }
+                let header_len = 24usize;
+                if let Some(f) = p.store_fault(len.max(header_len + 1), header_len) {
+                    prop_assert_eq!(p.store_fault(len.max(header_len + 1), header_len), Some(f));
+                    let body = len.max(header_len + 1) - header_len;
+                    match f {
+                        StoreFault::TornTail { drop_bytes } => {
+                            prop_assert!(drop_bytes >= 1 && drop_bytes <= body);
+                        }
+                        StoreFault::BitFlip { offset, xor_mask } => {
+                            prop_assert!(offset >= header_len);
+                            prop_assert!(offset < len.max(header_len + 1));
+                            prop_assert!(xor_mask.count_ones() == 1);
+                        }
+                        StoreFault::HeaderCorrupt { offset, xor_mask } => {
+                            prop_assert!(offset < header_len);
+                            prop_assert!(xor_mask.count_ones() == 1);
+                        }
+                        StoreFault::StaleVersion { bump } => {
+                            prop_assert!(bump >= 1);
+                        }
+                    }
                 }
                 for r in 0..16u64 {
                     prop_assert_eq!(p.serve_fault(r), p.serve_fault(r));

@@ -98,3 +98,70 @@ fn shutdown_drains_in_flight_work_and_a_fresh_server_resumes_bit_identically() {
     assert_eq!(counter(&counters, "serve.double_terminal"), 0, "{counters:?}");
     shut_down(&mut ctl_b, b);
 }
+
+#[test]
+fn corrupt_results_journal_resets_and_the_server_still_starts() {
+    let dir = temp_dir("journal-reset");
+    let journal = dir.join("journal");
+    let body = RequestBody::Mttf {
+        workload: WorkloadSpec::parse("duty:0.002:0.5").expect("valid spec"),
+        rate_per_year: 2e6,
+        trials: 1_500,
+        sampler: SamplerKind::default(),
+    };
+
+    // Server A computes one estimate into the results journal.
+    let (obs_a, _sink_a) = Obs::memory();
+    let mut cfg = ServeConfig::new(Bind::Unix(dir.join("a.sock")));
+    cfg.journal_dir = Some(journal.clone());
+    cfg.obs = obs_a;
+    cfg.mc_threads = 1;
+    let a = Server::start(cfg).expect("server A starts");
+    let mut ctl = Client::connect(a.bind_addr()).expect("connect A");
+    let req = Request { id: 1, deadline_ms: None, tag: None, body: body.clone() };
+    let first = match ctl.roundtrip(&req).expect("io").expect("response") {
+        Response::Estimate { est, .. } => est,
+        other => panic!("expected estimate, got {other:?}"),
+    };
+    assert!(!first.resumed);
+    shut_down(&mut ctl, a);
+
+    // Damage the results journal's store header in place — a file a reader
+    // must refuse wholesale, not misparse.
+    let results = std::fs::read_dir(&journal)
+        .expect("journal dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.extension().is_some_and(|x| x == "store")
+                && p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("serve-results"))
+        })
+        .expect("results journal exists");
+    let mut bytes = std::fs::read(&results).expect("read journal");
+    bytes[2] ^= 0x20; // magic byte
+    std::fs::write(&results, &bytes).expect("write corruption");
+
+    // Server B must start anyway — the journal is reset, counted, and the
+    // request recomputes instead of resuming from unverifiable bytes.
+    let (obs_b, _sink_b) = Obs::memory();
+    let mut cfg = ServeConfig::new(Bind::Unix(dir.join("b.sock")));
+    cfg.journal_dir = Some(journal);
+    cfg.obs = obs_b;
+    cfg.mc_threads = 1;
+    let b = Server::start(cfg).expect("server B starts despite the corrupt journal");
+    let mut ctl_b = Client::connect(b.bind_addr()).expect("connect B");
+    let retry = Request { id: 2, deadline_ms: None, tag: None, body };
+    let est = match ctl_b.roundtrip(&retry).expect("io").expect("response") {
+        Response::Estimate { est, .. } => est,
+        other => panic!("expected estimate, got {other:?}"),
+    };
+    assert!(!est.resumed, "nothing may resume from a reset journal");
+    assert_eq!(
+        est.mttf_mc_s.to_bits(),
+        first.mttf_mc_s.to_bits(),
+        "recomputed estimate is still bit-identical"
+    );
+    let counters = stats(&mut ctl_b, 3);
+    assert!(counter(&counters, "serve.journal_resets") >= 1, "{counters:?}");
+    shut_down(&mut ctl_b, b);
+}

@@ -509,7 +509,28 @@ impl Server {
         let fp = fingerprint(&["serve", &format!("{canon:?}")]);
         let policy = BackoffPolicy::journal(canon.seed);
 
-        let results = Journal::open_with_retry(dir, "serve-results", fp, false, &policy)?;
+        // A journal with a damaged store header or a foreign format version
+        // cannot be trusted byte-for-byte — reset it and degrade (prior
+        // results recompute on demand; pending work is simply gone) instead
+        // of refusing to start. Lock contention and I/O errors stay fatal:
+        // they are environmental, not a statement about the bytes.
+        let open =
+            |kind: &str, fresh: bool| match Journal::open_with_retry(dir, kind, fp, fresh, &policy)
+            {
+                Err(e) if e.is_deterministic_corruption() => {
+                    state.obs.emit(
+                        Event::warn("serve.journal_reset", 0)
+                            .with("journal", kind)
+                            .with("reason", e.to_string())
+                            .with("action", "journal reset; prior entries recompute on demand"),
+                    );
+                    state.obs.metrics().add("serve.journal_resets", 1);
+                    Journal::open_with_retry(dir, kind, fp, true, &policy)
+                }
+                other => other,
+            };
+
+        let results = open("serve-results", false)?;
         let next_result = results.completed().keys().next_back().map_or(0, |k| k + 1);
         {
             let mut map = state.results.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -526,7 +547,7 @@ impl Server {
         // Pending rows from the previous run are replayed now, so the
         // journal restarts empty (fresh) for this run's own drain.
         let replay: Vec<String> = {
-            let pending = Journal::open_with_retry(dir, "serve-pending", fp, false, &policy)?;
+            let pending = open("serve-pending", false)?;
             pending
                 .completed()
                 .values()

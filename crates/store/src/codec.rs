@@ -1,0 +1,296 @@
+//! Explicit `Serializer`/`Deserializer` pairs for the primitive shapes the
+//! store traffics in.
+//!
+//! Following the massa serializer idiom, every on-disk type gets a pair of
+//! small stateless objects rather than a blanket derive: the pair *is* the
+//! wire contract, round-trip equality is proptested per pair, and decoders
+//! are bounds-checked so corrupt input yields a typed error, never a panic.
+//!
+//! Floats are carried as raw little-endian `f64` bits — no decimal
+//! formatting or parsing on the resume path — which is what makes binary
+//! journals bit-identical to the values the sweep computed, NaN payloads
+//! included.
+
+use crate::varint;
+use serr_types::SerrError;
+
+/// Encodes a `T` onto the end of a byte buffer.
+pub trait Serializer<T: ?Sized> {
+    /// Appends the encoding of `value` to `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations that cannot fail (all the primitive pairs here)
+    /// always return `Ok`; the `Result` exists so composite serializers can
+    /// reject unrepresentable values with a typed error.
+    fn serialize(&self, value: &T, buf: &mut Vec<u8>) -> Result<(), SerrError>;
+}
+
+/// Decodes a `T` from the front of a byte slice, advancing it.
+pub trait Deserializer<T> {
+    /// Reads one `T`, advancing `input` past the consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SerrError::StoreCorrupt`] on truncated or malformed input. Must
+    /// never panic, whatever the bytes.
+    fn deserialize(&self, input: &mut &[u8]) -> Result<T, SerrError>;
+}
+
+/// Takes `n` bytes off the front of `input`, with a typed error instead of
+/// a slice panic when the input is short.
+pub(crate) fn take<'a>(input: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], SerrError> {
+    if input.len() < n {
+        return Err(SerrError::store_corrupt(
+            what,
+            format!("need {n} bytes, {} remain", input.len()),
+        ));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+/// `u64` as an LEB128 varint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarU64Serializer;
+
+/// Decoder paired with [`VarU64Serializer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarU64Deserializer;
+
+impl Serializer<u64> for VarU64Serializer {
+    fn serialize(&self, value: &u64, buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        varint::write_u64(buf, *value);
+        Ok(())
+    }
+}
+
+impl Deserializer<u64> for VarU64Deserializer {
+    fn deserialize(&self, input: &mut &[u8]) -> Result<u64, SerrError> {
+        varint::read_u64(input)
+    }
+}
+
+/// `f64` as its raw little-endian bit pattern: 8 bytes, bit-exact round
+/// trip for every value including signed zeros, infinities, and NaN
+/// payloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F64RawSerializer;
+
+/// Decoder paired with [`F64RawSerializer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F64RawDeserializer;
+
+impl Serializer<f64> for F64RawSerializer {
+    fn serialize(&self, value: &f64, buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        buf.extend_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+}
+
+impl Deserializer<f64> for F64RawDeserializer {
+    fn deserialize(&self, input: &mut &[u8]) -> Result<f64, SerrError> {
+        let bytes = take(input, 8, "f64")?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(f64::from_le_bytes(raw))
+    }
+}
+
+/// UTF-8 string with a varint byte-length prefix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StringSerializer;
+
+/// Decoder paired with [`StringSerializer`]; rejects invalid UTF-8.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StringDeserializer;
+
+impl Serializer<str> for StringSerializer {
+    fn serialize(&self, value: &str, buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        varint::write_u64(buf, value.len() as u64);
+        buf.extend_from_slice(value.as_bytes());
+        Ok(())
+    }
+}
+
+impl Serializer<String> for StringSerializer {
+    fn serialize(&self, value: &String, buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        Serializer::<str>::serialize(self, value.as_str(), buf)
+    }
+}
+
+impl Deserializer<String> for StringDeserializer {
+    fn deserialize(&self, input: &mut &[u8]) -> Result<String, SerrError> {
+        let len = varint::read_u64(input)?;
+        let len = usize::try_from(len)
+            .map_err(|_| SerrError::store_corrupt("string", "length exceeds address space"))?;
+        let bytes = take(input, len, "string")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| SerrError::store_corrupt("string", e.to_string()))
+    }
+}
+
+/// Raw byte string with a varint length prefix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BytesSerializer;
+
+/// Decoder paired with [`BytesSerializer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BytesDeserializer;
+
+impl Serializer<[u8]> for BytesSerializer {
+    fn serialize(&self, value: &[u8], buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        varint::write_u64(buf, value.len() as u64);
+        buf.extend_from_slice(value);
+        Ok(())
+    }
+}
+
+impl Serializer<Vec<u8>> for BytesSerializer {
+    fn serialize(&self, value: &Vec<u8>, buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        Serializer::<[u8]>::serialize(self, value.as_slice(), buf)
+    }
+}
+
+impl Deserializer<Vec<u8>> for BytesDeserializer {
+    fn deserialize(&self, input: &mut &[u8]) -> Result<Vec<u8>, SerrError> {
+        let len = varint::read_u64(input)?;
+        let len = usize::try_from(len)
+            .map_err(|_| SerrError::store_corrupt("bytes", "length exceeds address space"))?;
+        Ok(take(input, len, "bytes")?.to_vec())
+    }
+}
+
+/// `Vec<T>` as a varint count followed by each element through an inner
+/// serializer — the composition combinator for nested shapes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VecSerializer<S>(pub S);
+
+/// Decoder paired with [`VecSerializer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VecDeserializer<D>(pub D);
+
+impl<T, S: Serializer<T>> Serializer<Vec<T>> for VecSerializer<S> {
+    fn serialize(&self, value: &Vec<T>, buf: &mut Vec<u8>) -> Result<(), SerrError> {
+        varint::write_u64(buf, value.len() as u64);
+        for item in value {
+            self.0.serialize(item, buf)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T, D: Deserializer<T>> Deserializer<Vec<T>> for VecDeserializer<D> {
+    fn deserialize(&self, input: &mut &[u8]) -> Result<Vec<T>, SerrError> {
+        let count = varint::read_u64(input)?;
+        let count = usize::try_from(count)
+            .map_err(|_| SerrError::store_corrupt("vec", "count exceeds address space"))?;
+        // A corrupt count must not allocate unboundedly: every element costs
+        // at least one input byte, so a count past the remaining input is
+        // corrupt by construction.
+        if count > input.len() {
+            return Err(SerrError::store_corrupt(
+                "vec",
+                format!("count {count} exceeds {} remaining bytes", input.len()),
+            ));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.0.deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip<T, S, D>(ser: &S, de: &D, value: &T) -> T
+    where
+        S: Serializer<T>,
+        D: Deserializer<T>,
+    {
+        let mut buf = Vec::new();
+        ser.serialize(value, &mut buf).expect("serialize");
+        let mut input = buf.as_slice();
+        let out = de.deserialize(&mut input).expect("deserialize");
+        assert!(input.is_empty(), "trailing bytes after decode");
+        out
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact_for_special_values() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, f64::MIN_POSITIVE] {
+            let out = round_trip(&F64RawSerializer, &F64RawDeserializer, &v);
+            assert_eq!(out.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn string_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut input = buf.as_slice();
+        assert!(StringDeserializer.deserialize(&mut input).is_err());
+    }
+
+    #[test]
+    fn vec_rejects_absurd_counts_without_allocating() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, u64::MAX / 2);
+        let mut input = buf.as_slice();
+        let r: Result<Vec<u64>, _> = VecDeserializer(VarU64Deserializer).deserialize(&mut input);
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn var_u64_pair_round_trips(v in any::<u64>()) {
+            prop_assert_eq!(round_trip(&VarU64Serializer, &VarU64Deserializer, &v), v);
+        }
+
+        #[test]
+        fn f64_pair_round_trips_bit_exact(bits in any::<u64>()) {
+            let v = f64::from_bits(bits);
+            let out = round_trip(&F64RawSerializer, &F64RawDeserializer, &v);
+            prop_assert_eq!(out.to_bits(), bits);
+        }
+
+        #[test]
+        fn string_pair_round_trips(s in ".{0,64}") {
+            prop_assert_eq!(round_trip(&StringSerializer, &StringDeserializer, &s), s);
+        }
+
+        #[test]
+        fn bytes_pair_round_trips(b in proptest::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert_eq!(round_trip(&BytesSerializer, &BytesDeserializer, &b), b);
+        }
+
+        #[test]
+        fn vec_f64_pair_round_trips(v in proptest::collection::vec(any::<u64>(), 0..32)) {
+            let v: Vec<f64> = v.into_iter().map(f64::from_bits).collect();
+            let out = round_trip(&VecSerializer(F64RawSerializer), &VecDeserializer(F64RawDeserializer), &v);
+            let a: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn primitive_decoders_never_panic_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut i = bytes.as_slice();
+            let _ = VarU64Deserializer.deserialize(&mut i);
+            let mut i = bytes.as_slice();
+            let _ = F64RawDeserializer.deserialize(&mut i);
+            let mut i = bytes.as_slice();
+            let _ = StringDeserializer.deserialize(&mut i);
+            let mut i = bytes.as_slice();
+            let _ = BytesDeserializer.deserialize(&mut i);
+            let mut i = bytes.as_slice();
+            let _: Result<Vec<f64>, _> = VecDeserializer(F64RawDeserializer).deserialize(&mut i);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding every
+//! store header and page payload.
+//!
+//! Slicing-by-8: eight tables built at compile time let the hot loop fold
+//! one aligned 8-byte word per iteration instead of one byte, which is
+//! what keeps checksum verification off the journal-resume critical path
+//! (the whole file is re-CRC'd on every open). No dependencies, and the
+//! same polynomial every zlib-compatible tool can verify independently.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    // tables[k][b] = CRC of byte `b` followed by k zero bytes, so eight
+    // lookups — one per input byte — combine into one 64-bit step.
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+/// CRC-32 of `bytes` (IEEE polynomial, init and final XOR `0xFFFF_FFFF`).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference one-byte-at-a-time formulation the sliced loop must
+    /// reproduce exactly.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        !crc
+    }
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sliced_loop_matches_the_bytewise_reference_at_every_length() {
+        // Lengths straddling the 8-byte fold boundary, including the
+        // remainder loop, on data with no structure the tables could hide
+        // behind.
+        let data: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(0x9E37) >> 3) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), crc32_bytewise(&data[..len]), "length {len}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"soft error analysis".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit} went undetected");
+            }
+        }
+    }
+}

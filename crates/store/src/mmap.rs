@@ -1,0 +1,203 @@
+//! Read-only file images: memory-mapped on unix, buffered-read everywhere
+//! else (and as an explicit fallback for benchmarking the difference).
+//!
+//! The workspace is std-only, so instead of pulling in `libc` or a mmap
+//! crate the unix path declares the two syscall wrappers it needs with
+//! `extern "C"` — std already links libc, the symbols are ABI-stable, and
+//! the prototypes below match `mmap(2)`/`munmap(2)` on 64-bit unix. The
+//! mapping is `PROT_READ`/`MAP_PRIVATE`: the kernel faults pages in on
+//! demand and nothing here can write through it.
+
+use serr_types::SerrError;
+use std::fs;
+use std::path::Path;
+
+/// A read-only byte image of a file. Dereferences to `[u8]`; the backing
+/// storage is either an owned buffer or a private read-only mapping that is
+/// unmapped on drop.
+#[derive(Debug)]
+pub struct FileBytes {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+}
+
+// SAFETY: the mapping is private and read-only for its whole lifetime; no
+// interior mutability, so sharing references across threads is sound.
+#[cfg(unix)]
+unsafe impl Send for FileBytes {}
+#[cfg(unix)]
+unsafe impl Sync for FileBytes {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl FileBytes {
+    /// Loads `path` through an ordinary buffered read.
+    ///
+    /// # Errors
+    ///
+    /// [`SerrError::Io`] when the file cannot be read.
+    pub fn read(path: &Path) -> Result<FileBytes, SerrError> {
+        let bytes = fs::read(path)
+            .map_err(|e| SerrError::io(format!("read {}", path.display()), e.to_string()))?;
+        Ok(FileBytes { inner: Inner::Owned(bytes) })
+    }
+
+    /// Maps `path` read-only (zero-copy on unix). Falls back to
+    /// [`FileBytes::read`] on non-unix targets, for empty files (a
+    /// zero-length mapping is invalid), and when the map call itself fails.
+    ///
+    /// # Errors
+    ///
+    /// [`SerrError::Io`] when the file cannot be opened or read.
+    pub fn map(path: &Path) -> Result<FileBytes, SerrError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let site = || format!("map {}", path.display());
+            let file = fs::File::open(path).map_err(|e| SerrError::io(site(), e.to_string()))?;
+            let len = file.metadata().map_err(|e| SerrError::io(site(), e.to_string()))?.len();
+            let Ok(len) = usize::try_from(len) else {
+                return Err(SerrError::io(site(), "file exceeds address space".to_owned()));
+            };
+            if len == 0 {
+                return Ok(FileBytes { inner: Inner::Owned(Vec::new()) });
+            }
+            // SAFETY: fd is a valid open file for the duration of the call;
+            // len is its exact size; PROT_READ|MAP_PRIVATE cannot alias any
+            // writable mapping we hold. A MAP_FAILED return is checked.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                // Degrade to the portable path rather than failing the load.
+                return FileBytes::read(path);
+            }
+            return Ok(FileBytes { inner: Inner::Mapped { ptr, len } });
+        }
+        #[cfg(not(unix))]
+        {
+            FileBytes::read(path)
+        }
+    }
+
+    /// The file image.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Owned(v) => v,
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: the mapping at `ptr` spans exactly `len` readable
+                // bytes and lives until drop; it is never written through.
+                unsafe { std::slice::from_raw_parts((*ptr).cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// True when this image is backed by a live memory mapping rather than
+    /// an owned buffer — used by benchmarks to verify which path ran.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            Inner::Owned(_) => false,
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+        }
+    }
+}
+
+impl std::ops::Deref for FileBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+#[cfg(unix)]
+impl Drop for FileBytes {
+    fn drop(&mut self) {
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once, here.
+            unsafe {
+                let _ = sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("serr-store-mmap-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn map_and_read_agree_byte_for_byte() {
+        let path = temp_path("agree");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        fs::write(&path, &payload).expect("write");
+        let mapped = FileBytes::map(&path).expect("map");
+        let read = FileBytes::read(&path).expect("read");
+        assert_eq!(&*mapped, payload.as_slice());
+        assert_eq!(&*read, payload.as_slice());
+        #[cfg(unix)]
+        assert!(mapped.is_mapped());
+        assert!(!read.is_mapped());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty_slice() {
+        let path = temp_path("empty");
+        fs::write(&path, b"").expect("write");
+        let mapped = FileBytes::map(&path).expect("map");
+        assert!(mapped.is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let path = temp_path("missing-never-created");
+        assert!(matches!(FileBytes::map(&path), Err(SerrError::Io { .. })));
+        assert!(matches!(FileBytes::read(&path), Err(SerrError::Io { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! LEB128 variable-length integers — the length prefix for every record in
+//! a store page.
+//!
+//! Small lengths (the common case: journal rows, trace headers) cost one
+//! byte; the encoding caps at ten bytes for the full `u64` range. Decoding
+//! is bounds-checked and never panics on corrupt input.
+
+use serr_types::SerrError;
+
+/// Maximum encoded length of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `buf` as an LEB128 varint.
+pub fn write_u64(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from the front of `input`, advancing it past the
+/// consumed bytes.
+///
+/// # Errors
+///
+/// [`SerrError::StoreCorrupt`] if the input ends mid-varint or the encoding
+/// overflows 64 bits.
+pub fn read_u64(input: &mut &[u8]) -> Result<u64, SerrError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            break;
+        }
+        let low = u64::from(byte & 0x7F);
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(SerrError::store_corrupt("varint", "value overflows u64"));
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            *input = &input[i + 1..];
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(SerrError::store_corrupt("varint", "input ends mid-varint"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 0);
+        assert_eq!(buf, [0x00]);
+        buf.clear();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf, [0x7F]);
+        buf.clear();
+        write_u64(&mut buf, 128);
+        assert_eq!(buf, [0x80, 0x01]);
+        buf.clear();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn truncated_and_overflowing_inputs_are_typed_errors() {
+        let mut input: &[u8] = &[0x80];
+        assert!(read_u64(&mut input).is_err());
+        let mut input: &[u8] = &[0xFF; 11];
+        assert!(read_u64(&mut input).is_err());
+        let mut input: &[u8] = &[];
+        assert!(read_u64(&mut input).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_any_u64(value in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, value);
+            let mut input = buf.as_slice();
+            prop_assert_eq!(read_u64(&mut input).expect("round trip"), value);
+            prop_assert!(input.is_empty());
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut input = bytes.as_slice();
+            let _ = read_u64(&mut input);
+        }
+    }
+}

@@ -85,6 +85,26 @@ pub enum SerrError {
         /// The underlying error, rendered to a string.
         detail: String,
     },
+    /// A binary store file is structurally damaged beyond prefix recovery:
+    /// bad magic, a failed header checksum, or an undecodable record inside
+    /// a checksum-valid page. Deterministic — retrying the open cannot help.
+    StoreCorrupt {
+        /// The file or logical store that was damaged.
+        site: String,
+        /// What the reader tripped over, rendered to a string.
+        detail: String,
+    },
+    /// A binary store file carries a format version this build does not
+    /// speak (stale file from an older build, or one from the future).
+    /// Deterministic — retrying the open cannot help.
+    StoreVersion {
+        /// The file or logical store that was rejected.
+        site: String,
+        /// The version found in the file header.
+        found: u32,
+        /// The version this build writes and reads.
+        expected: u32,
+    },
 }
 
 impl SerrError {
@@ -132,6 +152,20 @@ impl SerrError {
         SerrError::Io { site: site.into(), detail: detail.into() }
     }
 
+    /// Convenience constructor for [`SerrError::StoreCorrupt`].
+    #[must_use]
+    pub fn store_corrupt(site: impl Into<String>, detail: impl Into<String>) -> Self {
+        SerrError::StoreCorrupt { site: site.into(), detail: detail.into() }
+    }
+
+    /// True for errors that describe deterministic on-disk damage — wrong
+    /// bytes, not a transient condition — so retry loops can fail fast
+    /// instead of burning their backoff budget re-reading the same file.
+    #[must_use]
+    pub fn is_deterministic_corruption(&self) -> bool {
+        matches!(self, SerrError::StoreCorrupt { .. } | SerrError::StoreVersion { .. })
+    }
+
     /// Checks that `value` is finite and strictly positive.
     ///
     /// # Errors
@@ -175,6 +209,12 @@ impl fmt::Display for SerrError {
                 write!(f, "checkpoint journal locked by another process: {path}")
             }
             SerrError::Io { site, detail } => write!(f, "i/o error during {site}: {detail}"),
+            SerrError::StoreCorrupt { site, detail } => {
+                write!(f, "corrupt store {site}: {detail}")
+            }
+            SerrError::StoreVersion { site, found, expected } => {
+                write!(f, "store {site} has format version {found}, expected {expected}")
+            }
         }
     }
 }
@@ -210,6 +250,19 @@ mod tests {
         assert_eq!(e.to_string(), "checkpoint journal locked by another process: /tmp/j.lock");
         let e = SerrError::io("open checkpoint journal", "permission denied");
         assert_eq!(e.to_string(), "i/o error during open checkpoint journal: permission denied");
+        let e = SerrError::store_corrupt("/tmp/j.store", "header checksum mismatch");
+        assert_eq!(e.to_string(), "corrupt store /tmp/j.store: header checksum mismatch");
+        let e = SerrError::StoreVersion { site: "/tmp/j.store".into(), found: 9, expected: 1 };
+        assert_eq!(e.to_string(), "store /tmp/j.store has format version 9, expected 1");
+    }
+
+    #[test]
+    fn corruption_errors_are_classified_deterministic() {
+        assert!(SerrError::store_corrupt("f", "bad").is_deterministic_corruption());
+        let v = SerrError::StoreVersion { site: "f".into(), found: 2, expected: 1 };
+        assert!(v.is_deterministic_corruption());
+        assert!(!SerrError::io("open", "eintr").is_deterministic_corruption());
+        assert!(!SerrError::JournalLocked { path: "l".into() }.is_deterministic_corruption());
     }
 
     #[test]

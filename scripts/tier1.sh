@@ -7,6 +7,15 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Storage gate: the durable-store suites by name — the CRC-paged container
+# (serr-store), the binary journal/cache ports in serr-core, and the
+# workspace-level durability acceptance (JSONL migration + torn-write
+# recovery, bit-identical at 1 and 8 worker threads). All of these already
+# ran inside the workspace `cargo test` above; running them addressed keeps
+# a storage regression from hiding in a long test log.
+cargo test -q -p serr-store
+cargo test -q --test storage_durability
+
 # Formatting gate: the committed rustfmt.toml is the single style arbiter;
 # a diff that disagrees with it fails fast here rather than in review.
 cargo fmt --check
@@ -20,16 +29,18 @@ cargo fmt --check
 RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-mc
 
 # Chaos smoke campaign: a small fixed-seed fault-injection run across all
-# ten injector kinds must uphold the detect-or-degrade invariant (the
-# binary exits nonzero on any silently-wrong result).
+# fourteen estimator-level injector kinds (including the four store-*
+# faults against the binary journal) must uphold the detect-or-degrade
+# invariant (the binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
 
-# Perf smoke: regenerates BENCH_engines.json (schema v7, now carrying a
-# `serr serve` service section: throughput, shed, and worker-restart
-# counts) and, on the low-AVF three-way sampler duel inside it, asserts
-# the Λ-inversion sampler stays >=10x faster than the event-loop walk AND
-# the batched inversion sampler stays >=5x faster than the scalar one —
-# the binary aborts if either contract regresses.
+# Perf smoke: regenerates BENCH_engines.json (schema v8, now carrying a
+# `storage` section: binary-vs-JSONL journal resume time and mmap-vs-read
+# cache load time) and asserts three perf contracts — the Λ-inversion
+# sampler stays >=10x faster than the event-loop walk, the batched
+# inversion sampler stays >=5x faster than the scalar one, and the binary
+# journal resume stays >=5x faster than the JSONL parse it replaced on a
+# dense-trace workload — the binary aborts if any contract regresses.
 cargo run --release -p serr-bench --bin bench_smoke -- target/bench-smoke.json
 
 # Observability smoke: a metrics-instrumented mttf run must produce
@@ -61,6 +72,14 @@ REQ=(cargo run --release --bin serr -- request --connect "unix:$SOCK")
 "${REQ[@]}" --cmd stats | grep -q '"counters"'
 "${REQ[@]}" --cmd shutdown | grep -q '"shutdown":true'
 wait "$SERVE_PID"
+
+# Store inspect smoke: the daemon just journaled its results into the
+# CRC-paged binary store; `serr store inspect` must dump its header and
+# page table and report an undamaged file.
+RESULTS_STORE=$(ls "$SERVE_DIR"/journal/serve-results-*.store)
+cargo run --release --bin serr -- store inspect "$RESULTS_STORE" | tee /dev/stderr \
+  | grep -q 'checkpoint-journal'
+cargo run --release --bin serr -- store inspect "$RESULTS_STORE" | grep -q 'damage          : none'
 rm -rf "$SERVE_DIR"
 
 # Robustness gate: no `.unwrap()` in library or binary code — a poisoned

@@ -71,9 +71,16 @@ pub enum Command {
         fresh: bool,
         /// Monte Carlo trials override.
         trials: Option<u64>,
+        /// Mirror the binary journal into a human-readable JSONL sidecar.
+        debug_journal: bool,
         /// Write checkpoint events and a metrics snapshot as JSONL to this
         /// path.
         metrics: Option<std::path::PathBuf>,
+    },
+    /// Dump a `.store` file's header, page CRCs, and record counts.
+    StoreInspect {
+        /// The store file (checkpoint journal, trace cache entry, ...).
+        path: std::path::PathBuf,
     },
     /// Run deterministic fault-injection campaigns across the stack and
     /// check the detect-or-degrade invariant.
@@ -171,11 +178,13 @@ impl Command {
                 })?)?;
                 let mut fresh = false;
                 let mut trials: Option<u64> = None;
+                let mut debug_journal = false;
                 let mut metrics: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
                     match flag {
                         "--fresh" => fresh = true,
                         "--resume" => fresh = false, // the default, spelled out
+                        "--debug-journal" => debug_journal = true,
                         "--trials" => {
                             let v = it.next().ok_or_else(|| {
                                 SerrError::invalid_config("--trials needs a value")
@@ -195,8 +204,25 @@ impl Command {
                         }
                     }
                 }
-                Ok(Command::Sweep { figure, fresh, trials, metrics })
+                Ok(Command::Sweep { figure, fresh, trials, debug_journal, metrics })
             }
+            "store" => match it.next() {
+                Some("inspect") => {
+                    let path = it.next().ok_or_else(|| {
+                        SerrError::invalid_config("store inspect needs a file path")
+                    })?;
+                    if let Some(extra) = it.next() {
+                        return Err(SerrError::invalid_config(format!(
+                            "unexpected argument `{extra}`"
+                        )));
+                    }
+                    Ok(Command::StoreInspect { path: std::path::PathBuf::from(path) })
+                }
+                Some(other) => Err(SerrError::invalid_config(format!(
+                    "unknown store subcommand `{other}`; expected inspect"
+                ))),
+                None => Err(SerrError::invalid_config("store needs a subcommand: inspect")),
+            },
             "chaos" => {
                 let defaults = serr_core::chaos::ChaosConfig::default();
                 let mut campaigns = defaults.campaigns;
@@ -520,7 +546,8 @@ serr — architecture-level soft error analysis (DSN 2007 reproduction)
 USAGE:
   serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
   serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
-  serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--metrics PATH]
+  serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--debug-journal] [--metrics PATH]
+  serr store inspect <FILE>
   serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler batched-inversion|inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
   serr serve --bind <unix:PATH|tcp:ADDR> [--workers N] [--compile-workers N] [--queue N] [--journal-dir DIR]
   serr request --connect <unix:PATH|tcp:ADDR> --cmd <mttf|sofr|stats|shutdown> [-w <W>] [--rate R | --n-s P] [-c N] [--trials N] [--sampler S] [--deadline-ms N] [--id N]
@@ -545,8 +572,14 @@ FLAGS:
                      marked truncated, with a correspondingly wider CI
   --fresh            discard the sweep's checkpoint journal and start over
   --resume           resume from the journal if one exists (the default);
-                     journals live under target/serr-checkpoints/ (override
-                     with SERR_CHECKPOINT_DIR)
+                     journals are CRC-paged binary `.store` files under
+                     target/serr-checkpoints/ (override with
+                     SERR_CHECKPOINT_DIR); a legacy `.jsonl` journal found
+                     there is migrated in place on first open
+  --debug-journal    also mirror every checkpointed row into a `.jsonl`
+                     sidecar next to the binary journal, in the legacy
+                     line format, for grep/jq debugging (the binary file
+                     stays authoritative)
   --campaigns N      number of fault-injection campaigns to run (default 200)
   --seed S           chaos master seed, decimal or 0x-hex; the same seed
                      replays the identical campaign sequence and outcome
@@ -592,6 +625,7 @@ EXAMPLES:
   serr mttf --workload day --n-s 1e8 --metrics out.jsonl
   serr sofr --workload week --n-s 1e8 -c 5000
   serr sweep fig5 --trials 20000
+  serr store inspect target/serr-checkpoints/fig5-00c0ffee00c0ffee.store
   serr chaos --campaigns 50 --seed 0xC0FFEE --jsonl chaos.jsonl
   serr serve --bind unix:/tmp/serr.sock --journal-dir /var/lib/serr
   serr request --connect unix:/tmp/serr.sock --cmd mttf -w day --n-s 1e8
@@ -760,18 +794,45 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             println!("{}", resp.to_line());
             Ok(())
         }
-        Command::Sweep { figure, fresh, trials, metrics } => {
+        Command::Sweep { figure, fresh, trials, debug_journal, metrics } => {
             let obs = metrics_obs(metrics.as_deref())?;
             let mut cfg = cfg;
             if let Some(t) = trials {
                 cfg.mc.trials = *t;
             }
             let mut opts = if *fresh { SweepOptions::fresh() } else { SweepOptions::resume() };
+            if *debug_journal {
+                opts = opts.with_debug_journal();
+            }
             if let Some(obs) = &obs {
                 opts = opts.with_obs(obs.clone());
             }
             run_sweep_command(*figure, &cfg, &opts)?;
             finish_metrics(obs.as_ref(), metrics.as_deref());
+            Ok(())
+        }
+        Command::StoreInspect { path } => {
+            let r = serr_store::pages::inspect(path)?;
+            println!("store           : {}", path.display());
+            println!(
+                "header          : format v{}, kind {} ({}), app v{}",
+                r.header.format,
+                r.header.kind,
+                serr_store::kind::label(r.header.kind),
+                r.header.app
+            );
+            println!("file length     : {} bytes ({} valid)", r.file_len, r.valid_len);
+            println!("pages           : {} ({} records)", r.pages.len(), r.records);
+            for p in &r.pages {
+                println!(
+                    "  @{:>8}  {:>6} bytes  {:>5} records  first #{:<6}  crc 0x{:08x}",
+                    p.offset, p.payload_len, p.records, p.first_index, p.payload_crc
+                );
+            }
+            match &r.damage {
+                Some(d) => println!("damage          : {d} (tail past the valid prefix is dead)"),
+                None => println!("damage          : none"),
+            }
             Ok(())
         }
         Command::Chaos { campaigns, seed, trials, sampler, kinds, jsonl } => {
@@ -1071,7 +1132,13 @@ mod tests {
     fn sweep_commands_parse() {
         assert_eq!(
             Command::parse(&["sweep", "fig5", "--fresh"]).unwrap(),
-            Command::Sweep { figure: SweepFigure::Fig5, fresh: true, trials: None, metrics: None }
+            Command::Sweep {
+                figure: SweepFigure::Fig5,
+                fresh: true,
+                trials: None,
+                debug_journal: false,
+                metrics: None
+            }
         );
         assert_eq!(
             Command::parse(&["sweep", "sec5_1", "--resume", "--trials", "9000"]).unwrap(),
@@ -1079,15 +1146,17 @@ mod tests {
                 figure: SweepFigure::Sec51,
                 fresh: false,
                 trials: Some(9000),
+                debug_journal: false,
                 metrics: None
             }
         );
         assert_eq!(
-            Command::parse(&["sweep", "fig5", "--metrics", "m.jsonl"]).unwrap(),
+            Command::parse(&["sweep", "fig5", "--debug-journal", "--metrics", "m.jsonl"]).unwrap(),
             Command::Sweep {
                 figure: SweepFigure::Fig5,
                 fresh: false,
                 trials: None,
+                debug_journal: true,
                 metrics: Some(std::path::PathBuf::from("m.jsonl"))
             }
         );
@@ -1098,6 +1167,48 @@ mod tests {
         assert!(Command::parse(&["sweep"]).is_err());
         assert!(Command::parse(&["sweep", "fig7"]).is_err());
         assert!(Command::parse(&["sweep", "fig5", "--trials", "0"]).is_err());
+    }
+
+    #[test]
+    fn store_inspect_parses_and_dumps_a_journal() {
+        assert_eq!(
+            Command::parse(&["store", "inspect", "j.store"]).unwrap(),
+            Command::StoreInspect { path: std::path::PathBuf::from("j.store") }
+        );
+        assert!(Command::parse(&["store"]).is_err(), "subcommand required");
+        assert!(Command::parse(&["store", "inspect"]).is_err(), "path required");
+        assert!(Command::parse(&["store", "vacuum", "j.store"]).is_err());
+        assert!(Command::parse(&["store", "inspect", "a.store", "b.store"]).is_err());
+
+        // End to end: build a real two-page store, inspect it, then tear its
+        // tail and verify inspect still answers (degraded, not an error).
+        let dir = std::env::temp_dir().join(format!("serr-cli-inspect-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.store");
+        let mut b = serr_store::pages::StoreBuilder::with_page_limit(1, 1, 16);
+        for r in [b"one".as_slice(), b"two", b"three"] {
+            b.push_record(r);
+        }
+        serr_store::pages::write_atomic(&path, &b.finish()).unwrap();
+        let whole = serr_store::pages::inspect(&path).unwrap();
+        assert_eq!(whole.records, 3);
+        assert!(whole.damage.is_none());
+        run(&Command::StoreInspect { path: path.clone() }).unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        run(&Command::StoreInspect { path: path.clone() }).unwrap();
+        let torn = serr_store::pages::inspect(&path).unwrap();
+        assert!(torn.records < 3);
+        assert!(torn.damage.is_some());
+
+        // A dead header is a typed error, not a report.
+        let mut bad = bytes;
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(run(&Command::StoreInspect { path }).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

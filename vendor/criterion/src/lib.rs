@@ -1,0 +1,148 @@
+//! Offline stub for `criterion`: just enough to compile and run the bench
+//! targets. Each benchmark closure is executed a handful of times and a
+//! min/mean wall time is printed — no statistics, no reports. Tier-1 does
+//! not gate on these targets; the real numbers come from `bench_smoke`.
+
+use std::time::{Duration, Instant};
+
+/// Iteration driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` a few times, timing each run.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        const RUNS: usize = 10;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let out = f();
+            self.samples.push(t0.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// Identifies a parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{parameter}", function.into()) }
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    fn report(&self, label: &str, b: &Bencher) {
+        if b.samples.is_empty() {
+            return;
+        }
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        println!(
+            "bench {}/{label}: min {:.3} ms, mean {:.3} ms ({} runs)",
+            self.name,
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            b.samples.len()
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(label, &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        let label = id.label.clone();
+        self.report(&label, &b);
+        self
+    }
+
+    /// Sample-size hint (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup { name: "bench".to_owned() };
+        g.bench_function(label, f);
+        self
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

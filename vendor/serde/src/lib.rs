@@ -1,0 +1,24 @@
+//! Offline stub for `serde`: marker traits plus the derive re-exports.
+//!
+//! The workspace never serializes through serde (all formats are
+//! hand-rolled in `serr-core::jsonio` and `serr-store`); types derive the
+//! traits only to advertise that they are plain data. Blanket impls make
+//! every type satisfy any `T: Serialize` bound that might appear.
+
+/// Marker trait; see module docs.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; see module docs.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring serde's owned-deserialization shorthand.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stub for `serde_derive`: the derives expand to nothing. The
+//! workspace only derives `Serialize`/`Deserialize` for API politeness —
+//! every on-disk format is hand-rolled — so an empty expansion satisfies
+//! every use site. `#[serde(...)]` helper attributes are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

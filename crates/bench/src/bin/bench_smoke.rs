@@ -18,13 +18,14 @@ use serr_core::pipeline::{
     load_cache_entry_mmap, load_cache_entry_read, simulate_benchmark, write_cache_entry,
 };
 use serr_core::prelude::{
-    run_chaos, ChaosConfig, Provenance, SweepOptions, Workload, WorkloadSpec,
+    run_chaos, ChaosConfig, ProtectionSpec, Provenance, SweepOptions, Validator, Workload,
+    WorkloadSpec,
 };
 use serr_inject::{FaultKind, FaultPlan};
 use serr_mc::{MonteCarlo, MonteCarloConfig, SamplerKind};
 use serr_obs::{Event, Obs, Value};
 use serr_serve::{Bind, Client, Request, RequestBody, Response, ServeConfig, Server};
-use serr_trace::IntervalTrace;
+use serr_trace::{CompiledTrace, IntervalTrace, VulnerabilityTrace};
 use serr_types::{Frequency, RawErrorRate};
 
 /// Pulls a numeric field out of an event, NaN if absent or non-numeric.
@@ -557,6 +558,111 @@ fn main() {
     timings.push(t_cache_mmap);
     timings.push(t_cache_read);
 
+    // Protection-model probe (schema v9): the AVF-step-vs-MC comparison on
+    // the day workload under each transform in the --protect algebra.
+    // SEC-DED is a pointwise no-op on the binary day trace (every cycle is
+    // fully vulnerable or not at all — there is no second-bit word state to
+    // save), so its row must be bit-identical to the unprotected one;
+    // scrubbing and delayed reporting are strictly protective, so their
+    // MTTFs must not fall below baseline. The rows land in the JSON so the
+    // perf trajectory also records how far the two-step method drifts from
+    // ground truth once a protection transform reshapes the trace.
+    let model_cfg = serr_core::experiments::ExperimentConfig {
+        mc: MonteCarloConfig { trials: 20_000, threads: 1, ..Default::default() },
+        ..serr_core::experiments::ExperimentConfig::quick()
+    };
+    let day_trace = WorkloadSpec::Day.trace(&model_cfg).expect("day workload trace builds");
+    let model_ns = 1.0e8;
+    let model_rate =
+        RawErrorRate::per_year(model_ns * serr_types::BASELINE_RAW_RATE_PER_BIT_PER_YEAR);
+    let model_validator = Validator::new(model_cfg.frequency, model_cfg.mc.clone());
+    let model_specs = ["none", "ecc:64", "scrub:1e11", "delay:1e13"];
+    let mut model_rows = Vec::new();
+    let mut model_results = Vec::new();
+    for spec in model_specs {
+        let protect = ProtectionSpec::parse(spec).expect("model protection spec parses");
+        let protected = protect.apply(day_trace.clone()).expect("model protection applies");
+        let r = model_validator.component(&protected, model_rate).expect("model validation runs");
+        model_rows.push(format!(
+            "    {{\"protect\": \"{spec}\", \"avf\": {:.6}, \"mttf_avf_s\": {:.6e}, \
+             \"mttf_mc_s\": {:.6e}, \"avf_err_vs_mc_pct\": {:.3}}}",
+            r.avf,
+            r.mttf_avf.as_secs(),
+            r.mttf_mc.mttf.as_secs(),
+            r.avf_error_vs_mc * 100.0
+        ));
+        println!(
+            "models probe: day + {spec:<11} avf {:.4}, mttf(avf) {:.3e} s, mttf(mc) {:.3e} s",
+            r.avf,
+            r.mttf_avf.as_secs(),
+            r.mttf_mc.mttf.as_secs()
+        );
+        model_results.push((spec, r));
+    }
+    let baseline = &model_results[0].1;
+    let ecc = &model_results[1].1;
+    assert!(
+        ecc.avf.to_bits() == baseline.avf.to_bits()
+            && ecc.mttf_mc.mttf.as_secs().to_bits() == baseline.mttf_mc.mttf.as_secs().to_bits(),
+        "SEC-DED must be bit-identical to no protection on the binary day trace"
+    );
+    for (spec, r) in &model_results[2..] {
+        assert!(
+            r.mttf_mc.mttf.as_secs() >= baseline.mttf_mc.mttf.as_secs(),
+            "{spec} must not report a worse MTTF than the unprotected baseline"
+        );
+    }
+
+    // Transform-overhead gate: the no-protection path through the pipeline
+    // (the default for every mttf/sofr run) must stay an Arc pass-through —
+    // if it ever starts copying or re-deriving the trace, compilation cost
+    // is the first place it shows. Real transform application cost is
+    // recorded informationally alongside.
+    let fine_arc: std::sync::Arc<dyn VulnerabilityTrace> = std::sync::Arc::new(fine.clone());
+    let no_protection = ProtectionSpec::none();
+    // Both closures compile through the same `Arc<dyn ...>` the CLI hands
+    // the estimators, so the ratio isolates the pipeline's own cost rather
+    // than dynamic-vs-static dispatch inside compilation.
+    let t_compile_raw = time("transform/compile_raw_10k_segments", 100, || {
+        CompiledTrace::compile(&fine_arc).expect("fine trace compiles")
+    });
+    let t_compile_identity = time("transform/identity_pipeline_compile_10k_segments", 100, || {
+        let t = no_protection.apply(fine_arc.clone()).expect("identity pipeline applies");
+        CompiledTrace::compile(&t).expect("fine trace compiles through identity")
+    });
+    let scrub_ecc = ProtectionSpec::parse("scrub:100,ecc:64").expect("probe pipeline parses");
+    let t_apply = time("transform/scrub_ecc_apply_10k_segments", 25, || {
+        scrub_ecc.apply(fine_arc.clone()).expect("scrub+ecc applies to the fine trace")
+    });
+    let transform_overhead = t_compile_identity.min_ms / t_compile_raw.min_ms - 1.0;
+    println!(
+        "transform probe: raw compile {:.4} ms vs identity-pipeline compile {:.4} ms \
+         ({:+.1}%), scrub+ecc apply {:.4} ms",
+        t_compile_raw.min_ms,
+        t_compile_identity.min_ms,
+        transform_overhead * 100.0,
+        t_apply.min_ms
+    );
+    assert!(
+        transform_overhead <= 0.05,
+        "the no-protection transform path must add <=5% to trace compilation, \
+         measured {:+.1}%",
+        transform_overhead * 100.0
+    );
+    let models_json = format!(
+        "  \"models\": {{\"workload\": \"day\", \"n_s\": {model_ns:e}, \"trials\": 20000, \
+         \"protections\": [\n{}\n  ], \"transform_overhead\": {{\
+         \"raw_compile_min_ms\": {:.4}, \"identity_pipeline_compile_min_ms\": {:.4}, \
+         \"overhead_frac\": {transform_overhead:.4}, \"scrub_ecc_apply_min_ms\": {:.4}}}}},",
+        model_rows.join(",\n"),
+        t_compile_raw.min_ms,
+        t_compile_identity.min_ms,
+        t_apply.min_ms
+    );
+    timings.push(t_compile_raw);
+    timings.push(t_compile_identity);
+    timings.push(t_apply);
+
     let entries: Vec<String> = timings
         .iter()
         .map(|t| {
@@ -567,12 +673,13 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 8,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 9,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         sampler_json,
         checkpoint_json,
         chaos_json,
         service_json,
         storage_json,
+        models_json,
         stages_json,
         convergence_json,
         entries.join(",\n")

@@ -22,7 +22,7 @@ use serr_inject::rng::{mix, unit};
 use serr_inject::{FaultKind, FaultPlan, StoreFault};
 use serr_mc::SamplerKind;
 use serr_obs::{Event, Obs};
-use serr_trace::IntervalTrace;
+use serr_trace::{IntervalTrace, Transform, TransformPipeline};
 use serr_types::{Frequency, Provenance, RawErrorRate, SerrError};
 
 use crate::checkpoint::{self, Journal, JournalRow, SweepOptions};
@@ -174,6 +174,25 @@ pub fn campaign_trace() -> IntervalTrace {
     IntervalTrace::from_levels(&levels).expect("campaign levels are valid")
 }
 
+/// The protection-transformed campaign workload the
+/// [`FaultKind::TraceTransform`] campaigns attack: [`campaign_trace`] run
+/// through a fixed scrub + SEC-DED pipeline. The scrub staircase fans the
+/// 3-segment loop out into dozens of fractional-valued segments, so the
+/// verifier and cross-engine votes are exercised on exactly the trace
+/// shapes the `--protect` path produces.
+///
+/// # Panics
+///
+/// Never — the fixed pipeline is valid for the fixed campaign trace.
+#[must_use]
+pub fn transformed_campaign_trace() -> IntervalTrace {
+    let pipeline = TransformPipeline::new(vec![
+        Transform::Scrub { interval_cycles: 16 },
+        Transform::EccSecDed { word_bits: 8 },
+    ]);
+    pipeline.apply_interval(&campaign_trace()).expect("fixed campaign pipeline is valid")
+}
+
 /// Suppresses the default panic-hook backtrace for *injected* chaos panics
 /// (their payload starts with `chaos: injected`), chaining every other
 /// panic to the previously installed hook. Installed at most once per
@@ -263,6 +282,25 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
     // acceptance band cannot be explained by sampling noise: it is a miss.
     let miss_tol = 2.0 * policy.ci_mult.mul_add(golden_ci, policy.rel_tol);
 
+    // The transform campaigns attack a different workload (the transformed
+    // trace), so their Clean tag is judged against its own golden baseline.
+    // Computed only when the run actually includes the kind.
+    let transformed = if cfg.kinds.contains(&FaultKind::TraceTransform) {
+        let trace = transformed_campaign_trace();
+        let golden = guard.component_mttf(&trace, rate, None)?;
+        if golden.provenance != Provenance::Clean {
+            return Err(SerrError::engine_fault(
+                "chaos transformed golden baseline",
+                format!("fault-free run tagged {}: {:?}", golden.provenance, golden.notes),
+            ));
+        }
+        let ci = golden.mc.map_or(0.0, |e| e.relative_ci95());
+        let tol = 2.0 * policy.ci_mult.mul_add(ci, policy.rel_tol);
+        Some((trace, golden.mttf.as_secs(), tol))
+    } else {
+        None
+    };
+
     let scratch = cfg
         .scratch_dir
         .clone()
@@ -281,6 +319,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
             | FaultKind::DeadlineExhaust
             | FaultKind::RatePoison => {
                 guarded_campaign(&guard, &trace, rate, plan, campaign, golden_mttf, miss_tol)?
+            }
+            FaultKind::TraceTransform => {
+                let (t, t_golden, t_tol) =
+                    transformed.as_ref().expect("computed above when the kind is present");
+                guarded_campaign(&guard, t, rate, plan, campaign, *t_golden, *t_tol)?
             }
             FaultKind::CheckpointIo => checkpoint_io_campaign(&scratch, plan, campaign)?,
             FaultKind::JournalCorrupt => journal_corrupt_campaign(&scratch, plan, campaign)?,
@@ -768,6 +811,38 @@ mod tests {
                 o.campaign
             );
         }
+    }
+
+    #[test]
+    fn trace_transform_campaigns_detect_or_degrade() {
+        // Corruptions of the scrub+ECC-transformed trace must be caught by
+        // the same machinery as raw-trace corruptions: no campaign may
+        // return a Clean-tagged estimate that deviates from the transformed
+        // golden (the detect-or-degrade invariant on the transform path).
+        let mut cfg = quick_cfg(9, 0x7A_4F_0123);
+        cfg.kinds = vec![FaultKind::TraceTransform];
+        let report = run_chaos(&cfg).unwrap();
+        assert!(
+            report.is_sound(),
+            "transform-path corruption slipped through: {:?}",
+            report.outcomes.iter().filter(|o| o.miss).collect::<Vec<_>>()
+        );
+        // The fault always lands (the transformed trace always compiles),
+        // so at least one campaign must have noticed something.
+        assert!(
+            report.outcomes.iter().any(|o| o.outcome != Provenance::Clean),
+            "every transform corruption went unnoticed"
+        );
+    }
+
+    #[test]
+    fn transformed_campaign_trace_is_protective_and_fans_out() {
+        use serr_trace::VulnerabilityTrace;
+        let raw = campaign_trace();
+        let t = transformed_campaign_trace();
+        assert_eq!(t.period_cycles(), raw.period_cycles());
+        assert!(t.avf() < raw.avf(), "protection must reduce AVF");
+        assert!(t.segment_count() > raw.segment_count(), "scrub staircase must fan segments out");
     }
 
     #[test]

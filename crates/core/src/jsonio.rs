@@ -75,7 +75,7 @@ impl Json {
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         let n = self.as_f64()?;
-        (n >= 0.0 && n <= 9_007_199_254_740_992.0 && n.fract() == 0.0).then_some(n as u64)
+        ((0.0..=9_007_199_254_740_992.0).contains(&n) && n.fract() == 0.0).then_some(n as u64)
     }
 
     /// The value as a `usize`, via [`Json::as_u64`].

@@ -49,6 +49,7 @@ pub mod guard;
 pub mod jsonio;
 pub mod par;
 pub mod pipeline;
+pub mod protect;
 pub mod rates;
 pub mod retry;
 pub mod sofr;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::checkpoint::{CheckpointMode, SweepOptions, SweepReport};
     pub use crate::design::{DesignPoint, DesignSpace, Workload};
     pub use crate::guard::{classify_estimate, Guard, GuardPolicy, GuardedMttf};
+    pub use crate::protect::ProtectionSpec;
     pub use crate::rates::UnitRates;
     pub use crate::retry::{retry_with_backoff, BackoffPolicy};
     pub use crate::validate::{ComponentValidation, SystemValidation, Validator};

@@ -101,7 +101,7 @@ fn decode_stats(b: &[u8]) -> Option<SimStats> {
     }
     // Counter fields must decode to exact non-negative integers.
     let count = |v: f64| -> Option<u64> {
-        (v >= 0.0 && v <= 9_007_199_254_740_992.0 && v.fract() == 0.0).then_some(v as u64)
+        ((0.0..=9_007_199_254_740_992.0).contains(&v) && v.fract() == 0.0).then_some(v as u64)
     };
     Some(SimStats {
         cycles: count(f[0])?,

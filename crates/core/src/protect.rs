@@ -1,0 +1,182 @@
+//! Textual protection specifications (`--protect`), shared by the CLI and
+//! the estimation service.
+//!
+//! A protection spec is a comma-separated list of `kind:param` stages —
+//! `ecc:64,scrub:1e6,delay:5e3` — applied left-to-right as a
+//! [`TransformPipeline`] to the workload trace *before* compilation (see
+//! the transform module docs in `serr-trace` for the mechanism semantics).
+//! Like [`crate::workspec::WorkloadSpec`], there is exactly one grammar and
+//! one application path for every front end, so protected runs stay
+//! bit-identical between the batch CLI and the service.
+
+use std::sync::Arc;
+
+use serr_trace::{Transform, TransformPipeline, VulnerabilityTrace};
+use serr_types::SerrError;
+
+/// A parsed `--protect` specification: an ordered list of protection
+/// stages. The empty spec (`""` or `none`) is the identity and costs
+/// nothing to apply.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProtectionSpec {
+    stages: Vec<Transform>,
+}
+
+impl ProtectionSpec {
+    /// The no-protection spec.
+    #[must_use]
+    pub fn none() -> Self {
+        ProtectionSpec::default()
+    }
+
+    /// Parses the `--protect` argument value: comma-separated
+    /// `ecc:<word_bits>`, `scrub:<interval_cycles>`, and
+    /// `delay:<window_cycles>` stages, applied in the order written.
+    /// Cycle counts accept scientific notation (`scrub:1e6`); `none` (or
+    /// the empty string) is the identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerrError::InvalidConfig`] naming the offending stage for
+    /// unknown kinds, malformed parameters, or degenerate values
+    /// (`ecc` words below 2 bits, zero scrub intervals).
+    pub fn parse(s: &str) -> Result<Self, SerrError> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() || trimmed == "none" {
+            return Ok(ProtectionSpec::none());
+        }
+        let mut stages = Vec::new();
+        for stage in trimmed.split(',') {
+            let (kind, param) = stage.split_once(':').ok_or_else(|| {
+                SerrError::invalid_config(format!(
+                    "protect stage `{stage}` is not of the form kind:param"
+                ))
+            })?;
+            let t = match kind {
+                "ecc" => {
+                    let word_bits = parse_count(stage, param)?;
+                    let word_bits = u32::try_from(word_bits).map_err(|_| {
+                        SerrError::invalid_config(format!(
+                            "protect stage `{stage}`: word width {word_bits} too large"
+                        ))
+                    })?;
+                    Transform::EccSecDed { word_bits }
+                }
+                "scrub" => Transform::Scrub { interval_cycles: parse_count(stage, param)? },
+                "delay" => Transform::DelayReport { window_cycles: parse_count(stage, param)? },
+                _ => {
+                    return Err(SerrError::invalid_config(format!(
+                        "unknown protect stage kind `{kind}` (expected ecc, scrub, or delay)"
+                    )));
+                }
+            };
+            t.validate()
+                .map_err(|e| SerrError::invalid_config(format!("protect stage `{stage}`: {e}")))?;
+            stages.push(t);
+        }
+        Ok(ProtectionSpec { stages })
+    }
+
+    /// True when applying this spec is a guaranteed no-op.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.pipeline().is_identity()
+    }
+
+    /// The canonical spelling: parses back to an equal value, and two
+    /// equal specs render identically (`none` for the empty spec). Used as
+    /// a fingerprint component alongside the workload's canonical form.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        if self.stages.is_empty() {
+            return "none".to_owned();
+        }
+        self.pipeline().to_string()
+    }
+
+    /// The transform pipeline this spec describes.
+    #[must_use]
+    pub fn pipeline(&self) -> TransformPipeline {
+        TransformPipeline::new(self.stages.clone())
+    }
+
+    /// Applies the spec to a workload trace. The empty spec returns the
+    /// input `Arc` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SerrError::InvalidTrace`] from the pipeline: traces
+    /// too large to materialize (e.g. the `combined` workload's tiled
+    /// concatenation), delay windows reaching the period, or scrub
+    /// staircases past the segment cap.
+    pub fn apply(
+        &self,
+        trace: Arc<dyn VulnerabilityTrace>,
+    ) -> Result<Arc<dyn VulnerabilityTrace>, SerrError> {
+        self.pipeline().apply(trace)
+    }
+}
+
+/// Parses a stage parameter as a non-negative integer cycle/bit count,
+/// accepting scientific notation the way the CLI's other count flags do.
+fn parse_count(stage: &str, param: &str) -> Result<u64, SerrError> {
+    let v: f64 = param.parse().map_err(|_| {
+        SerrError::invalid_config(format!("protect stage `{stage}`: `{param}` is not a number"))
+    })?;
+    if !(v.is_finite() && v >= 0.0 && v <= 2f64.powi(53) && v.fract() == 0.0) {
+        return Err(SerrError::invalid_config(format!(
+            "protect stage `{stage}`: `{param}` must be a non-negative integer below 2^53"
+        )));
+    }
+    Ok(v as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serr_trace::IntervalTrace;
+
+    #[test]
+    fn specs_parse_and_canonicalize() {
+        assert!(ProtectionSpec::parse("").unwrap().is_none());
+        assert!(ProtectionSpec::parse("none").unwrap().is_none());
+        assert_eq!(ProtectionSpec::parse("none").unwrap().canonical(), "none");
+
+        let spec = ProtectionSpec::parse("ecc:64,scrub:1e6,delay:5e3").unwrap();
+        assert_eq!(spec.canonical(), "ecc:64,scrub:1000000,delay:5000");
+        assert_eq!(ProtectionSpec::parse(&spec.canonical()).unwrap(), spec);
+        assert_eq!(
+            spec.pipeline().stages(),
+            &[
+                Transform::EccSecDed { word_bits: 64 },
+                Transform::Scrub { interval_cycles: 1_000_000 },
+                Transform::DelayReport { window_cycles: 5_000 },
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_named_in_the_error() {
+        for bad in
+            ["ecc", "ecc:x", "ecc:1", "ecc:-8", "ecc:2.5", "scrub:0", "parity:1", "scrub:1e300"]
+        {
+            let err = ProtectionSpec::parse(bad).unwrap_err();
+            assert!(matches!(err, SerrError::InvalidConfig { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_returns_the_input_arc() {
+        let t: Arc<dyn VulnerabilityTrace> = Arc::new(IntervalTrace::busy_idle(10, 10).unwrap());
+        let out = ProtectionSpec::none().apply(t.clone()).unwrap();
+        assert!(Arc::ptr_eq(&t, &out));
+    }
+
+    #[test]
+    fn applied_spec_reduces_avf() {
+        let t: Arc<dyn VulnerabilityTrace> =
+            Arc::new(IntervalTrace::constant(1 << 16, 0.5).unwrap());
+        let out = ProtectionSpec::parse("scrub:4096").unwrap().apply(t.clone()).unwrap();
+        assert!((out.avf() - 0.25).abs() < 1e-12, "avf {}", out.avf());
+    }
+}

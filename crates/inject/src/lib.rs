@@ -45,6 +45,7 @@ const SALT_IO: u64 = 0x05;
 const SALT_FILE: u64 = 0x06;
 const SALT_SERVE: u64 = 0x07;
 const SALT_STORE: u64 = 0x08;
+const SALT_TRANSFORM: u64 = 0x09;
 
 /// The injector families a [`FaultPlan`] can select.
 ///
@@ -66,6 +67,13 @@ pub enum FaultKind {
     /// consistently. Passes structural checks by construction; only the
     /// cross-engine consistency check can catch it.
     TraceConsistentCorrupt,
+    /// Corrupt the compiled form of a *protection-transformed* trace (the
+    /// output of the ECC/scrub/delay pipeline). The fault itself is one of
+    /// the three trace faults above, plan-chosen; the point is that the
+    /// transform algebra's output must be defended by the same verifier and
+    /// cross-engine votes as any raw workload trace — its many-segment
+    /// scrub staircases and fractional ECC values buy no exemption.
+    TraceTransform,
     /// Panic inside one Monte Carlo chunk worker.
     ChunkPanic,
     /// Exhaust the Monte Carlo deadline artificially after a plan-chosen
@@ -110,10 +118,11 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every injector kind, in a fixed order campaigns cycle through.
-    pub const ALL: [FaultKind; 18] = [
+    pub const ALL: [FaultKind; 19] = [
         FaultKind::TraceValueFlip,
         FaultKind::TracePrefixPerturb,
         FaultKind::TraceConsistentCorrupt,
+        FaultKind::TraceTransform,
         FaultKind::ChunkPanic,
         FaultKind::DeadlineExhaust,
         FaultKind::RatePoison,
@@ -134,10 +143,11 @@ impl FaultKind {
     /// The estimator- and disk-level kinds `serr_core`'s chaos campaigns
     /// exercise. The serve-layer kinds below are injected by the `serr-serve`
     /// request soak instead: they need a running service to mean anything.
-    pub const CORE: [FaultKind; 14] = [
+    pub const CORE: [FaultKind; 15] = [
         FaultKind::TraceValueFlip,
         FaultKind::TracePrefixPerturb,
         FaultKind::TraceConsistentCorrupt,
+        FaultKind::TraceTransform,
         FaultKind::ChunkPanic,
         FaultKind::DeadlineExhaust,
         FaultKind::RatePoison,
@@ -173,6 +183,7 @@ impl FaultKind {
             FaultKind::TraceValueFlip => "trace-value-flip",
             FaultKind::TracePrefixPerturb => "trace-prefix-perturb",
             FaultKind::TraceConsistentCorrupt => "trace-consistent-corrupt",
+            FaultKind::TraceTransform => "trace-transform",
             FaultKind::ChunkPanic => "chunk-panic",
             FaultKind::DeadlineExhaust => "deadline-exhaust",
             FaultKind::RatePoison => "rate-poison",
@@ -371,6 +382,10 @@ impl FaultPlan {
     }
 
     /// The trace-level fault this plan applies, if it is a trace plan.
+    /// [`FaultKind::TraceTransform`] plans draw one of the three trace
+    /// faults (salted independently, so a transform campaign and a plain
+    /// trace campaign on the same seed differ), to be applied to the
+    /// compiled form of a protection-transformed trace.
     #[must_use]
     pub fn trace_fault(&self) -> Option<TraceFault> {
         let h = self.h(SALT_TRACE);
@@ -382,6 +397,17 @@ impl FaultPlan {
             },
             FaultKind::TraceConsistentCorrupt => {
                 TraceFault::ConsistentScale { factor: 0.25 + 0.25 * unit(h) }
+            }
+            FaultKind::TraceTransform => {
+                let t = self.h(SALT_TRANSFORM);
+                match t % 3 {
+                    0 => TraceFault::ValueBitFlip { bit: 30 + (t % 33) as u32 },
+                    1 => TraceFault::PrefixPerturb {
+                        selector: mix(&[t, SALT_TRANSFORM]),
+                        delta_frac: 0.05 + 0.45 * unit(t),
+                    },
+                    _ => TraceFault::ConsistentScale { factor: 0.25 + 0.25 * unit(t) },
+                }
             }
             _ => return None,
         };
@@ -426,7 +452,7 @@ impl FaultPlan {
             return None;
         }
         let h = mix(&[self.seed, SALT_SERVE, request]);
-        if h % 4 != 0 {
+        if !h.is_multiple_of(4) {
             return None;
         }
         let detail = mix(&[h, SALT_SERVE]);
@@ -452,7 +478,7 @@ impl FaultPlan {
         let c = FileCorruption {
             offset,
             xor_mask: 1 + (h % 255) as u8,
-            truncate: h.rotate_right(17) % 4 == 0,
+            truncate: h.rotate_right(17).is_multiple_of(4),
         };
         debug_assert!(c.offset < len, "corruption offset past end: {} >= {len}", c.offset);
         debug_assert!(c.xor_mask != 0, "xor mask must actually change the byte");
@@ -514,6 +540,7 @@ mod tests {
                     FaultKind::TraceValueFlip
                         | FaultKind::TracePrefixPerturb
                         | FaultKind::TraceConsistentCorrupt
+                        | FaultKind::TraceTransform
                 )
             );
             assert_eq!(

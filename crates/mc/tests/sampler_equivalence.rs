@@ -132,6 +132,59 @@ fn batched_inversion_matches_the_scalar_oracle_across_the_design_grid() {
 }
 
 #[test]
+fn samplers_are_ks_equivalent_on_protection_transformed_traces() {
+    // The --protect pipeline reshapes traces into forms no hand-written
+    // test trace has: dense fractional scrub staircases, ECC-compressed
+    // mid-range values, and a delay-zeroed tail. The thinning identity
+    // holds for *any* valid trace, so all three samplers must still draw
+    // the same TTF distribution on the transformed output — this pins the
+    // samplers' landing-cycle math on exactly the segment shapes protected
+    // estimation runs feed them.
+    use serr_trace::{Transform, TransformPipeline};
+    let pattern = [1.0, 1.0, 1.0, 0.25, 0.0, 0.5, 0.75, 0.0, 1.0, 0.0];
+    let levels: Vec<f64> = pattern.iter().cycle().take(200).copied().collect();
+    let src = IntervalTrace::from_levels(&levels).expect("valid source trace");
+    let pipeline = TransformPipeline::new(vec![
+        Transform::Scrub { interval_cycles: 50 },
+        Transform::EccSecDed { word_bits: 8 },
+        Transform::DelayReport { window_cycles: 15 },
+    ]);
+    let trace = pipeline.apply_interval(&src).expect("pipeline applies");
+    assert!(trace.segment_count() > src.segment_count(), "scrub staircase must fan out");
+    let n = 20_000usize;
+    let crit = 1.5 * ks_two_sample_critical_value(n, n, 0.01);
+    for lambda_l in [1e-6, 1.0, 500.0] {
+        for start in [StartPhase::WorkloadStart, StartPhase::Stationary] {
+            let ev =
+                engine_samples(&trace, lambda_l, SamplerKind::EventLoop, start, n as u64, 0x7E01);
+            let inv =
+                engine_samples(&trace, lambda_l, SamplerKind::Inversion, start, n as u64, 0x7E02);
+            let batched = engine_samples(
+                &trace,
+                lambda_l,
+                SamplerKind::BatchedInversion,
+                start,
+                n as u64,
+                0x7E03,
+            );
+            let inv_ecdf = Ecdf::new(inv).expect("no NaN");
+            let d_ev = inv_ecdf.ks_two_sample(&Ecdf::new(ev).expect("no NaN"));
+            let d_batched = inv_ecdf.ks_two_sample(&Ecdf::new(batched).expect("no NaN"));
+            assert!(
+                d_ev < crit,
+                "transformed λL={lambda_l:e} {start:?}: inversion vs event loop KS \
+                 {d_ev:.5} ≥ {crit:.5}"
+            );
+            assert!(
+                d_batched < crit,
+                "transformed λL={lambda_l:e} {start:?}: batched vs scalar KS \
+                 {d_batched:.5} ≥ {crit:.5}"
+            );
+        }
+    }
+}
+
+#[test]
 fn batched_inversion_is_bit_identical_across_thread_counts() {
     // The per-chunk (seed, chunk) counter-RNG derivation means the sample
     // vector — not just the mean — is bit-equal at any thread count. Any

@@ -138,7 +138,7 @@ impl MetricsSnapshot {
         for (name, value) in &self.counters {
             out.push_str("{\"metric\":");
             push_json_str(&mut out, name);
-            let _ = write!(out, ",\"type\":\"counter\",\"value\":{value}}}\n");
+            let _ = writeln!(out, ",\"type\":\"counter\",\"value\":{value}}}");
         }
         for (name, value) in &self.gauges {
             out.push_str("{\"metric\":");

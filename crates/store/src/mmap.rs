@@ -107,7 +107,7 @@ impl FileBytes {
                 // Degrade to the portable path rather than failing the load.
                 return FileBytes::read(path);
             }
-            return Ok(FileBytes { inner: Inner::Mapped { ptr, len } });
+            Ok(FileBytes { inner: Inner::Mapped { ptr, len } })
         }
         #[cfg(not(unix))]
         {

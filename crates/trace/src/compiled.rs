@@ -111,6 +111,14 @@ impl CompiledTrace {
             return None;
         }
         let spans = trace.breakpoints();
+        if spans.len() as u64 > Self::MAX_SEGMENTS {
+            // The hint is advisory (the trait default is just the period); a
+            // trace that under-reports its span count must still refuse here
+            // rather than build an oversized table — and, transitively, rather
+            // than ever reach the u32 bucket-index conversions below with an
+            // index they cannot represent.
+            return None;
+        }
         let mut ends: Vec<u64> = Vec::with_capacity(spans.len());
         let mut values: Vec<f64> = Vec::with_capacity(spans.len());
         let mut prefix: Vec<f64> = Vec::with_capacity(spans.len());
@@ -137,8 +145,11 @@ impl CompiledTrace {
         }
         let period = start;
         let binary = values.iter().all(|&v| v == 0.0 || v == 1.0);
-        let (bucket_shift, buckets) = build_buckets(&ends, period);
-        let inv_buckets = build_inv_buckets(&prefix, cum);
+        // The segment cap above keeps the index conversions inside u32, so a
+        // conversion failure is unreachable here; treat it as a refusal all
+        // the same (callers fall back to the uncompiled representation).
+        let (bucket_shift, buckets) = build_buckets(&ends, period).ok()?;
+        let inv_buckets = build_inv_buckets(&prefix, cum).ok()?;
         Some(CompiledTrace {
             avf: cum / period as f64,
             total: cum,
@@ -231,7 +242,7 @@ impl CompiledTrace {
             "mass {m} outside [0, {})",
             self.total
         );
-        if self.inv_buckets.is_empty() || !(self.total > 0.0) {
+        if self.inv_buckets.is_empty() || !has_positive_mass(self.total) {
             // Never-vulnerable (or corrupted-to-empty) trace: nothing to
             // invert; callers cannot reach here through the sampler because
             // AVF = 0 traces never fail.
@@ -309,7 +320,7 @@ impl CompiledTrace {
     /// schedule version instead of claiming bit-equality with the scalar
     /// sampler.
     pub fn phase_at_cumulative_batch(&self, masses: &mut [f64]) {
-        if self.inv_buckets.is_empty() || !(self.total > 0.0) {
+        if self.inv_buckets.is_empty() || !has_positive_mass(self.total) {
             masses.fill(0.0);
             return;
         }
@@ -467,7 +478,8 @@ impl CompiledTrace {
         self.total = cum;
         self.avf = cum / self.period as f64;
         self.binary = self.values.iter().all(|&v| v == 0.0 || v == 1.0);
-        self.inv_buckets = build_inv_buckets(&self.prefix, self.total);
+        self.inv_buckets = build_inv_buckets(&self.prefix, self.total)
+            .expect("segment count is unchanged from a previously valid compile");
     }
 
     /// Structural self-check: segment geometry, value ranges, and all
@@ -553,7 +565,7 @@ impl CompiledTrace {
         // prefix search; a stale or truncated table silently widens (or
         // misdirects) every mass lookup, so rebuild-and-compare it like the
         // other derived fields.
-        if self.inv_buckets != build_inv_buckets(&self.prefix, self.total) {
+        if self.inv_buckets != build_inv_buckets(&self.prefix, self.total)? {
             return Err(SerrError::invalid_trace(format!(
                 "inverse bucket index ({} entries) disagrees with a rebuild from the prefix table",
                 self.inv_buckets.len()
@@ -563,13 +575,45 @@ impl CompiledTrace {
     }
 }
 
+/// NaN-robust positive-mass test: true exactly when `x` is a real number
+/// greater than zero. The negated `!(x > 0.0)` idiom this replaces relied
+/// on NaN comparing false; spelling the comparison through `partial_cmp`
+/// keeps that truth table while making the incomparable case explicit.
+fn has_positive_mass(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+}
+
+/// Checked `usize → u32` for bucket-table entries. Segment indexes are
+/// stored as `u32` to halve the tables' footprint, so a trace with more
+/// than `u32::MAX` segments cannot be indexed — refuse with a typed error
+/// instead of silently truncating the index (which would misdirect every
+/// lookup that lands in an affected bucket).
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidTrace`] when `i` exceeds `u32::MAX`.
+fn checked_bucket_index(i: usize) -> Result<u32, SerrError> {
+    u32::try_from(i).map_err(|_| {
+        SerrError::invalid_trace(format!(
+            "segment index {i} exceeds the u32 bucket-table limit ({} segments max)",
+            u32::MAX
+        ))
+    })
+}
+
 /// Picks the bucket width and fills the phase→segment table: the finest
 /// power-of-two bucket such that the table stays within
 /// [`CompiledTrace::MAX_BUCKETS`] and does not wildly exceed the segment
 /// count (finer buckets past ~4 per segment buy nothing).
-fn build_buckets(ends: &[u64], period: u64) -> (u32, Vec<u32>) {
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidTrace`] if a segment index does not fit the
+/// `u32` table entries; unreachable for tables within
+/// [`CompiledTrace::MAX_SEGMENTS`].
+fn build_buckets(ends: &[u64], period: u64) -> Result<(u32, Vec<u32>), SerrError> {
     let seg_count = ends.len() as u64;
-    let target = seg_count.saturating_mul(4).max(64).min(CompiledTrace::MAX_BUCKETS).min(period);
+    let target = seg_count.saturating_mul(4).clamp(64, CompiledTrace::MAX_BUCKETS).min(period);
     let mut shift = 0u32;
     while ((period - 1) >> shift) + 1 > target {
         shift += 1;
@@ -582,9 +626,9 @@ fn build_buckets(ends: &[u64], period: u64) -> (u32, Vec<u32>) {
         while ends[seg] <= start {
             seg += 1;
         }
-        buckets.push(seg as u32);
+        buckets.push(checked_bucket_index(seg)?);
     }
-    (shift, buckets)
+    Ok((shift, buckets))
 }
 
 /// Fills the inverse (mass→segment) bucket table: `total` is divided into
@@ -595,12 +639,18 @@ fn build_buckets(ends: &[u64], period: u64) -> (u32, Vec<u32>) {
 /// prefix search at `inv_buckets[floor(m/w)] - 1`. Returns an empty table
 /// when `total` is not positive: a never-vulnerable trace has no mass to
 /// invert.
-fn build_inv_buckets(prefix: &[f64], total: f64) -> Vec<u32> {
-    if !(total > 0.0) || prefix.is_empty() {
-        return Vec::new();
+///
+/// # Errors
+///
+/// Returns [`SerrError::InvalidTrace`] if a segment index does not fit the
+/// `u32` table entries; unreachable for tables within
+/// [`CompiledTrace::MAX_SEGMENTS`].
+fn build_inv_buckets(prefix: &[f64], total: f64) -> Result<Vec<u32>, SerrError> {
+    if !has_positive_mass(total) || prefix.is_empty() {
+        return Ok(Vec::new());
     }
     let n_inv =
-        (prefix.len() as u64).saturating_mul(4).max(64).min(CompiledTrace::MAX_BUCKETS) as usize;
+        (prefix.len() as u64).saturating_mul(4).clamp(64, CompiledTrace::MAX_BUCKETS) as usize;
     let w = total / n_inv as f64;
     let mut buckets = Vec::with_capacity(n_inv);
     // partition_point of a sorted table at an increasing boundary is
@@ -611,9 +661,9 @@ fn build_inv_buckets(prefix: &[f64], total: f64) -> Vec<u32> {
         while j < prefix.len() && prefix[j] <= boundary {
             j += 1;
         }
-        buckets.push(j as u32);
+        buckets.push(checked_bucket_index(j)?);
     }
-    buckets
+    Ok(buckets)
 }
 
 impl VulnerabilityTrace for CompiledTrace {
@@ -767,6 +817,56 @@ mod tests {
         let tiled = crate::ConcatTrace::new(vec![(unit, 10_000_000)]).unwrap();
         assert!(tiled.span_count_hint() > CompiledTrace::MAX_SEGMENTS);
         assert!(CompiledTrace::compile(&tiled).is_none());
+    }
+
+    #[test]
+    fn bucket_index_conversion_is_checked_at_the_u32_boundary() {
+        // The last representable index converts; one past it is a typed
+        // refusal, not a silent wrap back to index 0.
+        assert_eq!(checked_bucket_index(u32::MAX as usize), Ok(u32::MAX));
+        let err = checked_bucket_index(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, SerrError::InvalidTrace { .. }), "wrong error kind: {err}");
+        assert!(err.to_string().contains("bucket-table limit"), "unhelpful message: {err}");
+    }
+
+    /// A trace whose `span_count_hint` under-reports its real breakpoint
+    /// count — the advisory-hint contract violation `compile` must survive.
+    #[derive(Debug)]
+    struct LyingHintTrace {
+        period: u64,
+    }
+
+    impl VulnerabilityTrace for LyingHintTrace {
+        fn period_cycles(&self) -> u64 {
+            self.period
+        }
+
+        fn vulnerability_at(&self, cycle: u64) -> f64 {
+            ((cycle % self.period) % 2) as f64
+        }
+
+        fn cumulative_within_period(&self, r: u64) -> f64 {
+            (r / 2) as f64
+        }
+
+        fn breakpoints(&self) -> Vec<u64> {
+            (1..=self.period).collect()
+        }
+
+        fn span_count_hint(&self) -> u64 {
+            2
+        }
+    }
+
+    #[test]
+    fn compile_refuses_over_cap_breakpoints_despite_a_small_hint() {
+        // Alternating 0/1 every cycle: nothing merges, so the real span
+        // count is the period. One past the cap must refuse even though the
+        // hint claims two spans; at the cap the hint path would have
+        // admitted it anyway.
+        let lying = LyingHintTrace { period: CompiledTrace::MAX_SEGMENTS + 1 };
+        assert!(lying.span_count_hint() <= CompiledTrace::MAX_SEGMENTS);
+        assert!(CompiledTrace::compile(&lying).is_none());
     }
 
     #[test]

@@ -15,6 +15,21 @@ const BLOCK: usize = 4096;
 /// long-running workloads convert to [`IntervalTrace`] via
 /// [`DenseTrace::compress`].
 ///
+/// # Rounding contract
+///
+/// [`DenseTrace::new`] accepts `f64` input but stores one `f32` per cycle:
+/// each value is validated in `[0, 1]` as given, then rounded to the
+/// nearest `f32` (at most half an ulp, `≤ 2⁻²⁵` anywhere in range). Every
+/// query — [`VulnerabilityTrace::vulnerability_at`], cumulative sums,
+/// [`VulnerabilityTrace::avf`] — answers from the *rounded* values, and the
+/// stored values are re-validated after the cast, so the `[0, 1]` invariant
+/// holds for what is actually queried. Both endpoints are exactly
+/// representable as `f32`, so rounding can never push an in-range input out
+/// of range (e.g. the `f64` just below `1.0` rounds *up* to exactly
+/// `1.0f32` and stays valid). [`DenseTrace::compress`] is exact with
+/// respect to these stored values — `f32` widens losslessly to `f64` — not
+/// with respect to the pre-rounding input.
+///
 /// ```
 /// use serr_trace::{DenseTrace, VulnerabilityTrace};
 /// let t = DenseTrace::new(vec![1.0, 0.0, 0.5, 0.5]).unwrap();
@@ -31,12 +46,13 @@ pub struct DenseTrace {
 }
 
 impl DenseTrace {
-    /// Builds a dense trace from per-cycle vulnerabilities.
+    /// Builds a dense trace from per-cycle vulnerabilities, rounding each
+    /// to the nearest `f32` (see the rounding contract on [`DenseTrace`]).
     ///
     /// # Errors
     ///
     /// Returns [`SerrError::InvalidTrace`] if `values` is empty or any value
-    /// is outside `[0, 1]`.
+    /// is outside `[0, 1]` — before or (defensively) after rounding.
     pub fn new(values: Vec<f64>) -> Result<Self, SerrError> {
         if values.is_empty() {
             return Err(SerrError::invalid_trace("trace must contain at least one cycle"));
@@ -45,6 +61,15 @@ impl DenseTrace {
             return Err(SerrError::invalid_trace(format!("vulnerability {bad} outside [0,1]")));
         }
         let stored: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        // Round-to-nearest cannot leave [0, 1] (both endpoints are exactly
+        // representable, so no in-range f64 rounds past them), but every
+        // query answers from the stored values — enforce the invariant on
+        // them directly rather than inferring it from the f64 check above.
+        if let Some(bad) = stored.iter().find(|v| !(0.0f32..=1.0).contains(*v)) {
+            return Err(SerrError::invalid_trace(format!(
+                "vulnerability {bad} outside [0,1] after f32 rounding"
+            )));
+        }
         let mut block_prefix = Vec::with_capacity(stored.len() / BLOCK + 2);
         block_prefix.push(0.0);
         let mut total = 0.0_f64;
@@ -65,8 +90,10 @@ impl DenseTrace {
         DenseTrace::new(flags.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
     }
 
-    /// Run-length-compresses into an [`IntervalTrace`] (exact: `f32` values
-    /// are preserved bit-for-bit as `f64`).
+    /// Run-length-compresses into an [`IntervalTrace`] (exact with respect
+    /// to the *stored* `f32` values, which widen losslessly to `f64`; the
+    /// one rounding step happened in [`DenseTrace::new`] — see the rounding
+    /// contract on [`DenseTrace`]).
     #[must_use]
     pub fn compress(&self) -> IntervalTrace {
         let levels: Vec<f64> = self.values.iter().map(|&v| f64::from(v)).collect();
@@ -166,6 +193,26 @@ mod tests {
         assert!(DenseTrace::new(vec![]).is_err());
         assert!(DenseTrace::new(vec![0.5, 1.5]).is_err());
         assert!(DenseTrace::new(vec![-0.5]).is_err());
+    }
+
+    #[test]
+    fn rounding_contract_queries_answer_from_nearest_f32() {
+        // 0.1 and 0.3 are not representable as f32; 1.0 - 1ulp rounds *up*
+        // to exactly 1.0f32 and must stay valid.
+        let just_below_one = f64::from_bits(1.0f64.to_bits() - 1);
+        let t = DenseTrace::new(vec![0.1, just_below_one, 0.3]).unwrap();
+        assert_eq!(t.vulnerability_at(0), f64::from(0.1f32));
+        assert_eq!(t.vulnerability_at(1), 1.0);
+        assert_eq!(t.vulnerability_at(2), f64::from(0.3f32));
+        // AVF and cumulative sums are over the rounded values too.
+        let want_avf = (f64::from(0.1f32) + 1.0 + f64::from(0.3f32)) / 3.0;
+        assert!((t.avf() - want_avf).abs() < 1e-15);
+        assert_eq!(t.cumulative_within_period(1), f64::from(0.1f32));
+        // compress() is exact over the stored values, not the f64 input.
+        let c = t.compress();
+        for cyc in 0..3u64 {
+            assert_eq!(c.vulnerability_at(cyc), t.vulnerability_at(cyc), "cycle {cyc}");
+        }
     }
 
     #[test]

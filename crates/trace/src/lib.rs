@@ -50,9 +50,11 @@ mod concat;
 mod dense;
 mod encode;
 mod interval;
+mod layered;
 mod scale;
 mod shift;
 mod traits;
+mod transform;
 
 pub use compiled::CompiledTrace;
 pub use compose::CompositeTrace;
@@ -60,9 +62,11 @@ pub use concat::ConcatTrace;
 pub use dense::DenseTrace;
 pub use encode::{decode_interval_trace, encode_interval_trace};
 pub use interval::{IntervalTrace, IntervalTraceBuilder, Segment};
+pub use layered::BitLayeredTrace;
 pub use scale::ScaledTrace;
 pub use shift::ShiftedTrace;
 pub use traits::VulnerabilityTrace;
+pub use transform::{Transform, TransformPipeline, RAMP_STEPS};
 
 #[cfg(test)]
 mod proptests;

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use crate::{
     decode_interval_trace, encode_interval_trace, CompiledTrace, CompositeTrace, DenseTrace,
-    IntervalTrace, Segment, VulnerabilityTrace,
+    IntervalTrace, Segment, Transform, TransformPipeline, VulnerabilityTrace,
 };
 use std::sync::Arc;
 
@@ -190,6 +190,101 @@ proptest! {
             prop_assert_eq!(c.vulnerability_at(cyc), src.vulnerability_at(cyc % period));
         }
         c.verify().expect("freshly compiled crowded trace verifies");
+    }
+}
+
+/// A non-degenerate protection transform with parameters scaled to the
+/// small traces `arb_segments`/`arb_levels` produce.
+fn arb_transform() -> impl Strategy<Value = Transform> {
+    prop_oneof![
+        Just(Transform::Identity),
+        (2..256u32).prop_map(|word_bits| Transform::EccSecDed { word_bits }),
+        (1..5000u64).prop_map(|interval_cycles| Transform::Scrub { interval_cycles }),
+        (0..200u64).prop_map(|window_cycles| Transform::DelayReport { window_cycles }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn identity_transform_is_a_bit_for_bit_noop(segs in arb_segments()) {
+        let t = IntervalTrace::from_segments(segs).unwrap();
+        prop_assert_eq!(Transform::Identity.apply(&t).unwrap(), t.clone());
+        prop_assert_eq!(TransformPipeline::identity().apply_interval(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn transforms_preserve_period_and_reduce_avf(
+        segs in arb_segments(),
+        t in arb_transform(),
+    ) {
+        let src = IntervalTrace::from_segments(segs).unwrap();
+        if let Transform::DelayReport { window_cycles } = t {
+            prop_assume!(window_cycles < src.period_cycles());
+        }
+        let out = t.apply(&src).unwrap();
+        prop_assert_eq!(out.period_cycles(), src.period_cycles());
+        // Protection never *adds* vulnerability: the tier-1 smoke's
+        // protected-MTTF ≥ baseline assertion rests on this.
+        prop_assert!(out.avf() <= src.avf() + 1e-12, "{} raised AVF", t);
+        for c in (0..src.period_cycles()).step_by(97) {
+            prop_assert!((0.0..=1.0).contains(&out.vulnerability_at(c)));
+        }
+    }
+
+    #[test]
+    fn ecc_and_delay_commute(
+        segs in arb_segments(),
+        word_bits in 2..256u32,
+        window in 0..500u64,
+    ) {
+        // ECC is a pointwise value map with ecc(0) = 0; delay rearranges
+        // cycles and zero-fills the tail. Maps with a zero fixed point
+        // commute with rearrange-and-zero, bit for bit.
+        let src = IntervalTrace::from_segments(segs).unwrap();
+        prop_assume!(window < src.period_cycles());
+        let ecc = Transform::EccSecDed { word_bits };
+        let delay = Transform::DelayReport { window_cycles: window };
+        let a = delay.apply(&ecc.apply(&src).unwrap()).unwrap();
+        let b = ecc.apply(&delay.apply(&src).unwrap()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scrub_preserves_mass_within_each_interval(
+        levels in arb_levels(),
+        interval in 1..300u64,
+    ) {
+        // The staircase's midpoint rule is exact for the linear ramp, so
+        // cumulative mass at every scrub boundary matches the closed-form
+        // integral of v(c)·((c mod T)/T) to float tolerance.
+        let src = IntervalTrace::from_levels(&levels).unwrap();
+        let out = Transform::Scrub { interval_cycles: interval }.apply(&src).unwrap();
+        let period = src.period_cycles();
+        // Per-cycle reference: the midpoint-rule mass of cycle c is
+        // v(c)·((c mod T) + 0.5)/T, and summed over any whole step range it
+        // equals the staircase mass exactly (both are the trapezoid
+        // integral of the linear ramp).
+        let mut want_prefix = Vec::with_capacity(period as usize + 1);
+        let mut acc = 0.0f64;
+        want_prefix.push(0.0);
+        for c in 0..period {
+            let ramp = ((c % interval) as f64 + 0.5) / interval as f64;
+            acc += src.vulnerability_at(c) * ramp;
+            want_prefix.push(acc);
+        }
+        let mut boundary = interval.min(period);
+        loop {
+            let got = out.cumulative_within_period(boundary);
+            let want = want_prefix[boundary as usize];
+            prop_assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "boundary {}: staircase {} vs per-cycle ramp {}", boundary, got, want
+            );
+            if boundary == period {
+                break;
+            }
+            boundary = (boundary + interval).min(period);
+        }
     }
 }
 

@@ -58,10 +58,10 @@ pub fn duty_cycle(
         )));
     }
     let total = period.to_cycles(freq);
-    // `!(total >= 1.0)` also traps NaN, which would otherwise slip past a
-    // `<` comparison and underflow the idle-cycle subtraction below; an
-    // infinite period cannot be a loop iteration either.
-    if !(total >= 1.0) || !total.is_finite() {
+    // The finiteness check runs first so NaN (never finite) cannot slip
+    // past the `<` comparison and underflow the idle-cycle subtraction
+    // below; an infinite period cannot be a loop iteration either.
+    if !total.is_finite() || total < 1.0 {
         return Err(SerrError::invalid_config(format!(
             "workload period must be finite and at least one cycle, got {} cycles",
             total

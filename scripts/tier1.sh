@@ -29,19 +29,46 @@ cargo fmt --check
 RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-mc
 
 # Chaos smoke campaign: a small fixed-seed fault-injection run across all
-# fourteen estimator-level injector kinds (including the four store-*
-# faults against the binary journal) must uphold the detect-or-degrade
-# invariant (the binary exits nonzero on any silently-wrong result).
+# fifteen estimator-level injector kinds (the four store-* faults against
+# the binary journal, and trace-transform corruption of the protection
+# pipeline's output) must uphold the detect-or-degrade invariant (the
+# binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
 
-# Perf smoke: regenerates BENCH_engines.json (schema v8, now carrying a
-# `storage` section: binary-vs-JSONL journal resume time and mmap-vs-read
-# cache load time) and asserts three perf contracts — the Λ-inversion
-# sampler stays >=10x faster than the event-loop walk, the batched
-# inversion sampler stays >=5x faster than the scalar one, and the binary
-# journal resume stays >=5x faster than the JSONL parse it replaced on a
-# dense-trace workload — the binary aborts if any contract regresses.
+# Perf smoke: regenerates BENCH_engines.json (schema v9, carrying a
+# `storage` section — binary-vs-JSONL journal resume time and mmap-vs-read
+# cache load time — and a `models` section: the AVF+SOFR-vs-MC comparison
+# under the ECC/scrub/delay protection transforms) and asserts four perf
+# contracts — the Λ-inversion sampler stays >=10x faster than the
+# event-loop walk, the batched inversion sampler stays >=5x faster than the
+# scalar one, the binary journal resume stays >=5x faster than the JSONL
+# parse it replaced on a dense-trace workload, and the no-protection
+# transform path adds <=5% to trace compilation — the binary aborts if any
+# contract regresses.
 cargo run --release -p serr-bench --bin bench_smoke -- target/bench-smoke.json
+
+# Protection smoke: every transform in the --protect algebra is AVF-
+# monotone (protective), so a scrubbed run can never report a worse MTTF
+# than the unprotected baseline. The AVF-step MTTF is deterministic (no
+# Monte Carlo noise), so >= holds exactly; the awk filter normalizes the
+# human-readable unit (s/days/years) before comparing.
+mttf_avf_step_s() {
+  awk '/MTTF, AVF step/ {
+    v = $(NF-1) + 0.0; u = $NF
+    if (u == "years") v *= 31536000; else if (u == "days") v *= 86400
+    print v
+  }'
+}
+BASE_MTTF=$(cargo run --release --bin serr -- \
+  mttf --workload day --n-s 1e8 --trials 2000 | mttf_avf_step_s)
+SCRUB_MTTF=$(cargo run --release --bin serr -- \
+  mttf --workload day --n-s 1e8 --trials 2000 --protect scrub:1e11 | mttf_avf_step_s)
+awk -v b="$BASE_MTTF" -v s="$SCRUB_MTTF" 'BEGIN {
+  if (b <= 0.0 || s < b) {
+    printf "protection smoke: scrubbed MTTF %s fell below baseline %s\n", s, b
+    exit 1
+  }
+}'
 
 # Observability smoke: a metrics-instrumented mttf run must produce
 # parseable JSONL with per-stage timings and at least one Monte Carlo
@@ -89,7 +116,10 @@ rm -rf "$SERVE_DIR"
 # `unwrap_used` is a restriction-group lint, so `-A clippy::all` silences
 # the default lints without masking it. `.expect("reason")` stays allowed:
 # it documents why the failure is impossible.
-cargo clippy --workspace --lib --bins -- -A clippy::all -D clippy::unwrap_used
+cargo clippy --workspace --lib --bins -- -A clippy::all -D clippy::unwrap_used \
+  -D clippy::neg_cmp_op_on_partial_ord -D clippy::manual_clamp \
+  -D clippy::manual_range_contains -D clippy::manual_is_multiple_of \
+  -D clippy::needless_return -D clippy::write_with_newline
 
 # Observability gate: library crates must not print to stderr/stdout with
 # the print macros — diagnostics go through serr-obs typed events (the

@@ -41,6 +41,8 @@ pub enum Command {
         sampler: SamplerKind,
         /// Wall-clock budget for the Monte Carlo run, in seconds.
         deadline_s: Option<f64>,
+        /// Protection transforms applied to the trace before estimation.
+        protect: ProtectionSpec,
         /// Write stage timings, convergence events, and a metrics snapshot
         /// as JSONL to this path.
         metrics: Option<std::path::PathBuf>,
@@ -59,6 +61,8 @@ pub enum Command {
         sampler: SamplerKind,
         /// Wall-clock budget for the Monte Carlo run, in seconds.
         deadline_s: Option<f64>,
+        /// Protection transforms applied to each component's trace.
+        protect: ProtectionSpec,
         /// Write stage timings, convergence events, and a metrics snapshot
         /// as JSONL to this path.
         metrics: Option<std::path::PathBuf>,
@@ -268,6 +272,7 @@ impl Command {
                 let mut trials: u64 = 100_000;
                 let mut sampler = SamplerKind::default();
                 let mut deadline_s: Option<f64> = None;
+                let mut protect = ProtectionSpec::none();
                 let mut metrics: Option<std::path::PathBuf> = None;
                 while let Some(flag) = it.next() {
                     let mut value = |name: &str| {
@@ -299,6 +304,9 @@ impl Command {
                             deadline_s =
                                 Some(parse_positive_f64("--deadline", &value("--deadline")?)?);
                         }
+                        "--protect" => {
+                            protect = ProtectionSpec::parse(&value("--protect")?)?;
+                        }
                         "--metrics" => {
                             metrics = Some(std::path::PathBuf::from(value("--metrics")?));
                         }
@@ -321,6 +329,7 @@ impl Command {
                         trials,
                         sampler,
                         deadline_s,
+                        protect,
                         metrics,
                     })
                 } else {
@@ -331,6 +340,7 @@ impl Command {
                         trials,
                         sampler,
                         deadline_s,
+                        protect,
                         metrics,
                     })
                 }
@@ -544,8 +554,8 @@ pub const USAGE: &str = "\
 serr — architecture-level soft error analysis (DSN 2007 reproduction)
 
 USAGE:
-  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
-  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--metrics PATH]
+  serr mttf --workload <W> (--rate <errors/year> | --n-s <N*S>) [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--protect SPEC] [--metrics PATH]
+  serr sofr --workload <W> (--rate <errors/year> | --n-s <N*S>) -c <count> [--trials N] [--sampler batched-inversion|inversion|event-loop] [--deadline <secs>] [--protect SPEC] [--metrics PATH]
   serr sweep <sec5_1|fig5|fig6a|fig6b|sec5_4> [--fresh | --resume] [--trials N] [--debug-journal] [--metrics PATH]
   serr store inspect <FILE>
   serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler batched-inversion|inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
@@ -570,7 +580,16 @@ FLAGS:
   --deadline <secs>  wall-clock budget for the Monte Carlo run; on expiry the
                      estimate is returned from the trials completed so far,
                      marked truncated, with a correspondingly wider CI
-  --fresh            discard the sweep's checkpoint journal and start over
+  --protect SPEC     protection transforms applied to the workload trace
+                     before estimation, comma-separated, left to right:
+                     `ecc:<word_bits>` SEC-DED word coverage (single-bit
+                     upsets corrected; fails only when a second bit in the
+                     word is already vulnerable), `scrub:<interval_cycles>`
+                     periodic scrubbing (vulnerability ramps from zero after
+                     each scrub), `delay:<window_cycles>` delayed reporting
+                     (errors within the window of the period end never
+                     surface). Cycle counts accept scientific notation;
+                     `none` is the identity. Example: ecc:64,scrub:1e6
   --resume           resume from the journal if one exists (the default);
                      journals are CRC-paged binary `.store` files under
                      target/serr-checkpoints/ (override with
@@ -586,9 +605,11 @@ FLAGS:
                      tags at any thread count
   --kinds k1,k2      restrict chaos campaigns to these injectors; known:
                      trace-value-flip, trace-prefix-perturb,
-                     trace-consistent-corrupt, chunk-panic, deadline-exhaust,
-                     rate-poison, checkpoint-io, journal-corrupt,
-                     journal-lock, cache-corrupt
+                     trace-consistent-corrupt, trace-transform, chunk-panic,
+                     deadline-exhaust, rate-poison, checkpoint-io,
+                     journal-corrupt, journal-lock, cache-corrupt,
+                     store-torn-tail, store-bit-flip, store-header-corrupt,
+                     store-stale-version
   --jsonl PATH       write one JSON line per campaign outcome to PATH
   --bind <ADDR>      where the daemon listens: unix:PATH or tcp:HOST:PORT
                      (tcp:HOST:0 picks a free port, printed at startup)
@@ -623,6 +644,7 @@ EXAMPLES:
   serr mttf --workload spec:mcf --rate 1e-4 --deadline 10
   serr mttf --workload day --n-s 1e8 --sampler event-loop
   serr mttf --workload day --n-s 1e8 --metrics out.jsonl
+  serr mttf --workload day --n-s 1e8 --protect ecc:64,scrub:1e6
   serr sofr --workload week --n-s 1e8 -c 5000
   serr sweep fig5 --trials 20000
   serr store inspect target/serr-checkpoints/fig5-00c0ffee00c0ffee.store
@@ -674,9 +696,17 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             Ok(())
         }
-        Command::Mttf { workload, rate_per_year, trials, sampler, deadline_s, metrics } => {
+        Command::Mttf {
+            workload,
+            rate_per_year,
+            trials,
+            sampler,
+            deadline_s,
+            protect,
+            metrics,
+        } => {
             let obs = metrics_obs(metrics.as_deref())?;
-            let trace = workload.trace(&cfg)?;
+            let trace = protect.apply(workload.trace(&cfg)?)?;
             let rate = RawErrorRate::try_per_year(*rate_per_year)?;
             let freq = cfg.frequency;
             let mut v = Validator::new(freq, mc_config(*trials, *sampler, *deadline_s));
@@ -688,6 +718,9 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
                 "workload period : {}",
                 Seconds::new(trace.period_cycles() as f64 / freq.hz())
             );
+            if !protect.is_none() {
+                println!("protection      : {}", protect.canonical());
+            }
             println!("AVF             : {:.4}", r.avf);
             println!("MTTF, AVF step  : {}", r.mttf_avf.as_seconds());
             println!(
@@ -721,10 +754,11 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             trials,
             sampler,
             deadline_s,
+            protect,
             metrics,
         } => {
             let obs = metrics_obs(metrics.as_deref())?;
-            let trace = workload.trace(&cfg)?;
+            let trace = protect.apply(workload.trace(&cfg)?)?;
             let rate = RawErrorRate::try_per_year(*rate_per_year)?;
             let mut v = Validator::new(cfg.frequency, mc_config(*trials, *sampler, *deadline_s));
             if let Some(obs) = &obs {
@@ -732,6 +766,9 @@ pub fn run(cmd: &Command) -> Result<(), SerrError> {
             }
             let r = v.system_identical(trace, rate, *components)?;
             println!("components      : {components}");
+            if !protect.is_none() {
+                println!("protection      : {}", protect.canonical());
+            }
             println!("MTTF, SOFR      : {}", r.mttf_sofr.as_seconds());
             println!(
                 "MTTF, MonteCarlo: {} (±{:.2}% at 95%, {} sampler)",
@@ -1051,6 +1088,7 @@ mod tests {
                 trials: 100_000,
                 sampler: SamplerKind::BatchedInversion,
                 deadline_s: None,
+                protect: ProtectionSpec::none(),
                 metrics: None
             }
         );
@@ -1079,6 +1117,7 @@ mod tests {
                 trials: 5000,
                 sampler: SamplerKind::EventLoop,
                 deadline_s: Some(1.5),
+                protect: ProtectionSpec::none(),
                 metrics: None
             }
         );
@@ -1126,6 +1165,38 @@ mod tests {
             other => panic!("expected Chaos, got {other:?}"),
         }
         assert!(Command::parse(&["chaos", "--sampler", "bogus"]).is_err());
+    }
+
+    /// `--protect` parses on both estimation commands, defaults to no
+    /// protection, and rejects malformed specs naming the bad stage.
+    #[test]
+    fn protect_flag_parses_and_defaults() {
+        for (sub, tail) in [("mttf", vec![]), ("sofr", vec!["-c", "10"])] {
+            let mut base = vec![sub, "-w", "day", "--n-s", "1e8"];
+            base.extend(&tail);
+            let got = match Command::parse(&base).unwrap() {
+                Command::Mttf { protect, .. } | Command::Sofr { protect, .. } => protect,
+                other => panic!("expected mttf/sofr, got {other:?}"),
+            };
+            assert!(got.is_none());
+
+            let mut flagged = base.clone();
+            flagged.extend(["--protect", "ecc:64,scrub:1e6,delay:5e3"]);
+            let got = match Command::parse(&flagged).unwrap() {
+                Command::Mttf { protect, .. } | Command::Sofr { protect, .. } => protect,
+                other => panic!("expected mttf/sofr, got {other:?}"),
+            };
+            assert_eq!(got.canonical(), "ecc:64,scrub:1000000,delay:5000");
+
+            let mut bad = base.clone();
+            bad.extend(["--protect", "parity:1"]);
+            match Command::parse(&bad).unwrap_err() {
+                SerrError::InvalidConfig { reason } => {
+                    assert!(reason.contains("parity"), "message `{reason}` omits the stage");
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
     }
 
     #[test]

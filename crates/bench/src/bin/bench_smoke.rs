@@ -2,8 +2,9 @@
 //!
 //! Criterion gives statistically careful numbers but its reports are for
 //! humans; this binary runs a small, fixed subset of the `engines` bench
-//! plus one figure sweep, a checkpoint/chaos probe, and a `serr serve`
-//! service probe, and writes the results as JSON to `BENCH_engines.json`
+//! plus a shared-stream sweep-kernel duel, one figure sweep, a
+//! checkpoint/chaos probe, and a `serr serve` service probe, and writes
+//! the results as JSON to `BENCH_engines.json`
 //! at the repository root, so successive PRs leave a perf trajectory that
 //! tooling can diff.
 //!
@@ -663,6 +664,88 @@ fn main() {
     timings.push(t_compile_identity);
     timings.push(t_apply);
 
+    // Sweep-kernel duel (schema v10): a 32-point Figure-5-style rate fan
+    // over the fine-grained 10k-segment workload trace, estimated two ways
+    // with the same seed and sampler — a loop of independent per-point
+    // `component_mttf` runs (the pre-kernel sweep path, which re-compiled
+    // the trace and regenerated every RNG/log plane for each point) versus
+    // one `component_mttf_multi` call that compiles the trace once and
+    // pays each chunk's RNG words, uniforms, and vectorized log pass once
+    // for all 32 λ values; only the λ-dependent finish (mass scale, tiered
+    // log, inverse lookup, statistics fold) stays per point. Common random
+    // numbers make the comparison exact, not statistical: before timing,
+    // every kernel point is asserted bit-identical to its independent run
+    // at 1 *and* 8 threads, so the measured speedup buys literally the
+    // same bits. The run aborts if the kernel's amortization advantage
+    // ever drops below 3x.
+    let kernel_points = 32usize;
+    let kernel_trials = 2_000u64;
+    let kernel_rates: Vec<RawErrorRate> = (0..kernel_points)
+        .map(|i| RawErrorRate::per_year(50.0 * 1.25f64.powi(i32::try_from(i).expect("small"))))
+        .collect();
+    for threads in [1usize, 8] {
+        let mc_t = MonteCarlo::new(MonteCarloConfig {
+            trials: kernel_trials,
+            threads,
+            sampler: SamplerKind::BatchedInversion,
+            ..Default::default()
+        });
+        let multi =
+            mc_t.component_mttf_multi(&fine, &kernel_rates, freq).expect("sweep kernel duel runs");
+        for (i, (point, &r)) in multi.iter().zip(&kernel_rates).enumerate() {
+            let point = point.as_ref().expect("kernel point succeeds");
+            let solo = mc_t.component_mttf(&fine, r, freq).expect("independent point runs");
+            assert!(
+                point.mttf.as_secs().to_bits() == solo.mttf.as_secs().to_bits()
+                    && point.ttf_seconds.ci95.to_bits() == solo.ttf_seconds.ci95.to_bits(),
+                "sweep kernel point {i} must be bit-identical to its independent run \
+                 at {threads} threads"
+            );
+        }
+    }
+    let mc_kernel = MonteCarlo::new(MonteCarloConfig {
+        trials: kernel_trials,
+        threads: 1,
+        sampler: SamplerKind::BatchedInversion,
+        ..Default::default()
+    });
+    let t_sweep_per_point = time("sweep_kernel/per_point_32x2k_trials", 5, || {
+        for &r in &kernel_rates {
+            mc_kernel.component_mttf(&fine, r, freq).expect("per-point sweep runs");
+        }
+    });
+    let t_sweep_kernel = time("sweep_kernel/shared_stream_32x2k_trials", 5, || {
+        mc_kernel.component_mttf_multi(&fine, &kernel_rates, freq).expect("kernel sweep runs")
+    });
+    let kernel_speedup = t_sweep_per_point.min_ms / t_sweep_kernel.min_ms;
+    let trial_points = kernel_points as f64 * kernel_trials as f64;
+    println!(
+        "sweep-kernel duel: {kernel_points} points x {kernel_trials} trials, per-point \
+         {:.3} ms ({:.1} ns/trial-point) vs shared-stream {:.3} ms ({:.1} ns/trial-point) \
+         -> {kernel_speedup:.1}x, bit-identical at 1 and 8 threads",
+        t_sweep_per_point.min_ms,
+        t_sweep_per_point.min_ms * 1e6 / trial_points,
+        t_sweep_kernel.min_ms,
+        t_sweep_kernel.min_ms * 1e6 / trial_points
+    );
+    assert!(
+        kernel_speedup >= 3.0,
+        "the shared-stream sweep kernel must be >=3x faster than independent per-point runs \
+         on the 32-point duel, measured {kernel_speedup:.1}x"
+    );
+    let sweep_kernel_json = format!(
+        "  \"sweep_kernel\": {{\"points\": {kernel_points}, \"trials\": {kernel_trials}, \
+         \"per_point_min_ms\": {:.4}, \"kernel_min_ms\": {:.4}, \
+         \"per_point_ns_per_trial_point\": {:.1}, \"kernel_ns_per_trial_point\": {:.1}, \
+         \"speedup\": {kernel_speedup:.1}, \"bit_identical_threads\": [1, 8]}},",
+        t_sweep_per_point.min_ms,
+        t_sweep_kernel.min_ms,
+        t_sweep_per_point.min_ms * 1e6 / trial_points,
+        t_sweep_kernel.min_ms * 1e6 / trial_points
+    );
+    timings.push(t_sweep_per_point);
+    timings.push(t_sweep_kernel);
+
     let entries: Vec<String> = timings
         .iter()
         .map(|t| {
@@ -673,8 +756,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 9,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 10,\n  \"suite\": \"engines-smoke\",\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\n  \"timings\": [\n{}\n  ]\n}}\n",
         sampler_json,
+        sweep_kernel_json,
         checkpoint_json,
         chaos_json,
         service_json,

@@ -26,7 +26,7 @@ use serr_trace::{IntervalTrace, Transform, TransformPipeline};
 use serr_types::{Frequency, Provenance, RawErrorRate, SerrError};
 
 use crate::checkpoint::{self, Journal, JournalRow, SweepOptions};
-use crate::guard::Guard;
+use crate::guard::{Guard, GuardPolicy};
 use crate::jsonio::Json;
 use crate::pipeline;
 
@@ -282,6 +282,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
     // acceptance band cannot be explained by sampling noise: it is a miss.
     let miss_tol = 2.0 * policy.ci_mult.mul_add(golden_ci, policy.rel_tol);
 
+    // The trace-corruption kinds alternate between the single-point guard
+    // and the shared-stream sweep-kernel path
+    // (`Guard::component_mttf_multi`), so every corruption is also fired
+    // at the path where one compiled trace feeds many design points — the
+    // invariant under attack there is that the corruption degrades *every*
+    // dependent point, never a silently clean subset.
+    let sweep_rates = [rate.scale(0.5), rate, rate.scale(2.0)];
+    let golden_sweep = sweep_golden(&guard, &trace, &sweep_rates, &policy, "chaos sweep golden")?;
+
     // The transform campaigns attack a different workload (the transformed
     // trace), so their Clean tag is judged against its own golden baseline.
     // Computed only when the run actually includes the kind.
@@ -296,7 +305,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
         }
         let ci = golden.mc.map_or(0.0, |e| e.relative_ci95());
         let tol = 2.0 * policy.ci_mult.mul_add(ci, policy.rel_tol);
-        Some((trace, golden.mttf.as_secs(), tol))
+        let sweep =
+            sweep_golden(&guard, &trace, &sweep_rates, &policy, "chaos transformed sweep golden")?;
+        Some((trace, golden.mttf.as_secs(), tol, sweep))
     } else {
         None
     };
@@ -311,7 +322,18 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
         let seed = mix(&[cfg.seed, campaign as u64]);
         let kind = cfg.kinds[campaign % cfg.kinds.len()];
         let plan = FaultPlan::new(seed, kind);
+        // Odd trace-corruption campaigns take the sweep-kernel path: the
+        // parity is a pure function of the campaign index, so the schedule
+        // replays identically at any thread count.
+        let sweep_path = campaign % 2 == 1;
         let outcome = match kind {
+            FaultKind::TraceValueFlip
+            | FaultKind::TracePrefixPerturb
+            | FaultKind::TraceConsistentCorrupt
+                if sweep_path =>
+            {
+                guarded_sweep_campaign(&guard, &trace, &sweep_rates, plan, campaign, &golden_sweep)?
+            }
             FaultKind::TraceValueFlip
             | FaultKind::TracePrefixPerturb
             | FaultKind::TraceConsistentCorrupt
@@ -321,9 +343,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, SerrError> {
                 guarded_campaign(&guard, &trace, rate, plan, campaign, golden_mttf, miss_tol)?
             }
             FaultKind::TraceTransform => {
-                let (t, t_golden, t_tol) =
+                let (t, t_golden, t_tol, t_sweep) =
                     transformed.as_ref().expect("computed above when the kind is present");
-                guarded_campaign(&guard, t, rate, plan, campaign, *t_golden, *t_tol)?
+                if sweep_path {
+                    guarded_sweep_campaign(&guard, t, &sweep_rates, plan, campaign, t_sweep)?
+                } else {
+                    guarded_campaign(&guard, t, rate, plan, campaign, *t_golden, *t_tol)?
+                }
             }
             FaultKind::CheckpointIo => checkpoint_io_campaign(&scratch, plan, campaign)?,
             FaultKind::JournalCorrupt => journal_corrupt_campaign(&scratch, plan, campaign)?,
@@ -404,6 +430,89 @@ fn guarded_campaign(
         miss,
         sampler: g.mc.map(|e| e.sampler),
         detail: g.notes.last().cloned().unwrap_or_else(|| "no anomalies observed".to_owned()),
+    })
+}
+
+/// Fault-free baseline for the sweep-kernel campaigns: one guarded
+/// shared-stream run over every campaign rate, each point required Clean,
+/// returned as `(golden mttf seconds, miss tolerance)` per point.
+fn sweep_golden(
+    guard: &Guard,
+    trace: &IntervalTrace,
+    rates: &[RawErrorRate],
+    policy: &GuardPolicy,
+    what: &str,
+) -> Result<Vec<(f64, f64)>, SerrError> {
+    let golden = guard.component_mttf_multi(trace, rates, None)?;
+    golden
+        .iter()
+        .map(|g| {
+            if g.provenance != Provenance::Clean {
+                return Err(SerrError::engine_fault(
+                    what,
+                    format!("fault-free sweep point tagged {}: {:?}", g.provenance, g.notes),
+                ));
+            }
+            let ci = g.mc.as_ref().map_or(0.0, |e| e.relative_ci95());
+            Ok((g.mttf.as_secs(), 2.0 * policy.ci_mult.mul_add(ci, policy.rel_tol)))
+        })
+        .collect()
+}
+
+/// One campaign against the shared-stream sweep kernel: the fault plan is
+/// armed while `Guard::component_mttf_multi` evaluates every rate off one
+/// shared compiled trace and one shared RNG stream.
+///
+/// The aggregate tag is the WORST per-point provenance — a corruption of
+/// the shared trace must degrade every dependent point, so a campaign is a
+/// miss if ANY point comes back Clean-tagged yet deviates from its own
+/// golden baseline beyond tolerance.
+fn guarded_sweep_campaign(
+    guard: &Guard,
+    trace: &IntervalTrace,
+    rates: &[RawErrorRate],
+    plan: FaultPlan,
+    campaign: usize,
+    golden: &[(f64, f64)],
+) -> Result<CampaignOutcome, SerrError> {
+    let points = guard.component_mttf_multi(trace, rates, Some(plan))?;
+    let mut outcome = Provenance::Clean;
+    let mut miss = false;
+    let mut max_deviation = 0.0_f64;
+    let mut sampler = None;
+    let mut clean_points = 0_usize;
+    let mut note = None;
+    for (g, &(golden_mttf, miss_tol)) in points.iter().zip(golden) {
+        let deviation = (g.mttf.as_secs() - golden_mttf).abs() / golden_mttf;
+        max_deviation = max_deviation.max(deviation);
+        outcome = outcome.worse(g.provenance);
+        if g.provenance == Provenance::Clean {
+            clean_points += 1;
+            if deviation > miss_tol {
+                miss = true;
+            }
+        }
+        if let Some(e) = &g.mc {
+            sampler = Some(e.sampler);
+        }
+        if note.is_none() {
+            note = g.notes.last().cloned();
+        }
+    }
+    Ok(CampaignOutcome {
+        campaign,
+        kind: plan.kind,
+        seed: plan.seed,
+        outcome,
+        mttf_seconds: points.first().map(|g| g.mttf.as_secs()),
+        deviation: Some(max_deviation),
+        miss,
+        sampler,
+        detail: format!(
+            "sweep-kernel path over {} points ({clean_points} clean): {}",
+            rates.len(),
+            note.unwrap_or_else(|| "no anomalies observed".to_owned())
+        ),
     })
 }
 
@@ -833,6 +942,54 @@ mod tests {
             report.outcomes.iter().any(|o| o.outcome != Provenance::Clean),
             "every transform corruption went unnoticed"
         );
+    }
+
+    #[test]
+    fn sweep_kernel_campaigns_degrade_every_dependent_point() {
+        // Satellite invariant of the shared-stream sweep kernel: one
+        // corrupted shared trace feeds every design point of the sweep, so
+        // every dependent point must come back non-Clean — a partially
+        // clean sweep would be a silent corruption of some points. Odd
+        // campaigns take the sweep-kernel path; check both corruption
+        // kinds that attack the shared compiled trace.
+        for kind in [FaultKind::TracePrefixPerturb, FaultKind::TraceTransform] {
+            let mut cfg = quick_cfg(8, 0x5EED_0042);
+            cfg.sampler = SamplerKind::BatchedInversion;
+            cfg.kinds = vec![kind];
+            let report = run_chaos(&cfg).unwrap();
+            assert!(
+                report.is_sound(),
+                "{kind:?}: sweep-kernel corruption produced a miss: {:?}",
+                report.outcomes.iter().filter(|o| o.miss).collect::<Vec<_>>()
+            );
+            let sweep: Vec<_> =
+                report.outcomes.iter().filter(|o| o.detail.contains("sweep-kernel path")).collect();
+            assert_eq!(sweep.len(), 4, "{kind:?}: odd campaigns must ride the sweep kernel");
+            for o in &sweep {
+                assert_ne!(
+                    o.outcome,
+                    Provenance::Clean,
+                    "{kind:?} campaign {}: shared-trace corruption left the sweep clean ({})",
+                    o.campaign,
+                    o.detail
+                );
+                assert!(
+                    o.detail.contains("(0 clean)"),
+                    "{kind:?} campaign {}: some dependent points stayed clean ({})",
+                    o.campaign,
+                    o.detail
+                );
+            }
+            // The schedule is a pure function of campaign index and seed,
+            // so a parallel run must replay the identical tags.
+            let mut par = cfg.clone();
+            par.threads = 4;
+            let par_report = run_chaos(&par).unwrap();
+            let tags = |r: &ChaosReport| {
+                r.outcomes.iter().map(|o| (o.outcome, o.miss)).collect::<Vec<_>>()
+            };
+            assert_eq!(tags(&report), tags(&par_report), "{kind:?}: tags drift across threads");
+        }
     }
 
     #[test]

@@ -674,6 +674,50 @@ where
     R: JournalRow + Send,
     F: Fn(usize, &T) -> Result<R, SerrError> + Sync,
 {
+    run_sweep_prepared(
+        kind,
+        fingerprint,
+        items,
+        threads,
+        opts,
+        |_| (),
+        |i, item, (): &()| eval(i, item),
+    )
+}
+
+/// [`run_sweep`] with a group-level preparation step that runs **once**
+/// over the still-pending point indices before any `eval` call.
+///
+/// This is how sweep runners amortize shared work across a group of points
+/// — compiling one trace, running one shared-stream Monte Carlo kernel —
+/// without giving up checkpoint semantics: `prepare` only sees indices the
+/// journal did *not* restore, so a fully resumed sweep never pays for it,
+/// and `eval` receives the prepared value by reference alongside each
+/// point. A panic inside `prepare` fails **every** pending point with the
+/// panic payload (a corrupted shared input must degrade all of its
+/// dependents, never a silent subset) while resumed rows survive
+/// untouched.
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`]: only [`SerrError::JournalLocked`] is
+/// fatal.
+pub fn run_sweep_prepared<T, R, P, Prep, F>(
+    kind: &str,
+    fingerprint: u64,
+    items: &[T],
+    threads: usize,
+    opts: &SweepOptions,
+    prepare: Prep,
+    eval: F,
+) -> Result<SweepReport<R>, SerrError>
+where
+    T: Sync,
+    R: JournalRow + Send,
+    P: Sync,
+    Prep: FnOnce(&[usize]) -> P,
+    F: Fn(usize, &T, &P) -> Result<R, SerrError> + Sync,
+{
     let injected_io = opts.chaos.and_then(|p| p.io_fault_site());
     let obs = opts.effective_obs();
     // Typed replacements for the old `eprintln!` warnings: same severity
@@ -760,6 +804,36 @@ where
     }
 
     let pending: Vec<usize> = (0..items.len()).filter(|&i| slots[i].is_none()).collect();
+
+    // Group-level preparation sees only the indices the journal did not
+    // restore. A panic here poisons every pending point at once — shared
+    // state that is wrong for one dependent is wrong for all of them —
+    // while resumed rows stay intact.
+    let prepared =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prepare(&pending))) {
+            Ok(p) => p,
+            Err(payload) => {
+                let payload = par::panic_payload_string(payload.as_ref());
+                let failures: Vec<PointFailure> = pending
+                    .iter()
+                    .map(|&i| PointFailure {
+                        index: i,
+                        error: SerrError::PointFailed { index: i, payload: payload.clone() },
+                    })
+                    .collect();
+                let metrics = obs.metrics();
+                metrics.add("checkpoint.resumed", resumed as u64);
+                metrics.add("checkpoint.computed", 0);
+                metrics.add("checkpoint.failed", failures.len() as u64);
+                return Ok(SweepReport {
+                    rows: slots.into_iter().flatten().collect(),
+                    failures,
+                    resumed,
+                    computed: 0,
+                });
+            }
+        };
+
     // Record-failure events carry the point index as their sequence key:
     // workers emit concurrently, so sink order is nondeterministic, but the
     // key set for a given failure pattern is thread-count invariant.
@@ -772,7 +846,7 @@ where
         );
     };
     let results = par::try_par_map(&pending, threads, |_, &i| {
-        let row = eval(i, &items[i])?;
+        let row = eval(i, &items[i], &prepared)?;
         if let Some(j) = &journal {
             if injected_io == Some(IoSite::Record) {
                 warn_record(i, "injected i/o fault at record".to_owned());
@@ -813,9 +887,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    // `Write as _` in the parent has no name, so the glob import above does
-    // not bring it in; the legacy-journal tests write raw files directly.
-    use std::io::Write as _;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[derive(Debug, Clone, PartialEq)]
@@ -955,6 +1026,101 @@ mod tests {
         // The advisory lock is released between runs and after the last.
         let lock = journal_lock_path(&journal_path(&dir, "t-resume", fp));
         assert!(!lock.exists(), "lock file left behind: {}", lock.display());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepared_sweep_sees_only_pending_indices_after_resume() {
+        let dir = fresh_test_dir("prepared");
+        let items: Vec<u64> = (0..10).collect();
+        let opts = SweepOptions::resume().in_dir(&dir);
+        let fp = fingerprint(&["prepared-test", "v1"]);
+
+        // First run journals only the even points.
+        run_sweep("t-prepared", fp, &items, 4, &opts, |i, x| {
+            if x % 2 == 1 {
+                return Err(SerrError::invalid_config("odd points fail"));
+            }
+            eval_row(i, x)
+        })
+        .unwrap();
+
+        // Resumed run: prepare receives exactly the odd (pending) indices
+        // and its product is visible to every eval call.
+        let report = run_sweep_prepared(
+            "t-prepared",
+            fp,
+            &items,
+            4,
+            &opts,
+            |pending: &[usize]| {
+                assert_eq!(pending, &[1, 3, 5, 7, 9]);
+                pending.iter().map(|&i| i as u64 * 100).collect::<Vec<u64>>()
+            },
+            |i, x, shared: &Vec<u64>| {
+                let slot = shared.iter().position(|&v| v == i as u64 * 100);
+                assert!(slot.is_some(), "eval saw a point prepare never did: {i}");
+                eval_row(i, x)
+            },
+        )
+        .unwrap();
+        assert_eq!(report.resumed, 5);
+        assert_eq!(report.computed, 5);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.rows.len(), 10);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepare_panic_fails_every_pending_point_but_keeps_resumed_rows() {
+        let dir = fresh_test_dir("prepared-panic");
+        let items: Vec<u64> = (0..8).collect();
+        let opts = SweepOptions::resume().in_dir(&dir);
+        let fp = fingerprint(&["prepared-panic-test"]);
+
+        // Journal the first half.
+        run_sweep("t-prep-panic", fp, &items, 2, &opts, |i, x| {
+            if *x >= 4 {
+                return Err(SerrError::invalid_config("later"));
+            }
+            eval_row(i, x)
+        })
+        .unwrap();
+
+        // A panicking prepare degrades every still-pending point with the
+        // payload; the journaled rows come back untouched and eval never
+        // runs.
+        let calls = AtomicUsize::new(0);
+        let report = run_sweep_prepared(
+            "t-prep-panic",
+            fp,
+            &items,
+            2,
+            &opts,
+            |_: &[usize]| -> () { panic!("shared trace corrupted") },
+            |i, x, (): &()| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                eval_row(i, x)
+            },
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "eval ran after prepare panicked");
+        assert_eq!(report.resumed, 4);
+        assert_eq!(report.computed, 0);
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.failures.len(), 4);
+        for (f, expect) in report.failures.iter().zip([4usize, 5, 6, 7]) {
+            assert_eq!(f.index, expect);
+            match &f.error {
+                SerrError::PointFailed { index, payload } => {
+                    assert_eq!(*index, expect);
+                    assert!(payload.contains("shared trace corrupted"), "payload: {payload}");
+                }
+                other => panic!("expected PointFailed, got {other:?}"),
+            }
+        }
 
         let _ = fs::remove_dir_all(&dir);
     }

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use serr_mc::MonteCarloConfig;
+use serr_mc::batched::BATCHED_RNG_SCHEDULE_VERSION;
+use serr_mc::{MonteCarlo, MonteCarloConfig, MttfEstimate};
+use serr_obs::Obs;
 use serr_trace::{ConcatTrace, VulnerabilityTrace};
 use serr_types::{Frequency, RawErrorRate, Seconds, SerrError};
 use serr_workload::synthesized;
@@ -121,11 +123,92 @@ fn sweep_fingerprint(kind: &str, cfg: &ExperimentConfig, coords: &[String]) -> u
     let mut canon = *cfg;
     canon.mc.threads = 0;
     let cfg_str = format!("{canon:?}");
-    let mut parts: Vec<&str> = Vec::with_capacity(2 + coords.len());
+    // The RNG schedule version joins the fingerprint only once it moves off
+    // v1. The shared-stream sweep kernel consumes the v1 word schedule
+    // exactly like the independent per-point path did, so rows journaled by
+    // either are bit-identical and legacy journals stay resumable; a future
+    // schedule bump changes the sampled bits themselves and must send
+    // resumed runs to a fresh journal.
+    let schedule = format!("rng-schedule-v{BATCHED_RNG_SCHEDULE_VERSION}");
+    let mut parts: Vec<&str> = Vec::with_capacity(3 + coords.len());
     parts.push(kind);
     parts.push(&cfg_str);
+    if BATCHED_RNG_SCHEDULE_VERSION != 1 {
+        parts.push(&schedule);
+    }
     parts.extend(coords.iter().map(String::as_str));
     checkpoint::fingerprint(&parts)
+}
+
+/// Runs the shared-stream Monte Carlo kernel
+/// ([`MonteCarlo::component_mttf_multi`]) over the still-pending design
+/// points of a sweep, one kernel invocation per distinct trace.
+///
+/// Groups form by `Arc` identity: every point built on the same shared
+/// trace — a workload's, or one protection transform of it — lands in one
+/// group whose trace is compiled once and whose RNG/log passes are paid
+/// once per chunk for all of its rates (the Fig 6 c-axis rides along
+/// because `c` identical components superpose to a `c·λ` rate over the
+/// same trace). Returns each point's ground-truth estimate indexed by
+/// point position: `None` for points the journal already restored,
+/// `Some(Err)` when the point — or its whole group — failed, so a
+/// corrupted shared trace degrades every dependent point rather than any
+/// of them reporting clean.
+fn shared_mc_estimates(
+    cfg: &ExperimentConfig,
+    obs: Option<&Obs>,
+    traces: &[Arc<dyn VulnerabilityTrace>],
+    rates: &[RawErrorRate],
+    pending: &[usize],
+) -> Vec<Option<Result<MttfEstimate, SerrError>>> {
+    let mut mc = MonteCarlo::new(cfg.mc);
+    if let Some(o) = obs {
+        mc = mc.with_observer(o.clone());
+    }
+    let mut groups: Vec<(Arc<dyn VulnerabilityTrace>, Vec<usize>)> = Vec::new();
+    for &i in pending {
+        match groups.iter_mut().find(|(t, _)| Arc::ptr_eq(t, &traces[i])) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((traces[i].clone(), vec![i])),
+        }
+    }
+    let mut out: Vec<Option<Result<MttfEstimate, SerrError>>> = Vec::with_capacity(traces.len());
+    out.resize_with(traces.len(), || None);
+    for (trace, members) in groups {
+        let group_rates: Vec<RawErrorRate> = members.iter().map(|&i| rates[i]).collect();
+        match mc.component_mttf_multi(&*trace, &group_rates, cfg.frequency) {
+            Ok(results) => {
+                for (&i, res) in members.iter().zip(results) {
+                    out[i] = Some(res);
+                }
+            }
+            // A group-level fault (bad shared trace, exhausted deadline,
+            // engine fault in a shared chunk) fails every dependent point.
+            Err(e) => {
+                for &i in &members {
+                    out[i] = Some(Err(e.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pulls one design point's estimate out of [`shared_mc_estimates`]'s
+/// output inside a sweep's `eval`.
+fn prepared_estimate(
+    prepared: &[Option<Result<MttfEstimate, SerrError>>],
+    i: usize,
+) -> Result<MttfEstimate, SerrError> {
+    match prepared.get(i).and_then(Option::as_ref) {
+        Some(Ok(est)) => Ok(*est),
+        Some(Err(e)) => Err(e.clone()),
+        // Unreachable by construction: `prepare` covers every pending
+        // index and `eval` only runs on pending points.
+        None => Err(SerrError::invalid_config(
+            "design point was not prepared by the shared sweep kernel",
+        )),
+    }
 }
 
 /// Builds a synthesized workload's component-level masking trace.
@@ -432,21 +515,40 @@ pub fn fig5_sweep(
     let coords: Vec<String> =
         points.iter().map(|(w, _, prod)| format!("{}@{prod:?}", w.label())).collect();
     let fp = sweep_fingerprint("fig5", cfg, &coords);
-    let (threads, cfg) = fanout(cfg, points.len());
-    let v = cfg.validator();
-    checkpoint::run_sweep("fig5", fp, &points, threads, opts, |_, (w, trace, prod)| {
-        let rate = RawErrorRate::baseline_per_bit().scale(*prod);
-        let cv = v.component(trace, rate)?;
-        Ok(Fig5Row {
-            workload: w.label().to_owned(),
-            n_times_s: *prod,
-            avf: cv.avf,
-            mttf_avf_years: cv.mttf_avf.as_years(),
-            mttf_mc_years: cv.mttf_mc.mttf.as_years(),
-            error: cv.avf_error_vs_mc,
-            softarch_error: cv.softarch_error_vs_mc,
-        })
-    })
+    let (threads, inner) = fanout(cfg, points.len());
+    let v = match &opts.obs {
+        Some(o) => inner.validator().with_observer(o.clone()),
+        None => inner.validator(),
+    };
+    // One shared-stream kernel run per workload trace covers every pending
+    // N×S point of that workload (λ-axis CRN reuse); the per-point eval
+    // only runs the cheap analytic estimators. The kernel itself keeps the
+    // caller's thread budget — the per-point pinning in `fanout` applies to
+    // the analytics fan-out, not to it.
+    let traces: Vec<Arc<dyn VulnerabilityTrace>> =
+        points.iter().map(|(_, t, _)| t.clone()).collect();
+    let rates: Vec<RawErrorRate> =
+        points.iter().map(|(_, _, prod)| RawErrorRate::baseline_per_bit().scale(*prod)).collect();
+    checkpoint::run_sweep_prepared(
+        "fig5",
+        fp,
+        &points,
+        threads,
+        opts,
+        |pending| shared_mc_estimates(cfg, opts.obs.as_ref(), &traces, &rates, pending),
+        |i, (w, trace, prod), prepared| {
+            let cv = v.component_with_mc(trace, rates[i], prepared_estimate(prepared, i)?)?;
+            Ok(Fig5Row {
+                workload: w.label().to_owned(),
+                n_times_s: *prod,
+                avf: cv.avf,
+                mttf_avf_years: cv.mttf_avf.as_years(),
+                mttf_mc_years: cv.mttf_mc.mttf.as_years(),
+                error: cv.avf_error_vs_mc,
+                softarch_error: cv.softarch_error_vs_mc,
+            })
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -607,21 +709,50 @@ fn fig6_rows_sweep(
     opts: &SweepOptions,
 ) -> Result<SweepReport<Fig6Row>, SerrError> {
     let fp = sweep_fingerprint(kind, cfg, &fig6_point_coords(&points));
-    let (threads, cfg) = fanout(cfg, points.len());
-    let v = cfg.validator();
-    checkpoint::run_sweep(kind, fp, &points, threads, opts, |_, (label, trace, c, prod)| {
-        let rate = RawErrorRate::baseline_per_bit().scale(*prod);
-        let sv = v.system_identical(trace.clone(), rate, *c)?;
-        Ok(Fig6Row {
-            workload: label.clone(),
-            c: *c,
-            n_times_s: *prod,
-            mttf_sofr_years: sv.mttf_sofr.as_years(),
-            mttf_mc_years: sv.mttf_mc.mttf.as_years(),
-            error: sv.sofr_error_vs_mc,
-            softarch_error: sv.softarch_error_vs_mc,
-        })
-    })
+    let (threads, inner) = fanout(cfg, points.len());
+    let v = match &opts.obs {
+        Some(o) => inner.validator().with_observer(o.clone()),
+        None => inner.validator(),
+    };
+    // The Fig 6 grid reuses one shared-stream kernel run per trace across
+    // its whole `C × N×S` plane: identical phase-aligned components
+    // superpose to a single process at `c·λ`, so every cell is one rate of
+    // a λ-sweep over the shared trace (see `serr_mc::sweep`).
+    let traces: Vec<Arc<dyn VulnerabilityTrace>> =
+        points.iter().map(|(_, t, _, _)| t.clone()).collect();
+    let component_rates: Vec<RawErrorRate> = points
+        .iter()
+        .map(|(_, _, _, prod)| RawErrorRate::baseline_per_bit().scale(*prod))
+        .collect();
+    let system_rates: Vec<RawErrorRate> = points
+        .iter()
+        .zip(&component_rates)
+        .map(|((_, _, c, _), rate)| rate.scale(*c as f64))
+        .collect();
+    checkpoint::run_sweep_prepared(
+        kind,
+        fp,
+        &points,
+        threads,
+        opts,
+        |pending| shared_mc_estimates(cfg, opts.obs.as_ref(), &traces, &system_rates, pending),
+        |i, (label, trace, c, prod), prepared| {
+            if *c == 0 {
+                return Err(SerrError::invalid_config("system must have at least one component"));
+            }
+            let est = prepared_estimate(prepared, i)?;
+            let sv = v.system_identical_with_mc(&**trace, component_rates[i], *c, est)?;
+            Ok(Fig6Row {
+                workload: label.clone(),
+                c: *c,
+                n_times_s: *prod,
+                mttf_sofr_years: sv.mttf_sofr.as_years(),
+                mttf_mc_years: sv.mttf_mc.mttf.as_years(),
+                error: sv.sofr_error_vs_mc,
+                softarch_error: sv.softarch_error_vs_mc,
+            })
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -702,22 +833,47 @@ pub fn sec5_4_sweep(
         collect_fig6_points(&mut points, w.label(), &trace, c_values, n_times_s);
     }
     let fp = sweep_fingerprint("sec5_4", cfg, &fig6_point_coords(&points));
-    let (threads, cfg) = fanout(cfg, points.len());
-    let v = cfg.validator();
-    checkpoint::run_sweep("sec5_4", fp, &points, threads, opts, |_, (label, trace, c, prod)| {
-        let rate = RawErrorRate::baseline_per_bit().scale(*prod);
-        let sv = v.system_identical(trace.clone(), rate, *c)?;
-        Ok(Sec54Row {
-            workload: label.clone(),
-            c: *c,
-            n_times_s: *prod,
-            softarch_error: sv.softarch_error_vs_mc,
-            softarch_error_vs_renewal: serr_types::relative_error(
-                sv.mttf_softarch.as_secs(),
-                sv.mttf_renewal.as_secs(),
-            ),
-        })
-    })
+    let (threads, inner) = fanout(cfg, points.len());
+    let v = match &opts.obs {
+        Some(o) => inner.validator().with_observer(o.clone()),
+        None => inner.validator(),
+    };
+    let traces: Vec<Arc<dyn VulnerabilityTrace>> =
+        points.iter().map(|(_, t, _, _)| t.clone()).collect();
+    let component_rates: Vec<RawErrorRate> = points
+        .iter()
+        .map(|(_, _, _, prod)| RawErrorRate::baseline_per_bit().scale(*prod))
+        .collect();
+    let system_rates: Vec<RawErrorRate> = points
+        .iter()
+        .zip(&component_rates)
+        .map(|((_, _, c, _), rate)| rate.scale(*c as f64))
+        .collect();
+    checkpoint::run_sweep_prepared(
+        "sec5_4",
+        fp,
+        &points,
+        threads,
+        opts,
+        |pending| shared_mc_estimates(cfg, opts.obs.as_ref(), &traces, &system_rates, pending),
+        |i, (label, trace, c, prod), prepared| {
+            if *c == 0 {
+                return Err(SerrError::invalid_config("system must have at least one component"));
+            }
+            let est = prepared_estimate(prepared, i)?;
+            let sv = v.system_identical_with_mc(&**trace, component_rates[i], *c, est)?;
+            Ok(Sec54Row {
+                workload: label.clone(),
+                c: *c,
+                n_times_s: *prod,
+                softarch_error: sv.softarch_error_vs_mc,
+                softarch_error_vs_renewal: serr_types::relative_error(
+                    sv.mttf_softarch.as_secs(),
+                    sv.mttf_renewal.as_secs(),
+                ),
+            })
+        },
+    )
 }
 
 /// Helper: the length of one iteration of a workload's trace in wall-clock
@@ -874,6 +1030,79 @@ mod tests {
             fig5_sweep(&[Workload::Day], points, &other, &SweepOptions::resume().in_dir(&dir))
                 .unwrap();
         assert_eq!((third.computed, third.resumed), (2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A journal written by the pre-kernel per-point path — one independent
+    /// Monte Carlo engine run per design point through
+    /// [`Validator::component`] — must resume bit-identically under the
+    /// shared-stream kernel: same sweep name, same fingerprint (the RNG
+    /// schedule is still v1), same bits in every restored row, and the
+    /// points the legacy run never reached compute on the kernel path to
+    /// exactly the values the legacy path would have produced.
+    #[test]
+    fn legacy_per_point_journal_resumes_bit_identically_under_the_kernel() {
+        let dir = std::env::temp_dir().join(format!("serr-fig5-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = cfg();
+        let n_points: &[f64] = &[1e7, 1e10, 1e13];
+
+        // Rebuild exactly the design points and fingerprint `fig5_sweep`
+        // derives, then journal a two-point prefix the way the old code
+        // did — `run_sweep` with a per-point independent engine run —
+        // simulating a legacy run interrupted before its last point.
+        let trace = synthesized_trace(Workload::Day, &c).unwrap();
+        let points: Vec<(Workload, Arc<dyn VulnerabilityTrace>, f64)> =
+            n_points.iter().map(|&prod| (Workload::Day, trace.clone(), prod)).collect();
+        let coords: Vec<String> =
+            points.iter().map(|(w, _, prod)| format!("{}@{prod:?}", w.label())).collect();
+        let fp = sweep_fingerprint("fig5", &c, &coords);
+        let (threads, inner) = fanout(&c, points.len());
+        let v = inner.validator();
+        let legacy = checkpoint::run_sweep(
+            "fig5",
+            fp,
+            &points[..2],
+            threads,
+            &SweepOptions::fresh().in_dir(&dir),
+            |_, (w, trace, prod)| {
+                let cv = v.component(&**trace, RawErrorRate::baseline_per_bit().scale(*prod))?;
+                Ok(Fig5Row {
+                    workload: w.label().to_owned(),
+                    n_times_s: *prod,
+                    avf: cv.avf,
+                    mttf_avf_years: cv.mttf_avf.as_years(),
+                    mttf_mc_years: cv.mttf_mc.mttf.as_years(),
+                    error: cv.avf_error_vs_mc,
+                    softarch_error: cv.softarch_error_vs_mc,
+                })
+            },
+        )
+        .unwrap();
+        assert!(legacy.failures.is_empty());
+        assert_eq!((legacy.computed, legacy.resumed), (2, 0));
+
+        // Resume under the kernel: the legacy prefix restores from the
+        // journal; only the third point runs, on the shared-stream path.
+        let resumed =
+            fig5_sweep(&[Workload::Day], n_points, &c, &SweepOptions::resume().in_dir(&dir))
+                .unwrap();
+        assert!(resumed.failures.is_empty());
+        assert_eq!((resumed.computed, resumed.resumed), (1, 2));
+
+        // Every row — legacy-restored or kernel-computed — is bit-identical
+        // to an un-journaled kernel run of the whole sweep.
+        let fresh = fig5(&[Workload::Day], n_points, &c).unwrap();
+        assert_eq!(resumed.rows.len(), fresh.len());
+        for (a, b) in resumed.rows.iter().zip(&fresh) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.n_times_s.to_bits(), b.n_times_s.to_bits());
+            assert_eq!(a.avf.to_bits(), b.avf.to_bits());
+            assert_eq!(a.mttf_avf_years.to_bits(), b.mttf_avf_years.to_bits());
+            assert_eq!(a.mttf_mc_years.to_bits(), b.mttf_mc_years.to_bits());
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.softarch_error.to_bits(), b.softarch_error.to_bits());
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

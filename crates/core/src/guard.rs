@@ -149,36 +149,8 @@ impl Guard {
         let renewal = renewal_mttf(trace, rate, self.frequency)?;
 
         // 2. The SoftArch reference, with injected estimator poisoning.
-        let softarch = match SoftArch::new(self.frequency).component_mttf(trace, rate) {
-            Ok(m) => {
-                let poison = chaos.and_then(|p| p.rate_poison_factor());
-                Some(match poison {
-                    Some(f) => Mttf::from_secs(m.as_secs() * f),
-                    None => m,
-                })
-            }
-            Err(e) => {
-                notes.push(format!("softarch reference unavailable: {e}"));
-                None
-            }
-        };
-        let refs_agree = softarch
-            .is_some_and(|s| relative_gap(s.as_secs(), renewal.as_secs()) <= self.policy.rel_tol);
-        if let Some(s) = softarch {
-            if !refs_agree {
-                notes.push(format!(
-                    "softarch reference quarantined: {:.3e} s vs renewal {:.3e} s \
-                     disagree beyond {:.1}%",
-                    s.as_secs(),
-                    renewal.as_secs(),
-                    self.policy.rel_tol * 100.0
-                ));
-                // The result below still rests on two independent methods
-                // (Monte Carlo + renewal), but a reference estimator is
-                // provably wrong: never report this run as pristine.
-                floor = floor.worse(Provenance::Degraded);
-            }
-        }
+        let (softarch, refs_agree) =
+            self.softarch_reference(trace, rate, renewal, chaos, &mut notes, &mut floor);
 
         // 3. Compile the trace, inject any planned corruption, and verify.
         let compiled = self.compiled_for_run(trace, chaos, &mut notes, &mut floor);
@@ -288,6 +260,191 @@ impl Guard {
         };
         self.emit_verdict(&guarded);
         Ok(guarded)
+    }
+
+    /// Estimates guarded component MTTFs for *every* rate in `rates` from
+    /// one shared detect-or-degrade pass — the guard-layer face of the
+    /// shared-stream sweep kernel ([`MonteCarlo::component_mttf_multi`]).
+    ///
+    /// Shared work runs once for the whole group: the trace is compiled
+    /// (and any injected corruption applied and integrity-screened) a
+    /// single time, so a corruption caught there raises the provenance
+    /// floor of **every** dependent point, and one Monte Carlo kernel run
+    /// covers all rates on common random numbers. Per point, the estimate
+    /// still has to pass the sanity screen and the renewal cross-check —
+    /// an estimate that fails either degrades *that* point to its analytic
+    /// renewal answer (never a silent clean tag), and a fault in a shared
+    /// chunk degrades every point at once. Unlike
+    /// [`Guard::component_mttf`], this path does not retry with fresh
+    /// seeds and skips the event-loop oracle vote: the per-point renewal
+    /// cross-check is the acceptance bar, which keeps the shared pass
+    /// worth sharing.
+    ///
+    /// # Errors
+    ///
+    /// Only configuration-level failures that poison the whole group
+    /// before any estimator can run: a zero rate anywhere in `rates` or an
+    /// AVF-0 trace (from the renewal reference).
+    pub fn component_mttf_multi(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rates: &[RawErrorRate],
+        chaos: Option<FaultPlan>,
+    ) -> Result<Vec<GuardedMttf>, SerrError> {
+        if rates.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Exact references per point — terminal on error, like the single
+        // path: an unusable configuration has nothing to degrade to.
+        let renewals: Vec<Mttf> = rates
+            .iter()
+            .map(|&r| renewal_mttf(trace, r, self.frequency))
+            .collect::<Result<_, _>>()?;
+
+        // Shared compile + injected corruption + integrity screen: one
+        // compile guards the whole group, and a detected corruption floors
+        // every dependent point.
+        let mut shared_notes = Vec::new();
+        let mut shared_floor = Provenance::Clean;
+        let compiled = self.compiled_for_run(trace, chaos, &mut shared_notes, &mut shared_floor);
+
+        // One shared-stream kernel run across every rate.
+        let mut cfg = self.mc;
+        cfg.chaos = chaos;
+        let mut engine = MonteCarlo::new(cfg);
+        if let Some(obs) = &self.obs {
+            engine = engine.with_observer(obs.clone());
+        }
+        let runs = match &compiled {
+            Some(c) => engine.component_mttf_multi(c, rates, self.frequency),
+            None => engine.component_mttf_multi(trace, rates, self.frequency),
+        };
+        let per_point: Vec<Result<MttfEstimate, SerrError>> = match runs {
+            Ok(v) => v,
+            // A fault in a shared chunk (engine fault, exhausted deadline,
+            // poisoned shared trace) is a fault in every point built on it.
+            Err(e) => rates.iter().map(|_| Err(e.clone())).collect(),
+        };
+
+        let mut out = Vec::with_capacity(rates.len());
+        for ((&rate, &renewal), run) in rates.iter().zip(&renewals).zip(per_point) {
+            let mut notes = shared_notes.clone();
+            let mut floor = shared_floor;
+            let (softarch, refs_agree) =
+                self.softarch_reference(trace, rate, renewal, chaos, &mut notes, &mut floor);
+            let accepted = match run {
+                Ok(est) => {
+                    if let Err(why) = estimate_sanity(&est) {
+                        notes.push(format!("shared-stream monte carlo insane: {why}"));
+                        None
+                    } else {
+                        let tol =
+                            self.policy.rel_tol.max(self.policy.ci_mult * est.relative_ci95());
+                        let gap = relative_gap(est.mttf.as_secs(), renewal.as_secs());
+                        if gap > tol {
+                            notes.push(format!(
+                                "shared-stream monte carlo inconsistent with renewal: \
+                                 relative gap {gap:.3e} exceeds tolerance {tol:.3e}"
+                            ));
+                            None
+                        } else {
+                            if est.truncated {
+                                notes.push(format!(
+                                    "shared-stream monte carlo truncated by deadline \
+                                     ({} of {} trials)",
+                                    est.ttf_seconds.count, self.mc.trials
+                                ));
+                                floor = floor.worse(Provenance::Degraded);
+                            }
+                            Some(est)
+                        }
+                    }
+                }
+                Err(e) => {
+                    notes.push(format!("shared-stream monte carlo failed: {e}"));
+                    None
+                }
+            };
+            let guarded = match accepted {
+                Some(est) => GuardedMttf {
+                    mttf: est.mttf,
+                    provenance: floor,
+                    mc: Some(est),
+                    renewal,
+                    softarch,
+                    notes,
+                },
+                None => {
+                    let provenance = if refs_agree {
+                        notes.push(
+                            "shared-stream monte carlo rejected; degraded to the analytic \
+                             renewal estimate"
+                                .to_owned(),
+                        );
+                        floor.worse(Provenance::Degraded)
+                    } else {
+                        notes.push(
+                            "shared-stream monte carlo rejected and the analytic references \
+                             disagree; result is suspect"
+                                .to_owned(),
+                        );
+                        Provenance::Suspect
+                    };
+                    GuardedMttf { mttf: renewal, provenance, mc: None, renewal, softarch, notes }
+                }
+            };
+            self.emit_verdict(&guarded);
+            out.push(guarded);
+        }
+        Ok(out)
+    }
+
+    /// The SoftArch reference for one point, with injected estimator
+    /// poisoning applied and the quarantine vote taken: returns the
+    /// reference (when computable) and whether it agrees with renewal
+    /// within tolerance. A disagreeing reference is noted and floors the
+    /// provenance at [`Provenance::Degraded`] — a reference estimator is
+    /// provably wrong, so the run is never reported pristine.
+    fn softarch_reference(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+        renewal: Mttf,
+        chaos: Option<FaultPlan>,
+        notes: &mut Vec<String>,
+        floor: &mut Provenance,
+    ) -> (Option<Mttf>, bool) {
+        let softarch = match SoftArch::new(self.frequency).component_mttf(trace, rate) {
+            Ok(m) => {
+                let poison = chaos.and_then(|p| p.rate_poison_factor());
+                Some(match poison {
+                    Some(f) => Mttf::from_secs(m.as_secs() * f),
+                    None => m,
+                })
+            }
+            Err(e) => {
+                notes.push(format!("softarch reference unavailable: {e}"));
+                None
+            }
+        };
+        let refs_agree = softarch
+            .is_some_and(|s| relative_gap(s.as_secs(), renewal.as_secs()) <= self.policy.rel_tol);
+        if let Some(s) = softarch {
+            if !refs_agree {
+                notes.push(format!(
+                    "softarch reference quarantined: {:.3e} s vs renewal {:.3e} s \
+                     disagree beyond {:.1}%",
+                    s.as_secs(),
+                    renewal.as_secs(),
+                    self.policy.rel_tol * 100.0
+                ));
+                // The result still rests on two independent methods (Monte
+                // Carlo + renewal), but a reference estimator is provably
+                // wrong: never report this run as pristine.
+                *floor = floor.worse(Provenance::Degraded);
+            }
+        }
+        (softarch, refs_agree)
     }
 
     /// Mirrors the audit trail into the event stream: one `guard.fallback`
@@ -613,6 +770,51 @@ mod tests {
         let far = est(2.0e6, 8.0e3, serr_mc::SamplerKind::EventLoop);
         let why = oracle_disagreement(&inv, &far, &policy).expect("gross gap must be rejected");
         assert!(why.contains("event-loop oracle"), "note: {why}");
+    }
+
+    #[test]
+    fn multi_clean_run_matches_single_guard_per_point() {
+        let trace = campaign_trace();
+        let rates: Vec<RawErrorRate> =
+            [5.0, 50.0, 400.0].iter().map(|&y| RawErrorRate::per_year(y)).collect();
+        let g = guard();
+        let multi = g.component_mttf_multi(&trace, &rates, None).unwrap();
+        assert_eq!(multi.len(), rates.len());
+        for (&rate, m) in rates.iter().zip(&multi) {
+            assert_eq!(m.provenance, Provenance::Clean, "notes: {:?}", m.notes);
+            // The shared kernel's accepted estimate is the bit-identical
+            // attempt-0 estimate the single guard accepts.
+            let single = g.component_mttf(&trace, rate, None).unwrap();
+            assert_eq!(
+                m.mc.as_ref().unwrap().mttf.as_secs().to_bits(),
+                single.mc.as_ref().unwrap().mttf.as_secs().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_shared_corruption_floors_every_point() {
+        let trace = campaign_trace();
+        let rates: Vec<RawErrorRate> =
+            [10.0, 50.0, 200.0].iter().map(|&y| RawErrorRate::per_year(y)).collect();
+        // The same prefix/value corruption plans the single-point campaigns
+        // pin: one corrupted shared trace must worsen every dependent
+        // point's tag — a silently clean subset is the failure mode.
+        for kind in [FaultKind::TraceValueFlip, FaultKind::TracePrefixPerturb] {
+            let plan = FaultPlan::new(11, kind);
+            let multi = guard().component_mttf_multi(&trace, &rates, Some(plan)).unwrap();
+            assert_eq!(multi.len(), rates.len());
+            for m in &multi {
+                assert_ne!(m.provenance, Provenance::Clean, "notes: {:?}", m.notes);
+                assert!(
+                    m.notes.iter().any(|n| n.contains("integrity")),
+                    "shared corruption missing from notes: {:?}",
+                    m.notes
+                );
+                // Whatever survived still agrees with the analytic answer.
+                assert!(relative_gap(m.mttf.as_secs(), m.renewal.as_secs()) < 0.1);
+            }
+        }
     }
 
     #[test]

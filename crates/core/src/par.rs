@@ -99,7 +99,7 @@ where
 /// Renders a caught panic payload for error reporting: `panic!` with a
 /// string message covers practically every panic in this workspace
 /// (asserts included); anything else gets a placeholder.
-fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -119,8 +119,28 @@ impl Validator {
         trace: &dyn VulnerabilityTrace,
         rate: RawErrorRate,
     ) -> Result<ComponentValidation, SerrError> {
-        let mttf_avf = avf::avf_step_mttf(trace, rate)?;
         let mttf_mc = self.mc.component_mttf(trace, rate, self.frequency)?;
+        self.component_with_mc(trace, rate, mttf_mc)
+    }
+
+    /// [`Validator::component`] with the Monte Carlo ground truth already
+    /// in hand — the entry point for grouped sweeps, where one
+    /// shared-stream kernel run (`MonteCarlo::component_mttf_multi`)
+    /// produces every point's `mttf_mc` and only the cheap analytic
+    /// estimators remain per point. Passing the estimate an independent
+    /// run would produce yields a row bit-identical to
+    /// [`Validator::component`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates analytic-estimator errors (zero rate, AVF-0 trace).
+    pub fn component_with_mc(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        rate: RawErrorRate,
+        mttf_mc: MttfEstimate,
+    ) -> Result<ComponentValidation, SerrError> {
+        let mttf_avf = avf::avf_step_mttf(trace, rate)?;
         let mttf_renewal = self.timed("renewal_quadrature", || {
             serr_analytic::renewal::renewal_mttf(trace, rate, self.frequency)
         })?;
@@ -191,6 +211,37 @@ impl Validator {
         if c == 0 {
             return Err(SerrError::invalid_config("system must have at least one component"));
         }
+        // Ground truth: identical phase-aligned components superpose into a
+        // single process with C x the rate over the same trace.
+        let system_rate = component_rate.scale(c as f64);
+        let mttf_mc = self.mc.component_mttf(&trace, system_rate, self.frequency)?;
+        self.system_identical_with_mc(&*trace, component_rate, c, mttf_mc)
+    }
+
+    /// [`Validator::system_identical`] with the Monte Carlo ground truth
+    /// already in hand.
+    ///
+    /// Because c identical phase-aligned components superpose into one
+    /// process at `c·λ` over the same trace, the c-axis of a Fig 6 grid is
+    /// a *rate* axis — a grouped sweep runs one shared-stream kernel over
+    /// the scaled rates and feeds each cell's estimate here, leaving only
+    /// the analytic estimators per cell. With the estimate an independent
+    /// run would produce, the row is bit-identical to
+    /// [`Validator::system_identical`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates analytic-estimator errors; rejects `c == 0`.
+    pub fn system_identical_with_mc(
+        &self,
+        trace: &dyn VulnerabilityTrace,
+        component_rate: RawErrorRate,
+        c: u64,
+        mttf_mc: MttfEstimate,
+    ) -> Result<SystemValidation, SerrError> {
+        if c == 0 {
+            return Err(SerrError::invalid_config("system must have at least one component"));
+        }
         // SOFR: component MTTF from the exact first-principles method,
         // divided by C (Equations 2-3 for identical components).
         let component_mttf = self.timed("renewal_quadrature", || {
@@ -198,10 +249,7 @@ impl Validator {
         })?;
         let mttf_sofr = sofr::sofr_mttf_identical(component_mttf, c)?;
 
-        // Ground truth: identical phase-aligned components superpose into a
-        // single process with C x the rate over the same trace.
         let system_rate = component_rate.scale(c as f64);
-        let mttf_mc = self.mc.component_mttf(&trace, system_rate, self.frequency)?;
         let mttf_renewal = self.timed("renewal_quadrature", || {
             serr_analytic::renewal::renewal_mttf(&trace, system_rate, self.frequency)
         })?;

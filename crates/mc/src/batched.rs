@@ -63,6 +63,22 @@
 //! *new* schedule, not a reordering of the old one — but the per-chunk
 //! `(seed, chunk)` derivation and ascending-chunk fold are unchanged, so
 //! estimates remain bit-identical at any `SERR_THREADS`.
+//!
+//! # Shared streams across a sweep (common random numbers)
+//!
+//! Every word plane except the final inversion is λ-independent: the
+//! `Exp(1)` draws, the residual-mass uniforms, and (stationary) the phase
+//! plane with its `V(φ)` pricing depend only on the trace and
+//! `(stream_seed, n)`. The chunk kernel is therefore split into a
+//! [`BatchedInversionSampler::prepare_chunk`] pass that materializes those
+//! planes once and a [`BatchedInversionSampler::finish_chunk`] pass that
+//! applies one design point's λ-dependent scale, tiered log, inversion,
+//! and fold. [`BatchedInversionSampler::sample_chunk_with_stats`] *is*
+//! prepare followed by finish, so a sweep that prepares once and finishes
+//! per λ (see `serr_mc::sweep`) produces every point bit-identical to an
+//! independent run — the same `(seed, chunk)` word schedule with the
+//! shared draws consumed identically — while paying the RNG and log
+//! passes once instead of once per point.
 
 use serr_numeric::stats::RunningStats;
 use serr_numeric::vecmath::{ln_in_place, ln_one_minus_scaled_in_place};
@@ -110,28 +126,81 @@ pub fn one_minus_uniform_from_word(word: u64) -> f64 {
     2.0 - f64::from_bits((1023u64 << 52) | (word >> 12))
 }
 
-/// Reusable per-worker scratch for [`BatchedInversionSampler::sample_chunk`]:
-/// the SoA buffers grow to the chunk size once and are reused across every
-/// chunk the worker claims, so the steady state allocates nothing.
+/// λ-independent shared buffers for one chunk: the counter-RNG planes and
+/// vectorized passes that depend only on the trace, the start-phase
+/// convention, and `(stream_seed, n)` — never on the design point's λ.
+/// Prepared once per chunk by [`BatchedInversionSampler::prepare_chunk`], a
+/// `SharedChunk` serves any number of per-λ
+/// [`BatchedInversionSampler::finish_chunk`] calls — the common-random-
+/// numbers axis the sweep kernel (`serr_mc::sweep`) amortizes across every
+/// design point of a sweep.
 #[derive(Debug, Default)]
-pub struct BatchScratch {
-    /// The chunk's raw counter-RNG stream, planar by variable.
+pub struct SharedChunk {
+    /// `ln(1 − u) = −E` per trial: the `Exp(1)` plane after its batch log.
+    /// λ-independent — the per-point `E/(λW)` scaling happens in the
+    /// finish fold.
+    neg_exp: Vec<f64>,
+    /// Raw uniform residual-mass plane, **unscaled** (workload-start
+    /// chunks only): the λ-dependent `· (1 − e^{−λW})` multiply and the
+    /// tiered log pass both belong to the finish pass (the log tier is
+    /// chosen from the batch maximum, which moves with λ). Each point
+    /// applies them to identical operands, so per-point results stay
+    /// bit-identical to an unshared run.
+    mass_uniforms: Vec<f64>,
+    /// Per-trial initial phases (stationary starts only).
+    phases: Vec<f64>,
+    /// `V(φ)` per trial (stationary starts only).
+    v_phis: Vec<f64>,
+    /// Staged miss-plane words (stationary starts only), converted to
+    /// uniforms lazily per point — which trials take the miss branch
+    /// depends on λ.
     words: Vec<u64>,
-    /// `Exp(1)` draws (stored as `ln(1 − u) = −E` between the log pass and
-    /// the consuming fold, which turns each into its geometric period-skip
-    /// count `⌊E/(λW)⌋`).
-    exp_draws: Vec<f64>,
+}
+
+impl SharedChunk {
+    /// Fresh, empty shared buffers. They size themselves on first prepare.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-point scratch: the buffers one design point's finish pass
+/// overwrites. A single instance can serve many points serially — each
+/// finish rewrites it completely.
+#[derive(Debug, Default)]
+pub struct PointScratch {
     /// Truncated-Exp mass in the final window, overwritten in place by the
     /// batched inverse lookup with the failing phase `ψ`, and again by the
     /// final fold with the assembled time to failure in cycles — the same
     /// memory serves as mass, phase, and TTF buffer in turn.
     residual_masses: Vec<f64>,
-    /// Per-trial initial phases (stationary starts only).
-    phases: Vec<f64>,
-    /// `V(φ)` per trial (stationary starts only).
-    v_phis: Vec<f64>,
     /// Additive TTF base per trial (stationary starts only).
     bases: Vec<f64>,
+}
+
+impl PointScratch {
+    /// Fresh, empty per-point scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The TTF buffer (in cycles) the most recent finish pass produced.
+    #[must_use]
+    pub fn ttfs(&self) -> &[f64] {
+        &self.residual_masses
+    }
+}
+
+/// Reusable per-worker scratch for [`BatchedInversionSampler::sample_chunk`]:
+/// the shared planes plus one point's finish buffers. The SoA buffers grow
+/// to the chunk size once and are reused across every chunk the worker
+/// claims, so the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    shared: SharedChunk,
+    point: PointScratch,
 }
 
 impl BatchScratch {
@@ -219,82 +288,124 @@ impl<'a> BatchedInversionSampler<'a> {
         stream_seed: u64,
         n: usize,
     ) -> (&'s [f64], RunningStats) {
-        let stats = match self.start_phase {
-            StartPhase::WorkloadStart => self.sample_chunk_workload_start(scratch, stream_seed, n),
-            StartPhase::Stationary => self.sample_chunk_stationary(scratch, stream_seed, n),
-        };
-        (&scratch.residual_masses, stats)
+        // Prepare + finish *is* the single-point path: the sweep kernel
+        // runs the same two passes with the prepare amortized across
+        // points, so shared-stream sweep results are bit-identical to a
+        // solo run by construction.
+        self.prepare_chunk(&mut scratch.shared, stream_seed, n);
+        let stats = self.finish_chunk(&scratch.shared, &mut scratch.point, n);
+        (&scratch.point.residual_masses, stats)
     }
 
-    /// Workload-start kernel (`φ = 0`): two words per trial, zero branches
-    /// per element. Schedule v1 layout: uniform A (Exp draw) at word `i`,
-    /// uniform B (residual mass) at word `n + i`. The counter words are
-    /// generated inline in each plane's pass — being pure functions of
-    /// `(stream_seed, index)` they need no staging buffer, and fusing the
-    /// generation keeps each pass a single read-free vector loop.
-    fn sample_chunk_workload_start(
+    /// Prepares the λ-independent planes of one chunk: counter-RNG words,
+    /// exponent-splice uniforms, the `Exp(1)` batch log, and (stationary
+    /// starts) the phase plane with its batched `V(φ)` pricing. Reads only
+    /// the trace, the start-phase convention, and `(stream_seed, n)` —
+    /// never λ — so one prepared chunk serves every design point of a
+    /// sweep over the same trace.
+    pub fn prepare_chunk(&self, shared: &mut SharedChunk, stream_seed: u64, n: usize) {
+        match self.start_phase {
+            StartPhase::WorkloadStart => self.prepare_workload_start(shared, stream_seed, n),
+            StartPhase::Stationary => self.prepare_stationary(shared, stream_seed, n),
+        }
+    }
+
+    /// Finishes one design point over a prepared chunk: the λ-dependent
+    /// mass scale and tiered log pass, the batched inverse lookup, and the
+    /// TTF/statistics fold. Consumes the shared draws with the same
+    /// operands in the same operation order as the fused single-point
+    /// kernel, so the result is bit-identical to
+    /// [`Self::sample_chunk_with_stats`] at the same `(stream_seed, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `shared` was prepared for exactly `n` trials
+    /// (the start-phase convention is the sampler's own, so it cannot
+    /// mismatch).
+    pub fn finish_chunk(
         &self,
-        scratch: &mut BatchScratch,
-        stream_seed: u64,
+        shared: &SharedChunk,
+        point: &mut PointScratch,
         n: usize,
     ) -> RunningStats {
-        let s = scratch;
+        debug_assert_eq!(shared.neg_exp.len(), n, "shared chunk prepared for a different n");
+        match self.start_phase {
+            StartPhase::WorkloadStart => self.finish_workload_start(shared, point),
+            StartPhase::Stationary => self.finish_stationary(shared, point, n),
+        }
+    }
+
+    /// Workload-start shared pass (`φ = 0`): two words per trial, zero
+    /// branches per element. Schedule v1 layout: uniform A (Exp draw) at
+    /// word `i`, uniform B (residual mass) at word `n + i`. The counter
+    /// words are generated inline in each plane's pass — being pure
+    /// functions of `(stream_seed, index)` they need no staging buffer,
+    /// and fusing the generation keeps each pass a single read-free
+    /// vector loop.
+    fn prepare_workload_start(&self, shared: &mut SharedChunk, stream_seed: u64, n: usize) {
+        let s = shared;
         let n64 = n as u64;
 
-        // Pass 1: E ~ Exp(1) via exact 1 − u, one batch log. (Two passes on
+        // E ~ Exp(1) via exact 1 − u, one batch log. (Two passes on
         // purpose: fusing the scalar log into the generator `extend` was
         // measured slower — the per-element reserve check blocks the SIMD
         // lowering that the slice pass gets.) The buffer holds
         // ln(1 − u) = −E afterwards; the sign folds into the geometric
-        // multiplier in the final fold.
-        s.exp_draws.clear();
-        s.exp_draws.extend((0..n64).map(|i| one_minus_uniform_from_word(rng_word(stream_seed, i))));
-        ln_in_place(&mut s.exp_draws);
+        // multiplier in the finish fold.
+        s.neg_exp.clear();
+        s.neg_exp.extend((0..n64).map(|i| one_minus_uniform_from_word(rng_word(stream_seed, i))));
+        ln_in_place(&mut s.neg_exp);
 
-        // Pass 2: truncated-Exp(λ) mass on [0, W): m = −ln(1 − u·p)/λ,
-        // capped below W for the inverse lookup like the scalar sampler —
-        // the scale and cap are fused into the log pass.
-        s.residual_masses.clear();
-        s.residual_masses.extend(
-            (n64..2 * n64).map(|i| uniform_from_word(rng_word(stream_seed, i)) * self.one_minus_q),
-        );
-        ln_one_minus_scaled_in_place(&mut s.residual_masses, self.neg_inv_lambda, self.mass_cap);
+        // Plane B stays a raw uniform here: its `· (1 − e^{−λW})` scale is
+        // λ-dependent, so it belongs to the finish pass.
+        s.mass_uniforms.clear();
+        s.mass_uniforms.extend((n64..2 * n64).map(|i| uniform_from_word(rng_word(stream_seed, i))));
+    }
 
-        // Pass 3: all final-window phases in one batched inverse lookup.
-        self.trace.phase_at_cumulative_batch(&mut s.residual_masses);
+    /// Workload-start finish: the λ-dependent tail of the fused kernel.
+    fn finish_workload_start(
+        &self,
+        shared: &SharedChunk,
+        point: &mut PointScratch,
+    ) -> RunningStats {
+        let p = point;
 
-        // Pass 4: fold TTF = K·L + ψ in place — K = ⌊E/(λW)⌋ whole
-        // periods survived (λW > 700 needs no guard: E ≤ 36.04 forces
-        // K = 0 through the arithmetic itself), and the mass buffer
-        // becomes the TTF buffer, sparing a third array's worth of
-        // traffic. `mul_add` is exactly rounded, so this is
-        // bit-deterministic on every target (see the schedule contract).
-        // The chunk's statistics fold rides the same traversal.
-        RunningStats::from_mapped_slice(&mut s.residual_masses, |i, psi| {
-            (s.exp_draws[i] * self.neg_inv_lambda_w).floor().mul_add(self.period, psi)
+        // Truncated-Exp(λ) mass on [0, W): m = −ln(1 − u·p)/λ, capped
+        // below W for the inverse lookup like the scalar sampler — the
+        // scale and cap are fused into the log pass. The multiply reads
+        // the identical uniform the fused kernel generated inline, so
+        // sharing the plane across points changes no bits.
+        p.residual_masses.clear();
+        p.residual_masses.extend(shared.mass_uniforms.iter().map(|&u| u * self.one_minus_q));
+        ln_one_minus_scaled_in_place(&mut p.residual_masses, self.neg_inv_lambda, self.mass_cap);
+
+        // All final-window phases in one batched inverse lookup.
+        self.trace.phase_at_cumulative_batch(&mut p.residual_masses);
+
+        // Fold TTF = K·L + ψ in place — K = ⌊E/(λW)⌋ whole periods
+        // survived (λW > 700 needs no guard: E ≤ 36.04 forces K = 0
+        // through the arithmetic itself), and the mass buffer becomes the
+        // TTF buffer, sparing a third array's worth of traffic. `mul_add`
+        // is exactly rounded, so this is bit-deterministic on every
+        // target (see the schedule contract). The chunk's statistics fold
+        // rides the same traversal.
+        RunningStats::from_mapped_slice(&mut p.residual_masses, |i, psi| {
+            (shared.neg_exp[i] * self.neg_inv_lambda_w).floor().mul_add(self.period, psi)
         })
     }
 
-    /// Stationary kernel: four words per trial. Schedule v1 layout: phase
-    /// at word `i`, uniform A (Exp draw / first-window test) at `n + i`,
-    /// uniform B (residual mass) at `2n + i`, uniform C (miss-branch
-    /// geometric) at `3n + i`. The hit/miss split is a per-element branch —
-    /// stationary starts are the diagnostic path, not the throughput path —
-    /// but the phase pricing and the inverse lookup still run batched.
-    fn sample_chunk_stationary(
-        &self,
-        scratch: &mut BatchScratch,
-        stream_seed: u64,
-        n: usize,
-    ) -> RunningStats {
-        let s = scratch;
+    /// Stationary shared pass: four words per trial. Schedule v1 layout:
+    /// phase at word `i`, uniform A (Exp draw / first-window test) at
+    /// `n + i`, uniform B (residual mass) at `2n + i`, uniform C
+    /// (miss-branch geometric) at `3n + i`. The miss planes (B, C) are
+    /// staged as raw words — which trials consume them depends on λ — and
+    /// the batched planes (phase, Exp) generate their words inline.
+    fn prepare_stationary(&self, shared: &mut SharedChunk, stream_seed: u64, n: usize) {
+        let s = shared;
         let n64 = n as u64;
-        // Stationary trials take a data-dependent branch in pass 3, so the
-        // miss planes (B, C) are staged in the word buffer; the batched
-        // planes (phase, Exp) generate their words inline.
         fill_words(&mut s.words, stream_seed, 2 * n, 4 * n);
 
-        // Pass 1: initial phases and their cumulative masses V(φ).
+        // Initial phases and their cumulative masses V(φ).
         s.phases.clear();
         s.phases
             .extend((0..n64).map(|i| uniform_from_word(rng_word(stream_seed, i)) * self.period));
@@ -302,31 +413,45 @@ impl<'a> BatchedInversionSampler<'a> {
         s.v_phis.resize(n, 0.0);
         self.trace.cumulative_at_batch(&s.phases, &mut s.v_phis);
 
-        // Pass 2: Exp(1) draws (buffer holds −E after the log pass).
-        s.exp_draws.clear();
-        s.exp_draws
+        // Exp(1) draws (buffer holds −E after the log pass).
+        s.neg_exp.clear();
+        s.neg_exp
             .extend((n64..2 * n64).map(|i| one_minus_uniform_from_word(rng_word(stream_seed, i))));
-        ln_in_place(&mut s.exp_draws);
+        ln_in_place(&mut s.neg_exp);
+    }
 
-        // Pass 3: resolve each trial to (mass to invert, additive base).
+    /// Stationary finish: the hit/miss split is a per-element branch —
+    /// stationary starts are the diagnostic path, not the throughput
+    /// path — but the phase pricing (shared) and the inverse lookup still
+    /// run batched.
+    fn finish_stationary(
+        &self,
+        shared: &SharedChunk,
+        point: &mut PointScratch,
+        n: usize,
+    ) -> RunningStats {
+        let s = shared;
+        let p = point;
+
+        // Resolve each trial to (mass to invert, additive base).
         // A first-window hit (E < λ·tail₀, probability exactly p₀) reuses
         // E/λ as the conditional truncated mass beyond V(φ) — by
         // memorylessness that *is* the right law, with no cancellation
         // since E < λ·tail₀ keeps the sum below W. A miss draws the
         // geometric skip and an independent final-window mass, exactly as
         // the scalar sampler's parts 2 and 3.
-        s.residual_masses.clear();
-        s.bases.clear();
+        p.residual_masses.clear();
+        p.bases.clear();
         for i in 0..n {
             let phi = s.phases[i];
             let v_phi = s.v_phis[i];
             let tail0 = (self.total - v_phi).max(0.0);
-            let e = -s.exp_draws[i];
+            let e = -s.neg_exp[i];
             if e < self.lambda_cycle * tail0 {
                 let m = (v_phi + e / self.lambda_cycle).min(self.mass_cap);
-                s.residual_masses.push(m);
+                p.residual_masses.push(m);
                 // ψ ≥ φ up to lookup rounding; the final clamp restores ≥ 0.
-                s.bases.push(-phi);
+                p.bases.push(-phi);
             } else {
                 let u_c = uniform_from_word(s.words[n + i]);
                 // Same λW > 700 underflow regime as the scalar sampler:
@@ -334,17 +459,17 @@ impl<'a> BatchedInversionSampler<'a> {
                 let k = ((1.0 - u_c).ln() * self.neg_inv_lambda_w).floor();
                 let y = uniform_from_word(s.words[i]) * self.one_minus_q;
                 let m = ((-y).ln_1p() * self.neg_inv_lambda).min(self.mass_cap);
-                s.residual_masses.push(m);
-                s.bases.push((self.period - phi) + k * self.period);
+                p.residual_masses.push(m);
+                p.bases.push((self.period - phi) + k * self.period);
             }
         }
 
-        // Pass 4 + 5: batched inverse lookup, then TTF = base + ψ folded
-        // in place, clamped at zero for the hit branch's φ subtraction —
-        // with the chunk's statistics fold riding the same traversal.
-        self.trace.phase_at_cumulative_batch(&mut s.residual_masses);
-        RunningStats::from_mapped_slice(&mut s.residual_masses, |i, psi| {
-            (s.bases[i] + psi).max(0.0)
+        // Batched inverse lookup, then TTF = base + ψ folded in place,
+        // clamped at zero for the hit branch's φ subtraction — with the
+        // chunk's statistics fold riding the same traversal.
+        self.trace.phase_at_cumulative_batch(&mut p.residual_masses);
+        RunningStats::from_mapped_slice(&mut p.residual_masses, |i, psi| {
+            (p.bases[i] + psi).max(0.0)
         })
     }
 }
@@ -553,6 +678,65 @@ mod tests {
         assert_eq!(first, sampler.sample_chunk(&mut fresh, 42, 1024), "scratch state leaked");
         // Distinct stream seeds decorrelate.
         assert_ne!(first, sampler.sample_chunk(&mut fresh, 77, 1024));
+    }
+
+    #[test]
+    fn shared_prepare_plus_finish_is_bit_identical_to_the_fused_kernel() {
+        // The sweep-kernel contract: one prepared chunk, finished per λ,
+        // must reproduce each λ's fused single-point chunk bit for bit —
+        // in both start-phase conventions, across several chunk seeds.
+        let trace =
+            IntervalTrace::from_levels(&[1.0, 0.25, 0.25, 0.0, 0.5, 0.0, 0.0, 0.0]).unwrap();
+        let c = compiled(&trace);
+        let lambdas = [1e-9, 3e-4, 0.02, 0.7];
+        for start in [StartPhase::WorkloadStart, StartPhase::Stationary] {
+            let samplers: Vec<_> =
+                lambdas.iter().map(|&l| BatchedInversionSampler::new(&c, l, start)).collect();
+            let mut shared = SharedChunk::new();
+            let mut point = PointScratch::new();
+            for seed in [3u64, 0xBA7C_0001, u64::MAX - 5] {
+                // Shared pass once (any sampler may run it: λ is unread).
+                samplers[0].prepare_chunk(&mut shared, seed, 1024);
+                for sampler in &samplers {
+                    let stats = sampler.finish_chunk(&shared, &mut point, 1024);
+                    let shared_ttfs = point.ttfs().to_vec();
+                    let mut solo = BatchScratch::new();
+                    let (solo_ttfs, solo_stats) =
+                        sampler.sample_chunk_with_stats(&mut solo, seed, 1024);
+                    assert_eq!(shared_ttfs, solo_ttfs, "{start:?}: TTF stream diverged");
+                    assert_eq!(stats.mean().to_bits(), solo_stats.mean().to_bits());
+                    assert_eq!(stats.min().to_bits(), solo_stats.min().to_bits());
+                    assert_eq!(stats.max().to_bits(), solo_stats.max().to_bits());
+                    assert_eq!(
+                        stats.ci95_half_width().to_bits(),
+                        solo_stats.ci95_half_width().to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_scratch_reuse_across_points_is_invisible() {
+        // One PointScratch serving many λs serially (the sweep kernel's
+        // steady state) must leak nothing between points.
+        let trace = IntervalTrace::busy_idle(30, 70).unwrap();
+        let c = compiled(&trace);
+        let a = BatchedInversionSampler::new(&c, 0.01, StartPhase::WorkloadStart);
+        let b = BatchedInversionSampler::new(&c, 0.3, StartPhase::WorkloadStart);
+        let mut shared = SharedChunk::new();
+        a.prepare_chunk(&mut shared, 42, 1024);
+        let mut fresh_a = PointScratch::new();
+        let mut fresh_b = PointScratch::new();
+        a.finish_chunk(&shared, &mut fresh_a, 1024);
+        b.finish_chunk(&shared, &mut fresh_b, 1024);
+        let mut reused = PointScratch::new();
+        a.finish_chunk(&shared, &mut reused, 1024);
+        assert_eq!(reused.ttfs(), fresh_a.ttfs());
+        b.finish_chunk(&shared, &mut reused, 1024);
+        assert_eq!(reused.ttfs(), fresh_b.ttfs());
+        a.finish_chunk(&shared, &mut reused, 1024);
+        assert_eq!(reused.ttfs(), fresh_a.ttfs(), "scratch state leaked between points");
     }
 
     #[test]

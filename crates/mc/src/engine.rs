@@ -53,12 +53,12 @@ use crate::MonteCarloConfig;
 /// Trials per deterministic RNG chunk. Small enough that a 20,000-trial
 /// smoke run still spreads across cores, large enough that per-chunk
 /// scheduling overhead vanishes against millions of raw-error events.
-const TRIAL_CHUNK: u64 = 1024;
+pub(crate) const TRIAL_CHUNK: u64 = 1024;
 
 /// Counter-based per-chunk stream derivation: a SplitMix64 finalizer over
 /// the `(seed, chunk)` pair. Depends only on the chunk *index*, never on
 /// the thread that executes it — the root of the determinism contract.
-fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+pub(crate) fn chunk_seed(seed: u64, chunk: u64) -> u64 {
     let mut z = seed.wrapping_add(chunk.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -105,6 +105,35 @@ fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Assembles an [`MttfEstimate`] from cycle-domain statistics folded in
+/// ascending chunk order — the one place the cycles → seconds conversion
+/// lives, shared by the single-point run and the sweep kernel so the two
+/// paths cannot round differently.
+pub(crate) fn estimate_from_cycle_stats(
+    stats: &RunningStats,
+    hz: f64,
+    total_events: u64,
+    truncated: bool,
+    sampler: SamplerKind,
+) -> MttfEstimate {
+    let completed = stats.count();
+    let summary = Summary {
+        count: completed,
+        mean: stats.mean() / hz,
+        std_dev: stats.sample_variance().sqrt() / hz,
+        ci95: stats.ci95_half_width() / hz,
+        min: stats.min() / hz,
+        max: stats.max() / hz,
+    };
+    MttfEstimate {
+        mttf: Mttf::from_secs(summary.mean),
+        ttf_seconds: summary,
+        mean_events_per_trial: total_events as f64 / completed as f64,
+        truncated,
+        sampler,
     }
 }
 
@@ -156,12 +185,12 @@ impl MttfEstimate {
 /// `deterministic_across_thread_counts` test for the bit-equality check.
 #[derive(Debug, Clone, Default)]
 pub struct MonteCarlo {
-    config: MonteCarloConfig,
+    pub(crate) config: MonteCarloConfig,
     /// Optional observability handle. Telemetry is strictly read-only over
     /// the already-folded results: convergence events are emitted from the
     /// deterministic chunk-order fold on the main thread, so attaching an
     /// observer cannot perturb estimates or their thread-count invariance.
-    obs: Option<Obs>,
+    pub(crate) obs: Option<Obs>,
 }
 
 impl MonteCarlo {
@@ -335,21 +364,7 @@ impl MonteCarlo {
                 metrics.set_gauge("mc.samples_per_sec", completed as f64 / secs);
             }
         }
-        let summary = Summary {
-            count: completed,
-            mean: stats.mean() / hz,
-            std_dev: stats.sample_variance().sqrt() / hz,
-            ci95: stats.ci95_half_width() / hz,
-            min: stats.min() / hz,
-            max: stats.max() / hz,
-        };
-        Ok(MttfEstimate {
-            mttf: Mttf::from_secs(summary.mean),
-            ttf_seconds: summary,
-            mean_events_per_trial: total_events as f64 / completed as f64,
-            truncated,
-            sampler,
-        })
+        Ok(estimate_from_cycle_stats(&stats, hz, total_events, truncated, sampler))
     }
 
     /// Dispatches the configured [`SamplerKind`] over the compiled (or
@@ -484,14 +499,15 @@ impl MonteCarlo {
     /// truncated result is still a deterministic function of *which* chunks
     /// completed (e.g. a zero deadline with one thread always yields
     /// exactly chunk 0).
-    fn run_chunks_scaffold<S, I, G>(
+    pub(crate) fn run_chunks_scaffold<S, I, G, O>(
         &self,
         scratch_init: I,
         chunk_body: G,
-    ) -> Result<(Vec<(u64, ChunkOutcome)>, bool), SerrError>
+    ) -> Result<(Vec<(u64, O)>, bool), SerrError>
     where
         I: Fn() -> S + Sync,
-        G: Fn(&mut S, u64, u64) -> Result<ChunkOutcome, SerrError> + Sync,
+        G: Fn(&mut S, u64, u64) -> Result<O, SerrError> + Sync,
+        O: Send,
     {
         let trials = self.config.trials;
         let n_chunks = trials.div_ceil(TRIAL_CHUNK);
@@ -522,7 +538,7 @@ impl MonteCarlo {
                 elapsed_s: started.elapsed().as_secs_f64(),
             });
         }
-        let worker = |tid: usize| -> Result<Vec<(u64, ChunkOutcome)>, SerrError> {
+        let worker = |tid: usize| -> Result<Vec<(u64, O)>, SerrError> {
             let mut scratch = scratch_init();
             let mut out = Vec::new();
             let mut chunk = tid as u64;
@@ -562,7 +578,7 @@ impl MonteCarlo {
         // A panicking worker — injected or genuine — must surface as a typed
         // error, never tear down the caller: catch the unwind on the
         // single-thread path and map scope-join failures on the parallel one.
-        let gathered: Vec<Result<Vec<(u64, ChunkOutcome)>, SerrError>> = if threads == 1 {
+        let gathered: Vec<Result<Vec<(u64, O)>, SerrError>> = if threads == 1 {
             vec![std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(0)))
                 .unwrap_or_else(|p| {
                     Err(SerrError::engine_fault("monte carlo worker", panic_payload_string(&*p)))
@@ -589,7 +605,7 @@ impl MonteCarlo {
         // Under a deadline the completed set can be any subset that contains
         // each worker's first chunk; sort so the fold order stays ascending
         // by chunk index regardless of which worker finished what.
-        let mut completed: Vec<(u64, ChunkOutcome)> = Vec::with_capacity(n_chunks as usize);
+        let mut completed: Vec<(u64, O)> = Vec::with_capacity(n_chunks as usize);
         for res in gathered {
             completed.extend(res?);
         }

@@ -63,6 +63,7 @@ mod engine;
 pub mod inversion;
 pub mod naive;
 pub mod sampler;
+pub mod sweep;
 pub mod system;
 
 pub use config::{MonteCarloConfig, SamplerKind, StartPhase};

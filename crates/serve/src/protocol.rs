@@ -25,6 +25,10 @@ use serr_core::prelude::{SamplerKind, WorkloadSpec};
 /// a typed `error` response instead of being buffered without bound.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024;
 
+/// Hard cap on design points in one `sweep` request: bounds the response
+/// frame and the shared-stream kernel's per-point working set.
+pub const MAX_SWEEP_POINTS: usize = 256;
+
 /// The work a request asks for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
@@ -52,10 +56,36 @@ pub enum RequestBody {
         /// Time-to-failure sampler.
         sampler: SamplerKind,
     },
+    /// Multi-point MTTF sweep over one workload (the CLI's `serr sweep`
+    /// rate axis): every rate is estimated off ONE shared-stream kernel
+    /// run (`MonteCarlo::component_mttf_multi`) — common random numbers
+    /// across the whole sweep — and each point is bit-identical to the
+    /// single-point `mttf` request for the same rate.
+    Sweep {
+        /// The workload every point runs, in CLI spelling.
+        workload: WorkloadSpec,
+        /// Per-point raw error rates in errors/year, in response order.
+        rates_per_year: Vec<f64>,
+        /// Monte Carlo trials per point.
+        trials: u64,
+        /// Time-to-failure sampler.
+        sampler: SamplerKind,
+    },
     /// Snapshot of the service counters.
     Stats,
     /// Graceful shutdown: drain, journal, acknowledge, exit.
     Shutdown,
+}
+
+impl RequestBody {
+    /// The canonical spelling of this body (see
+    /// [`Request::body_canonical`]). For a [`RequestBody::Sweep`] point,
+    /// the equivalent single-point [`RequestBody::Mttf`] body's canonical
+    /// string is the key its clean result is published under.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        Json::Obj(body_fields(self)).to_json()
+    }
 }
 
 /// One parsed request frame.
@@ -113,6 +143,37 @@ fn field_count(v: &Json, key: &str, default: u64, id: Option<u64>) -> Result<u64
             Ok(n)
         }
     }
+}
+
+fn field_rates(v: &Json, id: Option<u64>) -> Result<Vec<f64>, FrameError> {
+    let key = "rates_per_year";
+    let rows = v
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| FrameError::new(id, format!("missing or non-array \"{key}\"")))?;
+    if rows.is_empty() {
+        return Err(FrameError::new(id, format!("\"{key}\" must name at least one rate")));
+    }
+    if rows.len() > MAX_SWEEP_POINTS {
+        return Err(FrameError::new(
+            id,
+            format!("\"{key}\" has {} points, max {MAX_SWEEP_POINTS}", rows.len()),
+        ));
+    }
+    rows.iter()
+        .map(|r| {
+            let x = r
+                .as_f64()
+                .ok_or_else(|| FrameError::new(id, format!("\"{key}\" entries must be numbers")))?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(FrameError::new(
+                    id,
+                    format!("\"{key}\" entries must be positive and finite"),
+                ));
+            }
+            Ok(x)
+        })
+        .collect()
 }
 
 fn field_workload(v: &Json, id: Option<u64>) -> Result<WorkloadSpec, FrameError> {
@@ -183,6 +244,12 @@ impl Request {
                 trials: field_count(&v, "trials", 100_000, id)?,
                 sampler: field_sampler(&v, id)?,
             },
+            "sweep" => RequestBody::Sweep {
+                workload: field_workload(&v, id)?,
+                rates_per_year: field_rates(&v, id)?,
+                trials: field_count(&v, "trials", 100_000, id)?,
+                sampler: field_sampler(&v, id)?,
+            },
             "stats" => RequestBody::Stats,
             "shutdown" => RequestBody::Shutdown,
             other => return Err(FrameError::new(id, format!("unknown \"cmd\" `{other}`"))),
@@ -210,7 +277,7 @@ impl Request {
     /// string keys the trace cache and the resume journal.
     #[must_use]
     pub fn body_canonical(&self) -> String {
-        Json::Obj(body_fields(&self.body)).to_json()
+        self.body.canonical()
     }
 }
 
@@ -230,6 +297,16 @@ fn body_fields(body: &RequestBody) -> Vec<(String, Json)> {
             ("workload".to_owned(), s(&workload.canonical())),
             ("rate_per_year".to_owned(), Json::Num(*rate_per_year)),
             ("components".to_owned(), Json::Num(*components as f64)),
+            ("trials".to_owned(), Json::Num(*trials as f64)),
+            ("sampler".to_owned(), s(sampler.label())),
+        ],
+        RequestBody::Sweep { workload, rates_per_year, trials, sampler } => vec![
+            ("cmd".to_owned(), s("sweep")),
+            ("workload".to_owned(), s(&workload.canonical())),
+            (
+                "rates_per_year".to_owned(),
+                Json::Arr(rates_per_year.iter().map(|&r| Json::Num(r)).collect()),
+            ),
             ("trials".to_owned(), Json::Num(*trials as f64)),
             ("sampler".to_owned(), s(sampler.label())),
         ],
@@ -320,6 +397,15 @@ pub enum Response {
         /// The payload.
         est: Estimate,
     },
+    /// A completed multi-point sweep — one estimate per requested rate,
+    /// in request order. State `result` only when EVERY point is a clean
+    /// full-fidelity result; any degraded point degrades the frame.
+    Sweep {
+        /// Echoed request id.
+        id: u64,
+        /// Per-point payloads, in `rates_per_year` order.
+        points: Vec<Estimate>,
+    },
     /// Refused by admission control; no estimator work was done.
     Shed {
         /// Echoed request id.
@@ -359,6 +445,13 @@ impl Response {
     pub fn state(&self) -> &'static str {
         match self {
             Response::Estimate { est, .. } => est.state(),
+            Response::Sweep { points, .. } => {
+                if points.iter().all(|e| e.state() == "result") {
+                    "result"
+                } else {
+                    "degraded"
+                }
+            }
             Response::Shed { .. } => "shed",
             Response::Error { .. } => "error",
             // Stats and shutdown acks complete their requests successfully.
@@ -376,6 +469,10 @@ impl Response {
                 let mut f = vec![id_field(*id), state];
                 f.extend(est.to_fields());
                 f
+            }
+            Response::Sweep { id, points } => {
+                let rows = points.iter().map(|e| Json::Obj(e.to_fields())).collect();
+                vec![id_field(*id), state, ("points".to_owned(), Json::Arr(rows))]
             }
             Response::Shed { id, reason } => {
                 vec![id_field(*id), state, ("reason".to_owned(), Json::Str(reason.clone()))]
@@ -428,6 +525,13 @@ impl Response {
                             .push((r.get("name")?.as_str()?.to_owned(), r.get("value")?.as_u64()?));
                     }
                     return Some(Response::Stats { id: id?, counters });
+                }
+                if let Some(rows) = v.get("points").and_then(Json::as_array) {
+                    let mut points = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        points.push(Estimate::from_fields(r)?);
+                    }
+                    return Some(Response::Sweep { id: id?, points });
                 }
                 Some(Response::Estimate { id: id?, est: Estimate::from_fields(&v)? })
             }
@@ -508,6 +612,60 @@ mod tests {
             r#"{"id":1,"cmd":"sofr","workload":"day","rate_per_year":1,"components":0}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn sweep_requests_and_responses_roundtrip() {
+        let req = Request {
+            id: 21,
+            deadline_ms: Some(2_000),
+            tag: None,
+            body: RequestBody::Sweep {
+                workload: WorkloadSpec::parse("duty:0.002:0.5").expect("valid spec"),
+                rates_per_year: vec![1e6, 2e6, 4e6],
+                trials: 1_500,
+                sampler: SamplerKind::default(),
+            },
+        };
+        assert_eq!(Request::parse(&req.to_line()).expect("parses"), req);
+
+        // Empty, oversized, and non-positive rate lists are refused.
+        assert!(Request::parse(r#"{"id":1,"cmd":"sweep","workload":"day"}"#).is_err());
+        assert!(Request::parse(r#"{"id":1,"cmd":"sweep","workload":"day","rates_per_year":[]}"#)
+            .is_err());
+        assert!(Request::parse(
+            r#"{"id":1,"cmd":"sweep","workload":"day","rates_per_year":[1,0]}"#
+        )
+        .is_err());
+        let big: Vec<String> = (1..=MAX_SWEEP_POINTS + 1).map(|i| i.to_string()).collect();
+        let line = format!(
+            r#"{{"id":1,"cmd":"sweep","workload":"day","rates_per_year":[{}]}}"#,
+            big.join(",")
+        );
+        let e = Request::parse(&line).unwrap_err();
+        assert!(e.reason.contains("max"), "{}", e.reason);
+
+        // The multi-point response: `result` only when every point is.
+        let clean = Estimate {
+            mttf_mc_s: 1.5e9,
+            rel_ci95: 0.01,
+            mttf_step_s: 1.4e9,
+            avf: 0.5,
+            provenance: "clean".to_owned(),
+            sampler: "batched-inversion".to_owned(),
+            trials_done: 1_500,
+            truncated: false,
+            resumed: false,
+        };
+        let r = Response::Sweep { id: 21, points: vec![clean.clone(), clean.clone()] };
+        assert_eq!(r.state(), "result");
+        assert_eq!(Response::parse(&r.to_line()).expect("parses"), r);
+        let partial = Response::Sweep {
+            id: 22,
+            points: vec![clean.clone(), Estimate { truncated: true, ..clean }],
+        };
+        assert_eq!(partial.state(), "degraded");
+        assert_eq!(Response::parse(&partial.to_line()).expect("parses"), partial);
     }
 
     #[test]

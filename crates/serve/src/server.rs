@@ -51,8 +51,8 @@ use serr_core::checkpoint::{fingerprint, Journal};
 use serr_core::experiments::ExperimentConfig;
 use serr_core::jsonio::Json;
 use serr_core::prelude::{
-    classify_estimate, BackoffPolicy, FaultPlan, MonteCarloConfig, RawErrorRate, Validator,
-    VulnerabilityTrace, WorkloadSpec,
+    classify_estimate, BackoffPolicy, FaultPlan, MonteCarloConfig, RawErrorRate, SamplerKind,
+    Validator, VulnerabilityTrace, WorkloadSpec,
 };
 use serr_inject::ServeFault;
 use serr_obs::{Event, Obs};
@@ -406,9 +406,24 @@ impl State {
 
 fn spec_of(body: &RequestBody) -> Option<&WorkloadSpec> {
     match body {
-        RequestBody::Mttf { workload, .. } | RequestBody::Sofr { workload, .. } => Some(workload),
+        RequestBody::Mttf { workload, .. }
+        | RequestBody::Sofr { workload, .. }
+        | RequestBody::Sweep { workload, .. } => Some(workload),
         RequestBody::Stats | RequestBody::Shutdown => None,
     }
+}
+
+/// The canonical body of the single-point `mttf` request a sweep point is
+/// equivalent to — the key its clean result is published and resumed
+/// under, which is sound because the shared-stream kernel makes the point
+/// bit-identical to that independent request.
+fn point_canonical(
+    workload: &WorkloadSpec,
+    rate_per_year: f64,
+    trials: u64,
+    sampler: SamplerKind,
+) -> String {
+    RequestBody::Mttf { workload: workload.clone(), rate_per_year, trials, sampler }.canonical()
 }
 
 /// A running `serr serve` daemon.
@@ -843,7 +858,7 @@ fn handle_line(state: &Arc<State>, line: &str, tx: &mpsc::Sender<WireOut>) {
             state.respond(Some(tx), tag, &Response::ShutdownAck { id: req.id }, false);
             trigger_shutdown(state);
         }
-        RequestBody::Mttf { .. } | RequestBody::Sofr { .. } => {
+        RequestBody::Mttf { .. } | RequestBody::Sofr { .. } | RequestBody::Sweep { .. } => {
             admit(state, req, tag, tx);
         }
     }
@@ -858,6 +873,27 @@ fn admit(state: &Arc<State>, req: Request, tag: u64, tx: &mpsc::Sender<WireOut>)
         return;
     }
     let canonical = req.body_canonical();
+    // A sweep resumes when EVERY point's equivalent single-point result is
+    // already journaled — sound because the shared-stream kernel makes
+    // each point bit-identical to the independent `mttf` request.
+    if let RequestBody::Sweep { workload, rates_per_year, trials, sampler } = &req.body {
+        let map = state.results.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let points: Option<Vec<Estimate>> = rates_per_year
+            .iter()
+            .map(|&r| {
+                map.get(&point_canonical(workload, r, *trials, *sampler)).cloned().map(|mut est| {
+                    est.resumed = true;
+                    est
+                })
+            })
+            .collect();
+        drop(map);
+        if let Some(points) = points {
+            state.obs.metrics().add("serve.resumed", 1);
+            state.respond(Some(tx), tag, &Response::Sweep { id: req.id, points }, false);
+            return;
+        }
+    }
     let hit = state
         .results
         .lock()
@@ -1010,6 +1046,36 @@ fn process_estimate(state: &Arc<State>, ej: &EstimateJob) {
     // context); a tight one yields a truncated — honestly widened —
     // estimate tagged Degraded by the provenance lattice.
     let remaining = job.deadline.map(|(at, _)| at.saturating_duration_since(Instant::now()));
+    if let RequestBody::Sweep { workload, rates_per_year, trials, sampler } = &job.body {
+        let result = run_sweep_validator(state, job, &ej.cached, remaining);
+        let elapsed = started.elapsed();
+        match result {
+            Ok(points) => {
+                // Each clean point is published under its equivalent
+                // single-point `mttf` canonical body: a later `mttf`
+                // request for any swept rate — or a re-request of the
+                // whole sweep — is answered from the journal
+                // bit-identically.
+                for (i, est) in points.iter().enumerate() {
+                    if est.state() == "result" {
+                        let key = point_canonical(workload, rates_per_year[i], *trials, *sampler);
+                        state.publish_result(&key, est);
+                    }
+                }
+                state.obs.metrics().add("serve.sweep_points", points.len() as u64);
+                state.respond(
+                    job.reply.as_ref(),
+                    job.tag,
+                    &Response::Sweep { id: job.id, points },
+                    torn,
+                );
+            }
+            Err(e) => respond_error(state, job, e, torn),
+        }
+        state.update_ewma(elapsed.as_secs_f64() * 1e3);
+        state.obs.metrics().observe("serve.estimate_ms", elapsed.as_secs_f64() * 1e3);
+        return;
+    }
     let result = run_validator(state, job, &ej.cached, remaining);
     let elapsed = started.elapsed();
     match result {
@@ -1027,36 +1093,26 @@ fn process_estimate(state: &Arc<State>, ej: &EstimateJob) {
                 torn,
             );
         }
-        Err(serr_types::SerrError::DeadlineExhausted { budget_s, elapsed_s }) => {
-            state.respond(
-                job.reply.as_ref(),
-                job.tag,
-                &Response::Error {
-                    id: Some(job.id),
-                    error: serr_types::SerrError::DeadlineExhausted { budget_s, elapsed_s }
-                        .to_string(),
-                    budget_s: Some(budget_s),
-                    elapsed_s: Some(elapsed_s),
-                },
-                torn,
-            );
-        }
-        Err(e) => {
-            state.respond(
-                job.reply.as_ref(),
-                job.tag,
-                &Response::Error {
-                    id: Some(job.id),
-                    error: e.to_string(),
-                    budget_s: None,
-                    elapsed_s: None,
-                },
-                torn,
-            );
-        }
+        Err(e) => respond_error(state, job, e, torn),
     }
     state.update_ewma(elapsed.as_secs_f64() * 1e3);
     state.obs.metrics().observe("serve.estimate_ms", elapsed.as_secs_f64() * 1e3);
+}
+
+/// Ships a typed `error` terminal, preserving deadline-exhaustion context.
+fn respond_error(state: &Arc<State>, job: &Job, e: serr_types::SerrError, torn: bool) {
+    let (budget_s, elapsed_s) = match &e {
+        serr_types::SerrError::DeadlineExhausted { budget_s, elapsed_s } => {
+            (Some(*budget_s), Some(*elapsed_s))
+        }
+        _ => (None, None),
+    };
+    state.respond(
+        job.reply.as_ref(),
+        job.tag,
+        &Response::Error { id: Some(job.id), error: e.to_string(), budget_s, elapsed_s },
+        torn,
+    );
 }
 
 /// The estimation itself — the exact code path `serr mttf` / `serr sofr`
@@ -1073,8 +1129,8 @@ fn run_validator(
         | RequestBody::Sofr { rate_per_year, trials, sampler, .. } => {
             (*rate_per_year, *trials, *sampler)
         }
-        RequestBody::Stats | RequestBody::Shutdown => {
-            unreachable!("only estimation bodies are enqueued")
+        RequestBody::Sweep { .. } | RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("sweeps run in run_sweep_validator; only estimation bodies are enqueued")
         }
     };
     let rate = RawErrorRate::try_per_year(rate_per_year)?;
@@ -1095,7 +1151,9 @@ fn run_validator(
             let r = v.system_identical(Arc::clone(&cached.raw), rate, *components)?;
             (cached.raw.avf(), r.mttf_sofr.as_secs(), r.mttf_mc)
         }
-        RequestBody::Stats | RequestBody::Shutdown => unreachable!("gated above"),
+        RequestBody::Sweep { .. } | RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("gated above")
+        }
     };
     Ok(Estimate {
         mttf_mc_s: mc_est.mttf.as_secs(),
@@ -1108,6 +1166,54 @@ fn run_validator(
         truncated: mc_est.truncated,
         resumed: false,
     })
+}
+
+/// The multi-point sweep estimation: ONE shared-stream kernel run
+/// (`MonteCarlo::component_mttf_multi`) produces every point's Monte
+/// Carlo ground truth — common random numbers across the whole sweep —
+/// and only the cheap analytic estimators remain per point. Each point is
+/// bit-identical to the single-point `mttf` request for the same rate at
+/// any `SERR_THREADS`, which is what licenses publishing clean points
+/// under the equivalent `mttf` canonical bodies.
+fn run_sweep_validator(
+    state: &Arc<State>,
+    job: &Job,
+    cached: &CachedTrace,
+    deadline: Option<Duration>,
+) -> Result<Vec<Estimate>, serr_types::SerrError> {
+    let RequestBody::Sweep { rates_per_year, trials, sampler, .. } = &job.body else {
+        unreachable!("the caller routes only sweep bodies here")
+    };
+    let rates = rates_per_year
+        .iter()
+        .map(|&r| RawErrorRate::try_per_year(r))
+        .collect::<Result<Vec<_>, serr_types::SerrError>>()?;
+    let mc = MonteCarloConfig {
+        trials: *trials,
+        threads: state.mc_threads,
+        sampler: *sampler,
+        deadline,
+        ..Default::default()
+    };
+    let v = Validator::new(state.experiment.frequency, mc);
+    let ests =
+        v.monte_carlo().component_mttf_multi(&*cached.raw, &rates, state.experiment.frequency)?;
+    let mut points = Vec::with_capacity(ests.len());
+    for (i, est) in ests.into_iter().enumerate() {
+        let r = v.component_with_mc(&*cached.raw, rates[i], est?)?;
+        points.push(Estimate {
+            mttf_mc_s: r.mttf_mc.mttf.as_secs(),
+            rel_ci95: r.mttf_mc.relative_ci95(),
+            mttf_step_s: r.mttf_avf.as_secs(),
+            avf: r.avf,
+            provenance: classify_estimate(&r.mttf_mc).label().to_owned(),
+            sampler: r.mttf_mc.sampler.label().to_owned(),
+            trials_done: r.mttf_mc.ttf_seconds.count,
+            truncated: r.mttf_mc.truncated,
+            resumed: false,
+        });
+    }
+    Ok(points)
 }
 
 /// Reconstructs a request body from its canonical spelling (the form the
@@ -1132,6 +1238,103 @@ mod tests {
         );
         assert!(Bind::parse("udp:1.2.3.4").is_err());
         assert_eq!(Bind::parse("unix:/a/b").unwrap().to_string(), "unix:/a/b");
+    }
+
+    #[test]
+    fn sweep_requests_run_the_shared_kernel_and_resume_as_single_points() {
+        use crate::client::Client;
+        use crate::soak::{direct_estimate, shut_down, temp_dir};
+        use serr_core::prelude::{SamplerKind, WorkloadSpec};
+
+        let dir = temp_dir("sweep");
+        let mut cfg = ServeConfig::new(Bind::Unix(dir.join("s.sock")));
+        cfg.journal_dir = Some(dir.join("journal"));
+        cfg.mc_threads = 1;
+        let server = Server::start(cfg).expect("server starts");
+        let bind = server.bind_addr().clone();
+        let mut client = Client::connect(&bind).expect("connect");
+
+        let workload = WorkloadSpec::parse("duty:0.002:0.5").expect("valid spec");
+        let rates = vec![1e6, 2e6, 4e6];
+        let sweep = Request {
+            id: 1,
+            deadline_ms: None,
+            tag: Some(11),
+            body: RequestBody::Sweep {
+                workload: workload.clone(),
+                rates_per_year: rates.clone(),
+                trials: 1_200,
+                sampler: SamplerKind::default(),
+            },
+        };
+        let resp = client.roundtrip(&sweep).expect("sweep io").expect("sweep response");
+        let points = match resp {
+            Response::Sweep { id: 1, points } => points,
+            other => panic!("expected a sweep response, got {other:?}"),
+        };
+        assert_eq!(points.len(), rates.len());
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.state(), "result", "point {i}: {p:?}");
+            assert!(!p.resumed);
+            // Every point is bit-identical to an independent single-point
+            // computation — at one MC thread and at eight (the kernel is
+            // thread-count invariant).
+            let body = RequestBody::Mttf {
+                workload: workload.clone(),
+                rate_per_year: rates[i],
+                trials: 1_200,
+                sampler: SamplerKind::default(),
+            };
+            for threads in [1, 8] {
+                let solo = direct_estimate(&body, threads);
+                assert_eq!(
+                    p.mttf_mc_s.to_bits(),
+                    solo.mttf_mc_s.to_bits(),
+                    "point {i} at {threads} threads"
+                );
+                assert_eq!(p.rel_ci95.to_bits(), solo.rel_ci95.to_bits());
+            }
+        }
+
+        // A later single-point request for a swept rate is answered from
+        // the journal — resumed, bit-identical.
+        let single = Request {
+            id: 2,
+            deadline_ms: None,
+            tag: Some(12),
+            body: RequestBody::Mttf {
+                workload: workload.clone(),
+                rate_per_year: rates[1],
+                trials: 1_200,
+                sampler: SamplerKind::default(),
+            },
+        };
+        let resp = client.roundtrip(&single).expect("mttf io").expect("mttf response");
+        match resp {
+            Response::Estimate { id: 2, est } => {
+                assert!(est.resumed, "swept point should answer the single request");
+                assert_eq!(est.mttf_mc_s.to_bits(), points[1].mttf_mc_s.to_bits());
+            }
+            other => panic!("expected the resumed estimate, got {other:?}"),
+        }
+
+        // Re-requesting the whole sweep assembles it from the per-point
+        // journal entries without recomputation.
+        let again = Request { tag: Some(13), id: 3, ..sweep };
+        let resp = client.roundtrip(&again).expect("sweep io").expect("sweep response");
+        match resp {
+            Response::Sweep { id: 3, points: resumed } => {
+                assert_eq!(resumed.len(), points.len());
+                for (a, b) in resumed.iter().zip(&points) {
+                    assert!(a.resumed);
+                    assert_eq!(a.mttf_mc_s.to_bits(), b.mttf_mc_s.to_bits());
+                }
+            }
+            other => panic!("expected the resumed sweep, got {other:?}"),
+        }
+
+        shut_down(&mut client, server);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

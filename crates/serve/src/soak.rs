@@ -46,7 +46,9 @@ pub(crate) fn direct_estimate(body: &RequestBody, threads: usize) -> Estimate {
         | RequestBody::Sofr { workload, rate_per_year, trials, sampler, .. } => {
             (workload, *rate_per_year, *trials, *sampler)
         }
-        RequestBody::Stats | RequestBody::Shutdown => unreachable!("estimation bodies only"),
+        RequestBody::Sweep { .. } | RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("single-point estimation bodies only")
+        }
     };
     let trace = workload.trace(&cfg).expect("trace builds");
     let rate = RawErrorRate::try_per_year(rate_per_year).expect("positive rate");
@@ -63,7 +65,9 @@ pub(crate) fn direct_estimate(body: &RequestBody, threads: usize) -> Estimate {
                 .expect("system validation");
             (trace.avf(), r.mttf_sofr.as_secs(), r.mttf_mc)
         }
-        RequestBody::Stats | RequestBody::Shutdown => unreachable!("gated above"),
+        RequestBody::Sweep { .. } | RequestBody::Stats | RequestBody::Shutdown => {
+            unreachable!("gated above")
+        }
     };
     Estimate {
         mttf_mc_s: mc_est.mttf.as_secs(),

@@ -35,16 +35,19 @@ RUSTFLAGS="-C debug-assertions" cargo test -q --release -p serr-inject -p serr-m
 # binary exits nonzero on any silently-wrong result).
 cargo run --release -p serr-bench --bin chaos_campaign -- --campaigns 30 --seed 7 --trials 3000
 
-# Perf smoke: regenerates BENCH_engines.json (schema v9, carrying a
+# Perf smoke: regenerates BENCH_engines.json (schema v10, carrying a
 # `storage` section — binary-vs-JSONL journal resume time and mmap-vs-read
-# cache load time — and a `models` section: the AVF+SOFR-vs-MC comparison
-# under the ECC/scrub/delay protection transforms) and asserts four perf
+# cache load time — a `models` section: the AVF+SOFR-vs-MC comparison
+# under the ECC/scrub/delay protection transforms — and a `sweep_kernel`
+# section: the 32-point shared-stream duel) and asserts five perf
 # contracts — the Λ-inversion sampler stays >=10x faster than the
 # event-loop walk, the batched inversion sampler stays >=5x faster than the
 # scalar one, the binary journal resume stays >=5x faster than the JSONL
-# parse it replaced on a dense-trace workload, and the no-protection
-# transform path adds <=5% to trace compilation — the binary aborts if any
-# contract regresses.
+# parse it replaced on a dense-trace workload, the no-protection
+# transform path adds <=5% to trace compilation, and the shared-stream
+# sweep kernel stays >=3x faster than independent per-point runs while
+# staying bit-identical to them at 1 and 8 threads — the binary aborts if
+# any contract regresses.
 cargo run --release -p serr-bench --bin bench_smoke -- target/bench-smoke.json
 
 # Protection smoke: every transform in the --protect algebra is AVF-
@@ -81,9 +84,11 @@ SERR_THREADS=3 cargo run --release --bin serr -- \
 cargo run --release -p serr-bench --bin obs_check -- target/obs-smoke.jsonl
 
 # Service smoke: bring up the `serr serve` daemon on a unix socket, drive
-# it with `serr request` (mttf, sofr, stats), then shut it down gracefully.
-# Every response is one JSONL line with a typed terminal state; the daemon
-# must drain and exit zero on the shutdown request.
+# it with `serr request` (mttf, sofr, sweep, stats), then shut it down
+# gracefully. Every response is one JSONL line with a typed terminal
+# state; the daemon must drain and exit zero on the shutdown request. The
+# sweep request rides the shared-stream kernel server-side and must come
+# back as one `result` line carrying every point.
 SERVE_DIR="$(mktemp -d)"
 SOCK="$SERVE_DIR/serr.sock"
 cargo run --release --bin serr -- \
@@ -96,17 +101,23 @@ REQ=(cargo run --release --bin serr -- request --connect "unix:$SOCK")
   | grep -q '"state":"result"'
 "${REQ[@]}" --cmd sofr -w duty:0.001:0.5 --rate 1e6 -c 100 --trials 2000 \
   | grep -q '"state":"result"'
+"${REQ[@]}" --cmd sweep -w duty:0.001:0.5 --rates 1e6,2e6,4e6 --trials 2000 \
+  | grep '"state":"result"' | grep -q '"points"'
 "${REQ[@]}" --cmd stats | grep -q '"counters"'
 "${REQ[@]}" --cmd shutdown | grep -q '"shutdown":true'
 wait "$SERVE_PID"
 
 # Store inspect smoke: the daemon just journaled its results into the
 # CRC-paged binary store; `serr store inspect` must dump its header and
-# page table and report an undamaged file.
+# page table and report an undamaged file. Capture the dump once instead of
+# piping straight into `grep -q`: early-exit grep closes the pipe while serr
+# is still printing the page table, which panics it with SIGPIPE once the
+# store (now carrying sweep results too) outgrows the pipe buffer.
 RESULTS_STORE=$(ls "$SERVE_DIR"/journal/serve-results-*.store)
-cargo run --release --bin serr -- store inspect "$RESULTS_STORE" | tee /dev/stderr \
-  | grep -q 'checkpoint-journal'
-cargo run --release --bin serr -- store inspect "$RESULTS_STORE" | grep -q 'damage          : none'
+INSPECT_OUT=$(cargo run --release --bin serr -- store inspect "$RESULTS_STORE")
+printf '%s\n' "$INSPECT_OUT" >&2
+grep -q 'checkpoint-journal' <<<"$INSPECT_OUT"
+grep -q 'damage          : none' <<<"$INSPECT_OUT"
 rm -rf "$SERVE_DIR"
 
 # Robustness gate: no `.unwrap()` in library or binary code — a poisoned

@@ -391,6 +391,7 @@ impl Command {
                 let mut cmd: Option<String> = None;
                 let mut workload: Option<WorkloadSpec> = None;
                 let mut rate: Option<f64> = None;
+                let mut rates: Option<Vec<f64>> = None;
                 let mut components: u64 = 1;
                 let mut trials: u64 = 100_000;
                 let mut sampler = SamplerKind::default();
@@ -414,6 +415,14 @@ impl Command {
                         "--n-s" => {
                             let prod = parse_positive_f64("--n-s", &value("--n-s")?)?;
                             rate = Some(prod * serr_types::BASELINE_RAW_RATE_PER_BIT_PER_YEAR);
+                        }
+                        "--rates" => {
+                            rates = Some(
+                                value("--rates")?
+                                    .split(',')
+                                    .map(|s| parse_positive_f64("--rates", s.trim()))
+                                    .collect::<Result<Vec<f64>, SerrError>>()?,
+                            );
                         }
                         "--components" | "-c" => {
                             components = parse_count("-c", &value("-c")?)?;
@@ -458,16 +467,28 @@ impl Command {
                 let body = match cmd.as_deref() {
                     Some("mttf") => estimation(None)?,
                     Some("sofr") => estimation(Some(components))?,
+                    Some("sweep") => {
+                        let workload = workload.clone().ok_or_else(|| {
+                            SerrError::invalid_config("--workload is required for --cmd sweep")
+                        })?;
+                        let rates_per_year = rates.ok_or_else(|| {
+                            SerrError::invalid_config(
+                                "--rates <r1,r2,...> (errors/year) is required for --cmd sweep",
+                            )
+                        })?;
+                        RequestBody::Sweep { workload, rates_per_year, trials, sampler }
+                    }
                     Some("stats") => RequestBody::Stats,
                     Some("shutdown") => RequestBody::Shutdown,
                     Some(other) => {
                         return Err(SerrError::invalid_config(format!(
-                            "unknown --cmd `{other}`; expected mttf, sofr, stats, or shutdown"
+                            "unknown --cmd `{other}`; expected mttf, sofr, sweep, stats, or \
+                             shutdown"
                         )))
                     }
                     None => {
                         return Err(SerrError::invalid_config(
-                            "--cmd is required (mttf, sofr, stats, or shutdown)",
+                            "--cmd is required (mttf, sofr, sweep, stats, or shutdown)",
                         ))
                     }
                 };
@@ -560,7 +581,7 @@ USAGE:
   serr store inspect <FILE>
   serr chaos [--campaigns N] [--seed S] [--trials N] [--sampler batched-inversion|inversion|event-loop] [--kinds k1,k2,...] [--jsonl PATH]
   serr serve --bind <unix:PATH|tcp:ADDR> [--workers N] [--compile-workers N] [--queue N] [--journal-dir DIR]
-  serr request --connect <unix:PATH|tcp:ADDR> --cmd <mttf|sofr|stats|shutdown> [-w <W>] [--rate R | --n-s P] [-c N] [--trials N] [--sampler S] [--deadline-ms N] [--id N]
+  serr request --connect <unix:PATH|tcp:ADDR> --cmd <mttf|sofr|sweep|stats|shutdown> [-w <W>] [--rate R | --n-s P | --rates R1,R2,...] [-c N] [--trials N] [--sampler S] [--deadline-ms N] [--id N]
   serr workloads
   serr help
 
@@ -624,7 +645,11 @@ FLAGS:
                      directory replays them, and re-requests are answered
                      from the results journal bit-identically
   --connect <ADDR>   the daemon to talk to (same grammar as --bind)
-  --cmd <C>          request kind: mttf | sofr | stats | shutdown
+  --cmd <C>          request kind: mttf | sofr | sweep | stats | shutdown
+  --rates <LIST>     comma-separated errors/year list for --cmd sweep; the
+                     daemon answers every point off one shared-stream
+                     kernel run (common random numbers), each point
+                     bit-identical to the equivalent single mttf request
   --deadline-ms N    wall-clock budget for the request; overload sheds
                      up front, a tight budget degrades to a truncated
                      estimate with an honestly wider CI
@@ -652,6 +677,7 @@ EXAMPLES:
   serr serve --bind unix:/tmp/serr.sock --journal-dir /var/lib/serr
   serr request --connect unix:/tmp/serr.sock --cmd mttf -w day --n-s 1e8
   serr request --connect unix:/tmp/serr.sock --cmd sofr -w week --n-s 1e8 -c 5000 --deadline-ms 2000
+  serr request --connect unix:/tmp/serr.sock --cmd sweep -w day --rates 1e5,2e5,4e5 --trials 20000
   serr request --connect unix:/tmp/serr.sock --cmd stats
   serr request --connect unix:/tmp/serr.sock --cmd shutdown
 
@@ -1524,6 +1550,40 @@ mod tests {
                     sampler: SamplerKind::BatchedInversion,
                 },
             }
+        );
+        // A sweep request carries the comma-separated rate list verbatim.
+        let cmd = Command::parse(&[
+            "request",
+            "--connect",
+            "unix:/tmp/s.sock",
+            "--cmd",
+            "sweep",
+            "-w",
+            "day",
+            "--rates",
+            "1e5, 2e5,4e5",
+            "--trials",
+            "4000",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Request {
+                connect: Bind::Unix("/tmp/s.sock".into()),
+                id: 0,
+                deadline_ms: None,
+                body: RequestBody::Sweep {
+                    workload: WorkloadSpec::Day,
+                    rates_per_year: vec![1e5, 2e5, 4e5],
+                    trials: 4000,
+                    sampler: SamplerKind::default(),
+                },
+            }
+        );
+        assert!(
+            Command::parse(&["request", "--connect", "unix:/s", "--cmd", "sweep", "-w", "day"])
+                .is_err(),
+            "sweep needs --rates"
         );
         // stats/shutdown need no workload or rate.
         for c in ["stats", "shutdown"] {
